@@ -1,0 +1,75 @@
+#include "common.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace nps {
+namespace bench {
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opts;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--ticks") == 0 && i + 1 < argc) {
+            opts.ticks = static_cast<size_t>(std::strtoull(
+                argv[i + 1], nullptr, 10));
+            ++i;
+        } else if (std::strcmp(argv[i], "--quick") == 0) {
+            opts.quick = true;
+        } else if (std::strcmp(argv[i], "--help") == 0) {
+            std::printf("usage: %s [--ticks N] [--quick]\n", argv[0]);
+            std::exit(0);
+        } else {
+            util::fatal("unknown argument '%s'", argv[i]);
+        }
+    }
+    if (opts.quick)
+        opts.ticks = std::min<size_t>(opts.ticks, 1200);
+    if (opts.ticks == 0)
+        util::fatal("--ticks must be positive");
+    return opts;
+}
+
+core::ExperimentRunner &
+sharedRunner()
+{
+    static core::ExperimentRunner runner;
+    return runner;
+}
+
+std::vector<std::string>
+metricHeader()
+{
+    return {"viol GM %", "viol EM %", "viol SM %", "perf loss %",
+            "pwr save %"};
+}
+
+std::vector<std::string>
+metricCells(const core::ExperimentResult &r)
+{
+    using util::Table;
+    return {Table::pct(r.scenario.gm_violation, 2),
+            Table::pct(r.scenario.em_violation, 2),
+            Table::pct(r.scenario.sm_violation, 2),
+            Table::pct(r.scenario.perf_loss, 2),
+            Table::pct(r.power_savings, 1)};
+}
+
+void
+banner(const std::string &title, const std::string &paper_ref,
+       const Options &opts)
+{
+    std::printf("== %s ==\n", title.c_str());
+    std::printf("reproduces: %s (Raghavendra et al., ASPLOS'08)\n",
+                paper_ref.c_str());
+    std::printf("horizon: %zu ticks; synthetic 180-trace campaign; see "
+                "EXPERIMENTS.md for paper-vs-measured notes\n\n",
+                opts.ticks);
+}
+
+} // namespace bench
+} // namespace nps

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Shared support for the reproduction benches: argument handling, the
+ * shared workload library / experiment runner, and table helpers for
+ * printing paper-style rows.
+ */
+
+#ifndef NPS_BENCH_COMMON_H
+#define NPS_BENCH_COMMON_H
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "util/table.h"
+
+namespace nps {
+namespace bench {
+
+/** Command-line options common to every reproduction bench. */
+struct Options
+{
+    /** Simulation horizon per experiment (default: ten synthetic days). */
+    size_t ticks = 2880;
+    /** Quick mode: shorter horizon for smoke runs (--quick). */
+    bool quick = false;
+};
+
+/** Parse --ticks N / --quick; fatal() on unknown arguments. */
+Options parseArgs(int argc, char **argv);
+
+/**
+ * The process-wide experiment runner over the default 180-trace
+ * campaign. Shared so every table in one binary reuses the baseline
+ * cache.
+ */
+core::ExperimentRunner &sharedRunner();
+
+/** Standard columns of a Figure 7 / 9 / 10 style row. */
+std::vector<std::string> metricCells(const core::ExperimentResult &r);
+
+/** Header matching metricCells(). */
+std::vector<std::string> metricHeader();
+
+/** Print a short provenance banner for a bench. */
+void banner(const std::string &title, const std::string &paper_ref,
+            const Options &opts);
+
+} // namespace bench
+} // namespace nps
+
+#endif // NPS_BENCH_COMMON_H

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Figure 7 reproduction: coordinated vs. uncoordinated deployments for
+ * four configurations (Blade A / Server B x 180 / 60HH workloads),
+ * reporting budget violations at the group, enclosure, and server levels
+ * plus performance loss — all normalized against the
+ * no-power-management baseline — and the Section 5.1 headline power
+ * savings.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "common.h"
+#include "core/scenarios.h"
+#include "util/table.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace nps;
+    auto opts = bench::parseArgs(argc, argv);
+    bench::banner("Figure 7: benefits from coordination",
+                  "Figure 7 + Section 5.1 headline numbers", opts);
+
+    struct Config
+    {
+        const char *machine;
+        trace::Mix mix;
+    };
+    const Config configs[] = {
+        {"BladeA", trace::Mix::All180},
+        {"BladeA", trace::Mix::HH60},
+        {"ServerB", trace::Mix::All180},
+        {"ServerB", trace::Mix::HH60},
+    };
+
+    util::Table table("Coordinated vs uncoordinated (violations and "
+                      "losses are negative outcomes; savings positive)");
+    auto header = std::vector<std::string>{"system/workload", "solution"};
+    for (const auto &h : bench::metricHeader())
+        header.push_back(h);
+    table.header(header);
+
+    for (const auto &cfg : configs) {
+        for (auto scenario : {core::Scenario::Coordinated,
+                              core::Scenario::Uncoordinated}) {
+            core::ExperimentSpec spec;
+            spec.label = std::string(cfg.machine) + "/" +
+                         trace::mixName(cfg.mix);
+            spec.config = core::scenarioConfig(scenario);
+            spec.machine = cfg.machine;
+            spec.mix = cfg.mix;
+            spec.ticks = opts.ticks;
+            auto r = bench::sharedRunner().run(spec);
+
+            std::vector<std::string> row{spec.label,
+                                         core::scenarioName(scenario)};
+            for (const auto &cell : bench::metricCells(r))
+                row.push_back(cell);
+            table.row(row);
+
+            if (cfg.machine == std::string("BladeA") &&
+                cfg.mix == trace::Mix::All180 &&
+                scenario == core::Scenario::Coordinated) {
+                std::printf("Section 5.1 headline (BladeA/180, "
+                            "coordinated): %.0f%% power saved, %.1f%% "
+                            "perf loss, %.1f%% local violations "
+                            "(paper: 64%%, ~3%%, ~5%%)\n\n",
+                            r.power_savings * 100.0,
+                            r.scenario.perf_loss * 100.0,
+                            r.scenario.sm_violation * 100.0);
+            }
+        }
+        table.separator();
+    }
+    table.print(std::cout);
+    return 0;
+}

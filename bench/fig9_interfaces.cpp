@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Figure 9 reproduction: characterizing the coordination interfaces.
+ * For both machines, runs the full coordinated architecture against the
+ * uncoordinated deployment and the three interface ablations (apparent
+ * utilization, no violation feedback, no budget limits) plus the
+ * uncoordinated two-P-state variant, reporting the paper's five metric
+ * columns.
+ *
+ * Expected shape (paper): every ablation loses on at least one axis —
+ * savings, performance, or violations — showing each interface matters.
+ */
+
+#include <iostream>
+
+#include "common.h"
+#include "core/scenarios.h"
+#include "util/table.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace nps;
+    auto opts = bench::parseArgs(argc, argv);
+    bench::banner("Figure 9: coordination interface ablations",
+                  "Figure 9 (interface characterization table)", opts);
+
+    util::Table table("Interface ablations");
+    auto header = std::vector<std::string>{"system", "solution"};
+    for (const auto &h : bench::metricHeader())
+        header.push_back(h);
+    table.header(header);
+
+    for (const char *machine : {"BladeA", "ServerB"}) {
+        for (auto scenario : core::figure9Scenarios()) {
+            core::ExperimentSpec spec;
+            spec.label = core::scenarioName(scenario);
+            spec.config = core::scenarioConfig(scenario);
+            spec.machine = machine;
+            spec.mix = trace::Mix::All180;
+            spec.ticks = opts.ticks;
+            auto r = bench::sharedRunner().run(spec);
+            std::vector<std::string> row{machine, spec.label};
+            for (const auto &cell : bench::metricCells(r))
+                row.push_back(cell);
+            table.row(row);
+        }
+        // The paper's final row: an uncoordinated deployment on a
+        // machine shipping only the two extreme P-states.
+        core::ExperimentSpec spec;
+        spec.label = "Uncoordinated, min Pstates";
+        spec.config = core::uncoordinatedConfig();
+        spec.machine = machine;
+        spec.two_pstates = true;
+        spec.mix = trace::Mix::All180;
+        spec.ticks = opts.ticks;
+        auto r = bench::sharedRunner().run(spec);
+        std::vector<std::string> row{machine, spec.label};
+        for (const auto &cell : bench::metricCells(r))
+            row.push_back(cell);
+        table.row(row);
+        table.separator();
+    }
+    table.print(std::cout);
+    return 0;
+}

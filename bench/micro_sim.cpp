@@ -1,0 +1,109 @@
+/**
+ * @file
+ * google-benchmark micro suite for the simulator: tick throughput for
+ * the unmanaged and fully coordinated stacks at the paper's topology
+ * sizes, and trace-generation throughput.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/coordinator.h"
+#include "core/scenarios.h"
+#include "trace/generator.h"
+#include "trace/workload.h"
+
+namespace {
+
+using namespace nps;
+
+const trace::WorkloadLibrary &
+library()
+{
+    static trace::WorkloadLibrary lib = [] {
+        trace::GeneratorConfig gen;
+        gen.trace_length = 1440;
+        return trace::WorkloadLibrary(gen);
+    }();
+    return lib;
+}
+
+void
+BM_BaselineTick(benchmark::State &state)
+{
+    const bool big = state.range(0) == 180;
+    core::Coordinator c(core::baselineConfig(),
+                        big ? sim::Topology::paper180()
+                            : sim::Topology::paper60(),
+                        model::bladeA(),
+                        library().mix(big ? trace::Mix::All180
+                                          : trace::Mix::Mid60));
+    for (auto _ : state)
+        c.run(1);
+    state.SetItemsProcessed(state.iterations() *
+                            (big ? 180 : 60));
+}
+BENCHMARK(BM_BaselineTick)->Arg(60)->Arg(180);
+
+void
+BM_CoordinatedTick(benchmark::State &state)
+{
+    const bool big = state.range(0) == 180;
+    core::Coordinator c(core::coordinatedConfig(),
+                        big ? sim::Topology::paper180()
+                            : sim::Topology::paper60(),
+                        model::bladeA(),
+                        library().mix(big ? trace::Mix::All180
+                                          : trace::Mix::Mid60));
+    for (auto _ : state)
+        c.run(1);
+    state.SetItemsProcessed(state.iterations() *
+                            (big ? 180 : 60));
+}
+BENCHMARK(BM_CoordinatedTick)->Arg(60)->Arg(180);
+
+void
+BM_CoordinatedDay(benchmark::State &state)
+{
+    // One synthetic day (288 ticks) of the full coordinated stack at
+    // the 60-server topology.
+    for (auto _ : state) {
+        core::Coordinator c(core::coordinatedConfig(),
+                            sim::Topology::paper60(), model::bladeA(),
+                            library().mix(trace::Mix::Mid60));
+        c.run(288);
+        benchmark::DoNotOptimize(c.summary());
+    }
+}
+BENCHMARK(BM_CoordinatedDay);
+
+void
+BM_TraceGeneration(benchmark::State &state)
+{
+    trace::GeneratorConfig cfg;
+    cfg.trace_length = static_cast<size_t>(state.range(0));
+    trace::TraceGenerator gen(cfg);
+    auto profile = trace::defaultProfile(
+        trace::WorkloadClass::ECommerce);
+    unsigned srv = 0;
+    for (auto _ : state) {
+        auto t = gen.generate(3, srv++ % 20, profile);
+        benchmark::DoNotOptimize(t);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TraceGeneration)->Arg(288)->Arg(2880);
+
+void
+BM_CampaignGeneration(benchmark::State &state)
+{
+    trace::GeneratorConfig cfg;
+    cfg.trace_length = 288;
+    for (auto _ : state) {
+        trace::TraceGenerator gen(cfg);
+        auto all = gen.generateAll();
+        benchmark::DoNotOptimize(all);
+    }
+}
+BENCHMARK(BM_CampaignGeneration);
+
+} // namespace

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Figure 5 reproduction: the power and performance models of Blade A
+ * and Server B — power (watts) and performance (% of max work) versus
+ * utilization for every P-state, i.e. the numeric series behind the
+ * four model plots in Figure 5. Also demonstrates the calibration flow:
+ * fits recovered from a simulated machine-under-test are printed next
+ * to the ground truth.
+ */
+
+#include <iostream>
+
+#include "common.h"
+#include "model/calibration.h"
+#include "util/table.h"
+
+namespace {
+
+void
+printModel(const nps::model::MachineSpec &spec)
+{
+    using nps::util::Table;
+    const auto &m = spec.model();
+
+    Table power("Power model of " + spec.name() +
+                " (watts vs utilization)");
+    std::vector<std::string> header{"util %"};
+    for (size_t p = 0; p < m.pstates().size(); ++p)
+        header.push_back("P" + std::to_string(p));
+    power.header(header);
+    for (int u = 0; u <= 100; u += 20) {
+        std::vector<std::string> row{std::to_string(u)};
+        for (size_t p = 0; p < m.pstates().size(); ++p)
+            row.push_back(Table::num(m.powerAt(p, u / 100.0), 1));
+        power.row(row);
+    }
+    power.print(std::cout);
+
+    Table perf("Performance model of " + spec.name() +
+               " (% of max work vs utilization)");
+    perf.header(header);
+    for (int u = 0; u <= 100; u += 20) {
+        std::vector<std::string> row{std::to_string(u)};
+        for (size_t p = 0; p < m.pstates().size(); ++p) {
+            // perf = h_p(r) = a_p * r with a_p = relSpeed.
+            row.push_back(Table::num(
+                m.pstates().relSpeed(p) * (u / 100.0) * 100.0, 1));
+        }
+        perf.row(row);
+    }
+    perf.print(std::cout);
+    std::cout << '\n';
+}
+
+void
+printCalibration(const nps::model::MachineSpec &truth)
+{
+    using namespace nps::model;
+    using nps::util::Table;
+    SimulatedMachine mut(truth, 0.8, 42);
+    Calibrator cal({0.0, 0.25, 0.5, 0.75, 1.0}, 10);
+    auto fits = cal.calibrate(mut);
+
+    Table table("Calibration of " + truth.name() +
+                " (fitted vs ground truth, 0.8 W meter noise)");
+    table.header({"P-state", "fit c_p", "true c_p", "fit d_p",
+                  "true d_p", "R^2"});
+    for (size_t p = 0; p < fits.size(); ++p) {
+        table.row({"P" + std::to_string(p),
+                   Table::num(fits[p].slope, 2),
+                   Table::num(truth.pstates().at(p).dyn_watts, 2),
+                   Table::num(fits[p].intercept, 2),
+                   Table::num(truth.pstates().at(p).idle_watts, 2),
+                   Table::num(fits[p].r2, 4)});
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace nps;
+    auto opts = bench::parseArgs(argc, argv);
+    bench::banner("Figure 5: power/performance models",
+                  "Figure 5 (model plots) + Section 4.1 calibration",
+                  opts);
+    printModel(model::bladeA());
+    printModel(model::serverB());
+    printCalibration(model::bladeA());
+    printCalibration(model::serverB());
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Section 5.3 reproduction: number of P-states. Compares each machine's
+ * full P-state table against a reduced table holding only the two
+ * extreme states (P0 and the deepest), under both coordinated and
+ * uncoordinated deployments.
+ *
+ * Expected shape (paper): "having the two extreme P-states can get
+ * behavior close to that when all the P-states are considered" under
+ * coordination, and "the relative differences between the coordinated
+ * and uncoordinated architectures are more pronounced with two P-states
+ * than with four" — good coordination lets hardware ship simpler knobs.
+ */
+
+#include <iostream>
+
+#include "common.h"
+#include "core/scenarios.h"
+#include "util/table.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace nps;
+    auto opts = bench::parseArgs(argc, argv);
+    bench::banner("Section 5.3: number of P-states",
+                  "Section 5.3 (P-state count study)", opts);
+
+    util::Table table("Full vs two-extreme P-state tables");
+    auto header = std::vector<std::string>{"system", "P-states",
+                                           "solution"};
+    for (const auto &h : bench::metricHeader())
+        header.push_back(h);
+    table.header(header);
+
+    for (const char *machine : {"BladeA", "ServerB"}) {
+        for (bool two_pstates : {false, true}) {
+            for (auto scenario : {core::Scenario::Coordinated,
+                                  core::Scenario::Uncoordinated}) {
+                core::ExperimentSpec spec;
+                spec.config = core::scenarioConfig(scenario);
+                spec.machine = machine;
+                spec.two_pstates = two_pstates;
+                spec.mix = trace::Mix::All180;
+                spec.ticks = opts.ticks;
+                auto r = bench::sharedRunner().run(spec);
+                std::vector<std::string> row{
+                    machine, two_pstates ? "2 (extremes)" : "all",
+                    core::scenarioName(scenario)};
+                for (const auto &cell : bench::metricCells(r))
+                    row.push_back(cell);
+                table.row(row);
+            }
+        }
+        table.separator();
+    }
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Design-choice ablation for the VMC's packing headroom (DESIGN.md §5):
+ * the capacity target and the demand-spread allowance together decide
+ * how hard consolidation pushes against the capping levels. This bench
+ * sweeps both and reports the savings / violations / performance
+ * triangle, quantifying the choice behind the shipped defaults
+ * (capacity 0.90, spread 0.5 sigma).
+ *
+ * Expected shape: tighter packing (higher capacity target, lower
+ * spread) buys savings at the cost of violations and performance; the
+ * violation-feedback buffers soften but do not eliminate the trend.
+ */
+
+#include <iostream>
+
+#include "common.h"
+#include "core/scenarios.h"
+#include "util/table.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace nps;
+    auto opts = bench::parseArgs(argc, argv);
+    bench::banner("Design ablation: VMC packing headroom",
+                  "DESIGN.md design-choice ablation (BladeA/180)", opts);
+
+    util::Table table("capacity target x demand-spread allowance");
+    auto header = std::vector<std::string>{"capacity", "spread sigma"};
+    for (const auto &h : bench::metricHeader())
+        header.push_back(h);
+    header.push_back("migrations");
+    table.header(header);
+
+    for (double capacity : {0.55, 0.75, 0.95}) {
+        for (double spread : {0.0, 0.5, 1.0}) {
+            core::ExperimentSpec spec;
+            spec.config = core::coordinatedConfig();
+            spec.config.vmc.capacity_target = capacity;
+            spec.config.vmc.spread_sigma = spread;
+            spec.mix = trace::Mix::All180;
+            spec.ticks = opts.ticks;
+            auto r = bench::sharedRunner().run(spec);
+            std::vector<std::string> row{util::Table::num(capacity, 2),
+                                         util::Table::num(spread, 1)};
+            for (const auto &cell : bench::metricCells(r))
+                row.push_back(cell);
+            row.push_back(std::to_string(r.vmc.migrations));
+            table.row(row);
+        }
+        table.separator();
+    }
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Quickstart: build a small coordinated data center, run a day of
+ * simulated time, and print the paper's headline metrics.
+ *
+ * This is the minimal end-to-end use of the public API:
+ *   1. generate (or load) utilization traces,
+ *   2. pick a machine model and a topology,
+ *   3. choose a scenario configuration,
+ *   4. run the Coordinator and read the metrics.
+ */
+
+#include <cstdio>
+
+#include "core/coordinator.h"
+#include "core/scenarios.h"
+#include "trace/workload.h"
+
+int
+main()
+{
+    using namespace nps;
+
+    // 1. Workloads: a deterministic synthetic campaign standing in for
+    //    the paper's nine-enterprise trace collection.
+    trace::GeneratorConfig gen;
+    gen.trace_length = 1440;  // five synthetic days at 288 ticks/day
+    trace::WorkloadLibrary library(gen);
+    auto traces = library.mix(trace::Mix::High60);
+
+    // 2. System: sixty Blade A servers as two 20-blade enclosures plus
+    //    twenty standalone machines (the paper's 60-server topology).
+    sim::Topology topo = sim::Topology::paper60();
+    model::MachineSpec machine = model::bladeA();
+
+    // 3. Deployment: the full coordinated architecture of Figure 2 —
+    //    per-server efficiency controllers and power cappers, enclosure
+    //    and group managers, and the consolidating VM controller.
+    core::CoordinationConfig config = core::coordinatedConfig();
+
+    // 4. Simulate and report.
+    core::Coordinator coordinator(config, topo, machine, traces);
+    coordinator.run(gen.trace_length);
+
+    sim::MetricsSummary m = coordinator.summary();
+    std::printf("simulated %zu ticks over %zu servers / %zu VMs\n",
+                m.ticks, coordinator.cluster().numServers(),
+                coordinator.cluster().numVms());
+    std::printf("mean power:        %8.1f W (peak %.1f W)\n",
+                m.mean_power, m.peak_power);
+    std::printf("performance loss:  %8.2f %%\n", m.perf_loss * 100.0);
+    std::printf("budget violations: group %.2f %%, enclosure %.2f %%, "
+                "server %.2f %%\n", m.gm_violation * 100.0,
+                m.em_violation * 100.0, m.sm_violation * 100.0);
+    if (coordinator.vmc()) {
+        const auto &v = coordinator.vmc()->stats();
+        std::printf("VMC: %lu epochs, %lu migrations, buffers "
+                    "(loc/enc/grp) = %.2f/%.2f/%.2f\n", v.epochs,
+                    v.migrations, coordinator.vmc()->bufferLoc(),
+                    coordinator.vmc()->bufferEnc(),
+                    coordinator.vmc()->bufferGrp());
+    }
+
+    // Compare against the no-power-management baseline over the same
+    // traces to get the headline "power savings" number.
+    core::Coordinator baseline(core::baselineConfig(), topo, machine,
+                               traces);
+    baseline.run(gen.trace_length);
+    double savings = sim::powerSavings(baseline.summary(), m);
+    std::printf("power savings vs unmanaged baseline: %.1f %%\n",
+                savings * 100.0);
+    return 0;
+}

@@ -1,0 +1,75 @@
+#include "control/linear_system.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace nps {
+namespace ctl {
+
+FirstOrderSystem::FirstOrderSystem(double a, double b, double x0)
+    : a_(a), b_(b), x_(x0)
+{
+}
+
+bool
+FirstOrderSystem::stable() const
+{
+    return std::fabs(a_) < 1.0;
+}
+
+double
+FirstOrderSystem::fixedPoint() const
+{
+    if (a_ == 1.0)
+        util::fatal("FirstOrderSystem::fixedPoint: pole at 1");
+    return b_ / (1.0 - a_);
+}
+
+double
+FirstOrderSystem::step()
+{
+    x_ = a_ * x_ + b_;
+    return x_;
+}
+
+std::vector<double>
+FirstOrderSystem::run(size_t n)
+{
+    std::vector<double> out;
+    out.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        out.push_back(step());
+    return out;
+}
+
+size_t
+FirstOrderSystem::settlingTime(double tol, size_t max_steps)
+{
+    if (!stable())
+        util::fatal("FirstOrderSystem::settlingTime on unstable system");
+    double target = fixedPoint();
+    for (size_t k = 0; k < max_steps; ++k) {
+        step();
+        if (std::fabs(x_ - target) < tol)
+            return k + 1;
+    }
+    return max_steps;
+}
+
+double
+smClosedLoopPole(double beta, double c)
+{
+    return 1.0 - beta * c;
+}
+
+FirstOrderSystem
+smClosedLoop(double beta, double c, double cap, double pow0)
+{
+    // pow(k) = (1 - beta c) pow(k-1) + beta c cap  (Appendix A, Eq. 9)
+    return FirstOrderSystem(smClosedLoopPole(beta, c), beta * c * cap,
+                            pow0);
+}
+
+} // namespace ctl
+} // namespace nps

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * First-order discrete-time linear system models used by the stability
+ * analysis and its tests.
+ *
+ * Appendix A linearizes the nested EC/SM loops into scalar recurrences of
+ * the form x(k) = a * x(k-1) + b; FirstOrderSystem simulates exactly that
+ * recurrence so the analytical claims (|a| < 1 implies convergence to the
+ * fixed point b / (1 - a)) can be cross-checked numerically.
+ */
+
+#ifndef NPS_CONTROL_LINEAR_SYSTEM_H
+#define NPS_CONTROL_LINEAR_SYSTEM_H
+
+#include <cstddef>
+#include <vector>
+
+namespace nps {
+namespace ctl {
+
+/**
+ * The scalar recurrence x(k) = a * x(k-1) + b.
+ */
+class FirstOrderSystem
+{
+  public:
+    /** @param a pole; @param b constant input; @param x0 initial state. */
+    FirstOrderSystem(double a, double b, double x0);
+
+    /** @return the pole a. */
+    double pole() const { return a_; }
+
+    /** @return true when |a| < 1, i.e. the recurrence converges. */
+    bool stable() const;
+
+    /** Fixed point b / (1 - a). @pre a != 1 */
+    double fixedPoint() const;
+
+    /** @return current state x(k). */
+    double state() const { return x_; }
+
+    /** Advance one step; @return the new state. */
+    double step();
+
+    /** Run @p n steps and return the visited states (x(1)..x(n)). */
+    std::vector<double> run(size_t n);
+
+    /**
+     * Number of steps for |x(k) - fixedPoint| to fall below @p tol,
+     * capped at @p max_steps (returns max_steps when not reached).
+     * @pre stable()
+     */
+    size_t settlingTime(double tol, size_t max_steps);
+
+  private:
+    double a_;
+    double b_;
+    double x_;
+};
+
+/**
+ * Closed-loop pole of the linearized SM power loop (Appendix A, Eq. 9):
+ * pow(k) = (1 - beta * c) * pow(k-1) + beta * c * cap. The loop is stable
+ * iff |1 - beta*c| < 1.
+ */
+double smClosedLoopPole(double beta, double c);
+
+/**
+ * Build the SM linearized closed loop: state is the power, input the cap.
+ */
+FirstOrderSystem smClosedLoop(double beta, double c, double cap,
+                              double pow0);
+
+} // namespace ctl
+} // namespace nps
+
+#endif // NPS_CONTROL_LINEAR_SYSTEM_H

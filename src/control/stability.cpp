@@ -1,0 +1,97 @@
+#include "control/stability.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace nps {
+namespace ctl {
+
+double
+ecLambdaBound(double r_ref)
+{
+    if (r_ref <= 0.0 || r_ref >= 1.0)
+        util::fatal("ecLambdaBound: r_ref %f out of (0,1)", r_ref);
+    return 1.0 / r_ref;
+}
+
+double
+ecLambdaLocalBound(double r_ref)
+{
+    if (r_ref <= 0.0 || r_ref >= 1.0)
+        util::fatal("ecLambdaLocalBound: r_ref %f out of (0,1)", r_ref);
+    return 2.0 / r_ref;
+}
+
+double
+smBetaBound(double c_max)
+{
+    if (c_max <= 0.0)
+        util::fatal("smBetaBound: c_max %f must be positive", c_max);
+    return 2.0 / c_max;
+}
+
+bool
+ecGainStable(double lambda, double r_ref)
+{
+    return lambda > 0.0 && lambda < ecLambdaBound(r_ref);
+}
+
+bool
+smGainStable(double beta, double c_max)
+{
+    return beta > 0.0 && beta < smBetaBound(c_max);
+}
+
+bool
+converged(const std::vector<double> &series, double target, double tol,
+          size_t window)
+{
+    if (window == 0)
+        util::fatal("converged: zero window");
+    if (series.size() < window)
+        return false;
+    for (size_t i = series.size() - window; i < series.size(); ++i) {
+        if (std::fabs(series[i] - target) > tol)
+            return false;
+    }
+    return true;
+}
+
+double
+tailAmplitude(const std::vector<double> &series, size_t window)
+{
+    if (series.size() < window || window == 0)
+        return 0.0;
+    auto begin = series.end() - static_cast<long>(window);
+    auto [mn, mx] = std::minmax_element(begin, series.end());
+    return *mx - *mn;
+}
+
+bool
+oscillating(const std::vector<double> &series, size_t window,
+            double min_amplitude, unsigned min_reversals)
+{
+    if (series.size() < window || window < 3)
+        return false;
+    if (tailAmplitude(series, window) < min_amplitude)
+        return false;
+
+    unsigned reversals = 0;
+    size_t start = series.size() - window;
+    int prev_dir = 0;
+    for (size_t i = start + 1; i < series.size(); ++i) {
+        double delta = series[i] - series[i - 1];
+        int dir = delta > 0.0 ? 1 : (delta < 0.0 ? -1 : 0);
+        if (dir != 0) {
+            if (prev_dir != 0 && dir != prev_dir)
+                ++reversals;
+            prev_dir = dir;
+        }
+    }
+    return reversals >= min_reversals;
+}
+
+} // namespace ctl
+} // namespace nps

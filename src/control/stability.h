@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Stability analysis helpers from Appendix A of the paper.
+ *
+ * Provides the closed-form gain bounds that guarantee stability of the two
+ * nested server loops, plus sequence diagnostics (convergence detection,
+ * oscillation measurement) used by the property tests to verify those
+ * bounds empirically.
+ */
+
+#ifndef NPS_CONTROL_STABILITY_H
+#define NPS_CONTROL_STABILITY_H
+
+#include <cstddef>
+#include <vector>
+
+namespace nps {
+namespace ctl {
+
+/**
+ * Global-stability bound for the efficiency controller's scaling parameter
+ * lambda (Proposition A): 0 < lambda < 1 / r_ref.
+ * @pre 0 < r_ref < 1
+ */
+double ecLambdaBound(double r_ref);
+
+/**
+ * Local-stability bound for lambda, the weaker condition from [35]:
+ * 0 < lambda < 2 / r_ref.
+ */
+double ecLambdaLocalBound(double r_ref);
+
+/**
+ * Stability bound for the server manager's gain beta_loc:
+ * 0 < beta < 2 / c_max, where c_max is an upper bound on the slope of
+ * server power with respect to the utilization target.
+ * @pre c_max > 0
+ */
+double smBetaBound(double c_max);
+
+/** @return true when (lambda, r_ref) satisfies the EC global bound. */
+bool ecGainStable(double lambda, double r_ref);
+
+/** @return true when (beta, c_max) satisfies the SM bound. */
+bool smGainStable(double beta, double c_max);
+
+/**
+ * Convergence detector: true when every value in the last @p window
+ * entries of @p series is within @p tol of @p target.
+ * @pre window > 0; returns false when the series is shorter than window.
+ */
+bool converged(const std::vector<double> &series, double target,
+               double tol, size_t window);
+
+/**
+ * Peak-to-peak amplitude over the last @p window entries (0 when the
+ * series is shorter than window).
+ */
+double tailAmplitude(const std::vector<double> &series, size_t window);
+
+/**
+ * True when the tail of the series oscillates: its tail amplitude exceeds
+ * @p min_amplitude AND it changes direction at least @p min_reversals
+ * times within the window.
+ */
+bool oscillating(const std::vector<double> &series, size_t window,
+                 double min_amplitude, unsigned min_reversals);
+
+} // namespace ctl
+} // namespace nps
+
+#endif // NPS_CONTROL_STABILITY_H

@@ -1,0 +1,291 @@
+#include "controllers/binpack.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/logging.h"
+
+namespace nps {
+namespace controllers {
+
+double
+estimateBinPower(const PackBin &bin, double load)
+{
+    if (!bin.power)
+        util::panic("estimateBinPower: bin %u has no model", bin.id);
+    if (load <= 0.0)
+        return bin.unused_watts;
+    size_t state = bin.power->bestStateForDemand(load, bin.util_limit);
+    return bin.power->powerForDemand(state, load);
+}
+
+AssignmentEval
+evaluateAssignment(const std::vector<PackItem> &items,
+                   const std::vector<PackBin> &bins,
+                   const std::vector<sim::ServerId> &assignment,
+                   const PackConstraints &constraints)
+{
+    if (assignment.size() != items.size())
+        util::panic("evaluateAssignment: assignment size mismatch");
+
+    std::map<sim::ServerId, size_t> bin_index;
+    for (size_t b = 0; b < bins.size(); ++b)
+        bin_index[bins[b].id] = b;
+
+    std::vector<double> load(bins.size(), 0.0);
+    for (size_t i = 0; i < items.size(); ++i) {
+        auto it = bin_index.find(assignment[i]);
+        if (it != bin_index.end())
+            load[it->second] += items[i].load;
+    }
+
+    AssignmentEval eval;
+    size_t num_enc = 0;
+    for (const auto &b : bins) {
+        if (b.enclosure != std::numeric_limits<unsigned>::max())
+            num_enc = std::max(num_enc,
+                               static_cast<size_t>(b.enclosure) + 1);
+    }
+    std::vector<double> enc_power(num_enc, 0.0);
+    for (size_t b = 0; b < bins.size(); ++b) {
+        double p = estimateBinPower(bins[b], load[b]);
+        eval.est_power += p;
+        if (load[b] > bins[b].capacity + 1e-12 ||
+            p > bins[b].power_cap + 1e-12) {
+            eval.feasible = false;
+        }
+        if (bins[b].enclosure != std::numeric_limits<unsigned>::max())
+            enc_power[bins[b].enclosure] += p;
+    }
+    for (size_t e = 0;
+         e < enc_power.size() && e < constraints.enclosure_caps.size();
+         ++e) {
+        if (enc_power[e] > constraints.enclosure_caps[e] + 1e-12)
+            eval.feasible = false;
+    }
+    if (eval.est_power > constraints.group_cap + 1e-12)
+        eval.feasible = false;
+    return eval;
+}
+
+double
+estimateAssignmentPower(const std::vector<PackItem> &items,
+                        const std::vector<PackBin> &bins,
+                        const std::vector<sim::ServerId> &assignment)
+{
+    return evaluateAssignment(items, bins, assignment, PackConstraints{})
+        .est_power;
+}
+
+namespace {
+
+/** Mutable packing state of one bin. */
+struct BinState
+{
+    double load = 0.0;
+    double power = 0.0;  //!< current estimate at `load` (or unused_watts)
+    bool open = false;
+};
+
+/** Incremental feasibility/bookkeeping for the hierarchical caps. */
+class CapLedger
+{
+  public:
+    CapLedger(const std::vector<PackBin> &bins,
+              const PackConstraints &constraints)
+        : bins_(bins), constraints_(constraints)
+    {
+        size_t max_enc = 0;
+        for (const auto &b : bins) {
+            if (b.enclosure != kNoEnc)
+                max_enc = std::max(max_enc,
+                                   static_cast<size_t>(b.enclosure) + 1);
+        }
+        enc_power_.assign(
+            std::max(max_enc, constraints.enclosure_caps.size()), 0.0);
+        for (const auto &b : bins) {
+            group_power_ += b.unused_watts;
+            if (b.enclosure != kNoEnc)
+                enc_power_[b.enclosure] += b.unused_watts;
+        }
+    }
+
+    /** Would raising bin @p b's power by @p delta violate any cap? */
+    bool
+    fits(size_t b, double delta) const
+    {
+        const PackBin &bin = bins_[b];
+        if (group_power_ + delta > constraints_.group_cap)
+            return false;
+        if (bin.enclosure != kNoEnc &&
+            bin.enclosure < constraints_.enclosure_caps.size() &&
+            enc_power_[bin.enclosure] + delta >
+                constraints_.enclosure_caps[bin.enclosure]) {
+            return false;
+        }
+        return true;
+    }
+
+    /** Commit a power delta on bin @p b. */
+    void
+    apply(size_t b, double delta)
+    {
+        group_power_ += delta;
+        const PackBin &bin = bins_[b];
+        if (bin.enclosure != kNoEnc && bin.enclosure < enc_power_.size())
+            enc_power_[bin.enclosure] += delta;
+    }
+
+    double groupPower() const { return group_power_; }
+
+    static constexpr unsigned kNoEnc =
+        std::numeric_limits<unsigned>::max();
+
+  private:
+    const std::vector<PackBin> &bins_;
+    const PackConstraints &constraints_;
+    std::vector<double> enc_power_;
+    double group_power_ = 0.0;
+};
+
+} // namespace
+
+PackResult
+packGreedy(std::vector<PackItem> items, const std::vector<PackBin> &bins,
+           const PackConstraints &constraints)
+{
+    PackResult result;
+    result.assignment.assign(items.size(), sim::kNoServer);
+
+    std::map<sim::ServerId, size_t> bin_index;
+    for (size_t b = 0; b < bins.size(); ++b) {
+        if (!bin_index.emplace(bins[b].id, b).second)
+            util::fatal("packGreedy: duplicate bin id %u", bins[b].id);
+    }
+
+    // Keep the original item order for the output; sort an index view by
+    // descending load (first-fit-decreasing processing order).
+    std::vector<size_t> order(items.size());
+    for (size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return items[a].load > items[b].load;
+    });
+
+    std::vector<BinState> state(bins.size());
+    for (size_t b = 0; b < bins.size(); ++b)
+        state[b].power = bins[b].unused_watts;
+    CapLedger ledger(bins, constraints);
+
+    // Bins eligible to be opened, cheapest boot first: on servers in id
+    // order, then off servers.
+    std::vector<size_t> open_order;
+    for (size_t b = 0; b < bins.size(); ++b) {
+        if (bins[b].on)
+            open_order.push_back(b);
+    }
+    for (size_t b = 0; b < bins.size(); ++b) {
+        if (!bins[b].on)
+            open_order.push_back(b);
+    }
+
+    auto try_place = [&](size_t item_idx, size_t b) -> bool {
+        const PackItem &item = items[item_idx];
+        const PackBin &bin = bins[b];
+        double new_load = state[b].load + item.load;
+        if (new_load > bin.capacity + 1e-12)
+            return false;
+        double new_power = estimateBinPower(bin, new_load);
+        if (new_power > bin.power_cap + 1e-12)
+            return false;
+        double delta = new_power - state[b].power;
+        if (!ledger.fits(b, delta))
+            return false;
+        ledger.apply(b, delta);
+        state[b].load = new_load;
+        state[b].power = new_power;
+        state[b].open = true;
+        result.assignment[item_idx] = bin.id;
+        return true;
+    };
+
+    for (size_t item_idx : order) {
+        const PackItem &item = items[item_idx];
+
+        // 1. Prefer the current host when it is already open (keeps the
+        //    migration count down without blocking consolidation).
+        auto cur_it = bin_index.find(item.current);
+        size_t cur_bin = cur_it != bin_index.end() ? cur_it->second
+                                                   : bins.size();
+        if (cur_bin < bins.size() && state[cur_bin].open &&
+            try_place(item_idx, cur_bin)) {
+            continue;
+        }
+
+        // 2. Best fit among open bins: tightest remaining capacity that
+        //    still fits.
+        size_t best = bins.size();
+        double best_slack = 0.0;
+        for (size_t b = 0; b < bins.size(); ++b) {
+            if (!state[b].open)
+                continue;
+            double slack = bins[b].capacity - state[b].load - item.load;
+            if (slack < -1e-12)
+                continue;
+            if (best == bins.size() || slack < best_slack) {
+                // Cheap pre-check; the authoritative check runs in
+                // try_place.
+                best = b;
+                best_slack = slack;
+            }
+        }
+        if (best < bins.size() && try_place(item_idx, best))
+            continue;
+        // The tightest bin may fail the power caps; scan the rest.
+        bool placed = false;
+        for (size_t b = 0; b < bins.size() && !placed; ++b) {
+            if (state[b].open && b != best)
+                placed = try_place(item_idx, b);
+        }
+        if (placed)
+            continue;
+
+        // 3. Open a new bin: the current host first, then on servers,
+        //    then off servers.
+        if (cur_bin < bins.size() && !state[cur_bin].open &&
+            try_place(item_idx, cur_bin)) {
+            continue;
+        }
+        for (size_t b : open_order) {
+            if (!state[b].open && b != cur_bin &&
+                try_place(item_idx, b)) {
+                placed = true;
+                break;
+            }
+        }
+        if (placed)
+            continue;
+
+        // 4. Nothing satisfies the constraints: leave the VM where it is
+        //    and mark the solution infeasible (the VMC will then keep the
+        //    current placement or act on the buffers next epoch).
+        result.feasible = false;
+        result.assignment[item_idx] = item.current;
+        if (cur_bin < bins.size()) {
+            double new_load = state[cur_bin].load + item.load;
+            double new_power = estimateBinPower(bins[cur_bin], new_load);
+            ledger.apply(cur_bin, new_power - state[cur_bin].power);
+            state[cur_bin].load = new_load;
+            state[cur_bin].power = new_power;
+            state[cur_bin].open = true;
+        }
+    }
+
+    result.est_power = ledger.groupPower();
+    for (const auto &s : state)
+        result.bins_used += s.open ? 1 : 0;
+    return result;
+}
+
+} // namespace controllers
+} // namespace nps

@@ -1,0 +1,107 @@
+#include "controllers/cooling_manager.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace nps {
+namespace controllers {
+
+CoolingManager::CoolingManager(sim::Cluster &cluster,
+                               std::vector<sim::CoolingZone> zones,
+                               const Params &params)
+    : cluster_(cluster),
+      zones_(std::move(zones)),
+      params_(params),
+      name_("CM")
+{
+    if (zones_.empty())
+        util::fatal("CM: no cooling zones");
+    if (params_.gain <= 0.0 || params_.gain > 1.0)
+        util::fatal("CM: gain %f out of (0,1]", params_.gain);
+    for (const auto &zone : zones_) {
+        for (sim::ServerId sid : zone.members()) {
+            if (sid >= cluster_.numServers())
+                util::fatal("CM: zone %s references server %u outside "
+                            "the cluster", zone.name().c_str(), sid);
+        }
+        if (params_.target_c >= zone.params().redline_c)
+            util::fatal("CM: target above zone %s redline",
+                        zone.name().c_str());
+    }
+}
+
+double
+CoolingManager::zoneItPower(size_t z) const
+{
+    double watts = 0.0;
+    for (sim::ServerId sid : zones_[z].members())
+        watts += cluster_.server(sid).lastPower();
+    return watts;
+}
+
+void
+CoolingManager::observe(size_t tick)
+{
+    (void)tick;
+    // Thermal integration runs every tick regardless of the control
+    // interval; the CRAC electric draw accumulates into the facility
+    // energy figure.
+    for (size_t z = 0; z < zones_.size(); ++z) {
+        zones_[z].step(zoneItPower(z));
+        cooling_energy_ += zones_[z].cracElectric();
+    }
+}
+
+void
+CoolingManager::step(size_t tick)
+{
+    (void)tick;
+    for (size_t z = 0; z < zones_.size(); ++z) {
+        sim::CoolingZone &zone = zones_[z];
+        // Feed-forward on the measured IT heat plus integral cleanup of
+        // the temperature error, with the gain scaled to the zone's
+        // physics so the loop pole is size-independent.
+        double ff = zone.requiredExtraction(zoneItPower(z),
+                                            params_.target_c);
+        double k = params_.gain * zone.params().thermal_mass /
+                   static_cast<double>(params_.period);
+        double error = zone.temperature() - params_.target_c;
+        double u = zone.extraction() + k * error;
+        // Never fall below the feed-forward when running hot.
+        if (error > 0.0)
+            u = std::max(u, ff);
+        zone.setExtraction(std::max(0.0, u));
+    }
+}
+
+double
+CoolingManager::lastCoolingPower() const
+{
+    double watts = 0.0;
+    for (const auto &zone : zones_)
+        watts += zone.cracElectric();
+    return watts;
+}
+
+double
+CoolingManager::hottestZone() const
+{
+    double hottest = 0.0;
+    for (const auto &zone : zones_)
+        hottest = std::max(hottest, zone.temperature());
+    return hottest;
+}
+
+bool
+CoolingManager::anyRedline() const
+{
+    for (const auto &zone : zones_) {
+        if (zone.redlined())
+            return true;
+    }
+    return false;
+}
+
+} // namespace controllers
+} // namespace nps

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Cooling Manager (CM): temperature control of the cooling zones — the
+ * cooling-domain peer of the power-capping hierarchy (Section 7 future
+ * work, realized).
+ *
+ * Per zone, an integral loop plus a feed-forward term drives the CRAC
+ * extraction so the zone air tracks a temperature target: the
+ * feed-forward matches the measured IT heat, and the integral term
+ * cleans up the residual error. Because the controller consumes only
+ * the zone's measured IT power and temperature, it composes with the
+ * power stack the same way the capping levels compose with each other:
+ * when coordination lowers IT power, cooling energy follows
+ * automatically.
+ */
+
+#ifndef NPS_CONTROLLERS_COOLING_MANAGER_H
+#define NPS_CONTROLLERS_COOLING_MANAGER_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/cluster.h"
+#include "sim/cooling.h"
+#include "sim/engine.h"
+
+namespace nps {
+namespace controllers {
+
+/**
+ * The facility-side cooling controller. Also owns the zones' thermal
+ * integration (their step() runs in observe(), every tick).
+ */
+class CoolingManager : public sim::Actor
+{
+  public:
+    /** Tunable parameters. */
+    struct Params
+    {
+        unsigned period = 10;    //!< CRAC adjustment interval
+        double target_c = 27.0;  //!< zone temperature target
+        /**
+         * Dimensionless integral gain in (0, 1]: the fraction of the
+         * temperature error corrected per control interval. The
+         * per-zone watts-per-degree gain is derived as
+         * gain * thermal_mass / period, so the loop pole is placed
+         * independently of the zone's physical size.
+         */
+        double gain = 0.5;
+    };
+
+    /**
+     * @param cluster The cluster whose servers heat the zones.
+     * @param zones   The cooling zones (ownership transferred).
+     * @param params  Controller parameters.
+     */
+    CoolingManager(sim::Cluster &cluster,
+                   std::vector<sim::CoolingZone> zones,
+                   const Params &params);
+
+    /// @name sim::Actor
+    /// @{
+    const std::string &name() const override { return name_; }
+    unsigned period() const override { return params_.period; }
+    void observe(size_t tick) override;
+    void step(size_t tick) override;
+    /// @}
+
+    /** The zones (for inspection). */
+    const std::vector<sim::CoolingZone> &zones() const { return zones_; }
+
+    /** Total CRAC electrical power in the last tick (watts). */
+    double lastCoolingPower() const;
+
+    /** Accumulated CRAC electrical energy (watt-ticks). */
+    double coolingEnergy() const { return cooling_energy_; }
+
+    /** Hottest zone temperature right now. */
+    double hottestZone() const;
+
+    /** True when any zone ever crossed its redline. */
+    bool anyRedline() const;
+
+  private:
+    /** IT power currently dumped into zone @p z. */
+    double zoneItPower(size_t z) const;
+
+    sim::Cluster &cluster_;
+    std::vector<sim::CoolingZone> zones_;
+    Params params_;
+    std::string name_;
+    double cooling_energy_ = 0.0;
+};
+
+} // namespace controllers
+} // namespace nps
+
+#endif // NPS_CONTROLLERS_COOLING_MANAGER_H

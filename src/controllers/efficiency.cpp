@@ -1,0 +1,98 @@
+#include "controllers/efficiency.h"
+
+#include "control/stability.h"
+#include "util/logging.h"
+
+namespace nps {
+namespace controllers {
+
+EfficiencyController::EfficiencyController(sim::Server &server,
+                                           const Params &params)
+    : ctl::ControlLoop("EC/" + std::to_string(server.id())),
+      server_(server),
+      params_(params),
+      name_("EC/" + std::to_string(server.id())),
+      freq_(server.spec().pstates().fastest().freq_mhz,
+            server.spec().pstates().slowest().freq_mhz,
+            server.spec().pstates().fastest().freq_mhz)
+{
+    if (params_.r_ref <= 0.0 || params_.r_ref >= 1.0)
+        util::fatal("EC: r_ref %f out of (0,1)", params_.r_ref);
+    if (!ctl::ecGainStable(params_.lambda, params_.r_ref)) {
+        util::warn("EC/%u: lambda %f violates the global stability bound "
+                   "1/r_ref = %f", server.id(), params_.lambda,
+                   ctl::ecLambdaBound(params_.r_ref));
+    }
+    setReference(params_.r_ref);
+}
+
+void
+EfficiencyController::step(size_t tick)
+{
+    (void)tick;
+    if (!server_.isOn(tick)) {
+        // Nothing to manage; reset to full speed so a rebooted machine
+        // comes back at P0, as firmware does.
+        freq_.setValue(freq_.hi());
+        return;
+    }
+    if (params_.objective == EcObjective::EnergyDelay) {
+        stepEnergyDelay();
+        return;
+    }
+    ControlLoop::step();
+}
+
+double
+EfficiencyController::measure()
+{
+    return server_.lastApparentUtil();
+}
+
+double
+EfficiencyController::control(double error, double measurement)
+{
+    // Consumed frequency f_C = r * f at the quantized operating point.
+    double f_c = measurement * server_.frequencyMhz();
+    double gain = params_.lambda * f_c / reference();
+    // f(k) = f(k-1) - gain * (r_ref - r): integral law on the frequency.
+    return freq_.update(-gain, error);
+}
+
+void
+EfficiencyController::actuate(double value)
+{
+    const auto &table = server_.spec().pstates();
+    size_t p = params_.quantize_up ? table.quantizeUp(value)
+                                   : table.quantizeNearest(value);
+    server_.setPState(p);
+}
+
+void
+EfficiencyController::stepEnergyDelay()
+{
+    // Estimate current real demand from the last measurement and pick the
+    // state minimizing power * delay ~ power / relSpeed, while keeping
+    // apparent utilization under the reference.
+    double demand = server_.lastRealUtil();
+    const auto &m = server_.model();
+    const auto &table = m.pstates();
+    size_t best = 0;
+    double best_score = 0.0;
+    bool have = false;
+    for (size_t p = 0; p < table.size(); ++p) {
+        if (m.apparentUtil(p, demand) > reference() && p != 0)
+            continue;
+        double score = m.powerForDemand(p, demand) / table.relSpeed(p);
+        if (!have || score < best_score) {
+            best = p;
+            best_score = score;
+            have = true;
+        }
+    }
+    server_.setPState(best);
+    freq_.setValue(table.at(best).freq_mhz);
+}
+
+} // namespace controllers
+} // namespace nps

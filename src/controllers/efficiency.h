@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Efficiency Controller (EC): per-server average-power tracking.
+ *
+ * The innermost loop of the architecture (Section 3.1). Treats the server
+ * as a container to be used at a target fraction r_ref of its capacity:
+ * utilization below target means the container can shrink, so the EC
+ * lowers the clock frequency (deeper P-state); utilization above target
+ * grows it again. The integral control law (Figure 6, Eq. EC) is
+ *
+ *     f(k) = f(k-1) - lambda * (f_C(k-1) / r_ref) * (r_ref - r(k-1))
+ *
+ * with the self-tuning gain lambda * f_C / r_ref and global stability for
+ * 0 < lambda < 1 / r_ref (Appendix A, Proposition A).
+ *
+ * Coordination: the SM actuates this loop solely through setReference().
+ */
+
+#ifndef NPS_CONTROLLERS_EFFICIENCY_H
+#define NPS_CONTROLLERS_EFFICIENCY_H
+
+#include <string>
+
+#include "control/integral.h"
+#include "control/loop.h"
+#include "sim/engine.h"
+#include "sim/server.h"
+
+namespace nps {
+namespace controllers {
+
+/**
+ * Objective variants of the EC (Section 6, extension 6).
+ */
+enum class EcObjective
+{
+    /** Track the utilization reference (the paper's base design). */
+    UtilizationTracking,
+    /**
+     * Minimize an energy-delay product estimate instead: pick the P-state
+     * minimizing power / relative-speed for the recent demand, subject to
+     * not saturating beyond the reference.
+     */
+    EnergyDelay,
+};
+
+/**
+ * The per-server efficiency controller.
+ */
+class EfficiencyController : public sim::Actor, public ctl::ControlLoop
+{
+  public:
+    /** Tunable parameters (defaults follow Figure 5). */
+    struct Params
+    {
+        double lambda = 0.8;     //!< scaling parameter of the gain
+        double r_ref = 0.75;     //!< initial utilization target
+        unsigned period = 1;     //!< control interval T_ec
+        EcObjective objective = EcObjective::UtilizationTracking;
+        /**
+         * When true (default) the continuous frequency is quantized to the
+         * slowest P-state that still covers it; when false, to the nearest
+         * P-state.
+         */
+        bool quantize_up = true;
+    };
+
+    /**
+     * @param server The managed server; must outlive the controller.
+     * @param params Controller parameters. fatal() when lambda violates
+     *               the global stability bound for the initial r_ref.
+     */
+    EfficiencyController(sim::Server &server, const Params &params);
+
+    /// @name sim::Actor
+    /// @{
+    const std::string &name() const override { return name_; }
+    unsigned period() const override { return params_.period; }
+    void step(size_t tick) override;
+    /// @}
+
+    /** The continuous (pre-quantization) frequency state, MHz. */
+    double continuousFreq() const { return freq_.value(); }
+
+    /** The managed server. */
+    const sim::Server &server() const { return server_; }
+
+    /** Active parameters. */
+    const Params &params() const { return params_; }
+
+  protected:
+    /// @name ctl::ControlLoop hooks
+    /// @{
+    double measure() override;
+    double control(double error, double measurement) override;
+    void actuate(double value) override;
+    /// @}
+
+  private:
+    /** One step of the energy-delay objective variant. */
+    void stepEnergyDelay();
+
+    sim::Server &server_;
+    Params params_;
+    std::string name_;
+    ctl::IntegralController freq_;
+};
+
+} // namespace controllers
+} // namespace nps
+
+#endif // NPS_CONTROLLERS_EFFICIENCY_H

@@ -1,0 +1,72 @@
+#include "controllers/electrical_capper.h"
+
+#include "util/logging.h"
+
+namespace nps {
+namespace controllers {
+
+ElectricalCapper::ElectricalCapper(sim::Server &server, double limit_watts,
+                                   const Params &params)
+    : server_(server),
+      limit_(limit_watts),
+      params_(params),
+      name_("CAP/" + std::to_string(server.id()))
+{
+    if (limit_ <= 0.0)
+        util::fatal("CAP/%u: non-positive limit", server.id());
+}
+
+void
+ElectricalCapper::observe(size_t tick)
+{
+    if (server_.platformPower(tick) != sim::PlatformPower::Off)
+        record(server_.lastPower() > limit_ + 1e-9);
+}
+
+void
+ElectricalCapper::step(size_t tick)
+{
+    if (!server_.isOn(tick)) {
+        clamping_ = false;
+        return;
+    }
+
+    const auto &m = server_.model();
+    double demand = server_.lastRealUtil();
+    size_t chosen = server_.pstate();
+
+    if (server_.lastPower() > limit_) {
+        // Clamp: the fastest state predicted to respect the limit for
+        // the current load; fall back to the slowest state.
+        size_t p = chosen;
+        size_t slowest = m.pstates().slowestIndex();
+        while (p < slowest && m.powerForDemand(p, demand) > limit_)
+            ++p;
+        server_.setPState(p);
+        clamping_ = true;
+        return;
+    }
+
+    if (clamping_) {
+        // Gradual release: step one state faster only while the
+        // prediction stays inside the hysteresis margin, and hand
+        // authority back to the EC once P0 itself is safe. Releasing in
+        // one jump would let the EC re-trip the limit immediately.
+        double headroom = limit_ * (1.0 - params_.release_margin);
+        size_t p = server_.pstate();
+        // A saturated server's measured consumption understates the true
+        // demand, so the prediction for the faster state cannot be
+        // trusted — hold the clamp.
+        bool saturated = server_.lastApparentUtil() >= 0.98;
+        if (!saturated && p > 0 &&
+            m.powerForDemand(p - 1, demand) <= headroom) {
+            server_.setPState(p - 1);
+            p = p - 1;
+        }
+        if (p == 0 && m.powerForDemand(0, demand) <= headroom)
+            clamping_ = false;
+    }
+}
+
+} // namespace controllers
+} // namespace nps

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Electrical power capper (CAP): the optional fast overwriter of Figure 2
+ * and Section 6, extension (2).
+ *
+ * Thermal budgets tolerate bounded transient violations; an *electrical*
+ * budget (a fuse) does not. The CAP therefore runs in parallel with the
+ * EC on the fastest loop and clamps the P-state directly — bypassing the
+ * nested r_ref channel — whenever measured power exceeds the electrical
+ * limit, choosing the fastest state whose predicted power at the current
+ * load stays under the limit. It releases its clamp (returns authority to
+ * the EC) as soon as the EC's own choice is safe again.
+ */
+
+#ifndef NPS_CONTROLLERS_ELECTRICAL_CAPPER_H
+#define NPS_CONTROLLERS_ELECTRICAL_CAPPER_H
+
+#include <string>
+
+#include "controllers/server_manager.h"
+#include "sim/engine.h"
+#include "sim/server.h"
+
+namespace nps {
+namespace controllers {
+
+/**
+ * The per-server electrical capper.
+ */
+class ElectricalCapper : public sim::Actor, public ViolationTracker
+{
+  public:
+    /** Tunable parameters. */
+    struct Params
+    {
+        unsigned period = 1;  //!< fastest loop in the architecture
+        /**
+         * Release hysteresis: the clamp is lifted only when the EC's
+         * desired state is predicted to stay this fraction below the
+         * limit.
+         */
+        double release_margin = 0.05;
+    };
+
+    /**
+     * @param server The managed server.
+     * @param limit_watts The hard electrical limit.
+     * @param params Controller parameters.
+     */
+    ElectricalCapper(sim::Server &server, double limit_watts,
+                     const Params &params);
+
+    /// @name sim::Actor
+    /// @{
+    const std::string &name() const override { return name_; }
+    unsigned period() const override { return params_.period; }
+    void observe(size_t tick) override;
+    void step(size_t tick) override;
+    /// @}
+
+    /** The electrical limit (watts). */
+    double limit() const { return limit_; }
+
+    /** True while the capper is overriding the EC's P-state choice. */
+    bool clamping() const { return clamping_; }
+
+  private:
+    sim::Server &server_;
+    double limit_;
+    Params params_;
+    std::string name_;
+    bool clamping_ = false;
+};
+
+} // namespace controllers
+} // namespace nps
+
+#endif // NPS_CONTROLLERS_ELECTRICAL_CAPPER_H

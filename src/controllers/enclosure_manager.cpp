@@ -1,0 +1,96 @@
+#include "controllers/enclosure_manager.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace nps {
+namespace controllers {
+
+EnclosureManager::EnclosureManager(sim::Cluster &cluster,
+                                   sim::EnclosureId enclosure,
+                                   std::vector<ServerManager *> blades,
+                                   double static_cap, const Params &params)
+    : cluster_(cluster),
+      enclosure_(enclosure),
+      blades_(std::move(blades)),
+      static_cap_(static_cap),
+      dynamic_cap_(static_cap),
+      params_(params),
+      name_("EM/" + std::to_string(enclosure)),
+      rng_(params.seed, name_),
+      demand_ewma_(blades_.size(), 0.0),
+      history_ewma_(blades_.size(), 0.0)
+{
+    if (blades_.empty())
+        util::fatal("EM/%u: no blades", enclosure_);
+    if (static_cap_ <= 0.0)
+        util::fatal("EM/%u: non-positive static cap", enclosure_);
+    for (auto *sm : blades_) {
+        if (!sm)
+            util::fatal("EM/%u: null blade SM", enclosure_);
+    }
+    if (params_.policy == DivisionPolicy::Priority &&
+        params_.priorities.size() != blades_.size()) {
+        util::fatal("EM/%u: Priority policy needs one priority per blade",
+                    enclosure_);
+    }
+}
+
+void
+EnclosureManager::setBudget(double watts)
+{
+    if (watts <= 0.0)
+        util::fatal("EM/%u: non-positive budget recommendation",
+                    enclosure_);
+    dynamic_cap_ = watts;
+}
+
+double
+EnclosureManager::effectiveCap() const
+{
+    return std::min(static_cap_, dynamic_cap_);
+}
+
+void
+EnclosureManager::observe(size_t tick)
+{
+    (void)tick;
+    // Violations are reported against the static CAP_ENC — the physical
+    // limit of the enclosure's power delivery and cooling.
+    record(cluster_.lastEnclosurePower(enclosure_) >
+           static_cap_ + 1e-9);
+
+    double a_short = 1.0 / params_.demand_horizon;
+    double a_long = 1.0 / params_.history_horizon;
+    for (size_t i = 0; i < blades_.size(); ++i) {
+        double p = blades_[i]->server().lastPower();
+        demand_ewma_[i] += a_short * (p - demand_ewma_[i]);
+        history_ewma_[i] += a_long * (p - history_ewma_[i]);
+    }
+}
+
+void
+EnclosureManager::step(size_t tick)
+{
+    DivisionInput in;
+    in.budget = effectiveCap();
+    in.demands = params_.policy == DivisionPolicy::History ? history_ewma_
+                                                           : demand_ewma_;
+    in.priorities = params_.priorities;
+    for (auto *sm : blades_) {
+        // Platform-state-aware bounds: a live blade cannot draw less
+        // than its deepest idle power (granting less guarantees a
+        // violation), and a powered-off blade is pinned at its residual
+        // draw so no policy wastes budget on dark machines.
+        GrantBounds gb = grantBounds(sm->server(), tick);
+        in.maxima.push_back(gb.max);
+        in.floors.push_back(gb.floor);
+    }
+    last_grants_ = divideBudget(params_.policy, in, &rng_);
+    for (size_t i = 0; i < blades_.size(); ++i)
+        blades_[i]->setBudget(std::max(last_grants_[i], 1e-6));
+}
+
+} // namespace controllers
+} // namespace nps

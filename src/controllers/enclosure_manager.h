@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Enclosure Manager (EM): power capping across the blades of one
+ * enclosure.
+ *
+ * Each interval the EM compares the enclosure's power draw with its
+ * effective budget and re-provisions per-blade budgets for the next epoch
+ * (Eq. EM: proportional share by default; other policies pluggable). The
+ * blades' SMs take the min of this recommendation and their own local
+ * budget — that min() *is* the coordination interface.
+ */
+
+#ifndef NPS_CONTROLLERS_ENCLOSURE_MANAGER_H
+#define NPS_CONTROLLERS_ENCLOSURE_MANAGER_H
+
+#include <string>
+#include <vector>
+
+#include "controllers/policies.h"
+#include "controllers/server_manager.h"
+#include "sim/cluster.h"
+#include "sim/engine.h"
+#include "util/random.h"
+
+namespace nps {
+namespace controllers {
+
+/**
+ * The per-enclosure power capper.
+ */
+class EnclosureManager : public sim::Actor, public ViolationTracker
+{
+  public:
+    /** Tunable parameters (defaults follow Figure 5). */
+    struct Params
+    {
+        unsigned period = 25;  //!< control interval T_em
+        DivisionPolicy policy = DivisionPolicy::Proportional;
+        /** Per-blade priorities (Priority policy only; defaults to 0). */
+        std::vector<int> priorities;
+        uint64_t seed = 1;     //!< RNG seed (Random policy)
+        /** Smoothing horizon (ticks) of the short demand estimate. */
+        double demand_horizon = 10.0;
+        /** Smoothing horizon of the History policy's long estimate. */
+        double history_horizon = 200.0;
+    };
+
+    /**
+     * @param cluster    The cluster (for power sensors and budget data).
+     * @param enclosure  Which enclosure this EM manages.
+     * @param blades     The SMs of the member blades, in member order.
+     * @param static_cap The enclosure's own budget CAP_ENC.
+     * @param params     Controller parameters.
+     */
+    EnclosureManager(sim::Cluster &cluster, sim::EnclosureId enclosure,
+                     std::vector<ServerManager *> blades,
+                     double static_cap, const Params &params);
+
+    /// @name sim::Actor
+    /// @{
+    const std::string &name() const override { return name_; }
+    unsigned period() const override { return params_.period; }
+    void observe(size_t tick) override;
+    void step(size_t tick) override;
+    /// @}
+
+    /** Budget recommendation from the GM; effective = min(static, it). */
+    void setBudget(double watts);
+
+    /** The budget currently being enforced. */
+    double effectiveCap() const;
+
+    /** The enclosure's own static budget CAP_ENC. */
+    double staticCap() const { return static_cap_; }
+
+    /** The managed enclosure id. */
+    sim::EnclosureId enclosureId() const { return enclosure_; }
+
+    /** The most recent per-blade grants (empty before the first step). */
+    const std::vector<double> &lastGrants() const { return last_grants_; }
+
+  private:
+    sim::Cluster &cluster_;
+    sim::EnclosureId enclosure_;
+    std::vector<ServerManager *> blades_;
+    double static_cap_;
+    double dynamic_cap_;
+    Params params_;
+    std::string name_;
+    util::Rng rng_;
+    std::vector<double> demand_ewma_;
+    std::vector<double> history_ewma_;
+    std::vector<double> last_grants_;
+};
+
+} // namespace controllers
+} // namespace nps
+
+#endif // NPS_CONTROLLERS_ENCLOSURE_MANAGER_H

@@ -1,0 +1,83 @@
+#include "controllers/forecast.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace nps {
+namespace controllers {
+
+const char *
+forecastMethodName(ForecastMethod method)
+{
+    switch (method) {
+      case ForecastMethod::LastValue:  return "last";
+      case ForecastMethod::Ewma:       return "ewma";
+      case ForecastMethod::HoltLinear: return "holt";
+    }
+    return "?";
+}
+
+DemandForecaster::DemandForecaster(const Params &params)
+    : params_(params)
+{
+    if (params_.alpha <= 0.0 || params_.alpha > 1.0)
+        util::fatal("DemandForecaster: alpha %f out of (0,1]",
+                    params_.alpha);
+    if (params_.beta < 0.0 || params_.beta > 1.0)
+        util::fatal("DemandForecaster: beta %f out of [0,1]",
+                    params_.beta);
+}
+
+void
+DemandForecaster::observe(double value)
+{
+    if (count_ == 0) {
+        level_ = value;
+        trend_ = 0.0;
+        ++count_;
+        return;
+    }
+    switch (params_.method) {
+      case ForecastMethod::LastValue:
+        level_ = value;
+        break;
+      case ForecastMethod::Ewma:
+        level_ += params_.alpha * (value - level_);
+        break;
+      case ForecastMethod::HoltLinear: {
+        double prev_level = level_;
+        level_ = params_.alpha * value +
+                 (1.0 - params_.alpha) * (level_ + trend_);
+        trend_ = params_.beta * (level_ - prev_level) +
+                 (1.0 - params_.beta) * trend_;
+        break;
+      }
+    }
+    ++count_;
+}
+
+double
+DemandForecaster::forecast(size_t horizon) const
+{
+    if (count_ == 0)
+        return 0.0;
+    if (horizon == 0)
+        util::fatal("DemandForecaster::forecast: zero horizon");
+    double h = static_cast<double>(horizon);
+    double value = params_.method == ForecastMethod::HoltLinear
+                       ? level_ + h * trend_
+                       : level_;
+    return std::max(0.0, value);
+}
+
+void
+DemandForecaster::reset()
+{
+    level_ = 0.0;
+    trend_ = 0.0;
+    count_ = 0;
+}
+
+} // namespace controllers
+} // namespace nps

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Demand forecasting for predictive placement.
+ *
+ * Figure 1 describes the EC as matching "estimated future demand", and
+ * the paper's future-work section points at richer prediction. This
+ * module provides the standard light-weight forecasters used in
+ * capacity management — last-value, exponential smoothing, and Holt's
+ * linear (level + trend) method — so the VMC can pack against the
+ * *next* epoch's expected demand instead of the last epoch's average,
+ * anticipating ramps instead of chasing them.
+ */
+
+#ifndef NPS_CONTROLLERS_FORECAST_H
+#define NPS_CONTROLLERS_FORECAST_H
+
+#include <cstddef>
+
+namespace nps {
+namespace controllers {
+
+/** Available forecasting methods. */
+enum class ForecastMethod
+{
+    LastValue,   //!< naive: tomorrow looks like today
+    Ewma,        //!< exponential smoothing (level only)
+    HoltLinear,  //!< double exponential smoothing (level + trend)
+};
+
+/** @return a short name for a method ("last", "ewma", "holt"). */
+const char *forecastMethodName(ForecastMethod method);
+
+/**
+ * One scalar demand series forecaster.
+ */
+class DemandForecaster
+{
+  public:
+    /** Tunable parameters. */
+    struct Params
+    {
+        ForecastMethod method = ForecastMethod::HoltLinear;
+        double alpha = 0.4;  //!< level smoothing factor, in (0,1]
+        double beta = 0.2;   //!< trend smoothing factor, in [0,1]
+    };
+
+    /** Construct with validated parameters (fatal() on bad factors). */
+    explicit DemandForecaster(const Params &params);
+
+    /** Feed one observation (the newest value of the series). */
+    void observe(double value);
+
+    /**
+     * Predict the series @p horizon steps past the last observation
+     * (horizon >= 1). Before any observation, returns 0. Forecasts are
+     * clamped at 0 from below (demand cannot be negative).
+     */
+    double forecast(size_t horizon = 1) const;
+
+    /** Number of observations so far. */
+    size_t observations() const { return count_; }
+
+    /** Current smoothed level. */
+    double level() const { return level_; }
+
+    /** Current smoothed trend (0 unless HoltLinear). */
+    double trend() const { return trend_; }
+
+    /** Forget all history. */
+    void reset();
+
+  private:
+    Params params_;
+    double level_ = 0.0;
+    double trend_ = 0.0;
+    size_t count_ = 0;
+};
+
+} // namespace controllers
+} // namespace nps
+
+#endif // NPS_CONTROLLERS_FORECAST_H

@@ -1,0 +1,150 @@
+#include "controllers/group_manager.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace nps {
+namespace controllers {
+
+GroupManager::GroupManager(sim::Cluster &cluster,
+                           std::vector<EnclosureManager *> enclosures,
+                           std::vector<ServerManager *> standalone,
+                           std::vector<ServerManager *> all_servers,
+                           double static_cap, const Params &params)
+    : cluster_(cluster),
+      enclosures_(std::move(enclosures)),
+      standalone_(std::move(standalone)),
+      all_servers_(std::move(all_servers)),
+      static_cap_(static_cap),
+      params_(params),
+      name_("GM"),
+      rng_(params.seed, name_),
+      child_demand_(enclosures_.size() + standalone_.size(), 0.0),
+      child_history_(enclosures_.size() + standalone_.size(), 0.0),
+      server_demand_(all_servers_.size(), 0.0),
+      server_history_(all_servers_.size(), 0.0)
+{
+    if (static_cap_ <= 0.0)
+        util::fatal("GM: non-positive static cap");
+    if (all_servers_.empty())
+        util::fatal("GM: no servers");
+    for (auto *em : enclosures_) {
+        if (!em)
+            util::fatal("GM: null EM child");
+    }
+    for (auto *sm : standalone_) {
+        if (!sm)
+            util::fatal("GM: null standalone SM child");
+    }
+    size_t n_children = enclosures_.size() + standalone_.size();
+    if (params_.policy == DivisionPolicy::Priority &&
+        params_.priorities.size() != n_children &&
+        params_.priorities.size() != all_servers_.size()) {
+        util::fatal("GM: Priority policy needs one priority per child");
+    }
+}
+
+void
+GroupManager::observe(size_t tick)
+{
+    (void)tick;
+    record(cluster_.lastTick().total_power > static_cap_ + 1e-9);
+
+    double a_short = 1.0 / params_.demand_horizon;
+    double a_long = 1.0 / params_.history_horizon;
+
+    size_t c = 0;
+    for (auto *em : enclosures_) {
+        double p = cluster_.lastEnclosurePower(em->enclosureId());
+        child_demand_[c] += a_short * (p - child_demand_[c]);
+        child_history_[c] += a_long * (p - child_history_[c]);
+        ++c;
+    }
+    for (auto *sm : standalone_) {
+        double p = sm->server().lastPower();
+        child_demand_[c] += a_short * (p - child_demand_[c]);
+        child_history_[c] += a_long * (p - child_history_[c]);
+        ++c;
+    }
+    for (size_t i = 0; i < all_servers_.size(); ++i) {
+        double p = all_servers_[i]->server().lastPower();
+        server_demand_[i] += a_short * (p - server_demand_[i]);
+        server_history_[i] += a_long * (p - server_history_[i]);
+    }
+}
+
+void
+GroupManager::step(size_t tick)
+{
+    if (params_.mode == Mode::Coordinated)
+        stepCoordinated(tick);
+    else
+        stepUncoordinated(tick);
+}
+
+void
+GroupManager::stepCoordinated(size_t tick)
+{
+    DivisionInput in;
+    in.budget = static_cap_;
+    in.demands = params_.policy == DivisionPolicy::History
+                     ? child_history_
+                     : child_demand_;
+    if (params_.priorities.size() == child_demand_.size())
+        in.priorities = params_.priorities;
+
+    for (auto *em : enclosures_) {
+        // Aggregate the platform-state-aware bounds of the member
+        // blades: a half-dark enclosure neither needs nor can use its
+        // nameplate maximum.
+        double floor = 0.0, max_pow = 0.0;
+        for (sim::ServerId sid :
+             cluster_.enclosure(em->enclosureId()).members()) {
+            GrantBounds gb = grantBounds(cluster_.server(sid), tick);
+            floor += gb.floor;
+            max_pow += gb.max;
+        }
+        in.maxima.push_back(max_pow);
+        in.floors.push_back(floor);
+    }
+    for (auto *sm : standalone_) {
+        GrantBounds gb = grantBounds(sm->server(), tick);
+        in.maxima.push_back(gb.max);
+        in.floors.push_back(gb.floor);
+    }
+
+    last_grants_ = divideBudget(params_.policy, in, &rng_);
+
+    size_t c = 0;
+    for (auto *em : enclosures_)
+        em->setBudget(std::max(last_grants_[c++], 1e-6));
+    for (auto *sm : standalone_)
+        sm->setBudget(std::max(last_grants_[c++], 1e-6));
+}
+
+void
+GroupManager::stepUncoordinated(size_t tick)
+{
+    // A solo group capper knows only servers; it pushes per-server
+    // budgets straight to every iLO, overwriting any EM allocation.
+    DivisionInput in;
+    in.budget = static_cap_;
+    in.demands = params_.policy == DivisionPolicy::History
+                     ? server_history_
+                     : server_demand_;
+    if (params_.priorities.size() == all_servers_.size())
+        in.priorities = params_.priorities;
+
+    for (auto *sm : all_servers_) {
+        GrantBounds gb = grantBounds(sm->server(), tick);
+        in.maxima.push_back(gb.max);
+        in.floors.push_back(gb.floor);
+    }
+    last_grants_ = divideBudget(params_.policy, in, &rng_);
+    for (size_t i = 0; i < all_servers_.size(); ++i)
+        all_servers_[i]->setBudget(std::max(last_grants_[i], 1e-6));
+}
+
+} // namespace controllers
+} // namespace nps

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Group Manager (GM): power capping at the rack / data-center level.
+ *
+ * Works like the EM one level up (Eq. GMs): each interval it divides the
+ * group budget among its children — blade enclosures (through their EMs)
+ * and standalone servers (through their SMs) — proportionally to their
+ * recent power by default.
+ *
+ * Coordinated mode respects the hierarchy: enclosure grants go to the EM,
+ * which subdivides among its blades. Uncoordinated mode models a solo
+ * group capper from a different vendor that is blind to the EMs: it
+ * assigns per-*server* budgets directly to every server, silently
+ * overwriting whatever the EMs set — the actuator overlap the paper calls
+ * the most insidious coordination failure.
+ */
+
+#ifndef NPS_CONTROLLERS_GROUP_MANAGER_H
+#define NPS_CONTROLLERS_GROUP_MANAGER_H
+
+#include <string>
+#include <vector>
+
+#include "controllers/enclosure_manager.h"
+#include "controllers/policies.h"
+#include "controllers/server_manager.h"
+#include "sim/cluster.h"
+#include "sim/engine.h"
+#include "util/random.h"
+
+namespace nps {
+namespace controllers {
+
+/**
+ * The group-level power capper.
+ */
+class GroupManager : public sim::Actor, public ViolationTracker
+{
+  public:
+    /** Operating mode (see file comment). */
+    enum class Mode
+    {
+        Coordinated,
+        Uncoordinated,
+    };
+
+    /** Tunable parameters (defaults follow Figure 5). */
+    struct Params
+    {
+        unsigned period = 50;  //!< control interval T_grp
+        DivisionPolicy policy = DivisionPolicy::Proportional;
+        /** Per-child priorities (Priority policy only). */
+        std::vector<int> priorities;
+        uint64_t seed = 2;     //!< RNG seed (Random policy)
+        double demand_horizon = 20.0;   //!< short smoothing (ticks)
+        double history_horizon = 400.0; //!< History policy smoothing
+        Mode mode = Mode::Coordinated;
+    };
+
+    /**
+     * @param cluster     The cluster.
+     * @param enclosures  EMs of all enclosures (coordinated children).
+     * @param standalone  SMs of the standalone servers.
+     * @param all_servers SMs of *every* server, in server-id order (used
+     *                    by the uncoordinated direct-to-server mode).
+     * @param static_cap  The group budget CAP_GRP.
+     * @param params      Controller parameters.
+     */
+    GroupManager(sim::Cluster &cluster,
+                 std::vector<EnclosureManager *> enclosures,
+                 std::vector<ServerManager *> standalone,
+                 std::vector<ServerManager *> all_servers,
+                 double static_cap, const Params &params);
+
+    /// @name sim::Actor
+    /// @{
+    const std::string &name() const override { return name_; }
+    unsigned period() const override { return params_.period; }
+    void observe(size_t tick) override;
+    void step(size_t tick) override;
+    /// @}
+
+    /** The group budget CAP_GRP. */
+    double staticCap() const { return static_cap_; }
+
+    /** The most recent per-child grants (coordinated mode). */
+    const std::vector<double> &lastGrants() const { return last_grants_; }
+
+  private:
+    /** Coordinated step: divide among enclosures + standalone servers. */
+    void stepCoordinated(size_t tick);
+
+    /** Uncoordinated step: divide among all servers directly. */
+    void stepUncoordinated(size_t tick);
+
+    sim::Cluster &cluster_;
+    std::vector<EnclosureManager *> enclosures_;
+    std::vector<ServerManager *> standalone_;
+    std::vector<ServerManager *> all_servers_;
+    double static_cap_;
+    Params params_;
+    std::string name_;
+    util::Rng rng_;
+    /** Child power estimates: coordinated children then all servers. */
+    std::vector<double> child_demand_;
+    std::vector<double> child_history_;
+    std::vector<double> server_demand_;
+    std::vector<double> server_history_;
+    std::vector<double> last_grants_;
+};
+
+} // namespace controllers
+} // namespace nps
+
+#endif // NPS_CONTROLLERS_GROUP_MANAGER_H

@@ -1,0 +1,47 @@
+#include "controllers/memory_manager.h"
+
+#include "util/logging.h"
+
+namespace nps {
+namespace controllers {
+
+MemoryManager::MemoryManager(sim::Server &server, const Params &params)
+    : server_(server),
+      params_(params),
+      name_("MM/" + std::to_string(server.id()))
+{
+    if (params_.engage_below >= params_.release_above)
+        util::fatal("MM/%u: engage threshold %f must sit below the "
+                    "release threshold %f", server.id(),
+                    params_.engage_below, params_.release_above);
+}
+
+void
+MemoryManager::step(size_t tick)
+{
+    if (!server_.isOn(tick)) {
+        server_.setMemLowPower(false);
+        quiet_steps_ = 0;
+        return;
+    }
+    double util = server_.lastApparentUtil();
+    if (server_.memLowPower()) {
+        if (util > params_.release_above) {
+            server_.setMemLowPower(false);
+            quiet_steps_ = 0;
+        }
+        return;
+    }
+    if (util < params_.engage_below) {
+        if (++quiet_steps_ >= params_.engage_patience) {
+            server_.setMemLowPower(true);
+            ++engagements_;
+            quiet_steps_ = 0;
+        }
+    } else {
+        quiet_steps_ = 0;
+    }
+}
+
+} // namespace controllers
+} // namespace nps

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Memory Manager (MM): the multi-actuator extension of Section 6 (3) —
+ * "multiple actuators at a given level (e.g., CPU, memory, and disk
+ * power controllers interacting at the platform level)".
+ *
+ * A second per-server actuator next to the EC's P-state knob: engages
+ * the platform's memory low-power mode (a fixed power trim at a small
+ * capacity cost) whenever utilization has stayed comfortably below a
+ * threshold, and releases it with hysteresis when load returns. The
+ * interaction with the EC needs no explicit protocol: the MM's capacity
+ * cost shows up in the utilization the EC measures, so the nested loops
+ * compose the same way the SM/EC pair does — the multi-input,
+ * single-metric special case of a MIMO design.
+ */
+
+#ifndef NPS_CONTROLLERS_MEMORY_MANAGER_H
+#define NPS_CONTROLLERS_MEMORY_MANAGER_H
+
+#include <string>
+
+#include "sim/engine.h"
+#include "sim/server.h"
+
+namespace nps {
+namespace controllers {
+
+/**
+ * The per-server memory low-power controller.
+ */
+class MemoryManager : public sim::Actor
+{
+  public:
+    /** Tunable parameters. */
+    struct Params
+    {
+        unsigned period = 10;       //!< control interval
+        /** Engage when apparent utilization stays below this. */
+        double engage_below = 0.55;
+        /** Release when apparent utilization rises above this. */
+        double release_above = 0.80;
+        /** Consecutive qualifying steps required before engaging. */
+        unsigned engage_patience = 3;
+    };
+
+    /** @param server the managed server; must outlive the controller. */
+    MemoryManager(sim::Server &server, const Params &params);
+
+    /// @name sim::Actor
+    /// @{
+    const std::string &name() const override { return name_; }
+    unsigned period() const override { return params_.period; }
+    void step(size_t tick) override;
+    /// @}
+
+    /** Active parameters. */
+    const Params &params() const { return params_; }
+
+    /** Number of engage transitions performed. */
+    unsigned long engagements() const { return engagements_; }
+
+  private:
+    sim::Server &server_;
+    Params params_;
+    std::string name_;
+    unsigned quiet_steps_ = 0;
+    unsigned long engagements_ = 0;
+};
+
+} // namespace controllers
+} // namespace nps
+
+#endif // NPS_CONTROLLERS_MEMORY_MANAGER_H

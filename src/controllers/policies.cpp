@@ -1,0 +1,199 @@
+#include "controllers/policies.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.h"
+#include "util/stats.h"
+
+namespace nps {
+namespace controllers {
+
+const char *
+policyName(DivisionPolicy policy)
+{
+    switch (policy) {
+      case DivisionPolicy::Proportional: return "prop";
+      case DivisionPolicy::Equal:        return "equal";
+      case DivisionPolicy::Priority:     return "prio";
+      case DivisionPolicy::Fifo:         return "fifo";
+      case DivisionPolicy::Random:       return "random";
+      case DivisionPolicy::History:      return "history";
+    }
+    return "?";
+}
+
+namespace {
+
+void
+validate(const DivisionInput &in)
+{
+    size_t n = in.demands.size();
+    if (n == 0)
+        util::fatal("divideBudget: no children");
+    if (in.maxima.size() != n || in.floors.size() != n)
+        util::fatal("divideBudget: inconsistent input sizes");
+    if (in.budget < 0.0)
+        util::fatal("divideBudget: negative budget");
+    for (size_t i = 0; i < n; ++i) {
+        if (in.maxima[i] < 0.0 || in.floors[i] < 0.0 ||
+            in.floors[i] > in.maxima[i]) {
+            util::fatal("divideBudget: bad floor/max for child %zu", i);
+        }
+        if (in.demands[i] < 0.0)
+            util::fatal("divideBudget: negative demand for child %zu", i);
+    }
+}
+
+/**
+ * Share-based division: grants proportional to weights, honoring floors
+ * and maxima, then water-fill any leftover into unclamped children.
+ */
+std::vector<double>
+shareDivide(const DivisionInput &in, const std::vector<double> &weights)
+{
+    size_t n = in.demands.size();
+    std::vector<double> grant(n, 0.0);
+
+    double total_floor = std::accumulate(in.floors.begin(),
+                                         in.floors.end(), 0.0);
+    if (total_floor >= in.budget && total_floor > 0.0) {
+        // Infeasible floors: scale them down to fit.
+        double scale = in.budget / total_floor;
+        for (size_t i = 0; i < n; ++i)
+            grant[i] = in.floors[i] * scale;
+        return grant;
+    }
+
+    // Start everyone at their floor; divide the rest by weight.
+    grant = in.floors;
+    double remaining = in.budget - total_floor;
+    std::vector<bool> capped(n, false);
+
+    // Each pass either distributes everything or caps at least one more
+    // child, so n+1 passes always suffice.
+    const int max_passes = static_cast<int>(n) + 1;
+    for (int pass = 0; pass < max_passes && remaining > 1e-9; ++pass) {
+        double weight_sum = 0.0;
+        for (size_t i = 0; i < n; ++i) {
+            if (!capped[i])
+                weight_sum += weights[i];
+        }
+        if (weight_sum <= 0.0) {
+            // Degenerate weights: spread equally over uncapped children.
+            size_t open = 0;
+            for (size_t i = 0; i < n; ++i)
+                open += capped[i] ? 0 : 1;
+            if (open == 0)
+                break;
+            double each = remaining / static_cast<double>(open);
+            double given = 0.0;
+            for (size_t i = 0; i < n; ++i) {
+                if (capped[i])
+                    continue;
+                double add = std::min(each, in.maxima[i] - grant[i]);
+                grant[i] += add;
+                given += add;
+                if (grant[i] >= in.maxima[i] - 1e-12)
+                    capped[i] = true;
+            }
+            remaining -= given;
+            continue;
+        }
+        double given = 0.0;
+        for (size_t i = 0; i < n; ++i) {
+            if (capped[i])
+                continue;
+            double want = remaining * weights[i] / weight_sum;
+            double add = std::min(want, in.maxima[i] - grant[i]);
+            grant[i] += add;
+            given += add;
+            if (grant[i] >= in.maxima[i] - 1e-12)
+                capped[i] = true;
+        }
+        remaining -= given;
+        if (given <= 1e-12)
+            break;
+    }
+    return grant;
+}
+
+/**
+ * Greedy division in the given visiting order: each child gets as much as
+ * possible, subject to reserving the floors of the children still to come.
+ */
+std::vector<double>
+greedyDivide(const DivisionInput &in, const std::vector<size_t> &order)
+{
+    size_t n = in.demands.size();
+    std::vector<double> grant(n, 0.0);
+
+    double total_floor = std::accumulate(in.floors.begin(),
+                                         in.floors.end(), 0.0);
+    if (total_floor >= in.budget && total_floor > 0.0) {
+        double scale = in.budget / total_floor;
+        for (size_t i = 0; i < n; ++i)
+            grant[i] = in.floors[i] * scale;
+        return grant;
+    }
+
+    double remaining = in.budget;
+    double floors_ahead = total_floor;
+    for (size_t rank = 0; rank < n; ++rank) {
+        size_t i = order[rank];
+        floors_ahead -= in.floors[i];
+        double avail = remaining - floors_ahead;
+        grant[i] = util::clamp(avail, in.floors[i], in.maxima[i]);
+        remaining -= grant[i];
+    }
+    return grant;
+}
+
+} // namespace
+
+std::vector<double>
+divideBudget(DivisionPolicy policy, const DivisionInput &in, util::Rng *rng)
+{
+    validate(in);
+    size_t n = in.demands.size();
+
+    switch (policy) {
+      case DivisionPolicy::Proportional:
+      case DivisionPolicy::History:
+        // History differs only in the horizon of the demand estimate the
+        // caller feeds in; the division math is identical.
+        return shareDivide(in, in.demands);
+      case DivisionPolicy::Equal: {
+        std::vector<double> ones(n, 1.0);
+        return shareDivide(in, ones);
+      }
+      case DivisionPolicy::Priority: {
+        if (in.priorities.size() != n)
+            util::fatal("divideBudget: Priority needs priorities");
+        std::vector<size_t> order(n);
+        std::iota(order.begin(), order.end(), 0);
+        std::stable_sort(order.begin(), order.end(),
+                         [&](size_t a, size_t b) {
+                             return in.priorities[a] > in.priorities[b];
+                         });
+        return greedyDivide(in, order);
+      }
+      case DivisionPolicy::Fifo: {
+        std::vector<size_t> order(n);
+        std::iota(order.begin(), order.end(), 0);
+        return greedyDivide(in, order);
+      }
+      case DivisionPolicy::Random: {
+        if (!rng)
+            util::fatal("divideBudget: Random needs an Rng");
+        std::vector<size_t> order(n);
+        std::iota(order.begin(), order.end(), 0);
+        rng->shuffle(order.begin(), order.end());
+        return greedyDivide(in, order);
+      }
+    }
+    util::panic("divideBudget: unreachable");
+}
+
+} // namespace controllers
+} // namespace nps

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Budget-division policies for the enclosure and group managers.
+ *
+ * "The actual division of the total enclosure power budget to individual
+ * blades is policy-driven and different policies (e.g., fair-share, FIFO,
+ * random, priority-based, history-based) can be implemented."
+ * (Section 3.1.) Section 5.4 finds the architecture robust to the choice;
+ * the tbl_policies bench reproduces that finding.
+ *
+ * All policies guarantee: each grant is within [0, max_i]; grants sum to
+ * at most the budget; when the budget covers every child's floor, each
+ * grant is at least its floor (a floor is the smallest allocation a child
+ * can physically honor, e.g. its idle power).
+ */
+
+#ifndef NPS_CONTROLLERS_POLICIES_H
+#define NPS_CONTROLLERS_POLICIES_H
+
+#include <vector>
+
+#include "util/random.h"
+
+namespace nps {
+namespace controllers {
+
+/** Available division policies. */
+enum class DivisionPolicy
+{
+    Proportional,  //!< proportional to last observed power (paper base)
+    Equal,         //!< fair equal shares
+    Priority,      //!< greedy by external priority
+    Fifo,          //!< greedy by child index
+    Random,        //!< greedy in random order
+    History,       //!< proportional to long-horizon smoothed power
+};
+
+/** @return a short name for a policy ("prop", "equal", ...). */
+const char *policyName(DivisionPolicy policy);
+
+/** Inputs of one division round. */
+struct DivisionInput
+{
+    double budget = 0.0;            //!< total watts to divide
+    std::vector<double> demands;    //!< recent power per child
+    std::vector<double> maxima;     //!< per-child physical maximum
+    std::vector<double> floors;     //!< per-child minimum useful grant
+    std::vector<int> priorities;    //!< used by Priority (higher first)
+};
+
+/**
+ * Divide a power budget among children.
+ *
+ * @param policy The division policy.
+ * @param in     Division inputs; demands/maxima/floors must share one
+ *               size; priorities may be empty except for Priority.
+ * @param rng    Randomness source (required by Random, ignored otherwise).
+ * @return one grant per child.
+ */
+std::vector<double> divideBudget(DivisionPolicy policy,
+                                 const DivisionInput &in,
+                                 util::Rng *rng = nullptr);
+
+} // namespace controllers
+} // namespace nps
+
+#endif // NPS_CONTROLLERS_POLICIES_H

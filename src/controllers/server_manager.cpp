@@ -1,0 +1,170 @@
+#include "controllers/server_manager.h"
+
+#include <algorithm>
+
+#include "control/stability.h"
+#include "util/logging.h"
+
+namespace nps {
+namespace controllers {
+
+double
+ViolationTracker::epochViolationRate() const
+{
+    if (epoch_total_ == 0)
+        return 0.0;
+    return static_cast<double>(epoch_hits_) /
+           static_cast<double>(epoch_total_);
+}
+
+void
+ViolationTracker::drainEpoch()
+{
+    epoch_total_ = 0;
+    epoch_hits_ = 0;
+}
+
+double
+ViolationTracker::lifetimeViolationRate() const
+{
+    if (life_total_ == 0)
+        return 0.0;
+    return static_cast<double>(life_hits_) /
+           static_cast<double>(life_total_);
+}
+
+GrantBounds
+grantBounds(const sim::Server &server, size_t tick)
+{
+    GrantBounds b;
+    if (server.platformPower(tick) == sim::PlatformPower::Off) {
+        b.floor = server.spec().offWatts();
+        b.max = server.spec().offWatts();
+        return b;
+    }
+    const auto &m = server.model();
+    b.floor = m.idlePower(m.pstates().slowestIndex());
+    b.max = m.maxPower();
+    return b;
+}
+
+ServerManager::ServerManager(sim::Server &server, EfficiencyController *ec,
+                             double static_cap, const Params &params)
+    : ctl::ControlLoop("SM/" + std::to_string(server.id())),
+      server_(server),
+      ec_(ec),
+      static_cap_(static_cap),
+      dynamic_cap_(static_cap),
+      params_(params),
+      name_("SM/" + std::to_string(server.id())),
+      r_ref_(params.r_ref_min, params.r_ref_min, params.r_ref_max)
+{
+    if (static_cap_ <= 0.0)
+        util::fatal("SM/%u: non-positive static cap", server.id());
+    if (params_.mode == Mode::Coordinated && !ec_)
+        util::fatal("SM/%u: coordinated mode requires a nested EC",
+                    server.id());
+    // Normalized-power stability check: the effective slope of power with
+    // respect to r_ref is bounded by maxPowerSlope()/maxPower.
+    double c_max = server_.model().maxPowerSlope() /
+                   server_.model().maxPower();
+    if (!ctl::smGainStable(params_.beta, c_max)) {
+        util::warn("SM/%u: beta %f violates the stability bound 2/c_max "
+                   "= %f", server.id(), params_.beta,
+                   ctl::smBetaBound(c_max));
+    }
+    setReference(effectiveCap());
+}
+
+void
+ServerManager::setBudget(double watts)
+{
+    if (watts <= 0.0)
+        util::fatal("SM/%u: non-positive budget recommendation",
+                    server_.id());
+    dynamic_cap_ = watts;
+    setReference(effectiveCap());
+}
+
+double
+ServerManager::effectiveCap() const
+{
+    if (params_.mode == Mode::Coordinated)
+        return std::min(static_cap_, dynamic_cap_);
+    // Solo capper: the management console's setting is the setting.
+    return dynamic_cap_;
+}
+
+void
+ServerManager::observe(size_t tick)
+{
+    // Violation bookkeeping runs at tick granularity and against the
+    // *static* budget: dynamic grants re-provision headroom but the
+    // physical fuse/fan limit is CAP_LOC, and that is the signal the
+    // exposed (CIM-style) interface reports to the VMC.
+    if (server_.platformPower(tick) != sim::PlatformPower::Off)
+        record(server_.lastPower() > static_cap_ + 1e-9);
+}
+
+void
+ServerManager::step(size_t tick)
+{
+    if (!server_.isOn(tick))
+        return;
+    if (params_.mode == Mode::DirectPState) {
+        stepDirect();
+        return;
+    }
+    setReference(effectiveCap());
+    ControlLoop::step();
+}
+
+double
+ServerManager::measure()
+{
+    return server_.lastPower();
+}
+
+double
+ServerManager::control(double error, double measurement)
+{
+    (void)measurement;
+    // r_ref(k) = r_ref(k-1) - beta * (cap - pow), with power normalized
+    // by the machine's peak so beta is machine-independent. The release
+    // direction (power under cap, error > 0) uses a reduced gain.
+    double norm_error = error / server_.model().maxPower();
+    double beta = params_.beta *
+                  (error > 0.0 ? params_.release_gain_ratio : 1.0);
+    return r_ref_.update(-beta, norm_error);
+}
+
+void
+ServerManager::actuate(double value)
+{
+    ec_->setReference(value);
+}
+
+void
+ServerManager::stepDirect()
+{
+    double pow = server_.lastPower();
+    double cap = effectiveCap();
+    const auto &m = server_.model();
+    size_t p = server_.pstate();
+    size_t slowest = server_.spec().pstates().slowestIndex();
+    if (pow > cap) {
+        // Hardware cappers clamp immediately: jump to the fastest state
+        // predicted to respect the budget for the current load.
+        double demand = server_.lastRealUtil();
+        size_t q = p;
+        while (q < slowest && m.powerForDemand(q, demand) > cap)
+            ++q;
+        server_.setPState(q);
+    } else if (pow < cap * (1.0 - params_.unthrottle_margin) && p > 0) {
+        // Solo cappers restore performance when comfortably under budget.
+        server_.setPState(p - 1);
+    }
+}
+
+} // namespace controllers
+} // namespace nps

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Server Manager (SM): per-server thermal power capping.
+ *
+ * Coordinated design (Section 3.1): nested on the EC, the SM actuates the
+ * EC's utilization reference r_ref instead of touching P-states:
+ *
+ *     r_ref(k) = r_ref(k-1) - beta_loc * (cap_loc - pow(k-1))    (Eq. SM)
+ *
+ * A power reading above the budget raises r_ref, which makes the EC shrink
+ * the container (deeper P-state), which lowers power. Stability holds for
+ * 0 < beta < 2 / c_max (Appendix A). A lower bound of 75% on r_ref keeps
+ * servers reasonably utilized when under budget.
+ *
+ * Uncoordinated (commercial-solo) design: steps the P-state directly on a
+ * violation — the configuration whose interaction with an independently
+ * deployed EC produces the paper's "power struggle".
+ *
+ * The SM's budget input is the coordination channel of the EM/GM: the
+ * effective cap is min(static local budget, latest recommendation). The SM
+ * also exposes its budget-violation history (the CIM/DMTF stand-in) for
+ * the VMC's consolidation-aggressiveness feedback.
+ */
+
+#ifndef NPS_CONTROLLERS_SERVER_MANAGER_H
+#define NPS_CONTROLLERS_SERVER_MANAGER_H
+
+#include <string>
+
+#include "control/integral.h"
+#include "control/loop.h"
+#include "controllers/efficiency.h"
+#include "sim/engine.h"
+#include "sim/server.h"
+
+namespace nps {
+namespace controllers {
+
+/**
+ * Exposure of budget-violation history across controllers: the stand-in
+ * for the paper's "extend current CIM models exposed through DMTF
+ * interfaces" (Section 3.1). The VMC consumes this to tune consolidation
+ * aggressiveness.
+ */
+class ViolationSource
+{
+  public:
+    virtual ~ViolationSource() = default;
+
+    /** Fraction of observed ticks over budget since the last drain. */
+    virtual double epochViolationRate() const = 0;
+
+    /** Reset the epoch window (called by the consumer after reading). */
+    virtual void drainEpoch() = 0;
+
+    /** Lifetime fraction of observed ticks over budget. */
+    virtual double lifetimeViolationRate() const = 0;
+};
+
+/** Accumulator implementing ViolationSource bookkeeping. */
+class ViolationTracker : public ViolationSource
+{
+  public:
+    /** Record one observation. */
+    void
+    record(bool violated)
+    {
+        ++epoch_total_;
+        ++life_total_;
+        if (violated) {
+            ++epoch_hits_;
+            ++life_hits_;
+        }
+    }
+
+    double epochViolationRate() const override;
+    void drainEpoch() override;
+    double lifetimeViolationRate() const override;
+
+  private:
+    unsigned long epoch_total_ = 0;
+    unsigned long epoch_hits_ = 0;
+    unsigned long life_total_ = 0;
+    unsigned long life_hits_ = 0;
+};
+
+/**
+ * Physical grant bounds of one server, used by the budget-division
+ * levels: a powered-off machine is pinned at its residual off draw,
+ * while a live one can usefully receive anything between its deepest
+ * idle power and its peak.
+ */
+struct GrantBounds
+{
+    double floor = 0.0;  //!< smallest allocation the server can honor
+    double max = 0.0;    //!< largest allocation it could ever consume
+};
+
+/** Compute the grant bounds of @p server as of @p tick. */
+GrantBounds grantBounds(const sim::Server &server, size_t tick);
+
+/**
+ * The per-server power capper.
+ */
+class ServerManager : public sim::Actor,
+                      public ctl::ControlLoop,
+                      public ViolationTracker
+{
+  public:
+    /** Operating mode. */
+    enum class Mode
+    {
+        /** Actuate the EC's r_ref (the paper's coordinated design). */
+        Coordinated,
+        /**
+         * Actuate P-states directly, as a solo commercial capper does;
+         * deployed next to an independent EC this is the power struggle.
+         */
+        DirectPState,
+    };
+
+    /** Tunable parameters (defaults follow Figure 5). */
+    struct Params
+    {
+        double beta = 1.0;        //!< gain, in r_ref per *normalized* watt
+        double r_ref_min = 0.75;  //!< lower bound on the EC target
+        double r_ref_max = 2.0;   //!< anti-windup upper bound
+        unsigned period = 5;      //!< control interval T_sm
+        Mode mode = Mode::Coordinated;
+        /**
+         * Gain multiplier applied when power is *under* the cap, so the
+         * throttle releases more slowly than it engages. Damps the limit
+         * cycle around the P-state quantization boundary.
+         */
+        double release_gain_ratio = 0.25;
+        /**
+         * In DirectPState mode: headroom fraction under the cap below
+         * which the capper steps the P-state back up.
+         */
+        double unthrottle_margin = 0.12;
+    };
+
+    /**
+     * @param server     The managed server.
+     * @param ec         The nested EC (required in Coordinated mode; may
+     *                   be null in DirectPState mode).
+     * @param static_cap The server's own local power budget CAP_LOC.
+     * @param params     Controller parameters.
+     */
+    ServerManager(sim::Server &server, EfficiencyController *ec,
+                  double static_cap, const Params &params);
+
+    /// @name sim::Actor
+    /// @{
+    const std::string &name() const override { return name_; }
+    unsigned period() const override { return params_.period; }
+    void observe(size_t tick) override;
+    void step(size_t tick) override;
+    /// @}
+
+    /// @name Budget channel (driven by the EM / GM)
+    /// @{
+
+    /**
+     * Receive a budget recommendation from an upper-level capper.
+     * Coordinated mode keeps min(static, recommendation); DirectPState
+     * mode adopts the recommendation verbatim (solo products trust their
+     * management console), which is exactly how uncoordinated stacks leak
+     * above local limits.
+     */
+    void setBudget(double watts);
+
+    /** The budget currently being enforced. */
+    double effectiveCap() const;
+
+    /** The server's own static budget CAP_LOC. */
+    double staticCap() const { return static_cap_; }
+
+    /// @}
+
+    /** Active parameters. */
+    const Params &params() const { return params_; }
+
+    /** The managed server. */
+    const sim::Server &server() const { return server_; }
+
+  protected:
+    /// @name ctl::ControlLoop hooks (Coordinated mode)
+    /// @{
+    double measure() override;
+    double control(double error, double measurement) override;
+    void actuate(double value) override;
+    /// @}
+
+  private:
+    /** One step of the solo (direct P-state) capper. */
+    void stepDirect();
+
+    sim::Server &server_;
+    EfficiencyController *ec_;
+    double static_cap_;
+    double dynamic_cap_;
+    Params params_;
+    std::string name_;
+    ctl::IntegralController r_ref_;
+};
+
+} // namespace controllers
+} // namespace nps
+
+#endif // NPS_CONTROLLERS_SERVER_MANAGER_H

@@ -1,0 +1,270 @@
+#include "controllers/vm_controller.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+#include "util/stats.h"
+
+namespace nps {
+namespace controllers {
+
+VmController::VmController(sim::Cluster &cluster, Feedback feedback,
+                           const Params &params)
+    : cluster_(cluster),
+      feedback_(std::move(feedback)),
+      params_(params),
+      name_("VMC"),
+      b_loc_(params.use_violation_feedback ? params.buffer_init : 0.0),
+      b_enc_(params.use_violation_feedback ? params.buffer_init : 0.0),
+      b_grp_(params.use_violation_feedback ? params.buffer_init : 0.0),
+      load_accum_(cluster.numVms(), 0.0),
+      load_sq_accum_(cluster.numVms(), 0.0)
+{
+    if (params_.capacity_target <= 0.0 || params_.capacity_target > 1.0)
+        util::fatal("VMC: capacity target %f out of (0,1]",
+                    params_.capacity_target);
+    if (params_.buffer_max < 0.0 || params_.buffer_max >= 1.0)
+        util::fatal("VMC: buffer max %f out of [0,1)", params_.buffer_max);
+    if (params_.use_forecast) {
+        forecasters_.assign(cluster.numVms(),
+                            DemandForecaster(params_.forecast));
+    }
+}
+
+void
+VmController::observe(size_t tick)
+{
+    (void)tick;
+    for (size_t j = 0; j < cluster_.numVms(); ++j) {
+        const sim::VirtualMachine &vm = cluster_.vm(
+            static_cast<sim::VmId>(j));
+        // Coordinated: real (full-speed) utilization. Uncoordinated: the
+        // apparent share a guest agent reports, which saturates with the
+        // host and misreads throttled machines.
+        double u = params_.use_real_util ? vm.lastServed()
+                                         : vm.lastApparentShare();
+        load_accum_[j] += u;
+        load_sq_accum_[j] += u * u;
+    }
+    ++obs_ticks_;
+}
+
+std::vector<double>
+VmController::epochLoads()
+{
+    std::vector<double> loads(load_accum_.size(), 0.0);
+    if (obs_ticks_ == 0)
+        return loads;
+    double n = static_cast<double>(obs_ticks_);
+    for (size_t j = 0; j < loads.size(); ++j) {
+        double mean = load_accum_[j] / n;
+        double var = std::max(0.0, load_sq_accum_[j] / n - mean * mean);
+        double base = mean;
+        if (params_.use_forecast) {
+            // Predict the next epoch's mean; stay at least at the
+            // observed level so a falling forecast cannot under-pack
+            // faster than demand actually falls.
+            forecasters_[j].observe(mean);
+            base = std::max(mean, forecasters_[j].forecast(1));
+        }
+        // Pack at the base plus a spread allowance so demand peaks
+        // between epochs do not immediately stress the capping levels.
+        double est = base + params_.spread_sigma * std::sqrt(var);
+        // The real-utilization path measures useful work, so the packer
+        // must re-add the virtualization overhead; the apparent path
+        // already includes it (another way mis-measurement compounds).
+        loads[j] = params_.use_real_util ? est * (1.0 + params_.alpha_v)
+                                         : est;
+    }
+    return loads;
+}
+
+void
+VmController::updateBuffers()
+{
+    if (!params_.use_violation_feedback) {
+        b_loc_ = 0.0;
+        b_enc_ = 0.0;
+        b_grp_ = 0.0;
+        return;
+    }
+    auto mean_rate = [](const std::vector<ViolationSource *> &sources) {
+        if (sources.empty())
+            return 0.0;
+        double sum = 0.0;
+        for (auto *s : sources)
+            sum += s->epochViolationRate();
+        return sum / static_cast<double>(sources.size());
+    };
+    double loc_rate = mean_rate(feedback_.local);
+    double enc_rate = mean_rate(feedback_.enclosure);
+    double grp_rate = feedback_.group
+                          ? feedback_.group->epochViolationRate()
+                          : 0.0;
+
+    // Per-unit-time feedback: shorter epochs integrate the same
+    // violation rate with a proportionally larger per-epoch gain.
+    double gain = params_.buffer_gain *
+                  static_cast<double>(params_.gain_ref_period) /
+                  static_cast<double>(params_.period);
+    auto tune = [this, gain](double buffer, double rate) {
+        return util::clamp(params_.buffer_decay * buffer + gain * rate,
+                           params_.buffer_init, params_.buffer_max);
+    };
+    b_loc_ = tune(b_loc_, loc_rate);
+    b_enc_ = tune(b_enc_, enc_rate);
+    b_grp_ = tune(b_grp_, grp_rate);
+
+    for (auto *s : feedback_.local)
+        s->drainEpoch();
+    for (auto *s : feedback_.enclosure)
+        s->drainEpoch();
+    if (feedback_.group)
+        feedback_.group->drainEpoch();
+}
+
+std::vector<PackBin>
+VmController::buildBins(size_t tick) const
+{
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    std::vector<PackBin> bins;
+    bins.reserve(cluster_.numServers());
+    for (const auto &srv : cluster_.servers()) {
+        PackBin bin;
+        bin.id = srv.id();
+        bin.power = &srv.model();
+        sim::EnclosureId enc = cluster_.enclosureOf(srv.id());
+        bin.enclosure = enc == sim::Cluster::kNoEnclosure
+                            ? std::numeric_limits<unsigned>::max()
+                            : enc;
+        bin.on = srv.platformPower(tick) != sim::PlatformPower::Off;
+        bin.capacity = params_.capacity_target;
+        bin.util_limit = params_.util_limit;
+        bin.power_cap = params_.use_budget_constraints
+                            ? (1.0 - b_loc_) * cluster_.capLoc(srv.id())
+                            : kInf;
+        // An unused machine draws its off power when we may switch it
+        // off; otherwise it idles at the deepest P-state (the EC will
+        // sink it there).
+        bin.unused_watts =
+            params_.allow_power_off
+                ? srv.spec().offWatts()
+                : srv.model().idlePower(
+                      srv.model().pstates().slowestIndex());
+        bins.push_back(bin);
+    }
+    return bins;
+}
+
+void
+VmController::step(size_t tick)
+{
+    updateBuffers();
+
+    std::vector<double> loads = epochLoads();
+    std::vector<PackItem> items;
+    items.reserve(cluster_.numVms());
+    for (size_t j = 0; j < cluster_.numVms(); ++j) {
+        PackItem item;
+        item.vm = static_cast<sim::VmId>(j);
+        item.load = loads[j];
+        item.current = cluster_.serverOf(item.vm);
+        items.push_back(item);
+    }
+
+    std::vector<PackBin> bins = buildBins(tick);
+    PackConstraints constraints;
+    if (params_.use_budget_constraints) {
+        constraints.enclosure_caps.resize(cluster_.numEnclosures());
+        for (size_t e = 0; e < cluster_.numEnclosures(); ++e) {
+            constraints.enclosure_caps[e] =
+                (1.0 - b_enc_) *
+                cluster_.capEnc(static_cast<sim::EnclosureId>(e));
+        }
+        constraints.group_cap = (1.0 - b_grp_) * cluster_.capGrp();
+    }
+
+    PackResult packed = packGreedy(items, bins, constraints);
+    ++stats_.epochs;
+    if (!packed.feasible)
+        ++stats_.infeasible;
+
+    // Price both plans with the same estimator; the new plan also pays
+    // the amortized migration overhead of Eq. (1).
+    std::vector<sim::ServerId> current(items.size());
+    for (size_t i = 0; i < items.size(); ++i)
+        current[i] = items[i].current;
+    AssignmentEval cur_eval =
+        evaluateAssignment(items, bins, current, constraints);
+    double cost_cur = cur_eval.est_power;
+    double cost_new = packed.est_power;
+    double period_ticks = static_cast<double>(params_.period);
+    for (size_t i = 0; i < items.size(); ++i) {
+        if (packed.assignment[i] != items[i].current) {
+            const auto &dst = cluster_.server(packed.assignment[i]);
+            cost_new += params_.alpha_m *
+                        (static_cast<double>(params_.migration_ticks) /
+                         period_ticks) *
+                        items[i].load * dst.model().maxPower();
+        }
+    }
+
+    // Adopt the plan when it is decisively cheaper, or when the current
+    // placement no longer fits the (buffered) constraints and the plan
+    // does: backing off an over-aggressive consolidation is exactly the
+    // correction the violation feedback is meant to drive, even when it
+    // costs power.
+    bool adopt = cost_new < cost_cur * (1.0 - params_.adoption_margin) ||
+                 (packed.feasible && !cur_eval.feasible);
+    if (adopt) {
+        ++stats_.adoptions;
+        stats_.last_est_power = packed.est_power;
+        applyAssignment(items, packed.assignment, tick);
+    } else {
+        stats_.last_est_power = cost_cur;
+        // Even when the placement stands, idle machines can be switched
+        // off (e.g. after demand drops).
+        if (params_.allow_power_off) {
+            for (auto &srv : cluster_.servers()) {
+                if (srv.vms().empty() && srv.isOn(tick))
+                    srv.powerOff();
+            }
+        }
+    }
+
+    // Start the next epoch's averaging window.
+    std::fill(load_accum_.begin(), load_accum_.end(), 0.0);
+    std::fill(load_sq_accum_.begin(), load_sq_accum_.end(), 0.0);
+    obs_ticks_ = 0;
+}
+
+void
+VmController::applyAssignment(const std::vector<PackItem> &items,
+                              const std::vector<sim::ServerId> &assignment,
+                              size_t tick)
+{
+    // Power on every target first so boots overlap the migrations.
+    for (size_t i = 0; i < items.size(); ++i) {
+        sim::Server &dst = cluster_.server(assignment[i]);
+        if (dst.platformPower(tick) == sim::PlatformPower::Off)
+            dst.powerOn(tick);
+    }
+    for (size_t i = 0; i < items.size(); ++i) {
+        if (assignment[i] != items[i].current) {
+            cluster_.migrateVm(items[i].vm, assignment[i], tick,
+                               params_.migration_ticks);
+            ++stats_.migrations;
+        }
+    }
+    if (params_.allow_power_off) {
+        for (auto &srv : cluster_.servers()) {
+            if (srv.vms().empty() && srv.isOn(tick))
+                srv.powerOff();
+        }
+    }
+}
+
+} // namespace controllers
+} // namespace nps

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * VM Controller (VMC): data-center-wide consolidation for average power.
+ *
+ * Every epoch the VMC solves the placement problem of Eq. (VMCs) with a
+ * greedy bin-packing approximation: minimize estimated total power plus
+ * migration cost, subject to server capacity and (in coordinated mode)
+ * the local/enclosure/group power budgets shrunk by feedback-tuned
+ * buffers. Idle machines are powered off when allowed.
+ *
+ * The two coordination-critical behaviors (Section 3.1):
+ *  1. *real* utilization — measured VM utilization is translated to
+ *     full-speed units so throttled servers are not misread;
+ *  2. budget awareness — budgets act as packing constraints, and exposed
+ *     budget-violation rates tune the buffers b_loc/b_enc/b_grp that damp
+ *     consolidation aggressiveness (breaking the vicious cycle).
+ * Both are switchable so the paper's ablations (Figure 9) can disable
+ * them one at a time.
+ */
+
+#ifndef NPS_CONTROLLERS_VM_CONTROLLER_H
+#define NPS_CONTROLLERS_VM_CONTROLLER_H
+
+#include <string>
+#include <vector>
+
+#include "controllers/binpack.h"
+#include "controllers/forecast.h"
+#include "controllers/server_manager.h"
+#include "sim/cluster.h"
+#include "sim/engine.h"
+
+namespace nps {
+namespace controllers {
+
+/**
+ * The consolidation controller.
+ */
+class VmController : public sim::Actor
+{
+  public:
+    /** Tunable parameters (defaults follow Figure 5). */
+    struct Params
+    {
+        unsigned period = 500;          //!< epoch length T_vmc
+        bool use_real_util = true;      //!< coordinated utilization input
+        bool use_budget_constraints = true;  //!< Eqs. (3)-(5)
+        bool use_violation_feedback = true;  //!< buffer tuning
+        bool allow_power_off = true;    //!< turn empty machines off
+        double capacity_target = 0.90;  //!< max packed load per server
+        double util_limit = 0.75;       //!< EC target used in estimates
+        double alpha_v = 0.10;          //!< virtualization overhead
+        double alpha_m = 0.10;          //!< migration overhead weight
+        size_t migration_ticks = 50;    //!< pre-copy duration
+        double buffer_gain = 0.5;       //!< violation-rate -> buffer gain
+        /**
+         * The epoch length buffer_gain is calibrated for. The effective
+         * per-epoch gain is buffer_gain * gain_ref_period / period, so
+         * the feedback integrates violations at a fixed *rate per tick*:
+         * running the VMC more frequently makes the feedback parameter
+         * proportionally more aggressive (Section 5.4's explanation of
+         * the time-constant sensitivity).
+         */
+        unsigned gain_ref_period = 500;
+        double buffer_decay = 0.5;      //!< per-epoch buffer retention
+        double buffer_max = 0.35;       //!< clamp on each buffer
+        double buffer_init = 0.02;      //!< initial (pre-feedback) buffer
+        /**
+         * Adoption hysteresis: a new plan must beat the current one by
+         * this fraction of estimated power (unless the current placement
+         * has become infeasible), damping migration churn.
+         */
+        double adoption_margin = 0.02;
+        /**
+         * Demand-spread allowance: VMs are packed at mean + this many
+         * standard deviations of their observed per-tick load, preserving
+         * the statistical headroom the capping levels expect
+         * (Section 3.1). The naive solo consolidator sets this to 0 and
+         * packs on bare means.
+         */
+        double spread_sigma = 0.5;
+        /**
+         * Predictive packing: when true, each VM's epoch means feed a
+         * per-VM forecaster and the packer sizes against the *next*
+         * epoch's predicted demand (plus the spread allowance) instead
+         * of the last epoch's average — anticipating ramps instead of
+         * chasing them.
+         */
+        bool use_forecast = false;
+        DemandForecaster::Params forecast;
+    };
+
+    /** Violation feeds for the feedback buffers (may be empty). */
+    struct Feedback
+    {
+        std::vector<ViolationSource *> local;     //!< the SMs
+        std::vector<ViolationSource *> enclosure; //!< the EMs
+        ViolationSource *group = nullptr;         //!< the GM
+    };
+
+    /** Running statistics of the controller. */
+    struct Stats
+    {
+        unsigned long epochs = 0;      //!< completed optimization epochs
+        unsigned long migrations = 0;  //!< VM moves applied
+        unsigned long adoptions = 0;   //!< epochs whose new plan was used
+        unsigned long infeasible = 0;  //!< epochs with infeasible packing
+        double last_est_power = 0.0;   //!< estimate of the adopted plan
+    };
+
+    /**
+     * @param cluster  The managed cluster.
+     * @param feedback Violation feeds (pass empty feeds when the
+     *                 coordination interfaces are disabled).
+     * @param params   Controller parameters.
+     */
+    VmController(sim::Cluster &cluster, Feedback feedback,
+                 const Params &params);
+
+    /// @name sim::Actor
+    /// @{
+    const std::string &name() const override { return name_; }
+    unsigned period() const override { return params_.period; }
+    void observe(size_t tick) override;
+    void step(size_t tick) override;
+    /// @}
+
+    /** Active parameters. */
+    const Params &params() const { return params_; }
+
+    /** Running statistics. */
+    const Stats &stats() const { return stats_; }
+
+    /** Current feedback buffers (b_loc, b_enc, b_grp). */
+    double bufferLoc() const { return b_loc_; }
+    double bufferEnc() const { return b_enc_; }
+    double bufferGrp() const { return b_grp_; }
+
+  private:
+    /** Per-VM load estimate for the next epoch (updates forecasters). */
+    std::vector<double> epochLoads();
+
+    /** Update the buffers from the violation feeds. */
+    void updateBuffers();
+
+    /** Build the candidate bins for the packer. */
+    std::vector<PackBin> buildBins(size_t tick) const;
+
+    /** Apply an adopted assignment: migrations and power state changes. */
+    void applyAssignment(const std::vector<PackItem> &items,
+                         const std::vector<sim::ServerId> &assignment,
+                         size_t tick);
+
+    sim::Cluster &cluster_;
+    Feedback feedback_;
+    Params params_;
+    std::string name_;
+    Stats stats_;
+    double b_loc_;
+    double b_enc_;
+    double b_grp_;
+    std::vector<double> load_accum_;
+    std::vector<double> load_sq_accum_;
+    std::vector<DemandForecaster> forecasters_;
+    unsigned long obs_ticks_ = 0;
+};
+
+} // namespace controllers
+} // namespace nps
+
+#endif // NPS_CONTROLLERS_VM_CONTROLLER_H

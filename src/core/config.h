@@ -1,0 +1,85 @@
+/**
+ * @file
+ * CoordinationConfig: every tunable of the architecture in one place —
+ * the programmatic rendering of the paper's Figure 5 parameter table.
+ */
+
+#ifndef NPS_CORE_CONFIG_H
+#define NPS_CORE_CONFIG_H
+
+#include <string>
+
+#include "controllers/efficiency.h"
+#include "controllers/electrical_capper.h"
+#include "controllers/enclosure_manager.h"
+#include "controllers/group_manager.h"
+#include "controllers/memory_manager.h"
+#include "controllers/server_manager.h"
+#include "controllers/vm_controller.h"
+#include "sim/cluster.h"
+
+namespace nps {
+namespace core {
+
+/**
+ * Complete configuration of a deployment: which controllers exist, how
+ * they are wired (coordinated or not), and all their parameters.
+ */
+struct CoordinationConfig
+{
+    /// @name Deployment switches
+    /// @{
+    bool enable_ec = true;   //!< per-server efficiency controllers
+    bool enable_sm = true;   //!< per-server power cappers
+    bool enable_em = true;   //!< enclosure managers
+    bool enable_gm = true;   //!< the group manager
+    bool enable_vmc = true;  //!< the consolidation controller
+    bool enable_cap = false; //!< optional electrical cappers (Section 6)
+    bool enable_mem = false; //!< optional memory managers (Section 6 MIMO)
+    /// @}
+
+    /**
+     * Master coordination switch. When false, every controller runs in
+     * its solo-commercial configuration: the SM actuates P-states
+     * directly (fighting the EC), the GM pushes per-server budgets
+     * around the EMs, and the VMC reads apparent utilization with no
+     * budget awareness.
+     */
+    bool coordinated = true;
+
+    /// @name Per-controller parameters (Figure 5 baselines)
+    /// @{
+    controllers::EfficiencyController::Params ec;
+    controllers::ServerManager::Params sm;
+    controllers::EnclosureManager::Params em;
+    controllers::GroupManager::Params gm;
+    controllers::VmController::Params vmc;
+    controllers::ElectricalCapper::Params cap;
+    controllers::MemoryManager::Params mem;
+    /// @}
+
+    /** Electrical limit as a fraction of each server's max power. */
+    double cap_limit_frac = 0.97;
+
+    /** Static thermal budget configuration (the 20-15-10 of Figure 5). */
+    sim::BudgetConfig budgets = sim::BudgetConfig::paper201510();
+
+    /** Virtualization overhead fraction alpha_V. */
+    double alpha_v = 0.10;
+
+    /** Migration overhead fraction alpha_mu. */
+    double alpha_m = 0.10;
+
+    /**
+     * Validate invariants and resolve derived settings: propagates the
+     * coordination switch and the overhead constants into the controller
+     * parameter blocks, and downgrades the SM to DirectPState when no EC
+     * exists to nest on. @return the resolved copy.
+     */
+    CoordinationConfig resolved() const;
+};
+
+} // namespace core
+} // namespace nps
+
+#endif // NPS_CORE_CONFIG_H

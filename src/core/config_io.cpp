@@ -1,0 +1,352 @@
+#include "core/config_io.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace nps {
+namespace core {
+
+namespace {
+
+using util::IniDocument;
+
+std::string
+boolStr(bool v)
+{
+    return v ? "true" : "false";
+}
+
+std::string
+numStr(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%g", v);
+    return buf;
+}
+
+const std::map<std::string, controllers::DivisionPolicy> &
+policyNames()
+{
+    static const std::map<std::string, controllers::DivisionPolicy> map{
+        {"prop", controllers::DivisionPolicy::Proportional},
+        {"equal", controllers::DivisionPolicy::Equal},
+        {"prio", controllers::DivisionPolicy::Priority},
+        {"fifo", controllers::DivisionPolicy::Fifo},
+        {"random", controllers::DivisionPolicy::Random},
+        {"history", controllers::DivisionPolicy::History},
+    };
+    return map;
+}
+
+controllers::DivisionPolicy
+policyFromName(const std::string &name)
+{
+    auto it = policyNames().find(name);
+    if (it == policyNames().end())
+        util::fatal("config: unknown policy '%s'", name.c_str());
+    return it->second;
+}
+
+controllers::ForecastMethod
+forecastFromName(const std::string &name)
+{
+    for (auto m : {controllers::ForecastMethod::LastValue,
+                   controllers::ForecastMethod::Ewma,
+                   controllers::ForecastMethod::HoltLinear}) {
+        if (name == controllers::forecastMethodName(m))
+            return m;
+    }
+    util::fatal("config: unknown forecast method '%s'", name.c_str());
+}
+
+/** The complete key schema: section -> allowed keys. */
+const std::map<std::string, std::set<std::string>> &
+schema()
+{
+    static const std::map<std::string, std::set<std::string>> s{
+        {"deployment",
+         {"coordinated", "enable_ec", "enable_sm", "enable_em",
+          "enable_gm", "enable_vmc", "enable_cap", "enable_mem",
+          "alpha_v", "alpha_m", "cap_limit_frac"}},
+        {"ec", {"lambda", "r_ref", "period", "objective",
+                "quantize_up"}},
+        {"sm", {"beta", "r_ref_min", "r_ref_max", "period",
+                "unthrottle_margin", "release_gain_ratio"}},
+        {"em", {"period", "policy", "demand_horizon",
+                "history_horizon", "seed"}},
+        {"gm", {"period", "policy", "demand_horizon",
+                "history_horizon", "seed"}},
+        {"vmc",
+         {"period", "allow_power_off", "capacity_target",
+          "migration_ticks", "buffer_gain", "gain_ref_period",
+          "buffer_decay", "buffer_max", "buffer_init",
+          "adoption_margin", "spread_sigma", "use_real_util",
+          "use_budget_constraints", "use_violation_feedback",
+          "use_forecast", "forecast_method", "forecast_alpha",
+          "forecast_beta"}},
+        {"cap", {"period", "release_margin"}},
+        {"mem", {"period", "engage_below", "release_above",
+                 "engage_patience"}},
+        {"budgets", {"group_off", "enclosure_off", "local_off"}},
+    };
+    return s;
+}
+
+void
+validateSchema(const IniDocument &ini)
+{
+    for (const auto &section : ini.sections()) {
+        auto it = schema().find(section);
+        if (it == schema().end())
+            util::fatal("config: unknown section [%s]", section.c_str());
+        for (const auto &key : ini.keys(section)) {
+            if (!it->second.count(key))
+                util::fatal("config: unknown key '%s' in [%s]",
+                            key.c_str(), section.c_str());
+        }
+    }
+}
+
+} // namespace
+
+CoordinationConfig
+configFromIni(const IniDocument &ini)
+{
+    validateSchema(ini);
+    CoordinationConfig cfg;
+
+    cfg.coordinated = ini.getBool("deployment", "coordinated",
+                                  cfg.coordinated);
+    cfg.enable_ec = ini.getBool("deployment", "enable_ec",
+                                cfg.enable_ec);
+    cfg.enable_sm = ini.getBool("deployment", "enable_sm",
+                                cfg.enable_sm);
+    cfg.enable_em = ini.getBool("deployment", "enable_em",
+                                cfg.enable_em);
+    cfg.enable_gm = ini.getBool("deployment", "enable_gm",
+                                cfg.enable_gm);
+    cfg.enable_vmc = ini.getBool("deployment", "enable_vmc",
+                                 cfg.enable_vmc);
+    cfg.enable_cap = ini.getBool("deployment", "enable_cap",
+                                 cfg.enable_cap);
+    cfg.enable_mem = ini.getBool("deployment", "enable_mem",
+                                 cfg.enable_mem);
+    cfg.alpha_v = ini.getDouble("deployment", "alpha_v", cfg.alpha_v);
+    cfg.alpha_m = ini.getDouble("deployment", "alpha_m", cfg.alpha_m);
+    cfg.cap_limit_frac = ini.getDouble("deployment", "cap_limit_frac",
+                                       cfg.cap_limit_frac);
+
+    cfg.ec.lambda = ini.getDouble("ec", "lambda", cfg.ec.lambda);
+    cfg.ec.r_ref = ini.getDouble("ec", "r_ref", cfg.ec.r_ref);
+    cfg.ec.period = static_cast<unsigned>(
+        ini.getInt("ec", "period", cfg.ec.period));
+    cfg.ec.quantize_up = ini.getBool("ec", "quantize_up",
+                                     cfg.ec.quantize_up);
+    std::string objective = ini.get("ec", "objective", "tracking");
+    if (objective == "tracking")
+        cfg.ec.objective = controllers::EcObjective::UtilizationTracking;
+    else if (objective == "energy-delay")
+        cfg.ec.objective = controllers::EcObjective::EnergyDelay;
+    else
+        util::fatal("config: unknown EC objective '%s'",
+                    objective.c_str());
+
+    cfg.sm.beta = ini.getDouble("sm", "beta", cfg.sm.beta);
+    cfg.sm.r_ref_min = ini.getDouble("sm", "r_ref_min",
+                                     cfg.sm.r_ref_min);
+    cfg.sm.r_ref_max = ini.getDouble("sm", "r_ref_max",
+                                     cfg.sm.r_ref_max);
+    cfg.sm.period = static_cast<unsigned>(
+        ini.getInt("sm", "period", cfg.sm.period));
+    cfg.sm.unthrottle_margin = ini.getDouble(
+        "sm", "unthrottle_margin", cfg.sm.unthrottle_margin);
+    cfg.sm.release_gain_ratio = ini.getDouble(
+        "sm", "release_gain_ratio", cfg.sm.release_gain_ratio);
+
+    cfg.em.period = static_cast<unsigned>(
+        ini.getInt("em", "period", cfg.em.period));
+    if (ini.has("em", "policy"))
+        cfg.em.policy = policyFromName(ini.get("em", "policy"));
+    cfg.em.demand_horizon = ini.getDouble("em", "demand_horizon",
+                                          cfg.em.demand_horizon);
+    cfg.em.history_horizon = ini.getDouble("em", "history_horizon",
+                                           cfg.em.history_horizon);
+    cfg.em.seed = static_cast<uint64_t>(
+        ini.getInt("em", "seed", static_cast<long>(cfg.em.seed)));
+
+    cfg.gm.period = static_cast<unsigned>(
+        ini.getInt("gm", "period", cfg.gm.period));
+    if (ini.has("gm", "policy"))
+        cfg.gm.policy = policyFromName(ini.get("gm", "policy"));
+    cfg.gm.demand_horizon = ini.getDouble("gm", "demand_horizon",
+                                          cfg.gm.demand_horizon);
+    cfg.gm.history_horizon = ini.getDouble("gm", "history_horizon",
+                                           cfg.gm.history_horizon);
+    cfg.gm.seed = static_cast<uint64_t>(
+        ini.getInt("gm", "seed", static_cast<long>(cfg.gm.seed)));
+
+    auto &vmc = cfg.vmc;
+    vmc.period = static_cast<unsigned>(
+        ini.getInt("vmc", "period", vmc.period));
+    vmc.allow_power_off = ini.getBool("vmc", "allow_power_off",
+                                      vmc.allow_power_off);
+    vmc.capacity_target = ini.getDouble("vmc", "capacity_target",
+                                        vmc.capacity_target);
+    vmc.migration_ticks = static_cast<size_t>(ini.getInt(
+        "vmc", "migration_ticks",
+        static_cast<long>(vmc.migration_ticks)));
+    vmc.buffer_gain = ini.getDouble("vmc", "buffer_gain",
+                                    vmc.buffer_gain);
+    vmc.gain_ref_period = static_cast<unsigned>(ini.getInt(
+        "vmc", "gain_ref_period", vmc.gain_ref_period));
+    vmc.buffer_decay = ini.getDouble("vmc", "buffer_decay",
+                                     vmc.buffer_decay);
+    vmc.buffer_max = ini.getDouble("vmc", "buffer_max", vmc.buffer_max);
+    vmc.buffer_init = ini.getDouble("vmc", "buffer_init",
+                                    vmc.buffer_init);
+    vmc.adoption_margin = ini.getDouble("vmc", "adoption_margin",
+                                        vmc.adoption_margin);
+    vmc.spread_sigma = ini.getDouble("vmc", "spread_sigma",
+                                     vmc.spread_sigma);
+    vmc.use_real_util = ini.getBool("vmc", "use_real_util",
+                                    vmc.use_real_util);
+    vmc.use_budget_constraints = ini.getBool(
+        "vmc", "use_budget_constraints", vmc.use_budget_constraints);
+    vmc.use_violation_feedback = ini.getBool(
+        "vmc", "use_violation_feedback", vmc.use_violation_feedback);
+    vmc.use_forecast = ini.getBool("vmc", "use_forecast",
+                                   vmc.use_forecast);
+    if (ini.has("vmc", "forecast_method")) {
+        vmc.forecast.method = forecastFromName(
+            ini.get("vmc", "forecast_method"));
+    }
+    vmc.forecast.alpha = ini.getDouble("vmc", "forecast_alpha",
+                                       vmc.forecast.alpha);
+    vmc.forecast.beta = ini.getDouble("vmc", "forecast_beta",
+                                      vmc.forecast.beta);
+
+    cfg.cap.period = static_cast<unsigned>(
+        ini.getInt("cap", "period", cfg.cap.period));
+    cfg.cap.release_margin = ini.getDouble("cap", "release_margin",
+                                           cfg.cap.release_margin);
+
+    cfg.mem.period = static_cast<unsigned>(
+        ini.getInt("mem", "period", cfg.mem.period));
+    cfg.mem.engage_below = ini.getDouble("mem", "engage_below",
+                                         cfg.mem.engage_below);
+    cfg.mem.release_above = ini.getDouble("mem", "release_above",
+                                          cfg.mem.release_above);
+    cfg.mem.engage_patience = static_cast<unsigned>(ini.getInt(
+        "mem", "engage_patience", cfg.mem.engage_patience));
+
+    cfg.budgets.grp_off_frac = ini.getDouble(
+        "budgets", "group_off", cfg.budgets.grp_off_frac);
+    cfg.budgets.enc_off_frac = ini.getDouble(
+        "budgets", "enclosure_off", cfg.budgets.enc_off_frac);
+    cfg.budgets.loc_off_frac = ini.getDouble(
+        "budgets", "local_off", cfg.budgets.loc_off_frac);
+
+    return cfg;
+}
+
+CoordinationConfig
+loadConfigFile(const std::string &path)
+{
+    return configFromIni(util::readIniFile(path));
+}
+
+util::IniDocument
+configToIni(const CoordinationConfig &cfg)
+{
+    IniDocument ini;
+    ini.set("deployment", "coordinated", boolStr(cfg.coordinated));
+    ini.set("deployment", "enable_ec", boolStr(cfg.enable_ec));
+    ini.set("deployment", "enable_sm", boolStr(cfg.enable_sm));
+    ini.set("deployment", "enable_em", boolStr(cfg.enable_em));
+    ini.set("deployment", "enable_gm", boolStr(cfg.enable_gm));
+    ini.set("deployment", "enable_vmc", boolStr(cfg.enable_vmc));
+    ini.set("deployment", "enable_cap", boolStr(cfg.enable_cap));
+    ini.set("deployment", "enable_mem", boolStr(cfg.enable_mem));
+    ini.set("deployment", "alpha_v", numStr(cfg.alpha_v));
+    ini.set("deployment", "alpha_m", numStr(cfg.alpha_m));
+    ini.set("deployment", "cap_limit_frac", numStr(cfg.cap_limit_frac));
+
+    ini.set("ec", "lambda", numStr(cfg.ec.lambda));
+    ini.set("ec", "r_ref", numStr(cfg.ec.r_ref));
+    ini.set("ec", "period", std::to_string(cfg.ec.period));
+    ini.set("ec", "objective",
+            cfg.ec.objective ==
+                    controllers::EcObjective::UtilizationTracking
+                ? "tracking"
+                : "energy-delay");
+    ini.set("ec", "quantize_up", boolStr(cfg.ec.quantize_up));
+
+    ini.set("sm", "beta", numStr(cfg.sm.beta));
+    ini.set("sm", "r_ref_min", numStr(cfg.sm.r_ref_min));
+    ini.set("sm", "r_ref_max", numStr(cfg.sm.r_ref_max));
+    ini.set("sm", "period", std::to_string(cfg.sm.period));
+    ini.set("sm", "unthrottle_margin",
+            numStr(cfg.sm.unthrottle_margin));
+    ini.set("sm", "release_gain_ratio",
+            numStr(cfg.sm.release_gain_ratio));
+
+    ini.set("em", "period", std::to_string(cfg.em.period));
+    ini.set("em", "policy", controllers::policyName(cfg.em.policy));
+    ini.set("em", "demand_horizon", numStr(cfg.em.demand_horizon));
+    ini.set("em", "history_horizon", numStr(cfg.em.history_horizon));
+    ini.set("em", "seed", std::to_string(cfg.em.seed));
+
+    ini.set("gm", "period", std::to_string(cfg.gm.period));
+    ini.set("gm", "policy", controllers::policyName(cfg.gm.policy));
+    ini.set("gm", "demand_horizon", numStr(cfg.gm.demand_horizon));
+    ini.set("gm", "history_horizon", numStr(cfg.gm.history_horizon));
+    ini.set("gm", "seed", std::to_string(cfg.gm.seed));
+
+    const auto &vmc = cfg.vmc;
+    ini.set("vmc", "period", std::to_string(vmc.period));
+    ini.set("vmc", "allow_power_off", boolStr(vmc.allow_power_off));
+    ini.set("vmc", "capacity_target", numStr(vmc.capacity_target));
+    ini.set("vmc", "migration_ticks",
+            std::to_string(vmc.migration_ticks));
+    ini.set("vmc", "buffer_gain", numStr(vmc.buffer_gain));
+    ini.set("vmc", "gain_ref_period",
+            std::to_string(vmc.gain_ref_period));
+    ini.set("vmc", "buffer_decay", numStr(vmc.buffer_decay));
+    ini.set("vmc", "buffer_max", numStr(vmc.buffer_max));
+    ini.set("vmc", "buffer_init", numStr(vmc.buffer_init));
+    ini.set("vmc", "adoption_margin", numStr(vmc.adoption_margin));
+    ini.set("vmc", "spread_sigma", numStr(vmc.spread_sigma));
+    ini.set("vmc", "use_real_util", boolStr(vmc.use_real_util));
+    ini.set("vmc", "use_budget_constraints",
+            boolStr(vmc.use_budget_constraints));
+    ini.set("vmc", "use_violation_feedback",
+            boolStr(vmc.use_violation_feedback));
+    ini.set("vmc", "use_forecast", boolStr(vmc.use_forecast));
+    ini.set("vmc", "forecast_method",
+            controllers::forecastMethodName(vmc.forecast.method));
+    ini.set("vmc", "forecast_alpha", numStr(vmc.forecast.alpha));
+    ini.set("vmc", "forecast_beta", numStr(vmc.forecast.beta));
+
+    ini.set("cap", "period", std::to_string(cfg.cap.period));
+    ini.set("cap", "release_margin", numStr(cfg.cap.release_margin));
+
+    ini.set("mem", "period", std::to_string(cfg.mem.period));
+    ini.set("mem", "engage_below", numStr(cfg.mem.engage_below));
+    ini.set("mem", "release_above", numStr(cfg.mem.release_above));
+    ini.set("mem", "engage_patience",
+            std::to_string(cfg.mem.engage_patience));
+
+    ini.set("budgets", "group_off", numStr(cfg.budgets.grp_off_frac));
+    ini.set("budgets", "enclosure_off",
+            numStr(cfg.budgets.enc_off_frac));
+    ini.set("budgets", "local_off", numStr(cfg.budgets.loc_off_frac));
+    return ini;
+}
+
+} // namespace core
+} // namespace nps

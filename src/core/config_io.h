@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Configuration file binding: load and save a CoordinationConfig (and
+ * the experiment-level knobs around it) as an INI document, so a whole
+ * deployment can be described declaratively:
+ *
+ *     [deployment]
+ *     coordinated = true
+ *     enable_cap = false
+ *     [ec]
+ *     lambda = 0.8
+ *     r_ref = 0.75
+ *     [budgets]
+ *     group_off = 0.20
+ *     ...
+ *
+ * Loading is strict: unknown sections or keys are fatal errors, so a
+ * typo cannot silently fall back to a default.
+ */
+
+#ifndef NPS_CORE_CONFIG_IO_H
+#define NPS_CORE_CONFIG_IO_H
+
+#include <string>
+
+#include "core/config.h"
+#include "util/ini.h"
+
+namespace nps {
+namespace core {
+
+/**
+ * Parse a CoordinationConfig from an INI document. Keys not present
+ * keep their Figure 5 defaults; unknown sections/keys are fatal.
+ */
+CoordinationConfig configFromIni(const util::IniDocument &ini);
+
+/** Load a configuration from an INI file. */
+CoordinationConfig loadConfigFile(const std::string &path);
+
+/** Render a configuration (all knobs, current values) as INI text. */
+util::IniDocument configToIni(const CoordinationConfig &config);
+
+} // namespace core
+} // namespace nps
+
+#endif // NPS_CORE_CONFIG_IO_H

@@ -1,0 +1,147 @@
+#include "core/coordinator.h"
+
+#include "util/logging.h"
+
+namespace nps {
+namespace core {
+
+Coordinator::Coordinator(const CoordinationConfig &config,
+                         const sim::Topology &topo,
+                         const model::MachineSpec &spec,
+                         const std::vector<trace::UtilizationTrace> &traces,
+                         bool keep_series)
+    : config_(config.resolved()),
+      cluster_(std::make_unique<sim::Cluster>(topo, spec, traces,
+                                              config_.budgets,
+                                              config_.alpha_v,
+                                              config_.alpha_m)),
+      metrics_(keep_series),
+      engine_(std::make_unique<sim::Engine>(*cluster_, metrics_))
+{
+    buildControllers();
+}
+
+Coordinator::Coordinator(
+    const CoordinationConfig &config, const sim::Topology &topo,
+    const std::vector<std::shared_ptr<const model::MachineSpec>> &specs,
+    const std::vector<trace::UtilizationTrace> &traces, bool keep_series)
+    : config_(config.resolved()),
+      cluster_(std::make_unique<sim::Cluster>(topo, specs, traces,
+                                              config_.budgets,
+                                              config_.alpha_v,
+                                              config_.alpha_m)),
+      metrics_(keep_series),
+      engine_(std::make_unique<sim::Engine>(*cluster_, metrics_))
+{
+    buildControllers();
+}
+
+void
+Coordinator::buildControllers()
+{
+    sim::Cluster &cl = *cluster_;
+
+    // Innermost first: one EC per server.
+    if (config_.enable_ec) {
+        for (auto &srv : cl.servers()) {
+            auto ec = std::make_shared<controllers::EfficiencyController>(
+                srv, config_.ec);
+            ecs_.push_back(ec);
+            engine_->addActor(ec);
+        }
+    }
+
+    // SMs nested on the ECs (or standalone direct cappers).
+    if (config_.enable_sm) {
+        for (auto &srv : cl.servers()) {
+            controllers::EfficiencyController *ec =
+                config_.enable_ec ? ecs_[srv.id()].get() : nullptr;
+            auto sm = std::make_shared<controllers::ServerManager>(
+                srv, ec, cl.capLoc(srv.id()), config_.sm);
+            sms_.push_back(sm);
+            engine_->addActor(sm);
+        }
+    }
+
+    // Optional electrical cappers, parallel to the ECs.
+    if (config_.enable_cap) {
+        for (auto &srv : cl.servers()) {
+            auto cap = std::make_shared<controllers::ElectricalCapper>(
+                srv, config_.cap_limit_frac * srv.model().maxPower(),
+                config_.cap);
+            caps_.push_back(cap);
+            engine_->addActor(cap);
+        }
+    }
+
+    // Optional memory managers: the second per-server actuator.
+    if (config_.enable_mem) {
+        for (auto &srv : cl.servers()) {
+            auto mm = std::make_shared<controllers::MemoryManager>(
+                srv, config_.mem);
+            mems_.push_back(mm);
+            engine_->addActor(mm);
+        }
+    }
+
+    // EMs need the blade SMs to push budgets into.
+    if (config_.enable_em && config_.enable_sm) {
+        for (const auto &enc : cl.enclosures()) {
+            std::vector<controllers::ServerManager *> blades;
+            for (sim::ServerId sid : enc.members())
+                blades.push_back(sms_[sid].get());
+            auto em = std::make_shared<controllers::EnclosureManager>(
+                cl, enc.id(), std::move(blades), cl.capEnc(enc.id()),
+                config_.em);
+            ems_.push_back(em);
+            engine_->addActor(em);
+        }
+    }
+
+    // The GM federates EMs and standalone SMs.
+    if (config_.enable_gm && config_.enable_sm) {
+        std::vector<controllers::EnclosureManager *> em_ptrs;
+        for (auto &em : ems_)
+            em_ptrs.push_back(em.get());
+        std::vector<controllers::ServerManager *> standalone;
+        if (ems_.empty()) {
+            // Without EMs every server is a direct child of the GM.
+            for (auto &sm : sms_)
+                standalone.push_back(sm.get());
+        } else {
+            for (sim::ServerId sid : cl.standaloneServers())
+                standalone.push_back(sms_[sid].get());
+        }
+        std::vector<controllers::ServerManager *> all;
+        for (auto &sm : sms_)
+            all.push_back(sm.get());
+        gm_ = std::make_shared<controllers::GroupManager>(
+            cl, std::move(em_ptrs), std::move(standalone), std::move(all),
+            cl.capGrp(), config_.gm);
+        engine_->addActor(gm_);
+    }
+
+    // The VMC consumes the violation feeds of every capping level.
+    if (config_.enable_vmc) {
+        controllers::VmController::Feedback feedback;
+        if (config_.vmc.use_violation_feedback) {
+            for (auto &sm : sms_)
+                feedback.local.push_back(sm.get());
+            for (auto &em : ems_)
+                feedback.enclosure.push_back(em.get());
+            feedback.group = gm_.get();
+        }
+        vmc_ = std::make_shared<controllers::VmController>(
+            cl, std::move(feedback), config_.vmc);
+        engine_->addActor(vmc_);
+    }
+}
+
+void
+Coordinator::run(size_t ticks)
+{
+    engine_->run(ticks);
+}
+
+} // namespace core
+} // namespace nps

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Coordinator: the public entry point of the library.
+ *
+ * Builds the full Figure 2 architecture over a cluster — per-server ECs
+ * and SMs (nested), EMs per enclosure, one GM, the VMC, and optional
+ * electrical cappers — wiring every coordination channel described in
+ * Figure 4:
+ *
+ *   EC  : exposes setReference() to the SM;
+ *   SM  : exposes setBudget() to the EM/GM and its violation history to
+ *         the VMC;
+ *   EM  : exposes setBudget() to the GM and violations to the VMC;
+ *   GM  : exposes violations to the VMC;
+ *   VMC : consumes real utilization, budget constraints and violation
+ *         feedback.
+ *
+ * The same constructor also realizes the *uncoordinated* deployment (all
+ * five solutions from different vendors side by side) when the config's
+ * coordination switch is off.
+ */
+
+#ifndef NPS_CORE_COORDINATOR_H
+#define NPS_CORE_COORDINATOR_H
+
+#include <memory>
+#include <vector>
+
+#include "core/config.h"
+#include "sim/engine.h"
+
+namespace nps {
+namespace core {
+
+/**
+ * Owns a cluster, its controller stack, metrics, and the engine.
+ */
+class Coordinator
+{
+  public:
+    /**
+     * Build the architecture over a homogeneous cluster.
+     *
+     * @param config  Deployment configuration (resolved internally).
+     * @param topo    Cluster shape.
+     * @param spec    Machine spec used for every server.
+     * @param traces  One workload per VM.
+     * @param keep_series Retain per-tick series in the metrics collector.
+     */
+    Coordinator(const CoordinationConfig &config,
+                const sim::Topology &topo, const model::MachineSpec &spec,
+                const std::vector<trace::UtilizationTrace> &traces,
+                bool keep_series = false);
+
+    /** Heterogeneous variant: one spec per server. */
+    Coordinator(const CoordinationConfig &config,
+                const sim::Topology &topo,
+                const std::vector<std::shared_ptr<const model::MachineSpec>>
+                    &specs,
+                const std::vector<trace::UtilizationTrace> &traces,
+                bool keep_series = false);
+
+    Coordinator(const Coordinator &) = delete;
+    Coordinator &operator=(const Coordinator &) = delete;
+
+    /** Advance the simulation by @p ticks. */
+    void run(size_t ticks);
+
+    /** The resolved configuration in force. */
+    const CoordinationConfig &config() const { return config_; }
+
+    /** The managed cluster. */
+    sim::Cluster &cluster() { return *cluster_; }
+    const sim::Cluster &cluster() const { return *cluster_; }
+
+    /** Aggregated metrics so far. */
+    sim::MetricsSummary summary() const { return metrics_.summary(); }
+
+    /** The metrics collector (for series access). */
+    const sim::MetricsCollector &metrics() const { return metrics_; }
+
+    /** The VMC, or nullptr when disabled. */
+    const controllers::VmController *vmc() const { return vmc_.get(); }
+
+    /** The per-server ECs (empty when disabled), in server-id order. */
+    const std::vector<std::shared_ptr<controllers::EfficiencyController>> &
+    ecs() const
+    {
+        return ecs_;
+    }
+
+    /** The per-server SMs (empty when disabled), in server-id order. */
+    const std::vector<std::shared_ptr<controllers::ServerManager>> &
+    sms() const
+    {
+        return sms_;
+    }
+
+    /** The EMs (empty when disabled), in enclosure order. */
+    const std::vector<std::shared_ptr<controllers::EnclosureManager>> &
+    ems() const
+    {
+        return ems_;
+    }
+
+    /** The GM, or nullptr when disabled. */
+    const controllers::GroupManager *gm() const { return gm_.get(); }
+
+    /** The electrical cappers (empty when disabled), in server order. */
+    const std::vector<std::shared_ptr<controllers::ElectricalCapper>> &
+    caps() const
+    {
+        return caps_;
+    }
+
+    /** The memory managers (empty when disabled), in server order. */
+    const std::vector<std::shared_ptr<controllers::MemoryManager>> &
+    mems() const
+    {
+        return mems_;
+    }
+
+    /** The engine (for adding custom actors before running). */
+    sim::Engine &engine() { return *engine_; }
+
+  private:
+    void buildControllers();
+
+    CoordinationConfig config_;
+    std::unique_ptr<sim::Cluster> cluster_;
+    sim::MetricsCollector metrics_;
+    std::unique_ptr<sim::Engine> engine_;
+    std::vector<std::shared_ptr<controllers::EfficiencyController>> ecs_;
+    std::vector<std::shared_ptr<controllers::ServerManager>> sms_;
+    std::vector<std::shared_ptr<controllers::EnclosureManager>> ems_;
+    std::shared_ptr<controllers::GroupManager> gm_;
+    std::shared_ptr<controllers::VmController> vmc_;
+    std::vector<std::shared_ptr<controllers::ElectricalCapper>> caps_;
+    std::vector<std::shared_ptr<controllers::MemoryManager>> mems_;
+};
+
+} // namespace core
+} // namespace nps
+
+#endif // NPS_CORE_COORDINATOR_H

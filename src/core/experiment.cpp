@@ -1,0 +1,89 @@
+#include "core/experiment.h"
+
+#include "core/coordinator.h"
+#include "core/scenarios.h"
+#include "util/logging.h"
+
+namespace nps {
+namespace core {
+
+ExperimentRunner::ExperimentRunner()
+    : library_(trace::GeneratorConfig{})
+{
+}
+
+ExperimentRunner::ExperimentRunner(const trace::GeneratorConfig &gen)
+    : library_(gen)
+{
+}
+
+model::MachineSpec
+ExperimentRunner::machineFor(const ExperimentSpec &spec) const
+{
+    model::MachineSpec machine =
+        spec.custom_machine ? *spec.custom_machine
+                            : model::machineByName(spec.machine);
+    if (spec.two_pstates)
+        return machine.extremesOnly();
+    return machine;
+}
+
+sim::Topology
+ExperimentRunner::topologyFor(trace::Mix mix)
+{
+    return mix == trace::Mix::All180 ? sim::Topology::paper180()
+                                     : sim::Topology::paper60();
+}
+
+sim::MetricsSummary
+ExperimentRunner::baselineFor(const ExperimentSpec &spec)
+{
+    // Baseline energy is independent of the P-state table reduction
+    // (everything runs at P0) and of the budget configuration (no
+    // controller is on), so the cache key is machine/mix/horizon.
+    std::string machine_key = spec.custom_machine
+                                  ? spec.custom_machine->name()
+                                  : spec.machine;
+    std::string key = machine_key + "/" + trace::mixName(spec.mix) +
+                      "/" + std::to_string(spec.ticks);
+    auto it = baseline_cache_.find(key);
+    if (it != baseline_cache_.end())
+        return it->second;
+
+    CoordinationConfig cfg = baselineConfig();
+    cfg.budgets = spec.config.budgets;
+    Coordinator base(cfg, topologyFor(spec.mix),
+                     spec.custom_machine
+                         ? *spec.custom_machine
+                         : model::machineByName(spec.machine),
+                     library_.mix(spec.mix));
+    base.run(spec.ticks);
+    sim::MetricsSummary summary = base.summary();
+    baseline_cache_[key] = summary;
+    return summary;
+}
+
+ExperimentResult
+ExperimentRunner::run(const ExperimentSpec &spec)
+{
+    if (spec.ticks == 0)
+        util::fatal("ExperimentRunner: zero-tick experiment '%s'",
+                    spec.label.c_str());
+
+    ExperimentResult result;
+    result.label = spec.label;
+    result.baseline = baselineFor(spec);
+
+    Coordinator coord(spec.config, topologyFor(spec.mix), machineFor(spec),
+                      library_.mix(spec.mix));
+    coord.run(spec.ticks);
+    result.scenario = coord.summary();
+    result.power_savings = sim::powerSavings(result.baseline,
+                                             result.scenario);
+    if (coord.vmc())
+        result.vmc = coord.vmc()->stats();
+    return result;
+}
+
+} // namespace core
+} // namespace nps

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * ExperimentRunner: the evaluation harness behind every figure and table.
+ *
+ * An experiment names a scenario configuration, a machine model, a
+ * workload mix, and a horizon; the runner simulates it next to the
+ * all-controllers-off baseline over identical traces and reports the
+ * paper's metrics (power savings, performance loss, violations per
+ * level). Baselines are cached, since the paper normalizes hundreds of
+ * configurations against the same handful of baselines.
+ */
+
+#ifndef NPS_CORE_EXPERIMENT_H
+#define NPS_CORE_EXPERIMENT_H
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "core/config.h"
+#include "sim/metrics.h"
+#include "trace/workload.h"
+
+namespace nps {
+namespace core {
+
+/** One experiment to run. */
+struct ExperimentSpec
+{
+    std::string label;                     //!< free-form row label
+    CoordinationConfig config;             //!< deployment under test
+    std::string machine = "BladeA";        //!< "BladeA" or "ServerB"
+    bool two_pstates = false;              //!< Section 5.3 reduction
+    /**
+     * Optional explicit machine spec (e.g. an idle-scaled or calibrated
+     * variant); overrides `machine` when set. Baselines are cached under
+     * the spec's name.
+     */
+    std::optional<model::MachineSpec> custom_machine;
+    trace::Mix mix = trace::Mix::All180;   //!< workload mix
+    size_t ticks = 2880;                   //!< simulation horizon
+};
+
+/** The evaluated outcome of one experiment. */
+struct ExperimentResult
+{
+    std::string label;
+    sim::MetricsSummary baseline;  //!< no-power-management run
+    sim::MetricsSummary scenario;  //!< the deployment under test
+    double power_savings = 0.0;    //!< 1 - energy / baseline energy
+    controllers::VmController::Stats vmc;  //!< zeros when VMC disabled
+};
+
+/**
+ * Runs experiments against a shared workload library.
+ */
+class ExperimentRunner
+{
+  public:
+    /** Build the shared 180-trace campaign with default generation. */
+    ExperimentRunner();
+
+    /** Build with explicit trace-generation configuration. */
+    explicit ExperimentRunner(const trace::GeneratorConfig &gen);
+
+    /** The shared workload library. */
+    const trace::WorkloadLibrary &library() const { return library_; }
+
+    /** Run one experiment (baseline cached per machine/mix/horizon). */
+    ExperimentResult run(const ExperimentSpec &spec);
+
+    /** Resolve the machine spec an experiment uses. */
+    model::MachineSpec machineFor(const ExperimentSpec &spec) const;
+
+    /** Topology used for a mix (paper180 for the 180 mix, else paper60). */
+    static sim::Topology topologyFor(trace::Mix mix);
+
+  private:
+    sim::MetricsSummary baselineFor(const ExperimentSpec &spec);
+
+    trace::WorkloadLibrary library_;
+    std::map<std::string, sim::MetricsSummary> baseline_cache_;
+};
+
+} // namespace core
+} // namespace nps
+
+#endif // NPS_CORE_EXPERIMENT_H

@@ -1,0 +1,134 @@
+#include "model/calibration.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace nps {
+namespace model {
+
+LinearFit
+fitLine(const std::vector<PowerSample> &samples)
+{
+    if (samples.size() < 2)
+        util::fatal("fitLine: need at least two samples");
+
+    double n = static_cast<double>(samples.size());
+    double sum_x = 0.0, sum_y = 0.0, sum_xx = 0.0, sum_xy = 0.0;
+    for (const auto &s : samples) {
+        sum_x += s.util;
+        sum_y += s.watts;
+        sum_xx += s.util * s.util;
+        sum_xy += s.util * s.watts;
+    }
+    double denom = n * sum_xx - sum_x * sum_x;
+    if (std::fabs(denom) < 1e-12)
+        util::fatal("fitLine: degenerate utilization grid");
+
+    LinearFit fit;
+    fit.slope = (n * sum_xy - sum_x * sum_y) / denom;
+    fit.intercept = (sum_y - fit.slope * sum_x) / n;
+
+    // R^2 = 1 - SS_res / SS_tot.
+    double mean_y = sum_y / n;
+    double ss_tot = 0.0, ss_res = 0.0;
+    for (const auto &s : samples) {
+        double pred = fit.slope * s.util + fit.intercept;
+        ss_tot += (s.watts - mean_y) * (s.watts - mean_y);
+        ss_res += (s.watts - pred) * (s.watts - pred);
+    }
+    fit.r2 = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+    return fit;
+}
+
+SimulatedMachine::SimulatedMachine(MachineSpec truth, double noise_watts,
+                                   uint64_t seed)
+    : truth_(std::move(truth)),
+      noise_watts_(noise_watts),
+      rng_(seed, "calibration-noise")
+{
+}
+
+size_t
+SimulatedMachine::numPStates() const
+{
+    return truth_.pstates().size();
+}
+
+double
+SimulatedMachine::freqMhz(size_t state) const
+{
+    return truth_.pstates().at(state).freq_mhz;
+}
+
+double
+SimulatedMachine::measure(size_t state, double util)
+{
+    double truth = truth_.model().powerAt(state, util);
+    double noisy = truth + rng_.gaussian(0.0, noise_watts_);
+    return std::max(0.0, noisy);
+}
+
+Calibrator::Calibrator(std::vector<double> levels, unsigned repeats)
+    : levels_(std::move(levels)), repeats_(repeats)
+{
+    if (levels_.size() < 2)
+        util::fatal("Calibrator: need at least two utilization levels");
+    if (repeats_ == 0)
+        util::fatal("Calibrator: repeats must be positive");
+    for (double l : levels_) {
+        if (l < 0.0 || l > 1.0)
+            util::fatal("Calibrator: level %f out of [0,1]", l);
+    }
+}
+
+std::vector<LinearFit>
+Calibrator::calibrate(MeasurementSource &source) const
+{
+    std::vector<LinearFit> fits;
+    for (size_t state = 0; state < source.numPStates(); ++state) {
+        std::vector<PowerSample> samples;
+        for (double level : levels_) {
+            double acc = 0.0;
+            for (unsigned r = 0; r < repeats_; ++r)
+                acc += source.measure(state, level);
+            samples.push_back(
+                {level, acc / static_cast<double>(repeats_)});
+        }
+        fits.push_back(fitLine(samples));
+    }
+    return fits;
+}
+
+MachineSpec
+Calibrator::buildSpec(MeasurementSource &source, const std::string &name,
+                      double off_watts, unsigned boot_ticks) const
+{
+    auto fits = calibrate(source);
+    std::vector<PState> states;
+    double prev_peak = 0.0;
+    double prev_idle = 0.0;
+    for (size_t i = 0; i < fits.size(); ++i) {
+        PState s;
+        s.freq_mhz = source.freqMhz(i);
+        s.dyn_watts = std::max(0.0, fits[i].slope);
+        s.idle_watts = std::max(0.0, fits[i].intercept);
+        if (i > 0) {
+            // Measurement noise can produce tiny monotonicity violations
+            // the PStateTable invariants would reject; pin the fitted
+            // curves back under the faster state's envelope.
+            s.idle_watts = std::min(s.idle_watts, prev_idle);
+            if (s.idle_watts + s.dyn_watts > prev_peak)
+                s.dyn_watts = std::max(0.0, prev_peak - s.idle_watts);
+        }
+        prev_peak = s.idle_watts + s.dyn_watts;
+        prev_idle = s.idle_watts;
+        states.push_back(s);
+    }
+    return MachineSpec(name, PStateTable(std::move(states)), off_watts,
+                       boot_ticks);
+}
+
+} // namespace model
+} // namespace nps

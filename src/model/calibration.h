@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Model calibration: reproduce the paper's flow of running workloads at
+ * controlled utilization levels on real hardware, measuring power, and
+ * curve-fitting linear per-P-state models (Section 4.1).
+ *
+ * Since the authors' testbed is unavailable, a MeasurementSource abstracts
+ * "the machine under test": production code could wire a real power meter,
+ * while the shipped SimulatedMachine replays a ground-truth spec with
+ * configurable measurement noise, letting tests verify the fit recovers
+ * the underlying model.
+ */
+
+#ifndef NPS_MODEL_CALIBRATION_H
+#define NPS_MODEL_CALIBRATION_H
+
+#include <cstddef>
+#include <vector>
+
+#include "model/machine.h"
+#include "util/random.h"
+
+namespace nps {
+namespace model {
+
+/** One calibration observation: utilization level and measured power. */
+struct PowerSample
+{
+    double util = 0.0;   //!< apparent utilization the load generator held
+    double watts = 0.0;  //!< measured wall power
+};
+
+/** Result of fitting one P-state's linear power model. */
+struct LinearFit
+{
+    double slope = 0.0;      //!< fitted c_p (watts per unit utilization)
+    double intercept = 0.0;  //!< fitted d_p (idle watts)
+    double r2 = 0.0;         //!< coefficient of determination of the fit
+};
+
+/**
+ * Ordinary least-squares fit of watts = slope * util + intercept.
+ * @pre at least two samples with distinct utilizations.
+ */
+LinearFit fitLine(const std::vector<PowerSample> &samples);
+
+/**
+ * Abstract machine-under-test: something that can be pinned to a P-state
+ * and loaded to a target utilization while its power is measured.
+ */
+class MeasurementSource
+{
+  public:
+    virtual ~MeasurementSource() = default;
+
+    /** Number of P-states the machine exposes. */
+    virtual size_t numPStates() const = 0;
+
+    /** Frequency (MHz) of P-state @p state. */
+    virtual double freqMhz(size_t state) const = 0;
+
+    /**
+     * Hold the machine at @p state and drive apparent utilization
+     * @p util; @return the measured power in watts.
+     */
+    virtual double measure(size_t state, double util) = 0;
+};
+
+/**
+ * A simulated machine under test: answers measurements from a ground-truth
+ * MachineSpec plus zero-mean Gaussian meter noise.
+ */
+class SimulatedMachine : public MeasurementSource
+{
+  public:
+    /**
+     * @param truth       Ground-truth spec generating the measurements.
+     * @param noise_watts Standard deviation of additive meter noise.
+     * @param seed        RNG seed for the noise stream.
+     */
+    SimulatedMachine(MachineSpec truth, double noise_watts, uint64_t seed);
+
+    size_t numPStates() const override;
+    double freqMhz(size_t state) const override;
+    double measure(size_t state, double util) override;
+
+  private:
+    MachineSpec truth_;
+    double noise_watts_;
+    util::Rng rng_;
+};
+
+/**
+ * Calibration campaign: sweeps every P-state over a grid of utilization
+ * levels, takes repeated measurements, and fits the linear models.
+ */
+class Calibrator
+{
+  public:
+    /**
+     * @param levels  Utilization grid, e.g. {0, 0.25, 0.5, 0.75, 1.0}.
+     * @param repeats Measurements averaged per grid point.
+     */
+    Calibrator(std::vector<double> levels, unsigned repeats);
+
+    /** Fit all P-states of @p source. @return one fit per state. */
+    std::vector<LinearFit> calibrate(MeasurementSource &source) const;
+
+    /**
+     * Build a complete MachineSpec from a calibration run.
+     * @param source     machine under test
+     * @param name       name for the produced spec
+     * @param off_watts  off power (not measurable through the load loop)
+     * @param boot_ticks boot latency for the produced spec
+     */
+    MachineSpec buildSpec(MeasurementSource &source, const std::string &name,
+                          double off_watts, unsigned boot_ticks) const;
+
+  private:
+    std::vector<double> levels_;
+    unsigned repeats_;
+};
+
+} // namespace model
+} // namespace nps
+
+#endif // NPS_MODEL_CALIBRATION_H

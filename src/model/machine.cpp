@@ -1,0 +1,114 @@
+#include "model/machine.h"
+
+#include "util/logging.h"
+
+namespace nps {
+namespace model {
+
+MachineSpec::MachineSpec(std::string name, PStateTable table,
+                         double off_watts, unsigned boot_ticks)
+    : name_(std::move(name)),
+      model_(std::move(table)),
+      off_watts_(off_watts),
+      boot_ticks_(boot_ticks)
+{
+    if (off_watts_ < 0.0)
+        util::fatal("MachineSpec %s: negative off power", name_.c_str());
+}
+
+MachineSpec
+MachineSpec::extremesOnly() const
+{
+    return MachineSpec(name_ + "-2p", pstates().extremesOnly(), off_watts_,
+                       boot_ticks_);
+}
+
+MachineSpec
+MachineSpec::withIdleScaled(double factor) const
+{
+    std::vector<PState> states;
+    for (size_t i = 0; i < pstates().size(); ++i) {
+        PState s = pstates().at(i);
+        s.idle_watts *= factor;
+        states.push_back(s);
+    }
+    return MachineSpec(name_ + "-idleX", PStateTable(std::move(states)),
+                       off_watts_ * factor, boot_ticks_);
+}
+
+MachineSpec
+bladeA()
+{
+    // 5 non-uniformly clustered P-states; wide dynamic range (peak power
+    // falls ~40% from P0 to P4) and moderate idle fraction. Frequencies
+    // are the paper's: 1 GHz, 833, 700, 600, 533 MHz.
+    std::vector<PState> states = {
+        {1000.0, 43.0, 42.0},  // P0: 85 W peak
+        { 833.0, 36.0, 36.0},  // P1: 72 W
+        { 700.0, 30.0, 32.0},  // P2: 62 W
+        { 600.0, 26.0, 29.0},  // P3: 55 W
+        { 533.0, 23.0, 27.0},  // P4: 50 W
+    };
+    return MachineSpec("BladeA", PStateTable(std::move(states)), 2.0, 8);
+}
+
+MachineSpec
+serverB()
+{
+    // 6 relatively uniform P-states; high idle power and a narrow dynamic
+    // range (peak power falls only ~21% from P0 to P5, roughly half of
+    // Blade A's relative range). Frequencies are the paper's: 2.6, 2.4,
+    // 2.2, 2.0, 1.8, 1.0 GHz.
+    std::vector<PState> states = {
+        {2600.0, 65.0, 195.0},  // P0: 260 W peak
+        {2400.0, 61.0, 191.0},  // P1: 252 W
+        {2200.0, 57.0, 188.0},  // P2: 245 W
+        {2000.0, 54.0, 185.0},  // P3: 239 W
+        {1800.0, 51.0, 182.0},  // P4: 233 W
+        {1000.0, 40.0, 165.0},  // P5: 205 W
+    };
+    return MachineSpec("ServerB", PStateTable(std::move(states)), 5.0, 12);
+}
+
+MachineSpec
+machineByName(const std::string &name)
+{
+    if (name == "BladeA")
+        return bladeA();
+    if (name == "ServerB")
+        return serverB();
+    util::fatal("machineByName: unknown machine '%s'", name.c_str());
+}
+
+void
+MachineRegistry::add(const MachineSpec &spec)
+{
+    specs_[spec.name()] = std::make_shared<const MachineSpec>(spec);
+}
+
+std::shared_ptr<const MachineSpec>
+MachineRegistry::get(const std::string &name) const
+{
+    auto it = specs_.find(name);
+    if (it == specs_.end())
+        util::fatal("MachineRegistry: unknown machine '%s'", name.c_str());
+    return it->second;
+}
+
+bool
+MachineRegistry::contains(const std::string &name) const
+{
+    return specs_.count(name) > 0;
+}
+
+MachineRegistry
+MachineRegistry::standard()
+{
+    MachineRegistry reg;
+    reg.add(bladeA());
+    reg.add(serverB());
+    return reg;
+}
+
+} // namespace model
+} // namespace nps

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Machine specifications: named server models with their P-state tables and
+ * platform-level parameters (off power, boot cost).
+ *
+ * Two reference machines reproduce the paper's studied systems:
+ *  - Blade A: a low-power blade with 5 non-uniformly clustered P-states
+ *    (1 GHz .. 533 MHz) and a *large* dynamic power range;
+ *  - Server B: an entry-level 2U server with 6 relatively uniform P-states
+ *    (2.6 GHz .. 1.0 GHz), high idle power, and a *small* dynamic range.
+ *
+ * The absolute wattages are synthetic stand-ins for the paper's proprietary
+ * calibration data; they preserve every qualitative property the paper
+ * states (see DESIGN.md, substitution table).
+ */
+
+#ifndef NPS_MODEL_MACHINE_H
+#define NPS_MODEL_MACHINE_H
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "model/power_model.h"
+
+namespace nps {
+namespace model {
+
+/** Static description of one server model. */
+class MachineSpec
+{
+  public:
+    /**
+     * @param name      Human-readable model name (e.g. "BladeA").
+     * @param table     Calibrated P-state table.
+     * @param off_watts Residual power when the machine is powered off
+     *                  (management controller etc.).
+     * @param boot_ticks Simulation ticks a power-on transition takes,
+     *                  during which the machine burns idle power but
+     *                  serves no work.
+     */
+    MachineSpec(std::string name, PStateTable table, double off_watts,
+                unsigned boot_ticks);
+
+    /** @return model name. */
+    const std::string &name() const { return name_; }
+
+    /** @return the power/performance model. */
+    const PowerModel &model() const { return model_; }
+
+    /** @return the P-state table. */
+    const PStateTable &pstates() const { return model_.pstates(); }
+
+    /** @return residual power when off (watts). */
+    double offWatts() const { return off_watts_; }
+
+    /** @return boot latency in simulation ticks. */
+    unsigned bootTicks() const { return boot_ticks_; }
+
+    /**
+     * @return a copy of this spec with only the extreme P-states (P0 and
+     * the slowest), for the Section 5.3 simplification study. The copy is
+     * named "<name>-2p".
+     */
+    MachineSpec extremesOnly() const;
+
+    /** @return a copy with idle power scaled by @p factor at every state,
+     * named "<name>-idleX", used for idle-power sensitivity studies. */
+    MachineSpec withIdleScaled(double factor) const;
+
+  private:
+    std::string name_;
+    PowerModel model_;
+    double off_watts_;
+    unsigned boot_ticks_;
+};
+
+/** The paper's low-power blade: 5 P-states, wide power range. */
+MachineSpec bladeA();
+
+/** The paper's entry 2U server: 6 P-states, high idle, narrow range. */
+MachineSpec serverB();
+
+/** Look up a reference machine by name ("BladeA" or "ServerB"). */
+MachineSpec machineByName(const std::string &name);
+
+/**
+ * Registry of machine specs used to build heterogeneous clusters: maps a
+ * model name to a shared spec so hundreds of servers can reference the same
+ * immutable description.
+ */
+class MachineRegistry
+{
+  public:
+    /** Register (or replace) a spec under its own name. */
+    void add(const MachineSpec &spec);
+
+    /** @return the spec registered under @p name; fatal() if missing. */
+    std::shared_ptr<const MachineSpec> get(const std::string &name) const;
+
+    /** @return true when a spec with @p name exists. */
+    bool contains(const std::string &name) const;
+
+    /** @return a registry preloaded with BladeA and ServerB. */
+    static MachineRegistry standard();
+
+  private:
+    std::map<std::string, std::shared_ptr<const MachineSpec>> specs_;
+};
+
+} // namespace model
+} // namespace nps
+
+#endif // NPS_MODEL_MACHINE_H

@@ -1,0 +1,239 @@
+#include "sim/cluster.h"
+
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace nps {
+namespace sim {
+
+std::string
+BudgetConfig::label() const
+{
+    std::ostringstream ss;
+    ss << static_cast<int>(grp_off_frac * 100.0 + 0.5) << '-'
+       << static_cast<int>(enc_off_frac * 100.0 + 0.5) << '-'
+       << static_cast<int>(loc_off_frac * 100.0 + 0.5);
+    return ss.str();
+}
+
+Cluster::Cluster(const Topology &topo, const model::MachineSpec &spec,
+                 const std::vector<trace::UtilizationTrace> &traces,
+                 const BudgetConfig &budgets, double alpha_v,
+                 double alpha_m)
+    : budgets_(budgets), alpha_v_(alpha_v), alpha_m_(alpha_m)
+{
+    auto shared = std::make_shared<const model::MachineSpec>(spec);
+    servers_.reserve(topo.num_servers);
+    for (unsigned i = 0; i < topo.num_servers; ++i)
+        servers_.emplace_back(i, shared, alpha_v_, alpha_m_);
+    buildTopology(topo);
+    initialPlacement(traces);
+}
+
+Cluster::Cluster(
+    const Topology &topo,
+    const std::vector<std::shared_ptr<const model::MachineSpec>> &specs,
+    const std::vector<trace::UtilizationTrace> &traces,
+    const BudgetConfig &budgets, double alpha_v, double alpha_m)
+    : budgets_(budgets), alpha_v_(alpha_v), alpha_m_(alpha_m)
+{
+    if (specs.size() != topo.num_servers)
+        util::fatal("Cluster: %zu specs for %u servers", specs.size(),
+                    topo.num_servers);
+    servers_.reserve(topo.num_servers);
+    for (unsigned i = 0; i < topo.num_servers; ++i)
+        servers_.emplace_back(i, specs[i], alpha_v_, alpha_m_);
+    buildTopology(topo);
+    initialPlacement(traces);
+}
+
+void
+Cluster::buildTopology(const Topology &topo)
+{
+    const unsigned enclosed = topo.num_enclosures * topo.enclosure_size;
+    if (enclosed > topo.num_servers)
+        util::fatal("Cluster: %u enclosed blades exceed %u servers",
+                    enclosed, topo.num_servers);
+
+    server_enclosure_.assign(topo.num_servers, kNoEnclosure);
+    for (unsigned e = 0; e < topo.num_enclosures; ++e) {
+        std::vector<ServerId> members;
+        for (unsigned b = 0; b < topo.enclosure_size; ++b) {
+            ServerId sid = e * topo.enclosure_size + b;
+            members.push_back(sid);
+            server_enclosure_[sid] = e;
+        }
+        enclosures_.emplace_back(e, "enc" + std::to_string(e),
+                                 std::move(members));
+    }
+    for (ServerId sid = enclosed; sid < topo.num_servers; ++sid)
+        standalone_.push_back(sid);
+    last_.enclosure_power.assign(enclosures_.size(), 0.0);
+}
+
+void
+Cluster::initialPlacement(
+    const std::vector<trace::UtilizationTrace> &traces)
+{
+    if (traces.size() > servers_.size())
+        util::fatal("Cluster: %zu workloads exceed %zu servers",
+                    traces.size(), servers_.size());
+    vms_.reserve(traces.size());
+    vm_server_.assign(traces.size(), kNoServer);
+    for (VmId id = 0; id < traces.size(); ++id) {
+        vms_.emplace_back(id, traces[id]);
+        vm_server_[id] = id;
+        servers_[id].addVm(id);
+    }
+}
+
+Server &
+Cluster::server(ServerId id)
+{
+    if (id >= servers_.size())
+        util::panic("Cluster::server(%u): out of range", id);
+    return servers_[id];
+}
+
+const Server &
+Cluster::server(ServerId id) const
+{
+    if (id >= servers_.size())
+        util::panic("Cluster::server(%u): out of range", id);
+    return servers_[id];
+}
+
+const Enclosure &
+Cluster::enclosure(EnclosureId id) const
+{
+    if (id >= enclosures_.size())
+        util::panic("Cluster::enclosure(%u): out of range", id);
+    return enclosures_[id];
+}
+
+EnclosureId
+Cluster::enclosureOf(ServerId server) const
+{
+    if (server >= server_enclosure_.size())
+        util::panic("Cluster::enclosureOf(%u): out of range", server);
+    return server_enclosure_[server];
+}
+
+VirtualMachine &
+Cluster::vm(VmId id)
+{
+    if (id >= vms_.size())
+        util::panic("Cluster::vm(%u): out of range", id);
+    return vms_[id];
+}
+
+const VirtualMachine &
+Cluster::vm(VmId id) const
+{
+    if (id >= vms_.size())
+        util::panic("Cluster::vm(%u): out of range", id);
+    return vms_[id];
+}
+
+ServerId
+Cluster::serverOf(VmId vm) const
+{
+    if (vm >= vm_server_.size())
+        util::panic("Cluster::serverOf(%u): out of range", vm);
+    return vm_server_[vm];
+}
+
+void
+Cluster::placeVm(VmId vm, ServerId dst)
+{
+    if (dst >= servers_.size())
+        util::panic("Cluster::placeVm: server %u out of range", dst);
+    ServerId src = serverOf(vm);
+    if (src == dst)
+        return;
+    if (src != kNoServer)
+        servers_[src].removeVm(vm);
+    servers_[dst].addVm(vm);
+    vm_server_[vm] = dst;
+}
+
+void
+Cluster::migrateVm(VmId vm, ServerId dst, size_t tick,
+                   size_t migration_ticks)
+{
+    if (serverOf(vm) == dst)
+        return;
+    placeVm(vm, dst);
+    vms_[vm].beginMigration(tick + migration_ticks);
+}
+
+double
+Cluster::serverMaxPower(ServerId id) const
+{
+    return server(id).model().maxPower();
+}
+
+double
+Cluster::capLoc(ServerId id) const
+{
+    return (1.0 - budgets_.loc_off_frac) * serverMaxPower(id);
+}
+
+double
+Cluster::enclosureMaxPower(EnclosureId id) const
+{
+    double sum = 0.0;
+    for (ServerId sid : enclosure(id).members())
+        sum += serverMaxPower(sid);
+    return sum;
+}
+
+double
+Cluster::capEnc(EnclosureId id) const
+{
+    return (1.0 - budgets_.enc_off_frac) * enclosureMaxPower(id);
+}
+
+double
+Cluster::groupMaxPower() const
+{
+    double sum = 0.0;
+    for (const auto &s : servers_)
+        sum += s.model().maxPower();
+    return sum;
+}
+
+double
+Cluster::capGrp() const
+{
+    return (1.0 - budgets_.grp_off_frac) * groupMaxPower();
+}
+
+const ClusterTick &
+Cluster::evaluateTick(size_t tick)
+{
+    last_ = ClusterTick{};
+    last_.enclosure_power.assign(enclosures_.size(), 0.0);
+    for (auto &srv : servers_) {
+        const ServerTick &st = srv.evaluate(tick, vms_);
+        last_.total_power += st.power;
+        last_.demanded_useful += st.demanded_useful;
+        last_.served_useful += st.served_useful;
+        EnclosureId enc = server_enclosure_[srv.id()];
+        if (enc != kNoEnclosure)
+            last_.enclosure_power[enc] += st.power;
+    }
+    return last_;
+}
+
+double
+Cluster::lastEnclosurePower(EnclosureId id) const
+{
+    if (id >= last_.enclosure_power.size())
+        util::panic("Cluster::lastEnclosurePower(%u): out of range", id);
+    return last_.enclosure_power[id];
+}
+
+} // namespace sim
+} // namespace nps

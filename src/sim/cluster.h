@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Cluster: the complete managed system — servers, enclosures, VMs, the
+ * VM-to-server placement, and the static power budgets at every level.
+ *
+ * The paper's base topology is reproduced by the builders: 180 servers as
+ * six 20-blade enclosures plus sixty standalone servers (and the 60-server
+ * variant as two enclosures plus twenty standalone).
+ */
+
+#ifndef NPS_SIM_CLUSTER_H
+#define NPS_SIM_CLUSTER_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "model/machine.h"
+#include "sim/enclosure.h"
+#include "sim/server.h"
+#include "sim/vm.h"
+#include "trace/trace.h"
+
+namespace nps {
+namespace sim {
+
+/**
+ * Static power budgets expressed as fractional savings off the maximum
+ * possible power at each level: the paper's "20-15-10" configuration means
+ * the group cap is 20% below group max power, enclosure caps 15% below
+ * enclosure max, and local caps 10% below server max.
+ */
+struct BudgetConfig
+{
+    double grp_off_frac = 0.20;  //!< CAP_GRP = (1 - grp_off_frac) * max
+    double enc_off_frac = 0.15;  //!< CAP_ENC per enclosure
+    double loc_off_frac = 0.10;  //!< CAP_LOC per server
+
+    /** The paper's three studied configurations. */
+    static BudgetConfig paper201510() { return {0.20, 0.15, 0.10}; }
+    static BudgetConfig paper252015() { return {0.25, 0.20, 0.15}; }
+    static BudgetConfig paper302520() { return {0.30, 0.25, 0.20}; }
+
+    /** Paper label, e.g. "20-15-10". */
+    std::string label() const;
+};
+
+/** Per-tick cluster-wide evaluation summary. */
+struct ClusterTick
+{
+    double total_power = 0.0;            //!< group power (watts)
+    std::vector<double> enclosure_power; //!< per-enclosure power
+    double demanded_useful = 0.0;        //!< useful work requested
+    double served_useful = 0.0;          //!< useful work delivered
+};
+
+/** Shape parameters for building a paper-style cluster. */
+struct Topology
+{
+    unsigned num_servers = 180;
+    unsigned num_enclosures = 6;
+    unsigned enclosure_size = 20;
+
+    /** The paper's 180-server base configuration. */
+    static Topology paper180() { return {180, 6, 20}; }
+
+    /** The paper's 60-server configuration for the 60-workload mixes. */
+    static Topology paper60() { return {60, 2, 20}; }
+};
+
+/**
+ * The complete simulated data center.
+ */
+class Cluster
+{
+  public:
+    /**
+     * Build a cluster with one VM per trace, initially placed 1:1 on the
+     * servers (VM j on server j). All machines share one spec.
+     *
+     * @param topo    Topology (server/enclosure counts).
+     * @param spec    Machine spec used for every server.
+     * @param traces  One workload trace per VM; the count must not exceed
+     *                the number of servers.
+     * @param budgets Static power budget configuration.
+     * @param alpha_v Virtualization overhead fraction.
+     * @param alpha_m Migration overhead fraction.
+     */
+    Cluster(const Topology &topo, const model::MachineSpec &spec,
+            const std::vector<trace::UtilizationTrace> &traces,
+            const BudgetConfig &budgets, double alpha_v, double alpha_m);
+
+    /**
+     * Heterogeneous variant: @p specs supplies one machine spec per
+     * server (size must equal topo.num_servers).
+     */
+    Cluster(const Topology &topo,
+            const std::vector<std::shared_ptr<const model::MachineSpec>>
+                &specs,
+            const std::vector<trace::UtilizationTrace> &traces,
+            const BudgetConfig &budgets, double alpha_v, double alpha_m);
+
+    /// @name Structure
+    /// @{
+
+    /** Number of servers. */
+    size_t numServers() const { return servers_.size(); }
+
+    /** Number of enclosures. */
+    size_t numEnclosures() const { return enclosures_.size(); }
+
+    /** Number of VMs. */
+    size_t numVms() const { return vms_.size(); }
+
+    /** Server by id. */
+    Server &server(ServerId id);
+    const Server &server(ServerId id) const;
+
+    /** All servers. */
+    std::vector<Server> &servers() { return servers_; }
+    const std::vector<Server> &servers() const { return servers_; }
+
+    /** Enclosure by id. */
+    const Enclosure &enclosure(EnclosureId id) const;
+
+    /** All enclosures. */
+    const std::vector<Enclosure> &enclosures() const { return enclosures_; }
+
+    /** Server ids not belonging to any enclosure. */
+    const std::vector<ServerId> &standaloneServers() const
+    {
+        return standalone_;
+    }
+
+    /**
+     * Enclosure id of @p server, or kNoEnclosure when standalone.
+     */
+    static constexpr EnclosureId kNoEnclosure =
+        static_cast<EnclosureId>(-1);
+    EnclosureId enclosureOf(ServerId server) const;
+
+    /** VM by id. */
+    VirtualMachine &vm(VmId id);
+    const VirtualMachine &vm(VmId id) const;
+
+    /** All VMs. */
+    std::vector<VirtualMachine> &vms() { return vms_; }
+    const std::vector<VirtualMachine> &vms() const { return vms_; }
+
+    /// @}
+    /// @name Placement
+    /// @{
+
+    /** @return the server currently hosting @p vm. */
+    ServerId serverOf(VmId vm) const;
+
+    /**
+     * Move @p vm to @p dst immediately (no overhead) — used for initial
+     * placement and by tests.
+     */
+    void placeVm(VmId vm, ServerId dst);
+
+    /**
+     * Migrate @p vm to @p dst with the pre-copy overhead model: the VM is
+     * taxed alpha_m extra load until @p tick + @p migration_ticks.
+     * A no-op when the VM is already on @p dst.
+     */
+    void migrateVm(VmId vm, ServerId dst, size_t tick,
+                   size_t migration_ticks);
+
+    /// @}
+    /// @name Budgets
+    /// @{
+
+    /** The budget configuration in force. */
+    const BudgetConfig &budgetConfig() const { return budgets_; }
+
+    /** Maximum possible power of server @p id (P0, full load). */
+    double serverMaxPower(ServerId id) const;
+
+    /** Static local cap CAP_LOC of server @p id. */
+    double capLoc(ServerId id) const;
+
+    /** Maximum possible power of enclosure @p id. */
+    double enclosureMaxPower(EnclosureId id) const;
+
+    /** Static enclosure cap CAP_ENC of enclosure @p id. */
+    double capEnc(EnclosureId id) const;
+
+    /** Maximum possible power of the whole group. */
+    double groupMaxPower() const;
+
+    /** Static group cap CAP_GRP. */
+    double capGrp() const;
+
+    /// @}
+    /// @name Evaluation
+    /// @{
+
+    /**
+     * Serve one tick on every server and aggregate. Also retained as
+     * lastTick().
+     */
+    const ClusterTick &evaluateTick(size_t tick);
+
+    /** The most recent evaluation (zeros before the first). */
+    const ClusterTick &lastTick() const { return last_; }
+
+    /** Power of enclosure @p id in the last tick. */
+    double lastEnclosurePower(EnclosureId id) const;
+
+    /// @}
+
+  private:
+    void buildTopology(const Topology &topo);
+    void initialPlacement(
+        const std::vector<trace::UtilizationTrace> &traces);
+
+    std::vector<Server> servers_;
+    std::vector<Enclosure> enclosures_;
+    std::vector<ServerId> standalone_;
+    std::vector<EnclosureId> server_enclosure_;
+    std::vector<VirtualMachine> vms_;
+    std::vector<ServerId> vm_server_;
+    BudgetConfig budgets_;
+    double alpha_v_;
+    double alpha_m_;
+    ClusterTick last_;
+};
+
+} // namespace sim
+} // namespace nps
+
+#endif // NPS_SIM_CLUSTER_H

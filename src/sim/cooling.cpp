@@ -1,0 +1,83 @@
+#include "sim/cooling.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/stats.h"
+
+namespace nps {
+namespace sim {
+
+double
+cracCop(double t_supply_c)
+{
+    if (t_supply_c < 0.0)
+        util::fatal("cracCop: negative supply temperature");
+    return 0.0068 * t_supply_c * t_supply_c + 0.0008 * t_supply_c +
+           0.458;
+}
+
+CoolingZone::CoolingZone(std::string name, std::vector<ServerId> members,
+                         CoolingZoneParams params)
+    : name_(std::move(name)),
+      members_(std::move(members)),
+      params_(params),
+      temp_c_(params.ambient_c)
+{
+    if (members_.empty())
+        util::fatal("CoolingZone %s: no members", name_.c_str());
+    if (params_.thermal_mass <= 0.0)
+        util::fatal("CoolingZone %s: non-positive thermal mass",
+                    name_.c_str());
+    if (params_.crac_capacity <= 0.0)
+        util::fatal("CoolingZone %s: non-positive CRAC capacity",
+                    name_.c_str());
+    if (params_.leak_per_tick < 0.0 || params_.leak_per_tick >= 1.0)
+        util::fatal("CoolingZone %s: leak fraction out of [0,1)",
+                    name_.c_str());
+}
+
+void
+CoolingZone::setExtraction(double watts)
+{
+    extraction_ = util::clamp(watts, 0.0, params_.crac_capacity);
+}
+
+void
+CoolingZone::step(double it_watts)
+{
+    if (it_watts < 0.0)
+        util::panic("CoolingZone %s: negative IT power", name_.c_str());
+
+    // The CRAC cannot pull the zone below its supply temperature: when
+    // the air is already at the floor, extraction is limited to the
+    // incoming heat.
+    double removable = extraction_;
+    if (temp_c_ <= params_.ambient_c + 0.01)
+        removable = std::min(removable, it_watts);
+    last_removed_ = removable;
+    last_electric_ = removable / cracCop(params_.supply_c);
+
+    double net = it_watts - removable;
+    temp_c_ += net / params_.thermal_mass;
+    // Passive leakage towards ambient.
+    temp_c_ += (params_.ambient_c - temp_c_) * params_.leak_per_tick;
+    temp_c_ = std::max(temp_c_, params_.ambient_c);
+
+    if (temp_c_ > params_.redline_c)
+        redlined_ = true;
+}
+
+double
+CoolingZone::requiredExtraction(double it_watts, double target_c) const
+{
+    // In steady state: it - removed = leak * (target - ambient) * mass.
+    double leak_flow = params_.leak_per_tick *
+                       (target_c - params_.ambient_c) *
+                       params_.thermal_mass;
+    return util::clamp(it_watts - leak_flow, 0.0,
+                       params_.crac_capacity);
+}
+
+} // namespace sim
+} // namespace nps

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Cooling substrate: CRAC units and cooling zones.
+ *
+ * The paper's future work targets "coordination with the equivalent
+ * spectrum of solutions in the ... cooling domains" (Section 7). This
+ * module supplies the physical side: a cooling zone aggregates the heat
+ * of a set of servers into a lumped air mass whose temperature rises
+ * with IT power and falls with the heat a CRAC unit extracts; the CRAC
+ * pays electricity for extraction according to the classic
+ * supply-temperature-dependent coefficient-of-performance curve used in
+ * the HP data-center literature:
+ *
+ *     COP(T_sup) = 0.0068 T_sup^2 + 0.0008 T_sup + 0.458
+ *
+ * so facility power = IT power + sum(extracted / COP), and PUE follows.
+ */
+
+#ifndef NPS_SIM_COOLING_H
+#define NPS_SIM_COOLING_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/vm.h"
+
+namespace nps {
+namespace sim {
+
+/** CRAC efficiency at supply temperature @p t_supply_c (deg C). */
+double cracCop(double t_supply_c);
+
+/** Physical constants of one cooling zone. */
+struct CoolingZoneParams
+{
+    double ambient_c = 18.0;       //!< supply air floor temperature
+    double thermal_mass = 4000.0;  //!< J per deg C per tick equivalent
+    double leak_per_tick = 0.02;   //!< passive loss fraction towards ambient
+    double crac_capacity = 1.0e5;  //!< max extractable heat (watts)
+    double supply_c = 15.0;        //!< CRAC supply setpoint (sets COP)
+    double redline_c = 35.0;       //!< zone inlet-air safety limit
+};
+
+/**
+ * Lumped thermal model of one zone plus its CRAC unit.
+ */
+class CoolingZone
+{
+  public:
+    /**
+     * @param name    Diagnostic name.
+     * @param members Servers whose heat lands in this zone.
+     * @param params  Physical constants.
+     */
+    CoolingZone(std::string name, std::vector<ServerId> members,
+                CoolingZoneParams params);
+
+    /** @return diagnostic name. */
+    const std::string &name() const { return name_; }
+
+    /** @return member server ids. */
+    const std::vector<ServerId> &members() const { return members_; }
+
+    /** The CRAC extraction setting (watts of heat). */
+    double extraction() const { return extraction_; }
+
+    /** Set the CRAC extraction (clamped to [0, capacity]). */
+    void setExtraction(double watts);
+
+    /** Advance one tick with @p it_watts of IT heat dumped in. */
+    void step(double it_watts);
+
+    /** Current zone air temperature (deg C). */
+    double temperature() const { return temp_c_; }
+
+    /** Electrical power the CRAC drew last tick (watts). */
+    double cracElectric() const { return last_electric_; }
+
+    /** Heat actually removed last tick (watts). */
+    double heatRemoved() const { return last_removed_; }
+
+    /** True whenever the zone has ever crossed its redline. */
+    bool redlined() const { return redlined_; }
+
+    /** The parameters in force. */
+    const CoolingZoneParams &params() const { return params_; }
+
+    /**
+     * Steady-state extraction needed to hold @p it_watts at
+     * @p target_c — the feed-forward term controllers can use.
+     */
+    double requiredExtraction(double it_watts, double target_c) const;
+
+  private:
+    std::string name_;
+    std::vector<ServerId> members_;
+    CoolingZoneParams params_;
+    double temp_c_;
+    double extraction_ = 0.0;
+    double last_electric_ = 0.0;
+    double last_removed_ = 0.0;
+    bool redlined_ = false;
+};
+
+} // namespace sim
+} // namespace nps
+
+#endif // NPS_SIM_COOLING_H

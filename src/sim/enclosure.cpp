@@ -1,0 +1,26 @@
+#include "sim/enclosure.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace nps {
+namespace sim {
+
+Enclosure::Enclosure(EnclosureId id, std::string name,
+                     std::vector<ServerId> members)
+    : id_(id), name_(std::move(name)), members_(std::move(members))
+{
+    if (members_.empty())
+        util::fatal("Enclosure %s: no members", name_.c_str());
+}
+
+bool
+Enclosure::contains(ServerId server) const
+{
+    return std::find(members_.begin(), members_.end(), server) !=
+           members_.end();
+}
+
+} // namespace sim
+} // namespace nps

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Blade enclosures: a group of servers sharing power delivery and cooling,
+ * the scope at which the Enclosure Manager caps power.
+ */
+
+#ifndef NPS_SIM_ENCLOSURE_H
+#define NPS_SIM_ENCLOSURE_H
+
+#include <string>
+#include <vector>
+
+#include "sim/vm.h"
+
+namespace nps {
+namespace sim {
+
+/** Identifier for enclosures. */
+using EnclosureId = unsigned;
+
+/**
+ * One blade enclosure: an ordered set of member server ids.
+ */
+class Enclosure
+{
+  public:
+    /**
+     * @param id      Unique enclosure id (dense index).
+     * @param name    Human-readable name.
+     * @param members Member server ids. @pre non-empty
+     */
+    Enclosure(EnclosureId id, std::string name,
+              std::vector<ServerId> members);
+
+    /** @return unique id. */
+    EnclosureId id() const { return id_; }
+
+    /** @return human-readable name. */
+    const std::string &name() const { return name_; }
+
+    /** @return member server ids. */
+    const std::vector<ServerId> &members() const { return members_; }
+
+    /** @return number of member blades. */
+    size_t size() const { return members_.size(); }
+
+    /** @return true when @p server is a member. */
+    bool contains(ServerId server) const;
+
+  private:
+    EnclosureId id_;
+    std::string name_;
+    std::vector<ServerId> members_;
+};
+
+} // namespace sim
+} // namespace nps
+
+#endif // NPS_SIM_ENCLOSURE_H

@@ -1,0 +1,52 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace nps {
+namespace sim {
+
+Engine::Engine(Cluster &cluster, MetricsCollector &metrics)
+    : cluster_(cluster), metrics_(metrics)
+{
+}
+
+void
+Engine::addActor(std::shared_ptr<Actor> actor)
+{
+    if (!actor)
+        util::fatal("Engine::addActor: null actor");
+    if (actor->period() == 0)
+        util::fatal("Engine::addActor: actor %s has zero period",
+                    actor->name().c_str());
+    actors_.push_back(std::move(actor));
+    // Coarse loops first so inner loops react to fresh outer references
+    // within the same tick.
+    std::stable_sort(actors_.begin(), actors_.end(),
+                     [](const auto &a, const auto &b) {
+                         return a->period() > b->period();
+                     });
+}
+
+void
+Engine::run(size_t ticks)
+{
+    for (size_t i = 0; i < ticks; ++i) {
+        size_t tick = now_;
+        for (auto &actor : actors_)
+            actor->observe(tick);
+        if (tick > 0) {
+            for (auto &actor : actors_) {
+                if (tick % actor->period() == 0)
+                    actor->step(tick);
+            }
+        }
+        cluster_.evaluateTick(tick);
+        metrics_.record(cluster_, tick);
+        ++now_;
+    }
+}
+
+} // namespace sim
+} // namespace nps

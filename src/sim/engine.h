@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The discrete-time simulation engine.
+ *
+ * Time advances in unit ticks. Every tick:
+ *   1. each registered actor observes the previous tick's measurements
+ *      (for controllers that average over long epochs);
+ *   2. actors whose control interval divides the tick take a control step
+ *      (coarse time constants first, so inner loops see the fresh
+ *      references their outer loops just set);
+ *   3. the cluster serves demand at the resulting actuator settings;
+ *   4. metrics are recorded.
+ *
+ * Controllers never act at tick 0: the first tick is a pure measurement
+ * tick, so every loop starts from a real observation.
+ */
+
+#ifndef NPS_SIM_ENGINE_H
+#define NPS_SIM_ENGINE_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/cluster.h"
+#include "sim/metrics.h"
+
+namespace nps {
+namespace sim {
+
+/**
+ * A scheduled participant of the simulation: a controller (EC, SM, EM,
+ * GM, VMC, CAP, ...) or any other periodic agent.
+ */
+class Actor
+{
+  public:
+    virtual ~Actor() = default;
+
+    /** Diagnostic name. */
+    virtual const std::string &name() const = 0;
+
+    /** Control interval in ticks (the paper's T_ec, T_sm, ...). */
+    virtual unsigned period() const = 0;
+
+    /**
+     * Called every tick (before any control steps) so long-epoch
+     * controllers can accumulate averaged observations. Default: no-op.
+     */
+    virtual void observe(size_t tick) { (void)tick; }
+
+    /** One control step at @p tick. */
+    virtual void step(size_t tick) = 0;
+};
+
+/**
+ * Drives a Cluster and a set of Actors through simulated time.
+ */
+class Engine
+{
+  public:
+    /**
+     * @param cluster The managed system; must outlive the engine.
+     * @param metrics Collector fed once per tick; must outlive the engine.
+     */
+    Engine(Cluster &cluster, MetricsCollector &metrics);
+
+    Engine(const Engine &) = delete;
+    Engine &operator=(const Engine &) = delete;
+
+    /**
+     * Register an actor. Actors are stepped within a tick in descending
+     * period order (stable for ties), regardless of insertion order.
+     */
+    void addActor(std::shared_ptr<Actor> actor);
+
+    /** @return registered actors. */
+    const std::vector<std::shared_ptr<Actor>> &actors() const
+    {
+        return actors_;
+    }
+
+    /** Advance the simulation by @p ticks ticks. */
+    void run(size_t ticks);
+
+    /** @return the next tick to be simulated. */
+    size_t now() const { return now_; }
+
+  private:
+    Cluster &cluster_;
+    MetricsCollector &metrics_;
+    std::vector<std::shared_ptr<Actor>> actors_;
+    size_t now_ = 0;
+};
+
+} // namespace sim
+} // namespace nps
+
+#endif // NPS_SIM_ENGINE_H

@@ -1,0 +1,141 @@
+#include "sim/recorder.h"
+
+#include <ostream>
+
+#include "util/csv.h"
+#include "util/logging.h"
+
+namespace nps {
+namespace sim {
+
+Recorder::Recorder(const Cluster &cluster, const Options &options)
+    : cluster_(cluster), options_(options)
+{
+    if (options_.stride == 0)
+        util::fatal("Recorder: zero stride");
+    if (options_.servers) {
+        server_power_.resize(cluster_.numServers());
+        server_util_.resize(cluster_.numServers());
+        server_pstate_.resize(cluster_.numServers());
+    }
+    if (options_.enclosures)
+        enclosure_power_.resize(cluster_.numEnclosures());
+}
+
+void
+Recorder::observe(size_t tick)
+{
+    // observe() fires before the current tick is evaluated; sample the
+    // previous tick's state (skip tick 0, which has none).
+    if (tick == 0 || (tick - 1) % options_.stride != 0)
+        return;
+    ticks_.push_back(tick - 1);
+
+    if (options_.group) {
+        const ClusterTick &ct = cluster_.lastTick();
+        group_power_.push_back(ct.total_power);
+        group_served_.push_back(ct.served_useful);
+        group_demanded_.push_back(ct.demanded_useful);
+    }
+    if (options_.servers) {
+        for (const auto &srv : cluster_.servers()) {
+            server_power_[srv.id()].push_back(srv.lastPower());
+            server_util_[srv.id()].push_back(srv.lastApparentUtil());
+            bool off = srv.platformPower(tick - 1) ==
+                       PlatformPower::Off;
+            server_pstate_[srv.id()].push_back(
+                off ? -1 : static_cast<int>(srv.pstate()));
+        }
+    }
+    if (options_.enclosures) {
+        for (const auto &enc : cluster_.enclosures()) {
+            enclosure_power_[enc.id()].push_back(
+                cluster_.lastEnclosurePower(enc.id()));
+        }
+    }
+}
+
+const std::vector<double> &
+Recorder::serverPower(ServerId id) const
+{
+    if (!options_.servers || id >= server_power_.size())
+        util::panic("Recorder::serverPower(%u): not captured", id);
+    return server_power_[id];
+}
+
+const std::vector<double> &
+Recorder::serverUtil(ServerId id) const
+{
+    if (!options_.servers || id >= server_util_.size())
+        util::panic("Recorder::serverUtil(%u): not captured", id);
+    return server_util_[id];
+}
+
+const std::vector<int> &
+Recorder::serverPState(ServerId id) const
+{
+    if (!options_.servers || id >= server_pstate_.size())
+        util::panic("Recorder::serverPState(%u): not captured", id);
+    return server_pstate_[id];
+}
+
+const std::vector<double> &
+Recorder::enclosurePower(EnclosureId id) const
+{
+    if (!options_.enclosures || id >= enclosure_power_.size())
+        util::panic("Recorder::enclosurePower(%u): not captured", id);
+    return enclosure_power_[id];
+}
+
+void
+Recorder::writeCsv(std::ostream &out) const
+{
+    util::CsvWriter w(out);
+    std::vector<std::string> header{"tick"};
+    if (options_.group) {
+        header.push_back("group_w");
+        header.push_back("served");
+        header.push_back("demanded");
+    }
+    if (options_.enclosures) {
+        for (size_t e = 0; e < enclosure_power_.size(); ++e)
+            header.push_back("enc" + std::to_string(e) + "_w");
+    }
+    if (options_.servers) {
+        for (size_t s = 0; s < server_power_.size(); ++s) {
+            header.push_back("srv" + std::to_string(s) + "_w");
+            header.push_back("srv" + std::to_string(s) + "_util");
+            header.push_back("srv" + std::to_string(s) + "_p");
+        }
+    }
+    w.rowFromFields(header);
+
+    for (size_t i = 0; i < ticks_.size(); ++i) {
+        std::vector<std::string> row{std::to_string(ticks_[i])};
+        auto num = [](double v) {
+            char buf[32];
+            std::snprintf(buf, sizeof buf, "%.4f", v);
+            return std::string(buf);
+        };
+        if (options_.group) {
+            row.push_back(num(group_power_[i]));
+            row.push_back(num(group_served_[i]));
+            row.push_back(num(group_demanded_[i]));
+        }
+        if (options_.enclosures) {
+            for (const auto &series : enclosure_power_)
+                row.push_back(num(series[i]));
+        }
+        if (options_.servers) {
+            for (size_t s = 0; s < server_power_.size(); ++s) {
+                row.push_back(num(server_power_[s][i]));
+                row.push_back(num(server_util_[s][i]));
+                row.push_back(std::to_string(server_pstate_[s][i]));
+            }
+        }
+        w.rowFromFields(row);
+    }
+}
+
+} // namespace sim
+} // namespace nps

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Time-series recorder: captures per-server, per-enclosure, and group
+ * signals every tick (or every Nth tick) for offline analysis and
+ * plotting — the instrumentation a real deployment would scrape into
+ * its monitoring stack.
+ *
+ * Implemented as an Actor with period 1 whose observe() hook samples
+ * the previous tick's evaluation, so it can be dropped into any engine
+ * next to the controllers without touching them.
+ */
+
+#ifndef NPS_SIM_RECORDER_H
+#define NPS_SIM_RECORDER_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/cluster.h"
+#include "sim/engine.h"
+
+namespace nps {
+namespace sim {
+
+/**
+ * Records cluster telemetry while the simulation runs.
+ */
+class Recorder : public Actor
+{
+  public:
+    /** What to capture. */
+    struct Options
+    {
+        bool servers = true;     //!< per-server power/util/P-state
+        bool enclosures = true;  //!< per-enclosure power
+        bool group = true;       //!< group power + served/demanded work
+        unsigned stride = 1;     //!< record every Nth tick
+    };
+
+    /**
+     * @param cluster The observed cluster; must outlive the recorder.
+     * @param options Capture selection.
+     */
+    Recorder(const Cluster &cluster, const Options &options);
+
+    /// @name sim::Actor
+    /// @{
+    const std::string &name() const override { return name_; }
+    unsigned period() const override { return 1; }
+    void observe(size_t tick) override;
+    void step(size_t tick) override { (void)tick; }
+    /// @}
+
+    /** Number of recorded samples. */
+    size_t samples() const { return ticks_.size(); }
+
+    /** The recorded tick numbers. */
+    const std::vector<size_t> &ticks() const { return ticks_; }
+
+    /** Group power series (empty unless group capture on). */
+    const std::vector<double> &groupPower() const { return group_power_; }
+
+    /** Per-server power series. @pre servers captured, id valid */
+    const std::vector<double> &serverPower(ServerId id) const;
+
+    /** Per-server apparent-utilization series. */
+    const std::vector<double> &serverUtil(ServerId id) const;
+
+    /** Per-server P-state index series (off recorded as -1). */
+    const std::vector<int> &serverPState(ServerId id) const;
+
+    /** Per-enclosure power series. @pre enclosures captured, id valid */
+    const std::vector<double> &enclosurePower(EnclosureId id) const;
+
+    /**
+     * Write everything captured as wide-form CSV: one row per sample,
+     * one column per signal (tick, group, enc<i>, srv<i>_{w,util,p}).
+     */
+    void writeCsv(std::ostream &out) const;
+
+  private:
+    const Cluster &cluster_;
+    Options options_;
+    std::string name_ = "Recorder";
+    std::vector<size_t> ticks_;
+    std::vector<double> group_power_;
+    std::vector<double> group_served_;
+    std::vector<double> group_demanded_;
+    std::vector<std::vector<double>> server_power_;
+    std::vector<std::vector<double>> server_util_;
+    std::vector<std::vector<int>> server_pstate_;
+    std::vector<std::vector<double>> enclosure_power_;
+};
+
+} // namespace sim
+} // namespace nps
+
+#endif // NPS_SIM_RECORDER_H

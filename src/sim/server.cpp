@@ -1,0 +1,155 @@
+#include "sim/server.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace nps {
+namespace sim {
+
+Server::Server(ServerId id, std::shared_ptr<const model::MachineSpec> spec,
+               double alpha_v, double alpha_m)
+    : id_(id), spec_(std::move(spec)), alpha_v_(alpha_v), alpha_m_(alpha_m)
+{
+    if (!spec_)
+        util::fatal("Server %u: null machine spec", id_);
+    if (alpha_v_ < 0.0 || alpha_m_ < 0.0)
+        util::fatal("Server %u: negative overhead", id_);
+}
+
+void
+Server::addVm(VmId vm)
+{
+    if (std::find(vms_.begin(), vms_.end(), vm) != vms_.end())
+        util::panic("Server %u: VM %u already hosted", id_, vm);
+    vms_.push_back(vm);
+}
+
+void
+Server::removeVm(VmId vm)
+{
+    auto it = std::find(vms_.begin(), vms_.end(), vm);
+    if (it == vms_.end())
+        util::panic("Server %u: VM %u not hosted", id_, vm);
+    vms_.erase(it);
+}
+
+PlatformPower
+Server::platformPower(size_t tick) const
+{
+    if (power_state_ == PlatformPower::Booting && tick >= boot_done_tick_)
+        return PlatformPower::On;
+    return power_state_;
+}
+
+bool
+Server::isOn(size_t tick) const
+{
+    return platformPower(tick) == PlatformPower::On;
+}
+
+void
+Server::powerOff()
+{
+    if (!vms_.empty())
+        util::panic("Server %u: powering off with %zu hosted VMs", id_,
+                    vms_.size());
+    power_state_ = PlatformPower::Off;
+    ever_off_ = true;
+}
+
+void
+Server::powerOn(size_t tick)
+{
+    if (power_state_ != PlatformPower::Off)
+        return;
+    power_state_ = PlatformPower::Booting;
+    boot_done_tick_ = tick + spec_->bootTicks();
+}
+
+void
+Server::setPState(size_t p)
+{
+    if (p >= spec_->pstates().size())
+        util::panic("Server %u: P-state %zu out of range", id_, p);
+    pstate_ = p;
+}
+
+double
+Server::frequencyMhz() const
+{
+    return spec_->pstates().at(pstate_).freq_mhz;
+}
+
+const ServerTick &
+Server::evaluate(size_t tick, std::vector<VirtualMachine> &vms)
+{
+    // Resolve a finished boot into the On state.
+    if (power_state_ == PlatformPower::Booting && tick >= boot_done_tick_)
+        power_state_ = PlatformPower::On;
+
+    last_ = ServerTick{};
+
+    // Gather useful-work demand and overheads.
+    double useful = 0.0;
+    double overhead = 0.0;
+    for (VmId vm_id : vms_) {
+        VirtualMachine &vm = vms.at(vm_id);
+        double d = vm.demandAt(tick);
+        useful += d;
+        overhead += alpha_v_ * d;
+        if (vm.migrating(tick))
+            overhead += alpha_m_ * d;
+    }
+    last_.demanded_useful = useful;
+
+    const PlatformPower state = power_state_;
+    if (state == PlatformPower::Off) {
+        if (!vms_.empty())
+            util::panic("Server %u: off but hosting VMs", id_);
+        last_.power = spec_->offWatts();
+        return last_;
+    }
+    if (state == PlatformPower::Booting) {
+        // Burns idle power at the boot P-state (P0); serves nothing.
+        last_.power = model().idlePower(0);
+        for (VmId vm_id : vms_) {
+            VirtualMachine &vm = vms.at(vm_id);
+            vm.recordServed(vm.demandAt(tick), 0.0, 0.0);
+        }
+        return last_;
+    }
+
+    double capacity = spec_->pstates().relSpeed(pstate_);
+    if (mem_low_power_)
+        capacity *= 1.0 - kMemCapacityCost;
+
+    double total_load = useful + overhead;
+    double served_frac =
+        total_load > capacity && total_load > 0.0 ? capacity / total_load
+                                                  : 1.0;
+    last_.served_useful = useful * served_frac;
+    last_.real_util = std::min(total_load, capacity);
+    last_.apparent_util =
+        capacity > 0.0 ? std::min(1.0, total_load / capacity) : 1.0;
+    // Scale utilization back to the P-state's own axis: relSpeed already
+    // normalized capacity to full speed, so apparent_util is correct as a
+    // fraction of this state's capacity.
+    last_.power = model().powerAt(pstate_, last_.apparent_util);
+    if (mem_low_power_)
+        last_.power *= 1.0 - kMemPowerTrim;
+
+    for (VmId vm_id : vms_) {
+        VirtualMachine &vm = vms.at(vm_id);
+        double d = vm.demandAt(tick);
+        double load = d * (1.0 + alpha_v_) +
+                      (vm.migrating(tick) ? alpha_m_ * d : 0.0);
+        double apparent_share =
+            capacity > 0.0 ? load * served_frac / capacity : 0.0;
+        vm.recordServed(d, d * served_frac, apparent_share);
+    }
+    return last_;
+}
+
+} // namespace sim
+} // namespace nps

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Simulated server: hosts VMs, exposes the P-state actuator and the power
+ * and utilization sensors, and evaluates one tick of service.
+ *
+ * Service model (Section 4.2 of the paper): no queueing — demand that
+ * exceeds the current capacity in an interval is lost, which is the
+ * performance-loss channel. Capacity is the P-state's relative speed;
+ * virtualization adds a fixed fractional overhead to every VM's load, and
+ * an in-flight migration adds a further fractional tax.
+ */
+
+#ifndef NPS_SIM_SERVER_H
+#define NPS_SIM_SERVER_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "model/machine.h"
+#include "sim/vm.h"
+
+namespace nps {
+namespace sim {
+
+/** Power state of the whole platform. */
+enum class PlatformPower
+{
+    On,
+    Off,
+    Booting,
+};
+
+/** Per-tick evaluation result of one server. */
+struct ServerTick
+{
+    double power = 0.0;           //!< watts consumed this tick
+    double apparent_util = 0.0;   //!< utilization at the current P-state
+    double real_util = 0.0;       //!< served load in full-speed units
+    double demanded_useful = 0.0; //!< useful work requested by hosted VMs
+    double served_useful = 0.0;   //!< useful work actually delivered
+};
+
+/**
+ * One simulated server.
+ */
+class Server
+{
+  public:
+    /**
+     * @param id    Unique server id (dense, used as index).
+     * @param spec  Immutable machine description (shared across servers).
+     * @param alpha_v Virtualization overhead as a fraction of VM load.
+     * @param alpha_m Migration overhead as a fraction of VM load.
+     */
+    Server(ServerId id, std::shared_ptr<const model::MachineSpec> spec,
+           double alpha_v, double alpha_m);
+
+    /** @return unique id. */
+    ServerId id() const { return id_; }
+
+    /** @return the machine spec. */
+    const model::MachineSpec &spec() const { return *spec_; }
+
+    /** @return the power/performance model. */
+    const model::PowerModel &model() const { return spec_->model(); }
+
+    /// @name Placement
+    /// @{
+
+    /** Attach VM @p vm to this server. @pre not already hosted here. */
+    void addVm(VmId vm);
+
+    /** Detach VM @p vm. @pre currently hosted here. */
+    void removeVm(VmId vm);
+
+    /** Hosted VM ids (unordered). */
+    const std::vector<VmId> &vms() const { return vms_; }
+
+    /// @}
+    /// @name Platform power state
+    /// @{
+
+    /** @return the platform power state as of @p tick (resolves boot). */
+    PlatformPower platformPower(size_t tick) const;
+
+    /** @return true when serving at @p tick. */
+    bool isOn(size_t tick) const;
+
+    /**
+     * Power the platform off. @pre no hosted VMs (powering off a loaded
+     * server is a controller bug and panics).
+     */
+    void powerOff();
+
+    /** Begin power-on at @p tick; the boot takes spec().bootTicks(). */
+    void powerOn(size_t tick);
+
+    /** @return true when the platform was ever powered off/on (vs the
+     * initial always-on state). */
+    bool everOff() const { return ever_off_; }
+
+    /// @}
+    /// @name P-state actuator
+    /// @{
+
+    /** Current P-state index. */
+    size_t pstate() const { return pstate_; }
+
+    /** Set the P-state index. @pre valid index */
+    void setPState(size_t p);
+
+    /** Clock frequency (MHz) of the current P-state. */
+    double frequencyMhz() const;
+
+    /// @}
+    /// @name Auxiliary (memory) power actuator — MIMO extension hook
+    /// @{
+
+    /**
+     * Toggle the platform's memory low-power mode: trims power by a fixed
+     * fraction at the cost of a small capacity reduction. A second
+     * actuator for the multi-input extension of Section 6.
+     */
+    void setMemLowPower(bool on) { mem_low_power_ = on; }
+
+    /** @return true when memory low-power mode is engaged. */
+    bool memLowPower() const { return mem_low_power_; }
+
+    /// @}
+    /// @name Tick evaluation and sensors
+    /// @{
+
+    /**
+     * Serve one tick: aggregates hosted VM demand (with virtualization
+     * and migration overheads), caps it by the current capacity, computes
+     * power, and records per-VM served work into @p vms.
+     *
+     * @param tick current simulation tick
+     * @param vms  the cluster's VM store, indexed by VmId
+     * @return the evaluation result (also retained as last*()).
+     */
+    const ServerTick &evaluate(size_t tick,
+                               std::vector<VirtualMachine> &vms);
+
+    /** Most recent evaluation (zeros before the first). */
+    const ServerTick &last() const { return last_; }
+
+    /** Measured power of the last tick (the SM/EM/GM sensor Sp). */
+    double lastPower() const { return last_.power; }
+
+    /** Measured apparent utilization of the last tick (the EC sensor Sr). */
+    double lastApparentUtil() const { return last_.apparent_util; }
+
+    /** Served load of the last tick in full-speed units. */
+    double lastRealUtil() const { return last_.real_util; }
+
+    /// @}
+
+    /** Fractional power trim when memory low-power mode is on. */
+    static constexpr double kMemPowerTrim = 0.08;
+
+    /** Fractional capacity cost of memory low-power mode. */
+    static constexpr double kMemCapacityCost = 0.05;
+
+  private:
+    ServerId id_;
+    std::shared_ptr<const model::MachineSpec> spec_;
+    double alpha_v_;
+    double alpha_m_;
+
+    std::vector<VmId> vms_;
+    PlatformPower power_state_ = PlatformPower::On;
+    size_t boot_done_tick_ = 0;
+    bool ever_off_ = false;
+    size_t pstate_ = 0;
+    bool mem_low_power_ = false;
+
+    ServerTick last_;
+};
+
+} // namespace sim
+} // namespace nps
+
+#endif // NPS_SIM_SERVER_H

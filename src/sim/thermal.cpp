@@ -1,0 +1,44 @@
+#include "sim/thermal.h"
+
+#include "util/logging.h"
+
+namespace nps {
+namespace sim {
+
+ThermalModel::ThermalModel(ThermalParams params)
+    : params_(params), temp_c_(params.ambient_c)
+{
+    if (params_.tau_ticks <= 0.0)
+        util::fatal("ThermalModel: non-positive time constant");
+    if (params_.c_per_watt <= 0.0)
+        util::fatal("ThermalModel: non-positive thermal resistance");
+}
+
+void
+ThermalModel::step(double watts)
+{
+    if (watts < 0.0)
+        util::panic("ThermalModel::step: negative power %f", watts);
+    double target = params_.ambient_c + watts * params_.c_per_watt;
+    temp_c_ += (target - temp_c_) / params_.tau_ticks;
+    ++ticks_;
+    if (!failed_over_ && temp_c_ > params_.failover_c) {
+        failed_over_ = true;
+        failover_tick_ = ticks_;
+    }
+}
+
+double
+ThermalModel::steadyState(double watts) const
+{
+    return params_.ambient_c + watts * params_.c_per_watt;
+}
+
+double
+ThermalModel::sustainablePower() const
+{
+    return (params_.failover_c - params_.ambient_c) / params_.c_per_watt;
+}
+
+} // namespace sim
+} // namespace nps

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Lumped RC thermal model of one server.
+ *
+ * Used to reproduce the paper's thermal-failover narrative: budget
+ * violations are tolerable only while they are *bounded*, because heat
+ * integrates power over time. Temperature follows a first-order response
+ *
+ *     T(k+1) = T(k) + (T_amb + P(k) * R - T(k)) / tau
+ *
+ * and a failover latch trips when T exceeds the critical threshold.
+ */
+
+#ifndef NPS_SIM_THERMAL_H
+#define NPS_SIM_THERMAL_H
+
+#include <cstddef>
+
+namespace nps {
+namespace sim {
+
+/** Thermal constants of one server's heat path. */
+struct ThermalParams
+{
+    double ambient_c = 25.0;       //!< inlet air temperature (deg C)
+    double c_per_watt = 0.55;      //!< steady-state deg C rise per watt
+    double tau_ticks = 40.0;       //!< thermal time constant (ticks)
+    double failover_c = 85.0;      //!< thermal failover threshold (deg C)
+};
+
+/**
+ * First-order thermal integrator with a latched failover flag.
+ */
+class ThermalModel
+{
+  public:
+    /** Construct at ambient temperature. */
+    explicit ThermalModel(ThermalParams params);
+
+    /** Advance one tick with dissipated power @p watts. */
+    void step(double watts);
+
+    /** Current temperature (deg C). */
+    double temperature() const { return temp_c_; }
+
+    /** Steady-state temperature for constant power @p watts. */
+    double steadyState(double watts) const;
+
+    /**
+     * Largest constant power that stays below failover in steady state —
+     * the physical basis of the thermal power budget.
+     */
+    double sustainablePower() const;
+
+    /** True once temperature has ever crossed the failover threshold. */
+    bool failedOver() const { return failed_over_; }
+
+    /** Tick count at which failover first occurred (0 when none). */
+    size_t failoverTick() const { return failover_tick_; }
+
+    /** Ticks stepped so far. */
+    size_t ticks() const { return ticks_; }
+
+    /** The parameters in force. */
+    const ThermalParams &params() const { return params_; }
+
+  private:
+    ThermalParams params_;
+    double temp_c_;
+    bool failed_over_ = false;
+    size_t failover_tick_ = 0;
+    size_t ticks_ = 0;
+};
+
+} // namespace sim
+} // namespace nps
+
+#endif // NPS_SIM_THERMAL_H

@@ -1,0 +1,16 @@
+#include "sim/vm.h"
+
+#include "util/logging.h"
+
+namespace nps {
+namespace sim {
+
+VirtualMachine::VirtualMachine(VmId id, trace::UtilizationTrace tr)
+    : id_(id), trace_(std::move(tr))
+{
+    if (trace_.empty())
+        util::fatal("VirtualMachine %u: empty trace", id_);
+}
+
+} // namespace sim
+} // namespace nps

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Virtual machines: the unit of workload placement.
+ *
+ * Each VM replays one utilization trace. The simulator tracks, per VM, the
+ * useful work demanded vs. served each tick (for performance-loss
+ * accounting) and any in-flight migration (which taxes the source of truth
+ * for the paper's 10%-overhead pre-copy model).
+ */
+
+#ifndef NPS_SIM_VM_H
+#define NPS_SIM_VM_H
+
+#include <cstddef>
+#include <limits>
+
+#include "trace/trace.h"
+
+namespace nps {
+namespace sim {
+
+/** Identifier types, kept distinct for readability. */
+using VmId = unsigned;
+using ServerId = unsigned;
+
+/** Sentinel for "no server". */
+inline constexpr ServerId kNoServer =
+    std::numeric_limits<ServerId>::max();
+
+/**
+ * One virtual machine bound to one utilization trace.
+ */
+class VirtualMachine
+{
+  public:
+    /** @param id unique VM id; @param tr the demand trace it replays. */
+    VirtualMachine(VmId id, trace::UtilizationTrace tr);
+
+    /** @return unique id. */
+    VmId id() const { return id_; }
+
+    /** @return the demand trace. */
+    const trace::UtilizationTrace &trace() const { return trace_; }
+
+    /** Useful-work demand (full-speed utilization fraction) at @p tick. */
+    double demandAt(size_t tick) const { return trace_.at(tick); }
+
+    /**
+     * Begin a migration whose overhead lasts until (exclusive) @p until.
+     * While migrating the VM's load is taxed by the migration overhead.
+     */
+    void beginMigration(size_t until) { migrating_until_ = until; }
+
+    /** @return true when a migration is in flight at @p tick. */
+    bool migrating(size_t tick) const { return tick < migrating_until_; }
+
+    /**
+     * Record this tick's service outcome (set by Server).
+     * @param demanded useful work requested (full-speed units)
+     * @param served   useful work delivered (full-speed units)
+     * @param apparent_share the VM's share of the host's *current-speed*
+     *        capacity, overheads included — what a guest OS would report.
+     */
+    void
+    recordServed(double demanded, double served, double apparent_share)
+    {
+        last_demanded_ = demanded;
+        last_served_ = served;
+        last_apparent_share_ = apparent_share;
+    }
+
+    /** Useful work demanded in the most recent tick. */
+    double lastDemanded() const { return last_demanded_; }
+
+    /**
+     * Useful work served in the most recent tick, expressed in full-speed
+     * utilization units. This is the VM's *real* utilization, the quantity
+     * the coordinated VMC consumes.
+     */
+    double lastServed() const { return last_served_; }
+
+    /**
+     * The VM's share of its host's capacity at the host's *current*
+     * P-state, overheads included. This is the *apparent* utilization an
+     * uncoordinated VMC reads; it saturates with the host and understates
+     * demand on throttled machines.
+     */
+    double lastApparentShare() const { return last_apparent_share_; }
+
+  private:
+    VmId id_;
+    trace::UtilizationTrace trace_;
+    size_t migrating_until_ = 0;
+    double last_demanded_ = 0.0;
+    double last_served_ = 0.0;
+    double last_apparent_share_ = 0.0;
+};
+
+} // namespace sim
+} // namespace nps
+
+#endif // NPS_SIM_VM_H

@@ -1,0 +1,91 @@
+#include "trace/analysis.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/stats.h"
+
+namespace nps {
+namespace trace {
+
+double
+autocorrelation(const UtilizationTrace &trace, size_t lag)
+{
+    const auto &x = trace.samples();
+    if (x.empty())
+        util::fatal("autocorrelation: empty trace");
+    if (lag >= x.size() || lag == 0)
+        return lag == 0 ? 1.0 : 0.0;
+
+    double mean = trace.mean();
+    double var = 0.0;
+    for (double v : x)
+        var += (v - mean) * (v - mean);
+    if (var < 1e-15)
+        return 0.0;
+    double cov = 0.0;
+    for (size_t t = 0; t + lag < x.size(); ++t)
+        cov += (x[t] - mean) * (x[t + lag] - mean);
+    // Length-corrected normalization so a perfectly periodic signal
+    // scores ~1 at its period regardless of how many periods fit.
+    double n = static_cast<double>(x.size());
+    double pairs = n - static_cast<double>(lag);
+    return (cov / pairs) / (var / n);
+}
+
+double
+traceQuantile(const UtilizationTrace &trace, double q)
+{
+    if (trace.empty())
+        util::fatal("traceQuantile: empty trace");
+    util::SampleSet set;
+    for (double v : trace.samples())
+        set.add(v);
+    return set.quantile(q);
+}
+
+TraceProfile
+profileTrace(const UtilizationTrace &trace, size_t ticks_per_day)
+{
+    if (trace.empty())
+        util::fatal("profileTrace: empty trace");
+
+    util::RunningStats stats;
+    for (double v : trace.samples())
+        stats.add(v);
+
+    TraceProfile p;
+    p.mean = stats.mean();
+    p.stddev = stats.stddev();
+    p.peak = stats.max();
+    p.p95 = traceQuantile(trace, 0.95);
+    p.peak_to_mean = p.mean > 0.0 ? p.peak / p.mean : 0.0;
+    p.lag1_autocorr = autocorrelation(trace, 1);
+    if (ticks_per_day > 0 && ticks_per_day < trace.length())
+        p.diurnal_strength = autocorrelation(trace, ticks_per_day);
+    return p;
+}
+
+UtilizationTrace
+aggregateDemand(const std::vector<UtilizationTrace> &traces)
+{
+    return UtilizationTrace::stack(traces, "aggregate");
+}
+
+double
+suggestedSpreadSigma(const UtilizationTrace &trace, double q)
+{
+    if (q < 0.0 || q > 1.0)
+        util::fatal("suggestedSpreadSigma: q %f out of [0,1]", q);
+    util::RunningStats stats;
+    for (double v : trace.samples())
+        stats.add(v);
+    if (stats.stddev() < 1e-12)
+        return 0.0;
+    double quant = traceQuantile(trace, q);
+    return std::max(0.0, (quant - stats.mean()) / stats.stddev());
+}
+
+} // namespace trace
+} // namespace nps

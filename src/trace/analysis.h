@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Trace analysis: the statistical characterizations used to validate
+ * that a synthetic campaign matches the envelope of the paper's
+ * real-enterprise traces, and to size controllers (spread allowances,
+ * budget headroom) from workload data.
+ */
+
+#ifndef NPS_TRACE_ANALYSIS_H
+#define NPS_TRACE_ANALYSIS_H
+
+#include <cstddef>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace nps {
+namespace trace {
+
+/** Summary statistics of one trace. */
+struct TraceProfile
+{
+    double mean = 0.0;            //!< mean utilization
+    double stddev = 0.0;          //!< standard deviation
+    double peak = 0.0;            //!< maximum sample
+    double p95 = 0.0;             //!< 95th percentile
+    double peak_to_mean = 0.0;    //!< burstiness: peak / mean
+    double diurnal_strength = 0.0; //!< daily-period autocorrelation [ -1,1]
+    double lag1_autocorr = 0.0;   //!< short-range persistence
+};
+
+/**
+ * Compute the profile of @p trace. @p ticks_per_day sets the lag used
+ * for the diurnal-strength estimate (0 disables it).
+ * @pre trace not empty
+ */
+TraceProfile profileTrace(const UtilizationTrace &trace,
+                          size_t ticks_per_day);
+
+/**
+ * Autocorrelation of the trace at @p lag (Pearson, biased estimator).
+ * Returns 0 for constant traces or when lag >= length.
+ */
+double autocorrelation(const UtilizationTrace &trace, size_t lag);
+
+/** Exact q-quantile of the trace's samples (q in [0,1]). */
+double traceQuantile(const UtilizationTrace &trace, double q);
+
+/**
+ * Aggregate (sample-wise sum) of many traces — the cluster's total
+ * demand curve, whose peak sizes the power budgets.
+ * @pre non-empty input of non-empty traces.
+ */
+UtilizationTrace aggregateDemand(
+    const std::vector<UtilizationTrace> &traces);
+
+/**
+ * Suggested per-VM demand-spread allowance (in standard deviations)
+ * such that mean + k*sigma covers the q-quantile of the trace —
+ * data-driven sizing of VmController::Params::spread_sigma. Returns 0
+ * for (near-)constant traces.
+ */
+double suggestedSpreadSigma(const UtilizationTrace &trace, double q);
+
+} // namespace trace
+} // namespace nps
+
+#endif // NPS_TRACE_ANALYSIS_H

@@ -1,0 +1,178 @@
+#include "trace/generator.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/stats.h"
+
+namespace nps {
+namespace trace {
+
+ClassProfile
+defaultProfile(WorkloadClass wc)
+{
+    ClassProfile p;
+    p.wc = wc;
+    switch (wc) {
+      case WorkloadClass::WebServer:
+        // Diurnal, moderate baseline, small bursts.
+        p.base_util = 0.24;
+        p.diurnal_amp = 0.12;
+        p.noise_sigma = 0.025;
+        p.ar_coeff = 0.90;
+        p.burst_prob = 0.004;
+        p.burst_gain = 0.30;
+        break;
+      case WorkloadClass::Database:
+        // Bursty with a higher baseline; weak diurnal pattern.
+        p.base_util = 0.32;
+        p.diurnal_amp = 0.06;
+        p.noise_sigma = 0.045;
+        p.ar_coeff = 0.85;
+        p.burst_prob = 0.010;
+        p.burst_gain = 0.40;
+        break;
+      case WorkloadClass::ECommerce:
+        // Diurnal plus pronounced flash-load spikes.
+        p.base_util = 0.26;
+        p.diurnal_amp = 0.14;
+        p.noise_sigma = 0.030;
+        p.ar_coeff = 0.88;
+        p.burst_prob = 0.008;
+        p.burst_gain = 0.50;
+        break;
+      case WorkloadClass::RemoteDesktop:
+        // Strong business-hours shape, near idle overnight.
+        p.base_util = 0.18;
+        p.diurnal_amp = 0.16;
+        p.noise_sigma = 0.020;
+        p.ar_coeff = 0.92;
+        p.burst_prob = 0.002;
+        p.burst_gain = 0.20;
+        break;
+      case WorkloadClass::Batch:
+        // Low interactive baseline; long, heavy processing windows.
+        p.base_util = 0.15;
+        p.diurnal_amp = 0.04;
+        p.noise_sigma = 0.030;
+        p.ar_coeff = 0.95;
+        p.burst_prob = 0.006;
+        p.burst_gain = 0.55;
+        p.burst_len = 40;
+        break;
+      case WorkloadClass::FileServer:
+        // Flat and quiet, mild daily rhythm.
+        p.base_util = 0.14;
+        p.diurnal_amp = 0.05;
+        p.noise_sigma = 0.020;
+        p.ar_coeff = 0.90;
+        p.burst_prob = 0.003;
+        p.burst_gain = 0.25;
+        break;
+    }
+    return p;
+}
+
+TraceGenerator::TraceGenerator(GeneratorConfig config)
+    : config_(config)
+{
+    if (config_.trace_length == 0)
+        util::fatal("TraceGenerator: zero trace length");
+    if (config_.ticks_per_day == 0)
+        util::fatal("TraceGenerator: zero ticks per day");
+    if (config_.num_enterprises == 0 ||
+        config_.servers_per_enterprise == 0) {
+        util::fatal("TraceGenerator: empty campaign");
+    }
+}
+
+UtilizationTrace
+TraceGenerator::generate(unsigned enterprise, unsigned server,
+                         const ClassProfile &profile) const
+{
+    // Derive an independent, reproducible stream per (site, server).
+    uint64_t stream = config_.seed ^
+                      (static_cast<uint64_t>(enterprise) << 32) ^
+                      (static_cast<uint64_t>(server) << 8) ^
+                      static_cast<uint64_t>(profile.wc);
+    util::Rng rng(stream, "trace-gen");
+
+    // Per-site phase: businesses in different time zones / schedules.
+    double phase = 2.0 * M_PI *
+                   (static_cast<double>(enterprise) /
+                    static_cast<double>(config_.num_enterprises));
+    // Per-server personality: each machine's baseline differs a little.
+    double base = profile.base_util * rng.uniform(0.75, 1.35);
+    double amp = profile.diurnal_amp * rng.uniform(0.7, 1.3);
+
+    std::vector<double> samples(config_.trace_length);
+    double ar = 0.0;
+    unsigned burst_left = 0;
+    double burst_amp = 0.0;
+
+    for (size_t t = 0; t < config_.trace_length; ++t) {
+        double day_angle = 2.0 * M_PI *
+                           (static_cast<double>(t % config_.ticks_per_day) /
+                            static_cast<double>(config_.ticks_per_day));
+        // Business-hours hump: a raised sinusoid that bottoms out at night.
+        double diurnal = amp * std::sin(day_angle + phase);
+
+        ar = profile.ar_coeff * ar +
+             rng.gaussian(0.0, profile.noise_sigma);
+
+        if (burst_left == 0 && rng.bernoulli(profile.burst_prob)) {
+            burst_left = profile.burst_len;
+            burst_amp = profile.burst_gain * rng.uniform(0.5, 1.0);
+        }
+        double burst = 0.0;
+        if (burst_left > 0) {
+            // Triangular burst envelope: ramp up then decay.
+            double pos = 1.0 - static_cast<double>(burst_left) /
+                               static_cast<double>(profile.burst_len);
+            burst = burst_amp * (pos < 0.3 ? pos / 0.3
+                                           : (1.0 - pos) / 0.7);
+            --burst_left;
+        }
+
+        samples[t] = util::clamp(base + diurnal + ar + burst,
+                                 profile.floor_util, profile.ceil_util);
+    }
+
+    std::string name = "site" + std::to_string(enterprise) + "/srv" +
+                       std::to_string(server) + "-" +
+                       workloadClassName(profile.wc);
+    return UtilizationTrace(std::move(name), profile.wc,
+                            std::move(samples));
+}
+
+std::vector<UtilizationTrace>
+TraceGenerator::generateAll() const
+{
+    std::vector<UtilizationTrace> traces;
+    traces.reserve(static_cast<size_t>(config_.num_enterprises) *
+                   config_.servers_per_enterprise);
+
+    for (unsigned site = 0; site < config_.num_enterprises; ++site) {
+        // Each site leans towards two signature classes; the rest of its
+        // servers cycle through the full class list.
+        auto sig_a = static_cast<WorkloadClass>(site % kNumWorkloadClasses);
+        auto sig_b =
+            static_cast<WorkloadClass>((site + 2) % kNumWorkloadClasses);
+        for (unsigned srv = 0; srv < config_.servers_per_enterprise;
+             ++srv) {
+            WorkloadClass wc;
+            if (srv % 3 == 0)
+                wc = sig_a;
+            else if (srv % 3 == 1)
+                wc = sig_b;
+            else
+                wc = static_cast<WorkloadClass>(srv % kNumWorkloadClasses);
+            traces.push_back(generate(site, srv, defaultProfile(wc)));
+        }
+    }
+    return traces;
+}
+
+} // namespace trace
+} // namespace nps

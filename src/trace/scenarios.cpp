@@ -1,0 +1,100 @@
+#include "trace/scenarios.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace nps {
+namespace trace {
+
+UtilizationTrace
+flatScenario(const std::string &name, double util, size_t length)
+{
+    if (length == 0)
+        util::fatal("flatScenario: zero length");
+    return UtilizationTrace(name, WorkloadClass::WebServer,
+                            std::vector<double>(length, util));
+}
+
+UtilizationTrace
+squareScenario(const std::string &name, double lo, double hi,
+               size_t half_period, size_t length)
+{
+    if (length == 0 || half_period == 0)
+        util::fatal("squareScenario: zero length or period");
+    std::vector<double> v(length);
+    for (size_t t = 0; t < length; ++t)
+        v[t] = (t / half_period) % 2 == 0 ? lo : hi;
+    return UtilizationTrace(name, WorkloadClass::Database, std::move(v));
+}
+
+UtilizationTrace
+surgeScenario(const std::string &name, double quiet, double surge,
+              size_t length)
+{
+    if (length == 0)
+        util::fatal("surgeScenario: zero length");
+    std::vector<double> v(length);
+    for (size_t t = 0; t < length; ++t) {
+        bool surging = t >= length / 3 && t < 2 * length / 3;
+        v[t] = surging ? surge : quiet;
+    }
+    return UtilizationTrace(name, WorkloadClass::ECommerce,
+                            std::move(v));
+}
+
+UtilizationTrace
+rampScenario(const UtilizationTrace &base, size_t length,
+             double start_scale, double end_scale)
+{
+    if (length == 0)
+        util::fatal("rampScenario: zero length");
+    if (base.empty())
+        util::fatal("rampScenario: empty base trace");
+    if (start_scale < 0.0 || end_scale < 0.0)
+        util::fatal("rampScenario: negative scale");
+    std::vector<double> v(length);
+    for (size_t k = 0; k < length; ++k) {
+        double scale = start_scale +
+                       (end_scale - start_scale) *
+                           static_cast<double>(k) /
+                           static_cast<double>(length);
+        v[k] = base.at(k) * scale;
+    }
+    return UtilizationTrace(base.name() + "-ramp", base.workloadClass(),
+                            std::move(v));
+}
+
+UtilizationTrace
+flashCrowdScenario(const std::string &name, double base, double peak,
+                   size_t at_tick, double decay, size_t length)
+{
+    if (length == 0)
+        util::fatal("flashCrowdScenario: zero length");
+    if (decay <= 0.0)
+        util::fatal("flashCrowdScenario: non-positive decay");
+    std::vector<double> v(length);
+    for (size_t t = 0; t < length; ++t) {
+        v[t] = base;
+        if (t >= at_tick) {
+            double age = static_cast<double>(t - at_tick);
+            v[t] += (peak - base) * std::exp(-age / decay);
+        }
+    }
+    return UtilizationTrace(name, WorkloadClass::ECommerce,
+                            std::move(v));
+}
+
+std::vector<UtilizationTrace>
+rampAll(const std::vector<UtilizationTrace> &base, size_t length,
+        double start_scale, double end_scale)
+{
+    std::vector<UtilizationTrace> out;
+    out.reserve(base.size());
+    for (const auto &t : base)
+        out.push_back(rampScenario(t, length, start_scale, end_scale));
+    return out;
+}
+
+} // namespace trace
+} // namespace nps

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Scenario trace builders: parametric demand shapes used by tests,
+ * examples, and benches to exercise specific dynamics — surges, ramps,
+ * steps, and flash crowds — alongside the statistical campaign the
+ * generator produces.
+ */
+
+#ifndef NPS_TRACE_SCENARIOS_H
+#define NPS_TRACE_SCENARIOS_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace nps {
+namespace trace {
+
+/** A constant-demand trace. */
+UtilizationTrace flatScenario(const std::string &name, double util,
+                              size_t length);
+
+/**
+ * A square wave alternating @p lo and @p hi every @p half_period ticks
+ * (starts at lo).
+ */
+UtilizationTrace squareScenario(const std::string &name, double lo,
+                                double hi, size_t half_period,
+                                size_t length);
+
+/**
+ * Quiet -> surge -> quiet: @p quiet outside the middle third of the
+ * trace, @p surge inside it.
+ */
+UtilizationTrace surgeScenario(const std::string &name, double quiet,
+                               double surge, size_t length);
+
+/**
+ * Linear ramp of an existing trace: sample k is scaled by the linear
+ * interpolation from @p start_scale to @p end_scale across @p length
+ * ticks (the base trace wraps as needed).
+ */
+UtilizationTrace rampScenario(const UtilizationTrace &base,
+                              size_t length, double start_scale,
+                              double end_scale);
+
+/**
+ * A flash crowd: baseline @p base, with a spike to @p peak at
+ * @p at_tick that decays exponentially with time constant @p decay
+ * ticks — the e-commerce incident shape.
+ */
+UtilizationTrace flashCrowdScenario(const std::string &name, double base,
+                                    double peak, size_t at_tick,
+                                    double decay, size_t length);
+
+/** Apply rampScenario to every trace of a set. */
+std::vector<UtilizationTrace> rampAll(
+    const std::vector<UtilizationTrace> &base, size_t length,
+    double start_scale, double end_scale);
+
+} // namespace trace
+} // namespace nps
+
+#endif // NPS_TRACE_SCENARIOS_H

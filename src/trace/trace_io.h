@@ -1,0 +1,48 @@
+/**
+ * @file
+ * CSV import/export for utilization traces, so externally collected traces
+ * (e.g. sar/collectd exports from a real fleet) can drive the simulator,
+ * and generated campaigns can be archived and plotted.
+ *
+ * Format: one header row `name,class,u0,u1,...` is NOT used; instead the
+ * file is long-form with a header `name,class,tick,util` — one row per
+ * sample — which survives ragged trace lengths and streams well.
+ */
+
+#ifndef NPS_TRACE_TRACE_IO_H
+#define NPS_TRACE_TRACE_IO_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace nps {
+namespace trace {
+
+/** Write traces in long form (`name,class,tick,util`) to a stream. */
+void writeTraces(std::ostream &out,
+                 const std::vector<UtilizationTrace> &traces);
+
+/** Write traces to a file; fatal() on IO failure. */
+void writeTracesFile(const std::string &path,
+                     const std::vector<UtilizationTrace> &traces);
+
+/**
+ * Parse traces from long-form CSV text. Rows must be grouped by trace and
+ * tick-ordered within each trace (the writer's output satisfies this);
+ * fatal() on malformed input.
+ */
+std::vector<UtilizationTrace> parseTraces(const std::string &text);
+
+/** Read traces from a long-form CSV file; fatal() on IO failure. */
+std::vector<UtilizationTrace> readTracesFile(const std::string &path);
+
+/** Parse a workload-class name as written by writeTraces(). */
+WorkloadClass workloadClassFromName(const std::string &name);
+
+} // namespace trace
+} // namespace nps
+
+#endif // NPS_TRACE_TRACE_IO_H

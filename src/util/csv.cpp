@@ -1,0 +1,154 @@
+#include "util/csv.h"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace nps {
+namespace util {
+
+CsvDocument
+parseCsv(const std::string &text)
+{
+    CsvDocument doc;
+    std::vector<std::string> row;
+    std::string field;
+    bool in_quotes = false;
+    bool row_has_data = false;
+
+    auto push_field = [&]() {
+        row.push_back(field);
+        field.clear();
+        row_has_data = true;
+    };
+    auto push_row = [&]() {
+        push_field();
+        doc.rows.push_back(std::move(row));
+        row.clear();
+        row_has_data = false;
+    };
+
+    for (size_t i = 0; i < text.size(); ++i) {
+        char c = text[i];
+        if (in_quotes) {
+            if (c == '"') {
+                if (i + 1 < text.size() && text[i + 1] == '"') {
+                    field.push_back('"');
+                    ++i;
+                } else {
+                    in_quotes = false;
+                }
+            } else {
+                field.push_back(c);
+            }
+        } else if (c == '"') {
+            in_quotes = true;
+        } else if (c == ',') {
+            push_field();
+        } else if (c == '\n') {
+            push_row();
+        } else if (c == '\r') {
+            // Swallow; a following \n terminates the row, a bare \r is
+            // treated as a row terminator too.
+            if (i + 1 >= text.size() || text[i + 1] != '\n')
+                push_row();
+        } else {
+            field.push_back(c);
+        }
+    }
+    if (in_quotes)
+        fatal("parseCsv: unterminated quoted field");
+    if (!field.empty() || row_has_data || !row.empty())
+        push_row();
+    return doc;
+}
+
+CsvDocument
+readCsvFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal("readCsvFile: cannot open %s", path.c_str());
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return parseCsv(ss.str());
+}
+
+std::string
+csvEscape(const std::string &field)
+{
+    bool needs_quote = field.find_first_of(",\"\n\r") != std::string::npos;
+    if (!needs_quote)
+        return field;
+    std::string out = "\"";
+    for (char c : field) {
+        if (c == '"')
+            out += "\"\"";
+        else
+            out.push_back(c);
+    }
+    out.push_back('"');
+    return out;
+}
+
+std::string
+CsvWriter::toField(double v)
+{
+    std::ostringstream ss;
+    ss.precision(10);
+    ss << v;
+    return ss.str();
+}
+
+std::string
+CsvWriter::toField(int v)
+{
+    return std::to_string(v);
+}
+
+std::string
+CsvWriter::toField(long v)
+{
+    return std::to_string(v);
+}
+
+std::string
+CsvWriter::toField(unsigned v)
+{
+    return std::to_string(v);
+}
+
+std::string
+CsvWriter::toField(unsigned long v)
+{
+    return std::to_string(v);
+}
+
+void
+CsvWriter::writeField(const std::string &field, bool &first)
+{
+    if (!first)
+        out_ << ',';
+    first = false;
+    out_ << csvEscape(field);
+}
+
+void
+CsvWriter::endRow()
+{
+    out_ << '\n';
+}
+
+void
+CsvWriter::rowFromFields(const std::vector<std::string> &fields)
+{
+    bool first = true;
+    for (const auto &f : fields)
+        writeField(f, first);
+    endRow();
+}
+
+} // namespace util
+} // namespace nps

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Small CSV reader/writer used for trace import/export and for dumping
+ * benchmark series that can be plotted externally.
+ *
+ * Supports RFC-4180-style quoting (fields containing commas, quotes, or
+ * newlines are double-quoted with embedded quotes doubled). No attempt is
+ * made to support exotic encodings; everything is treated as bytes.
+ */
+
+#ifndef NPS_UTIL_CSV_H
+#define NPS_UTIL_CSV_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace nps {
+namespace util {
+
+/** A parsed CSV document: one vector of fields per row. */
+struct CsvDocument
+{
+    /** Row-major parsed cells. The header, if any, is rows[0]. */
+    std::vector<std::vector<std::string>> rows;
+
+    /** @return number of rows. */
+    size_t numRows() const { return rows.size(); }
+};
+
+/** Parse CSV text. Handles quoted fields and both \n and \r\n endings. */
+CsvDocument parseCsv(const std::string &text);
+
+/** Read and parse a CSV file. Calls fatal() if the file cannot be read. */
+CsvDocument readCsvFile(const std::string &path);
+
+/**
+ * Streaming CSV writer.
+ *
+ * Usage:
+ * @code
+ *   CsvWriter w(out);
+ *   w.row("time", "server", "watts");
+ *   w.row(12, "blade-3", 87.5);
+ * @endcode
+ */
+class CsvWriter
+{
+  public:
+    /** Write to the given stream; the stream must outlive the writer. */
+    explicit CsvWriter(std::ostream &out) : out_(out) {}
+
+    CsvWriter(const CsvWriter &) = delete;
+    CsvWriter &operator=(const CsvWriter &) = delete;
+
+    /** Write one row from any mix of printable values. */
+    template <typename... Ts>
+    void
+    row(const Ts &...values)
+    {
+        bool first = true;
+        (writeField(toField(values), first), ...);
+        endRow();
+    }
+
+    /** Write one row from a vector of preformatted fields. */
+    void rowFromFields(const std::vector<std::string> &fields);
+
+  private:
+    static std::string toField(const std::string &s) { return s; }
+    static std::string toField(const char *s) { return s; }
+    static std::string toField(double v);
+    static std::string toField(int v);
+    static std::string toField(long v);
+    static std::string toField(unsigned v);
+    static std::string toField(unsigned long v);
+
+    void writeField(const std::string &field, bool &first);
+    void endRow();
+
+    std::ostream &out_;
+};
+
+/** Quote a single field per RFC 4180 when it needs quoting. */
+std::string csvEscape(const std::string &field);
+
+} // namespace util
+} // namespace nps
+
+#endif // NPS_UTIL_CSV_H

@@ -1,0 +1,110 @@
+#include "util/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace nps {
+namespace util {
+
+namespace {
+
+LogLevel global_level = LogLevel::Warn;
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug: return "debug";
+      case LogLevel::Info:  return "info";
+      case LogLevel::Warn:  return "warn";
+      case LogLevel::Error: return "error";
+    }
+    return "?";
+}
+
+void
+emit(LogLevel level, const std::string &msg)
+{
+    if (level < global_level)
+        return;
+    std::fprintf(stderr, "[nps:%s] %s\n", levelName(level), msg.c_str());
+}
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    global_level = level;
+}
+
+LogLevel
+logLevel()
+{
+    return global_level;
+}
+
+std::string
+vformat(const char *fmt, va_list args)
+{
+    va_list args_copy;
+    va_copy(args_copy, args);
+    int needed = std::vsnprintf(nullptr, 0, fmt, args_copy);
+    va_end(args_copy);
+    if (needed < 0)
+        return std::string(fmt);
+    std::vector<char> buf(static_cast<size_t>(needed) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, args);
+    return std::string(buf.data(), static_cast<size_t>(needed));
+}
+
+void
+logf(LogLevel level, const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    emit(level, vformat(fmt, args));
+    va_end(args);
+}
+
+void
+inform(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    emit(LogLevel::Info, vformat(fmt, args));
+    va_end(args);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    emit(LogLevel::Warn, vformat(fmt, args));
+    va_end(args);
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::fprintf(stderr, "[nps:fatal] %s\n", vformat(fmt, args).c_str());
+    va_end(args);
+    std::exit(1);
+}
+
+void
+panic(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::fprintf(stderr, "[nps:panic] %s\n", vformat(fmt, args).c_str());
+    va_end(args);
+    std::abort();
+}
+
+} // namespace util
+} // namespace nps

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Minimal logging and error-reporting facilities.
+ *
+ * Follows the gem5 convention of distinguishing fatal() (user error: bad
+ * configuration or arguments; clean exit) from panic() (internal invariant
+ * broken; abort), plus warn()/inform() status channels.
+ */
+
+#ifndef NPS_UTIL_LOGGING_H
+#define NPS_UTIL_LOGGING_H
+
+#include <cstdarg>
+#include <string>
+
+namespace nps {
+namespace util {
+
+/** Severity of a log message. */
+enum class LogLevel
+{
+    Debug,
+    Info,
+    Warn,
+    Error,
+};
+
+/**
+ * Set the global minimum level that will be emitted to stderr.
+ * Defaults to LogLevel::Warn so library users see a quiet console.
+ */
+void setLogLevel(LogLevel level);
+
+/** @return the current global minimum log level. */
+LogLevel logLevel();
+
+/** Emit a printf-style message at the given level. */
+void logf(LogLevel level, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+/** Informational status message (LogLevel::Info). */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Suspicious-but-survivable condition (LogLevel::Warn). */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Unrecoverable user error (bad configuration, invalid arguments).
+ * Prints the message and exits with status 1.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Internal invariant violation: a bug in this library, never the user's
+ * fault. Prints the message and aborts (so a core/debugger can catch it).
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Format a printf-style message into a std::string. */
+std::string vformat(const char *fmt, va_list args);
+
+} // namespace util
+} // namespace nps
+
+#endif // NPS_UTIL_LOGGING_H

@@ -1,0 +1,133 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace nps {
+namespace util {
+
+void
+RunningStats::add(double x)
+{
+    if (count_ == 0) {
+        min_ = x;
+        max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++count_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+}
+
+void
+RunningStats::merge(const RunningStats &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    double n1 = static_cast<double>(count_);
+    double n2 = static_cast<double>(other.count_);
+    double delta = other.mean_ - mean_;
+    double n = n1 + n2;
+    mean_ += delta * n2 / n;
+    m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+    count_ += other.count_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+void
+RunningStats::clear()
+{
+    *this = RunningStats();
+}
+
+double
+RunningStats::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+RateCounter::rate() const
+{
+    if (total_ == 0)
+        return 0.0;
+    return static_cast<double>(hits_) / static_cast<double>(total_);
+}
+
+void
+SampleSet::add(double x)
+{
+    samples_.push_back(x);
+    sorted_ = false;
+}
+
+double
+SampleSet::mean() const
+{
+    if (samples_.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double x : samples_)
+        sum += x;
+    return sum / static_cast<double>(samples_.size());
+}
+
+double
+SampleSet::quantile(double q) const
+{
+    if (samples_.empty())
+        return 0.0;
+    if (q < 0.0 || q > 1.0)
+        panic("SampleSet::quantile(%f): q out of [0,1]", q);
+    if (!sorted_) {
+        std::sort(samples_.begin(), samples_.end());
+        sorted_ = true;
+    }
+    double pos = q * static_cast<double>(samples_.size() - 1);
+    size_t lo = static_cast<size_t>(pos);
+    size_t hi = std::min(lo + 1, samples_.size() - 1);
+    double frac = pos - static_cast<double>(lo);
+    return samples_[lo] + (samples_[hi] - samples_[lo]) * frac;
+}
+
+double
+clamp(double x, double lo, double hi)
+{
+    if (lo > hi)
+        panic("clamp: lo %f > hi %f", lo, hi);
+    return std::min(hi, std::max(lo, x));
+}
+
+double
+lerp(double a, double b, double t)
+{
+    return a + (b - a) * t;
+}
+
+bool
+nearlyEqual(double a, double b, double tol)
+{
+    return std::fabs(a - b) <= tol;
+}
+
+} // namespace util
+} // namespace nps

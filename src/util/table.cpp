@@ -1,0 +1,101 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace nps {
+namespace util {
+
+Table::Table(std::string caption)
+    : caption_(std::move(caption))
+{
+}
+
+void
+Table::header(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+void
+Table::row(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::separator()
+{
+    rows_.emplace_back();
+}
+
+std::string
+Table::num(double v, int decimals)
+{
+    std::ostringstream ss;
+    ss << std::fixed << std::setprecision(decimals) << v;
+    return ss.str();
+}
+
+std::string
+Table::pct(double fraction, int decimals)
+{
+    return num(fraction * 100.0, decimals);
+}
+
+void
+Table::print(std::ostream &out) const
+{
+    // Compute column widths over header + all rows.
+    std::vector<size_t> widths;
+    auto grow = [&](const std::vector<std::string> &cells) {
+        if (cells.size() > widths.size())
+            widths.resize(cells.size(), 0);
+        for (size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    grow(header_);
+    for (const auto &r : rows_)
+        grow(r);
+
+    bool last_was_rule = false;
+    auto print_rule = [&]() {
+        if (last_was_rule)
+            return;
+        out << '+';
+        for (size_t w : widths)
+            out << std::string(w + 2, '-') << '+';
+        out << '\n';
+        last_was_rule = true;
+    };
+    auto print_cells = [&](const std::vector<std::string> &cells) {
+        last_was_rule = false;
+        out << '|';
+        for (size_t i = 0; i < widths.size(); ++i) {
+            std::string cell = i < cells.size() ? cells[i] : "";
+            out << ' ' << cell
+                << std::string(widths[i] - cell.size(), ' ') << " |";
+        }
+        out << '\n';
+    };
+
+    if (!caption_.empty())
+        out << caption_ << '\n';
+    print_rule();
+    if (!header_.empty()) {
+        print_cells(header_);
+        print_rule();
+    }
+    for (const auto &r : rows_) {
+        if (r.empty())
+            print_rule();
+        else
+            print_cells(r);
+    }
+    print_rule();
+}
+
+} // namespace util
+} // namespace nps

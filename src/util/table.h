@@ -1,0 +1,57 @@
+/**
+ * @file
+ * ASCII table rendering used by the benchmark harnesses to print the same
+ * rows/series the paper's figures and tables report.
+ */
+
+#ifndef NPS_UTIL_TABLE_H
+#define NPS_UTIL_TABLE_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace nps {
+namespace util {
+
+/**
+ * Column-aligned text table.
+ *
+ * Collects a header plus rows of string cells and renders them with padded
+ * columns; numeric helpers format doubles at fixed precision.
+ */
+class Table
+{
+  public:
+    /** Construct with a caption printed above the table. */
+    explicit Table(std::string caption);
+
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row. */
+    void row(std::vector<std::string> cells);
+
+    /** Append a horizontal separator before the next row. */
+    void separator();
+
+    /** Render the table to @p out. */
+    void print(std::ostream &out) const;
+
+    /** Format a double with @p decimals digits after the point. */
+    static std::string num(double v, int decimals = 1);
+
+    /** Format a fraction in [0,1] as a percentage string, e.g. "12.3". */
+    static std::string pct(double fraction, int decimals = 1);
+
+  private:
+    std::string caption_;
+    std::vector<std::string> header_;
+    /** Rows; an empty row encodes a separator. */
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace util
+} // namespace nps
+
+#endif // NPS_UTIL_TABLE_H

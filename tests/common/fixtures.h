@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Shared helpers for building small clusters and synthetic traces in
+ * tests. Header-only; included by the sim/controllers/core/integration
+ * test binaries.
+ */
+
+#ifndef NPS_TESTS_COMMON_FIXTURES_H
+#define NPS_TESTS_COMMON_FIXTURES_H
+
+#include <string>
+#include <vector>
+
+#include "model/machine.h"
+#include "sim/cluster.h"
+#include "trace/generator.h"
+#include "trace/trace.h"
+
+namespace nps_test {
+
+/** A constant-demand trace of the given length. */
+inline nps::trace::UtilizationTrace
+flatTrace(const std::string &name, double util, size_t length = 64)
+{
+    return nps::trace::UtilizationTrace(
+        name, nps::trace::WorkloadClass::WebServer,
+        std::vector<double>(length, util));
+}
+
+/** n constant-demand traces. */
+inline std::vector<nps::trace::UtilizationTrace>
+flatTraces(size_t n, double util, size_t length = 64)
+{
+    std::vector<nps::trace::UtilizationTrace> out;
+    for (size_t i = 0; i < n; ++i)
+        out.push_back(flatTrace("flat" + std::to_string(i), util,
+                                length));
+    return out;
+}
+
+/** A square-wave trace alternating lo/hi every half period. */
+inline nps::trace::UtilizationTrace
+squareTrace(const std::string &name, double lo, double hi,
+            size_t half_period, size_t length)
+{
+    std::vector<double> v(length);
+    for (size_t t = 0; t < length; ++t)
+        v[t] = (t / half_period) % 2 == 0 ? lo : hi;
+    return nps::trace::UtilizationTrace(
+        name, nps::trace::WorkloadClass::Database, std::move(v));
+}
+
+/** A small realistic trace set from the generator. */
+inline std::vector<nps::trace::UtilizationTrace>
+generatedTraces(size_t n, size_t length = 512, uint64_t seed = 11)
+{
+    nps::trace::GeneratorConfig cfg;
+    cfg.trace_length = length;
+    cfg.seed = seed;
+    nps::trace::TraceGenerator gen(cfg);
+    std::vector<nps::trace::UtilizationTrace> out;
+    for (size_t i = 0; i < n; ++i) {
+        auto wc = static_cast<nps::trace::WorkloadClass>(
+            i % nps::trace::kNumWorkloadClasses);
+        out.push_back(gen.generate(static_cast<unsigned>(i % 9),
+                                   static_cast<unsigned>(i),
+                                   nps::trace::defaultProfile(wc)));
+    }
+    return out;
+}
+
+/**
+ * A small paper-shaped cluster: one 4-blade enclosure plus 2 standalone
+ * servers (6 servers total), Blade A, one VM per server.
+ */
+inline nps::sim::Cluster
+smallCluster(double util = 0.3,
+             const nps::sim::BudgetConfig &budgets =
+                 nps::sim::BudgetConfig::paper201510())
+{
+    nps::sim::Topology topo{6, 1, 4};
+    return nps::sim::Cluster(topo, nps::model::bladeA(),
+                             flatTraces(6, util), budgets, 0.10, 0.10);
+}
+
+} // namespace nps_test
+
+#endif // NPS_TESTS_COMMON_FIXTURES_H

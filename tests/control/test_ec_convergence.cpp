@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Numerical verification of Appendix A, Proposition A: under the
+ * idealized continuous-frequency plant
+ *
+ *     r(k)   = min(1, f_D / f(k)),     f_C(k) = min(f(k), f_D),
+ *     f(k+1) = f(k) - lambda * (f_C(k) / r_ref) * (r_ref - r(k)),
+ *
+ * the utilization r converges to r_ref for every 0 < lambda < 1 / r_ref
+ * (global bound), for any constant demand and initial frequency. Beyond
+ * the local bound 2 / r_ref the loop must not converge.
+ *
+ * This exercises the *equation*, independent of the simulator; the
+ * controllers/test_efficiency.cpp suite covers the quantized
+ * implementation on a simulated server.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "control/stability.h"
+
+namespace {
+
+/** One step of the idealized EC recurrence. */
+double
+ecStep(double f, double f_d, double lambda, double r_ref)
+{
+    double f_c = std::min(f, f_d);
+    double r = std::min(1.0, f_d / f);
+    return f - lambda * (f_c / r_ref) * (r_ref - r);
+}
+
+/** Run the loop and return the utilization series. */
+std::vector<double>
+runEc(double f0, double f_d, double lambda, double r_ref, int steps)
+{
+    std::vector<double> util;
+    double f = f0;
+    for (int k = 0; k < steps; ++k) {
+        util.push_back(std::min(1.0, f_d / f));
+        f = ecStep(f, f_d, lambda, r_ref);
+        // Physical actuator range (wide enough not to bind in the
+        // stable cases).
+        f = std::max(1.0, std::min(f, 1e7));
+    }
+    return util;
+}
+
+/** (lambda_fraction_of_bound, r_ref, f_demand, f_initial). */
+using EcCase = std::tuple<double, double, double, double>;
+
+class EcConvergence : public ::testing::TestWithParam<EcCase>
+{
+};
+
+TEST_P(EcConvergence, UtilizationTracksReference)
+{
+    auto [frac, r_ref, f_d, f0] = GetParam();
+    double lambda = frac * nps::ctl::ecLambdaBound(r_ref);
+    auto util = runEc(f0, f_d, lambda, r_ref, 3000);
+    EXPECT_TRUE(nps::ctl::converged(util, r_ref, 1e-4, 50))
+        << "lambda=" << lambda << " r_ref=" << r_ref << " f_d=" << f_d
+        << " f0=" << f0 << " tail=" << util.back();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StableGrid, EcConvergence,
+    ::testing::Combine(
+        ::testing::Values(0.2, 0.5, 0.8, 0.95),   // fraction of 1/r_ref
+        ::testing::Values(0.3, 0.5, 0.75, 0.9),   // r_ref
+        ::testing::Values(200.0, 1000.0),         // demand (MHz)
+        ::testing::Values(500.0, 1000.0, 4000.0)  // initial frequency
+        ));
+
+TEST(EcConvergence, ZeroTrackingError)
+{
+    // Fixed point: r == r_ref exactly (f = f_D / r_ref).
+    double r_ref = 0.75, f_d = 600.0, lambda = 0.8;
+    double f = f_d / r_ref;
+    double f_next = ecStep(f, f_d, lambda, r_ref);
+    EXPECT_NEAR(f_next, f, 1e-9);
+}
+
+TEST(EcConvergence, SaturatedRegionRampsUp)
+{
+    // When capacity is below demand (r saturated at 1 > r_ref), the law
+    // must monotonically raise frequency until capacity covers demand.
+    double f = 100.0, f_d = 1000.0;
+    for (int i = 0; i < 100; ++i) {
+        double next = ecStep(f, f_d, 0.8, 0.75);
+        EXPECT_GT(next, f);
+        f = next;
+        if (f >= f_d)
+            break;
+    }
+    EXPECT_GE(f, 900.0);
+}
+
+TEST(EcConvergence, BeyondLocalBoundDiverges)
+{
+    // lambda far above 2 / r_ref: the loop must fail to settle.
+    double r_ref = 0.75;
+    double lambda = 2.5 * nps::ctl::ecLambdaLocalBound(r_ref);
+    auto util = runEc(900.0, 600.0, lambda, r_ref, 3000);
+    EXPECT_FALSE(nps::ctl::converged(util, r_ref, 1e-3, 50));
+    EXPECT_TRUE(nps::ctl::oscillating(util, 100, 0.05, 10));
+}
+
+TEST(EcConvergence, SlowDemandChangesAreTracked)
+{
+    // Proposition A assumes demand changing slowly relative to the loop;
+    // drift the demand and verify tracking error stays small after an
+    // initial transient.
+    double r_ref = 0.75, lambda = 0.8;
+    double f = 2000.0;
+    double worst = 0.0;
+    for (int k = 0; k < 4000; ++k) {
+        double f_d = 600.0 + 200.0 * std::sin(k / 500.0);
+        double r = std::min(1.0, f_d / f);
+        if (k > 200)
+            worst = std::max(worst, std::fabs(r - r_ref));
+        f = ecStep(f, f_d, lambda, r_ref);
+    }
+    EXPECT_LT(worst, 0.02);
+}
+
+} // namespace

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Tests for the first-order linear system and the Appendix A closed-loop
+ * analysis of the SM: pow(k) = (1 - beta c) pow(k-1) + beta c cap is
+ * stable iff |1 - beta c| < 1 and converges to the cap.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "control/linear_system.h"
+#include "control/stability.h"
+
+namespace {
+
+using namespace nps::ctl;
+
+TEST(FirstOrderSystem, StableConvergesToFixedPoint)
+{
+    FirstOrderSystem sys(0.5, 2.0, 0.0);
+    EXPECT_TRUE(sys.stable());
+    EXPECT_DOUBLE_EQ(sys.fixedPoint(), 4.0);
+    sys.run(100);
+    EXPECT_NEAR(sys.state(), 4.0, 1e-9);
+}
+
+TEST(FirstOrderSystem, UnstableDiverges)
+{
+    FirstOrderSystem sys(1.5, 0.0, 1.0);
+    EXPECT_FALSE(sys.stable());
+    sys.run(50);
+    EXPECT_GT(std::fabs(sys.state()), 1e6);
+}
+
+TEST(FirstOrderSystem, NegativePoleOscillatesButConverges)
+{
+    FirstOrderSystem sys(-0.8, 1.8, 10.0);
+    EXPECT_TRUE(sys.stable());
+    auto states = sys.run(200);
+    EXPECT_NEAR(states.back(), 1.0, 1e-6);
+    // Early deviations alternate sign around the fixed point and shrink.
+    double fp = sys.fixedPoint();
+    EXPECT_LT((states[0] - fp) * (states[1] - fp), 0.0);
+    EXPECT_LT((states[1] - fp) * (states[2] - fp), 0.0);
+    EXPECT_LT(std::fabs(states[2] - fp), std::fabs(states[0] - fp));
+}
+
+TEST(FirstOrderSystem, SettlingTimeShrinksWithSmallerPole)
+{
+    FirstOrderSystem fast(0.2, 1.0, 100.0);
+    FirstOrderSystem slow(0.9, 0.125, 100.0);
+    size_t t_fast = fast.settlingTime(0.01, 10000);
+    size_t t_slow = slow.settlingTime(0.01, 10000);
+    EXPECT_LT(t_fast, t_slow);
+}
+
+TEST(FirstOrderSystem, FixedPointAtPoleOneDies)
+{
+    FirstOrderSystem sys(1.0, 1.0, 0.0);
+    EXPECT_DEATH(sys.fixedPoint(), "pole");
+}
+
+TEST(FirstOrderSystem, SettlingTimeOnUnstableDies)
+{
+    FirstOrderSystem sys(2.0, 0.0, 1.0);
+    EXPECT_DEATH(sys.settlingTime(0.01, 100), "unstable");
+}
+
+TEST(SmClosedLoop, PoleFormula)
+{
+    EXPECT_DOUBLE_EQ(smClosedLoopPole(1.0, 0.5), 0.5);
+    EXPECT_DOUBLE_EQ(smClosedLoopPole(4.0, 0.5), -1.0);
+}
+
+TEST(SmClosedLoop, ConvergesToCapWhenStable)
+{
+    // beta within (0, 2/c): power must converge to the cap.
+    double c = 0.6, cap = 70.0;
+    FirstOrderSystem loop = smClosedLoop(1.5, c, cap, 90.0);
+    EXPECT_TRUE(loop.stable());
+    loop.run(300);
+    EXPECT_NEAR(loop.state(), cap, 1e-6);
+}
+
+/**
+ * Appendix A property sweep: the closed SM loop is stable exactly when
+ * 0 < beta < 2 / c.
+ */
+class SmBetaSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(SmBetaSweep, StabilityMatchesAnalyticalBound)
+{
+    double beta = GetParam();
+    double c = 0.8, cap = 60.0;
+    FirstOrderSystem loop = smClosedLoop(beta, c, cap, 100.0);
+    bool analytic = smGainStable(beta, c);
+    EXPECT_EQ(loop.stable(), analytic) << "beta=" << beta;
+    if (analytic) {
+        loop.run(2000);
+        EXPECT_NEAR(loop.state(), cap, 1e-3) << "beta=" << beta;
+    } else {
+        loop.run(200);
+        EXPECT_GT(std::fabs(loop.state() - cap), 30.0) << "beta=" << beta;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(BetaGrid, SmBetaSweep,
+                         ::testing::Values(0.1, 0.5, 1.0, 1.5, 2.0, 2.4,
+                                           2.6, 3.0, 5.0));
+
+} // namespace

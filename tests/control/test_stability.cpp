@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Tests for the Appendix A stability bounds and sequence diagnostics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "control/stability.h"
+
+namespace {
+
+using namespace nps::ctl;
+
+TEST(StabilityBounds, EcLambda)
+{
+    EXPECT_DOUBLE_EQ(ecLambdaBound(0.5), 2.0);
+    EXPECT_DOUBLE_EQ(ecLambdaBound(0.75), 1.0 / 0.75);
+    EXPECT_DOUBLE_EQ(ecLambdaLocalBound(0.5), 4.0);
+    EXPECT_DEATH(ecLambdaBound(0.0), "out of");
+    EXPECT_DEATH(ecLambdaBound(1.0), "out of");
+}
+
+TEST(StabilityBounds, EcGainStable)
+{
+    EXPECT_TRUE(ecGainStable(0.8, 0.75));   // the Figure 5 baseline
+    EXPECT_TRUE(ecGainStable(1.3, 0.75));
+    EXPECT_FALSE(ecGainStable(1.4, 0.75));  // above 1/0.75
+    EXPECT_FALSE(ecGainStable(0.0, 0.75));
+    EXPECT_FALSE(ecGainStable(-0.5, 0.75));
+}
+
+TEST(StabilityBounds, SmBeta)
+{
+    EXPECT_DOUBLE_EQ(smBetaBound(0.5), 4.0);
+    EXPECT_TRUE(smGainStable(1.0, 0.5));
+    EXPECT_FALSE(smGainStable(5.0, 0.5));
+    EXPECT_FALSE(smGainStable(0.0, 0.5));
+    EXPECT_DEATH(smBetaBound(0.0), "positive");
+}
+
+TEST(Converged, DetectsSettledTail)
+{
+    std::vector<double> s{5.0, 3.0, 1.1, 1.0, 1.01, 0.99, 1.0};
+    EXPECT_TRUE(converged(s, 1.0, 0.05, 4));
+    EXPECT_FALSE(converged(s, 1.0, 0.05, 6));
+    EXPECT_FALSE(converged(s, 2.0, 0.05, 4));
+}
+
+TEST(Converged, ShortSeriesIsFalse)
+{
+    EXPECT_FALSE(converged({1.0}, 1.0, 0.1, 5));
+}
+
+TEST(Converged, ZeroWindowDies)
+{
+    EXPECT_DEATH(converged({1.0}, 1.0, 0.1, 0), "zero window");
+}
+
+TEST(TailAmplitude, PeakToPeak)
+{
+    std::vector<double> s{0.0, 9.0, 1.0, 3.0, 2.0};
+    EXPECT_DOUBLE_EQ(tailAmplitude(s, 3), 2.0);
+    EXPECT_DOUBLE_EQ(tailAmplitude(s, 5), 9.0);
+    EXPECT_DOUBLE_EQ(tailAmplitude(s, 6), 0.0);
+}
+
+TEST(Oscillating, DetectsLimitCycle)
+{
+    std::vector<double> s;
+    for (int i = 0; i < 40; ++i)
+        s.push_back(std::sin(i * 1.3) * 2.0);
+    EXPECT_TRUE(oscillating(s, 20, 1.0, 4));
+}
+
+TEST(Oscillating, MonotoneIsNot)
+{
+    std::vector<double> s;
+    for (int i = 0; i < 40; ++i)
+        s.push_back(static_cast<double>(i));
+    EXPECT_FALSE(oscillating(s, 20, 1.0, 2));
+}
+
+TEST(Oscillating, SmallRippleIsNot)
+{
+    std::vector<double> s;
+    for (int i = 0; i < 40; ++i)
+        s.push_back(std::sin(i) * 0.001);
+    EXPECT_FALSE(oscillating(s, 20, 0.5, 2));
+}
+
+TEST(Oscillating, ConstantIsNot)
+{
+    std::vector<double> s(40, 1.0);
+    EXPECT_FALSE(oscillating(s, 20, 0.0, 1));
+}
+
+} // namespace

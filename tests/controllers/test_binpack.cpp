@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Tests for the greedy bin-packing placement optimizer: consolidation,
+ * every constraint class (capacity, local/enclosure/group power), the
+ * migration-avoiding tie-break, and infeasibility handling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <set>
+
+#include "controllers/binpack.h"
+#include "model/machine.h"
+
+namespace {
+
+using namespace nps::controllers;
+using nps::model::PowerModel;
+using nps::sim::kNoServer;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr unsigned kNoEnc = std::numeric_limits<unsigned>::max();
+
+class BinpackTest : public ::testing::Test
+{
+  protected:
+    BinpackTest() : model_(nps::model::bladeA().pstates()) {}
+
+    PackBin
+    bin(unsigned id, unsigned enclosure = kNoEnc, bool on = true)
+    {
+        PackBin b;
+        b.id = id;
+        b.power = &model_;
+        b.enclosure = enclosure;
+        b.on = on;
+        b.capacity = 0.9;
+        b.power_cap = kInf;
+        b.unused_watts = 2.0;
+        b.util_limit = 0.75;
+        return b;
+    }
+
+    PackItem
+    item(unsigned vm, double load, unsigned current)
+    {
+        return PackItem{vm, load, current};
+    }
+
+    PowerModel model_;
+};
+
+TEST_F(BinpackTest, EstimateBinPowerUnusedAndLoaded)
+{
+    auto b = bin(0);
+    EXPECT_DOUBLE_EQ(estimateBinPower(b, 0.0), 2.0);
+    // Load 0.3 at util limit 0.75 -> deepest feasible state wins.
+    size_t best = model_.bestStateForDemand(0.3, 0.75);
+    EXPECT_DOUBLE_EQ(estimateBinPower(b, 0.3),
+                     model_.powerForDemand(best, 0.3));
+}
+
+TEST_F(BinpackTest, ConsolidatesSmallItems)
+{
+    std::vector<PackBin> bins{bin(0), bin(1), bin(2), bin(3)};
+    std::vector<PackItem> items{item(0, 0.2, 0), item(1, 0.2, 1),
+                                item(2, 0.2, 2), item(3, 0.2, 3)};
+    auto r = packGreedy(items, bins, {});
+    EXPECT_TRUE(r.feasible);
+    EXPECT_EQ(r.bins_used, 1u);
+    // All four land on one bin.
+    std::set<unsigned> used(r.assignment.begin(), r.assignment.end());
+    EXPECT_EQ(used.size(), 1u);
+}
+
+TEST_F(BinpackTest, RespectsCapacity)
+{
+    std::vector<PackBin> bins{bin(0), bin(1)};
+    std::vector<PackItem> items{item(0, 0.5, 0), item(1, 0.5, 1)};
+    auto r = packGreedy(items, bins, {});
+    EXPECT_TRUE(r.feasible);
+    EXPECT_EQ(r.bins_used, 2u);  // 1.0 > 0.9 capacity
+}
+
+TEST_F(BinpackTest, RespectsLocalPowerCap)
+{
+    auto constrained = bin(0);
+    // Cap below the power of two items together (load 0.6 at P0 ~ 67.8W
+    // for Blade A) but above one item (0.3 at the best state).
+    constrained.power_cap = 55.0;
+    std::vector<PackBin> bins{constrained, bin(1)};
+    bins[1].power_cap = 55.0;
+    std::vector<PackItem> items{item(0, 0.3, 0), item(1, 0.3, 1)};
+    auto r = packGreedy(items, bins, {});
+    EXPECT_TRUE(r.feasible);
+    EXPECT_EQ(r.bins_used, 2u);
+}
+
+TEST_F(BinpackTest, RespectsEnclosureCap)
+{
+    // Two bins in enclosure 0; enclosure cap allows only one loaded bin.
+    std::vector<PackBin> bins{bin(0, 0), bin(1, 0), bin(2)};
+    PackConstraints c;
+    double one_loaded = estimateBinPower(bins[0], 0.5) + 2.0;
+    c.enclosure_caps = {one_loaded + 1.0};
+    std::vector<PackItem> items{item(0, 0.5, 0), item(1, 0.5, 1)};
+    auto r = packGreedy(items, bins, c);
+    EXPECT_TRUE(r.feasible);
+    // One item stays in the enclosure, the other must go to bin 2.
+    int in_enc = 0;
+    for (auto a : r.assignment)
+        in_enc += (a == 0 || a == 1) ? 1 : 0;
+    EXPECT_EQ(in_enc, 1);
+}
+
+TEST_F(BinpackTest, RespectsGroupCap)
+{
+    std::vector<PackBin> bins{bin(0), bin(1)};
+    PackConstraints c;
+    // Allow only one loaded bin plus one unused bin.
+    c.group_cap = estimateBinPower(bins[0], 0.5) + 2.0 + 0.5;
+    std::vector<PackItem> items{item(0, 0.5, 0), item(1, 0.5, 1)};
+    auto r = packGreedy(items, bins, c);
+    EXPECT_FALSE(r.feasible);  // second item cannot be placed anywhere
+}
+
+TEST_F(BinpackTest, InfeasibleItemStaysPut)
+{
+    std::vector<PackBin> bins{bin(0), bin(1)};
+    std::vector<PackItem> items{item(0, 2.0, 1)};  // beyond any capacity
+    auto r = packGreedy(items, bins, {});
+    EXPECT_FALSE(r.feasible);
+    EXPECT_EQ(r.assignment[0], 1u);  // left on its current host
+}
+
+TEST_F(BinpackTest, PrefersCurrentHostWhenOpen)
+{
+    // Three items; the big one opens bin 2 (its host). The small item
+    // already on bin 2 must stay there rather than migrate.
+    std::vector<PackBin> bins{bin(0), bin(1), bin(2)};
+    std::vector<PackItem> items{item(0, 0.5, 2), item(1, 0.3, 2),
+                                item(2, 0.1, 0)};
+    auto r = packGreedy(items, bins, {});
+    EXPECT_TRUE(r.feasible);
+    EXPECT_EQ(r.assignment[0], 2u);
+    EXPECT_EQ(r.assignment[1], 2u);
+    EXPECT_EQ(r.assignment[2], 2u);  // consolidated into the open bin
+    EXPECT_EQ(r.bins_used, 1u);
+}
+
+TEST_F(BinpackTest, PrefersOnBinsOverOffBins)
+{
+    std::vector<PackBin> bins{bin(0, kNoEnc, false), bin(1, kNoEnc, true)};
+    // Item currently on the off bin 0 (e.g. it was parked): opening
+    // prefers its current host first, so give it no current host.
+    std::vector<PackItem> items{item(0, 0.4, kNoServer)};
+    auto r = packGreedy(items, bins, {});
+    EXPECT_EQ(r.assignment[0], 1u);
+}
+
+TEST_F(BinpackTest, EstPowerAccountsUnusedBins)
+{
+    std::vector<PackBin> bins{bin(0), bin(1)};
+    std::vector<PackItem> items{item(0, 0.2, 0)};
+    auto r = packGreedy(items, bins, {});
+    double expect = estimateBinPower(bins[0], 0.22) -
+                    estimateBinPower(bins[0], 0.22) +
+                    estimateBinPower(bins[0], 0.2) + 2.0;
+    EXPECT_NEAR(r.est_power, expect, 1e-9);
+}
+
+TEST_F(BinpackTest, DuplicateBinIdsDie)
+{
+    std::vector<PackBin> bins{bin(0), bin(0)};
+    std::vector<PackItem> items{item(0, 0.1, 0)};
+    EXPECT_DEATH(packGreedy(items, bins, {}), "duplicate bin");
+}
+
+TEST_F(BinpackTest, EvaluateAssignmentPowerAndFeasibility)
+{
+    std::vector<PackBin> bins{bin(0), bin(1)};
+    bins[0].power_cap = 50.0;
+    std::vector<PackItem> items{item(0, 0.4, 0), item(1, 0.4, 0)};
+    std::vector<nps::sim::ServerId> both_on_zero{0, 0};
+    auto eval = evaluateAssignment(items, bins, both_on_zero, {});
+    // 0.8 load on bin 0 at util limit 0.75 -> P0 power ~76 > cap 50.
+    EXPECT_FALSE(eval.feasible);
+    std::vector<nps::sim::ServerId> split{0, 1};
+    auto eval2 = evaluateAssignment(items, bins, split, {});
+    EXPECT_TRUE(eval2.feasible);
+    EXPECT_LT(eval2.est_power, eval.est_power + 100.0);
+}
+
+TEST_F(BinpackTest, EvaluateAssignmentChecksGroupCap)
+{
+    std::vector<PackBin> bins{bin(0), bin(1)};
+    std::vector<PackItem> items{item(0, 0.4, 0)};
+    std::vector<nps::sim::ServerId> a{0};
+    PackConstraints c;
+    c.group_cap = 10.0;
+    EXPECT_FALSE(evaluateAssignment(items, bins, a, c).feasible);
+}
+
+TEST_F(BinpackTest, EvaluateAssignmentSizeMismatchDies)
+{
+    std::vector<PackBin> bins{bin(0)};
+    std::vector<PackItem> items{item(0, 0.4, 0)};
+    std::vector<nps::sim::ServerId> wrong{0, 1};
+    EXPECT_DEATH(evaluateAssignment(items, bins, wrong, {}), "mismatch");
+}
+
+TEST_F(BinpackTest, LargeInstanceTerminatesAndConsolidates)
+{
+    std::vector<PackBin> bins;
+    std::vector<PackItem> items;
+    for (unsigned i = 0; i < 120; ++i) {
+        bins.push_back(bin(i, i / 20));
+        items.push_back(item(i, 0.15 + 0.002 * (i % 40), i));
+    }
+    PackConstraints c;
+    c.enclosure_caps.assign(6, 6.0 * 85.0 * 0.85);
+    c.group_cap = 120.0 * 85.0 * 0.8;
+    auto r = packGreedy(items, bins, c);
+    EXPECT_TRUE(r.feasible);
+    // Roughly total_load / capacity bins: ~ 21-ish of 120.
+    EXPECT_LT(r.bins_used, 40u);
+    EXPECT_GE(r.bins_used, 20u);
+}
+
+} // namespace

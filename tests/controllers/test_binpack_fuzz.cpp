@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Randomized property tests for the bin-packing optimizer: over many
+ * random instances, the safety invariants must hold unconditionally —
+ * every item assigned (or the result flagged infeasible), no capacity
+ * or power cap exceeded by the placements the packer claims feasible,
+ * and the estimator consistent with the per-bin model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <map>
+
+#include "controllers/binpack.h"
+#include "model/machine.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace nps::controllers;
+using nps::model::PowerModel;
+using nps::util::Rng;
+
+constexpr unsigned kNoEnc = std::numeric_limits<unsigned>::max();
+
+struct Instance
+{
+    std::vector<PackBin> bins;
+    std::vector<PackItem> items;
+    PackConstraints constraints;
+};
+
+Instance
+randomInstance(Rng &rng, const PowerModel &blade, const PowerModel &server)
+{
+    Instance inst;
+    size_t n_bins = 2 + rng.below(40);
+    size_t n_enc = 1 + rng.below(4);
+    bool use_caps = rng.bernoulli(0.7);
+
+    for (unsigned b = 0; b < n_bins; ++b) {
+        PackBin bin;
+        bin.id = b;
+        bin.power = rng.bernoulli(0.5) ? &blade : &server;
+        bin.enclosure = rng.bernoulli(0.6)
+                            ? static_cast<unsigned>(rng.below(n_enc))
+                            : kNoEnc;
+        bin.on = rng.bernoulli(0.8);
+        bin.capacity = rng.uniform(0.4, 1.0);
+        bin.unused_watts = rng.uniform(1.0, 30.0);
+        bin.util_limit = rng.uniform(0.5, 1.0);
+        if (use_caps) {
+            bin.power_cap = rng.uniform(0.6, 1.1) *
+                            bin.power->maxPower();
+        }
+        inst.bins.push_back(bin);
+    }
+
+    size_t n_items = 1 + rng.below(60);
+    for (unsigned j = 0; j < n_items; ++j) {
+        PackItem item;
+        item.vm = j;
+        item.load = rng.uniform(0.02, 1.2);
+        item.current = rng.bernoulli(0.9)
+                           ? static_cast<unsigned>(rng.below(n_bins))
+                           : nps::sim::kNoServer;
+        inst.items.push_back(item);
+    }
+
+    if (use_caps) {
+        for (size_t e = 0; e < n_enc; ++e) {
+            inst.constraints.enclosure_caps.push_back(
+                rng.uniform(100.0, 3000.0));
+        }
+        if (rng.bernoulli(0.5))
+            inst.constraints.group_cap = rng.uniform(500.0, 10000.0);
+    }
+    return inst;
+}
+
+class BinpackFuzz : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(BinpackFuzz, InvariantsHoldOnRandomInstances)
+{
+    Rng rng(GetParam(), "binpack-fuzz");
+    PowerModel blade(nps::model::bladeA().pstates());
+    PowerModel server(nps::model::serverB().pstates());
+
+    for (int round = 0; round < 40; ++round) {
+        Instance inst = randomInstance(rng, blade, server);
+        PackResult r = packGreedy(inst.items, inst.bins,
+                                  inst.constraints);
+
+        ASSERT_EQ(r.assignment.size(), inst.items.size());
+
+        // Aggregate loads/powers per bin from the assignment.
+        std::map<unsigned, double> load;
+        for (size_t i = 0; i < inst.items.size(); ++i) {
+            unsigned dst = r.assignment[i];
+            if (dst == nps::sim::kNoServer) {
+                // Only legal when the item had no current host and the
+                // instance was infeasible for it.
+                EXPECT_FALSE(r.feasible);
+                EXPECT_EQ(inst.items[i].current, nps::sim::kNoServer);
+                continue;
+            }
+            load[dst] += inst.items[i].load;
+        }
+
+        double group = 0.0;
+        std::vector<double> enc_power(
+            inst.constraints.enclosure_caps.size(), 0.0);
+        size_t used = 0;
+        for (const auto &bin : inst.bins) {
+            auto it = load.find(bin.id);
+            double l = it == load.end() ? 0.0 : it->second;
+            double p = estimateBinPower(bin, l);
+            group += p;
+            if (bin.enclosure != kNoEnc &&
+                bin.enclosure < enc_power.size()) {
+                enc_power[bin.enclosure] += p;
+            }
+            used += l > 0.0 ? 1 : 0;
+            if (r.feasible && l > 0.0) {
+                EXPECT_LE(l, bin.capacity + 1e-9);
+                EXPECT_LE(p, bin.power_cap + 1e-9);
+            }
+        }
+        EXPECT_EQ(r.bins_used, used);
+        EXPECT_NEAR(r.est_power, group, 1e-6);
+        if (r.feasible) {
+            EXPECT_LE(group, inst.constraints.group_cap + 1e-6);
+            for (size_t e = 0; e < enc_power.size(); ++e) {
+                EXPECT_LE(enc_power[e],
+                          inst.constraints.enclosure_caps[e] + 1e-6);
+            }
+        }
+
+        // The same-assignment evaluator agrees with the packer.
+        auto eval = evaluateAssignment(inst.items, inst.bins,
+                                       r.assignment, inst.constraints);
+        EXPECT_NEAR(eval.est_power, r.est_power, 1e-6);
+        if (r.feasible) {
+            EXPECT_TRUE(eval.feasible);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BinpackFuzz,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+} // namespace

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Tests for the Efficiency Controller on a simulated server: tracking,
+ * quantization, the reference channel, and the energy-delay variant.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/fixtures.h"
+#include "controllers/efficiency.h"
+
+namespace {
+
+using namespace nps;
+using controllers::EfficiencyController;
+using controllers::EcObjective;
+
+class EcTest : public ::testing::Test
+{
+  protected:
+    EcTest()
+        : spec_(std::make_shared<const model::MachineSpec>(
+              model::bladeA())),
+          server_(0, spec_, 0.10, 0.10)
+    {
+    }
+
+    /** Run EC/server alternation for n ticks with one VM of demand d. */
+    void
+    runWith(EfficiencyController &ec, double demand, int n)
+    {
+        if (vms_.empty()) {
+            vms_.emplace_back(0, nps_test::flatTrace("vm", demand, 4));
+            server_.addVm(0);
+        } else {
+            vms_[0] = sim::VirtualMachine(
+                0, nps_test::flatTrace("vm", demand, 4));
+        }
+        for (int t = 0; t < n; ++t) {
+            server_.evaluate(static_cast<size_t>(t), vms_);
+            ec.step(static_cast<size_t>(t + 1));
+        }
+        server_.evaluate(static_cast<size_t>(n), vms_);
+    }
+
+    std::shared_ptr<const model::MachineSpec> spec_;
+    sim::Server server_;
+    std::vector<sim::VirtualMachine> vms_;
+};
+
+TEST_F(EcTest, ThrottlesLowUtilizationTowardTarget)
+{
+    EfficiencyController ec(server_, {});
+    runWith(ec, 0.2, 200);
+    // Demand 0.22 at 75% target wants f = 0.293: below the slowest
+    // state, so the EC must sit at the deepest P-state.
+    EXPECT_EQ(server_.pstate(), spec_->pstates().slowestIndex());
+    EXPECT_GT(server_.lastApparentUtil(), 0.22);
+}
+
+TEST_F(EcTest, SettlesIntoQuantizationBandAroundTarget)
+{
+    EfficiencyController ec(server_, {});
+    // Demand 0.6 (load 0.66): the continuous target f* = 880 MHz lies
+    // between P1 (833) and P0 (1000), so the quantized loop settles into
+    // a bounded limit cycle spanning exactly those two states — it must
+    // neither run away to the extremes nor lose work.
+    runWith(ec, 0.6, 400);
+    for (int t = 0; t < 50; ++t) {
+        runWith(ec, 0.6, 1);
+        EXPECT_LE(server_.pstate(), 1u);
+        EXPECT_GE(ec.continuousFreq(), 750.0);
+        EXPECT_LE(ec.continuousFreq(), 1000.0);
+        EXPECT_NEAR(server_.last().served_useful, 0.6, 1e-9);
+    }
+}
+
+TEST_F(EcTest, RampsUpUnderLoad)
+{
+    EfficiencyController ec(server_, {});
+    runWith(ec, 0.2, 200);
+    ASSERT_EQ(server_.pstate(), spec_->pstates().slowestIndex());
+    runWith(ec, 0.85, 50);
+    EXPECT_EQ(server_.pstate(), 0u);
+    EXPECT_NEAR(server_.lastApparentUtil(), 0.85 * 1.1, 1e-9);
+}
+
+TEST_F(EcTest, ReferenceChannelChangesOperatingPoint)
+{
+    EfficiencyController ec(server_, {});
+    runWith(ec, 0.5, 300);
+    double f_at_75 = ec.continuousFreq();
+    // An outer loop (the SM) raises the target: the EC must shrink the
+    // container further.
+    ec.setReference(0.95);
+    runWith(ec, 0.5, 300);
+    EXPECT_LT(ec.continuousFreq(), f_at_75);
+    EXPECT_NEAR(ec.continuousFreq(), 0.55 / 0.95 * 1000.0, 30.0);
+}
+
+TEST_F(EcTest, IdleServerDoesNotMove)
+{
+    EfficiencyController ec(server_, {});
+    // No VMs: utilization 0, consumed frequency 0 -> self-tuning gain 0.
+    for (int t = 0; t < 20; ++t) {
+        server_.evaluate(static_cast<size_t>(t), vms_);
+        ec.step(static_cast<size_t>(t + 1));
+    }
+    EXPECT_EQ(server_.pstate(), 0u);
+    EXPECT_DOUBLE_EQ(ec.continuousFreq(), 1000.0);
+}
+
+TEST_F(EcTest, OffServerResetsToFullSpeed)
+{
+    EfficiencyController ec(server_, {});
+    runWith(ec, 0.2, 200);
+    EXPECT_LT(ec.continuousFreq(), 1000.0);
+    // Drain + power off; the EC must reset its state like firmware does.
+    server_.removeVm(0);
+    vms_.clear();
+    server_.powerOff();
+    ec.step(300);
+    EXPECT_DOUBLE_EQ(ec.continuousFreq(), 1000.0);
+}
+
+TEST_F(EcTest, QuantizeNearestOption)
+{
+    EfficiencyController::Params p;
+    p.quantize_up = false;
+    EfficiencyController ec(server_, p);
+    runWith(ec, 0.6, 400);
+    // f* = 880: nearest state is 833 (P1), not 1000.
+    EXPECT_EQ(server_.pstate(), 1u);
+}
+
+TEST_F(EcTest, UnstableLambdaWarnsButRuns)
+{
+    EfficiencyController::Params p;
+    p.lambda = 5.0;  // far beyond 1/r_ref
+    EfficiencyController ec(server_, p);
+    runWith(ec, 0.5, 50);  // must not crash; P-state stays in range
+    EXPECT_LT(server_.pstate(), spec_->pstates().size());
+}
+
+TEST_F(EcTest, BadReferenceDies)
+{
+    EfficiencyController::Params p;
+    p.r_ref = 1.5;
+    EXPECT_DEATH(EfficiencyController(server_, p), "out of");
+}
+
+TEST_F(EcTest, EnergyDelayPicksEfficientState)
+{
+    EfficiencyController::Params p;
+    p.objective = EcObjective::EnergyDelay;
+    EfficiencyController ec(server_, p);
+    runWith(ec, 0.3, 50);
+    // The chosen state minimizes power/relSpeed among states whose
+    // apparent utilization stays under the reference.
+    const auto &m = server_.model();
+    double demand = server_.lastRealUtil();
+    size_t chosen = server_.pstate();
+    double chosen_score = m.powerForDemand(chosen, demand) /
+                          m.pstates().relSpeed(chosen);
+    for (size_t q = 0; q < m.pstates().size(); ++q) {
+        if (m.apparentUtil(q, demand) <= 0.75) {
+            EXPECT_GE(m.powerForDemand(q, demand) /
+                          m.pstates().relSpeed(q) + 1e-12, chosen_score);
+        }
+    }
+}
+
+TEST_F(EcTest, ActorInterface)
+{
+    EfficiencyController ec(server_, {});
+    EXPECT_EQ(ec.name(), "EC/0");
+    EXPECT_EQ(ec.period(), 1u);
+    EXPECT_DOUBLE_EQ(ec.reference(), 0.75);
+}
+
+} // namespace

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Tests for the electrical capper: hard clamping above the limit and
+ * hysteretic release.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/fixtures.h"
+#include "controllers/electrical_capper.h"
+
+namespace {
+
+using namespace nps;
+using controllers::ElectricalCapper;
+
+class CapTest : public ::testing::Test
+{
+  protected:
+    CapTest()
+        : spec_(std::make_shared<const model::MachineSpec>(
+              model::bladeA())),
+          server_(0, spec_, 0.10, 0.10)
+    {
+        vms_.emplace_back(0, nps_test::flatTrace("vm", 0.9, 4));
+        server_.addVm(0);
+    }
+
+    std::shared_ptr<const model::MachineSpec> spec_;
+    sim::Server server_;
+    std::vector<sim::VirtualMachine> vms_;
+};
+
+TEST_F(CapTest, ClampsAboveLimit)
+{
+    ElectricalCapper cap(server_, 70.0, {});
+    server_.evaluate(0, vms_);
+    ASSERT_GT(server_.lastPower(), 70.0);
+    cap.observe(1);
+    cap.step(1);
+    EXPECT_TRUE(cap.clamping());
+    server_.evaluate(1, vms_);
+    EXPECT_LE(server_.lastPower(), 70.0 + 1e-9);
+    EXPECT_GT(cap.epochViolationRate(), 0.0);
+}
+
+TEST_F(CapTest, FallsBackToSlowestWhenNothingFits)
+{
+    ElectricalCapper cap(server_, 10.0, {});
+    server_.evaluate(0, vms_);
+    cap.step(1);
+    EXPECT_EQ(server_.pstate(), spec_->pstates().slowestIndex());
+    EXPECT_TRUE(cap.clamping());
+}
+
+TEST_F(CapTest, ReleasesWithMarginWhenLoadDrops)
+{
+    ElectricalCapper cap(server_, 70.0, {});
+    server_.evaluate(0, vms_);
+    cap.step(1);
+    ASSERT_TRUE(cap.clamping());
+    // Load collapses: the clamp releases gradually, one state per
+    // interval, and clears once P0 itself is safe.
+    server_.removeVm(0);
+    vms_.clear();
+    vms_.emplace_back(0, nps_test::flatTrace("light", 0.05, 4));
+    server_.addVm(0);
+    for (size_t t = 1; t <= 6 && cap.clamping(); ++t) {
+        server_.evaluate(t, vms_);
+        cap.step(t + 1);
+    }
+    EXPECT_FALSE(cap.clamping());
+    EXPECT_EQ(server_.pstate(), 0u);
+}
+
+TEST_F(CapTest, HoldsClampNearTheLimit)
+{
+    ElectricalCapper cap(server_, 70.0, {});
+    server_.evaluate(0, vms_);
+    cap.step(1);
+    ASSERT_TRUE(cap.clamping());
+    // Demand unchanged: the release can creep up at most to a state
+    // where one step faster would breach the margin; authority is not
+    // handed back to the EC.
+    for (size_t t = 1; t <= 6; ++t) {
+        server_.evaluate(t, vms_);
+        cap.step(t + 1);
+    }
+    EXPECT_TRUE(cap.clamping());
+    EXPECT_NE(server_.pstate(), 0u);
+    EXPECT_LE(server_.lastPower(), 70.0 + 1e-9);
+}
+
+TEST_F(CapTest, OffServerClearsClamp)
+{
+    ElectricalCapper cap(server_, 70.0, {});
+    server_.evaluate(0, vms_);
+    cap.step(1);
+    server_.removeVm(0);
+    server_.powerOff();
+    cap.observe(2);
+    cap.step(2);
+    EXPECT_FALSE(cap.clamping());
+}
+
+TEST_F(CapTest, NonPositiveLimitDies)
+{
+    EXPECT_DEATH(ElectricalCapper(server_, 0.0, {}), "limit");
+}
+
+TEST_F(CapTest, ActorInterface)
+{
+    ElectricalCapper cap(server_, 70.0, {});
+    EXPECT_EQ(cap.name(), "CAP/0");
+    EXPECT_EQ(cap.period(), 1u);
+    EXPECT_DOUBLE_EQ(cap.limit(), 70.0);
+}
+
+} // namespace

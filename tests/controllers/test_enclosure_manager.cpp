@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Tests for the Enclosure Manager: budget division across blades, the
+ * min() interface with the GM's recommendation, and violation exposure.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+
+#include "common/fixtures.h"
+#include "controllers/enclosure_manager.h"
+
+namespace {
+
+using namespace nps;
+using controllers::EfficiencyController;
+using controllers::EnclosureManager;
+using controllers::ServerManager;
+
+class EmTest : public ::testing::Test
+{
+  protected:
+    EmTest() : cluster_(nps_test::smallCluster(0.3))
+    {
+        for (auto &srv : cluster_.servers()) {
+            ecs_.push_back(std::make_unique<EfficiencyController>(
+                srv, EfficiencyController::Params{}));
+            sms_.push_back(std::make_unique<ServerManager>(
+                srv, ecs_.back().get(), cluster_.capLoc(srv.id()),
+                ServerManager::Params{}));
+        }
+    }
+
+    EnclosureManager
+    makeEm(EnclosureManager::Params p = {})
+    {
+        std::vector<ServerManager *> blades;
+        for (sim::ServerId s : cluster_.enclosure(0).members())
+            blades.push_back(sms_[s].get());
+        return EnclosureManager(cluster_, 0, std::move(blades),
+                                cluster_.capEnc(0), p);
+    }
+
+    sim::Cluster cluster_;
+    std::vector<std::unique_ptr<EfficiencyController>> ecs_;
+    std::vector<std::unique_ptr<ServerManager>> sms_;
+};
+
+TEST_F(EmTest, GrantsSumToBudgetAndReachSms)
+{
+    auto em = makeEm();
+    // Give the EM a few observations to form demand estimates.
+    for (size_t t = 0; t < 30; ++t) {
+        cluster_.evaluateTick(t);
+        em.observe(t);
+    }
+    em.step(25);
+    const auto &grants = em.lastGrants();
+    ASSERT_EQ(grants.size(), 4u);
+    double total = std::accumulate(grants.begin(), grants.end(), 0.0);
+    EXPECT_NEAR(total, em.effectiveCap(), 1e-6);
+    // Every blade SM received its grant (identical power -> equal
+    // proportional shares, all below CAP_LOC).
+    for (sim::ServerId s : cluster_.enclosure(0).members()) {
+        EXPECT_NEAR(sms_[s]->effectiveCap(),
+                    std::min(cluster_.capLoc(s), grants[s]), 1e-9);
+        EXPECT_NEAR(grants[s], total / 4.0, 1e-6);
+    }
+}
+
+TEST_F(EmTest, ProportionalFollowsDemand)
+{
+    // Heat up blade 0 by co-locating another VM.
+    cluster_.placeVm(1, 0);
+    auto em = makeEm();
+    for (size_t t = 0; t < 60; ++t) {
+        cluster_.evaluateTick(t);
+        em.observe(t);
+    }
+    em.step(50);
+    const auto &grants = em.lastGrants();
+    EXPECT_GT(grants[0], grants[2]);
+    EXPECT_GT(grants[0], grants[3]);
+    // Blade 1 is now empty (its VM moved to blade 0) and idles: smallest
+    // grant, but never below its floor.
+    const auto &m = cluster_.server(1).model();
+    EXPECT_GE(grants[1],
+              m.idlePower(m.pstates().slowestIndex()) - 1e-9);
+}
+
+TEST_F(EmTest, MinWithGmRecommendation)
+{
+    auto em = makeEm();
+    EXPECT_DOUBLE_EQ(em.effectiveCap(), cluster_.capEnc(0));
+    em.setBudget(cluster_.capEnc(0) * 0.5);
+    EXPECT_DOUBLE_EQ(em.effectiveCap(), cluster_.capEnc(0) * 0.5);
+    em.setBudget(cluster_.capEnc(0) * 2.0);
+    EXPECT_DOUBLE_EQ(em.effectiveCap(), cluster_.capEnc(0));
+    EXPECT_DEATH(em.setBudget(0.0), "budget");
+}
+
+TEST_F(EmTest, ViolationExposureAgainstStaticCap)
+{
+    auto em = makeEm();
+    cluster_.evaluateTick(0);
+    em.observe(0);
+    EXPECT_DOUBLE_EQ(em.epochViolationRate(), 0.0);
+    // A tighter dynamic budget does not create *physical* violations.
+    em.setBudget(1.0e-3 + 1.0);
+    em.observe(1);
+    EXPECT_DOUBLE_EQ(em.epochViolationRate(), 0.0);
+}
+
+TEST_F(EmTest, HistoryPolicyUsesLongHorizon)
+{
+    EnclosureManager::Params p;
+    p.policy = controllers::DivisionPolicy::History;
+    auto em = makeEm(p);
+    for (size_t t = 0; t < 30; ++t) {
+        cluster_.evaluateTick(t);
+        em.observe(t);
+    }
+    em.step(25);
+    double total = std::accumulate(em.lastGrants().begin(),
+                                   em.lastGrants().end(), 0.0);
+    EXPECT_NEAR(total, em.effectiveCap(), 1e-6);
+}
+
+TEST_F(EmTest, PriorityPolicyValidation)
+{
+    EnclosureManager::Params p;
+    p.policy = controllers::DivisionPolicy::Priority;
+    EXPECT_DEATH(makeEm(p), "one priority per blade");
+    p.priorities = {3, 2, 1, 0};
+    auto em = makeEm(p);
+    for (size_t t = 0; t < 30; ++t) {
+        cluster_.evaluateTick(t);
+        em.observe(t);
+    }
+    em.step(25);
+    // Highest priority blade gets the biggest grant under a tight cap.
+    EXPECT_GE(em.lastGrants()[0], em.lastGrants()[3]);
+}
+
+TEST_F(EmTest, ConstructionValidation)
+{
+    std::vector<ServerManager *> blades;
+    EXPECT_DEATH(EnclosureManager(cluster_, 0, blades, 100.0, {}),
+                 "no blades");
+    blades = {sms_[0].get()};
+    EXPECT_DEATH(EnclosureManager(cluster_, 0, blades, 0.0, {}),
+                 "static cap");
+    blades = {nullptr};
+    EXPECT_DEATH(EnclosureManager(cluster_, 0, blades, 100.0, {}),
+                 "null blade");
+}
+
+TEST_F(EmTest, ActorInterface)
+{
+    auto em = makeEm();
+    EXPECT_EQ(em.name(), "EM/0");
+    EXPECT_EQ(em.period(), 25u);
+    EXPECT_EQ(em.enclosureId(), 0u);
+    EXPECT_DOUBLE_EQ(em.staticCap(), cluster_.capEnc(0));
+}
+
+} // namespace

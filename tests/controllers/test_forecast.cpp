@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Tests for the demand forecasters.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "controllers/forecast.h"
+
+namespace {
+
+using namespace nps::controllers;
+
+DemandForecaster
+make(ForecastMethod method, double alpha = 0.4, double beta = 0.2)
+{
+    DemandForecaster::Params p;
+    p.method = method;
+    p.alpha = alpha;
+    p.beta = beta;
+    return DemandForecaster(p);
+}
+
+TEST(Forecast, EmptyForecastsZero)
+{
+    auto f = make(ForecastMethod::Ewma);
+    EXPECT_DOUBLE_EQ(f.forecast(1), 0.0);
+    EXPECT_EQ(f.observations(), 0u);
+}
+
+TEST(Forecast, LastValueTracksExactly)
+{
+    auto f = make(ForecastMethod::LastValue);
+    f.observe(0.3);
+    f.observe(0.7);
+    EXPECT_DOUBLE_EQ(f.forecast(1), 0.7);
+    EXPECT_DOUBLE_EQ(f.forecast(5), 0.7);
+}
+
+TEST(Forecast, EwmaConvergesToConstant)
+{
+    auto f = make(ForecastMethod::Ewma, 0.3);
+    for (int i = 0; i < 100; ++i)
+        f.observe(0.6);
+    EXPECT_NEAR(f.forecast(1), 0.6, 1e-9);
+}
+
+TEST(Forecast, EwmaSmoothsSteps)
+{
+    auto f = make(ForecastMethod::Ewma, 0.5);
+    f.observe(0.0);
+    f.observe(1.0);
+    EXPECT_DOUBLE_EQ(f.forecast(1), 0.5);
+    f.observe(1.0);
+    EXPECT_DOUBLE_EQ(f.forecast(1), 0.75);
+}
+
+TEST(Forecast, HoltCapturesLinearTrend)
+{
+    auto f = make(ForecastMethod::HoltLinear, 0.6, 0.4);
+    for (int i = 0; i <= 50; ++i)
+        f.observe(0.1 + 0.01 * i);
+    // After convergence the one-step forecast is close to the next
+    // value and the trend estimate close to the true slope.
+    EXPECT_NEAR(f.trend(), 0.01, 0.003);
+    EXPECT_NEAR(f.forecast(1), 0.1 + 0.01 * 51, 0.01);
+    // Multi-step extrapolation scales with the horizon.
+    EXPECT_NEAR(f.forecast(10) - f.forecast(1), 9.0 * f.trend(), 1e-9);
+}
+
+TEST(Forecast, HoltBeatsEwmaOnRamps)
+{
+    auto holt = make(ForecastMethod::HoltLinear, 0.5, 0.3);
+    auto ewma = make(ForecastMethod::Ewma, 0.5);
+    double holt_err = 0.0, ewma_err = 0.0;
+    for (int i = 0; i < 60; ++i) {
+        double value = 0.2 + 0.005 * i;
+        if (i > 10) {
+            holt_err += std::fabs(holt.forecast(1) - value);
+            ewma_err += std::fabs(ewma.forecast(1) - value);
+        }
+        holt.observe(value);
+        ewma.observe(value);
+    }
+    EXPECT_LT(holt_err, ewma_err);
+}
+
+TEST(Forecast, ClampedAtZero)
+{
+    auto f = make(ForecastMethod::HoltLinear, 0.9, 0.9);
+    f.observe(1.0);
+    f.observe(0.1);  // steep downward trend
+    EXPECT_GE(f.forecast(50), 0.0);
+}
+
+TEST(Forecast, Reset)
+{
+    auto f = make(ForecastMethod::Ewma);
+    f.observe(0.5);
+    f.reset();
+    EXPECT_EQ(f.observations(), 0u);
+    EXPECT_DOUBLE_EQ(f.forecast(1), 0.0);
+}
+
+TEST(Forecast, BadParamsDie)
+{
+    DemandForecaster::Params p;
+    p.alpha = 0.0;
+    EXPECT_DEATH(DemandForecaster f(p), "alpha");
+    DemandForecaster::Params q;
+    q.beta = 1.5;
+    EXPECT_DEATH(DemandForecaster f(q), "beta");
+}
+
+TEST(Forecast, ZeroHorizonDies)
+{
+    auto f = make(ForecastMethod::Ewma);
+    f.observe(0.5);
+    EXPECT_DEATH(f.forecast(0), "horizon");
+}
+
+TEST(Forecast, MethodNames)
+{
+    EXPECT_STREQ(forecastMethodName(ForecastMethod::LastValue), "last");
+    EXPECT_STREQ(forecastMethodName(ForecastMethod::Ewma), "ewma");
+    EXPECT_STREQ(forecastMethodName(ForecastMethod::HoltLinear), "holt");
+}
+
+} // namespace

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Tests for the Memory Manager (the Section 6 MIMO second actuator).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/fixtures.h"
+#include "controllers/memory_manager.h"
+
+namespace {
+
+using namespace nps;
+using controllers::MemoryManager;
+
+class MmTest : public ::testing::Test
+{
+  protected:
+    MmTest()
+        : spec_(std::make_shared<const model::MachineSpec>(
+              model::bladeA())),
+          server_(0, spec_, 0.10, 0.10)
+    {
+    }
+
+    void
+    host(double demand)
+    {
+        if (!server_.vms().empty())
+            server_.removeVm(0);
+        vms_.clear();
+        vms_.emplace_back(0, nps_test::flatTrace("vm", demand, 8));
+        server_.addVm(0);
+    }
+
+    void
+    run(MemoryManager &mm, int steps)
+    {
+        for (int i = 0; i < steps; ++i) {
+            server_.evaluate(static_cast<size_t>(i), vms_);
+            mm.step(static_cast<size_t>(i + 1));
+        }
+        server_.evaluate(static_cast<size_t>(steps), vms_);
+    }
+
+    std::shared_ptr<const model::MachineSpec> spec_;
+    sim::Server server_;
+    std::vector<sim::VirtualMachine> vms_;
+};
+
+TEST_F(MmTest, EngagesAfterPatienceOnQuietServer)
+{
+    host(0.2);
+    MemoryManager mm(server_, {});
+    run(mm, 2);
+    EXPECT_FALSE(server_.memLowPower());  // patience not yet reached
+    run(mm, 2);
+    EXPECT_TRUE(server_.memLowPower());
+    EXPECT_EQ(mm.engagements(), 1u);
+}
+
+TEST_F(MmTest, EngagingTrimsPower)
+{
+    host(0.2);
+    MemoryManager mm(server_, {});
+    server_.evaluate(0, vms_);
+    double before = server_.lastPower();
+    run(mm, 5);
+    EXPECT_LT(server_.lastPower(), before);
+}
+
+TEST_F(MmTest, ReleasesUnderLoadWithHysteresis)
+{
+    host(0.2);
+    MemoryManager mm(server_, {});
+    run(mm, 5);
+    ASSERT_TRUE(server_.memLowPower());
+    // Utilization between the thresholds: hysteresis holds the mode.
+    host(0.6);
+    run(mm, 5);
+    EXPECT_TRUE(server_.memLowPower());
+    // Heavy load: release.
+    host(0.9);
+    run(mm, 2);
+    EXPECT_FALSE(server_.memLowPower());
+}
+
+TEST_F(MmTest, BurstResetsPatience)
+{
+    host(0.2);
+    MemoryManager mm(server_, {});
+    run(mm, 2);
+    host(0.9);  // burst interrupts the quiet streak
+    run(mm, 1);
+    host(0.2);
+    run(mm, 2);
+    EXPECT_FALSE(server_.memLowPower());  // patience restarted
+    run(mm, 1);
+    EXPECT_TRUE(server_.memLowPower());
+}
+
+TEST_F(MmTest, OffServerClearsMode)
+{
+    host(0.2);
+    MemoryManager mm(server_, {});
+    run(mm, 5);
+    ASSERT_TRUE(server_.memLowPower());
+    server_.removeVm(0);
+    server_.powerOff();
+    mm.step(100);
+    EXPECT_FALSE(server_.memLowPower());
+}
+
+TEST_F(MmTest, BadThresholdsDie)
+{
+    MemoryManager::Params p;
+    p.engage_below = 0.9;
+    p.release_above = 0.8;
+    EXPECT_DEATH(MemoryManager(server_, p), "threshold");
+}
+
+TEST_F(MmTest, ActorInterface)
+{
+    MemoryManager mm(server_, {});
+    EXPECT_EQ(mm.name(), "MM/0");
+    EXPECT_EQ(mm.period(), 10u);
+}
+
+} // namespace

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Tests for the budget-division policies: the safety guarantees every
+ * policy must provide, plus each policy's characteristic ordering.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "controllers/policies.h"
+
+namespace {
+
+using namespace nps::controllers;
+using nps::util::Rng;
+
+DivisionInput
+basicInput()
+{
+    DivisionInput in;
+    in.budget = 100.0;
+    in.demands = {10.0, 30.0, 60.0};
+    in.maxima = {80.0, 80.0, 80.0};
+    in.floors = {5.0, 5.0, 5.0};
+    in.priorities = {0, 1, 2};
+    return in;
+}
+
+double
+sum(const std::vector<double> &v)
+{
+    return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+/** Safety properties every policy must satisfy on every input. */
+void
+checkSafety(DivisionPolicy policy, const DivisionInput &in)
+{
+    Rng rng(7);
+    auto g = divideBudget(policy, in, &rng);
+    ASSERT_EQ(g.size(), in.demands.size());
+    EXPECT_LE(sum(g), in.budget + 1e-9) << policyName(policy);
+    double total_floor = std::accumulate(in.floors.begin(),
+                                         in.floors.end(), 0.0);
+    for (size_t i = 0; i < g.size(); ++i) {
+        EXPECT_LE(g[i], in.maxima[i] + 1e-9) << policyName(policy);
+        EXPECT_GE(g[i], -1e-9) << policyName(policy);
+        if (total_floor <= in.budget) {
+            EXPECT_GE(g[i], in.floors[i] - 1e-9) << policyName(policy);
+        }
+    }
+}
+
+class PolicySafety : public ::testing::TestWithParam<DivisionPolicy>
+{
+};
+
+TEST_P(PolicySafety, BasicInput)
+{
+    checkSafety(GetParam(), basicInput());
+}
+
+TEST_P(PolicySafety, ScarceBudget)
+{
+    auto in = basicInput();
+    in.budget = 20.0;
+    in.priorities = {2, 1, 0};
+    checkSafety(GetParam(), in);
+}
+
+TEST_P(PolicySafety, AbundantBudget)
+{
+    auto in = basicInput();
+    in.budget = 1000.0;
+    in.priorities = {2, 1, 0};
+    checkSafety(GetParam(), in);
+}
+
+TEST_P(PolicySafety, ZeroDemands)
+{
+    auto in = basicInput();
+    in.demands = {0.0, 0.0, 0.0};
+    in.priorities = {0, 0, 0};
+    checkSafety(GetParam(), in);
+}
+
+TEST_P(PolicySafety, InfeasibleFloorsScaledDown)
+{
+    auto in = basicInput();
+    in.budget = 10.0;  // below the 15.0 total floor
+    in.priorities = {0, 1, 2};
+    Rng rng(9);
+    auto g = divideBudget(GetParam(), in, &rng);
+    EXPECT_NEAR(sum(g), 10.0, 1e-9);
+    for (size_t i = 0; i < g.size(); ++i)
+        EXPECT_LT(g[i], in.floors[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, PolicySafety,
+    ::testing::Values(DivisionPolicy::Proportional, DivisionPolicy::Equal,
+                      DivisionPolicy::Priority, DivisionPolicy::Fifo,
+                      DivisionPolicy::Random, DivisionPolicy::History),
+    [](const auto &info) { return policyName(info.param); });
+
+TEST(Proportional, FollowsDemandRatios)
+{
+    auto in = basicInput();
+    auto g = divideBudget(DivisionPolicy::Proportional, in);
+    // Floors (15 W) come off the top; the remaining 85 W splits
+    // 10:30:60.
+    EXPECT_NEAR(g[0], 5.0 + 8.5, 1e-9);
+    EXPECT_NEAR(g[1], 5.0 + 25.5, 1e-9);
+    EXPECT_NEAR(g[2], 5.0 + 51.0, 1e-9);
+}
+
+TEST(Proportional, RedistributesAfterMaxClamp)
+{
+    auto in = basicInput();
+    in.maxima = {80.0, 80.0, 40.0};
+    auto g = divideBudget(DivisionPolicy::Proportional, in);
+    EXPECT_NEAR(g[2], 40.0, 1e-9);
+    // The leftover flows to the other children; total budget is used.
+    EXPECT_NEAR(g[0] + g[1] + g[2], 100.0, 1e-9);
+    EXPECT_GT(g[1], 5.0 + 28.5);
+}
+
+TEST(Equal, SplitsEvenly)
+{
+    auto in = basicInput();
+    auto g = divideBudget(DivisionPolicy::Equal, in);
+    EXPECT_NEAR(g[0], 100.0 / 3.0, 1e-9);
+    EXPECT_NEAR(g[1], 100.0 / 3.0, 1e-9);
+    EXPECT_NEAR(g[2], 100.0 / 3.0, 1e-9);
+}
+
+TEST(Priority, HighPriorityFirst)
+{
+    auto in = basicInput();
+    in.budget = 90.0;
+    in.priorities = {0, 5, 1};
+    auto g = divideBudget(DivisionPolicy::Priority, in);
+    // Child 1 (highest priority) gets its max; child 2 next; child 0
+    // the scraps (its floor).
+    EXPECT_NEAR(g[1], 80.0, 1e-9);
+    EXPECT_NEAR(g[2], 5.0, 1e-9);
+    EXPECT_NEAR(g[0], 5.0, 1e-9);
+}
+
+TEST(Priority, NeedsPriorities)
+{
+    auto in = basicInput();
+    in.priorities.clear();
+    EXPECT_DEATH(divideBudget(DivisionPolicy::Priority, in),
+                 "priorities");
+}
+
+TEST(Fifo, IndexOrderGreedy)
+{
+    auto in = basicInput();
+    in.budget = 90.0;
+    auto g = divideBudget(DivisionPolicy::Fifo, in);
+    EXPECT_NEAR(g[0], 80.0, 1e-9);
+    EXPECT_NEAR(g[1], 5.0, 1e-9);
+    EXPECT_NEAR(g[2], 5.0, 1e-9);
+}
+
+TEST(Random, NeedsRng)
+{
+    auto in = basicInput();
+    EXPECT_DEATH(divideBudget(DivisionPolicy::Random, in), "Rng");
+}
+
+TEST(Random, DeterministicGivenSeed)
+{
+    auto in = basicInput();
+    in.budget = 90.0;
+    Rng a(3), b(3);
+    EXPECT_EQ(divideBudget(DivisionPolicy::Random, in, &a),
+              divideBudget(DivisionPolicy::Random, in, &b));
+}
+
+TEST(History, SameMathAsProportional)
+{
+    auto in = basicInput();
+    EXPECT_EQ(divideBudget(DivisionPolicy::History, in),
+              divideBudget(DivisionPolicy::Proportional, in));
+}
+
+TEST(DivideBudget, BadInputsDie)
+{
+    DivisionInput empty;
+    EXPECT_DEATH(divideBudget(DivisionPolicy::Equal, empty),
+                 "no children");
+
+    auto in = basicInput();
+    in.maxima.pop_back();
+    EXPECT_DEATH(divideBudget(DivisionPolicy::Equal, in), "sizes");
+
+    auto neg = basicInput();
+    neg.budget = -1.0;
+    EXPECT_DEATH(divideBudget(DivisionPolicy::Equal, neg), "negative");
+
+    auto bad_floor = basicInput();
+    bad_floor.floors[0] = 200.0;  // above max
+    EXPECT_DEATH(divideBudget(DivisionPolicy::Equal, bad_floor),
+                 "floor");
+}
+
+TEST(DivideBudget, PolicyNames)
+{
+    EXPECT_STREQ(policyName(DivisionPolicy::Proportional), "prop");
+    EXPECT_STREQ(policyName(DivisionPolicy::Random), "random");
+}
+
+} // namespace

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Randomized property tests for the budget-division policies: across
+ * random inputs every policy must keep its safety contract — grants in
+ * [0, max_i], sum within the budget, floors honored when feasible, and
+ * determinism for a fixed RNG seed.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "controllers/policies.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace nps::controllers;
+using nps::util::Rng;
+
+DivisionInput
+randomInput(Rng &rng)
+{
+    DivisionInput in;
+    size_t n = 1 + rng.below(30);
+    for (size_t i = 0; i < n; ++i) {
+        double max = rng.uniform(10.0, 300.0);
+        in.maxima.push_back(max);
+        in.floors.push_back(rng.uniform(0.0, max * 0.6));
+        in.demands.push_back(rng.uniform(0.0, max));
+        in.priorities.push_back(static_cast<int>(rng.below(10)));
+    }
+    double total_max = std::accumulate(in.maxima.begin(),
+                                       in.maxima.end(), 0.0);
+    in.budget = rng.uniform(0.0, total_max * 1.2);
+    return in;
+}
+
+class PolicyFuzz : public ::testing::TestWithParam<DivisionPolicy>
+{
+};
+
+TEST_P(PolicyFuzz, SafetyContractOnRandomInputs)
+{
+    Rng rng(99, "policy-fuzz");
+    for (int round = 0; round < 200; ++round) {
+        DivisionInput in = randomInput(rng);
+        Rng policy_rng(static_cast<uint64_t>(round), "grants");
+        auto g = divideBudget(GetParam(), in, &policy_rng);
+
+        ASSERT_EQ(g.size(), in.demands.size());
+        double sum = std::accumulate(g.begin(), g.end(), 0.0);
+        EXPECT_LE(sum, in.budget + 1e-6);
+
+        double total_floor = std::accumulate(in.floors.begin(),
+                                             in.floors.end(), 0.0);
+        bool floors_feasible = total_floor <= in.budget;
+        for (size_t i = 0; i < g.size(); ++i) {
+            EXPECT_GE(g[i], -1e-9);
+            EXPECT_LE(g[i], in.maxima[i] + 1e-9);
+            if (floors_feasible) {
+                EXPECT_GE(g[i], in.floors[i] - 1e-9);
+            }
+        }
+
+        // Budget is not needlessly wasted: if every child could take
+        // more, the whole budget (up to the total maxima) is granted.
+        double total_max = std::accumulate(in.maxima.begin(),
+                                           in.maxima.end(), 0.0);
+        if (floors_feasible) {
+            EXPECT_GE(sum, std::min(in.budget, total_max) - 1e-4)
+                << policyName(GetParam());
+        }
+    }
+}
+
+TEST_P(PolicyFuzz, DeterministicForFixedSeed)
+{
+    Rng rng(7, "det");
+    DivisionInput in = randomInput(rng);
+    Rng a(11), b(11);
+    EXPECT_EQ(divideBudget(GetParam(), in, &a),
+              divideBudget(GetParam(), in, &b));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, PolicyFuzz,
+    ::testing::Values(DivisionPolicy::Proportional, DivisionPolicy::Equal,
+                      DivisionPolicy::Priority, DivisionPolicy::Fifo,
+                      DivisionPolicy::Random, DivisionPolicy::History),
+    [](const auto &info) { return policyName(info.param); });
+
+} // namespace

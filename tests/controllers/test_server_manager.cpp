@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Tests for the Server Manager: budget-min semantics, the nested
+ * (coordinated) capping loop driving power under the cap through the
+ * EC's reference, the solo direct-P-state mode, and the violation
+ * exposure interface.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/fixtures.h"
+#include "controllers/server_manager.h"
+
+namespace {
+
+using namespace nps;
+using controllers::EfficiencyController;
+using controllers::ServerManager;
+using controllers::ViolationTracker;
+
+class SmTest : public ::testing::Test
+{
+  protected:
+    SmTest()
+        : spec_(std::make_shared<const model::MachineSpec>(
+              model::bladeA())),
+          server_(0, spec_, 0.10, 0.10)
+    {
+    }
+
+    void
+    host(double demand)
+    {
+        vms_.clear();
+        if (!server_.vms().empty())
+            server_.removeVm(0);
+        vms_.emplace_back(0, nps_test::flatTrace("vm", demand, 4));
+        server_.addVm(0);
+    }
+
+    /** Run the nested EC+SM stack for n ticks. */
+    void
+    run(EfficiencyController &ec, ServerManager &sm, int n)
+    {
+        for (int t = 0; t < n; ++t) {
+            auto tick = static_cast<size_t>(t);
+            server_.evaluate(tick, vms_);
+            sm.observe(tick + 1);
+            if ((t + 1) % static_cast<int>(sm.period()) == 0)
+                sm.step(tick + 1);
+            ec.step(tick + 1);
+        }
+        server_.evaluate(static_cast<size_t>(n), vms_);
+    }
+
+    std::shared_ptr<const model::MachineSpec> spec_;
+    sim::Server server_;
+    std::vector<sim::VirtualMachine> vms_;
+};
+
+TEST_F(SmTest, BudgetMinSemanticsCoordinated)
+{
+    EfficiencyController ec(server_, {});
+    ServerManager sm(server_, &ec, 76.5, {});
+    EXPECT_DOUBLE_EQ(sm.effectiveCap(), 76.5);
+    sm.setBudget(60.0);
+    EXPECT_DOUBLE_EQ(sm.effectiveCap(), 60.0);
+    sm.setBudget(100.0);
+    // Coordinated: min(static, recommendation) keeps the local limit.
+    EXPECT_DOUBLE_EQ(sm.effectiveCap(), 76.5);
+    EXPECT_DOUBLE_EQ(sm.staticCap(), 76.5);
+}
+
+TEST_F(SmTest, UncoordinatedAdoptsRecommendationVerbatim)
+{
+    ServerManager::Params p;
+    p.mode = ServerManager::Mode::DirectPState;
+    ServerManager sm(server_, nullptr, 76.5, p);
+    sm.setBudget(100.0);
+    // The solo capper trusts its console even above the physical limit —
+    // this is exactly how uncoordinated stacks leak violations.
+    EXPECT_DOUBLE_EQ(sm.effectiveCap(), 100.0);
+}
+
+TEST_F(SmTest, CoordinatedCappingMeetsBudget)
+{
+    // Demand high enough that unmanaged power (P0, util ~1.0) violates a
+    // 60 W cap; the nested stack must settle at or below the cap.
+    host(0.85);
+    EfficiencyController ec(server_, {});
+    ServerManager sm(server_, &ec, 60.0, {});
+    run(ec, sm, 600);
+    EXPECT_LE(server_.lastPower(), 60.0 + 1.0);
+    // And the EC's reference was raised above its floor to get there.
+    EXPECT_GT(ec.reference(), 0.75);
+}
+
+TEST_F(SmTest, CapReleasesWhenDemandDrops)
+{
+    host(0.85);
+    EfficiencyController ec(server_, {});
+    ServerManager sm(server_, &ec, 60.0, {});
+    run(ec, sm, 600);
+    double throttled_freq = server_.frequencyMhz();
+    host(0.10);
+    run(ec, sm, 2000);
+    // Back under budget: the reference decays to its floor and the EC
+    // returns to efficiency tracking.
+    EXPECT_NEAR(ec.reference(), 0.75, 0.02);
+    (void)throttled_freq;
+}
+
+TEST_F(SmTest, DirectModeClampsImmediately)
+{
+    host(0.9);
+    ServerManager::Params p;
+    p.mode = ServerManager::Mode::DirectPState;
+    ServerManager sm(server_, nullptr, 60.0, p);
+    server_.evaluate(0, vms_);
+    EXPECT_GT(server_.lastPower(), 60.0);
+    sm.step(1);
+    // One step must jump straight to a state predicted to respect the
+    // cap for this load (hardware-capper behavior).
+    server_.evaluate(1, vms_);
+    EXPECT_LE(server_.lastPower(), 60.0 + 1e-9);
+}
+
+TEST_F(SmTest, DirectModeUnthrottlesWithMargin)
+{
+    host(0.2);
+    ServerManager::Params p;
+    p.mode = ServerManager::Mode::DirectPState;
+    ServerManager sm(server_, nullptr, 76.5, p);
+    server_.setPState(4);
+    server_.evaluate(0, vms_);
+    sm.step(1);
+    EXPECT_EQ(server_.pstate(), 3u);  // one step back up per interval
+}
+
+TEST_F(SmTest, ViolationExposure)
+{
+    host(0.9);
+    EfficiencyController ec(server_, {});
+    ServerManager sm(server_, &ec, 60.0, {});
+    // Power starts above the cap: early observations record violations.
+    server_.evaluate(0, vms_);
+    for (int t = 1; t <= 10; ++t)
+        sm.observe(static_cast<size_t>(t));
+    EXPECT_GT(sm.epochViolationRate(), 0.99);
+    EXPECT_GT(sm.lifetimeViolationRate(), 0.99);
+    sm.drainEpoch();
+    EXPECT_DOUBLE_EQ(sm.epochViolationRate(), 0.0);
+    EXPECT_GT(sm.lifetimeViolationRate(), 0.99);
+}
+
+TEST_F(SmTest, ViolationsMeasuredAgainstStaticCap)
+{
+    host(0.5);
+    EfficiencyController ec(server_, {});
+    ServerManager sm(server_, &ec, 76.5, {});
+    server_.evaluate(0, vms_);
+    // A tight dynamic grant below current power is not a *physical*
+    // violation; the exposed interface reports against CAP_LOC.
+    sm.setBudget(10.0);
+    sm.observe(1);
+    EXPECT_DOUBLE_EQ(sm.epochViolationRate(), 0.0);
+}
+
+TEST_F(SmTest, OffServersNotRecorded)
+{
+    EfficiencyController ec(server_, {});
+    ServerManager sm(server_, &ec, 60.0, {});
+    server_.powerOff();
+    for (int t = 0; t < 5; ++t)
+        sm.observe(static_cast<size_t>(t));
+    EXPECT_DOUBLE_EQ(sm.epochViolationRate(), 0.0);
+    sm.step(5);  // must be a no-op, not a crash
+}
+
+TEST_F(SmTest, CoordinatedRequiresEc)
+{
+    EXPECT_DEATH(ServerManager(server_, nullptr, 60.0, {}),
+                 "requires a nested EC");
+}
+
+TEST_F(SmTest, BadBudgetsDie)
+{
+    EfficiencyController ec(server_, {});
+    EXPECT_DEATH(ServerManager(server_, &ec, 0.0, {}), "static cap");
+    ServerManager sm(server_, &ec, 60.0, {});
+    EXPECT_DEATH(sm.setBudget(-5.0), "budget");
+}
+
+TEST(ViolationTrackerTest, RatesAndDrain)
+{
+    ViolationTracker t;
+    EXPECT_DOUBLE_EQ(t.epochViolationRate(), 0.0);
+    t.record(true);
+    t.record(false);
+    t.record(false);
+    t.record(false);
+    EXPECT_DOUBLE_EQ(t.epochViolationRate(), 0.25);
+    EXPECT_DOUBLE_EQ(t.lifetimeViolationRate(), 0.25);
+    t.drainEpoch();
+    t.record(true);
+    EXPECT_DOUBLE_EQ(t.epochViolationRate(), 1.0);
+    EXPECT_DOUBLE_EQ(t.lifetimeViolationRate(), 0.4);
+}
+
+} // namespace

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Tests for CoordinationConfig::resolved(): propagation of the
+ * coordination switch and overhead constants into the controller
+ * parameter blocks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/config.h"
+
+namespace {
+
+using namespace nps;
+using core::CoordinationConfig;
+
+TEST(Config, DefaultsAreFigure5Baselines)
+{
+    CoordinationConfig cfg;
+    EXPECT_TRUE(cfg.coordinated);
+    EXPECT_EQ(cfg.ec.period, 1u);
+    EXPECT_EQ(cfg.sm.period, 5u);
+    EXPECT_EQ(cfg.em.period, 25u);
+    EXPECT_EQ(cfg.gm.period, 50u);
+    EXPECT_EQ(cfg.vmc.period, 500u);
+    EXPECT_DOUBLE_EQ(cfg.ec.lambda, 0.8);
+    EXPECT_DOUBLE_EQ(cfg.ec.r_ref, 0.75);
+    EXPECT_DOUBLE_EQ(cfg.sm.beta, 1.0);
+    EXPECT_DOUBLE_EQ(cfg.alpha_v, 0.10);
+    EXPECT_DOUBLE_EQ(cfg.alpha_m, 0.10);
+    EXPECT_EQ(cfg.budgets.label(), "20-15-10");
+}
+
+TEST(Config, CoordinatedResolution)
+{
+    auto r = CoordinationConfig{}.resolved();
+    EXPECT_EQ(r.sm.mode, controllers::ServerManager::Mode::Coordinated);
+    EXPECT_EQ(r.gm.mode, controllers::GroupManager::Mode::Coordinated);
+    EXPECT_TRUE(r.vmc.use_real_util);
+    EXPECT_TRUE(r.vmc.use_budget_constraints);
+    EXPECT_TRUE(r.vmc.use_violation_feedback);
+}
+
+TEST(Config, UncoordinatedResolution)
+{
+    CoordinationConfig cfg;
+    cfg.coordinated = false;
+    auto r = cfg.resolved();
+    EXPECT_EQ(r.sm.mode, controllers::ServerManager::Mode::DirectPState);
+    EXPECT_EQ(r.gm.mode, controllers::GroupManager::Mode::Uncoordinated);
+    EXPECT_FALSE(r.vmc.use_real_util);
+    EXPECT_FALSE(r.vmc.use_budget_constraints);
+    EXPECT_FALSE(r.vmc.use_violation_feedback);
+    EXPECT_DOUBLE_EQ(r.vmc.spread_sigma, 0.0);
+}
+
+TEST(Config, NoEcForcesDirectSm)
+{
+    CoordinationConfig cfg;
+    cfg.enable_ec = false;
+    auto r = cfg.resolved();
+    EXPECT_EQ(r.sm.mode, controllers::ServerManager::Mode::DirectPState);
+}
+
+TEST(Config, NoCappersDisablesFeedback)
+{
+    CoordinationConfig cfg;
+    cfg.enable_sm = false;
+    cfg.enable_em = false;
+    cfg.enable_gm = false;
+    auto r = cfg.resolved();
+    EXPECT_FALSE(r.vmc.use_violation_feedback);
+}
+
+TEST(Config, OverheadsPropagateToVmc)
+{
+    CoordinationConfig cfg;
+    cfg.alpha_v = 0.2;
+    cfg.alpha_m = 0.3;
+    cfg.ec.r_ref = 0.6;
+    auto r = cfg.resolved();
+    EXPECT_DOUBLE_EQ(r.vmc.alpha_v, 0.2);
+    EXPECT_DOUBLE_EQ(r.vmc.alpha_m, 0.3);
+    EXPECT_DOUBLE_EQ(r.vmc.util_limit, 0.6);
+}
+
+TEST(Config, BadValuesDie)
+{
+    CoordinationConfig cfg;
+    cfg.alpha_v = -0.1;
+    EXPECT_DEATH(cfg.resolved(), "negative overheads");
+    CoordinationConfig cfg2;
+    cfg2.cap_limit_frac = 0.0;
+    EXPECT_DEATH(cfg2.resolved(), "cap_limit_frac");
+}
+
+} // namespace

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Tests for the INI configuration binding: defaults, overrides, strict
+ * schema validation, and write/load round trips.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "core/config_io.h"
+#include "core/scenarios.h"
+
+namespace {
+
+using namespace nps;
+using namespace nps::core;
+
+TEST(ConfigIo, EmptyDocumentYieldsDefaults)
+{
+    auto cfg = configFromIni(util::parseIni(""));
+    CoordinationConfig dflt;
+    EXPECT_EQ(cfg.coordinated, dflt.coordinated);
+    EXPECT_EQ(cfg.ec.period, dflt.ec.period);
+    EXPECT_DOUBLE_EQ(cfg.ec.lambda, dflt.ec.lambda);
+    EXPECT_DOUBLE_EQ(cfg.budgets.grp_off_frac,
+                     dflt.budgets.grp_off_frac);
+}
+
+TEST(ConfigIo, OverridesApply)
+{
+    auto cfg = configFromIni(util::parseIni(
+        "[deployment]\n"
+        "coordinated = false\n"
+        "enable_cap = true\n"
+        "alpha_m = 0.2\n"
+        "[ec]\n"
+        "lambda = 0.5\n"
+        "objective = energy-delay\n"
+        "[vmc]\n"
+        "period = 250\n"
+        "use_forecast = true\n"
+        "forecast_method = holt\n"
+        "[budgets]\n"
+        "group_off = 0.30\n"));
+    EXPECT_FALSE(cfg.coordinated);
+    EXPECT_TRUE(cfg.enable_cap);
+    EXPECT_DOUBLE_EQ(cfg.alpha_m, 0.2);
+    EXPECT_DOUBLE_EQ(cfg.ec.lambda, 0.5);
+    EXPECT_EQ(cfg.ec.objective, controllers::EcObjective::EnergyDelay);
+    EXPECT_EQ(cfg.vmc.period, 250u);
+    EXPECT_TRUE(cfg.vmc.use_forecast);
+    EXPECT_EQ(cfg.vmc.forecast.method,
+              controllers::ForecastMethod::HoltLinear);
+    EXPECT_DOUBLE_EQ(cfg.budgets.grp_off_frac, 0.30);
+    // Untouched knobs keep defaults.
+    EXPECT_DOUBLE_EQ(cfg.budgets.loc_off_frac, 0.10);
+}
+
+TEST(ConfigIo, PolicyNames)
+{
+    auto cfg = configFromIni(util::parseIni(
+        "[em]\npolicy = equal\n[gm]\npolicy = history\n"));
+    EXPECT_EQ(cfg.em.policy, controllers::DivisionPolicy::Equal);
+    EXPECT_EQ(cfg.gm.policy, controllers::DivisionPolicy::History);
+}
+
+TEST(ConfigIo, UnknownSectionDies)
+{
+    EXPECT_DEATH(configFromIni(util::parseIni("[typo]\nx = 1\n")),
+                 "unknown section");
+}
+
+TEST(ConfigIo, UnknownKeyDies)
+{
+    EXPECT_DEATH(configFromIni(util::parseIni("[ec]\nlamda = 0.8\n")),
+                 "unknown key");
+}
+
+TEST(ConfigIo, BadEnumsDie)
+{
+    EXPECT_DEATH(configFromIni(util::parseIni(
+                     "[em]\npolicy = roundrobin\n")),
+                 "unknown policy");
+    EXPECT_DEATH(configFromIni(util::parseIni(
+                     "[ec]\nobjective = yolo\n")),
+                 "unknown EC objective");
+    EXPECT_DEATH(configFromIni(util::parseIni(
+                     "[vmc]\nforecast_method = crystal\n")),
+                 "unknown forecast method");
+}
+
+TEST(ConfigIo, RoundTripPreservesEverything)
+{
+    auto original = uncoordinatedConfig();
+    original.enable_mem = true;
+    original.ec.lambda = 0.61;
+    original.sm.beta = 1.7;
+    original.em.policy = controllers::DivisionPolicy::Fifo;
+    original.vmc.capacity_target = 0.77;
+    original.vmc.use_forecast = true;
+    original.budgets = sim::BudgetConfig::paper252015();
+
+    auto back = configFromIni(configToIni(original));
+    EXPECT_EQ(back.coordinated, original.coordinated);
+    EXPECT_EQ(back.enable_mem, original.enable_mem);
+    EXPECT_DOUBLE_EQ(back.ec.lambda, original.ec.lambda);
+    EXPECT_DOUBLE_EQ(back.sm.beta, original.sm.beta);
+    EXPECT_EQ(back.em.policy, original.em.policy);
+    EXPECT_DOUBLE_EQ(back.vmc.capacity_target,
+                     original.vmc.capacity_target);
+    EXPECT_EQ(back.vmc.use_forecast, original.vmc.use_forecast);
+    EXPECT_EQ(back.budgets.label(), original.budgets.label());
+}
+
+TEST(ConfigIo, DumpedDefaultsValidateAgainstSchema)
+{
+    // Everything configToIni writes must be loadable (schema closed
+    // under dump).
+    auto cfg = configFromIni(configToIni(CoordinationConfig{}));
+    EXPECT_EQ(cfg.ec.period, 1u);
+}
+
+TEST(ConfigIo, LoadFromFile)
+{
+    std::string path = ::testing::TempDir() + "/nps_cfg.ini";
+    {
+        std::ofstream out(path);
+        out << "[deployment]\ncoordinated = false\n";
+    }
+    auto cfg = loadConfigFile(path);
+    EXPECT_FALSE(cfg.coordinated);
+}
+
+} // namespace

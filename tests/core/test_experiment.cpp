@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Tests for the ExperimentRunner: baseline caching, topology selection,
+ * machine resolution, and sane end-to-end results.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "core/scenarios.h"
+
+namespace {
+
+using namespace nps;
+using core::ExperimentRunner;
+using core::ExperimentSpec;
+
+class ExperimentTest : public ::testing::Test
+{
+  protected:
+    static trace::GeneratorConfig
+    shortGen()
+    {
+        trace::GeneratorConfig gen;
+        gen.trace_length = 600;
+        return gen;
+    }
+
+    ExperimentRunner runner_{shortGen()};
+};
+
+TEST_F(ExperimentTest, TopologySelection)
+{
+    EXPECT_EQ(ExperimentRunner::topologyFor(trace::Mix::All180)
+                  .num_servers, 180u);
+    EXPECT_EQ(ExperimentRunner::topologyFor(trace::Mix::HH60)
+                  .num_servers, 60u);
+}
+
+TEST_F(ExperimentTest, MachineResolution)
+{
+    ExperimentSpec spec;
+    spec.machine = "ServerB";
+    EXPECT_EQ(runner_.machineFor(spec).pstates().size(), 6u);
+    spec.two_pstates = true;
+    EXPECT_EQ(runner_.machineFor(spec).pstates().size(), 2u);
+}
+
+TEST_F(ExperimentTest, CoordinatedRunProducesSaneMetrics)
+{
+    ExperimentSpec spec;
+    spec.label = "coord";
+    spec.config = core::coordinatedConfig();
+    spec.mix = trace::Mix::High60;
+    spec.ticks = 600;
+    auto r = runner_.run(spec);
+    EXPECT_EQ(r.label, "coord");
+    EXPECT_EQ(r.baseline.ticks, 600u);
+    EXPECT_EQ(r.scenario.ticks, 600u);
+    // Power management saves energy against the unmanaged baseline...
+    EXPECT_GT(r.power_savings, 0.05);
+    EXPECT_LT(r.power_savings, 0.95);
+    // ...with sane loss metrics.
+    EXPECT_GE(r.scenario.perf_loss, 0.0);
+    EXPECT_LT(r.scenario.perf_loss, 0.2);
+    EXPECT_GT(r.vmc.epochs, 0u);
+}
+
+TEST_F(ExperimentTest, BaselineHasNoSavingsAndNoLoss)
+{
+    ExperimentSpec spec;
+    spec.label = "base";
+    spec.config = core::baselineConfig();
+    spec.mix = trace::Mix::Low60;
+    spec.ticks = 400;
+    auto r = runner_.run(spec);
+    EXPECT_NEAR(r.power_savings, 0.0, 1e-12);
+    EXPECT_NEAR(r.scenario.perf_loss, 0.0, 1e-12);
+}
+
+TEST_F(ExperimentTest, BaselineCacheIsConsistent)
+{
+    ExperimentSpec a;
+    a.config = core::coordinatedConfig();
+    a.mix = trace::Mix::Mid60;
+    a.ticks = 300;
+    auto r1 = runner_.run(a);
+    a.config = core::uncoordinatedConfig();
+    auto r2 = runner_.run(a);
+    // Identical baseline energy from the cache.
+    EXPECT_DOUBLE_EQ(r1.baseline.energy, r2.baseline.energy);
+}
+
+TEST_F(ExperimentTest, ZeroTicksDie)
+{
+    ExperimentSpec spec;
+    spec.ticks = 0;
+    EXPECT_DEATH(runner_.run(spec), "zero-tick");
+}
+
+TEST_F(ExperimentTest, TwoPstateBaselineMatchesFull)
+{
+    // The baseline runs at P0 regardless of the table, so savings for
+    // the two-P-state machine are measured against the same baseline.
+    ExperimentSpec full;
+    full.config = core::coordinatedConfig();
+    full.mix = trace::Mix::Low60;
+    full.ticks = 300;
+    auto r_full = runner_.run(full);
+    ExperimentSpec two = full;
+    two.two_pstates = true;
+    auto r_two = runner_.run(two);
+    EXPECT_DOUBLE_EQ(r_full.baseline.energy, r_two.baseline.energy);
+}
+
+} // namespace

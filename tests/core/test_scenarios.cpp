@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Tests for the scenario catalogue.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/scenarios.h"
+
+namespace {
+
+using namespace nps;
+using namespace nps::core;
+
+TEST(Scenarios, Names)
+{
+    EXPECT_STREQ(scenarioName(Scenario::Coordinated), "Coordinated");
+    EXPECT_STREQ(scenarioName(Scenario::Uncoordinated), "Uncoordinated");
+    EXPECT_STREQ(scenarioName(Scenario::NoVmc), "NoVMC");
+    EXPECT_STREQ(scenarioName(Scenario::VmcOnly), "VMCOnly");
+    EXPECT_STREQ(scenarioName(Scenario::CoordApparentUtil),
+                 "Coordinated, appr util");
+}
+
+TEST(Scenarios, BaselineDisablesEverything)
+{
+    auto cfg = scenarioConfig(Scenario::Baseline);
+    EXPECT_FALSE(cfg.enable_ec);
+    EXPECT_FALSE(cfg.enable_sm);
+    EXPECT_FALSE(cfg.enable_em);
+    EXPECT_FALSE(cfg.enable_gm);
+    EXPECT_FALSE(cfg.enable_vmc);
+}
+
+TEST(Scenarios, NoVmc)
+{
+    auto cfg = scenarioConfig(Scenario::NoVmc);
+    EXPECT_FALSE(cfg.enable_vmc);
+    EXPECT_TRUE(cfg.enable_ec);
+    EXPECT_TRUE(cfg.coordinated);
+}
+
+TEST(Scenarios, VmcOnly)
+{
+    auto cfg = scenarioConfig(Scenario::VmcOnly);
+    EXPECT_TRUE(cfg.enable_vmc);
+    EXPECT_FALSE(cfg.enable_ec);
+    EXPECT_FALSE(cfg.enable_sm);
+    EXPECT_FALSE(cfg.enable_em);
+    EXPECT_FALSE(cfg.enable_gm);
+}
+
+TEST(Scenarios, Figure9Ablations)
+{
+    auto appr = scenarioConfig(Scenario::CoordApparentUtil).resolved();
+    EXPECT_FALSE(appr.vmc.use_real_util);
+    EXPECT_TRUE(appr.vmc.use_budget_constraints);
+
+    auto nofb = scenarioConfig(Scenario::CoordNoFeedback).resolved();
+    EXPECT_FALSE(nofb.vmc.use_violation_feedback);
+    EXPECT_TRUE(nofb.vmc.use_real_util);
+
+    auto nolim = scenarioConfig(Scenario::CoordNoBudgetLimits).resolved();
+    EXPECT_FALSE(nolim.vmc.use_budget_constraints);
+    EXPECT_TRUE(nolim.vmc.use_violation_feedback);
+
+    EXPECT_EQ(figure9Scenarios().size(), 5u);
+}
+
+TEST(Scenarios, Modifiers)
+{
+    auto base = coordinatedConfig();
+    auto no_off = withoutPowerOff(base);
+    EXPECT_FALSE(no_off.vmc.allow_power_off);
+    EXPECT_TRUE(base.vmc.allow_power_off);
+
+    auto budgets = withBudgets(base, sim::BudgetConfig::paper302520());
+    EXPECT_EQ(budgets.budgets.label(), "30-25-20");
+
+    auto tc = withTimeConstants(base, 2, 10, 0, 400, 100);
+    EXPECT_EQ(tc.ec.period, 2u);
+    EXPECT_EQ(tc.sm.period, 10u);
+    EXPECT_EQ(tc.em.period, 25u);  // 0 keeps the default
+    EXPECT_EQ(tc.gm.period, 400u);
+    EXPECT_EQ(tc.vmc.period, 100u);
+
+    auto pol = withPolicy(base, controllers::DivisionPolicy::Equal);
+    EXPECT_EQ(pol.em.policy, controllers::DivisionPolicy::Equal);
+    EXPECT_EQ(pol.gm.policy, controllers::DivisionPolicy::Equal);
+}
+
+} // namespace

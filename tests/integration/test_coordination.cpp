@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Integration tests of the paper's central claims (Section 5.1):
+ * relative to the uncoordinated deployment, the coordinated architecture
+ * reduces budget violations (correctness) and performance loss, while
+ * both save substantial power against the unmanaged baseline.
+ *
+ * Uses a 60-server cluster over generated traces, long enough for
+ * several VMC epochs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "core/scenarios.h"
+
+namespace {
+
+using namespace nps;
+using core::ExperimentRunner;
+using core::ExperimentSpec;
+using core::Scenario;
+
+class CoordinationTest : public ::testing::Test
+{
+  protected:
+    static ExperimentRunner &
+    runner()
+    {
+        static ExperimentRunner r = [] {
+            trace::GeneratorConfig gen;
+            gen.trace_length = 1440;
+            return ExperimentRunner(gen);
+        }();
+        return r;
+    }
+
+    static core::ExperimentResult
+    run(Scenario s, trace::Mix mix, const std::string &machine = "BladeA")
+    {
+        ExperimentSpec spec;
+        spec.label = core::scenarioName(s);
+        spec.config = core::scenarioConfig(s);
+        spec.machine = machine;
+        spec.mix = mix;
+        spec.ticks = 1440;
+        return runner().run(spec);
+    }
+};
+
+TEST_F(CoordinationTest, CoordinatedSavesPowerWithSmallLosses)
+{
+    auto r = run(Scenario::Coordinated, trace::Mix::High60);
+    EXPECT_GT(r.power_savings, 0.20);
+    EXPECT_LT(r.scenario.perf_loss, 0.05);
+    EXPECT_LT(r.scenario.sm_violation, 0.15);
+    EXPECT_LT(r.scenario.gm_violation, 0.05);
+}
+
+TEST_F(CoordinationTest, CoordinationReducesViolations)
+{
+    // The base 180-workload configuration, long enough for several VMC
+    // epochs: the budget-blind uncoordinated consolidation packs servers
+    // straight past their local caps.
+    ExperimentSpec coord_spec;
+    coord_spec.config = core::scenarioConfig(Scenario::Coordinated);
+    coord_spec.mix = trace::Mix::All180;
+    coord_spec.ticks = 2016;
+    auto coord = runner().run(coord_spec);
+    ExperimentSpec uncoord_spec = coord_spec;
+    uncoord_spec.config = core::scenarioConfig(Scenario::Uncoordinated);
+    auto uncoord = runner().run(uncoord_spec);
+    EXPECT_LT(coord.scenario.sm_violation,
+              uncoord.scenario.sm_violation);
+}
+
+TEST_F(CoordinationTest, CoordinationReducesViolationsOnServerB)
+{
+    auto coord = run(Scenario::Coordinated, trace::Mix::High60,
+                     "ServerB");
+    auto uncoord = run(Scenario::Uncoordinated, trace::Mix::High60,
+                       "ServerB");
+    EXPECT_LT(coord.scenario.sm_violation,
+              uncoord.scenario.sm_violation);
+    EXPECT_LE(coord.scenario.gm_violation,
+              uncoord.scenario.gm_violation);
+}
+
+TEST_F(CoordinationTest, HighActivityCappingIsCorrectOnlyCoordinated)
+{
+    // At the stacked high-activity mix on the high-idle Server B the
+    // budgets genuinely bind: the coordinated stack keeps group
+    // violations bounded while the uncoordinated one leaks massively
+    // (the thermal-failover regime).
+    auto coord = run(Scenario::Coordinated, trace::Mix::HH60, "ServerB");
+    auto uncoord = run(Scenario::Uncoordinated, trace::Mix::HH60,
+                       "ServerB");
+    EXPECT_LT(coord.scenario.gm_violation, 0.25);
+    EXPECT_GT(uncoord.scenario.gm_violation,
+              coord.scenario.gm_violation + 0.1);
+    EXPECT_GT(uncoord.scenario.em_violation,
+              coord.scenario.em_violation);
+}
+
+TEST_F(CoordinationTest, BothControllerFamiliesContribute)
+{
+    // Figure 8's decomposition at low utilization: consolidation (the
+    // VMC) dominates the savings, yet the full coordinated stack is at
+    // least as good as either component alone.
+    auto coord = run(Scenario::Coordinated, trace::Mix::Low60);
+    auto no_vmc = run(Scenario::NoVmc, trace::Mix::Low60);
+    auto vmc_only = run(Scenario::VmcOnly, trace::Mix::Low60);
+    EXPECT_GT(coord.power_savings, no_vmc.power_savings);
+    EXPECT_GT(vmc_only.power_savings, no_vmc.power_savings);
+    EXPECT_GE(coord.power_savings, vmc_only.power_savings - 0.02);
+    EXPECT_GE(coord.power_savings, no_vmc.power_savings - 0.02);
+}
+
+TEST_F(CoordinationTest, VmcShareShrinksAtHighUtilization)
+{
+    // "benefits from VM consolidation will decrease if the base
+    // workloads have high utilization."
+    auto low_all = run(Scenario::Coordinated, trace::Mix::Low60);
+    auto low_novmc = run(Scenario::NoVmc, trace::Mix::Low60);
+    auto high_all = run(Scenario::Coordinated, trace::Mix::HHH60);
+    auto high_novmc = run(Scenario::NoVmc, trace::Mix::HHH60);
+    double vmc_share_low = low_all.power_savings -
+                           low_novmc.power_savings;
+    double vmc_share_high = high_all.power_savings -
+                            high_novmc.power_savings;
+    EXPECT_GT(vmc_share_low, vmc_share_high);
+}
+
+TEST_F(CoordinationTest, AbsoluteSavingsHigherAtLowUtilization)
+{
+    auto low = run(Scenario::Coordinated, trace::Mix::Low60);
+    auto high = run(Scenario::Coordinated, trace::Mix::HHH60);
+    EXPECT_GT(low.power_savings, high.power_savings);
+}
+
+TEST_F(CoordinationTest, ServerBGainsLessFromDvfs)
+{
+    // "the range of power control is likely more important than the
+    // granularity": Server B's narrow range yields far smaller NoVMC
+    // savings than Blade A's wide range.
+    auto blade = run(Scenario::NoVmc, trace::Mix::High60, "BladeA");
+    auto server = run(Scenario::NoVmc, trace::Mix::High60, "ServerB");
+    EXPECT_GT(blade.power_savings, server.power_savings * 1.5);
+}
+
+TEST_F(CoordinationTest, Figure9AblationsAllDegrade)
+{
+    auto coord = run(Scenario::Coordinated, trace::Mix::High60);
+    auto appr = run(Scenario::CoordApparentUtil, trace::Mix::High60);
+    auto nofb = run(Scenario::CoordNoFeedback, trace::Mix::High60);
+    auto nolim = run(Scenario::CoordNoBudgetLimits, trace::Mix::High60);
+
+    // Apparent utilization misreads throttled servers: less savings.
+    EXPECT_LE(appr.power_savings, coord.power_savings + 0.01);
+    // No budget limits: packing ignores the caps, so violations grow.
+    EXPECT_GE(nolim.scenario.sm_violation,
+              coord.scenario.sm_violation - 0.01);
+    // Each ablation is worse than the full design on at least one of
+    // the paper's three axes (savings, perf loss, violations).
+    auto worse_somewhere = [&](const core::ExperimentResult &r) {
+        return r.power_savings < coord.power_savings - 1e-3 ||
+               r.scenario.perf_loss >
+                   coord.scenario.perf_loss - 1e-9 ||
+               r.scenario.sm_violation >
+                   coord.scenario.sm_violation - 1e-9;
+    };
+    EXPECT_TRUE(worse_somewhere(appr));
+    EXPECT_TRUE(worse_somewhere(nofb));
+    EXPECT_TRUE(worse_somewhere(nolim));
+}
+
+} // namespace

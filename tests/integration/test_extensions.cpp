@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Integration tests of the Section 6 extensions: the electrical capper
+ * in parallel with the EC, heterogeneous fleets, the energy-delay EC
+ * objective, division-policy robustness, machine power-off avoidance,
+ * and the memory-power (MIMO) second actuator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/fixtures.h"
+#include "core/coordinator.h"
+#include "core/scenarios.h"
+#include "trace/workload.h"
+
+namespace {
+
+using namespace nps;
+
+trace::WorkloadLibrary &
+lib()
+{
+    static trace::WorkloadLibrary l = [] {
+        trace::GeneratorConfig gen;
+        gen.trace_length = 1440;
+        return trace::WorkloadLibrary(gen);
+    }();
+    return l;
+}
+
+/** The first @p n traces of a mix, for small-topology tests. */
+std::vector<trace::UtilizationTrace>
+firstN(trace::Mix mix, size_t n)
+{
+    auto all = lib().mix(mix);
+    all.resize(n);
+    return all;
+}
+
+TEST(Extensions, ElectricalCapperEliminatesSustainedOverdraw)
+{
+    // With the electrical cappers on, per-server power must essentially
+    // never exceed the electrical limit for more than an interval.
+    auto cfg = core::coordinatedConfig();
+    cfg.enable_cap = true;
+    cfg.cap_limit_frac = 0.92;
+    core::Coordinator c(cfg, sim::Topology::paper60(), model::bladeA(),
+                        lib().mix(trace::Mix::HH60));
+    c.run(1440);
+    // The clamp reacts within one tick, so per-server electrical
+    // violation duty stays small even on the hot mix.
+    ASSERT_EQ(c.caps().size(), c.cluster().numServers());
+    double worst = 0.0;
+    for (const auto &cap : c.caps())
+        worst = std::max(worst, cap->lifetimeViolationRate());
+    EXPECT_LT(worst, 0.25);
+    EXPECT_LT(c.summary().perf_loss, 0.25);
+}
+
+TEST(Extensions, HeterogeneousFleetCoordinates)
+{
+    std::vector<std::shared_ptr<const model::MachineSpec>> specs;
+    auto blade = std::make_shared<const model::MachineSpec>(
+        model::bladeA());
+    auto server = std::make_shared<const model::MachineSpec>(
+        model::serverB());
+    for (unsigned i = 0; i < 60; ++i)
+        specs.push_back(i % 2 ? blade : server);
+    core::Coordinator c(core::coordinatedConfig(),
+                        sim::Topology::paper60(), specs,
+                        lib().mix(trace::Mix::Mid60));
+    c.run(1440);
+    auto m = c.summary();
+    EXPECT_LT(m.perf_loss, 0.08);
+    EXPECT_LT(m.gm_violation, 0.10);
+    // Consolidation happened across the mixed fleet.
+    EXPECT_GT(c.vmc()->stats().migrations, 0u);
+}
+
+TEST(Extensions, EnergyDelayObjectiveTradesSavingsForPerformance)
+{
+    auto ed_cfg = core::coordinatedConfig();
+    ed_cfg.ec.objective = controllers::EcObjective::EnergyDelay;
+    ed_cfg.enable_vmc = false;
+    auto tr_cfg = core::coordinatedConfig();
+    tr_cfg.enable_vmc = false;
+
+    core::Coordinator ed(ed_cfg, sim::Topology{12, 2, 4},
+                         model::bladeA(), firstN(trace::Mix::Low60, 12));
+    core::Coordinator tr(tr_cfg, sim::Topology{12, 2, 4},
+                         model::bladeA(), firstN(trace::Mix::Low60, 12));
+    ed.run(720);
+    tr.run(720);
+    // The energy-delay product weights performance: on a high-idle
+    // machine it races to idle (fast states), so it loses less work but
+    // saves less energy than the utilization-tracking objective.
+    EXPECT_LE(ed.summary().perf_loss, tr.summary().perf_loss + 1e-9);
+    EXPECT_GE(ed.summary().energy, tr.summary().energy - 1e-6);
+    EXPECT_LT(ed.summary().perf_loss, 0.02);
+}
+
+TEST(Extensions, PolicyChoiceIsRobust)
+{
+    // Section 5.4: "no significant variation in the results across
+    // different policy choices."
+    double first_savings = 0.0;
+    for (auto policy : {controllers::DivisionPolicy::Proportional,
+                        controllers::DivisionPolicy::Equal,
+                        controllers::DivisionPolicy::History}) {
+        auto cfg = core::withPolicy(core::coordinatedConfig(), policy);
+        core::Coordinator c(cfg, sim::Topology{12, 2, 4},
+                            model::bladeA(),
+                            firstN(trace::Mix::Mid60, 12));
+        core::Coordinator base(core::baselineConfig(),
+                               sim::Topology{12, 2, 4}, model::bladeA(),
+                               firstN(trace::Mix::Mid60, 12));
+        c.run(1440);
+        base.run(1440);
+        double savings = sim::powerSavings(base.summary(), c.summary());
+        if (first_savings == 0.0)
+            first_savings = savings;
+        EXPECT_NEAR(savings, first_savings, 0.08);
+        EXPECT_LT(c.summary().perf_loss, 0.08);
+    }
+}
+
+TEST(Extensions, NoPowerOffShiftsSavingsToLocalControl)
+{
+    // Section 5.4: disabling power-off collapses savings, but the stack
+    // adapts by controlling power locally; machines stay on.
+    auto with_off = core::coordinatedConfig();
+    auto without_off = core::withoutPowerOff(core::coordinatedConfig());
+    core::Coordinator a(with_off, sim::Topology::paper60(),
+                        model::bladeA(), lib().mix(trace::Mix::Low60));
+    core::Coordinator b(without_off, sim::Topology::paper60(),
+                        model::bladeA(), lib().mix(trace::Mix::Low60));
+    core::Coordinator base(core::baselineConfig(),
+                           sim::Topology::paper60(), model::bladeA(),
+                           lib().mix(trace::Mix::Low60));
+    a.run(1440);
+    b.run(1440);
+    base.run(1440);
+    double with_savings = sim::powerSavings(base.summary(), a.summary());
+    double without_savings = sim::powerSavings(base.summary(),
+                                               b.summary());
+    EXPECT_GT(with_savings, without_savings + 0.10);
+    EXPECT_GT(without_savings, 0.05);  // local control still contributes
+    for (const auto &srv : b.cluster().servers())
+        EXPECT_TRUE(srv.isOn(1439));
+}
+
+TEST(Extensions, MemoryLowPowerActuatorComposes)
+{
+    // The MIMO hook: engaging the second actuator on every server under
+    // the coordinated stack trims power without destabilizing anything.
+    auto cfg = core::coordinatedConfig();
+    cfg.enable_vmc = false;
+    core::Coordinator a(cfg, sim::Topology{12, 2, 4}, model::bladeA(),
+                        firstN(trace::Mix::Mid60, 12));
+    core::Coordinator b(cfg, sim::Topology{12, 2, 4}, model::bladeA(),
+                        firstN(trace::Mix::Mid60, 12));
+    for (auto &srv : b.cluster().servers())
+        srv.setMemLowPower(true);
+    a.run(720);
+    b.run(720);
+    EXPECT_LT(b.summary().energy, a.summary().energy);
+    EXPECT_LT(b.summary().perf_loss, a.summary().perf_loss + 0.03);
+}
+
+} // namespace

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Reproduction of the paper's lab validation (Section 5.1): "we
+ * implemented a simple prototype of an uncoordinated deployment of the
+ * EC and SM on a server in our lab, and even with one machine, over
+ * sustained high loads, the uncoordinated solution went into thermal
+ * failover."
+ *
+ * One server, sustained high load, thermal budget below the P0 power at
+ * that load. Coordinated nesting (SM drives the EC's r_ref) holds power
+ * under the budget and the machine stays cool; the uncoordinated pair
+ * (SM clamps P-states, EC overwrites them) oscillates, the time-average
+ * power stays above the sustainable level, and the thermal latch trips.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/fixtures.h"
+#include "controllers/efficiency.h"
+#include "controllers/server_manager.h"
+#include "sim/thermal.h"
+
+namespace {
+
+using namespace nps;
+using controllers::EfficiencyController;
+using controllers::ServerManager;
+
+struct FailoverOutcome
+{
+    bool failed_over = false;
+    double mean_power = 0.0;
+    double violation_rate = 0.0;
+};
+
+FailoverOutcome
+runOneServer(bool coordinated, double demand, double cap, size_t ticks)
+{
+    auto spec = std::make_shared<const model::MachineSpec>(
+        model::bladeA());
+    sim::Server server(0, spec, 0.10, 0.10);
+    std::vector<sim::VirtualMachine> vms;
+    vms.emplace_back(0, nps_test::flatTrace("load", demand, 8));
+    server.addVm(0);
+
+    EfficiencyController ec(server, {});
+    ServerManager::Params smp;
+    smp.mode = coordinated ? ServerManager::Mode::Coordinated
+                           : ServerManager::Mode::DirectPState;
+    ServerManager sm(server, coordinated ? &ec : nullptr, cap, smp);
+
+    // Thermal path sized so the budget is exactly the sustainable power.
+    sim::ThermalParams tp;
+    tp.c_per_watt = (tp.failover_c - tp.ambient_c) / cap;
+    sim::ThermalModel thermal(tp);
+
+    FailoverOutcome out;
+    double energy = 0.0;
+    unsigned long violations = 0;
+    for (size_t t = 0; t < ticks; ++t) {
+        server.evaluate(t, vms);
+        energy += server.lastPower();
+        violations += server.lastPower() > cap ? 1 : 0;
+        thermal.step(server.lastPower());
+        sm.observe(t + 1);
+        if ((t + 1) % sm.period() == 0)
+            sm.step(t + 1);
+        ec.step(t + 1);
+    }
+    out.failed_over = thermal.failedOver();
+    out.mean_power = energy / static_cast<double>(ticks);
+    out.violation_rate =
+        static_cast<double>(violations) / static_cast<double>(ticks);
+    return out;
+}
+
+class FailoverTest : public ::testing::Test
+{
+  protected:
+    // Sustained high load: P0 power at util ~0.99 is ~84.6 W; the
+    // thermal budget of 65 W requires real throttling.
+    static constexpr double kDemand = 0.9;
+    static constexpr double kCap = 65.0;
+    static constexpr size_t kTicks = 4000;
+};
+
+TEST_F(FailoverTest, CoordinatedStaysCool)
+{
+    auto out = runOneServer(true, kDemand, kCap, kTicks);
+    EXPECT_FALSE(out.failed_over);
+    EXPECT_LT(out.mean_power, kCap * 1.02);
+}
+
+TEST_F(FailoverTest, UncoordinatedGoesIntoThermalFailover)
+{
+    auto out = runOneServer(false, kDemand, kCap, kTicks);
+    EXPECT_TRUE(out.failed_over);
+    // The struggle: the EC keeps overriding the capper, so the
+    // time-average power stays above the sustainable level and the
+    // violation duty cycle is large.
+    EXPECT_GT(out.mean_power, kCap * 1.05);
+    EXPECT_GT(out.violation_rate, 0.3);
+}
+
+TEST_F(FailoverTest, UncoordinatedViolatesMoreThanCoordinated)
+{
+    auto coord = runOneServer(true, kDemand, kCap, kTicks);
+    auto uncoord = runOneServer(false, kDemand, kCap, kTicks);
+    EXPECT_GT(uncoord.violation_rate, coord.violation_rate + 0.2);
+}
+
+TEST_F(FailoverTest, BothFineWhenBudgetIsLoose)
+{
+    // With a budget above the P0 peak there is no struggle to expose.
+    auto coord = runOneServer(true, kDemand, 90.0, kTicks);
+    auto uncoord = runOneServer(false, kDemand, 90.0, kTicks);
+    EXPECT_FALSE(coord.failed_over);
+    EXPECT_FALSE(uncoord.failed_over);
+}
+
+} // namespace

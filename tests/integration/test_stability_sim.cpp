@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Integration tests of the stability claims: the coordinated stack's
+ * group power settles without large oscillations, budget violations are
+ * transient (bounded runs), and the VMC does not thrash placements.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/fixtures.h"
+#include "control/stability.h"
+#include "core/coordinator.h"
+#include "core/scenarios.h"
+#include "trace/workload.h"
+
+namespace {
+
+using namespace nps;
+
+TEST(StabilitySim, GroupPowerSettlesOnConstantDemand)
+{
+    // Constant demand: after the transient, group power must not
+    // oscillate with a large amplitude.
+    core::Coordinator c(core::coordinatedConfig(),
+                        sim::Topology{12, 2, 4}, model::bladeA(),
+                        nps_test::flatTraces(12, 0.35, 64),
+                        /*keep_series=*/true);
+    c.run(2000);
+    const auto &series = c.metrics().powerSeries();
+    double late_mean = 0.0;
+    for (size_t t = 1500; t < 2000; ++t)
+        late_mean += series[t];
+    late_mean /= 500.0;
+    EXPECT_LT(ctl::tailAmplitude(series, 400), 0.25 * late_mean);
+}
+
+TEST(StabilitySim, NestedLoopsMeetTightCapWithoutDivergence)
+{
+    // A very tight budget (30-25-20) on a hot cluster: the capping
+    // chain must drive power to the cap and hold it there.
+    auto cfg = core::withBudgets(core::coordinatedConfig(),
+                                 sim::BudgetConfig::paper302520());
+    cfg.enable_vmc = false;  // isolate the capping chain
+    core::Coordinator c(cfg, sim::Topology{8, 1, 4}, model::bladeA(),
+                        nps_test::flatTraces(8, 0.7, 64),
+                        /*keep_series=*/true);
+    c.run(1500);
+    const auto &series = c.metrics().powerSeries();
+    double cap = c.cluster().capGrp();
+    // The late-time power must hover at or below the group cap with
+    // bounded ripple.
+    util::RunningStats tail;
+    for (size_t t = 1000; t < 1500; ++t)
+        tail.add(series[t]);
+    EXPECT_LT(tail.mean(), cap * 1.05);
+    EXPECT_LT(tail.stddev(), cap * 0.06);
+}
+
+TEST(StabilitySim, GroupViolationRunsAreBounded)
+{
+    // Thermal capping tolerates transient violations only when they are
+    // bounded; verify the longest consecutive violation run stays well
+    // below the thermal time constant (~40 ticks in our RC model).
+    trace::GeneratorConfig gen;
+    gen.trace_length = 1440;
+    trace::WorkloadLibrary lib(gen);
+    core::Coordinator c(core::coordinatedConfig(),
+                        sim::Topology::paper60(), model::bladeA(),
+                        lib.mix(trace::Mix::High60));
+    c.run(1440);
+    EXPECT_LT(c.metrics().longestGroupViolationRun(), 120u);
+}
+
+TEST(StabilitySim, VmcDoesNotThrash)
+{
+    // On stationary demand the VMC must converge to a placement: after
+    // the initial consolidation burst, later epochs migrate (almost)
+    // nothing. Slightly varied per-VM loads avoid degenerate ties.
+    std::vector<trace::UtilizationTrace> traces;
+    for (size_t i = 0; i < 60; ++i) {
+        traces.push_back(nps_test::flatTrace(
+            "s" + std::to_string(i), 0.15 + 0.004 * (i % 30), 64));
+    }
+    core::Coordinator c(core::coordinatedConfig(),
+                        sim::Topology::paper60(), model::bladeA(),
+                        traces);
+    c.run(1250);  // epochs at 500, 1000
+    unsigned long early = c.vmc()->stats().migrations;
+    EXPECT_GT(early, 0u);
+    c.run(1250);  // epochs at 1500, 2000
+    unsigned long late = c.vmc()->stats().migrations - early;
+    EXPECT_LT(late, 15u);
+    // And the buffers remain within their clamps.
+    EXPECT_LE(c.vmc()->bufferLoc(), 0.25);
+    EXPECT_GE(c.vmc()->bufferLoc(), 0.0);
+}
+
+TEST(StabilitySim, NoViciousConsolidationCycle)
+{
+    // The coordinated VMC must not enter the paper's vicious cycle
+    // (pack -> throttle -> misread -> pack more): on a hot mix the
+    // number of powered-on servers must stabilize, not shrink to the
+    // point of saturation.
+    trace::GeneratorConfig gen;
+    gen.trace_length = 2880;
+    trace::WorkloadLibrary lib(gen);
+    core::Coordinator c(core::coordinatedConfig(),
+                        sim::Topology::paper60(), model::bladeA(),
+                        lib.mix(trace::Mix::High60));
+    c.run(2880);
+    auto m = c.summary();
+    EXPECT_LT(m.perf_loss, 0.06);
+    size_t on = 0;
+    for (const auto &srv : c.cluster().servers())
+        on += srv.isOn(2879) ? 1 : 0;
+    // Total demand ~0.37*60*1.1 = 24 full-speed servers minimum; the
+    // stack must keep a sane margin above that, not collapse below it.
+    EXPECT_GT(on, 24u);
+}
+
+} // namespace

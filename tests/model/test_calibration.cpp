@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Tests for model calibration: the least-squares fit must recover a
+ * ground-truth machine from (possibly noisy) measurements, reproducing
+ * the paper's calibrate-then-curve-fit flow.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/calibration.h"
+
+namespace {
+
+using namespace nps::model;
+
+TEST(FitLine, ExactRecovery)
+{
+    std::vector<PowerSample> samples;
+    for (double u = 0.0; u <= 1.0; u += 0.25)
+        samples.push_back({u, 40.0 * u + 50.0});
+    auto fit = fitLine(samples);
+    EXPECT_NEAR(fit.slope, 40.0, 1e-9);
+    EXPECT_NEAR(fit.intercept, 50.0, 1e-9);
+    EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(FitLine, TwoPoints)
+{
+    auto fit = fitLine({{0.0, 10.0}, {1.0, 30.0}});
+    EXPECT_NEAR(fit.slope, 20.0, 1e-9);
+    EXPECT_NEAR(fit.intercept, 10.0, 1e-9);
+}
+
+TEST(FitLine, TooFewSamplesDies)
+{
+    EXPECT_DEATH(fitLine({{0.5, 1.0}}), "two samples");
+}
+
+TEST(FitLine, DegenerateGridDies)
+{
+    EXPECT_DEATH(fitLine({{0.5, 1.0}, {0.5, 2.0}}), "degenerate");
+}
+
+TEST(FitLine, R2DropsWithNoise)
+{
+    std::vector<PowerSample> clean, noisy;
+    for (double u = 0.0; u <= 1.0; u += 0.1) {
+        clean.push_back({u, 10.0 * u});
+        noisy.push_back({u, 10.0 * u + (u * 7919.0 - std::floor(
+                                            u * 7919.0) - 0.5) * 4.0});
+    }
+    EXPECT_GT(fitLine(clean).r2, fitLine(noisy).r2);
+}
+
+TEST(SimulatedMachine, NoiselessMatchesTruth)
+{
+    SimulatedMachine mut(bladeA(), 0.0, 1);
+    EXPECT_EQ(mut.numPStates(), 5u);
+    EXPECT_DOUBLE_EQ(mut.freqMhz(0), 1000.0);
+    EXPECT_DOUBLE_EQ(mut.measure(0, 0.5),
+                     bladeA().model().powerAt(0, 0.5));
+}
+
+TEST(SimulatedMachine, NoiseIsZeroMean)
+{
+    SimulatedMachine mut(bladeA(), 2.0, 7);
+    double truth = bladeA().model().powerAt(0, 0.5);
+    double sum = 0.0;
+    const int n = 2000;
+    for (int i = 0; i < n; ++i)
+        sum += mut.measure(0, 0.5);
+    EXPECT_NEAR(sum / n, truth, 0.2);
+}
+
+TEST(Calibrator, RecoversTruthWithoutNoise)
+{
+    SimulatedMachine mut(serverB(), 0.0, 1);
+    Calibrator cal({0.0, 0.25, 0.5, 0.75, 1.0}, 1);
+    auto fits = cal.calibrate(mut);
+    ASSERT_EQ(fits.size(), 6u);
+    for (size_t p = 0; p < fits.size(); ++p) {
+        EXPECT_NEAR(fits[p].slope,
+                    serverB().pstates().at(p).dyn_watts, 1e-9);
+        EXPECT_NEAR(fits[p].intercept,
+                    serverB().pstates().at(p).idle_watts, 1e-9);
+    }
+}
+
+TEST(Calibrator, BuildSpecApproximatesTruthUnderNoise)
+{
+    SimulatedMachine mut(bladeA(), 1.0, 99);
+    Calibrator cal({0.0, 0.2, 0.4, 0.6, 0.8, 1.0}, 20);
+    auto spec = cal.buildSpec(mut, "BladeA-cal", 2.0, 8);
+    ASSERT_EQ(spec.pstates().size(), 5u);
+    for (size_t p = 0; p < 5; ++p) {
+        EXPECT_NEAR(spec.pstates().at(p).dyn_watts,
+                    bladeA().pstates().at(p).dyn_watts, 3.0);
+        EXPECT_NEAR(spec.pstates().at(p).idle_watts,
+                    bladeA().pstates().at(p).idle_watts, 3.0);
+        EXPECT_DOUBLE_EQ(spec.pstates().at(p).freq_mhz,
+                         bladeA().pstates().at(p).freq_mhz);
+    }
+}
+
+TEST(Calibrator, BuildSpecEnforcesMonotonicityUnderHeavyNoise)
+{
+    // Enough noise to scramble adjacent states; the repaired spec must
+    // still satisfy the PStateTable invariants (constructing it proves
+    // that — PStateTable fatals otherwise).
+    SimulatedMachine mut(serverB(), 8.0, 3);
+    Calibrator cal({0.0, 0.5, 1.0}, 3);
+    auto spec = cal.buildSpec(mut, "noisy", 5.0, 12);
+    EXPECT_EQ(spec.pstates().size(), 6u);
+}
+
+TEST(Calibrator, BadLevelsDie)
+{
+    EXPECT_DEATH(Calibrator({0.5}, 3), "two utilization levels");
+    EXPECT_DEATH(Calibrator({0.0, 1.5}, 3), "out of");
+    EXPECT_DEATH(Calibrator({0.0, 1.0}, 0), "repeats");
+}
+
+} // namespace

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Tests for the reference machine specs and the registry: the qualitative
+ * properties the paper states for Blade A and Server B must hold in the
+ * synthetic calibration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/machine.h"
+
+namespace {
+
+using namespace nps::model;
+
+TEST(Machine, BladeAShape)
+{
+    auto m = bladeA();
+    EXPECT_EQ(m.name(), "BladeA");
+    EXPECT_EQ(m.pstates().size(), 5u);
+    EXPECT_DOUBLE_EQ(m.pstates().fastest().freq_mhz, 1000.0);
+    EXPECT_DOUBLE_EQ(m.pstates().slowest().freq_mhz, 533.0);
+    EXPECT_GT(m.bootTicks(), 0u);
+    EXPECT_GT(m.offWatts(), 0.0);
+    EXPECT_LT(m.offWatts(), m.model().idlePower(0));
+}
+
+TEST(Machine, ServerBShape)
+{
+    auto m = serverB();
+    EXPECT_EQ(m.name(), "ServerB");
+    EXPECT_EQ(m.pstates().size(), 6u);
+    EXPECT_DOUBLE_EQ(m.pstates().fastest().freq_mhz, 2600.0);
+    EXPECT_DOUBLE_EQ(m.pstates().slowest().freq_mhz, 1000.0);
+}
+
+TEST(Machine, BladeAHasWiderRelativePowerRangeThanServerB)
+{
+    // "Server B has 6 P-states relatively uniformly clustered, but with a
+    // smaller range in power, compared to the five non-uniformly
+    // clustered, but higher range, P-states of Blade A."
+    auto blade = bladeA();
+    auto server = serverB();
+    double blade_range =
+        1.0 - blade.pstates().slowest().peakPower() /
+                  blade.pstates().fastest().peakPower();
+    double server_range =
+        1.0 - server.pstates().slowest().peakPower() /
+                  server.pstates().fastest().peakPower();
+    EXPECT_GT(blade_range, server_range);
+    EXPECT_GT(blade_range, 0.30);
+    EXPECT_LT(server_range, 0.30);
+}
+
+TEST(Machine, ServerBHasHigherIdleFraction)
+{
+    auto blade = bladeA();
+    auto server = serverB();
+    double blade_idle = blade.model().idlePower(0) / blade.model()
+                                                         .maxPower();
+    double server_idle = server.model().idlePower(0) / server.model()
+                                                           .maxPower();
+    EXPECT_GT(server_idle, blade_idle);
+    // High baseline idle power is the premise of the paper's conclusion
+    // that consolidation dominates for current systems.
+    EXPECT_GT(server_idle, 0.6);
+}
+
+TEST(Machine, ServerBFrequenciesMoreUniform)
+{
+    // Blade A's P-states are non-uniformly clustered; Server B's last
+    // step (1.8 GHz -> 1.0 GHz) aside, its steps are uniform 200 MHz.
+    auto server = serverB();
+    for (size_t i = 1; i + 1 < server.pstates().size(); ++i) {
+        double step = server.pstates().at(i - 1).freq_mhz -
+                      server.pstates().at(i).freq_mhz;
+        EXPECT_DOUBLE_EQ(step, 200.0);
+    }
+}
+
+TEST(Machine, MachineByName)
+{
+    EXPECT_EQ(machineByName("BladeA").name(), "BladeA");
+    EXPECT_EQ(machineByName("ServerB").name(), "ServerB");
+    EXPECT_DEATH(machineByName("PDP11"), "unknown machine");
+}
+
+TEST(Machine, ExtremesOnly)
+{
+    auto two = bladeA().extremesOnly();
+    EXPECT_EQ(two.pstates().size(), 2u);
+    EXPECT_EQ(two.name(), "BladeA-2p");
+    EXPECT_DOUBLE_EQ(two.pstates().fastest().freq_mhz, 1000.0);
+    EXPECT_DOUBLE_EQ(two.pstates().slowest().freq_mhz, 533.0);
+    // Platform parameters carry over.
+    EXPECT_DOUBLE_EQ(two.offWatts(), bladeA().offWatts());
+}
+
+TEST(Machine, WithIdleScaled)
+{
+    auto half = bladeA().withIdleScaled(0.5);
+    for (size_t p = 0; p < half.pstates().size(); ++p) {
+        EXPECT_DOUBLE_EQ(half.pstates().at(p).idle_watts,
+                         bladeA().pstates().at(p).idle_watts * 0.5);
+        EXPECT_DOUBLE_EQ(half.pstates().at(p).dyn_watts,
+                         bladeA().pstates().at(p).dyn_watts);
+    }
+}
+
+TEST(MachineRegistry, StandardContainsBoth)
+{
+    auto reg = MachineRegistry::standard();
+    EXPECT_TRUE(reg.contains("BladeA"));
+    EXPECT_TRUE(reg.contains("ServerB"));
+    EXPECT_FALSE(reg.contains("Cray1"));
+    EXPECT_EQ(reg.get("BladeA")->name(), "BladeA");
+}
+
+TEST(MachineRegistry, GetUnknownDies)
+{
+    auto reg = MachineRegistry::standard();
+    EXPECT_DEATH(reg.get("Cray1"), "unknown machine");
+}
+
+TEST(MachineRegistry, SharedSpecIdentity)
+{
+    auto reg = MachineRegistry::standard();
+    EXPECT_EQ(reg.get("BladeA").get(), reg.get("BladeA").get());
+}
+
+TEST(MachineRegistry, AddReplaces)
+{
+    auto reg = MachineRegistry::standard();
+    reg.add(bladeA().withIdleScaled(0.5));
+    EXPECT_TRUE(reg.contains("BladeA-idleX"));
+}
+
+} // namespace

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Tests for the server power/performance model, including parameterized
+ * monotonicity properties over both reference machines — the assumptions
+ * the controllers' correctness rests on (Figure 5 "Models").
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "model/machine.h"
+#include "model/power_model.h"
+
+namespace {
+
+using nps::model::PowerModel;
+using nps::model::machineByName;
+
+TEST(PowerModel, ServedWorkCapsAtRelSpeed)
+{
+    PowerModel m(machineByName("BladeA").pstates());
+    EXPECT_DOUBLE_EQ(m.servedWork(0, 0.5), 0.5);
+    EXPECT_DOUBLE_EQ(m.servedWork(0, 1.5), 1.0);
+    // P4 of Blade A runs at 533/1000 of full speed.
+    EXPECT_DOUBLE_EQ(m.servedWork(4, 0.9), 0.533);
+}
+
+TEST(PowerModel, ServedWorkNegativeDemandDies)
+{
+    PowerModel m(machineByName("BladeA").pstates());
+    EXPECT_DEATH(m.servedWork(0, -0.1), "negative");
+}
+
+TEST(PowerModel, ApparentUtilSaturates)
+{
+    PowerModel m(machineByName("BladeA").pstates());
+    EXPECT_DOUBLE_EQ(m.apparentUtil(0, 0.4), 0.4);
+    EXPECT_DOUBLE_EQ(m.apparentUtil(4, 0.4), 0.4 / 0.533);
+    EXPECT_DOUBLE_EQ(m.apparentUtil(4, 0.9), 1.0);
+}
+
+TEST(PowerModel, RealUtilInvertsApparent)
+{
+    PowerModel m(machineByName("ServerB").pstates());
+    for (size_t p = 0; p < m.pstates().size(); ++p) {
+        double demand = 0.3;
+        double apparent = m.apparentUtil(p, demand);
+        if (apparent < 1.0) {
+            EXPECT_NEAR(m.realUtil(p, apparent), demand, 1e-12);
+        }
+    }
+}
+
+TEST(PowerModel, UtilForPowerInvertsPowerAt)
+{
+    PowerModel m(machineByName("BladeA").pstates());
+    for (size_t p = 0; p < m.pstates().size(); ++p) {
+        double watts = m.powerAt(p, 0.6);
+        EXPECT_NEAR(m.utilForPower(p, watts), 0.6, 1e-12);
+    }
+}
+
+TEST(PowerModel, UtilForPowerClamps)
+{
+    PowerModel m(machineByName("BladeA").pstates());
+    EXPECT_DOUBLE_EQ(m.utilForPower(0, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(m.utilForPower(0, 1e6), 1.0);
+}
+
+TEST(PowerModel, MaxPowerIsP0Peak)
+{
+    PowerModel m(machineByName("BladeA").pstates());
+    EXPECT_DOUBLE_EQ(m.maxPower(), m.powerAt(0, 1.0));
+}
+
+TEST(PowerModel, BestStateRespectsUtilLimit)
+{
+    PowerModel m(machineByName("BladeA").pstates());
+    size_t p = m.bestStateForDemand(0.2, 0.75);
+    EXPECT_LE(m.apparentUtil(p, 0.2), 0.75);
+    // At low demand the deepest state should win for Blade A.
+    EXPECT_EQ(p, m.pstates().slowestIndex());
+}
+
+TEST(PowerModel, BestStateFallsBackToP0)
+{
+    PowerModel m(machineByName("BladeA").pstates());
+    // Demand too high for any state to stay under the limit.
+    EXPECT_EQ(m.bestStateForDemand(0.95, 0.5), 0u);
+}
+
+TEST(PowerModel, MaxPowerSlopePositive)
+{
+    EXPECT_GT(PowerModel(machineByName("BladeA").pstates())
+                  .maxPowerSlope(), 0.0);
+    EXPECT_GT(PowerModel(machineByName("ServerB").pstates())
+                  .maxPowerSlope(), 0.0);
+}
+
+/**
+ * Parameterized monotonicity properties over both reference machines.
+ */
+class ModelMonotonicity : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    PowerModel model() { return PowerModel(machineByName(GetParam())
+                                               .pstates()); }
+};
+
+TEST_P(ModelMonotonicity, PowerIncreasesWithUtil)
+{
+    auto m = model();
+    for (size_t p = 0; p < m.pstates().size(); ++p) {
+        double prev = -1.0;
+        for (double u = 0.0; u <= 1.0; u += 0.1) {
+            double w = m.powerAt(p, u);
+            EXPECT_GE(w, prev);
+            prev = w;
+        }
+    }
+}
+
+TEST_P(ModelMonotonicity, DeeperStatesNeverCostMorePower)
+{
+    auto m = model();
+    for (size_t p = 1; p < m.pstates().size(); ++p) {
+        for (double u = 0.0; u <= 1.0; u += 0.1) {
+            EXPECT_LE(m.powerAt(p, u), m.powerAt(p - 1, u) + 1e-12)
+                << "state " << p << " util " << u;
+        }
+    }
+}
+
+TEST_P(ModelMonotonicity, PerfIncreasesWithFrequency)
+{
+    auto m = model();
+    for (size_t p = 1; p < m.pstates().size(); ++p)
+        EXPECT_LT(m.pstates().relSpeed(p), m.pstates().relSpeed(p - 1));
+}
+
+TEST_P(ModelMonotonicity, ServedWorkMonotoneInDemand)
+{
+    auto m = model();
+    for (size_t p = 0; p < m.pstates().size(); ++p) {
+        double prev = -1.0;
+        for (double d = 0.0; d <= 2.0; d += 0.1) {
+            double s = m.servedWork(p, d);
+            EXPECT_GE(s, prev - 1e-12);
+            prev = s;
+        }
+    }
+}
+
+TEST_P(ModelMonotonicity, PowerForDemandMonotoneInDemand)
+{
+    auto m = model();
+    for (size_t p = 0; p < m.pstates().size(); ++p) {
+        double prev = -1.0;
+        for (double d = 0.0; d <= 1.5; d += 0.05) {
+            double w = m.powerForDemand(p, d);
+            EXPECT_GE(w, prev - 1e-12);
+            prev = w;
+        }
+    }
+}
+
+TEST_P(ModelMonotonicity, BestStateNeverBeatenByOtherState)
+{
+    auto m = model();
+    for (double d = 0.05; d <= 0.9; d += 0.05) {
+        size_t best = m.bestStateForDemand(d, 0.95);
+        double best_power = m.powerForDemand(best, d);
+        for (size_t p = 0; p < m.pstates().size(); ++p) {
+            if (m.apparentUtil(p, d) <= 0.95) {
+                EXPECT_GE(m.powerForDemand(p, d) + 1e-12, best_power);
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(ReferenceMachines, ModelMonotonicity,
+                         ::testing::Values("BladeA", "ServerB"));
+
+} // namespace

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Tests for P-state tables: invariants, quantization, and subsetting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/machine.h"
+#include "model/pstate.h"
+
+namespace {
+
+using nps::model::PState;
+using nps::model::PStateTable;
+
+PStateTable
+threeStates()
+{
+    return PStateTable({
+        {1000.0, 40.0, 50.0},
+        {800.0, 35.0, 45.0},
+        {500.0, 30.0, 40.0},
+    });
+}
+
+TEST(PState, PowerAt)
+{
+    PState s{1000.0, 40.0, 50.0};
+    EXPECT_DOUBLE_EQ(s.powerAt(0.0), 50.0);
+    EXPECT_DOUBLE_EQ(s.powerAt(1.0), 90.0);
+    EXPECT_DOUBLE_EQ(s.powerAt(0.5), 70.0);
+    EXPECT_DOUBLE_EQ(s.peakPower(), 90.0);
+}
+
+TEST(PState, PowerAtOutOfRangeDies)
+{
+    PState s{1000.0, 40.0, 50.0};
+    EXPECT_DEATH(s.powerAt(-0.1), "utilization");
+    EXPECT_DEATH(s.powerAt(1.1), "utilization");
+}
+
+TEST(PStateTable, BasicAccessors)
+{
+    auto t = threeStates();
+    EXPECT_EQ(t.size(), 3u);
+    EXPECT_DOUBLE_EQ(t.fastest().freq_mhz, 1000.0);
+    EXPECT_DOUBLE_EQ(t.slowest().freq_mhz, 500.0);
+    EXPECT_EQ(t.slowestIndex(), 2u);
+    EXPECT_DOUBLE_EQ(t.at(1).freq_mhz, 800.0);
+}
+
+TEST(PStateTable, AtOutOfRangeDies)
+{
+    auto t = threeStates();
+    EXPECT_DEATH(t.at(3), "out of range");
+}
+
+TEST(PStateTable, EmptyDies)
+{
+    EXPECT_DEATH(PStateTable({}), "empty");
+}
+
+TEST(PStateTable, NonDecreasingFrequencyDies)
+{
+    EXPECT_DEATH(PStateTable({{1000.0, 40.0, 50.0},
+                              {1000.0, 35.0, 45.0}}),
+                 "strictly decrease");
+}
+
+TEST(PStateTable, IncreasingPeakPowerDies)
+{
+    EXPECT_DEATH(PStateTable({{1000.0, 40.0, 50.0},
+                              {800.0, 60.0, 50.0}}),
+                 "peak power");
+}
+
+TEST(PStateTable, IncreasingIdlePowerDies)
+{
+    EXPECT_DEATH(PStateTable({{1000.0, 40.0, 50.0},
+                              {800.0, 20.0, 55.0}}),
+                 "idle power");
+}
+
+TEST(PStateTable, QuantizeUpPrefersCoveringState)
+{
+    auto t = threeStates();
+    EXPECT_EQ(t.quantizeUp(900.0), 0u);   // needs >= 900 -> 1000
+    EXPECT_EQ(t.quantizeUp(800.0), 1u);   // exactly 800
+    EXPECT_EQ(t.quantizeUp(700.0), 1u);   // 800 covers 700
+    EXPECT_EQ(t.quantizeUp(500.0), 2u);
+    EXPECT_EQ(t.quantizeUp(100.0), 2u);   // clamps to slowest
+    EXPECT_EQ(t.quantizeUp(2000.0), 0u);  // clamps to fastest
+}
+
+TEST(PStateTable, QuantizeNearest)
+{
+    auto t = threeStates();
+    EXPECT_EQ(t.quantizeNearest(990.0), 0u);
+    EXPECT_EQ(t.quantizeNearest(810.0), 1u);
+    EXPECT_EQ(t.quantizeNearest(600.0), 2u);
+    EXPECT_EQ(t.quantizeNearest(651.0), 1u);
+}
+
+TEST(PStateTable, RelSpeed)
+{
+    auto t = threeStates();
+    EXPECT_DOUBLE_EQ(t.relSpeed(0), 1.0);
+    EXPECT_DOUBLE_EQ(t.relSpeed(1), 0.8);
+    EXPECT_DOUBLE_EQ(t.relSpeed(2), 0.5);
+}
+
+TEST(PStateTable, Subset)
+{
+    auto sub = threeStates().subset({0, 2});
+    EXPECT_EQ(sub.size(), 2u);
+    EXPECT_DOUBLE_EQ(sub.at(1).freq_mhz, 500.0);
+}
+
+TEST(PStateTable, SubsetBadIndicesDie)
+{
+    auto t = threeStates();
+    EXPECT_DEATH(t.subset({}), "empty");
+    EXPECT_DEATH(t.subset({0, 5}), "out of range");
+    EXPECT_DEATH(t.subset({1, 1}), "increase");
+    EXPECT_DEATH(t.subset({2, 0}), "increase");
+}
+
+TEST(PStateTable, ExtremesOnly)
+{
+    auto two = threeStates().extremesOnly();
+    EXPECT_EQ(two.size(), 2u);
+    EXPECT_DOUBLE_EQ(two.fastest().freq_mhz, 1000.0);
+    EXPECT_DOUBLE_EQ(two.slowest().freq_mhz, 500.0);
+}
+
+TEST(PStateTable, ExtremesOnlyOfTwoIsIdentity)
+{
+    auto two = threeStates().extremesOnly();
+    auto again = two.extremesOnly();
+    EXPECT_EQ(again.size(), 2u);
+}
+
+TEST(PStateTable, ReferenceMachinesSatisfyInvariants)
+{
+    // Constructing them at all proves the invariants; spot-check shape.
+    auto blade = nps::model::bladeA();
+    auto server = nps::model::serverB();
+    EXPECT_EQ(blade.pstates().size(), 5u);
+    EXPECT_EQ(server.pstates().size(), 6u);
+    EXPECT_DOUBLE_EQ(blade.pstates().fastest().freq_mhz, 1000.0);
+    EXPECT_DOUBLE_EQ(server.pstates().fastest().freq_mhz, 2600.0);
+}
+
+} // namespace

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Tests for the cooling substrate: the CRAC COP curve, zone thermal
+ * dynamics, extraction clamping, and the redline latch.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/cooling.h"
+
+namespace {
+
+using namespace nps::sim;
+
+CoolingZoneParams
+smallParams()
+{
+    CoolingZoneParams p;
+    p.thermal_mass = 100.0;
+    p.crac_capacity = 5000.0;
+    return p;
+}
+
+TEST(CracCop, KnownCurveValues)
+{
+    // COP(T) = 0.0068 T^2 + 0.0008 T + 0.458 (the HP CRAC curve).
+    EXPECT_NEAR(cracCop(15.0), 0.0068 * 225.0 + 0.012 + 0.458, 1e-12);
+    EXPECT_NEAR(cracCop(0.0), 0.458, 1e-12);
+    // Warmer supply air is cheaper to provide.
+    EXPECT_GT(cracCop(25.0), cracCop(15.0));
+}
+
+TEST(CracCop, NegativeSupplyDies)
+{
+    EXPECT_DEATH(cracCop(-1.0), "negative");
+}
+
+TEST(CoolingZone, StartsAtAmbient)
+{
+    CoolingZone zone("z", {0, 1}, smallParams());
+    EXPECT_DOUBLE_EQ(zone.temperature(), 18.0);
+    EXPECT_FALSE(zone.redlined());
+    EXPECT_EQ(zone.members().size(), 2u);
+}
+
+TEST(CoolingZone, HeatsUpWithoutCooling)
+{
+    CoolingZone zone("z", {0}, smallParams());
+    double prev = zone.temperature();
+    for (int i = 0; i < 20; ++i) {
+        zone.step(500.0);
+        EXPECT_GT(zone.temperature(), prev);
+        prev = zone.temperature();
+    }
+}
+
+TEST(CoolingZone, ExtractionBalancesHeat)
+{
+    auto p = smallParams();
+    CoolingZone zone("z", {0}, p);
+    // Let it heat, then extract exactly the incoming heat: temperature
+    // must decay towards ambient via leakage.
+    for (int i = 0; i < 50; ++i)
+        zone.step(800.0);
+    double hot = zone.temperature();
+    zone.setExtraction(800.0);
+    for (int i = 0; i < 400; ++i)
+        zone.step(800.0);
+    EXPECT_LT(zone.temperature(), hot);
+    EXPECT_NEAR(zone.temperature(), p.ambient_c, 0.5);
+}
+
+TEST(CoolingZone, SteadyStateMatchesRequiredExtraction)
+{
+    auto p = smallParams();
+    CoolingZone zone("z", {0}, p);
+    double target = 27.0;
+    double it = 900.0;
+    zone.setExtraction(zone.requiredExtraction(it, target));
+    for (int i = 0; i < 3000; ++i)
+        zone.step(it);
+    EXPECT_NEAR(zone.temperature(), target, 0.5);
+}
+
+TEST(CoolingZone, ExtractionClampedToCapacity)
+{
+    auto p = smallParams();
+    CoolingZone zone("z", {0}, p);
+    zone.setExtraction(1e9);
+    EXPECT_DOUBLE_EQ(zone.extraction(), p.crac_capacity);
+    zone.setExtraction(-5.0);
+    EXPECT_DOUBLE_EQ(zone.extraction(), 0.0);
+}
+
+TEST(CoolingZone, CannotCoolBelowAmbient)
+{
+    CoolingZone zone("z", {0}, smallParams());
+    zone.setExtraction(5000.0);
+    for (int i = 0; i < 200; ++i)
+        zone.step(100.0);
+    EXPECT_GE(zone.temperature(), smallParams().ambient_c - 1e-9);
+    // And the CRAC only pays for the heat actually there.
+    EXPECT_LE(zone.heatRemoved(), 100.0 + 1e-9);
+}
+
+TEST(CoolingZone, ElectricFollowsCop)
+{
+    CoolingZone zone("z", {0}, smallParams());
+    for (int i = 0; i < 50; ++i)
+        zone.step(1000.0);  // warm it up first
+    zone.setExtraction(1000.0);
+    zone.step(1000.0);
+    EXPECT_NEAR(zone.cracElectric(),
+                1000.0 / cracCop(smallParams().supply_c), 1e-9);
+}
+
+TEST(CoolingZone, RedlineLatches)
+{
+    auto p = smallParams();
+    p.redline_c = 30.0;
+    CoolingZone zone("z", {0}, p);
+    for (int i = 0; i < 500 && !zone.redlined(); ++i)
+        zone.step(3000.0);
+    EXPECT_TRUE(zone.redlined());
+    // Cooling afterwards does not clear the latch.
+    zone.setExtraction(5000.0);
+    for (int i = 0; i < 500; ++i)
+        zone.step(0.0);
+    EXPECT_TRUE(zone.redlined());
+}
+
+TEST(CoolingZone, BadParamsDie)
+{
+    EXPECT_DEATH(CoolingZone("z", {}, smallParams()), "no members");
+    auto p = smallParams();
+    p.thermal_mass = 0.0;
+    EXPECT_DEATH(CoolingZone("z", {0}, p), "thermal mass");
+    auto q = smallParams();
+    q.crac_capacity = 0.0;
+    EXPECT_DEATH(CoolingZone("z", {0}, q), "CRAC capacity");
+    auto r = smallParams();
+    r.leak_per_tick = 1.0;
+    EXPECT_DEATH(CoolingZone("z", {0}, r), "leak");
+}
+
+TEST(CoolingZone, NegativeItPowerPanics)
+{
+    CoolingZone zone("z", {0}, smallParams());
+    EXPECT_DEATH(zone.step(-1.0), "negative IT power");
+}
+
+} // namespace

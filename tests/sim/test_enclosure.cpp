@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Tests for the Enclosure grouping type.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/enclosure.h"
+
+namespace {
+
+using nps::sim::Enclosure;
+
+TEST(Enclosure, Basics)
+{
+    Enclosure e(2, "enc2", {4, 5, 6});
+    EXPECT_EQ(e.id(), 2u);
+    EXPECT_EQ(e.name(), "enc2");
+    EXPECT_EQ(e.size(), 3u);
+    EXPECT_EQ(e.members()[1], 5u);
+}
+
+TEST(Enclosure, Contains)
+{
+    Enclosure e(0, "e", {1, 3});
+    EXPECT_TRUE(e.contains(1));
+    EXPECT_TRUE(e.contains(3));
+    EXPECT_FALSE(e.contains(2));
+}
+
+TEST(Enclosure, EmptyDies)
+{
+    EXPECT_DEATH(Enclosure(0, "x", {}), "no members");
+}
+
+} // namespace

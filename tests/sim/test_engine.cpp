@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Tests for the discrete-time engine: scheduling order, period handling,
+ * the no-actuation-at-tick-0 rule, and observe() delivery.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/fixtures.h"
+#include "sim/engine.h"
+
+namespace {
+
+using namespace nps::sim;
+
+/** Records every step and observation it receives. */
+class ProbeActor : public Actor
+{
+  public:
+    ProbeActor(std::string name, unsigned period,
+               std::vector<std::string> *log)
+        : name_(std::move(name)), period_(period), log_(log)
+    {
+    }
+
+    const std::string &name() const override { return name_; }
+    unsigned period() const override { return period_; }
+
+    void
+    observe(size_t tick) override
+    {
+        (void)tick;
+        ++observations;
+    }
+
+    void
+    step(size_t tick) override
+    {
+        log_->push_back(name_ + "@" + std::to_string(tick));
+        steps.push_back(tick);
+    }
+
+    std::vector<size_t> steps;
+    unsigned observations = 0;
+
+  private:
+    std::string name_;
+    unsigned period_;
+    std::vector<std::string> *log_;
+};
+
+class EngineTest : public ::testing::Test
+{
+  protected:
+    EngineTest() : cluster_(nps_test::smallCluster()), metrics_(),
+                   engine_(cluster_, metrics_)
+    {
+    }
+
+    Cluster cluster_;
+    MetricsCollector metrics_;
+    Engine engine_;
+    std::vector<std::string> log_;
+};
+
+TEST_F(EngineTest, NoStepsAtTickZero)
+{
+    auto a = std::make_shared<ProbeActor>("a", 1, &log_);
+    engine_.addActor(a);
+    engine_.run(1);
+    EXPECT_TRUE(a->steps.empty());
+    EXPECT_EQ(a->observations, 1u);
+    EXPECT_EQ(metrics_.summary().ticks, 1u);
+}
+
+TEST_F(EngineTest, PeriodsRespected)
+{
+    auto fast = std::make_shared<ProbeActor>("fast", 1, &log_);
+    auto slow = std::make_shared<ProbeActor>("slow", 5, &log_);
+    engine_.addActor(fast);
+    engine_.addActor(slow);
+    engine_.run(11);
+    EXPECT_EQ(fast->steps.size(), 10u);  // ticks 1..10
+    ASSERT_EQ(slow->steps.size(), 2u);   // ticks 5 and 10
+    EXPECT_EQ(slow->steps[0], 5u);
+    EXPECT_EQ(slow->steps[1], 10u);
+    EXPECT_EQ(fast->observations, 11u);
+}
+
+TEST_F(EngineTest, CoarseActorsStepFirst)
+{
+    auto fast = std::make_shared<ProbeActor>("fast", 1, &log_);
+    auto slow = std::make_shared<ProbeActor>("slow", 10, &log_);
+    // Insert the fine one first; order must still be coarse-first.
+    engine_.addActor(fast);
+    engine_.addActor(slow);
+    engine_.run(11);
+    auto slow_pos = std::find(log_.begin(), log_.end(), "slow@10");
+    auto fast_pos = std::find(log_.begin(), log_.end(), "fast@10");
+    ASSERT_NE(slow_pos, log_.end());
+    ASSERT_NE(fast_pos, log_.end());
+    EXPECT_LT(slow_pos - log_.begin(), fast_pos - log_.begin());
+}
+
+TEST_F(EngineTest, EqualPeriodsKeepInsertionOrder)
+{
+    auto first = std::make_shared<ProbeActor>("first", 2, &log_);
+    auto second = std::make_shared<ProbeActor>("second", 2, &log_);
+    engine_.addActor(first);
+    engine_.addActor(second);
+    engine_.run(3);
+    ASSERT_EQ(log_.size(), 2u);
+    EXPECT_EQ(log_[0], "first@2");
+    EXPECT_EQ(log_[1], "second@2");
+}
+
+TEST_F(EngineTest, NowAdvancesAcrossRuns)
+{
+    auto a = std::make_shared<ProbeActor>("a", 3, &log_);
+    engine_.addActor(a);
+    engine_.run(4);  // ticks 0..3, step at 3
+    EXPECT_EQ(engine_.now(), 4u);
+    engine_.run(3);  // ticks 4..6, step at 6
+    EXPECT_EQ(engine_.now(), 7u);
+    ASSERT_EQ(a->steps.size(), 2u);
+    EXPECT_EQ(a->steps[1], 6u);
+}
+
+TEST_F(EngineTest, MetricsRecordedEveryTick)
+{
+    engine_.run(17);
+    EXPECT_EQ(metrics_.summary().ticks, 17u);
+}
+
+TEST_F(EngineTest, NullActorDies)
+{
+    EXPECT_DEATH(engine_.addActor(nullptr), "null actor");
+}
+
+TEST_F(EngineTest, ZeroPeriodDies)
+{
+    auto a = std::make_shared<ProbeActor>("z", 0, &log_);
+    EXPECT_DEATH(engine_.addActor(a), "zero period");
+}
+
+} // namespace

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Tests for the time-series Recorder.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "common/fixtures.h"
+#include "sim/recorder.h"
+#include "util/csv.h"
+
+namespace {
+
+using namespace nps::sim;
+
+class RecorderTest : public ::testing::Test
+{
+  protected:
+    RecorderTest() : cluster_(nps_test::smallCluster(0.3)) {}
+
+    /** Run the cluster with the recorder attached, n ticks. */
+    void
+    run(Recorder &rec, size_t n)
+    {
+        MetricsCollector metrics;
+        Engine engine(cluster_, metrics);
+        // Hold by non-owning alias: the engine wants shared_ptr.
+        engine.addActor(std::shared_ptr<Actor>(&rec,
+                                               [](Actor *) {}));
+        engine.run(n);
+        // One extra observe so the final evaluated tick is sampled too.
+        rec.observe(n);
+    }
+
+    Cluster cluster_;
+};
+
+TEST_F(RecorderTest, RecordsEveryEvaluatedTick)
+{
+    Recorder rec(cluster_, {});
+    run(rec, 10);
+    EXPECT_EQ(rec.samples(), 10u);
+    EXPECT_EQ(rec.ticks().front(), 0u);
+    EXPECT_EQ(rec.ticks().back(), 9u);
+    EXPECT_EQ(rec.groupPower().size(), 10u);
+    EXPECT_GT(rec.groupPower()[0], 0.0);
+}
+
+TEST_F(RecorderTest, SignalsMatchClusterState)
+{
+    Recorder rec(cluster_, {});
+    run(rec, 5);
+    // Flat demand: the last sample equals the live values.
+    EXPECT_DOUBLE_EQ(rec.groupPower().back(),
+                     cluster_.lastTick().total_power);
+    for (const auto &srv : cluster_.servers()) {
+        EXPECT_DOUBLE_EQ(rec.serverPower(srv.id()).back(),
+                         srv.lastPower());
+        EXPECT_DOUBLE_EQ(rec.serverUtil(srv.id()).back(),
+                         srv.lastApparentUtil());
+        EXPECT_EQ(rec.serverPState(srv.id()).back(), 0);
+    }
+    EXPECT_DOUBLE_EQ(rec.enclosurePower(0).back(),
+                     cluster_.lastEnclosurePower(0));
+}
+
+TEST_F(RecorderTest, StrideSkipsTicks)
+{
+    Recorder::Options opts;
+    opts.stride = 4;
+    Recorder rec(cluster_, opts);
+    run(rec, 12);
+    ASSERT_EQ(rec.samples(), 3u);
+    EXPECT_EQ(rec.ticks()[0], 0u);
+    EXPECT_EQ(rec.ticks()[1], 4u);
+    EXPECT_EQ(rec.ticks()[2], 8u);
+}
+
+TEST_F(RecorderTest, OffServerRecordedAsMinusOne)
+{
+    cluster_.placeVm(5, 4);
+    cluster_.server(5).powerOff();
+    Recorder rec(cluster_, {});
+    run(rec, 3);
+    EXPECT_EQ(rec.serverPState(5).back(), -1);
+    EXPECT_DOUBLE_EQ(rec.serverPower(5).back(),
+                     cluster_.server(5).spec().offWatts());
+}
+
+TEST_F(RecorderTest, SelectiveCapture)
+{
+    Recorder::Options opts;
+    opts.servers = false;
+    opts.enclosures = false;
+    Recorder rec(cluster_, opts);
+    run(rec, 4);
+    EXPECT_EQ(rec.groupPower().size(), 4u);
+    EXPECT_DEATH(rec.serverPower(0), "not captured");
+    EXPECT_DEATH(rec.enclosurePower(0), "not captured");
+}
+
+TEST_F(RecorderTest, CsvRoundTripShape)
+{
+    Recorder rec(cluster_, {});
+    run(rec, 6);
+    std::ostringstream out;
+    rec.writeCsv(out);
+    auto doc = nps::util::parseCsv(out.str());
+    // Header + 6 samples.
+    ASSERT_EQ(doc.numRows(), 7u);
+    // tick + 3 group + 1 enclosure + 6 servers x 3 signals.
+    EXPECT_EQ(doc.rows[0].size(), 1u + 3u + 1u + 18u);
+    EXPECT_EQ(doc.rows[0][0], "tick");
+    EXPECT_EQ(doc.rows[1][0], "0");
+    // Power columns parse as numbers.
+    EXPECT_GT(std::stod(doc.rows[1][1]), 0.0);
+}
+
+TEST_F(RecorderTest, ZeroStrideDies)
+{
+    Recorder::Options opts;
+    opts.stride = 0;
+    EXPECT_DEATH(Recorder(cluster_, opts), "stride");
+}
+
+TEST_F(RecorderTest, BadAccessorsPanic)
+{
+    Recorder rec(cluster_, {});
+    EXPECT_DEATH(rec.serverPower(99), "not captured");
+    EXPECT_DEATH(rec.serverUtil(99), "not captured");
+    EXPECT_DEATH(rec.serverPState(99), "not captured");
+}
+
+} // namespace

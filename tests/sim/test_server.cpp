@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Tests for the simulated server: service math, overheads, saturation,
+ * platform power states, and the sensor values controllers read.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/fixtures.h"
+#include "sim/server.h"
+#include "sim/vm.h"
+
+namespace {
+
+using namespace nps::sim;
+using nps::model::bladeA;
+
+class ServerTest : public ::testing::Test
+{
+  protected:
+    ServerTest()
+        : spec_(std::make_shared<const nps::model::MachineSpec>(bladeA())),
+          server_(0, spec_, 0.10, 0.10)
+    {
+    }
+
+    VmId
+    addVm(double util, size_t length = 32)
+    {
+        VmId id = static_cast<VmId>(vms_.size());
+        vms_.emplace_back(id, nps_test::flatTrace("vm", util, length));
+        server_.addVm(id);
+        return id;
+    }
+
+    std::shared_ptr<const nps::model::MachineSpec> spec_;
+    Server server_;
+    std::vector<VirtualMachine> vms_;
+};
+
+TEST_F(ServerTest, IdleServerBurnsIdlePower)
+{
+    auto tick = server_.evaluate(0, vms_);
+    EXPECT_DOUBLE_EQ(tick.power, spec_->model().idlePower(0));
+    EXPECT_DOUBLE_EQ(tick.apparent_util, 0.0);
+    EXPECT_DOUBLE_EQ(tick.demanded_useful, 0.0);
+}
+
+TEST_F(ServerTest, SingleVmWithOverhead)
+{
+    addVm(0.5);
+    auto tick = server_.evaluate(0, vms_);
+    // Load = 0.5 * 1.1 at P0.
+    EXPECT_NEAR(tick.apparent_util, 0.55, 1e-12);
+    EXPECT_NEAR(tick.power, spec_->model().powerAt(0, 0.55), 1e-12);
+    EXPECT_NEAR(tick.served_useful, 0.5, 1e-12);
+    EXPECT_NEAR(tick.demanded_useful, 0.5, 1e-12);
+    EXPECT_NEAR(vms_[0].lastServed(), 0.5, 1e-12);
+    EXPECT_NEAR(vms_[0].lastApparentShare(), 0.55, 1e-12);
+}
+
+TEST_F(ServerTest, SaturationLosesWork)
+{
+    addVm(0.6);
+    addVm(0.6);
+    // Total load = 1.2 * 1.1 = 1.32 > capacity 1.0 at P0.
+    auto tick = server_.evaluate(0, vms_);
+    EXPECT_DOUBLE_EQ(tick.apparent_util, 1.0);
+    double served_frac = 1.0 / 1.32;
+    EXPECT_NEAR(tick.served_useful, 1.2 * served_frac, 1e-12);
+    EXPECT_LT(tick.served_useful, tick.demanded_useful);
+    EXPECT_NEAR(vms_[0].lastServed(), 0.6 * served_frac, 1e-12);
+}
+
+TEST_F(ServerTest, ThrottledCapacityScales)
+{
+    addVm(0.4);
+    server_.setPState(4);  // 533 MHz -> capacity 0.533
+    auto tick = server_.evaluate(0, vms_);
+    // Load 0.44 vs capacity 0.533: apparent util = 0.44/0.533.
+    EXPECT_NEAR(tick.apparent_util, 0.44 / 0.533, 1e-12);
+    EXPECT_NEAR(tick.served_useful, 0.4, 1e-12);
+    // Saturate it.
+    vms_.clear();
+    server_.removeVm(0);
+    addVm(0.8);
+    auto tick2 = server_.evaluate(0, vms_);
+    EXPECT_DOUBLE_EQ(tick2.apparent_util, 1.0);
+    EXPECT_NEAR(tick2.served_useful, 0.8 * (0.533 / 0.88), 1e-12);
+}
+
+TEST_F(ServerTest, MigrationOverheadTaxesLoad)
+{
+    VmId id = addVm(0.5);
+    vms_[id].beginMigration(10);
+    auto tick = server_.evaluate(0, vms_);
+    // Load = 0.5 * (1 + 0.1 + 0.1) = 0.6.
+    EXPECT_NEAR(tick.apparent_util, 0.6, 1e-12);
+    // After the migration window the tax disappears.
+    auto tick2 = server_.evaluate(10, vms_);
+    EXPECT_NEAR(tick2.apparent_util, 0.55, 1e-12);
+}
+
+TEST_F(ServerTest, PowerOffAndBoot)
+{
+    EXPECT_TRUE(server_.isOn(0));
+    server_.powerOff();
+    EXPECT_EQ(server_.platformPower(0), PlatformPower::Off);
+    EXPECT_TRUE(server_.everOff());
+    auto tick = server_.evaluate(5, vms_);
+    EXPECT_DOUBLE_EQ(tick.power, spec_->offWatts());
+
+    server_.powerOn(10);
+    EXPECT_EQ(server_.platformPower(10), PlatformPower::Booting);
+    auto boot_tick = server_.evaluate(10, vms_);
+    EXPECT_DOUBLE_EQ(boot_tick.power, spec_->model().idlePower(0));
+    // Boot completes after bootTicks.
+    EXPECT_EQ(server_.platformPower(10 + spec_->bootTicks()),
+              PlatformPower::On);
+}
+
+TEST_F(ServerTest, BootingServesNothing)
+{
+    addVm(0.5);
+    // Force off is illegal with VMs; drain first.
+    server_.removeVm(0);
+    server_.powerOff();
+    server_.powerOn(0);
+    server_.addVm(0);
+    auto tick = server_.evaluate(1, vms_);
+    EXPECT_DOUBLE_EQ(tick.served_useful, 0.0);
+    EXPECT_GT(tick.demanded_useful, 0.0);
+    EXPECT_DOUBLE_EQ(vms_[0].lastServed(), 0.0);
+}
+
+TEST_F(ServerTest, PowerOffWithVmsPanics)
+{
+    addVm(0.5);
+    EXPECT_DEATH(server_.powerOff(), "powering off");
+}
+
+TEST_F(ServerTest, DoubleAddPanics)
+{
+    addVm(0.5);
+    EXPECT_DEATH(server_.addVm(0), "already hosted");
+}
+
+TEST_F(ServerTest, RemoveUnknownPanics)
+{
+    EXPECT_DEATH(server_.removeVm(3), "not hosted");
+}
+
+TEST_F(ServerTest, SetPStateOutOfRangePanics)
+{
+    EXPECT_DEATH(server_.setPState(5), "out of range");
+}
+
+TEST_F(ServerTest, FrequencyTracksPState)
+{
+    EXPECT_DOUBLE_EQ(server_.frequencyMhz(), 1000.0);
+    server_.setPState(2);
+    EXPECT_DOUBLE_EQ(server_.frequencyMhz(), 700.0);
+}
+
+TEST_F(ServerTest, MemLowPowerTrimsPowerAndCapacity)
+{
+    addVm(0.5);
+    server_.evaluate(0, vms_);
+    double base_power = server_.lastPower();
+    server_.setMemLowPower(true);
+    EXPECT_TRUE(server_.memLowPower());
+    auto tick = server_.evaluate(1, vms_);
+    EXPECT_LT(tick.power, base_power);
+    // Capacity shrank, so apparent utilization rose.
+    EXPECT_GT(tick.apparent_util, 0.55);
+}
+
+TEST_F(ServerTest, NegativeOverheadDies)
+{
+    EXPECT_DEATH(Server(1, spec_, -0.1, 0.1), "negative overhead");
+}
+
+TEST_F(ServerTest, NullSpecDies)
+{
+    EXPECT_DEATH(Server(1, nullptr, 0.1, 0.1), "null machine spec");
+}
+
+} // namespace

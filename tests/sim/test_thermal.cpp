@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Tests for the RC thermal model: first-order response, the failover
+ * latch, and the "bounded transient violations are safe" property that
+ * justifies thermal (as opposed to electrical) capping.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/thermal.h"
+
+namespace {
+
+using namespace nps::sim;
+
+TEST(Thermal, StartsAtAmbient)
+{
+    ThermalModel tm(ThermalParams{});
+    EXPECT_DOUBLE_EQ(tm.temperature(), 25.0);
+    EXPECT_FALSE(tm.failedOver());
+}
+
+TEST(Thermal, ApproachesSteadyState)
+{
+    ThermalParams p;
+    ThermalModel tm(p);
+    double watts = 80.0;
+    for (int i = 0; i < 2000; ++i)
+        tm.step(watts);
+    EXPECT_NEAR(tm.temperature(), tm.steadyState(watts), 0.01);
+    EXPECT_NEAR(tm.steadyState(watts),
+                p.ambient_c + watts * p.c_per_watt, 1e-12);
+}
+
+TEST(Thermal, FirstOrderResponseShape)
+{
+    ThermalParams p;
+    p.tau_ticks = 10.0;
+    ThermalModel tm(p);
+    // After tau steps the response covers ~63% of the gap.
+    double watts = 100.0;
+    for (int i = 0; i < 10; ++i)
+        tm.step(watts);
+    double target = tm.steadyState(watts);
+    double progress = (tm.temperature() - p.ambient_c) /
+                      (target - p.ambient_c);
+    EXPECT_NEAR(progress, 0.65, 0.05);
+}
+
+TEST(Thermal, SustainablePowerIsFailoverBoundary)
+{
+    ThermalParams p;
+    ThermalModel tm(p);
+    double safe = tm.sustainablePower();
+    EXPECT_NEAR(tm.steadyState(safe), p.failover_c, 1e-9);
+    // Slightly below: never fails.
+    ThermalModel under(p);
+    for (int i = 0; i < 5000; ++i)
+        under.step(safe * 0.98);
+    EXPECT_FALSE(under.failedOver());
+    // Slightly above: eventually fails.
+    ThermalModel over(p);
+    for (int i = 0; i < 5000; ++i)
+        over.step(safe * 1.05);
+    EXPECT_TRUE(over.failedOver());
+    EXPECT_GT(over.failoverTick(), 0u);
+}
+
+TEST(Thermal, BoundedTransientViolationsAreSafe)
+{
+    // The thermal-capping premise: short excursions above the
+    // sustainable power do not trip failover because heat integrates.
+    ThermalParams p;
+    ThermalModel tm(p);
+    double safe = tm.sustainablePower();
+    for (int cycle = 0; cycle < 50; ++cycle) {
+        for (int i = 0; i < 5; ++i)
+            tm.step(safe * 1.3);  // transient violation
+        for (int i = 0; i < 45; ++i)
+            tm.step(safe * 0.7);  // recovery
+    }
+    EXPECT_FALSE(tm.failedOver());
+}
+
+TEST(Thermal, SustainedViolationFailsOver)
+{
+    ThermalParams p;
+    ThermalModel tm(p);
+    double safe = tm.sustainablePower();
+    for (int i = 0; i < 1000 && !tm.failedOver(); ++i)
+        tm.step(safe * 1.3);
+    EXPECT_TRUE(tm.failedOver());
+}
+
+TEST(Thermal, FailoverLatches)
+{
+    ThermalParams p;
+    ThermalModel tm(p);
+    while (!tm.failedOver())
+        tm.step(tm.sustainablePower() * 2.0);
+    size_t at = tm.failoverTick();
+    // Cooling afterwards does not clear the latch.
+    for (int i = 0; i < 1000; ++i)
+        tm.step(0.0);
+    EXPECT_TRUE(tm.failedOver());
+    EXPECT_EQ(tm.failoverTick(), at);
+    EXPECT_LT(tm.temperature(), 30.0);
+}
+
+TEST(Thermal, NegativePowerPanics)
+{
+    ThermalModel tm(ThermalParams{});
+    EXPECT_DEATH(tm.step(-1.0), "negative power");
+}
+
+TEST(Thermal, BadParamsDie)
+{
+    ThermalParams p;
+    p.tau_ticks = 0.0;
+    EXPECT_DEATH(ThermalModel{p}, "time constant");
+    ThermalParams q;
+    q.c_per_watt = 0.0;
+    EXPECT_DEATH(ThermalModel{q}, "thermal resistance");
+}
+
+} // namespace

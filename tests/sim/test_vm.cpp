@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Tests for the VirtualMachine runtime state.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/fixtures.h"
+#include "sim/vm.h"
+
+namespace {
+
+using nps::sim::VirtualMachine;
+
+TEST(VirtualMachine, Basics)
+{
+    VirtualMachine vm(3, nps_test::flatTrace("t", 0.4, 8));
+    EXPECT_EQ(vm.id(), 3u);
+    EXPECT_DOUBLE_EQ(vm.demandAt(0), 0.4);
+    EXPECT_DOUBLE_EQ(vm.demandAt(100), 0.4);  // wraps
+}
+
+TEST(VirtualMachine, EmptyTraceDies)
+{
+    EXPECT_DEATH(VirtualMachine(0, nps::trace::UtilizationTrace{}),
+                 "empty trace");
+}
+
+TEST(VirtualMachine, MigrationWindow)
+{
+    VirtualMachine vm(0, nps_test::flatTrace("t", 0.4));
+    EXPECT_FALSE(vm.migrating(0));
+    vm.beginMigration(5);
+    EXPECT_TRUE(vm.migrating(0));
+    EXPECT_TRUE(vm.migrating(4));
+    EXPECT_FALSE(vm.migrating(5));
+    EXPECT_FALSE(vm.migrating(100));
+}
+
+TEST(VirtualMachine, RecordServed)
+{
+    VirtualMachine vm(0, nps_test::flatTrace("t", 0.4));
+    EXPECT_DOUBLE_EQ(vm.lastDemanded(), 0.0);
+    vm.recordServed(0.4, 0.3, 0.6);
+    EXPECT_DOUBLE_EQ(vm.lastDemanded(), 0.4);
+    EXPECT_DOUBLE_EQ(vm.lastServed(), 0.3);
+    EXPECT_DOUBLE_EQ(vm.lastApparentShare(), 0.6);
+}
+
+TEST(VirtualMachine, VariableTraceDemand)
+{
+    VirtualMachine vm(0, nps_test::squareTrace("sq", 0.1, 0.9, 4, 16));
+    EXPECT_DOUBLE_EQ(vm.demandAt(0), 0.1);
+    EXPECT_DOUBLE_EQ(vm.demandAt(4), 0.9);
+    EXPECT_DOUBLE_EQ(vm.demandAt(8), 0.1);
+}
+
+} // namespace

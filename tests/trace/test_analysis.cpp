@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Tests for trace analysis: autocorrelation, profiles, quantiles, and
+ * the data-driven spread-sigma suggestion.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "trace/analysis.h"
+#include "trace/generator.h"
+
+namespace {
+
+using namespace nps::trace;
+
+UtilizationTrace
+make(std::vector<double> v)
+{
+    return UtilizationTrace("t", WorkloadClass::WebServer, std::move(v));
+}
+
+UtilizationTrace
+sine(size_t length, size_t period, double base, double amp)
+{
+    std::vector<double> v(length);
+    for (size_t t = 0; t < length; ++t) {
+        v[t] = base + amp * std::sin(2.0 * M_PI *
+                                     static_cast<double>(t % period) /
+                                     static_cast<double>(period));
+    }
+    return make(std::move(v));
+}
+
+TEST(Autocorrelation, LagZeroIsOne)
+{
+    EXPECT_DOUBLE_EQ(autocorrelation(make({0.1, 0.5, 0.3}), 0), 1.0);
+}
+
+TEST(Autocorrelation, ConstantTraceIsZero)
+{
+    EXPECT_DOUBLE_EQ(autocorrelation(make(std::vector<double>(50, 0.4)),
+                                     5), 0.0);
+}
+
+TEST(Autocorrelation, PeriodicSignalPeaksAtPeriod)
+{
+    auto t = sine(1000, 100, 0.5, 0.2);
+    EXPECT_GT(autocorrelation(t, 100), 0.9);
+    EXPECT_LT(autocorrelation(t, 50), -0.8);  // half period: anti-phase
+}
+
+TEST(Autocorrelation, AlternatingSignalNegativeAtLagOne)
+{
+    std::vector<double> v;
+    for (int i = 0; i < 100; ++i)
+        v.push_back(i % 2 ? 0.8 : 0.2);
+    EXPECT_LT(autocorrelation(make(std::move(v)), 1), -0.9);
+}
+
+TEST(Autocorrelation, LagBeyondLengthIsZero)
+{
+    EXPECT_DOUBLE_EQ(autocorrelation(make({0.1, 0.2}), 5), 0.0);
+}
+
+TEST(TraceQuantileTest, KnownValues)
+{
+    std::vector<double> v;
+    for (int i = 1; i <= 100; ++i)
+        v.push_back(i / 100.0);
+    auto t = make(std::move(v));
+    EXPECT_NEAR(traceQuantile(t, 0.0), 0.01, 1e-12);
+    EXPECT_NEAR(traceQuantile(t, 1.0), 1.0, 1e-12);
+    EXPECT_NEAR(traceQuantile(t, 0.5), 0.505, 1e-9);
+}
+
+TEST(ProfileTrace, FlatTrace)
+{
+    auto p = profileTrace(make(std::vector<double>(200, 0.3)), 50);
+    EXPECT_DOUBLE_EQ(p.mean, 0.3);
+    EXPECT_DOUBLE_EQ(p.stddev, 0.0);
+    EXPECT_DOUBLE_EQ(p.peak, 0.3);
+    EXPECT_NEAR(p.peak_to_mean, 1.0, 1e-12);
+    EXPECT_DOUBLE_EQ(p.diurnal_strength, 0.0);
+}
+
+TEST(ProfileTrace, DiurnalTraceDetected)
+{
+    auto t = sine(1152, 288, 0.4, 0.15);
+    auto p = profileTrace(t, 288);
+    EXPECT_GT(p.diurnal_strength, 0.9);
+    EXPECT_NEAR(p.mean, 0.4, 0.01);
+    EXPECT_GT(p.peak_to_mean, 1.2);
+}
+
+TEST(ProfileTrace, GeneratedTracesHaveDiurnalStructure)
+{
+    GeneratorConfig cfg;
+    TraceGenerator gen(cfg);
+    auto t = gen.generate(1, 3,
+                          defaultProfile(WorkloadClass::RemoteDesktop));
+    auto p = profileTrace(t, cfg.ticks_per_day);
+    EXPECT_GT(p.diurnal_strength, 0.15);
+    EXPECT_GT(p.lag1_autocorr, 0.5);  // AR(1) persistence
+}
+
+TEST(ProfileTrace, EmptyDies)
+{
+    UtilizationTrace empty;
+    EXPECT_DEATH(profileTrace(empty, 10), "empty");
+}
+
+TEST(AggregateDemand, SumsTraces)
+{
+    auto agg = aggregateDemand({make({0.2, 0.4}), make({0.1, 0.1})});
+    EXPECT_DOUBLE_EQ(agg.at(0), 0.3);
+    EXPECT_DOUBLE_EQ(agg.at(1), 0.5);
+}
+
+TEST(AggregateDemand, SmoothsRelativeVariability)
+{
+    // Independent-ish traces aggregate to a relatively smoother total:
+    // coefficient of variation shrinks.
+    GeneratorConfig cfg;
+    cfg.trace_length = 1000;
+    TraceGenerator gen(cfg);
+    std::vector<UtilizationTrace> traces;
+    for (unsigned i = 0; i < 20; ++i) {
+        traces.push_back(gen.generate(
+            i % 9, i, defaultProfile(WorkloadClass::Database)));
+    }
+    auto agg = aggregateDemand(traces);
+    auto p_one = profileTrace(traces[0], 0);
+    auto p_agg = profileTrace(agg, 0);
+    EXPECT_LT(p_agg.stddev / p_agg.mean, p_one.stddev / p_one.mean);
+}
+
+TEST(SuggestedSpreadSigma, FlatIsZero)
+{
+    EXPECT_DOUBLE_EQ(
+        suggestedSpreadSigma(make(std::vector<double>(100, 0.4)), 0.95),
+        0.0);
+}
+
+TEST(SuggestedSpreadSigma, GaussianLikeIsNearExpected)
+{
+    // For the generator's AR(1)-dominated traces the 95th percentile
+    // sits roughly 1.3-2.2 sigmas above the mean.
+    GeneratorConfig cfg;
+    cfg.trace_length = 2880;
+    TraceGenerator gen(cfg);
+    auto t = gen.generate(0, 0, defaultProfile(WorkloadClass::WebServer));
+    double k = suggestedSpreadSigma(t, 0.95);
+    EXPECT_GT(k, 0.8);
+    EXPECT_LT(k, 3.0);
+}
+
+TEST(SuggestedSpreadSigma, BadQuantileDies)
+{
+    EXPECT_DEATH(suggestedSpreadSigma(make({0.1, 0.2}), 1.5), "out of");
+}
+
+} // namespace

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Tests for the synthetic enterprise trace generator: determinism,
+ * bounds, and the statistical envelope the paper describes ("relatively
+ * low utilization, 15-50% in most cases").
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "trace/generator.h"
+
+namespace {
+
+using namespace nps::trace;
+
+GeneratorConfig
+smallConfig()
+{
+    GeneratorConfig cfg;
+    cfg.trace_length = 576;
+    return cfg;
+}
+
+TEST(Generator, Deterministic)
+{
+    TraceGenerator gen(smallConfig());
+    auto a = gen.generate(3, 7, defaultProfile(WorkloadClass::WebServer));
+    auto b = gen.generate(3, 7, defaultProfile(WorkloadClass::WebServer));
+    ASSERT_EQ(a.length(), b.length());
+    for (size_t t = 0; t < a.length(); ++t)
+        EXPECT_DOUBLE_EQ(a.at(t), b.at(t));
+}
+
+TEST(Generator, DistinctServersDiffer)
+{
+    TraceGenerator gen(smallConfig());
+    auto a = gen.generate(3, 7, defaultProfile(WorkloadClass::WebServer));
+    auto b = gen.generate(3, 8, defaultProfile(WorkloadClass::WebServer));
+    int same = 0;
+    for (size_t t = 0; t < a.length(); ++t)
+        same += a.at(t) == b.at(t) ? 1 : 0;
+    EXPECT_LT(static_cast<double>(same), 0.1 * a.length());
+}
+
+TEST(Generator, SamplesWithinProfileBounds)
+{
+    TraceGenerator gen(smallConfig());
+    for (size_t c = 0; c < kNumWorkloadClasses; ++c) {
+        auto p = defaultProfile(static_cast<WorkloadClass>(c));
+        auto t = gen.generate(0, static_cast<unsigned>(c), p);
+        for (size_t i = 0; i < t.length(); ++i) {
+            EXPECT_GE(t.at(i), p.floor_util);
+            EXPECT_LE(t.at(i), p.ceil_util);
+        }
+    }
+}
+
+TEST(Generator, CampaignSizeAndNames)
+{
+    TraceGenerator gen(smallConfig());
+    auto all = gen.generateAll();
+    EXPECT_EQ(all.size(), 180u);
+    EXPECT_EQ(all[0].name().rfind("site0/", 0), 0u);
+    EXPECT_EQ(all[179].name().rfind("site8/", 0), 0u);
+    // Every trace is non-trivial.
+    for (const auto &t : all) {
+        EXPECT_EQ(t.length(), 576u);
+        EXPECT_GT(t.mean(), 0.0);
+    }
+}
+
+TEST(Generator, PopulationEnvelopeMatchesPaper)
+{
+    // "Most of our workload traces ... show relatively low utilization
+    // (15-50% in most cases)."
+    GeneratorConfig cfg;
+    TraceGenerator gen(cfg);
+    auto all = gen.generateAll();
+    int in_band = 0;
+    for (const auto &t : all)
+        in_band += (t.mean() >= 0.10 && t.mean() <= 0.55) ? 1 : 0;
+    EXPECT_GT(in_band, 150);  // "in most cases"
+    double pop_mean = 0.0;
+    for (const auto &t : all)
+        pop_mean += t.mean();
+    pop_mean /= static_cast<double>(all.size());
+    EXPECT_GT(pop_mean, 0.15);
+    EXPECT_LT(pop_mean, 0.40);
+}
+
+TEST(Generator, DiurnalPatternPresent)
+{
+    // A remote-desktop trace must show a business-hours hump: the mean
+    // over the "busy" half of the day differs from the "quiet" half.
+    GeneratorConfig cfg;
+    cfg.trace_length = cfg.ticks_per_day * 4;
+    TraceGenerator gen(cfg);
+    auto t = gen.generate(0, 0,
+                          defaultProfile(WorkloadClass::RemoteDesktop));
+    double half = static_cast<double>(cfg.ticks_per_day) / 2.0;
+    double first = 0.0, second = 0.0;
+    for (size_t i = 0; i < t.length(); ++i) {
+        if (i % cfg.ticks_per_day < half)
+            first += t.at(i);
+        else
+            second += t.at(i);
+    }
+    EXPECT_GT(std::fabs(first - second) / (first + second), 0.05);
+}
+
+TEST(Generator, ClassesHaveDistinctBaselines)
+{
+    auto db = defaultProfile(WorkloadClass::Database);
+    auto file = defaultProfile(WorkloadClass::FileServer);
+    EXPECT_GT(db.base_util, file.base_util);
+}
+
+TEST(Generator, InvalidConfigsDie)
+{
+    GeneratorConfig cfg;
+    cfg.trace_length = 0;
+    EXPECT_DEATH(TraceGenerator{cfg}, "zero trace length");
+    GeneratorConfig cfg2;
+    cfg2.ticks_per_day = 0;
+    EXPECT_DEATH(TraceGenerator{cfg2}, "zero ticks per day");
+    GeneratorConfig cfg3;
+    cfg3.num_enterprises = 0;
+    EXPECT_DEATH(TraceGenerator{cfg3}, "empty campaign");
+}
+
+TEST(Generator, SeedChangesCampaign)
+{
+    GeneratorConfig a = smallConfig();
+    GeneratorConfig b = smallConfig();
+    b.seed = a.seed + 1;
+    auto ta = TraceGenerator(a).generate(
+        0, 0, defaultProfile(WorkloadClass::WebServer));
+    auto tb = TraceGenerator(b).generate(
+        0, 0, defaultProfile(WorkloadClass::WebServer));
+    int same = 0;
+    for (size_t t = 0; t < ta.length(); ++t)
+        same += ta.at(t) == tb.at(t) ? 1 : 0;
+    EXPECT_LT(static_cast<double>(same), 0.1 * ta.length());
+}
+
+} // namespace

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Tests for the scenario trace builders.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "trace/scenarios.h"
+
+namespace {
+
+using namespace nps::trace;
+
+TEST(Scenarios, Flat)
+{
+    auto t = flatScenario("f", 0.4, 16);
+    EXPECT_EQ(t.length(), 16u);
+    EXPECT_DOUBLE_EQ(t.mean(), 0.4);
+    EXPECT_DOUBLE_EQ(t.peak(), 0.4);
+    EXPECT_DEATH(flatScenario("x", 0.4, 0), "zero length");
+}
+
+TEST(Scenarios, Square)
+{
+    auto t = squareScenario("s", 0.1, 0.9, 4, 16);
+    EXPECT_DOUBLE_EQ(t.at(0), 0.1);
+    EXPECT_DOUBLE_EQ(t.at(3), 0.1);
+    EXPECT_DOUBLE_EQ(t.at(4), 0.9);
+    EXPECT_DOUBLE_EQ(t.at(8), 0.1);
+    EXPECT_NEAR(t.mean(), 0.5, 1e-12);
+    EXPECT_DEATH(squareScenario("x", 0.1, 0.9, 0, 16), "zero");
+}
+
+TEST(Scenarios, Surge)
+{
+    auto t = surgeScenario("g", 0.2, 0.8, 30);
+    EXPECT_DOUBLE_EQ(t.at(0), 0.2);
+    EXPECT_DOUBLE_EQ(t.at(9), 0.2);
+    EXPECT_DOUBLE_EQ(t.at(10), 0.8);
+    EXPECT_DOUBLE_EQ(t.at(19), 0.8);
+    EXPECT_DOUBLE_EQ(t.at(20), 0.2);
+    EXPECT_DOUBLE_EQ(t.at(29), 0.2);
+}
+
+TEST(Scenarios, Ramp)
+{
+    auto base = flatScenario("b", 0.2, 10);
+    auto t = rampScenario(base, 100, 1.0, 3.0);
+    EXPECT_EQ(t.length(), 100u);
+    EXPECT_NEAR(t.at(0), 0.2, 1e-12);
+    EXPECT_NEAR(t.at(50), 0.2 * 2.0, 1e-12);
+    EXPECT_NEAR(t.at(99), 0.2 * (1.0 + 2.0 * 0.99), 1e-12);
+    EXPECT_EQ(t.name(), "b-ramp");
+    // Base shorter than the ramp: it wraps.
+    EXPECT_NO_FATAL_FAILURE(rampScenario(base, 1000, 0.5, 1.0));
+    EXPECT_DEATH(rampScenario(base, 100, -1.0, 2.0), "negative");
+}
+
+TEST(Scenarios, RampAll)
+{
+    std::vector<UtilizationTrace> base{flatScenario("a", 0.1, 8),
+                                       flatScenario("b", 0.3, 8)};
+    auto ramped = rampAll(base, 20, 1.0, 2.0);
+    ASSERT_EQ(ramped.size(), 2u);
+    EXPECT_NEAR(ramped[1].at(0), 0.3, 1e-12);
+    EXPECT_GT(ramped[1].at(19), 0.55);
+}
+
+TEST(Scenarios, FlashCrowd)
+{
+    auto t = flashCrowdScenario("fc", 0.2, 1.0, 50, 20.0, 200);
+    EXPECT_DOUBLE_EQ(t.at(0), 0.2);
+    EXPECT_DOUBLE_EQ(t.at(49), 0.2);
+    EXPECT_DOUBLE_EQ(t.at(50), 1.0);  // spike lands
+    // Exponential decay back towards the baseline.
+    EXPECT_GT(t.at(60), t.at(80));
+    EXPECT_NEAR(t.at(199), 0.2, 0.01);
+    // One time constant after the spike: ~63% of the way back down.
+    EXPECT_NEAR(t.at(70), 0.2 + 0.8 * std::exp(-1.0), 1e-9);
+    EXPECT_DEATH(flashCrowdScenario("x", 0.2, 1.0, 0, 0.0, 10),
+                 "decay");
+}
+
+} // namespace

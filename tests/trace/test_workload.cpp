@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Tests for the workload mixes of Section 4.3.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/workload.h"
+
+namespace {
+
+using namespace nps::trace;
+
+class WorkloadLibraryTest : public ::testing::Test
+{
+  protected:
+    static GeneratorConfig
+    config()
+    {
+        GeneratorConfig cfg;
+        cfg.trace_length = 576;
+        return cfg;
+    }
+
+    WorkloadLibrary lib_{config()};
+};
+
+TEST_F(WorkloadLibraryTest, MixSizes)
+{
+    EXPECT_EQ(lib_.mix(Mix::All180).size(), 180u);
+    for (Mix m : {Mix::Low60, Mix::Mid60, Mix::High60, Mix::HH60,
+                  Mix::HHH60}) {
+        EXPECT_EQ(lib_.mix(m).size(), 60u);
+    }
+}
+
+TEST_F(WorkloadLibraryTest, UtilizationOrdering)
+{
+    // The paper's activity ladder: 60L < 60M < 60H < 60HH < 60HHH.
+    double l = lib_.mixMeanUtil(Mix::Low60);
+    double m = lib_.mixMeanUtil(Mix::Mid60);
+    double h = lib_.mixMeanUtil(Mix::High60);
+    double hh = lib_.mixMeanUtil(Mix::HH60);
+    double hhh = lib_.mixMeanUtil(Mix::HHH60);
+    EXPECT_LT(l, m);
+    EXPECT_LT(m, h);
+    EXPECT_LT(h, hh);
+    EXPECT_LT(hh, hhh);
+}
+
+TEST_F(WorkloadLibraryTest, LowMixContainsLowestTraces)
+{
+    auto low = lib_.mix(Mix::Low60);
+    auto high = lib_.mix(Mix::High60);
+    double low_max = 0.0;
+    for (const auto &t : low)
+        low_max = std::max(low_max, t.mean());
+    double high_min = 1e9;
+    for (const auto &t : high)
+        high_min = std::min(high_min, t.mean());
+    EXPECT_LE(low_max, high_min);
+}
+
+TEST_F(WorkloadLibraryTest, StackedMixesAreStacks)
+{
+    // HH traces must exceed any single real trace's mean on average.
+    double hh = lib_.mixMeanUtil(Mix::HH60);
+    double h = lib_.mixMeanUtil(Mix::High60);
+    EXPECT_GT(hh, h * 1.3);
+}
+
+TEST_F(WorkloadLibraryTest, All180IsGenerationOrder)
+{
+    auto all = lib_.mix(Mix::All180);
+    EXPECT_EQ(all[0].name(), lib_.all()[0].name());
+    EXPECT_EQ(all[179].name(), lib_.all()[179].name());
+}
+
+TEST_F(WorkloadLibraryTest, MixNames)
+{
+    EXPECT_STREQ(mixName(Mix::All180), "180");
+    EXPECT_STREQ(mixName(Mix::Low60), "60L");
+    EXPECT_STREQ(mixName(Mix::HHH60), "60HHH");
+    EXPECT_EQ(allMixes().size(), 6u);
+    EXPECT_EQ(mixSize(Mix::All180), 180u);
+    EXPECT_EQ(mixSize(Mix::HH60), 60u);
+}
+
+TEST(WorkloadLibrary, AdoptedTraces)
+{
+    std::vector<UtilizationTrace> traces;
+    for (int i = 0; i < 3; ++i) {
+        traces.emplace_back("t" + std::to_string(i),
+                            WorkloadClass::Batch,
+                            std::vector<double>{0.1, 0.2});
+    }
+    WorkloadLibrary lib(traces);
+    EXPECT_EQ(lib.all().size(), 3u);
+    // 60-trace mixes need a full campaign.
+    EXPECT_DEATH(lib.mix(Mix::Low60), "full 180-trace campaign");
+}
+
+TEST(WorkloadLibrary, EmptyTraceSetDies)
+{
+    EXPECT_DEATH(WorkloadLibrary{std::vector<UtilizationTrace>{}},
+                 "empty trace set");
+}
+
+} // namespace

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Tests for the CSV reader/writer: RFC-4180 quoting, line endings, and
+ * write/parse round-trips.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/csv.h"
+
+namespace {
+
+using nps::util::CsvWriter;
+using nps::util::csvEscape;
+using nps::util::parseCsv;
+
+TEST(ParseCsv, SimpleRows)
+{
+    auto doc = parseCsv("a,b,c\n1,2,3\n");
+    ASSERT_EQ(doc.numRows(), 2u);
+    EXPECT_EQ(doc.rows[0], (std::vector<std::string>{"a", "b", "c"}));
+    EXPECT_EQ(doc.rows[1], (std::vector<std::string>{"1", "2", "3"}));
+}
+
+TEST(ParseCsv, MissingTrailingNewline)
+{
+    auto doc = parseCsv("a,b\n1,2");
+    ASSERT_EQ(doc.numRows(), 2u);
+    EXPECT_EQ(doc.rows[1][1], "2");
+}
+
+TEST(ParseCsv, CrLfEndings)
+{
+    auto doc = parseCsv("a,b\r\n1,2\r\n");
+    ASSERT_EQ(doc.numRows(), 2u);
+    EXPECT_EQ(doc.rows[0][0], "a");
+    EXPECT_EQ(doc.rows[1][1], "2");
+}
+
+TEST(ParseCsv, BareCrEndsRow)
+{
+    auto doc = parseCsv("a,b\r1,2");
+    ASSERT_EQ(doc.numRows(), 2u);
+}
+
+TEST(ParseCsv, QuotedFieldWithComma)
+{
+    auto doc = parseCsv("\"x,y\",z\n");
+    ASSERT_EQ(doc.numRows(), 1u);
+    EXPECT_EQ(doc.rows[0][0], "x,y");
+    EXPECT_EQ(doc.rows[0][1], "z");
+}
+
+TEST(ParseCsv, EscapedQuote)
+{
+    auto doc = parseCsv("\"he said \"\"hi\"\"\"\n");
+    ASSERT_EQ(doc.numRows(), 1u);
+    EXPECT_EQ(doc.rows[0][0], "he said \"hi\"");
+}
+
+TEST(ParseCsv, QuotedNewline)
+{
+    auto doc = parseCsv("\"a\nb\",c\n");
+    ASSERT_EQ(doc.numRows(), 1u);
+    EXPECT_EQ(doc.rows[0][0], "a\nb");
+}
+
+TEST(ParseCsv, EmptyFields)
+{
+    auto doc = parseCsv(",,\n");
+    ASSERT_EQ(doc.numRows(), 1u);
+    EXPECT_EQ(doc.rows[0].size(), 3u);
+    for (const auto &f : doc.rows[0])
+        EXPECT_TRUE(f.empty());
+}
+
+TEST(ParseCsv, EmptyDocument)
+{
+    EXPECT_EQ(parseCsv("").numRows(), 0u);
+}
+
+TEST(ParseCsv, UnterminatedQuoteDies)
+{
+    EXPECT_DEATH(parseCsv("\"abc"), "unterminated");
+}
+
+TEST(CsvEscape, PlainPassThrough)
+{
+    EXPECT_EQ(csvEscape("hello"), "hello");
+}
+
+TEST(CsvEscape, QuotesWhenNeeded)
+{
+    EXPECT_EQ(csvEscape("a,b"), "\"a,b\"");
+    EXPECT_EQ(csvEscape("a\"b"), "\"a\"\"b\"");
+    EXPECT_EQ(csvEscape("a\nb"), "\"a\nb\"");
+}
+
+TEST(CsvWriter, MixedTypes)
+{
+    std::ostringstream out;
+    CsvWriter w(out);
+    w.row("name", 3, 2.5);
+    EXPECT_EQ(out.str(), "name,3,2.5\n");
+}
+
+TEST(CsvWriter, RoundTrip)
+{
+    std::ostringstream out;
+    CsvWriter w(out);
+    w.row("x,y", "plain", "q\"q");
+    w.row(1, 2, 3);
+    auto doc = parseCsv(out.str());
+    ASSERT_EQ(doc.numRows(), 2u);
+    EXPECT_EQ(doc.rows[0][0], "x,y");
+    EXPECT_EQ(doc.rows[0][2], "q\"q");
+    EXPECT_EQ(doc.rows[1][0], "1");
+}
+
+TEST(CsvWriter, RowFromFields)
+{
+    std::ostringstream out;
+    CsvWriter w(out);
+    w.rowFromFields({"a", "b,c"});
+    EXPECT_EQ(out.str(), "a,\"b,c\"\n");
+}
+
+} // namespace

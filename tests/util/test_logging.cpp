@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Tests for logging: formatting, level gating, and the fatal/panic
+ * termination contracts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdarg>
+
+#include "util/logging.h"
+
+namespace {
+
+using namespace nps::util;
+
+std::string
+format(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string out = vformat(fmt, args);
+    va_end(args);
+    return out;
+}
+
+TEST(Logging, VFormatBasic)
+{
+    EXPECT_EQ(format("x=%d", 42), "x=42");
+    EXPECT_EQ(format("%s/%s", "a", "b"), "a/b");
+    EXPECT_EQ(format("%.2f", 3.14159), "3.14");
+}
+
+TEST(Logging, VFormatLongString)
+{
+    std::string big(10000, 'z');
+    EXPECT_EQ(format("%s", big.c_str()), big);
+}
+
+TEST(Logging, LevelRoundTrip)
+{
+    LogLevel prev = logLevel();
+    setLogLevel(LogLevel::Debug);
+    EXPECT_EQ(logLevel(), LogLevel::Debug);
+    setLogLevel(LogLevel::Error);
+    EXPECT_EQ(logLevel(), LogLevel::Error);
+    setLogLevel(prev);
+}
+
+TEST(LoggingDeath, FatalExits)
+{
+    EXPECT_DEATH(fatal("bad config %d", 7), "bad config 7");
+}
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_DEATH(panic("invariant %s broken", "x"), "invariant x broken");
+}
+
+} // namespace

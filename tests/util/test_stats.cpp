@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Tests for the statistics accumulators.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "util/stats.h"
+
+namespace {
+
+using nps::util::RunningStats;
+using nps::util::RateCounter;
+using nps::util::SampleSet;
+
+TEST(RunningStats, Empty)
+{
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleValue)
+{
+    RunningStats s;
+    s.add(5.0);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_EQ(s.mean(), 5.0);
+    EXPECT_EQ(s.min(), 5.0);
+    EXPECT_EQ(s.max(), 5.0);
+    EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownMoments)
+{
+    RunningStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+    EXPECT_EQ(s.min(), 2.0);
+    EXPECT_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesCombined)
+{
+    RunningStats a, b, all;
+    for (int i = 0; i < 50; ++i) {
+        double x = std::sin(i) * 10.0;
+        (i % 2 ? a : b).add(x);
+        all.add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+    EXPECT_EQ(a.min(), all.min());
+    EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty)
+{
+    RunningStats a, b;
+    a.add(1.0);
+    a.add(3.0);
+    RunningStats copy = a;
+    a.merge(b);
+    EXPECT_EQ(a.mean(), copy.mean());
+    b.merge(copy);
+    EXPECT_EQ(b.mean(), copy.mean());
+}
+
+TEST(RunningStats, Clear)
+{
+    RunningStats s;
+    s.add(1.0);
+    s.clear();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(RateCounter, Basics)
+{
+    RateCounter c;
+    EXPECT_EQ(c.rate(), 0.0);
+    c.record(true);
+    c.record(false);
+    c.record(false);
+    c.record(true);
+    EXPECT_EQ(c.total(), 4u);
+    EXPECT_EQ(c.hits(), 2u);
+    EXPECT_DOUBLE_EQ(c.rate(), 0.5);
+}
+
+TEST(RateCounter, MergeAndClear)
+{
+    RateCounter a, b;
+    a.record(true);
+    b.record(false);
+    b.record(false);
+    a.merge(b);
+    EXPECT_EQ(a.total(), 3u);
+    EXPECT_EQ(a.hits(), 1u);
+    a.clear();
+    EXPECT_EQ(a.total(), 0u);
+}
+
+TEST(SampleSet, QuantilesOfKnownSet)
+{
+    SampleSet s;
+    for (int i = 1; i <= 100; ++i)
+        s.add(static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(s.quantile(1.0), 100.0);
+    EXPECT_NEAR(s.quantile(0.5), 50.5, 1e-9);
+    EXPECT_NEAR(s.quantile(0.25), 25.75, 1e-9);
+    EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+}
+
+TEST(SampleSet, QuantileInterpolates)
+{
+    SampleSet s;
+    s.add(0.0);
+    s.add(10.0);
+    EXPECT_DOUBLE_EQ(s.quantile(0.5), 5.0);
+    EXPECT_DOUBLE_EQ(s.quantile(0.1), 1.0);
+}
+
+TEST(SampleSet, EmptyIsZero)
+{
+    SampleSet s;
+    EXPECT_EQ(s.quantile(0.5), 0.0);
+    EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(SampleSet, AddAfterQuantile)
+{
+    SampleSet s;
+    s.add(5.0);
+    EXPECT_EQ(s.quantile(0.5), 5.0);
+    s.add(1.0);
+    EXPECT_EQ(s.quantile(0.0), 1.0);
+}
+
+TEST(SampleSet, QuantileOutOfRangeDies)
+{
+    SampleSet s;
+    s.add(1.0);
+    EXPECT_DEATH(s.quantile(1.5), "quantile");
+}
+
+TEST(Helpers, Clamp)
+{
+    EXPECT_EQ(nps::util::clamp(5.0, 0.0, 10.0), 5.0);
+    EXPECT_EQ(nps::util::clamp(-1.0, 0.0, 10.0), 0.0);
+    EXPECT_EQ(nps::util::clamp(11.0, 0.0, 10.0), 10.0);
+}
+
+TEST(Helpers, ClampBadRangeDies)
+{
+    EXPECT_DEATH(nps::util::clamp(0.0, 2.0, 1.0), "clamp");
+}
+
+TEST(Helpers, Lerp)
+{
+    EXPECT_DOUBLE_EQ(nps::util::lerp(0.0, 10.0, 0.25), 2.5);
+    EXPECT_DOUBLE_EQ(nps::util::lerp(5.0, 5.0, 0.9), 5.0);
+}
+
+TEST(Helpers, NearlyEqual)
+{
+    EXPECT_TRUE(nps::util::nearlyEqual(1.0, 1.0 + 1e-12));
+    EXPECT_FALSE(nps::util::nearlyEqual(1.0, 1.1));
+    EXPECT_TRUE(nps::util::nearlyEqual(1.0, 1.05, 0.1));
+}
+
+} // namespace

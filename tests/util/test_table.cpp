@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Tests for the ASCII table renderer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/table.h"
+
+namespace {
+
+using nps::util::Table;
+
+TEST(Table, NumFormatting)
+{
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::num(3.0, 0), "3");
+    EXPECT_EQ(Table::num(-1.25, 1), "-1.2");
+}
+
+TEST(Table, PctFormatting)
+{
+    EXPECT_EQ(Table::pct(0.5), "50.0");
+    EXPECT_EQ(Table::pct(0.123, 2), "12.30");
+}
+
+TEST(Table, RendersCaptionHeaderAndRows)
+{
+    Table t("My Caption");
+    t.header({"col1", "longer col"});
+    t.row({"a", "b"});
+    t.row({"ccc", "d"});
+    std::ostringstream out;
+    t.print(out);
+    std::string s = out.str();
+    EXPECT_NE(s.find("My Caption"), std::string::npos);
+    EXPECT_NE(s.find("col1"), std::string::npos);
+    EXPECT_NE(s.find("ccc"), std::string::npos);
+}
+
+TEST(Table, ColumnsAligned)
+{
+    Table t("");
+    t.header({"a", "b"});
+    t.row({"xxxx", "y"});
+    std::ostringstream out;
+    t.print(out);
+    // Every rendered line of the table body has the same width.
+    std::istringstream in(out.str());
+    std::string line;
+    size_t width = 0;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        if (width == 0)
+            width = line.size();
+        EXPECT_EQ(line.size(), width);
+    }
+}
+
+TEST(Table, SeparatorRendersRule)
+{
+    Table t("");
+    t.header({"h"});
+    t.row({"1"});
+    t.separator();
+    t.row({"2"});
+    std::ostringstream out;
+    t.print(out);
+    // Expect at least 4 horizontal rules (top, under header, separator,
+    // bottom).
+    std::istringstream in(out.str());
+    std::string line;
+    int rules = 0;
+    while (std::getline(in, line))
+        rules += !line.empty() && line[0] == '+' ? 1 : 0;
+    EXPECT_GE(rules, 4);
+}
+
+TEST(Table, RaggedRowsHandled)
+{
+    Table t("");
+    t.header({"a", "b", "c"});
+    t.row({"only-one"});
+    std::ostringstream out;
+    t.print(out);
+    EXPECT_NE(out.str().find("only-one"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,260 @@
+/**
+ * @file
+ * npsim — command-line driver for the coordinated power-management
+ * simulator.
+ *
+ * Runs one scenario over one machine model and workload mix and prints
+ * the paper's metrics; optionally dumps the per-tick group power and
+ * performance series as CSV for external plotting.
+ *
+ * Examples:
+ *   npsim --scenario coordinated --machine BladeA --mix 180
+ *   npsim --scenario uncoordinated --mix 60HH --machine ServerB \
+ *         --ticks 5760 --budgets 25-20-15
+ *   npsim --scenario coordinated --series out.csv
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "core/config_io.h"
+#include "core/coordinator.h"
+#include "core/experiment.h"
+#include "core/scenarios.h"
+#include "sim/recorder.h"
+#include "util/csv.h"
+#include "util/logging.h"
+
+namespace {
+
+using namespace nps;
+
+struct Args
+{
+    std::string scenario = "coordinated";
+    std::string config_path;
+    bool dump_config = false;
+    std::string machine = "BladeA";
+    std::string mix = "180";
+    std::string budgets = "20-15-10";
+    std::string series_path;
+    std::string record_path;
+    unsigned record_stride = 10;
+    size_t ticks = 2880;
+    uint64_t seed = 20080301;
+    bool two_pstates = false;
+    bool no_power_off = false;
+    bool enable_cap = false;
+    bool enable_mem = false;
+};
+
+[[noreturn]] void
+usage()
+{
+    std::printf(
+        "usage: npsim [options]\n"
+        "  --scenario S   coordinated | uncoordinated | baseline |\n"
+        "                 novmc | vmconly | appr-util | no-feedback |\n"
+        "                 no-budget-limits   (default coordinated)\n"
+        "  --machine M    BladeA | ServerB   (default BladeA)\n"
+        "  --mix X        180 | 60L | 60M | 60H | 60HH | 60HHH\n"
+        "  --budgets B    20-15-10 | 25-20-15 | 30-25-20\n"
+        "  --ticks N      simulation horizon (default 2880)\n"
+        "  --seed N       trace-campaign seed (default 20080301)\n"
+        "  --two-pstates  reduce machines to the extreme P-states\n"
+        "  --no-power-off keep idle machines on\n"
+        "  --cap          enable the electrical cappers\n"
+        "  --mem          enable the memory managers\n"
+        "  --config FILE  load controller parameters from an INI file\n"
+        "                 (applied on top of the chosen scenario)\n"
+        "  --dump-config  print the effective configuration as INI\n"
+        "  --series FILE  dump per-tick power/perf series as CSV\n"
+        "  --record FILE  dump per-server/enclosure telemetry as CSV\n"
+        "  --record-stride N  telemetry sampling stride (default 10)\n");
+    std::exit(0);
+}
+
+Args
+parse(int argc, char **argv)
+{
+    Args args;
+    auto need = [&](int i) {
+        if (i + 1 >= argc)
+            util::fatal("%s needs a value", argv[i]);
+        return argv[i + 1];
+    };
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--scenario")
+            args.scenario = need(i), ++i;
+        else if (a == "--machine")
+            args.machine = need(i), ++i;
+        else if (a == "--mix")
+            args.mix = need(i), ++i;
+        else if (a == "--budgets")
+            args.budgets = need(i), ++i;
+        else if (a == "--ticks")
+            args.ticks = std::strtoull(need(i), nullptr, 10), ++i;
+        else if (a == "--seed")
+            args.seed = std::strtoull(need(i), nullptr, 10), ++i;
+        else if (a == "--config")
+            args.config_path = need(i), ++i;
+        else if (a == "--dump-config")
+            args.dump_config = true;
+        else if (a == "--series")
+            args.series_path = need(i), ++i;
+        else if (a == "--record")
+            args.record_path = need(i), ++i;
+        else if (a == "--record-stride")
+            args.record_stride = static_cast<unsigned>(
+                std::strtoul(need(i), nullptr, 10)), ++i;
+        else if (a == "--two-pstates")
+            args.two_pstates = true;
+        else if (a == "--no-power-off")
+            args.no_power_off = true;
+        else if (a == "--cap")
+            args.enable_cap = true;
+        else if (a == "--mem")
+            args.enable_mem = true;
+        else if (a == "--help" || a == "-h")
+            usage();
+        else
+            util::fatal("unknown argument '%s' (try --help)", a.c_str());
+    }
+    return args;
+}
+
+core::CoordinationConfig
+configFor(const Args &args)
+{
+    if (!args.config_path.empty())
+        return core::loadConfigFile(args.config_path);
+    core::CoordinationConfig cfg;
+    if (args.scenario == "coordinated")
+        cfg = core::coordinatedConfig();
+    else if (args.scenario == "uncoordinated")
+        cfg = core::uncoordinatedConfig();
+    else if (args.scenario == "baseline")
+        cfg = core::baselineConfig();
+    else if (args.scenario == "novmc")
+        cfg = core::scenarioConfig(core::Scenario::NoVmc);
+    else if (args.scenario == "vmconly")
+        cfg = core::scenarioConfig(core::Scenario::VmcOnly);
+    else if (args.scenario == "appr-util")
+        cfg = core::scenarioConfig(core::Scenario::CoordApparentUtil);
+    else if (args.scenario == "no-feedback")
+        cfg = core::scenarioConfig(core::Scenario::CoordNoFeedback);
+    else if (args.scenario == "no-budget-limits")
+        cfg = core::scenarioConfig(core::Scenario::CoordNoBudgetLimits);
+    else
+        util::fatal("unknown scenario '%s'", args.scenario.c_str());
+
+    if (args.budgets == "20-15-10")
+        cfg.budgets = sim::BudgetConfig::paper201510();
+    else if (args.budgets == "25-20-15")
+        cfg.budgets = sim::BudgetConfig::paper252015();
+    else if (args.budgets == "30-25-20")
+        cfg.budgets = sim::BudgetConfig::paper302520();
+    else
+        util::fatal("unknown budgets '%s'", args.budgets.c_str());
+
+    if (args.no_power_off)
+        cfg.vmc.allow_power_off = false;
+    cfg.enable_cap = args.enable_cap;
+    cfg.enable_mem = args.enable_mem;
+    return cfg;
+}
+
+trace::Mix
+mixFor(const std::string &name)
+{
+    for (auto mix : trace::allMixes()) {
+        if (name == trace::mixName(mix))
+            return mix;
+    }
+    util::fatal("unknown mix '%s'", name.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Args args = parse(argc, argv);
+    if (args.dump_config) {
+        std::printf("%s", core::configToIni(configFor(args)).toText()
+                              .c_str());
+        return 0;
+    }
+
+    trace::GeneratorConfig gen;
+    gen.seed = args.seed;
+    trace::WorkloadLibrary library(gen);
+    trace::Mix mix = mixFor(args.mix);
+
+    model::MachineSpec machine = model::machineByName(args.machine);
+    if (args.two_pstates)
+        machine = machine.extremesOnly();
+
+    sim::Topology topo = core::ExperimentRunner::topologyFor(mix);
+    bool keep_series = !args.series_path.empty();
+
+    core::Coordinator coordinator(configFor(args), topo, machine,
+                                  library.mix(mix), keep_series);
+    std::shared_ptr<sim::Recorder> recorder;
+    if (!args.record_path.empty()) {
+        sim::Recorder::Options opts;
+        opts.stride = args.record_stride;
+        recorder = std::make_shared<sim::Recorder>(coordinator.cluster(),
+                                                   opts);
+        coordinator.engine().addActor(recorder);
+    }
+    coordinator.run(args.ticks);
+    sim::MetricsSummary m = coordinator.summary();
+
+    core::Coordinator baseline(core::baselineConfig(), topo, machine,
+                               library.mix(mix));
+    baseline.run(args.ticks);
+
+    std::printf("scenario=%s machine=%s mix=%s budgets=%s ticks=%zu\n",
+                args.scenario.c_str(), machine.name().c_str(),
+                args.mix.c_str(), args.budgets.c_str(), args.ticks);
+    std::printf("power:  mean %.1f W, peak %.1f W, savings %.2f %%\n",
+                m.mean_power, m.peak_power,
+                sim::powerSavings(baseline.summary(), m) * 100.0);
+    std::printf("perf:   loss %.3f %%\n", m.perf_loss * 100.0);
+    std::printf("caps:   GM %.2f %%  EM %.2f %%  SM %.2f %% of ticks "
+                "violated\n", m.gm_violation * 100.0,
+                m.em_violation * 100.0, m.sm_violation * 100.0);
+    if (coordinator.vmc()) {
+        const auto &v = coordinator.vmc()->stats();
+        std::printf("vmc:    %lu epochs, %lu adoptions, %lu migrations, "
+                    "%lu infeasible\n", v.epochs, v.adoptions,
+                    v.migrations, v.infeasible);
+    }
+
+    if (keep_series) {
+        std::ofstream out(args.series_path, std::ios::binary);
+        if (!out)
+            nps::util::fatal("cannot open %s", args.series_path.c_str());
+        nps::util::CsvWriter w(out);
+        w.row("tick", "group_watts", "perf");
+        const auto &power = coordinator.metrics().powerSeries();
+        const auto &perf = coordinator.metrics().perfSeries();
+        for (size_t t = 0; t < power.size(); ++t)
+            w.row(static_cast<unsigned long>(t), power[t], perf[t]);
+        std::printf("series: wrote %zu rows to %s\n", power.size(),
+                    args.series_path.c_str());
+    }
+    if (recorder) {
+        std::ofstream out(args.record_path, std::ios::binary);
+        if (!out)
+            nps::util::fatal("cannot open %s", args.record_path.c_str());
+        recorder->writeCsv(out);
+        std::printf("record: wrote %zu samples to %s\n",
+                    recorder->samples(), args.record_path.c_str());
+    }
+    return 0;
+}
