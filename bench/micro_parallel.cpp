@@ -1,0 +1,118 @@
+/**
+ * @file
+ * google-benchmark scaling suite for the parallel tick engine: tick
+ * throughput of the fully coordinated stack across fleet size × worker
+ * threads, plus parallel trace-campaign generation.
+ *
+ * The determinism contract (docs/PARALLELISM.md) means every cell of
+ * the matrix computes identical results — only the wall clock moves.
+ * On a machine with 4+ cores, the 720- and 1800-server rows should show
+ * >= 2x throughput at 4 threads over 1 thread; on fewer cores the
+ * threads > ncores rows only measure pool overhead.
+ *
+ * Run:  build/bench/micro_parallel
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "core/coordinator.h"
+#include "core/scenarios.h"
+#include "trace/generator.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+using namespace nps;
+
+/** One trace per server, tiling the campaign's (site, server) grid so
+ * streams differ across the fleet. Cached per fleet size. */
+const std::vector<trace::UtilizationTrace> &
+fleetTraces(size_t servers)
+{
+    static std::map<size_t, std::vector<trace::UtilizationTrace>> cache;
+    auto it = cache.find(servers);
+    if (it != cache.end())
+        return it->second;
+    trace::GeneratorConfig cfg;
+    cfg.trace_length = 576;
+    trace::TraceGenerator gen(cfg);
+    std::vector<trace::UtilizationTrace> traces;
+    traces.reserve(servers);
+    for (size_t i = 0; i < servers; ++i) {
+        auto profile = trace::defaultProfile(
+            static_cast<trace::WorkloadClass>(i % 6));
+        traces.push_back(
+            gen.generate(static_cast<unsigned>(i / 20 % 9),
+                         static_cast<unsigned>(i % 20), profile));
+    }
+    return cache.emplace(servers, std::move(traces)).first->second;
+}
+
+sim::Topology
+fleetTopology(unsigned servers)
+{
+    return {servers, servers / 20, 20};
+}
+
+void
+BM_ParallelCoordinatedTick(benchmark::State &state)
+{
+    const unsigned servers = static_cast<unsigned>(state.range(0));
+    const unsigned threads = static_cast<unsigned>(state.range(1));
+    core::CoordinationConfig cfg = core::coordinatedConfig();
+    cfg.threads = threads;
+    core::Coordinator c(cfg, fleetTopology(servers), model::bladeA(),
+                        fleetTraces(servers));
+    for (auto _ : state)
+        c.run(1);
+    state.SetItemsProcessed(state.iterations() * servers);
+    state.counters["servers"] = servers;
+    state.counters["threads"] = threads;
+}
+BENCHMARK(BM_ParallelCoordinatedTick)
+    ->ArgsProduct({{180, 720, 1800}, {1, 2, 4, 8}})
+    ->ArgNames({"servers", "threads"});
+
+void
+BM_ParallelBaselineTick(benchmark::State &state)
+{
+    // The unmanaged stack isolates the sharded Cluster::evaluateTick
+    // from controller cost.
+    const unsigned servers = static_cast<unsigned>(state.range(0));
+    const unsigned threads = static_cast<unsigned>(state.range(1));
+    core::CoordinationConfig cfg = core::baselineConfig();
+    cfg.threads = threads;
+    core::Coordinator c(cfg, fleetTopology(servers), model::bladeA(),
+                        fleetTraces(servers));
+    for (auto _ : state)
+        c.run(1);
+    state.SetItemsProcessed(state.iterations() * servers);
+}
+BENCHMARK(BM_ParallelBaselineTick)
+    ->ArgsProduct({{720, 1800}, {1, 4}})
+    ->ArgNames({"servers", "threads"});
+
+void
+BM_ParallelCampaignGeneration(benchmark::State &state)
+{
+    const unsigned threads = static_cast<unsigned>(state.range(0));
+    trace::GeneratorConfig cfg;
+    cfg.trace_length = 288;
+    util::ThreadPool pool(threads);
+    for (auto _ : state) {
+        trace::TraceGenerator gen(cfg);
+        auto all = gen.generateAll(threads > 1 ? &pool : nullptr);
+        benchmark::DoNotOptimize(all);
+    }
+}
+BENCHMARK(BM_ParallelCampaignGeneration)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->ArgNames({"threads"});
+
+} // namespace

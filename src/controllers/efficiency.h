@@ -77,6 +77,11 @@ class EfficiencyController : public sim::Actor, public ctl::ControlLoop
     const std::string &name() const override { return name_; }
     unsigned period() const override { return params_.period; }
     void step(size_t tick) override;
+    /** Shardable: touches only its own server. */
+    long shardKey() const override
+    {
+        return static_cast<long>(server_.id());
+    }
     /// @}
 
     /** The continuous (pre-quantization) frequency state, MHz. */

@@ -56,6 +56,11 @@ class ElectricalCapper : public sim::Actor, public ViolationTracker
     unsigned period() const override { return params_.period; }
     void observe(size_t tick) override;
     void step(size_t tick) override;
+    /** Shardable: touches only its own server. */
+    long shardKey() const override
+    {
+        return static_cast<long>(server_.id());
+    }
     /// @}
 
     /** The electrical limit (watts). */

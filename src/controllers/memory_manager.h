@@ -51,6 +51,11 @@ class MemoryManager : public sim::Actor
     const std::string &name() const override { return name_; }
     unsigned period() const override { return params_.period; }
     void step(size_t tick) override;
+    /** Shardable: touches only its own server. */
+    long shardKey() const override
+    {
+        return static_cast<long>(server_.id());
+    }
     /// @}
 
     /** Active parameters. */

@@ -156,6 +156,11 @@ class ServerManager : public sim::Actor,
     unsigned period() const override { return params_.period; }
     void observe(size_t tick) override;
     void step(size_t tick) override;
+    /** Shardable: touches only its own server and its nested EC. */
+    long shardKey() const override
+    {
+        return static_cast<long>(server_.id());
+    }
     /// @}
 
     /// @name Budget channel (driven by the EM / GM)

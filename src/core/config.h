@@ -71,6 +71,14 @@ struct CoordinationConfig
     double alpha_m = 0.10;
 
     /**
+     * Worker threads for the tick engine: 0 picks the hardware
+     * concurrency, 1 forces the legacy single-threaded path. Purely a
+     * throughput knob — simulation results are bit-identical for every
+     * value (docs/PARALLELISM.md).
+     */
+    unsigned threads = 0;
+
+    /**
      * Validate invariants and resolve derived settings: propagates the
      * coordination switch and the overhead constants into the controller
      * parameter blocks, and downgrades the SM to DirectPState when no EC

@@ -72,7 +72,7 @@ schema()
         {"deployment",
          {"coordinated", "enable_ec", "enable_sm", "enable_em",
           "enable_gm", "enable_vmc", "enable_cap", "enable_mem",
-          "alpha_v", "alpha_m", "cap_limit_frac"}},
+          "alpha_v", "alpha_m", "cap_limit_frac", "threads"}},
         {"ec", {"lambda", "r_ref", "period", "objective",
                 "quantize_up"}},
         {"sm", {"beta", "r_ref_min", "r_ref_max", "period",
@@ -140,6 +140,9 @@ configFromIni(const IniDocument &ini)
     cfg.alpha_m = ini.getDouble("deployment", "alpha_m", cfg.alpha_m);
     cfg.cap_limit_frac = ini.getDouble("deployment", "cap_limit_frac",
                                        cfg.cap_limit_frac);
+    cfg.threads = static_cast<unsigned>(
+        ini.getInt("deployment", "threads",
+                   static_cast<long>(cfg.threads)));
 
     cfg.ec.lambda = ini.getDouble("ec", "lambda", cfg.ec.lambda);
     cfg.ec.r_ref = ini.getDouble("ec", "r_ref", cfg.ec.r_ref);
@@ -275,6 +278,7 @@ configToIni(const CoordinationConfig &cfg)
     ini.set("deployment", "alpha_v", numStr(cfg.alpha_v));
     ini.set("deployment", "alpha_m", numStr(cfg.alpha_m));
     ini.set("deployment", "cap_limit_frac", numStr(cfg.cap_limit_frac));
+    ini.set("deployment", "threads", std::to_string(cfg.threads));
 
     ini.set("ec", "lambda", numStr(cfg.ec.lambda));
     ini.set("ec", "r_ref", numStr(cfg.ec.r_ref));

@@ -18,6 +18,7 @@ Coordinator::Coordinator(const CoordinationConfig &config,
       metrics_(keep_series),
       engine_(std::make_unique<sim::Engine>(*cluster_, metrics_))
 {
+    engine_->setThreads(config_.threads);
     buildControllers();
 }
 
@@ -33,6 +34,7 @@ Coordinator::Coordinator(
       metrics_(keep_series),
       engine_(std::make_unique<sim::Engine>(*cluster_, metrics_))
 {
+    engine_->setThreads(config_.threads);
     buildControllers();
 }
 

@@ -1,8 +1,10 @@
 #include "sim/cluster.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace nps {
 namespace sim {
@@ -211,12 +213,32 @@ Cluster::capGrp() const
 }
 
 const ClusterTick &
-Cluster::evaluateTick(size_t tick)
+Cluster::evaluateTick(size_t tick, util::ThreadPool *pool)
 {
+    // Phase 1: evaluate every server. Evaluations are independent (each
+    // server reads and writes only itself and the disjoint set of VMs it
+    // hosts), so they fan out across contiguous server shards.
+    if (pool != nullptr && pool->size() > 1 && servers_.size() > 1) {
+        const size_t shards = pool->size();
+        const size_t block = (servers_.size() + shards - 1) / shards;
+        pool->parallelFor(shards, [&](size_t s) {
+            size_t lo = s * block;
+            size_t hi = std::min(lo + block, servers_.size());
+            for (size_t i = lo; i < hi; ++i)
+                servers_[i].evaluate(tick, vms_);
+        });
+    } else {
+        for (auto &srv : servers_)
+            srv.evaluate(tick, vms_);
+    }
+
+    // Phase 2: aggregate serially, in server-id order, on the calling
+    // thread — the identical left-fold either way, so parallel and
+    // serial runs produce bit-identical sums.
     last_ = ClusterTick{};
     last_.enclosure_power.assign(enclosures_.size(), 0.0);
-    for (auto &srv : servers_) {
-        const ServerTick &st = srv.evaluate(tick, vms_);
+    for (const auto &srv : servers_) {
+        const ServerTick &st = srv.last();
         last_.total_power += st.power;
         last_.demanded_useful += st.demanded_useful;
         last_.served_useful += st.served_useful;

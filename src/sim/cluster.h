@@ -22,6 +22,10 @@
 #include "trace/trace.h"
 
 namespace nps {
+namespace util {
+class ThreadPool;
+} // namespace util
+
 namespace sim {
 
 /**
@@ -200,8 +204,15 @@ class Cluster
     /**
      * Serve one tick on every server and aggregate. Also retained as
      * lastTick().
+     *
+     * When @p pool is non-null, the per-server evaluations (which are
+     * independent: each touches only its own server and its hosted VMs)
+     * fan out across contiguous server shards; the aggregation is always
+     * a serial fold over servers in id order, so the result is
+     * bit-identical for any pool size, including none.
      */
-    const ClusterTick &evaluateTick(size_t tick);
+    const ClusterTick &evaluateTick(size_t tick,
+                                    util::ThreadPool *pool = nullptr);
 
     /** The most recent evaluation (zeros before the first). */
     const ClusterTick &lastTick() const { return last_; }

@@ -3,14 +3,18 @@
 #include <algorithm>
 
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace nps {
 namespace sim {
 
 Engine::Engine(Cluster &cluster, MetricsCollector &metrics)
-    : cluster_(cluster), metrics_(metrics)
+    : cluster_(cluster), metrics_(metrics),
+      threads_(util::ThreadPool::hardwareThreads())
 {
 }
+
+Engine::~Engine() = default;
 
 void
 Engine::addActor(std::shared_ptr<Actor> actor)
@@ -21,16 +25,69 @@ Engine::addActor(std::shared_ptr<Actor> actor)
         util::fatal("Engine::addActor: actor %s has zero period",
                     actor->name().c_str());
     actors_.push_back(std::move(actor));
+    plan_dirty_ = true;
+}
+
+void
+Engine::setThreads(unsigned threads)
+{
+    unsigned resolved =
+        threads == 0 ? util::ThreadPool::hardwareThreads() : threads;
+    if (resolved == threads_)
+        return;
+    threads_ = resolved;
+    pool_.reset();
+    plan_dirty_ = true;
+}
+
+void
+Engine::preparePlan()
+{
+    if (!plan_dirty_)
+        return;
+
     // Coarse loops first so inner loops react to fresh outer references
-    // within the same tick.
+    // within the same tick. Sorting is deferred to here so that actor
+    // registration stays O(1) per insert at fleet scale.
     std::stable_sort(actors_.begin(), actors_.end(),
                      [](const auto &a, const auto &b) {
                          return a->period() > b->period();
                      });
+
+    if (threads_ > 1 && !pool_)
+        pool_ = std::make_unique<util::ThreadPool>(threads_);
+
+    // Static shard assignment: contiguous server-id blocks, one per
+    // worker. Keys beyond the server count land in the last shard.
+    plan_.clear();
+    const size_t shards = threads_;
+    const size_t servers = cluster_.numServers();
+    const size_t block =
+        std::max<size_t>(1, (servers + shards - 1) / shards);
+    for (size_t i = 0; i < actors_.size(); ++i) {
+        long key = actors_[i]->shardKey();
+        if (key < 0) {
+            Segment seg;
+            seg.shardable = false;
+            seg.actor = i;
+            plan_.push_back(std::move(seg));
+            continue;
+        }
+        if (plan_.empty() || !plan_.back().shardable) {
+            Segment seg;
+            seg.shardable = true;
+            seg.per_shard.resize(shards);
+            plan_.push_back(std::move(seg));
+        }
+        size_t shard = std::min(static_cast<size_t>(key) / block,
+                                shards - 1);
+        plan_.back().per_shard[shard].push_back(i);
+    }
+    plan_dirty_ = false;
 }
 
 void
-Engine::run(size_t ticks)
+Engine::runSerial(size_t ticks)
 {
     for (size_t i = 0; i < ticks; ++i) {
         size_t tick = now_;
@@ -46,6 +103,56 @@ Engine::run(size_t ticks)
         metrics_.record(cluster_, tick);
         ++now_;
     }
+}
+
+void
+Engine::runParallel(size_t ticks)
+{
+    util::ThreadPool &pool = *pool_;
+    for (size_t i = 0; i < ticks; ++i) {
+        size_t tick = now_;
+        for (const Segment &seg : plan_) {
+            if (!seg.shardable) {
+                actors_[seg.actor]->observe(tick);
+                continue;
+            }
+            pool.parallelFor(seg.per_shard.size(), [&](size_t s) {
+                for (size_t idx : seg.per_shard[s])
+                    actors_[idx]->observe(tick);
+            });
+        }
+        if (tick > 0) {
+            for (const Segment &seg : plan_) {
+                if (!seg.shardable) {
+                    Actor &actor = *actors_[seg.actor];
+                    if (tick % actor.period() == 0)
+                        actor.step(tick);
+                    continue;
+                }
+                pool.parallelFor(seg.per_shard.size(), [&](size_t s) {
+                    for (size_t idx : seg.per_shard[s]) {
+                        Actor &actor = *actors_[idx];
+                        if (tick % actor.period() == 0)
+                            actor.step(tick);
+                    }
+                });
+            }
+        }
+        cluster_.evaluateTick(tick, &pool);
+        metrics_.record(cluster_, tick);
+        ++now_;
+    }
+}
+
+void
+Engine::run(size_t ticks)
+{
+    preparePlan();
+    if (threads_ <= 1) {
+        runSerial(ticks);
+        return;
+    }
+    runParallel(ticks);
 }
 
 } // namespace sim

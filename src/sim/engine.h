@@ -13,6 +13,15 @@
  *
  * Controllers never act at tick 0: the first tick is a pure measurement
  * tick, so every loop starts from a real observation.
+ *
+ * Parallel execution (docs/PARALLELISM.md): actors declare themselves
+ * *shardable* (per-server state only, keyed by server id) or *global*
+ * (cross-server reads/writes) via Actor::shardKey(). The engine fans
+ * contiguous runs of shardable actors — and the per-server part of the
+ * cluster evaluation — across a worker pool using static, contiguous
+ * server shards, with a barrier before every global actor and before
+ * metrics recording. Results are bit-identical to the serial engine for
+ * any thread count.
  */
 
 #ifndef NPS_SIM_ENGINE_H
@@ -26,6 +35,10 @@
 #include "sim/metrics.h"
 
 namespace nps {
+namespace util {
+class ThreadPool;
+} // namespace util
+
 namespace sim {
 
 /**
@@ -35,6 +48,9 @@ namespace sim {
 class Actor
 {
   public:
+    /** shardKey() value of a global (non-shardable) actor. */
+    static constexpr long kGlobalShard = -1;
+
     virtual ~Actor() = default;
 
     /** Diagnostic name. */
@@ -42,6 +58,20 @@ class Actor
 
     /** Control interval in ticks (the paper's T_ec, T_sm, ...). */
     virtual unsigned period() const = 0;
+
+    /**
+     * Shard classification. Return a server id to declare the actor
+     * *shardable*: both observe() and step() may then run on a worker
+     * thread, concurrently with other shardable actors keyed to
+     * different servers. A shardable actor must touch only state owned
+     * by its server (the server itself, its own controller state, a
+     * controller nested on the same server) and must not use a shared
+     * RNG. Return kGlobalShard (the default) for anything that reads or
+     * writes cross-server state; global actors always run on the engine
+     * thread, with a barrier separating them from neighbouring shardable
+     * work.
+     */
+    virtual long shardKey() const { return kGlobalShard; }
 
     /**
      * Called every tick (before any control steps) so long-epoch
@@ -65,20 +95,39 @@ class Engine
      */
     Engine(Cluster &cluster, MetricsCollector &metrics);
 
+    ~Engine();
+
     Engine(const Engine &) = delete;
     Engine &operator=(const Engine &) = delete;
 
     /**
      * Register an actor. Actors are stepped within a tick in descending
      * period order (stable for ties), regardless of insertion order.
+     * Registration is allowed between run() calls: the schedule is
+     * (re)built lazily at the next run(), so a later-added actor joins
+     * the same coarse-first ordering from that run on.
      */
     void addActor(std::shared_ptr<Actor> actor);
 
-    /** @return registered actors. */
+    /**
+     * @return registered actors. Ordered by the schedule (descending
+     * period, stable) once run() has executed; in insertion order before
+     * the first run() and after a subsequent addActor().
+     */
     const std::vector<std::shared_ptr<Actor>> &actors() const
     {
         return actors_;
     }
+
+    /**
+     * Set the worker-thread count for subsequent run() calls: 0 picks
+     * the hardware concurrency, 1 runs the legacy single-threaded path.
+     * Any value yields bit-identical simulation results.
+     */
+    void setThreads(unsigned threads);
+
+    /** The resolved worker-thread count currently configured. */
+    unsigned threads() const { return threads_; }
 
     /** Advance the simulation by @p ticks ticks. */
     void run(size_t ticks);
@@ -87,10 +136,32 @@ class Engine
     size_t now() const { return now_; }
 
   private:
+    /**
+     * One schedule segment: a maximal run of consecutive same-kind
+     * actors in the sorted order. A global segment holds exactly one
+     * actor; a shardable segment holds the actor indices partitioned by
+     * shard, each list in schedule order.
+     */
+    struct Segment
+    {
+        bool shardable = false;
+        size_t actor = 0;                              //!< global only
+        std::vector<std::vector<size_t>> per_shard;    //!< shardable only
+    };
+
+    void preparePlan();
+    void runSerial(size_t ticks);
+    void runParallel(size_t ticks);
+
     Cluster &cluster_;
     MetricsCollector &metrics_;
     std::vector<std::shared_ptr<Actor>> actors_;
     size_t now_ = 0;
+
+    unsigned threads_;
+    std::unique_ptr<util::ThreadPool> pool_;
+    std::vector<Segment> plan_;
+    bool plan_dirty_ = true;
 };
 
 } // namespace sim

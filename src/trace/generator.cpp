@@ -1,10 +1,13 @@
 #include "trace/generator.h"
 
+#include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "util/logging.h"
 #include "util/random.h"
 #include "util/stats.h"
+#include "util/thread_pool.h"
 
 namespace nps {
 namespace trace {
@@ -147,12 +150,20 @@ TraceGenerator::generate(unsigned enterprise, unsigned server,
 }
 
 std::vector<UtilizationTrace>
-TraceGenerator::generateAll() const
+TraceGenerator::generateAll(util::ThreadPool *pool) const
 {
-    std::vector<UtilizationTrace> traces;
-    traces.reserve(static_cast<size_t>(config_.num_enterprises) *
-                   config_.servers_per_enterprise);
-
+    // Lay out the campaign plan first; each slot is then an independent
+    // generate() call with its own derived RNG stream, so the fill can
+    // fan out across workers without perturbing any trace.
+    struct Slot
+    {
+        unsigned site;
+        unsigned srv;
+        WorkloadClass wc;
+    };
+    std::vector<Slot> plan;
+    plan.reserve(static_cast<size_t>(config_.num_enterprises) *
+                 config_.servers_per_enterprise);
     for (unsigned site = 0; site < config_.num_enterprises; ++site) {
         // Each site leans towards two signature classes; the rest of its
         // servers cycle through the full class list.
@@ -168,9 +179,33 @@ TraceGenerator::generateAll() const
                 wc = sig_b;
             else
                 wc = static_cast<WorkloadClass>(srv % kNumWorkloadClasses);
-            traces.push_back(generate(site, srv, defaultProfile(wc)));
+            plan.push_back({site, srv, wc});
         }
     }
+
+    std::vector<std::optional<UtilizationTrace>> slots(plan.size());
+    auto fill = [&](size_t i) {
+        slots[i] = generate(plan[i].site, plan[i].srv,
+                            defaultProfile(plan[i].wc));
+    };
+    if (pool != nullptr && pool->size() > 1) {
+        const size_t shards = pool->size();
+        const size_t block = (plan.size() + shards - 1) / shards;
+        pool->parallelFor(shards, [&](size_t s) {
+            size_t lo = s * block;
+            size_t hi = std::min(lo + block, plan.size());
+            for (size_t i = lo; i < hi; ++i)
+                fill(i);
+        });
+    } else {
+        for (size_t i = 0; i < plan.size(); ++i)
+            fill(i);
+    }
+
+    std::vector<UtilizationTrace> traces;
+    traces.reserve(slots.size());
+    for (auto &slot : slots)
+        traces.push_back(std::move(*slot));
     return traces;
 }
 

@@ -25,6 +25,10 @@
 #include "trace/trace.h"
 
 namespace nps {
+namespace util {
+class ThreadPool;
+} // namespace util
+
 namespace trace {
 
 /** Tunable statistical shape of one workload class. */
@@ -80,8 +84,14 @@ class TraceGenerator
      * of num_enterprises sites, cycling through the workload classes with
      * per-site emphasis (each site leans towards two "signature" classes,
      * as different businesses do).
+     *
+     * Each trace derives its own RNG stream from (seed, site, server),
+     * so generation is embarrassingly parallel: pass @p pool to fan the
+     * campaign out across workers. The result is bit-identical with or
+     * without a pool.
      */
-    std::vector<UtilizationTrace> generateAll() const;
+    std::vector<UtilizationTrace>
+    generateAll(util::ThreadPool *pool = nullptr) const;
 
   private:
     GeneratorConfig config_;

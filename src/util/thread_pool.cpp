@@ -1,0 +1,113 @@
+#include "util/thread_pool.h"
+
+#include "util/logging.h"
+
+namespace nps {
+namespace util {
+
+unsigned
+ThreadPool::hardwareThreads()
+{
+    unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : n;
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+    : size_(threads == 0 ? hardwareThreads() : threads)
+{
+    // The calling thread is worker 0; spawn only the extras.
+    workers_.reserve(size_ - 1);
+    for (unsigned i = 1; i < size_; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    start_cv_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::runShards(unsigned long generation)
+{
+    // Claim shards one at a time. The generation check keeps a straggler
+    // that wakes after its job has drained from touching a later job's
+    // counters (or a dangling job function).
+    for (;;) {
+        const std::function<void(size_t)> *job;
+        size_t shard;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (generation_ != generation || next_shard_ >= job_shards_)
+                return;
+            job = job_;
+            shard = next_shard_++;
+        }
+        (*job)(shard);
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (--pending_shards_ == 0) {
+                done_cv_.notify_all();
+                return;
+            }
+        }
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    unsigned long seen = 0;
+    for (;;) {
+        unsigned long generation;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            start_cv_.wait(lock, [&] {
+                return stop_ || generation_ != seen;
+            });
+            if (stop_)
+                return;
+            seen = generation = generation_;
+        }
+        runShards(generation);
+    }
+}
+
+void
+ThreadPool::parallelFor(size_t shards,
+                        const std::function<void(size_t)> &fn)
+{
+    if (shards == 0)
+        return;
+    if (size_ == 1 || shards == 1) {
+        for (size_t s = 0; s < shards; ++s)
+            fn(s);
+        return;
+    }
+    unsigned long generation;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (job_ != nullptr)
+            fatal("ThreadPool::parallelFor: re-entered");
+        job_ = &fn;
+        job_shards_ = shards;
+        next_shard_ = 0;
+        pending_shards_ = shards;
+        generation = ++generation_;
+    }
+    start_cv_.notify_all();
+    runShards(generation);
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        done_cv_.wait(lock, [&] { return pending_shards_ == 0; });
+        job_ = nullptr;
+    }
+}
+
+} // namespace util
+} // namespace nps

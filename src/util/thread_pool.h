@@ -1,0 +1,82 @@
+/**
+ * @file
+ * A small reusable worker pool for deterministic fork/join parallelism.
+ *
+ * The pool exists for one pattern: fan a fixed number of *shards* out
+ * across persistent worker threads and block until every shard has run
+ * (parallelFor). Shard indices are dense [0, shards); the mapping of
+ * shards to work must be static so that repeated invocations partition
+ * the work identically — the determinism contract of the parallel tick
+ * engine (see docs/PARALLELISM.md) is built on top of that.
+ *
+ * A pool of size <= 1 (or a 1-shard call) degenerates to an inline
+ * serial loop in ascending shard order, so callers need no special
+ * casing for the serial configuration.
+ */
+
+#ifndef NPS_UTIL_THREAD_POOL_H
+#define NPS_UTIL_THREAD_POOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace nps {
+namespace util {
+
+/**
+ * Fixed-size fork/join worker pool.
+ */
+class ThreadPool
+{
+  public:
+    /**
+     * @param threads Worker count; 0 resolves to hardwareThreads().
+     * A pool of size 1 spawns no threads and runs everything inline.
+     */
+    explicit ThreadPool(unsigned threads);
+
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Resolved worker count (>= 1). */
+    unsigned size() const { return size_; }
+
+    /**
+     * Run fn(shard) for every shard in [0, shards) and block until all
+     * complete. The calling thread participates, so a pool of size N
+     * uses at most N OS threads in total. fn must not throw and must
+     * not re-enter parallelFor on the same pool.
+     */
+    void parallelFor(size_t shards, const std::function<void(size_t)> &fn);
+
+    /** std::thread::hardware_concurrency(), clamped to >= 1. */
+    static unsigned hardwareThreads();
+
+  private:
+    void workerLoop();
+    void runShards(unsigned long generation);
+
+    unsigned size_;
+    std::vector<std::thread> workers_;
+
+    std::mutex mutex_;
+    std::condition_variable start_cv_;
+    std::condition_variable done_cv_;
+    const std::function<void(size_t)> *job_ = nullptr;
+    size_t job_shards_ = 0;
+    size_t next_shard_ = 0;
+    size_t pending_shards_ = 0;
+    unsigned long generation_ = 0;
+    bool stop_ = false;
+};
+
+} // namespace util
+} // namespace nps
+
+#endif // NPS_UTIL_THREAD_POOL_H

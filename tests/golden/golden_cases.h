@@ -1,0 +1,117 @@
+/**
+ * @file
+ * The golden-master case catalogue: the Figure 7/8/9/10 scenario
+ * configurations at a reduced horizon, with one shared runner used by
+ * both the regression test (tests/golden/test_golden_master.cpp) and
+ * the regeneration tool (tools/golden_gen.cpp).
+ *
+ * The catalogue pins the simulator's observable behavior: any refactor
+ * — including the parallel tick engine — must reproduce the checked-in
+ * MetricsSummary of every case bit-for-bit, at any thread count.
+ *
+ * Regenerating after an *intentional* behavior change:
+ *
+ *     cmake --build build -j && build/tools/npsgolden \
+ *         > tests/golden/golden_values.h
+ *
+ * and state the reason for the drift in the commit message.
+ */
+
+#ifndef NPS_TESTS_GOLDEN_GOLDEN_CASES_H
+#define NPS_TESTS_GOLDEN_GOLDEN_CASES_H
+
+#include <cstddef>
+#include <vector>
+
+#include "core/coordinator.h"
+#include "core/experiment.h"
+#include "core/scenarios.h"
+#include "trace/workload.h"
+#include "util/logging.h"
+
+namespace nps_golden {
+
+/** One pinned scenario. */
+struct GoldenCase
+{
+    const char *name;              //!< stable identifier, used in output
+    nps::core::Scenario scenario;  //!< deployment under test
+    const char *budgets;           //!< "20-15-10" | "25-20-15" | "30-25-20"
+};
+
+/** Reduced horizon: fast enough for every CI run, long enough that the
+ * VMC has acted several times and budgets have been redistributed. */
+inline constexpr size_t kGoldenTicks = 480;
+
+/** Trace-campaign seed (the npsim default). */
+inline constexpr uint64_t kGoldenSeed = 20080301;
+
+/** The pinned catalogue, in checked-in value order. */
+inline const GoldenCase kGoldenCases[] = {
+    {"fig7_coordinated", nps::core::Scenario::Coordinated, "20-15-10"},
+    {"fig7_uncoordinated", nps::core::Scenario::Uncoordinated,
+     "20-15-10"},
+    {"fig7_baseline", nps::core::Scenario::Baseline, "20-15-10"},
+    {"fig8_novmc", nps::core::Scenario::NoVmc, "20-15-10"},
+    {"fig8_vmconly", nps::core::Scenario::VmcOnly, "20-15-10"},
+    {"fig9_appr_util", nps::core::Scenario::CoordApparentUtil,
+     "20-15-10"},
+    {"fig9_no_feedback", nps::core::Scenario::CoordNoFeedback,
+     "20-15-10"},
+    {"fig9_no_budget_limits", nps::core::Scenario::CoordNoBudgetLimits,
+     "20-15-10"},
+    {"fig10_coordinated_252015", nps::core::Scenario::Coordinated,
+     "25-20-15"},
+    {"fig10_coordinated_302520", nps::core::Scenario::Coordinated,
+     "30-25-20"},
+};
+
+inline constexpr size_t kNumGoldenCases =
+    sizeof(kGoldenCases) / sizeof(kGoldenCases[0]);
+
+inline nps::sim::BudgetConfig
+goldenBudgets(const std::string &label)
+{
+    if (label == "20-15-10")
+        return nps::sim::BudgetConfig::paper201510();
+    if (label == "25-20-15")
+        return nps::sim::BudgetConfig::paper252015();
+    if (label == "30-25-20")
+        return nps::sim::BudgetConfig::paper302520();
+    nps::util::fatal("golden: unknown budgets '%s'", label.c_str());
+}
+
+/** The shared Mid60 trace set (built once per process). */
+inline const std::vector<nps::trace::UtilizationTrace> &
+goldenTraces()
+{
+    static const std::vector<nps::trace::UtilizationTrace> traces = [] {
+        nps::trace::GeneratorConfig gen;
+        gen.seed = kGoldenSeed;
+        gen.trace_length = kGoldenTicks;
+        nps::trace::WorkloadLibrary library(gen);
+        return library.mix(nps::trace::Mix::Mid60);
+    }();
+    return traces;
+}
+
+/** Run one case at @p threads workers and return its summary. */
+inline nps::sim::MetricsSummary
+runGoldenCase(const GoldenCase &c, unsigned threads)
+{
+    nps::core::CoordinationConfig cfg =
+        nps::core::scenarioConfig(c.scenario);
+    cfg.budgets = goldenBudgets(c.budgets);
+    cfg.threads = threads;
+    nps::sim::Topology topo = nps::core::ExperimentRunner::topologyFor(
+        nps::trace::Mix::Mid60);
+    nps::core::Coordinator coord(cfg, topo,
+                                 nps::model::machineByName("BladeA"),
+                                 goldenTraces());
+    coord.run(kGoldenTicks);
+    return coord.summary();
+}
+
+} // namespace nps_golden
+
+#endif // NPS_TESTS_GOLDEN_GOLDEN_CASES_H

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Golden-master regression suite: every Figure 7/8/9/10 scenario runs
+ * at a reduced horizon and its MetricsSummary must match the checked-in
+ * expected values exactly — at threads = 1 (the legacy serial path) and
+ * threads = 4 (the parallel tick engine) alike. A drift in any field
+ * fails with the full-precision expected/actual pair, so a refactor
+ * that changes simulation behavior is caught (and diagnosable) at once.
+ *
+ * Intentional changes: regenerate with build/tools/npsgolden (see
+ * golden_cases.h).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "golden/golden_cases.h"
+#include "golden/golden_values.h"
+
+namespace {
+
+using namespace nps;
+using nps_golden::GoldenCase;
+
+void
+checkField(const char *case_name, const char *field, double expected,
+           double actual, ::testing::AssertionResult &result)
+{
+    // Exact tolerance: the engine is deterministic and the parallel
+    // path guarantees bit-identical arithmetic, so any difference at
+    // all is a behavior change.
+    if (expected == actual ||
+        (std::isnan(expected) && std::isnan(actual)))
+        return;
+    std::ostringstream ss;
+    ss.precision(17);
+    ss << "\n  " << case_name << "." << field << " drifted:"
+       << "\n    expected " << expected << " (" << std::hexfloat
+       << expected << std::defaultfloat << ")"
+       << "\n    actual   " << actual << " (" << std::hexfloat << actual
+       << std::defaultfloat << ")"
+       << "\n    delta    " << actual - expected;
+    result = ::testing::AssertionResult(false) << result.message()
+                                               << ss.str();
+}
+
+::testing::AssertionResult
+summaryMatches(const char *case_name, const sim::MetricsSummary &expected,
+               const sim::MetricsSummary &actual)
+{
+    auto result = ::testing::AssertionSuccess();
+    if (expected.ticks != actual.ticks) {
+        result = ::testing::AssertionResult(false)
+                 << "\n  " << case_name << ".ticks drifted: expected "
+                 << expected.ticks << ", actual " << actual.ticks;
+    }
+    checkField(case_name, "energy", expected.energy, actual.energy,
+               result);
+    checkField(case_name, "mean_power", expected.mean_power,
+               actual.mean_power, result);
+    checkField(case_name, "peak_power", expected.peak_power,
+               actual.peak_power, result);
+    checkField(case_name, "sm_violation", expected.sm_violation,
+               actual.sm_violation, result);
+    checkField(case_name, "em_violation", expected.em_violation,
+               actual.em_violation, result);
+    checkField(case_name, "gm_violation", expected.gm_violation,
+               actual.gm_violation, result);
+    checkField(case_name, "perf_loss", expected.perf_loss,
+               actual.perf_loss, result);
+    return result;
+}
+
+/** Parameterized over the engine worker-thread count. */
+class GoldenMaster : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(GoldenMaster, AllScenariosMatchCheckedInValues)
+{
+    const unsigned threads = GetParam();
+    for (size_t i = 0; i < nps_golden::kNumGoldenCases; ++i) {
+        const GoldenCase &c = nps_golden::kGoldenCases[i];
+        sim::MetricsSummary actual = nps_golden::runGoldenCase(c, threads);
+        EXPECT_TRUE(summaryMatches(c.name, nps_golden::kGoldenExpected[i],
+                                   actual))
+            << "\n  (threads=" << threads
+            << "; regenerate with build/tools/npsgolden only if the "
+               "change is intentional)";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, GoldenMaster,
+                         ::testing::Values(1u, 4u),
+                         [](const auto &info) {
+                             return "threads" +
+                                    std::to_string(info.param);
+                         });
+
+} // namespace
+

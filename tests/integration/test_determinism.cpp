@@ -5,12 +5,25 @@
  * pure function of the configuration and the seed. Two runs with the
  * same inputs produce bit-identical metrics; changing the seed changes
  * the traces but not the qualitative outcome.
+ *
+ * The parallel tick engine extends the contract across thread counts:
+ * a run at threads = N must reproduce the serial (threads = 1) per-tick
+ * metric series bit-for-bit, for coordinated and uncoordinated stacks,
+ * homogeneous and heterogeneous fleets alike.
  */
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <vector>
+
+#include "core/coordinator.h"
 #include "core/experiment.h"
 #include "core/scenarios.h"
+#include "model/machine.h"
+#include "trace/generator.h"
+#include "trace/workload.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -91,6 +104,166 @@ TEST(Determinism, DistinctSeedsProduceDistinctRuns)
     auto a = runOnce(1, core::Scenario::Coordinated);
     auto b = runOnce(2, core::Scenario::Coordinated);
     EXPECT_NE(a.scenario.energy, b.scenario.energy);
+}
+
+// ---------------------------------------------------------------------
+// Serial vs parallel engine equivalence.
+
+constexpr size_t kParTicks = 400;
+
+const std::vector<trace::UtilizationTrace> &
+parTraces()
+{
+    static const std::vector<trace::UtilizationTrace> traces = [] {
+        trace::GeneratorConfig gen;
+        gen.seed = 42;
+        gen.trace_length = kParTicks;
+        trace::WorkloadLibrary library(gen);
+        return library.mix(trace::Mix::Mid60);
+    }();
+    return traces;
+}
+
+std::vector<std::shared_ptr<const model::MachineSpec>>
+mixedSpecs(size_t n)
+{
+    auto blade = std::make_shared<const model::MachineSpec>(
+        model::bladeA());
+    auto server = std::make_shared<const model::MachineSpec>(
+        model::serverB());
+    std::vector<std::shared_ptr<const model::MachineSpec>> specs;
+    for (size_t i = 0; i < n; ++i)
+        specs.push_back(i % 2 == 0 ? blade : server);
+    return specs;
+}
+
+/** Per-tick power and performance series of one run. */
+struct Series
+{
+    std::vector<double> power;
+    std::vector<double> perf;
+    sim::MetricsSummary summary;
+};
+
+Series
+runSeries(core::Scenario scenario, unsigned threads, bool heterogeneous)
+{
+    core::CoordinationConfig cfg = core::scenarioConfig(scenario);
+    cfg.threads = threads;
+    sim::Topology topo = core::ExperimentRunner::topologyFor(
+        trace::Mix::Mid60);
+    std::unique_ptr<core::Coordinator> coord;
+    if (heterogeneous) {
+        coord = std::make_unique<core::Coordinator>(
+            cfg, topo, mixedSpecs(topo.num_servers), parTraces(),
+            /*keep_series=*/true);
+    } else {
+        coord = std::make_unique<core::Coordinator>(
+            cfg, topo, model::bladeA(), parTraces(),
+            /*keep_series=*/true);
+    }
+    coord->run(kParTicks);
+    return {coord->metrics().powerSeries(), coord->metrics().perfSeries(),
+            coord->summary()};
+}
+
+void
+expectSeriesIdentical(const Series &serial, const Series &parallel,
+                      unsigned threads)
+{
+    ASSERT_EQ(serial.power.size(), parallel.power.size());
+    ASSERT_EQ(serial.perf.size(), parallel.perf.size());
+    for (size_t t = 0; t < serial.power.size(); ++t) {
+        // Exact comparison: the sharded engine must be arithmetically
+        // indistinguishable from the serial one, tick by tick.
+        ASSERT_EQ(serial.power[t], parallel.power[t])
+            << "group power diverged at tick " << t << " with threads="
+            << threads;
+        ASSERT_EQ(serial.perf[t], parallel.perf[t])
+            << "perf diverged at tick " << t << " with threads="
+            << threads;
+    }
+    EXPECT_EQ(serial.summary.energy, parallel.summary.energy);
+    EXPECT_EQ(serial.summary.peak_power, parallel.summary.peak_power);
+    EXPECT_EQ(serial.summary.sm_violation, parallel.summary.sm_violation);
+    EXPECT_EQ(serial.summary.em_violation, parallel.summary.em_violation);
+    EXPECT_EQ(serial.summary.gm_violation, parallel.summary.gm_violation);
+    EXPECT_EQ(serial.summary.perf_loss, parallel.summary.perf_loss);
+}
+
+TEST(Determinism, ParallelCoordinatedMatchesSerialPerTick)
+{
+    Series serial = runSeries(core::Scenario::Coordinated, 1, false);
+    for (unsigned threads : {2u, 4u, 8u}) {
+        Series parallel =
+            runSeries(core::Scenario::Coordinated, threads, false);
+        expectSeriesIdentical(serial, parallel, threads);
+    }
+}
+
+TEST(Determinism, ParallelUncoordinatedMatchesSerialPerTick)
+{
+    Series serial = runSeries(core::Scenario::Uncoordinated, 1, false);
+    for (unsigned threads : {2u, 4u, 8u}) {
+        Series parallel =
+            runSeries(core::Scenario::Uncoordinated, threads, false);
+        expectSeriesIdentical(serial, parallel, threads);
+    }
+}
+
+TEST(Determinism, ParallelHeterogeneousMatchesSerialPerTick)
+{
+    for (core::Scenario scenario : {core::Scenario::Coordinated,
+                                    core::Scenario::Uncoordinated}) {
+        Series serial = runSeries(scenario, 1, true);
+        for (unsigned threads : {2u, 4u, 8u}) {
+            Series parallel = runSeries(scenario, threads, true);
+            expectSeriesIdentical(serial, parallel, threads);
+        }
+    }
+}
+
+TEST(Determinism, ParallelWithCapAndMemMatchesSerialPerTick)
+{
+    // The optional per-server actors (electrical capper, memory
+    // manager) are shardable too; include them so every shardable actor
+    // kind crosses the parallel path.
+    core::CoordinationConfig cfg = core::coordinatedConfig();
+    cfg.enable_cap = true;
+    cfg.enable_mem = true;
+    sim::Topology topo = core::ExperimentRunner::topologyFor(
+        trace::Mix::Mid60);
+    auto run = [&](unsigned threads) {
+        core::CoordinationConfig c = cfg;
+        c.threads = threads;
+        core::Coordinator coord(c, topo, model::bladeA(), parTraces(),
+                                /*keep_series=*/true);
+        coord.run(kParTicks);
+        return Series{coord.metrics().powerSeries(),
+                      coord.metrics().perfSeries(), coord.summary()};
+    };
+    Series serial = run(1);
+    for (unsigned threads : {2u, 4u, 8u})
+        expectSeriesIdentical(serial, run(threads), threads);
+}
+
+TEST(Determinism, ParallelTraceGenerationMatchesSerial)
+{
+    trace::GeneratorConfig gen;
+    gen.seed = 7;
+    gen.trace_length = 256;
+    trace::TraceGenerator generator(gen);
+    auto serial = generator.generateAll();
+    util::ThreadPool pool(4);
+    auto parallel = generator.generateAll(&pool);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+        ASSERT_EQ(serial[i].name(), parallel[i].name());
+        ASSERT_EQ(serial[i].length(), parallel[i].length());
+        for (size_t t = 0; t < serial[i].length(); ++t)
+            ASSERT_EQ(serial[i].at(t), parallel[i].at(t))
+                << "trace " << serial[i].name() << " tick " << t;
+    }
 }
 
 } // namespace

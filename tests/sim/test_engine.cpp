@@ -135,6 +135,43 @@ TEST_F(EngineTest, MetricsRecordedEveryTick)
     EXPECT_EQ(metrics_.summary().ticks, 17u);
 }
 
+TEST_F(EngineTest, ActorAddedBetweenRunsJoinsCoarseFirstSchedule)
+{
+    auto fast = std::make_shared<ProbeActor>("fast", 1, &log_);
+    engine_.addActor(fast);
+    engine_.run(5);  // ticks 0..4
+    // Registration between runs is allowed; the schedule is rebuilt at
+    // the next run() and the newcomer slots into coarse-first order.
+    auto slow = std::make_shared<ProbeActor>("slow", 2, &log_);
+    engine_.addActor(slow);
+    engine_.run(6);  // ticks 5..10
+    ASSERT_EQ(slow->steps.size(), 3u);  // ticks 6, 8, 10
+    EXPECT_EQ(slow->steps[0], 6u);
+    EXPECT_EQ(slow->observations, 6u);  // observes from tick 5 only
+    auto slow_pos = std::find(log_.begin(), log_.end(), "slow@6");
+    auto fast_pos = std::find(log_.begin(), log_.end(), "fast@6");
+    ASSERT_NE(slow_pos, log_.end());
+    ASSERT_NE(fast_pos, log_.end());
+    EXPECT_LT(slow_pos - log_.begin(), fast_pos - log_.begin());
+}
+
+TEST_F(EngineTest, AddActorDefersSortingUntilRun)
+{
+    // addActor() must not re-sort eagerly: before the first run() the
+    // actors() view keeps insertion order even for out-of-order periods.
+    auto fine = std::make_shared<ProbeActor>("fine", 1, &log_);
+    auto coarse = std::make_shared<ProbeActor>("coarse", 9, &log_);
+    engine_.addActor(fine);
+    engine_.addActor(coarse);
+    ASSERT_EQ(engine_.actors().size(), 2u);
+    EXPECT_EQ(engine_.actors()[0]->name(), "fine");
+    EXPECT_EQ(engine_.actors()[1]->name(), "coarse");
+    engine_.run(10);
+    // After run() the schedule order (coarse-first) is visible.
+    EXPECT_EQ(engine_.actors()[0]->name(), "coarse");
+    EXPECT_EQ(engine_.actors()[1]->name(), "fine");
+}
+
 TEST_F(EngineTest, NullActorDies)
 {
     EXPECT_DEATH(engine_.addActor(nullptr), "null actor");

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Randomized scheduling tests for the parallel tick engine.
+ *
+ * Each iteration builds a random actor population — random periods,
+ * random insertion order, random shardable/global mix — runs it on the
+ * sharded path (threads = 4) and checks the engine's scheduling
+ * invariants hold regardless of the draw:
+ *
+ *   - no actor steps at tick 0;
+ *   - an actor steps exactly at the positive multiples of its period;
+ *   - every actor observes every tick, and all observations of a tick
+ *     complete before any step of that tick;
+ *   - ordered pairs (two globals, a global and anything, or two actors
+ *     on the same shard key) step coarse-period-first, stable by
+ *     insertion order for ties.
+ *
+ * Shardable actors on *different* shard keys may interleave freely
+ * within a segment — the tests deliberately do not constrain them.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/fixtures.h"
+#include "sim/engine.h"
+
+namespace {
+
+using namespace nps::sim;
+
+/** Stamps every observe()/step() with a process-wide sequence number. */
+class FuzzActor : public Actor
+{
+  public:
+    FuzzActor(std::string name, unsigned period, long shard,
+              std::atomic<uint64_t> *clock)
+        : name_(std::move(name)), period_(period), shard_(shard),
+          clock_(clock)
+    {
+    }
+
+    const std::string &name() const override { return name_; }
+    unsigned period() const override { return period_; }
+    long shardKey() const override { return shard_; }
+
+    void
+    observe(size_t tick) override
+    {
+        observe_stamps.push_back({tick, clock_->fetch_add(1)});
+    }
+
+    void
+    step(size_t tick) override
+    {
+        step_stamps.push_back({tick, clock_->fetch_add(1)});
+    }
+
+    long shard() const { return shard_; }
+
+    std::vector<std::pair<size_t, uint64_t>> observe_stamps;
+    std::vector<std::pair<size_t, uint64_t>> step_stamps;
+
+  private:
+    std::string name_;
+    unsigned period_;
+    long shard_;
+    std::atomic<uint64_t> *clock_;
+};
+
+/** True when the schedule fully orders the pair's steps within a tick:
+ * a global actor is a barrier against everything, and same-shard actors
+ * run serially in schedule order. */
+bool
+ordered(const FuzzActor &a, const FuzzActor &b)
+{
+    return a.shard() == Actor::kGlobalShard ||
+           b.shard() == Actor::kGlobalShard || a.shard() == b.shard();
+}
+
+uint64_t
+stampAt(const std::vector<std::pair<size_t, uint64_t>> &stamps,
+        size_t tick)
+{
+    for (const auto &s : stamps)
+        if (s.first == tick)
+            return s.second;
+    ADD_FAILURE() << "no stamp at tick " << tick;
+    return 0;
+}
+
+void
+fuzzOnce(uint32_t seed)
+{
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    std::mt19937 rng(seed);
+    constexpr size_t kTicks = 40;
+
+    Cluster cluster = nps_test::smallCluster();
+    MetricsCollector metrics;
+    Engine engine(cluster, metrics);
+    engine.setThreads(4);
+
+    std::atomic<uint64_t> clock{0};
+    const size_t count = 8 + rng() % 12;
+    std::vector<std::shared_ptr<FuzzActor>> actors;
+    for (size_t i = 0; i < count; ++i) {
+        const unsigned period = 1 + rng() % 13;
+        const bool global = rng() % 3 == 0;
+        const long shard =
+            global ? Actor::kGlobalShard
+                   : static_cast<long>(rng() % cluster.numServers());
+        actors.push_back(std::make_shared<FuzzActor>(
+            "f" + std::to_string(i), period, shard, &clock));
+        engine.addActor(actors.back());
+    }
+    engine.run(kTicks);
+
+    // Schedule rank: descending period, stable by insertion order.
+    std::vector<size_t> rank_of(count);
+    {
+        std::vector<size_t> order(count);
+        for (size_t i = 0; i < count; ++i)
+            order[i] = i;
+        std::stable_sort(order.begin(), order.end(),
+                         [&](size_t a, size_t b) {
+                             return actors[a]->period() >
+                                    actors[b]->period();
+                         });
+        for (size_t pos = 0; pos < count; ++pos)
+            rank_of[order[pos]] = pos;
+    }
+
+    for (const auto &a : actors) {
+        // Every tick observed, in order.
+        ASSERT_EQ(a->observe_stamps.size(), kTicks) << a->name();
+        for (size_t t = 0; t < kTicks; ++t)
+            EXPECT_EQ(a->observe_stamps[t].first, t) << a->name();
+
+        // Steps at exactly the positive multiples of the period.
+        std::vector<size_t> expected;
+        for (size_t t = a->period(); t < kTicks; t += a->period())
+            expected.push_back(t);
+        ASSERT_EQ(a->step_stamps.size(), expected.size()) << a->name();
+        for (size_t i = 0; i < expected.size(); ++i)
+            EXPECT_EQ(a->step_stamps[i].first, expected[i]) << a->name();
+        EXPECT_TRUE(a->step_stamps.empty() ||
+                    a->step_stamps.front().first > 0)
+            << a->name() << " stepped at tick 0";
+    }
+
+    for (size_t tick = 1; tick < kTicks; ++tick) {
+        // All observations of a tick happen before any step of it.
+        uint64_t max_observe = 0;
+        uint64_t min_step = UINT64_MAX;
+        for (const auto &a : actors) {
+            max_observe =
+                std::max(max_observe, stampAt(a->observe_stamps, tick));
+            if (tick % a->period() == 0)
+                min_step =
+                    std::min(min_step, stampAt(a->step_stamps, tick));
+        }
+        if (min_step != UINT64_MAX) {
+            EXPECT_LT(max_observe, min_step) << "tick " << tick;
+        }
+
+        // Coarse-first, insertion-stable order for every ordered pair.
+        for (size_t i = 0; i < count; ++i) {
+            if (tick % actors[i]->period() != 0)
+                continue;
+            for (size_t j = i + 1; j < count; ++j) {
+                if (tick % actors[j]->period() != 0 ||
+                    !ordered(*actors[i], *actors[j]))
+                    continue;
+                const size_t first =
+                    rank_of[i] < rank_of[j] ? i : j;
+                const size_t second = first == i ? j : i;
+                EXPECT_LT(stampAt(actors[first]->step_stamps, tick),
+                          stampAt(actors[second]->step_stamps, tick))
+                    << actors[first]->name() << " (period "
+                    << actors[first]->period() << ") must step before "
+                    << actors[second]->name() << " (period "
+                    << actors[second]->period() << ") at tick " << tick;
+            }
+        }
+    }
+}
+
+TEST(EngineFuzz, RandomActorSetsKeepSchedulingInvariants)
+{
+    for (uint32_t seed : {1u, 7u, 42u, 1234u, 99999u})
+        fuzzOnce(seed);
+}
+
+TEST(EngineFuzz, AllGlobalPopulationStaysSerialOrdered)
+{
+    // Degenerate draw: every actor global — the parallel engine must
+    // behave exactly like the serial one.
+    std::mt19937 rng(5);
+    constexpr size_t kTicks = 30;
+    Cluster cluster = nps_test::smallCluster();
+    MetricsCollector metrics;
+    Engine engine(cluster, metrics);
+    engine.setThreads(4);
+    std::atomic<uint64_t> clock{0};
+    std::vector<std::shared_ptr<FuzzActor>> actors;
+    for (size_t i = 0; i < 10; ++i) {
+        actors.push_back(std::make_shared<FuzzActor>(
+            "g" + std::to_string(i), 1 + rng() % 5, Actor::kGlobalShard,
+            &clock));
+        engine.addActor(actors.back());
+    }
+    engine.run(kTicks);
+    for (size_t tick = 1; tick < kTicks; ++tick) {
+        uint64_t prev = 0;
+        bool have_prev = false;
+        for (const auto &a : engine.actors()) {
+            if (tick % a->period() != 0)
+                continue;
+            auto *fa = dynamic_cast<FuzzActor *>(a.get());
+            ASSERT_NE(fa, nullptr);
+            const uint64_t stamp = stampAt(fa->step_stamps, tick);
+            if (have_prev) {
+                EXPECT_LT(prev, stamp) << "tick " << tick;
+            }
+            prev = stamp;
+            have_prev = true;
+        }
+    }
+}
+
+} // namespace

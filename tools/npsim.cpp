@@ -44,6 +44,8 @@ struct Args
     unsigned record_stride = 10;
     size_t ticks = 2880;
     uint64_t seed = 20080301;
+    unsigned threads = 0;
+    bool threads_set = false;
     bool two_pstates = false;
     bool no_power_off = false;
     bool enable_cap = false;
@@ -63,6 +65,8 @@ usage()
         "  --budgets B    20-15-10 | 25-20-15 | 30-25-20\n"
         "  --ticks N      simulation horizon (default 2880)\n"
         "  --seed N       trace-campaign seed (default 20080301)\n"
+        "  --threads N    engine worker threads (0 = all cores,\n"
+        "                 1 = serial; results are identical)\n"
         "  --two-pstates  reduce machines to the extreme P-states\n"
         "  --no-power-off keep idle machines on\n"
         "  --cap          enable the electrical cappers\n"
@@ -99,6 +103,12 @@ parse(int argc, char **argv)
             args.ticks = std::strtoull(need(i), nullptr, 10), ++i;
         else if (a == "--seed")
             args.seed = std::strtoull(need(i), nullptr, 10), ++i;
+        else if (a == "--threads") {
+            args.threads = static_cast<unsigned>(
+                std::strtoul(need(i), nullptr, 10));
+            args.threads_set = true;
+            ++i;
+        }
         else if (a == "--config")
             args.config_path = need(i), ++i;
         else if (a == "--dump-config")
@@ -129,8 +139,13 @@ parse(int argc, char **argv)
 core::CoordinationConfig
 configFor(const Args &args)
 {
-    if (!args.config_path.empty())
-        return core::loadConfigFile(args.config_path);
+    if (!args.config_path.empty()) {
+        core::CoordinationConfig cfg =
+            core::loadConfigFile(args.config_path);
+        if (args.threads_set)
+            cfg.threads = args.threads;
+        return cfg;
+    }
     core::CoordinationConfig cfg;
     if (args.scenario == "coordinated")
         cfg = core::coordinatedConfig();
@@ -164,6 +179,8 @@ configFor(const Args &args)
         cfg.vmc.allow_power_off = false;
     cfg.enable_cap = args.enable_cap;
     cfg.enable_mem = args.enable_mem;
+    if (args.threads_set)
+        cfg.threads = args.threads;
     return cfg;
 }
 
