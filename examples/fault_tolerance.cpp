@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Fault tolerance: ride out an enclosure-manager outage mid-run.
+ *
+ * The enclosure manager of enclosure 0 goes dark for 300 ticks. Its
+ * blade server managers keep enforcing the last budget they were granted
+ * until the lease (three parent epochs) lapses, then degrade to a
+ * conservative fraction of their local static cap — so the enclosure
+ * stays inside its envelope with nobody upstairs answering. When the EM
+ * restarts cold, fresh grants revive the leases and the hierarchy
+ * reconverges.
+ *
+ * See docs/FAULTS.md for the script grammar and the degradation model.
+ */
+
+#include <cstdio>
+
+#include "core/coordinator.h"
+#include "core/scenarios.h"
+#include "trace/workload.h"
+
+int
+main()
+{
+    using namespace nps;
+
+    constexpr size_t kTicks = 1200;
+
+    // Workloads and system: the paper's 60-server topology under a
+    // medium-heavy mix.
+    trace::GeneratorConfig gen;
+    gen.trace_length = kTicks;
+    trace::WorkloadLibrary library(gen);
+    auto traces = library.mix(trace::Mix::High60);
+    sim::Topology topo = sim::Topology::paper60();
+    model::MachineSpec machine = model::bladeA();
+
+    // Deployment: the coordinated stack with the fault layer armed.
+    // The script takes EM 0 down from tick 300 to tick 600; leases
+    // default to 3 * max(T_em, T_gm) ticks, and the blade SMs fall back
+    // to 90% of their local cap when theirs lapse.
+    core::CoordinationConfig config = core::coordinatedConfig();
+    config.faults.enabled = true;
+    config.faults.script = "outage em 0 300 600";
+    config.sm.lease_fallback = 0.90;
+
+    core::Coordinator coordinator(config, topo, machine, traces,
+                                  /*keep_series=*/true);
+    coordinator.run(kTicks);
+
+    sim::MetricsSummary m = coordinator.summary();
+    std::printf("simulated %zu ticks; EM 0 down for ticks [300, 600)\n",
+                m.ticks);
+    std::printf("power:  mean %.1f W, peak %.1f W\n", m.mean_power,
+                m.peak_power);
+    std::printf("caps:   GM %.2f %%  EM %.2f %%  SM %.2f %% of ticks "
+                "violated\n", m.gm_violation * 100.0,
+                m.em_violation * 100.0, m.sm_violation * 100.0);
+
+    // The degradation counters tell the outage story.
+    const fault::DegradeStats &d = m.degrade;
+    std::printf("\ndegradation while riding out the outage:\n");
+    std::printf("  ticks down          %8lu\n", d.outage_ticks);
+    std::printf("  steps skipped       %8lu\n", d.outage_steps);
+    std::printf("  cold restarts       %8lu\n", d.restarts);
+    std::printf("  leases lapsed       %8lu\n", d.lease_expiries);
+    std::printf("  fallback-cap steps  %8lu\n", d.lease_fallback_steps);
+
+    // Per-blade view: every SM under EM 0 degraded, nobody else did.
+    const auto &enc = coordinator.cluster().enclosures()[0];
+    std::printf("\nenclosure 0 blades:\n");
+    for (sim::ServerId sid : enc.members()) {
+        const auto &sm = *coordinator.sms()[sid];
+        std::printf("  server %2u: lease expiries %lu, fallback steps "
+                    "%lu\n", sid, sm.degradeStats().lease_expiries,
+                    sm.degradeStats().lease_fallback_steps);
+    }
+    return 0;
+}

@@ -1,5 +1,7 @@
 #include "controllers/efficiency.h"
 
+#include <algorithm>
+
 #include "control/stability.h"
 #include "util/logging.h"
 
@@ -29,7 +31,19 @@ EfficiencyController::EfficiencyController(sim::Server &server,
 void
 EfficiencyController::step(size_t tick)
 {
-    (void)tick;
+    if (faults_ && faults_->down(fault::Level::EC,
+                                 static_cast<long>(server_.id()), tick)) {
+        ++degrade_.outage_ticks;
+        ++degrade_.outage_steps;
+        was_down_ = true;
+        return;
+    }
+    if (was_down_) {
+        was_down_ = false;
+        ++degrade_.restarts;
+        restartCold();
+    }
+    cur_tick_ = tick;
     if (!server_.isOn(tick)) {
         // Nothing to manage; reset to full speed so a rebooted machine
         // comes back at P0, as firmware does.
@@ -37,16 +51,45 @@ EfficiencyController::step(size_t tick)
         return;
     }
     if (params_.objective == EcObjective::EnergyDelay) {
-        stepEnergyDelay();
+        stepEnergyDelay(tick);
         return;
     }
     ControlLoop::step();
 }
 
+void
+EfficiencyController::restartCold()
+{
+    // A restarted EC forgets its integrator and any r_ref its SM sent
+    // while it was down; the SM re-actuates on its next step.
+    freq_.setValue(freq_.hi());
+    ControlLoop::reset();
+    setReference(params_.r_ref);
+}
+
+double
+EfficiencyController::sensedUtil(size_t tick, double raw)
+{
+    if (!faults_)
+        return raw;
+    long id = static_cast<long>(server_.id());
+    if (faults_->utilFrozen(id, tick)) {
+        ++degrade_.noisy_reads;
+        return held_util_;
+    }
+    double noise = faults_->utilNoise(id, tick);
+    if (noise != 0.0) {
+        ++degrade_.noisy_reads;
+        raw = std::min(1.0, std::max(0.0, raw + noise));
+    }
+    held_util_ = raw;
+    return raw;
+}
+
 double
 EfficiencyController::measure()
 {
-    return server_.lastApparentUtil();
+    return sensedUtil(cur_tick_, server_.lastApparentUtil());
 }
 
 double
@@ -65,16 +108,23 @@ EfficiencyController::actuate(double value)
     const auto &table = server_.spec().pstates();
     size_t p = params_.quantize_up ? table.quantizeUp(value)
                                    : table.quantizeNearest(value);
+    if (p != server_.pstate() && faults_ &&
+        faults_->pstateStuck(static_cast<long>(server_.id()), cur_tick_)) {
+        // The firmware actuator swallowed the write; the integrator keeps
+        // running against the stuck plant (realistic windup).
+        ++degrade_.stuck_actuations;
+        return;
+    }
     server_.setPState(p);
 }
 
 void
-EfficiencyController::stepEnergyDelay()
+EfficiencyController::stepEnergyDelay(size_t tick)
 {
     // Estimate current real demand from the last measurement and pick the
     // state minimizing power * delay ~ power / relSpeed, while keeping
     // apparent utilization under the reference.
-    double demand = server_.lastRealUtil();
+    double demand = sensedUtil(tick, server_.lastRealUtil());
     const auto &m = server_.model();
     const auto &table = m.pstates();
     size_t best = 0;
@@ -89,6 +139,11 @@ EfficiencyController::stepEnergyDelay()
             best_score = score;
             have = true;
         }
+    }
+    if (best != server_.pstate() && faults_ &&
+        faults_->pstateStuck(static_cast<long>(server_.id()), tick)) {
+        ++degrade_.stuck_actuations;
+        return;
     }
     server_.setPState(best);
     freq_.setValue(table.at(best).freq_mhz);

@@ -23,6 +23,7 @@
 
 #include "control/integral.h"
 #include "control/loop.h"
+#include "fault/injector.h"
 #include "sim/engine.h"
 #include "sim/server.h"
 
@@ -93,6 +94,20 @@ class EfficiencyController : public sim::Actor, public ctl::ControlLoop
     /** Active parameters. */
     const Params &params() const { return params_; }
 
+    /// @name Fault injection
+    /// @{
+
+    /** Attach the fault oracle (null = fault-free, the default). */
+    void setFaultInjector(const fault::FaultInjector *faults)
+    {
+        faults_ = faults;
+    }
+
+    /** Degradation counters accumulated by this EC. */
+    const fault::DegradeStats &degradeStats() const { return degrade_; }
+
+    /// @}
+
   protected:
     /// @name ctl::ControlLoop hooks
     /// @{
@@ -103,12 +118,26 @@ class EfficiencyController : public sim::Actor, public ctl::ControlLoop
 
   private:
     /** One step of the energy-delay objective variant. */
-    void stepEnergyDelay();
+    void stepEnergyDelay(size_t tick);
+
+    /**
+     * The utilization sensor: @p raw perturbed by any active telemetry
+     * fault (additive noise, or frozen at the last healthy reading).
+     */
+    double sensedUtil(size_t tick, double raw);
+
+    /** Cold restart after an outage, as firmware does: P0, fresh target. */
+    void restartCold();
 
     sim::Server &server_;
     Params params_;
     std::string name_;
     ctl::IntegralController freq_;
+    const fault::FaultInjector *faults_ = nullptr;
+    fault::DegradeStats degrade_;
+    size_t cur_tick_ = 0;     //!< tick of the in-flight step (for hooks)
+    double held_util_ = 0.0;  //!< last healthy sensor reading
+    bool was_down_ = false;   //!< edge detector for restarts
 };
 
 } // namespace controllers

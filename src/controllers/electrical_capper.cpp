@@ -19,6 +19,12 @@ ElectricalCapper::ElectricalCapper(sim::Server &server, double limit_watts,
 void
 ElectricalCapper::observe(size_t tick)
 {
+    if (faults_ && faults_->down(fault::Level::CAP,
+                                 static_cast<long>(server_.id()), tick)) {
+        ++degrade_.outage_ticks;
+        was_down_ = true;
+        return;
+    }
     if (server_.platformPower(tick) != sim::PlatformPower::Off)
         record(server_.lastPower() > limit_ + 1e-9);
 }
@@ -26,6 +32,18 @@ ElectricalCapper::observe(size_t tick)
 void
 ElectricalCapper::step(size_t tick)
 {
+    if (faults_ && faults_->down(fault::Level::CAP,
+                                 static_cast<long>(server_.id()), tick)) {
+        // A dead capper leaves the fuse unprotected; nothing graceful is
+        // possible here beyond coming back stateless.
+        ++degrade_.outage_steps;
+        return;
+    }
+    if (was_down_) {
+        was_down_ = false;
+        ++degrade_.restarts;
+        clamping_ = false;
+    }
     if (!server_.isOn(tick)) {
         clamping_ = false;
         return;
@@ -42,7 +60,12 @@ ElectricalCapper::step(size_t tick)
         size_t slowest = m.pstates().slowestIndex();
         while (p < slowest && m.powerForDemand(p, demand) > limit_)
             ++p;
-        server_.setPState(p);
+        if (p != chosen && faults_ &&
+            faults_->pstateStuck(static_cast<long>(server_.id()), tick)) {
+            ++degrade_.stuck_actuations;
+        } else {
+            server_.setPState(p);
+        }
         clamping_ = true;
         return;
     }
@@ -60,8 +83,13 @@ ElectricalCapper::step(size_t tick)
         bool saturated = server_.lastApparentUtil() >= 0.98;
         if (!saturated && p > 0 &&
             m.powerForDemand(p - 1, demand) <= headroom) {
-            server_.setPState(p - 1);
-            p = p - 1;
+            if (faults_ && faults_->pstateStuck(
+                               static_cast<long>(server_.id()), tick)) {
+                ++degrade_.stuck_actuations;
+            } else {
+                server_.setPState(p - 1);
+                p = p - 1;
+            }
         }
         if (p == 0 && m.powerForDemand(0, demand) <= headroom)
             clamping_ = false;

@@ -69,12 +69,29 @@ class ElectricalCapper : public sim::Actor, public ViolationTracker
     /** True while the capper is overriding the EC's P-state choice. */
     bool clamping() const { return clamping_; }
 
+    /// @name Fault injection
+    /// @{
+
+    /** Attach the fault oracle (null = fault-free, the default). */
+    void setFaultInjector(const fault::FaultInjector *faults)
+    {
+        faults_ = faults;
+    }
+
+    /** Degradation counters accumulated by this capper. */
+    const fault::DegradeStats &degradeStats() const { return degrade_; }
+
+    /// @}
+
   private:
     sim::Server &server_;
     double limit_;
     Params params_;
     std::string name_;
     bool clamping_ = false;
+    const fault::FaultInjector *faults_ = nullptr;
+    fault::DegradeStats degrade_;
+    bool was_down_ = false; //!< edge detector for restarts
 };
 
 } // namespace controllers

@@ -46,16 +46,65 @@ EnclosureManager::setBudget(double watts)
     dynamic_cap_ = watts;
 }
 
+void
+EnclosureManager::setBudget(double watts, size_t tick)
+{
+    setBudget(watts);
+    budget_tick_ = tick;
+}
+
 double
 EnclosureManager::effectiveCap() const
 {
     return std::min(static_cap_, dynamic_cap_);
 }
 
+bool
+EnclosureManager::leaseLapsed(size_t tick) const
+{
+    return params_.lease_ticks > 0 &&
+           tick > budget_tick_ + params_.lease_ticks;
+}
+
+double
+EnclosureManager::currentCap(size_t tick) const
+{
+    if (leaseLapsed(tick))
+        return std::min(static_cap_, params_.lease_fallback * static_cap_);
+    return effectiveCap();
+}
+
+void
+EnclosureManager::restartCold(size_t tick)
+{
+    // A restarted EM has lost its demand estimates and any GM grant that
+    // arrived while it was down; it re-enters on CAP_ENC with a fresh
+    // lease and rebuilds its EWMAs from zero, as at construction.
+    std::fill(demand_ewma_.begin(), demand_ewma_.end(), 0.0);
+    std::fill(history_ewma_.begin(), history_ewma_.end(), 0.0);
+    last_grants_.clear();
+    prev_grants_.clear();
+    dynamic_cap_ = static_cap_;
+    budget_tick_ = tick;
+    lease_expired_ = false;
+}
+
 void
 EnclosureManager::observe(size_t tick)
 {
-    (void)tick;
+    if (faults_) {
+        if (faults_->down(fault::Level::EM,
+                          static_cast<long>(enclosure_), tick)) {
+            ++degrade_.outage_ticks;
+            was_down_ = true;
+            return;
+        }
+        if (was_down_) {
+            was_down_ = false;
+            ++degrade_.restarts;
+            restartCold(tick);
+        }
+    }
     // Violations are reported against the static CAP_ENC — the physical
     // limit of the enclosure's power delivery and cooling.
     record(cluster_.lastEnclosurePower(enclosure_) >
@@ -73,8 +122,26 @@ EnclosureManager::observe(size_t tick)
 void
 EnclosureManager::step(size_t tick)
 {
+    if (faults_ && faults_->down(fault::Level::EM,
+                                 static_cast<long>(enclosure_), tick)) {
+        // A down EM neither re-divides nor refreshes its blades' leases;
+        // the SMs ride their last grants until those expire.
+        ++degrade_.outage_steps;
+        return;
+    }
+    bool lapsed = leaseLapsed(tick);
+    if (lapsed) {
+        if (!lease_expired_) {
+            lease_expired_ = true;
+            ++degrade_.lease_expiries;
+        }
+        ++degrade_.lease_fallback_steps;
+    } else {
+        lease_expired_ = false;
+    }
+
     DivisionInput in;
-    in.budget = effectiveCap();
+    in.budget = currentCap(tick);
     in.demands = params_.policy == DivisionPolicy::History ? history_ewma_
                                                            : demand_ewma_;
     in.priorities = params_.priorities;
@@ -87,9 +154,26 @@ EnclosureManager::step(size_t tick)
         in.maxima.push_back(gb.max);
         in.floors.push_back(gb.floor);
     }
+    prev_grants_ = last_grants_;
     last_grants_ = divideBudget(params_.policy, in, &rng_);
-    for (size_t i = 0; i < blades_.size(); ++i)
-        blades_[i]->setBudget(std::max(last_grants_[i], 1e-6));
+    for (size_t i = 0; i < blades_.size(); ++i) {
+        long sid = static_cast<long>(blades_[i]->server().id());
+        double send = last_grants_[i];
+        if (faults_) {
+            if (faults_->budgetDropped(fault::Link::EmToSm, sid, tick)) {
+                // Lost on the wire: the blade's lease keeps aging.
+                ++degrade_.dropped_budgets;
+                continue;
+            }
+            if (faults_->budgetStale(fault::Link::EmToSm, sid, tick) &&
+                i < prev_grants_.size()) {
+                // The link delivered the previous epoch's grant.
+                ++degrade_.stale_budgets;
+                send = prev_grants_[i];
+            }
+        }
+        blades_[i]->setBudget(std::max(send, 1e-6), tick);
+    }
 }
 
 } // namespace controllers

@@ -18,6 +18,7 @@
 
 #include "controllers/policies.h"
 #include "controllers/server_manager.h"
+#include "fault/injector.h"
 #include "sim/cluster.h"
 #include "sim/engine.h"
 #include "util/random.h"
@@ -43,6 +44,14 @@ class EnclosureManager : public sim::Actor, public ViolationTracker
         double demand_horizon = 10.0;
         /** Smoothing horizon of the History policy's long estimate. */
         double history_horizon = 200.0;
+        /**
+         * Budget-lease length in ticks on the GM→EM channel: past it a
+         * silent GM makes the EM degrade to lease_fallback * CAP_ENC.
+         * 0 disables leasing (the pre-fault behavior).
+         */
+        unsigned lease_ticks = 0;
+        /** Fraction of CAP_ENC enforced while the lease is expired. */
+        double lease_fallback = 1.0;
     };
 
     /**
@@ -67,8 +76,17 @@ class EnclosureManager : public sim::Actor, public ViolationTracker
     /** Budget recommendation from the GM; effective = min(static, it). */
     void setBudget(double watts);
 
-    /** The budget currently being enforced. */
+    /** Timestamped variant: additionally refreshes the GM budget lease. */
+    void setBudget(double watts, size_t tick);
+
+    /** The budget currently being enforced (ignoring lease expiry). */
     double effectiveCap() const;
+
+    /**
+     * The budget divided at @p tick: effectiveCap(), unless the GM lease
+     * has lapsed, in which case min(CAP_ENC, lease_fallback * CAP_ENC).
+     */
+    double currentCap(size_t tick) const;
 
     /** The enclosure's own static budget CAP_ENC. */
     double staticCap() const { return static_cap_; }
@@ -79,7 +97,27 @@ class EnclosureManager : public sim::Actor, public ViolationTracker
     /** The most recent per-blade grants (empty before the first step). */
     const std::vector<double> &lastGrants() const { return last_grants_; }
 
+    /// @name Fault injection
+    /// @{
+
+    /** Attach the fault oracle (null = fault-free, the default). */
+    void setFaultInjector(const fault::FaultInjector *faults)
+    {
+        faults_ = faults;
+    }
+
+    /** Degradation counters accumulated by this EM. */
+    const fault::DegradeStats &degradeStats() const { return degrade_; }
+
+    /// @}
+
   private:
+    /** @return true when the GM budget lease has lapsed as of @p tick. */
+    bool leaseLapsed(size_t tick) const;
+
+    /** Cold restart after an outage: forget estimates and grant state. */
+    void restartCold(size_t tick);
+
     sim::Cluster &cluster_;
     sim::EnclosureId enclosure_;
     std::vector<ServerManager *> blades_;
@@ -91,6 +129,12 @@ class EnclosureManager : public sim::Actor, public ViolationTracker
     std::vector<double> demand_ewma_;
     std::vector<double> history_ewma_;
     std::vector<double> last_grants_;
+    std::vector<double> prev_grants_; //!< previous epoch (stale delivery)
+    const fault::FaultInjector *faults_ = nullptr;
+    fault::DegradeStats degrade_;
+    size_t budget_tick_ = 0;     //!< receipt tick of the live GM grant
+    bool lease_expired_ = false; //!< edge detector for lease_expiries
+    bool was_down_ = false;      //!< edge detector for restarts
 };
 
 } // namespace controllers

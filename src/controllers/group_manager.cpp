@@ -46,9 +46,51 @@ GroupManager::GroupManager(sim::Cluster &cluster,
 }
 
 void
+GroupManager::restartCold()
+{
+    // A restarted GM rebuilds its demand estimates from zero and has no
+    // memory of past grants; children ride their leases meanwhile.
+    std::fill(child_demand_.begin(), child_demand_.end(), 0.0);
+    std::fill(child_history_.begin(), child_history_.end(), 0.0);
+    std::fill(server_demand_.begin(), server_demand_.end(), 0.0);
+    std::fill(server_history_.begin(), server_history_.end(), 0.0);
+    last_grants_.clear();
+    prev_grants_.clear();
+}
+
+bool
+GroupManager::faultedSend(fault::Link link, long id, size_t tick,
+                          size_t slot, double grant, double &send)
+{
+    send = grant;
+    if (!faults_)
+        return true;
+    if (faults_->budgetDropped(link, id, tick)) {
+        ++degrade_.dropped_budgets;
+        return false;
+    }
+    if (faults_->budgetStale(link, id, tick) && slot < prev_grants_.size()) {
+        ++degrade_.stale_budgets;
+        send = prev_grants_[slot];
+    }
+    return true;
+}
+
+void
 GroupManager::observe(size_t tick)
 {
-    (void)tick;
+    if (faults_) {
+        if (faults_->down(fault::Level::GM, 0, tick)) {
+            ++degrade_.outage_ticks;
+            was_down_ = true;
+            return;
+        }
+        if (was_down_) {
+            was_down_ = false;
+            ++degrade_.restarts;
+            restartCold();
+        }
+    }
     record(cluster_.lastTick().total_power > static_cap_ + 1e-9);
 
     double a_short = 1.0 / params_.demand_horizon;
@@ -77,6 +119,12 @@ GroupManager::observe(size_t tick)
 void
 GroupManager::step(size_t tick)
 {
+    if (faults_ && faults_->down(fault::Level::GM, 0, tick)) {
+        // A down GM stops refreshing child leases; EMs and standalone SMs
+        // degrade to their local fallbacks when those expire.
+        ++degrade_.outage_steps;
+        return;
+    }
     if (params_.mode == Mode::Coordinated)
         stepCoordinated(tick);
     else
@@ -114,13 +162,25 @@ GroupManager::stepCoordinated(size_t tick)
         in.floors.push_back(gb.floor);
     }
 
+    prev_grants_ = last_grants_;
     last_grants_ = divideBudget(params_.policy, in, &rng_);
 
     size_t c = 0;
-    for (auto *em : enclosures_)
-        em->setBudget(std::max(last_grants_[c++], 1e-6));
-    for (auto *sm : standalone_)
-        sm->setBudget(std::max(last_grants_[c++], 1e-6));
+    double send = 0.0;
+    for (auto *em : enclosures_) {
+        size_t slot = c++;
+        if (faultedSend(fault::Link::GmToEm,
+                        static_cast<long>(em->enclosureId()), tick, slot,
+                        last_grants_[slot], send))
+            em->setBudget(std::max(send, 1e-6), tick);
+    }
+    for (auto *sm : standalone_) {
+        size_t slot = c++;
+        if (faultedSend(fault::Link::GmToSm,
+                        static_cast<long>(sm->server().id()), tick, slot,
+                        last_grants_[slot], send))
+            sm->setBudget(std::max(send, 1e-6), tick);
+    }
 }
 
 void
@@ -141,9 +201,15 @@ GroupManager::stepUncoordinated(size_t tick)
         in.maxima.push_back(gb.max);
         in.floors.push_back(gb.floor);
     }
+    prev_grants_ = last_grants_;
     last_grants_ = divideBudget(params_.policy, in, &rng_);
-    for (size_t i = 0; i < all_servers_.size(); ++i)
-        all_servers_[i]->setBudget(std::max(last_grants_[i], 1e-6));
+    double send = 0.0;
+    for (size_t i = 0; i < all_servers_.size(); ++i) {
+        long sid = static_cast<long>(all_servers_[i]->server().id());
+        if (faultedSend(fault::Link::GmToSm, sid, tick, i,
+                        last_grants_[i], send))
+            all_servers_[i]->setBudget(std::max(send, 1e-6), tick);
+    }
 }
 
 } // namespace controllers

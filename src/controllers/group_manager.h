@@ -86,12 +86,37 @@ class GroupManager : public sim::Actor, public ViolationTracker
     /** The most recent per-child grants (coordinated mode). */
     const std::vector<double> &lastGrants() const { return last_grants_; }
 
+    /// @name Fault injection
+    /// @{
+
+    /** Attach the fault oracle (null = fault-free, the default). */
+    void setFaultInjector(const fault::FaultInjector *faults)
+    {
+        faults_ = faults;
+    }
+
+    /** Degradation counters accumulated by the GM. */
+    const fault::DegradeStats &degradeStats() const { return degrade_; }
+
+    /// @}
+
   private:
     /** Coordinated step: divide among enclosures + standalone servers. */
     void stepCoordinated(size_t tick);
 
     /** Uncoordinated step: divide among all servers directly. */
     void stepUncoordinated(size_t tick);
+
+    /** Cold restart after an outage: forget demand estimates and grants. */
+    void restartCold();
+
+    /**
+     * Deliver @p grant to child @p id on @p link, honoring any active
+     * drop/stale fault. @p send receives the value to forward (fresh or
+     * previous-epoch); @return false when the send was dropped.
+     */
+    bool faultedSend(fault::Link link, long id, size_t tick, size_t slot,
+                     double grant, double &send);
 
     sim::Cluster &cluster_;
     std::vector<EnclosureManager *> enclosures_;
@@ -107,6 +132,10 @@ class GroupManager : public sim::Actor, public ViolationTracker
     std::vector<double> server_demand_;
     std::vector<double> server_history_;
     std::vector<double> last_grants_;
+    std::vector<double> prev_grants_; //!< previous epoch (stale delivery)
+    const fault::FaultInjector *faults_ = nullptr;
+    fault::DegradeStats degrade_;
+    bool was_down_ = false; //!< edge detector for restarts
 };
 
 } // namespace controllers

@@ -86,6 +86,13 @@ ServerManager::setBudget(double watts)
     setReference(effectiveCap());
 }
 
+void
+ServerManager::setBudget(double watts, size_t tick)
+{
+    setBudget(watts);
+    budget_tick_ = tick;
+}
+
 double
 ServerManager::effectiveCap() const
 {
@@ -95,9 +102,52 @@ ServerManager::effectiveCap() const
     return dynamic_cap_;
 }
 
+bool
+ServerManager::leaseLapsed(size_t tick) const
+{
+    return params_.mode == Mode::Coordinated && params_.lease_ticks > 0 &&
+           tick > budget_tick_ + params_.lease_ticks;
+}
+
+double
+ServerManager::currentCap(size_t tick) const
+{
+    if (leaseLapsed(tick))
+        return std::min(static_cap_, params_.lease_fallback * static_cap_);
+    return effectiveCap();
+}
+
+void
+ServerManager::restartCold(size_t tick)
+{
+    // A restarted SM has no memory of its integrator or of any grant its
+    // parent sent while it was down; it re-enters on the static budget
+    // with a fresh lease and waits for the next recommendation.
+    r_ref_.setValue(params_.r_ref_min);
+    ControlLoop::reset();
+    dynamic_cap_ = static_cap_;
+    budget_tick_ = tick;
+    lease_expired_ = false;
+    setReference(effectiveCap());
+}
+
 void
 ServerManager::observe(size_t tick)
 {
+    if (faults_) {
+        if (faults_->down(fault::Level::SM,
+                          static_cast<long>(server_.id()), tick)) {
+            // A down SM records nothing — its CIM interface is dark.
+            ++degrade_.outage_ticks;
+            was_down_ = true;
+            return;
+        }
+        if (was_down_) {
+            was_down_ = false;
+            ++degrade_.restarts;
+            restartCold(tick);
+        }
+    }
     // Violation bookkeeping runs at tick granularity and against the
     // *static* budget: dynamic grants re-provision headroom but the
     // physical fuse/fan limit is CAP_LOC, and that is the signal the
@@ -109,13 +159,41 @@ ServerManager::observe(size_t tick)
 void
 ServerManager::step(size_t tick)
 {
-    if (!server_.isOn(tick))
-        return;
-    if (params_.mode == Mode::DirectPState) {
-        stepDirect();
+    if (faults_ && faults_->down(fault::Level::SM,
+                                 static_cast<long>(server_.id()), tick)) {
+        ++degrade_.outage_steps;
         return;
     }
-    setReference(effectiveCap());
+    if (!server_.isOn(tick))
+        return;
+
+    // Lease bookkeeping: degrade to the conservative local cap when the
+    // parent has gone silent past the lease, and recover the moment a
+    // fresh grant lands.
+    bool lapsed = leaseLapsed(tick);
+    if (lapsed) {
+        if (!lease_expired_) {
+            lease_expired_ = true;
+            ++degrade_.lease_expiries;
+        }
+        ++degrade_.lease_fallback_steps;
+    } else {
+        lease_expired_ = false;
+    }
+    double cap = currentCap(tick);
+
+    bool ec_down = faults_ && ec_ &&
+                   faults_->down(fault::Level::EC,
+                                 static_cast<long>(server_.id()), tick);
+    if (params_.mode == Mode::DirectPState || ec_down) {
+        // With the nested EC down nobody runs the inner loop; the SM
+        // degrades to capping P-states directly, like a solo product.
+        if (ec_down && params_.mode == Mode::Coordinated)
+            ++degrade_.ec_fallback_steps;
+        stepDirect(tick, cap);
+        return;
+    }
+    setReference(cap);
     ControlLoop::step();
 }
 
@@ -145,25 +223,32 @@ ServerManager::actuate(double value)
 }
 
 void
-ServerManager::stepDirect()
+ServerManager::stepDirect(size_t tick, double cap)
 {
     double pow = server_.lastPower();
-    double cap = effectiveCap();
     const auto &m = server_.model();
     size_t p = server_.pstate();
     size_t slowest = server_.spec().pstates().slowestIndex();
+    size_t q = p;
     if (pow > cap) {
         // Hardware cappers clamp immediately: jump to the fastest state
         // predicted to respect the budget for the current load.
         double demand = server_.lastRealUtil();
-        size_t q = p;
         while (q < slowest && m.powerForDemand(q, demand) > cap)
             ++q;
-        server_.setPState(q);
     } else if (pow < cap * (1.0 - params_.unthrottle_margin) && p > 0) {
         // Solo cappers restore performance when comfortably under budget.
-        server_.setPState(p - 1);
+        q = p - 1;
     }
+    if (q == p)
+        return;
+    if (faults_ && faults_->pstateStuck(static_cast<long>(server_.id()),
+                                        tick)) {
+        // The firmware actuator swallowed the write.
+        ++degrade_.stuck_actuations;
+        return;
+    }
+    server_.setPState(q);
 }
 
 } // namespace controllers

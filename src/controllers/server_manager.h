@@ -30,6 +30,7 @@
 #include "control/integral.h"
 #include "control/loop.h"
 #include "controllers/efficiency.h"
+#include "fault/injector.h"
 #include "sim/engine.h"
 #include "sim/server.h"
 
@@ -138,6 +139,16 @@ class ServerManager : public sim::Actor,
          * which the capper steps the P-state back up.
          */
         double unthrottle_margin = 0.12;
+        /**
+         * Budget-lease length in ticks: a dynamic grant received at tick t
+         * is trusted through t + lease_ticks; past that the SM assumes its
+         * parent is silent (down, or the link is dropping) and degrades to
+         * the conservative local cap lease_fallback * CAP_LOC. 0 disables
+         * leasing (grants never expire — the pre-fault behavior).
+         */
+        unsigned lease_ticks = 0;
+        /** Fraction of CAP_LOC enforced while the lease is expired. */
+        double lease_fallback = 1.0;
     };
 
     /**
@@ -175,11 +186,40 @@ class ServerManager : public sim::Actor,
      */
     void setBudget(double watts);
 
-    /** The budget currently being enforced. */
+    /**
+     * Timestamped variant: additionally refreshes the budget lease, so a
+     * parent that keeps sending keeps the SM on the dynamic grant. The
+     * coordination stack always sends through this overload; the plain one
+     * exists for lease-agnostic callers (tests, scripted experiments).
+     */
+    void setBudget(double watts, size_t tick);
+
+    /** The budget currently being enforced (ignoring lease expiry). */
     double effectiveCap() const;
+
+    /**
+     * The budget enforced at @p tick: effectiveCap(), unless the lease
+     * has lapsed, in which case the conservative local fallback
+     * min(CAP_LOC, lease_fallback * CAP_LOC).
+     */
+    double currentCap(size_t tick) const;
 
     /** The server's own static budget CAP_LOC. */
     double staticCap() const { return static_cap_; }
+
+    /// @}
+
+    /// @name Fault injection
+    /// @{
+
+    /** Attach the fault oracle (null = fault-free, the default). */
+    void setFaultInjector(const fault::FaultInjector *faults)
+    {
+        faults_ = faults;
+    }
+
+    /** Degradation counters accumulated by this SM. */
+    const fault::DegradeStats &degradeStats() const { return degrade_; }
 
     /// @}
 
@@ -198,8 +238,14 @@ class ServerManager : public sim::Actor,
     /// @}
 
   private:
-    /** One step of the solo (direct P-state) capper. */
-    void stepDirect();
+    /** One step of the solo (direct P-state) capper, enforcing @p cap. */
+    void stepDirect(size_t tick, double cap);
+
+    /** @return true when the budget lease has lapsed as of @p tick. */
+    bool leaseLapsed(size_t tick) const;
+
+    /** Cold restart after an outage: forget integrator and grant state. */
+    void restartCold(size_t tick);
 
     sim::Server &server_;
     EfficiencyController *ec_;
@@ -208,6 +254,11 @@ class ServerManager : public sim::Actor,
     Params params_;
     std::string name_;
     ctl::IntegralController r_ref_;
+    const fault::FaultInjector *faults_ = nullptr;
+    fault::DegradeStats degrade_;
+    size_t budget_tick_ = 0;    //!< receipt tick of the live grant
+    bool lease_expired_ = false; //!< edge detector for lease_expiries
+    bool was_down_ = false;      //!< edge detector for restarts
 };
 
 } // namespace controllers

@@ -34,9 +34,40 @@ VmController::VmController(sim::Cluster &cluster, Feedback feedback,
 }
 
 void
+VmController::restartCold()
+{
+    // A restarted VMC has lost its epoch accumulators, forecaster state
+    // and tuned buffers; it resumes from the construction-time defaults
+    // and needs a full epoch of observations before re-optimizing.
+    std::fill(load_accum_.begin(), load_accum_.end(), 0.0);
+    std::fill(load_sq_accum_.begin(), load_sq_accum_.end(), 0.0);
+    obs_ticks_ = 0;
+    double init = params_.use_violation_feedback ? params_.buffer_init
+                                                 : 0.0;
+    b_loc_ = init;
+    b_enc_ = init;
+    b_grp_ = init;
+    if (params_.use_forecast) {
+        forecasters_.assign(cluster_.numVms(),
+                            DemandForecaster(params_.forecast));
+    }
+}
+
+void
 VmController::observe(size_t tick)
 {
-    (void)tick;
+    if (faults_) {
+        if (faults_->down(fault::Level::VMC, 0, tick)) {
+            ++degrade_.outage_ticks;
+            was_down_ = true;
+            return;
+        }
+        if (was_down_) {
+            was_down_ = false;
+            ++degrade_.restarts;
+            restartCold();
+        }
+    }
     for (size_t j = 0; j < cluster_.numVms(); ++j) {
         const sim::VirtualMachine &vm = cluster_.vm(
             static_cast<sim::VmId>(j));
@@ -161,6 +192,12 @@ VmController::buildBins(size_t tick) const
 void
 VmController::step(size_t tick)
 {
+    if (faults_ && faults_->down(fault::Level::VMC, 0, tick)) {
+        // No consolidation this epoch: placements freeze where they are,
+        // which is safe — the capping hierarchy still enforces budgets.
+        ++degrade_.outage_steps;
+        return;
+    }
     updateBuffers();
 
     std::vector<double> loads = epochLoads();

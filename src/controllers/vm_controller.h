@@ -27,6 +27,7 @@
 #include "controllers/binpack.h"
 #include "controllers/forecast.h"
 #include "controllers/server_manager.h"
+#include "fault/injector.h"
 #include "sim/cluster.h"
 #include "sim/engine.h"
 
@@ -136,6 +137,20 @@ class VmController : public sim::Actor
     double bufferEnc() const { return b_enc_; }
     double bufferGrp() const { return b_grp_; }
 
+    /// @name Fault injection
+    /// @{
+
+    /** Attach the fault oracle (null = fault-free, the default). */
+    void setFaultInjector(const fault::FaultInjector *faults)
+    {
+        faults_ = faults;
+    }
+
+    /** Degradation counters accumulated by the VMC. */
+    const fault::DegradeStats &degradeStats() const { return degrade_; }
+
+    /// @}
+
   private:
     /** Per-VM load estimate for the next epoch (updates forecasters). */
     std::vector<double> epochLoads();
@@ -151,6 +166,9 @@ class VmController : public sim::Actor
                          const std::vector<sim::ServerId> &assignment,
                          size_t tick);
 
+    /** Cold restart after an outage: forget epoch state and buffers. */
+    void restartCold();
+
     sim::Cluster &cluster_;
     Feedback feedback_;
     Params params_;
@@ -163,6 +181,9 @@ class VmController : public sim::Actor
     std::vector<double> load_sq_accum_;
     std::vector<DemandForecaster> forecasters_;
     unsigned long obs_ticks_ = 0;
+    const fault::FaultInjector *faults_ = nullptr;
+    fault::DegradeStats degrade_;
+    bool was_down_ = false; //!< edge detector for restarts
 };
 
 } // namespace controllers

@@ -1,5 +1,7 @@
 #include "core/config.h"
 
+#include <algorithm>
+
 #include "util/logging.h"
 
 namespace nps {
@@ -39,6 +41,20 @@ CoordinationConfig::resolved() const
     // The VMC packs to the EC's utilization target so consolidated
     // servers land at the efficient operating point.
     out.vmc.util_limit = out.ec.r_ref;
+
+    if (out.faults.enabled) {
+        // Default budget leases to three parent epochs: generous enough
+        // that a healthy parent (or one missing a couple of sends) never
+        // trips them, tight enough that an outage degrades within the
+        // same order of magnitude as the parent's control interval.
+        // Leases stay off entirely when faults are disabled, keeping the
+        // fault-free arithmetic bit-identical to the pre-fault engine.
+        unsigned parent = std::max(out.em.period, out.gm.period);
+        if (out.sm.lease_ticks == 0)
+            out.sm.lease_ticks = 3 * parent;
+        if (out.em.lease_ticks == 0)
+            out.em.lease_ticks = 3 * out.gm.period;
+    }
 
     if (out.alpha_v < 0.0 || out.alpha_m < 0.0)
         util::fatal("CoordinationConfig: negative overheads");

@@ -16,6 +16,7 @@
 #include "controllers/memory_manager.h"
 #include "controllers/server_manager.h"
 #include "controllers/vm_controller.h"
+#include "fault/fault.h"
 #include "sim/cluster.h"
 
 namespace nps {
@@ -77,6 +78,13 @@ struct CoordinationConfig
      * value (docs/PARALLELISM.md).
      */
     unsigned threads = 0;
+
+    /**
+     * Fault-injection setup (docs/FAULTS.md). Disabled by default; when
+     * disabled the run is bit-identical to a configuration without the
+     * fault layer at all.
+     */
+    fault::FaultSetup faults;
 
     /**
      * Validate invariants and resolve derived settings: propagates the

@@ -76,9 +76,11 @@ schema()
         {"ec", {"lambda", "r_ref", "period", "objective",
                 "quantize_up"}},
         {"sm", {"beta", "r_ref_min", "r_ref_max", "period",
-                "unthrottle_margin", "release_gain_ratio"}},
+                "unthrottle_margin", "release_gain_ratio",
+                "lease_ticks", "lease_fallback"}},
         {"em", {"period", "policy", "demand_horizon",
-                "history_horizon", "seed"}},
+                "history_horizon", "seed", "lease_ticks",
+                "lease_fallback"}},
         {"gm", {"period", "policy", "demand_horizon",
                 "history_horizon", "seed"}},
         {"vmc",
@@ -93,6 +95,11 @@ schema()
         {"mem", {"period", "engage_below", "release_above",
                  "engage_patience"}},
         {"budgets", {"group_off", "enclosure_off", "local_off"}},
+        {"faults",
+         {"enabled", "seed", "script", "horizon", "outages",
+          "outage_len", "drops", "drop_len", "drop_prob", "stales",
+          "stale_len", "stucks", "stuck_len", "noises", "noise_len",
+          "noise_sigma", "freezes", "freeze_len"}},
     };
     return s;
 }
@@ -170,6 +177,10 @@ configFromIni(const IniDocument &ini)
         "sm", "unthrottle_margin", cfg.sm.unthrottle_margin);
     cfg.sm.release_gain_ratio = ini.getDouble(
         "sm", "release_gain_ratio", cfg.sm.release_gain_ratio);
+    cfg.sm.lease_ticks = static_cast<unsigned>(
+        ini.getInt("sm", "lease_ticks", cfg.sm.lease_ticks));
+    cfg.sm.lease_fallback = ini.getDouble("sm", "lease_fallback",
+                                          cfg.sm.lease_fallback);
 
     cfg.em.period = static_cast<unsigned>(
         ini.getInt("em", "period", cfg.em.period));
@@ -181,6 +192,10 @@ configFromIni(const IniDocument &ini)
                                            cfg.em.history_horizon);
     cfg.em.seed = static_cast<uint64_t>(
         ini.getInt("em", "seed", static_cast<long>(cfg.em.seed)));
+    cfg.em.lease_ticks = static_cast<unsigned>(
+        ini.getInt("em", "lease_ticks", cfg.em.lease_ticks));
+    cfg.em.lease_fallback = ini.getDouble("em", "lease_fallback",
+                                          cfg.em.lease_fallback);
 
     cfg.gm.period = static_cast<unsigned>(
         ini.getInt("gm", "period", cfg.gm.period));
@@ -254,6 +269,46 @@ configFromIni(const IniDocument &ini)
     cfg.budgets.loc_off_frac = ini.getDouble(
         "budgets", "local_off", cfg.budgets.loc_off_frac);
 
+    auto &fl = cfg.faults;
+    fl.enabled = ini.getBool("faults", "enabled", fl.enabled);
+    fl.seed = static_cast<uint64_t>(
+        ini.getInt("faults", "seed", static_cast<long>(fl.seed)));
+    fl.script = ini.get("faults", "script", fl.script);
+    if (!fl.script.empty()) {
+        // Validate eagerly so a typo dies at load, not mid-run.
+        fault::FaultSchedule::parse(fl.script);
+    }
+    auto &rnd = fl.random;
+    rnd.horizon = static_cast<size_t>(ini.getInt(
+        "faults", "horizon", static_cast<long>(rnd.horizon)));
+    rnd.outages = static_cast<unsigned>(
+        ini.getInt("faults", "outages", rnd.outages));
+    rnd.outage_len = static_cast<unsigned>(
+        ini.getInt("faults", "outage_len", rnd.outage_len));
+    rnd.drops = static_cast<unsigned>(
+        ini.getInt("faults", "drops", rnd.drops));
+    rnd.drop_len = static_cast<unsigned>(
+        ini.getInt("faults", "drop_len", rnd.drop_len));
+    rnd.drop_prob = ini.getDouble("faults", "drop_prob", rnd.drop_prob);
+    rnd.stales = static_cast<unsigned>(
+        ini.getInt("faults", "stales", rnd.stales));
+    rnd.stale_len = static_cast<unsigned>(
+        ini.getInt("faults", "stale_len", rnd.stale_len));
+    rnd.stucks = static_cast<unsigned>(
+        ini.getInt("faults", "stucks", rnd.stucks));
+    rnd.stuck_len = static_cast<unsigned>(
+        ini.getInt("faults", "stuck_len", rnd.stuck_len));
+    rnd.noises = static_cast<unsigned>(
+        ini.getInt("faults", "noises", rnd.noises));
+    rnd.noise_len = static_cast<unsigned>(
+        ini.getInt("faults", "noise_len", rnd.noise_len));
+    rnd.noise_sigma = ini.getDouble("faults", "noise_sigma",
+                                    rnd.noise_sigma);
+    rnd.freezes = static_cast<unsigned>(
+        ini.getInt("faults", "freezes", rnd.freezes));
+    rnd.freeze_len = static_cast<unsigned>(
+        ini.getInt("faults", "freeze_len", rnd.freeze_len));
+
     return cfg;
 }
 
@@ -298,12 +353,16 @@ configToIni(const CoordinationConfig &cfg)
             numStr(cfg.sm.unthrottle_margin));
     ini.set("sm", "release_gain_ratio",
             numStr(cfg.sm.release_gain_ratio));
+    ini.set("sm", "lease_ticks", std::to_string(cfg.sm.lease_ticks));
+    ini.set("sm", "lease_fallback", numStr(cfg.sm.lease_fallback));
 
     ini.set("em", "period", std::to_string(cfg.em.period));
     ini.set("em", "policy", controllers::policyName(cfg.em.policy));
     ini.set("em", "demand_horizon", numStr(cfg.em.demand_horizon));
     ini.set("em", "history_horizon", numStr(cfg.em.history_horizon));
     ini.set("em", "seed", std::to_string(cfg.em.seed));
+    ini.set("em", "lease_ticks", std::to_string(cfg.em.lease_ticks));
+    ini.set("em", "lease_fallback", numStr(cfg.em.lease_fallback));
 
     ini.set("gm", "period", std::to_string(cfg.gm.period));
     ini.set("gm", "policy", controllers::policyName(cfg.gm.policy));
@@ -349,6 +408,32 @@ configToIni(const CoordinationConfig &cfg)
     ini.set("budgets", "enclosure_off",
             numStr(cfg.budgets.enc_off_frac));
     ini.set("budgets", "local_off", numStr(cfg.budgets.loc_off_frac));
+
+    const auto &fl = cfg.faults;
+    ini.set("faults", "enabled", boolStr(fl.enabled));
+    ini.set("faults", "seed", std::to_string(fl.seed));
+    if (!fl.script.empty()) {
+        // Re-render through the parser so the stored form is one line of
+        // '; '-separated clauses (INI values cannot span lines).
+        ini.set("faults", "script",
+                fault::FaultSchedule::parse(fl.script).toText("; "));
+    }
+    const auto &rnd = fl.random;
+    ini.set("faults", "horizon", std::to_string(rnd.horizon));
+    ini.set("faults", "outages", std::to_string(rnd.outages));
+    ini.set("faults", "outage_len", std::to_string(rnd.outage_len));
+    ini.set("faults", "drops", std::to_string(rnd.drops));
+    ini.set("faults", "drop_len", std::to_string(rnd.drop_len));
+    ini.set("faults", "drop_prob", numStr(rnd.drop_prob));
+    ini.set("faults", "stales", std::to_string(rnd.stales));
+    ini.set("faults", "stale_len", std::to_string(rnd.stale_len));
+    ini.set("faults", "stucks", std::to_string(rnd.stucks));
+    ini.set("faults", "stuck_len", std::to_string(rnd.stuck_len));
+    ini.set("faults", "noises", std::to_string(rnd.noises));
+    ini.set("faults", "noise_len", std::to_string(rnd.noise_len));
+    ini.set("faults", "noise_sigma", numStr(rnd.noise_sigma));
+    ini.set("faults", "freezes", std::to_string(rnd.freezes));
+    ini.set("faults", "freeze_len", std::to_string(rnd.freeze_len));
     return ini;
 }
 

@@ -39,15 +39,38 @@ Coordinator::Coordinator(
 }
 
 void
+Coordinator::buildFaultInjector()
+{
+    if (!config_.faults.anyFaults())
+        return;
+    // Materialize the whole campaign up front: the injector is immutable
+    // afterwards, which is what keeps fault queries thread-safe and the
+    // run bit-identical across thread counts (docs/FAULTS.md).
+    fault::FaultSchedule schedule;
+    if (!config_.faults.script.empty())
+        schedule = fault::FaultSchedule::parse(config_.faults.script);
+    if (config_.faults.random.any()) {
+        schedule.merge(fault::FaultSchedule::randomized(
+            config_.faults.random, config_.faults.seed,
+            cluster_->numServers(), cluster_->numEnclosures()));
+    }
+    injector_ = std::make_unique<fault::FaultInjector>(
+        std::move(schedule), config_.faults.seed);
+}
+
+void
 Coordinator::buildControllers()
 {
     sim::Cluster &cl = *cluster_;
+    buildFaultInjector();
+    const fault::FaultInjector *inj = injector_.get();
 
     // Innermost first: one EC per server.
     if (config_.enable_ec) {
         for (auto &srv : cl.servers()) {
             auto ec = std::make_shared<controllers::EfficiencyController>(
                 srv, config_.ec);
+            ec->setFaultInjector(inj);
             ecs_.push_back(ec);
             engine_->addActor(ec);
         }
@@ -60,6 +83,7 @@ Coordinator::buildControllers()
                 config_.enable_ec ? ecs_[srv.id()].get() : nullptr;
             auto sm = std::make_shared<controllers::ServerManager>(
                 srv, ec, cl.capLoc(srv.id()), config_.sm);
+            sm->setFaultInjector(inj);
             sms_.push_back(sm);
             engine_->addActor(sm);
         }
@@ -71,6 +95,7 @@ Coordinator::buildControllers()
             auto cap = std::make_shared<controllers::ElectricalCapper>(
                 srv, config_.cap_limit_frac * srv.model().maxPower(),
                 config_.cap);
+            cap->setFaultInjector(inj);
             caps_.push_back(cap);
             engine_->addActor(cap);
         }
@@ -95,6 +120,7 @@ Coordinator::buildControllers()
             auto em = std::make_shared<controllers::EnclosureManager>(
                 cl, enc.id(), std::move(blades), cl.capEnc(enc.id()),
                 config_.em);
+            em->setFaultInjector(inj);
             ems_.push_back(em);
             engine_->addActor(em);
         }
@@ -120,6 +146,7 @@ Coordinator::buildControllers()
         gm_ = std::make_shared<controllers::GroupManager>(
             cl, std::move(em_ptrs), std::move(standalone), std::move(all),
             cl.capGrp(), config_.gm);
+        gm_->setFaultInjector(inj);
         engine_->addActor(gm_);
     }
 
@@ -135,6 +162,7 @@ Coordinator::buildControllers()
         }
         vmc_ = std::make_shared<controllers::VmController>(
             cl, std::move(feedback), config_.vmc);
+        vmc_->setFaultInjector(inj);
         engine_->addActor(vmc_);
     }
 }
@@ -143,6 +171,33 @@ void
 Coordinator::run(size_t ticks)
 {
     engine_->run(ticks);
+}
+
+fault::DegradeStats
+Coordinator::degradeStats() const
+{
+    fault::DegradeStats total;
+    for (const auto &ec : ecs_)
+        total += ec->degradeStats();
+    for (const auto &sm : sms_)
+        total += sm->degradeStats();
+    for (const auto &em : ems_)
+        total += em->degradeStats();
+    for (const auto &cap : caps_)
+        total += cap->degradeStats();
+    if (gm_)
+        total += gm_->degradeStats();
+    if (vmc_)
+        total += vmc_->degradeStats();
+    return total;
+}
+
+sim::MetricsSummary
+Coordinator::summary() const
+{
+    sim::MetricsSummary s = metrics_.summary();
+    s.degrade = degradeStats();
+    return s;
 }
 
 } // namespace core

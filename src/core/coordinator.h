@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "core/config.h"
+#include "fault/injector.h"
 #include "sim/engine.h"
 
 namespace nps {
@@ -73,8 +74,24 @@ class Coordinator
     sim::Cluster &cluster() { return *cluster_; }
     const sim::Cluster &cluster() const { return *cluster_; }
 
-    /** Aggregated metrics so far. */
-    sim::MetricsSummary summary() const { return metrics_.summary(); }
+    /**
+     * Aggregated metrics so far, including the degradation counters
+     * gathered from every controller.
+     */
+    sim::MetricsSummary summary() const;
+
+    /**
+     * The fault injector, or nullptr when the config schedules no faults.
+     * Built from config.faults: the inline script plus the seeded random
+     * campaign, materialized once at construction.
+     */
+    const fault::FaultInjector *faultInjector() const
+    {
+        return injector_.get();
+    }
+
+    /** Degradation counters summed across all controllers. */
+    fault::DegradeStats degradeStats() const;
 
     /** The metrics collector (for series access). */
     const sim::MetricsCollector &metrics() const { return metrics_; }
@@ -125,8 +142,10 @@ class Coordinator
 
   private:
     void buildControllers();
+    void buildFaultInjector();
 
     CoordinationConfig config_;
+    std::unique_ptr<fault::FaultInjector> injector_;
     std::unique_ptr<sim::Cluster> cluster_;
     sim::MetricsCollector metrics_;
     std::unique_ptr<sim::Engine> engine_;

@@ -1,0 +1,374 @@
+#include "fault/fault.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <tuple>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace nps {
+namespace fault {
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+    case FaultKind::Outage: return "outage";
+    case FaultKind::DropBudget: return "drop";
+    case FaultKind::StaleBudget: return "stale";
+    case FaultKind::StuckPState: return "stuck";
+    case FaultKind::UtilNoise: return "noise";
+    case FaultKind::UtilFreeze: return "freeze";
+    }
+    return "?";
+}
+
+const char *
+levelName(Level level)
+{
+    switch (level) {
+    case Level::GM: return "gm";
+    case Level::EM: return "em";
+    case Level::SM: return "sm";
+    case Level::EC: return "ec";
+    case Level::VMC: return "vmc";
+    case Level::CAP: return "cap";
+    }
+    return "?";
+}
+
+const char *
+linkName(Link link)
+{
+    switch (link) {
+    case Link::GmToEm: return "gm-em";
+    case Link::GmToSm: return "gm-sm";
+    case Link::EmToSm: return "em-sm";
+    }
+    return "?";
+}
+
+namespace {
+
+std::string
+idText(long id)
+{
+    return id == FaultEvent::kAll ? "*" : std::to_string(id);
+}
+
+std::string
+numText(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%g", v);
+    return buf;
+}
+
+Level
+levelFromName(const std::string &name)
+{
+    for (Level l : {Level::GM, Level::EM, Level::SM, Level::EC,
+                    Level::VMC, Level::CAP}) {
+        if (name == levelName(l))
+            return l;
+    }
+    util::fatal("faults: unknown level '%s'", name.c_str());
+}
+
+Link
+linkFromName(const std::string &name)
+{
+    for (Link l : {Link::GmToEm, Link::GmToSm, Link::EmToSm}) {
+        if (name == linkName(l))
+            return l;
+    }
+    util::fatal("faults: unknown link '%s'", name.c_str());
+}
+
+long
+idFromText(const std::string &text)
+{
+    if (text == "*")
+        return FaultEvent::kAll;
+    try {
+        return std::stol(text);
+    } catch (...) {
+        util::fatal("faults: bad target id '%s'", text.c_str());
+    }
+}
+
+size_t
+tickFromText(const std::string &text)
+{
+    try {
+        return static_cast<size_t>(std::stoull(text));
+    } catch (...) {
+        util::fatal("faults: bad tick '%s'", text.c_str());
+    }
+}
+
+double
+magFromText(const std::string &text)
+{
+    try {
+        return std::stod(text);
+    } catch (...) {
+        util::fatal("faults: bad magnitude '%s'", text.c_str());
+    }
+}
+
+/** Parse one whitespace-separated clause into an event. */
+FaultEvent
+parseClause(const std::vector<std::string> &tok, const std::string &raw)
+{
+    auto want = [&](size_t lo, size_t hi) {
+        if (tok.size() < lo || tok.size() > hi)
+            util::fatal("faults: malformed clause '%s'", raw.c_str());
+    };
+    FaultEvent e;
+    const std::string &verb = tok[0];
+    if (verb == "outage") {
+        want(5, 5);
+        e.kind = FaultKind::Outage;
+        e.level = levelFromName(tok[1]);
+        e.id = idFromText(tok[2]);
+        e.start = tickFromText(tok[3]);
+        e.end = tickFromText(tok[4]);
+    } else if (verb == "drop" || verb == "stale") {
+        want(5, verb == "drop" ? 6 : 5);
+        e.kind = verb == "drop" ? FaultKind::DropBudget
+                                : FaultKind::StaleBudget;
+        e.link = linkFromName(tok[1]);
+        e.id = idFromText(tok[2]);
+        e.start = tickFromText(tok[3]);
+        e.end = tickFromText(tok[4]);
+        if (tok.size() == 6)
+            e.magnitude = magFromText(tok[5]);
+    } else if (verb == "stuck" || verb == "freeze") {
+        want(4, 4);
+        e.kind = verb == "stuck" ? FaultKind::StuckPState
+                                 : FaultKind::UtilFreeze;
+        e.id = idFromText(tok[1]);
+        e.start = tickFromText(tok[2]);
+        e.end = tickFromText(tok[3]);
+    } else if (verb == "noise") {
+        want(5, 5);
+        e.kind = FaultKind::UtilNoise;
+        e.id = idFromText(tok[1]);
+        e.start = tickFromText(tok[2]);
+        e.end = tickFromText(tok[3]);
+        e.magnitude = magFromText(tok[4]);
+    } else {
+        util::fatal("faults: unknown fault verb '%s'", verb.c_str());
+    }
+    if (e.end < e.start)
+        util::fatal("faults: event ends before it starts: '%s'",
+                    raw.c_str());
+    return e;
+}
+
+} // namespace
+
+std::string
+FaultEvent::toText() const
+{
+    std::ostringstream out;
+    out << faultKindName(kind) << ' ';
+    switch (kind) {
+    case FaultKind::Outage:
+        out << levelName(level) << ' ' << idText(id) << ' ' << start
+            << ' ' << end;
+        break;
+    case FaultKind::DropBudget:
+        out << linkName(link) << ' ' << idText(id) << ' ' << start << ' '
+            << end << ' ' << numText(magnitude);
+        break;
+    case FaultKind::StaleBudget:
+        out << linkName(link) << ' ' << idText(id) << ' ' << start << ' '
+            << end;
+        break;
+    case FaultKind::StuckPState:
+    case FaultKind::UtilFreeze:
+        out << idText(id) << ' ' << start << ' ' << end;
+        break;
+    case FaultKind::UtilNoise:
+        out << idText(id) << ' ' << start << ' ' << end << ' '
+            << numText(magnitude);
+        break;
+    }
+    return out.str();
+}
+
+bool
+RandomFaultConfig::any() const
+{
+    return outages > 0 || drops > 0 || stales > 0 || stucks > 0 ||
+           noises > 0 || freezes > 0;
+}
+
+FaultSchedule::FaultSchedule(std::vector<FaultEvent> events)
+    : events_(std::move(events))
+{
+}
+
+FaultSchedule
+FaultSchedule::parse(const std::string &text)
+{
+    FaultSchedule out;
+    std::istringstream lines(text);
+    std::string line;
+    while (std::getline(lines, line)) {
+        // Strip comments, then split the remainder into ';' clauses.
+        size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        std::istringstream clauses(line);
+        std::string clause;
+        while (std::getline(clauses, clause, ';')) {
+            std::istringstream in(clause);
+            std::vector<std::string> tok;
+            std::string t;
+            while (in >> t)
+                tok.push_back(t);
+            if (!tok.empty())
+                out.add(parseClause(tok, clause));
+        }
+    }
+    return out;
+}
+
+FaultSchedule
+FaultSchedule::randomized(const RandomFaultConfig &cfg, uint64_t seed,
+                          size_t num_servers, size_t num_enclosures)
+{
+    if (num_servers == 0)
+        util::fatal("faults: randomized campaign over zero servers");
+    FaultSchedule out;
+    util::Rng rng(seed, "fault-campaign");
+    size_t horizon = cfg.horizon > 0 ? cfg.horizon : 1;
+
+    auto window = [&](unsigned mean_len) {
+        size_t start = 1 + rng.below(horizon);
+        size_t len = 1 + rng.below(std::max(1u, 2 * mean_len));
+        return std::pair<size_t, size_t>(start, start + len);
+    };
+    auto pickLink = [&](FaultEvent &e) {
+        // Links into enclosures exist only when enclosures do.
+        switch (num_enclosures > 0 ? rng.below(3) : 1) {
+        case 0:
+            e.link = Link::GmToEm;
+            e.id = static_cast<long>(rng.below(num_enclosures));
+            break;
+        case 1:
+            e.link = Link::GmToSm;
+            e.id = static_cast<long>(rng.below(num_servers));
+            break;
+        default:
+            e.link = Link::EmToSm;
+            e.id = static_cast<long>(rng.below(num_servers));
+            break;
+        }
+    };
+
+    for (unsigned i = 0; i < cfg.outages; ++i) {
+        FaultEvent e;
+        e.kind = FaultKind::Outage;
+        // Per-server levels dominate the draw so campaigns over large
+        // fleets exercise many distinct controllers.
+        switch (rng.below(num_enclosures > 0 ? 5 : 4)) {
+        case 0: e.level = Level::GM; e.id = 0; break;
+        case 1: e.level = Level::VMC; e.id = 0; break;
+        case 2:
+            e.level = Level::SM;
+            e.id = static_cast<long>(rng.below(num_servers));
+            break;
+        case 3:
+            e.level = Level::EC;
+            e.id = static_cast<long>(rng.below(num_servers));
+            break;
+        default:
+            e.level = Level::EM;
+            e.id = static_cast<long>(rng.below(num_enclosures));
+            break;
+        }
+        std::tie(e.start, e.end) = window(cfg.outage_len);
+        out.add(e);
+    }
+    for (unsigned i = 0; i < cfg.drops; ++i) {
+        FaultEvent e;
+        e.kind = FaultKind::DropBudget;
+        pickLink(e);
+        std::tie(e.start, e.end) = window(cfg.drop_len);
+        e.magnitude = cfg.drop_prob;
+        out.add(e);
+    }
+    for (unsigned i = 0; i < cfg.stales; ++i) {
+        FaultEvent e;
+        e.kind = FaultKind::StaleBudget;
+        pickLink(e);
+        std::tie(e.start, e.end) = window(cfg.stale_len);
+        out.add(e);
+    }
+    for (unsigned i = 0; i < cfg.stucks; ++i) {
+        FaultEvent e;
+        e.kind = FaultKind::StuckPState;
+        e.id = static_cast<long>(rng.below(num_servers));
+        std::tie(e.start, e.end) = window(cfg.stuck_len);
+        out.add(e);
+    }
+    for (unsigned i = 0; i < cfg.noises; ++i) {
+        FaultEvent e;
+        e.kind = FaultKind::UtilNoise;
+        e.id = static_cast<long>(rng.below(num_servers));
+        std::tie(e.start, e.end) = window(cfg.noise_len);
+        e.magnitude = cfg.noise_sigma;
+        out.add(e);
+    }
+    for (unsigned i = 0; i < cfg.freezes; ++i) {
+        FaultEvent e;
+        e.kind = FaultKind::UtilFreeze;
+        e.id = static_cast<long>(rng.below(num_servers));
+        std::tie(e.start, e.end) = window(cfg.freeze_len);
+        out.add(e);
+    }
+    return out;
+}
+
+void
+FaultSchedule::add(const FaultEvent &event)
+{
+    events_.push_back(event);
+}
+
+void
+FaultSchedule::merge(const FaultSchedule &other)
+{
+    events_.insert(events_.end(), other.events_.begin(),
+                   other.events_.end());
+}
+
+size_t
+FaultSchedule::lastEnd() const
+{
+    size_t last = 0;
+    for (const auto &e : events_)
+        last = std::max(last, e.end);
+    return last;
+}
+
+std::string
+FaultSchedule::toText(const std::string &sep) const
+{
+    std::string out;
+    for (size_t i = 0; i < events_.size(); ++i) {
+        if (i > 0)
+            out += sep;
+        out += events_[i].toText();
+    }
+    return out;
+}
+
+} // namespace fault
+} // namespace nps

@@ -1,0 +1,147 @@
+#include "fault/injector.h"
+
+#include "util/random.h"
+
+namespace nps {
+namespace fault {
+
+DegradeStats &
+DegradeStats::operator+=(const DegradeStats &o)
+{
+    outage_ticks += o.outage_ticks;
+    outage_steps += o.outage_steps;
+    restarts += o.restarts;
+    lease_expiries += o.lease_expiries;
+    lease_fallback_steps += o.lease_fallback_steps;
+    ec_fallback_steps += o.ec_fallback_steps;
+    dropped_budgets += o.dropped_budgets;
+    stale_budgets += o.stale_budgets;
+    stuck_actuations += o.stuck_actuations;
+    noisy_reads += o.noisy_reads;
+    return *this;
+}
+
+bool
+DegradeStats::none() const
+{
+    return outage_ticks == 0 && outage_steps == 0 && restarts == 0 &&
+           lease_expiries == 0 && lease_fallback_steps == 0 &&
+           ec_fallback_steps == 0 && dropped_budgets == 0 &&
+           stale_budgets == 0 && stuck_actuations == 0 &&
+           noisy_reads == 0;
+}
+
+namespace {
+
+/** SplitMix64 finalizer: decorrelates the packed query key. */
+uint64_t
+mix(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/** Counter-mode stream key for one (kind, target, tick) query. */
+uint64_t
+queryKey(uint64_t seed, FaultKind kind, long id, size_t tick)
+{
+    uint64_t k = mix(seed ^ (static_cast<uint64_t>(kind) << 56));
+    k = mix(k ^ static_cast<uint64_t>(id));
+    return mix(k ^ static_cast<uint64_t>(tick));
+}
+
+} // namespace
+
+FaultInjector::FaultInjector(FaultSchedule schedule, uint64_t seed)
+    : schedule_(std::move(schedule)), seed_(seed)
+{
+    for (const auto &e : schedule_.events())
+        by_kind_[static_cast<size_t>(e.kind)].push_back(e);
+}
+
+const FaultEvent *
+FaultInjector::find(FaultKind kind, size_t tick, Level level,
+                    Link link, long id) const
+{
+    for (const auto &e : by_kind_[static_cast<size_t>(kind)]) {
+        if (!e.activeAt(tick))
+            continue;
+        if (e.id != FaultEvent::kAll && e.id != id)
+            continue;
+        if (kind == FaultKind::Outage) {
+            if (e.level != level)
+                continue;
+        } else if (kind == FaultKind::DropBudget ||
+                   kind == FaultKind::StaleBudget) {
+            if (e.link != link)
+                continue;
+        }
+        return &e;
+    }
+    return nullptr;
+}
+
+bool
+FaultInjector::down(Level level, long id, size_t tick) const
+{
+    return find(FaultKind::Outage, tick, level, Link::EmToSm, id) !=
+           nullptr;
+}
+
+bool
+FaultInjector::budgetDropped(Link link, long id, size_t tick) const
+{
+    const FaultEvent *e = find(FaultKind::DropBudget, tick, Level::SM, link, id);
+    if (!e)
+        return false;
+    if (e->magnitude >= 1.0)
+        return true;
+    // Per-send coin flip, keyed so the answer is a pure function of the
+    // query — identical on every thread and on every repeat.
+    uint64_t key = queryKey(seed_, FaultKind::DropBudget,
+                            id * 4 + static_cast<long>(link), tick);
+    util::Rng rng(key);
+    return rng.bernoulli(e->magnitude);
+}
+
+bool
+FaultInjector::budgetStale(Link link, long id, size_t tick) const
+{
+    return find(FaultKind::StaleBudget, tick, Level::SM, link, id) != nullptr;
+}
+
+bool
+FaultInjector::pstateStuck(long id, size_t tick) const
+{
+    return find(FaultKind::StuckPState, tick, Level::SM, Link::EmToSm, id) != nullptr;
+}
+
+bool
+FaultInjector::utilFrozen(long id, size_t tick) const
+{
+    return find(FaultKind::UtilFreeze, tick, Level::SM, Link::EmToSm, id) != nullptr;
+}
+
+double
+FaultInjector::utilNoise(long id, size_t tick) const
+{
+    const FaultEvent *e = find(FaultKind::UtilNoise, tick, Level::SM, Link::EmToSm, id);
+    if (!e || e->magnitude <= 0.0)
+        return 0.0;
+    util::Rng rng(queryKey(seed_, FaultKind::UtilNoise, id, tick));
+    return rng.gaussian(0.0, e->magnitude);
+}
+
+size_t
+FaultInjector::activeCount(size_t tick) const
+{
+    size_t n = 0;
+    for (const auto &e : schedule_.events())
+        n += e.activeAt(tick) ? 1 : 0;
+    return n;
+}
+
+} // namespace fault
+} // namespace nps

@@ -24,6 +24,19 @@ Engine::addActor(std::shared_ptr<Actor> actor)
     if (actor->period() == 0)
         util::fatal("Engine::addActor: actor %s has zero period",
                     actor->name().c_str());
+    // Re-registering a name (replacing a controller instance after a
+    // fault-driven restart) swaps the actor into the original slot
+    // instead of appending. The slot, not the registration time, is what
+    // the stable coarse-first sort uses to break period ties, so the
+    // replacement steps exactly where its predecessor did and the
+    // schedule stays deterministic.
+    for (auto &existing : actors_) {
+        if (existing->name() == actor->name()) {
+            existing = std::move(actor);
+            plan_dirty_ = true;
+            return;
+        }
+    }
     actors_.push_back(std::move(actor));
     plan_dirty_ = true;
 }

@@ -106,6 +106,12 @@ class Engine
      * Registration is allowed between run() calls: the schedule is
      * (re)built lazily at the next run(), so a later-added actor joins
      * the same coarse-first ordering from that run on.
+     *
+     * Registering an actor whose name() matches an existing registration
+     * *replaces* it in place (e.g. a controller instance rebuilt after a
+     * fault-driven restart): the replacement inherits its predecessor's
+     * slot, and with it the predecessor's position among equal-period
+     * actors in the rebuilt schedule.
      */
     void addActor(std::shared_ptr<Actor> actor);
 

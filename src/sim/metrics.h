@@ -10,6 +10,7 @@
 
 #include <vector>
 
+#include "fault/injector.h"
 #include "sim/cluster.h"
 #include "util/stats.h"
 
@@ -27,6 +28,11 @@ struct MetricsSummary
     double em_violation = 0.0;   //!< fraction of enclosure-ticks over CAP_ENC
     double gm_violation = 0.0;   //!< fraction of ticks over CAP_GRP
     double perf_loss = 0.0;      //!< 1 - served / demanded useful work
+    /**
+     * Aggregate graceful-degradation counters across all controllers
+     * (all zero on a fault-free run; see src/fault/).
+     */
+    fault::DegradeStats degrade;
 };
 
 /**

@@ -53,6 +53,8 @@ Recorder::observe(size_t tick)
                 cluster_.lastEnclosurePower(enc.id()));
         }
     }
+    if (faults_)
+        active_faults_.push_back(faults_->activeCount(tick - 1));
 }
 
 const std::vector<double> &
@@ -108,6 +110,8 @@ Recorder::writeCsv(std::ostream &out) const
             header.push_back("srv" + std::to_string(s) + "_p");
         }
     }
+    if (faults_)
+        header.push_back("faults");
     w.rowFromFields(header);
 
     for (size_t i = 0; i < ticks_.size(); ++i) {
@@ -133,6 +137,8 @@ Recorder::writeCsv(std::ostream &out) const
                 row.push_back(std::to_string(server_pstate_[s][i]));
             }
         }
+        if (faults_)
+            row.push_back(std::to_string(active_faults_[i]));
         w.rowFromFields(row);
     }
 }

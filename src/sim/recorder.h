@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/injector.h"
 #include "sim/cluster.h"
 #include "sim/engine.h"
 
@@ -74,8 +75,22 @@ class Recorder : public Actor
     const std::vector<double> &enclosurePower(EnclosureId id) const;
 
     /**
+     * Attach the fault oracle: each sample then also records the number
+     * of schedule events active at that tick (the `faults` CSV column),
+     * so degraded intervals can be aligned with the power series.
+     */
+    void setFaultInjector(const fault::FaultInjector *faults)
+    {
+        faults_ = faults;
+    }
+
+    /** Active-fault-count series (empty unless an injector is attached). */
+    const std::vector<size_t> &activeFaults() const { return active_faults_; }
+
+    /**
      * Write everything captured as wide-form CSV: one row per sample,
-     * one column per signal (tick, group, enc<i>, srv<i>_{w,util,p}).
+     * one column per signal (tick, group, enc<i>, srv<i>_{w,util,p},
+     * plus `faults` when an injector is attached).
      */
     void writeCsv(std::ostream &out) const;
 
@@ -83,6 +98,8 @@ class Recorder : public Actor
     const Cluster &cluster_;
     Options options_;
     std::string name_ = "Recorder";
+    const fault::FaultInjector *faults_ = nullptr;
+    std::vector<size_t> active_faults_;
     std::vector<size_t> ticks_;
     std::vector<double> group_power_;
     std::vector<double> group_served_;

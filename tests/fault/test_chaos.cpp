@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Chaos properties: invariants that must hold for *whole campaigns*, not
+ * single scripted faults —
+ *
+ *   (a) once the campaign ends, enforcement recovers within one lease
+ *       expiry: past that point the degraded run violates its caps no
+ *       more than the fault-free run does;
+ *   (b) the system returns to the no-fault steady state after the last
+ *       fault clears;
+ *   (c) under the same fault schedule, the coordinated stack leaks fewer
+ *       violations than the uncoordinated one (the paper's Figure 6
+ *       claim, extended to degraded operation);
+ *   (d) a faulted run is bit-identical across engine thread counts —
+ *       fault randomness is keyed by (seed, target, tick), never by
+ *       thread.
+ *
+ * Every property is checked at threads = 1 and threads = 4.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/fixtures.h"
+#include "core/coordinator.h"
+#include "core/scenarios.h"
+#include "fault/fault.h"
+#include "model/machine.h"
+
+namespace {
+
+using namespace nps;
+
+constexpr size_t kTicks = 1200;
+// The campaign: a mid-run storm across levels and links, all clear by
+// tick 600. Default leases are 150 ticks, so by tick 800 every level has
+// either received a fresh grant or refreshed its lease several times.
+const char *kCampaign =
+    "outage em 0 100 350\n"
+    "outage ec 1 150 400\n"
+    "drop em-sm 2 100 500 0.8\n"
+    "stale gm-em 0 200 450\n"
+    "stuck 3 100 300\n"
+    "noise 4 100 400 0.15\n"
+    "freeze 5 150 350\n"
+    "outage sm 0 450 550\n";
+constexpr size_t kCampaignEnd = 600;
+constexpr size_t kLease = 150;  // 3 * max(T_em, T_gm) from resolved()
+constexpr size_t kRecovered = kCampaignEnd + kLease + 50;
+
+struct ChaosRun
+{
+    std::vector<double> power;
+    std::vector<double> perf;
+    sim::MetricsSummary summary;
+    fault::DegradeStats degrade;
+};
+
+ChaosRun
+runScenario(core::Scenario scenario, const std::string &faults,
+            unsigned threads)
+{
+    core::CoordinationConfig cfg = core::scenarioConfig(scenario);
+    cfg.threads = threads;
+    if (!faults.empty()) {
+        cfg.faults.enabled = true;
+        cfg.faults.script = faults;
+    }
+    sim::Topology topo{6, 1, 4};
+    core::Coordinator coord(cfg, topo, model::bladeA(),
+                            nps_test::flatTraces(6, 0.8, kTicks + 8),
+                            /*keep_series=*/true);
+    coord.run(kTicks);
+    return {coord.metrics().powerSeries(), coord.metrics().perfSeries(),
+            coord.summary(), coord.degradeStats()};
+}
+
+/** Fraction of ticks in [from, to) whose group power exceeds @p cap. */
+double
+violationRate(const std::vector<double> &power, size_t from, size_t to,
+              double cap)
+{
+    size_t hits = 0, n = 0;
+    for (size_t t = from; t < to && t < power.size(); ++t) {
+        ++n;
+        if (power[t] > cap + 1e-9)
+            ++hits;
+    }
+    return n == 0 ? 0.0 : static_cast<double>(hits) / n;
+}
+
+double
+groupCap()
+{
+    // The small fixture cluster's group budget, read off one build.
+    sim::Topology topo{6, 1, 4};
+    core::Coordinator coord(core::coordinatedConfig(), topo,
+                            model::bladeA(),
+                            nps_test::flatTraces(6, 0.8, 8));
+    return coord.cluster().capGrp();
+}
+
+class ChaosTest : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(ChaosTest, CapsRecoverWithinOneLeaseOfCampaignEnd)
+{
+    unsigned threads = GetParam();
+    ChaosRun faulted =
+        runScenario(core::Scenario::Coordinated, kCampaign, threads);
+    ChaosRun clean = runScenario(core::Scenario::Coordinated, "", threads);
+    ASSERT_GT(faulted.degrade.restarts, 0u);
+
+    // Property (a): past campaign end + one lease, the degraded run's
+    // group-cap violation rate is no worse than the fault-free run's.
+    double cap = groupCap();
+    double after_faulted =
+        violationRate(faulted.power, kRecovered, kTicks, cap);
+    double after_clean =
+        violationRate(clean.power, kRecovered, kTicks, cap);
+    EXPECT_LE(after_faulted, after_clean + 1e-9)
+        << "threads=" << threads;
+}
+
+TEST_P(ChaosTest, SteadyStateReturnsAfterFaultsClear)
+{
+    unsigned threads = GetParam();
+    ChaosRun faulted =
+        runScenario(core::Scenario::Coordinated, kCampaign, threads);
+    ChaosRun clean = runScenario(core::Scenario::Coordinated, "", threads);
+
+    // Property (b): the tail of the faulted run matches the fault-free
+    // run — same demand, same controllers, integrator state reconverged.
+    double sum_f = 0.0, sum_c = 0.0;
+    size_t n = 0;
+    for (size_t t = kRecovered; t < kTicks; ++t) {
+        sum_f += faulted.power[t];
+        sum_c += clean.power[t];
+        ++n;
+    }
+    ASSERT_GT(n, 100u);
+    double mean_f = sum_f / n, mean_c = sum_c / n;
+    EXPECT_NEAR(mean_f, mean_c, 0.02 * mean_c) << "threads=" << threads;
+}
+
+TEST_P(ChaosTest, CoordinatedLeaksFewerViolationsThanUncoordinated)
+{
+    unsigned threads = GetParam();
+    ChaosRun coord =
+        runScenario(core::Scenario::Coordinated, kCampaign, threads);
+    ChaosRun uncoord =
+        runScenario(core::Scenario::Uncoordinated, kCampaign, threads);
+
+    // Property (c): same schedule, same demand — coordination with
+    // leases must not leak more violations than the solo stack.
+    EXPECT_LE(coord.summary.sm_violation,
+              uncoord.summary.sm_violation + 1e-9)
+        << "threads=" << threads;
+    EXPECT_LE(coord.summary.gm_violation,
+              uncoord.summary.gm_violation + 1e-9)
+        << "threads=" << threads;
+}
+
+TEST_P(ChaosTest, RandomCampaignRunsAndReproduces)
+{
+    unsigned threads = GetParam();
+    auto run = [&](uint64_t seed) {
+        core::CoordinationConfig cfg = core::coordinatedConfig();
+        cfg.threads = threads;
+        cfg.faults.enabled = true;
+        cfg.faults.seed = seed;
+        cfg.faults.random.horizon = 800;
+        cfg.faults.random.outages = 4;
+        cfg.faults.random.drops = 3;
+        cfg.faults.random.drop_prob = 0.5;
+        cfg.faults.random.stales = 2;
+        cfg.faults.random.stucks = 2;
+        cfg.faults.random.noises = 2;
+        cfg.faults.random.freezes = 2;
+        sim::Topology topo{6, 1, 4};
+        core::Coordinator coord(cfg, topo, model::bladeA(),
+                                nps_test::flatTraces(6, 0.8, kTicks + 8),
+                                /*keep_series=*/true);
+        coord.run(kTicks);
+        return ChaosRun{coord.metrics().powerSeries(),
+                   coord.metrics().perfSeries(), coord.summary(),
+                   coord.degradeStats()};
+    };
+    ChaosRun a = run(11);
+    ChaosRun b = run(11);
+    // Same seed: bit-identical chaos.
+    ASSERT_EQ(a.power.size(), b.power.size());
+    for (size_t t = 0; t < a.power.size(); ++t)
+        ASSERT_EQ(a.power[t], b.power[t]) << "tick " << t;
+    EXPECT_EQ(a.summary.energy, b.summary.energy);
+    EXPECT_FALSE(a.degrade.none());
+
+    // Different seed: a different campaign.
+    ChaosRun c = run(12);
+    EXPECT_NE(a.summary.energy, c.summary.energy);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ChaosTest, ::testing::Values(1u, 4u));
+
+TEST(ChaosDeterminism, FaultedRunIsBitIdenticalAcrossThreads)
+{
+    // Property (d), the PR 1 contract extended under chaos: the serial
+    // and sharded engines must agree per tick while faults fire.
+    ChaosRun serial = runScenario(core::Scenario::Coordinated, kCampaign, 1);
+    EXPECT_FALSE(serial.degrade.none());
+    for (unsigned threads : {2u, 4u}) {
+        ChaosRun parallel =
+            runScenario(core::Scenario::Coordinated, kCampaign, threads);
+        ASSERT_EQ(serial.power.size(), parallel.power.size());
+        for (size_t t = 0; t < serial.power.size(); ++t) {
+            ASSERT_EQ(serial.power[t], parallel.power[t])
+                << "power diverged at tick " << t << " threads="
+                << threads;
+            ASSERT_EQ(serial.perf[t], parallel.perf[t])
+                << "perf diverged at tick " << t << " threads="
+                << threads;
+        }
+        EXPECT_EQ(serial.summary.energy, parallel.summary.energy);
+        // The degradation bookkeeping itself is part of the contract.
+        EXPECT_EQ(serial.degrade.outage_ticks,
+                  parallel.degrade.outage_ticks);
+        EXPECT_EQ(serial.degrade.restarts, parallel.degrade.restarts);
+        EXPECT_EQ(serial.degrade.lease_expiries,
+                  parallel.degrade.lease_expiries);
+        EXPECT_EQ(serial.degrade.dropped_budgets,
+                  parallel.degrade.dropped_budgets);
+        EXPECT_EQ(serial.degrade.stale_budgets,
+                  parallel.degrade.stale_budgets);
+        EXPECT_EQ(serial.degrade.stuck_actuations,
+                  parallel.degrade.stuck_actuations);
+        EXPECT_EQ(serial.degrade.noisy_reads, parallel.degrade.noisy_reads);
+    }
+}
+
+} // namespace

@@ -247,6 +247,45 @@ TEST(Determinism, ParallelWithCapAndMemMatchesSerialPerTick)
         expectSeriesIdentical(serial, run(threads), threads);
 }
 
+TEST(Determinism, ParallelFaultInjectedMatchesSerialPerTick)
+{
+    // The fault layer must preserve the thread-count contract: fault
+    // randomness is keyed by (seed, target, tick), so a chaotic run is
+    // as reproducible as a clean one.
+    auto run = [&](unsigned threads) {
+        core::CoordinationConfig cfg =
+            core::scenarioConfig(core::Scenario::Coordinated);
+        cfg.threads = threads;
+        cfg.faults.enabled = true;
+        cfg.faults.seed = 3;
+        cfg.faults.script =
+            "outage em 0 60 160\n"
+            "outage ec 3 80 200\n"
+            "drop em-sm * 50 250 0.5\n"
+            "stuck 1 40 120\n"
+            "noise 2 30 300 0.2\n";
+        sim::Topology topo = core::ExperimentRunner::topologyFor(
+            trace::Mix::Mid60);
+        core::Coordinator coord(cfg, topo, model::bladeA(), parTraces(),
+                                /*keep_series=*/true);
+        coord.run(kParTicks);
+        Series s{coord.metrics().powerSeries(),
+                 coord.metrics().perfSeries(), coord.summary()};
+        return std::make_pair(s, coord.degradeStats());
+    };
+    auto serial = run(1);
+    ASSERT_FALSE(serial.second.none());
+    for (unsigned threads : {2u, 4u, 8u}) {
+        auto parallel = run(threads);
+        expectSeriesIdentical(serial.first, parallel.first, threads);
+        EXPECT_EQ(serial.second.outage_ticks,
+                  parallel.second.outage_ticks);
+        EXPECT_EQ(serial.second.dropped_budgets,
+                  parallel.second.dropped_budgets);
+        EXPECT_EQ(serial.second.noisy_reads, parallel.second.noisy_reads);
+    }
+}
+
 TEST(Determinism, ParallelTraceGenerationMatchesSerial)
 {
     trace::GeneratorConfig gen;

@@ -172,6 +172,61 @@ TEST_F(EngineTest, AddActorDefersSortingUntilRun)
     EXPECT_EQ(engine_.actors()[1]->name(), "fine");
 }
 
+TEST_F(EngineTest, ReplacementActorKeepsPredecessorsSchedulePosition)
+{
+    // A controller instance rebuilt after a fault-driven restart
+    // re-registers under the same name. The replacement must re-enter
+    // the lazily rebuilt schedule in its predecessor's deterministic
+    // position: coarse-first, and the original slot among equal periods.
+    auto a = std::make_shared<ProbeActor>("a", 2, &log_);
+    auto b = std::make_shared<ProbeActor>("b", 2, &log_);
+    auto c = std::make_shared<ProbeActor>("c", 2, &log_);
+    engine_.addActor(a);
+    engine_.addActor(b);
+    engine_.addActor(c);
+    engine_.run(3);  // ticks 0..2, one step each at tick 2
+    ASSERT_EQ(log_.size(), 3u);
+    EXPECT_EQ(log_[1], "b@2");
+
+    // Replace the middle actor; the roster must not grow, and the
+    // replacement (not the predecessor) receives subsequent work.
+    auto b2 = std::make_shared<ProbeActor>("b", 2, &log_);
+    engine_.addActor(b2);
+    ASSERT_EQ(engine_.actors().size(), 3u);
+    log_.clear();
+    engine_.run(2);  // ticks 3..4, one step each at tick 4
+    ASSERT_EQ(log_.size(), 3u);
+    EXPECT_EQ(log_[0], "a@4");
+    EXPECT_EQ(log_[1], "b@4");
+    EXPECT_EQ(log_[2], "c@4");
+    EXPECT_EQ(b2->steps.size(), 1u);
+    EXPECT_TRUE(b->steps.size() == 1u);  // predecessor saw nothing new
+    EXPECT_EQ(b2->observations, 2u);
+}
+
+TEST_F(EngineTest, ReplacementWithDifferentPeriodResortsDeterministically)
+{
+    // The replacement may change its period (a restarted controller with
+    // new params): it keeps the slot but the rebuilt schedule re-sorts,
+    // so coarse-first still governs across distinct periods.
+    auto fast = std::make_shared<ProbeActor>("x", 1, &log_);
+    auto other = std::make_shared<ProbeActor>("y", 4, &log_);
+    engine_.addActor(fast);
+    engine_.addActor(other);
+    engine_.run(5);
+    log_.clear();
+    auto coarse = std::make_shared<ProbeActor>("x", 8, &log_);
+    engine_.addActor(coarse);
+    engine_.run(4);  // ticks 5..8
+    auto x_pos = std::find(log_.begin(), log_.end(), "x@8");
+    auto y_pos = std::find(log_.begin(), log_.end(), "y@8");
+    ASSERT_NE(x_pos, log_.end());
+    ASSERT_NE(y_pos, log_.end());
+    EXPECT_LT(x_pos - log_.begin(), y_pos - log_.begin());
+    EXPECT_TRUE(fast->steps.empty() ||
+                fast->steps.back() <= 4u);  // replaced instance retired
+}
+
 TEST_F(EngineTest, NullActorDies)
 {
     EXPECT_DEATH(engine_.addActor(nullptr), "null actor");

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Trace I/O round-trip property: for any trace set, write -> read ->
+ * write produces byte-identical text. The first write canonicalizes the
+ * numbers; from then on the serialized form must be a fixed point, or
+ * archived campaigns would drift every time they pass through the tools.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "trace/generator.h"
+#include "trace/trace_io.h"
+
+namespace {
+
+using namespace nps::trace;
+
+std::string
+serialize(const std::vector<UtilizationTrace> &traces)
+{
+    std::ostringstream out;
+    writeTraces(out, traces);
+    return out.str();
+}
+
+/** The property under test: serialize(parse(serialize(x))) is stable. */
+void
+expectFixedPoint(const std::vector<UtilizationTrace> &traces)
+{
+    std::string first = serialize(traces);
+    std::vector<UtilizationTrace> back = parseTraces(first);
+    std::string second = serialize(back);
+    EXPECT_EQ(first, second);
+
+    // And the parse itself preserved structure.
+    ASSERT_EQ(back.size(), traces.size());
+    for (size_t i = 0; i < traces.size(); ++i) {
+        EXPECT_EQ(back[i].name(), traces[i].name());
+        EXPECT_EQ(back[i].workloadClass(), traces[i].workloadClass());
+        EXPECT_EQ(back[i].length(), traces[i].length());
+    }
+}
+
+TEST(TraceIoRoundTrip, EmptyTraceSet)
+{
+    std::vector<UtilizationTrace> none;
+    std::string text = serialize(none);
+    // Header only; parses back to zero traces and stays stable.
+    EXPECT_EQ(parseTraces(text).size(), 0u);
+    EXPECT_EQ(serialize(parseTraces(text)), text);
+}
+
+TEST(TraceIoRoundTrip, SingleSampleTrace)
+{
+    expectFixedPoint(
+        {UtilizationTrace("solo", WorkloadClass::WebServer, {0.42})});
+}
+
+TEST(TraceIoRoundTrip, SaturatedAndIdleUtilization)
+{
+    // The extremes: pegged at 1.0, parked at 0.0, and values straddling
+    // both rails.
+    expectFixedPoint({
+        UtilizationTrace("pegged", WorkloadClass::Database,
+                         {1.0, 1.0, 1.0, 1.0}),
+        UtilizationTrace("idle", WorkloadClass::WebServer,
+                         {0.0, 0.0, 0.0}),
+        UtilizationTrace("railing", WorkloadClass::Batch,
+                         {0.0, 1.0, 0.0, 1.0, 1.0, 0.0}),
+    });
+}
+
+TEST(TraceIoRoundTrip, AwkwardNamesAndValues)
+{
+    expectFixedPoint({
+        UtilizationTrace("comma,name", WorkloadClass::WebServer,
+                         {0.1, 0.2}),
+        UtilizationTrace("quoted \"name\"", WorkloadClass::Database,
+                         {0.3333333333333333, 0.6666666666666666}),
+        UtilizationTrace("tiny", WorkloadClass::Batch,
+                         {1e-9, 0.1234567891234, 0.9999999999}),
+    });
+}
+
+TEST(TraceIoRoundTrip, GeneratedCampaignsAreFixedPoints)
+{
+    for (uint64_t seed : {1ull, 7ull, 42ull}) {
+        GeneratorConfig cfg;
+        cfg.seed = seed;
+        cfg.num_enterprises = 2;
+        cfg.servers_per_enterprise = 3;
+        cfg.trace_length = 128;
+        expectFixedPoint(TraceGenerator(cfg).generateAll());
+    }
+}
+
+TEST(TraceIoRoundTrip, RaggedLengthsSurvive)
+{
+    std::vector<UtilizationTrace> traces;
+    for (size_t n = 1; n <= 5; ++n) {
+        traces.emplace_back("t" + std::to_string(n),
+                            WorkloadClass::WebServer,
+                            std::vector<double>(n, 0.5));
+    }
+    expectFixedPoint(traces);
+}
+
+} // namespace

@@ -17,9 +17,12 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iterator>
 #include <string>
 
 #include "core/config_io.h"
+#include "fault/fault.h"
+#include "fault/injector.h"
 #include "core/coordinator.h"
 #include "core/experiment.h"
 #include "core/scenarios.h"
@@ -41,6 +44,7 @@ struct Args
     std::string budgets = "20-15-10";
     std::string series_path;
     std::string record_path;
+    std::string faults_path;
     unsigned record_stride = 10;
     size_t ticks = 2880;
     uint64_t seed = 20080301;
@@ -73,6 +77,8 @@ usage()
         "  --mem          enable the memory managers\n"
         "  --config FILE  load controller parameters from an INI file\n"
         "                 (applied on top of the chosen scenario)\n"
+        "  --faults FILE  load a fault-injection script (docs/FAULTS.md)\n"
+        "                 and run the scenario under it\n"
         "  --dump-config  print the effective configuration as INI\n"
         "  --series FILE  dump per-tick power/perf series as CSV\n"
         "  --record FILE  dump per-server/enclosure telemetry as CSV\n"
@@ -111,6 +117,8 @@ parse(int argc, char **argv)
         }
         else if (a == "--config")
             args.config_path = need(i), ++i;
+        else if (a == "--faults")
+            args.faults_path = need(i), ++i;
         else if (a == "--dump-config")
             args.dump_config = true;
         else if (a == "--series")
@@ -184,6 +192,17 @@ configFor(const Args &args)
     return cfg;
 }
 
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        util::fatal("cannot open %s", path.c_str());
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    return text;
+}
+
 trace::Mix
 mixFor(const std::string &name)
 {
@@ -200,9 +219,14 @@ int
 main(int argc, char **argv)
 {
     Args args = parse(argc, argv);
+    core::CoordinationConfig cfg = configFor(args);
+    if (!args.faults_path.empty()) {
+        cfg.faults.script = readFile(args.faults_path);
+        fault::FaultSchedule::parse(cfg.faults.script); // validate early
+        cfg.faults.enabled = true;
+    }
     if (args.dump_config) {
-        std::printf("%s", core::configToIni(configFor(args)).toText()
-                              .c_str());
+        std::printf("%s", core::configToIni(cfg).toText().c_str());
         return 0;
     }
 
@@ -218,14 +242,15 @@ main(int argc, char **argv)
     sim::Topology topo = core::ExperimentRunner::topologyFor(mix);
     bool keep_series = !args.series_path.empty();
 
-    core::Coordinator coordinator(configFor(args), topo, machine,
-                                  library.mix(mix), keep_series);
+    core::Coordinator coordinator(cfg, topo, machine, library.mix(mix),
+                                  keep_series);
     std::shared_ptr<sim::Recorder> recorder;
     if (!args.record_path.empty()) {
         sim::Recorder::Options opts;
         opts.stride = args.record_stride;
         recorder = std::make_shared<sim::Recorder>(coordinator.cluster(),
                                                    opts);
+        recorder->setFaultInjector(coordinator.faultInjector());
         coordinator.engine().addActor(recorder);
     }
     coordinator.run(args.ticks);
@@ -250,6 +275,28 @@ main(int argc, char **argv)
         std::printf("vmc:    %lu epochs, %lu adoptions, %lu migrations, "
                     "%lu infeasible\n", v.epochs, v.adoptions,
                     v.migrations, v.infeasible);
+    }
+    if (coordinator.faultInjector()) {
+        const fault::DegradeStats &d = m.degrade;
+        std::printf("faults: %zu scheduled events\n",
+                    coordinator.faultInjector()->schedule().events()
+                        .size());
+        std::printf("        outages %llu ticks / %llu steps, "
+                    "%llu restarts\n",
+                    (unsigned long long)d.outage_ticks,
+                    (unsigned long long)d.outage_steps,
+                    (unsigned long long)d.restarts);
+        std::printf("        leases: %llu expiries, %llu fallback steps; "
+                    "EC fallback %llu steps\n",
+                    (unsigned long long)d.lease_expiries,
+                    (unsigned long long)d.lease_fallback_steps,
+                    (unsigned long long)d.ec_fallback_steps);
+        std::printf("        links: %llu dropped, %llu stale; "
+                    "%llu stuck actuations, %llu noisy reads\n",
+                    (unsigned long long)d.dropped_budgets,
+                    (unsigned long long)d.stale_budgets,
+                    (unsigned long long)d.stuck_actuations,
+                    (unsigned long long)d.noisy_reads);
     }
 
     if (keep_series) {

@@ -16,9 +16,11 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_root="${1:-${repo_root}/build-san}"
 
 # The suites that exercise the parallel engine: the engine unit and
-# fuzz tests, the serial-vs-parallel determinism suite, and the
-# golden-master scenarios (which run at threads = 1 and 4).
-test_regex='sim/test_engine|sim/test_engine_fuzz|integration/test_determinism|golden/test_golden_master'
+# fuzz tests, the serial-vs-parallel determinism suite, the
+# golden-master scenarios (which run at threads = 1 and 4), and the
+# fault-injection chaos layer (whose injector queries run on the
+# sharded worker threads).
+test_regex='sim/test_engine|sim/test_engine_fuzz|integration/test_determinism|golden/test_golden_master|fault/test_injector|fault/test_chaos|fault/test_degradation'
 
 run_one() {
     local label="$1"
