@@ -1,0 +1,193 @@
+#include "bus/control_link.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace nps {
+namespace bus {
+
+double
+ViolationTracker::epochViolationRate() const
+{
+    if (epoch_total_ == 0)
+        return 0.0;
+    return static_cast<double>(epoch_hits_) /
+           static_cast<double>(epoch_total_);
+}
+
+void
+ViolationTracker::drainEpoch()
+{
+    epoch_total_ = 0;
+    epoch_hits_ = 0;
+}
+
+double
+ViolationTracker::lifetimeViolationRate() const
+{
+    if (life_total_ == 0)
+        return 0.0;
+    return static_cast<double>(life_hits_) /
+           static_cast<double>(life_total_);
+}
+
+const char *
+channelKindName(ChannelKind kind)
+{
+    switch (kind) {
+    case ChannelKind::Budget: return "budget";
+    case ChannelKind::Violation: return "violation";
+    case ChannelKind::Reference: return "reference";
+    case ChannelKind::Telemetry: return "telemetry";
+    }
+    return "?";
+}
+
+ControlLink::ControlLink(ChannelKind kind, std::string name)
+    : kind_(kind), name_(std::move(name))
+{
+}
+
+void
+ControlLink::attachLog(ControlPlaneLog *log)
+{
+    events_ = log ? log->channel(name_, kind_) : nullptr;
+}
+
+void
+ControlLink::mirror(size_t tick, uint64_t seq, double value, double aux,
+                    bool delivered, bool stale)
+{
+    if (!events_)
+        return;
+    ControlEvent e;
+    e.tick = tick;
+    e.seq = seq;
+    e.kind = kind_;
+    e.value = value;
+    e.aux = aux;
+    e.delivered = delivered;
+    e.stale = stale;
+    events_->push_back(e);
+}
+
+BudgetLink::BudgetLink(fault::Link link, long child, std::string name,
+                       Sink sink)
+    : ControlLink(ChannelKind::Budget, std::move(name)),
+      link_(link),
+      child_(child),
+      sink_(std::move(sink))
+{
+    if (!sink_)
+        util::fatal("BudgetLink %s: null sink", this->name().c_str());
+}
+
+void
+BudgetLink::setFaultInjector(const fault::FaultInjector *faults,
+                             fault::DegradeStats *stats)
+{
+    faults_ = faults;
+    stats_ = stats;
+}
+
+bool
+BudgetLink::send(double watts, size_t tick)
+{
+    uint64_t seq = nextSeq();
+    double deliver = watts;
+    bool dropped = false;
+    bool stale = false;
+    if (faults_) {
+        if (faults_->budgetDropped(link_, child_, tick)) {
+            // Lost on the wire: the receiver's lease keeps aging.
+            dropped = true;
+            if (stats_)
+                ++stats_->dropped_budgets;
+        } else if (faults_->budgetStale(link_, child_, tick) &&
+                   has_prev_) {
+            // The link delivered the previous epoch's grant.
+            stale = true;
+            if (stats_)
+                ++stats_->stale_budgets;
+            deliver = prev_;
+        }
+    }
+    // The fresh value becomes the next epoch's stale candidate whether
+    // or not this send made it through.
+    prev_ = watts;
+    has_prev_ = true;
+    deliver = std::max(deliver, kMinGrant);
+    mirror(tick, seq, dropped ? 0.0 : deliver, watts, !dropped, stale);
+    if (dropped)
+        return false;
+    ++delivered_;
+    sink_(BudgetGrant{deliver, tick, seq});
+    return true;
+}
+
+void
+BudgetLink::reset()
+{
+    prev_ = 0.0;
+    has_prev_ = false;
+}
+
+ViolationChannel::ViolationChannel(std::string name,
+                                   ViolationSource *source)
+    : ControlLink(ChannelKind::Violation, std::move(name)),
+      source_(source)
+{
+    if (!source_)
+        util::fatal("ViolationChannel %s: null source",
+                    this->name().c_str());
+}
+
+ViolationReport
+ViolationChannel::poll(size_t tick)
+{
+    ViolationReport r;
+    r.epoch_rate = source_->epochViolationRate();
+    r.lifetime_rate = source_->lifetimeViolationRate();
+    r.tick = tick;
+    r.seq = nextSeq();
+    mirror(tick, r.seq, r.epoch_rate, r.lifetime_rate, true, false);
+    return r;
+}
+
+void
+ViolationChannel::drain()
+{
+    source_->drainEpoch();
+}
+
+ReferenceLink::ReferenceLink(std::string name, Sink sink)
+    : ControlLink(ChannelKind::Reference, std::move(name)),
+      sink_(std::move(sink))
+{
+    if (!sink_)
+        util::fatal("ReferenceLink %s: null sink", this->name().c_str());
+}
+
+void
+ReferenceLink::send(double r_ref, size_t tick)
+{
+    uint64_t seq = nextSeq();
+    mirror(tick, seq, r_ref, 0.0, true, false);
+    sink_(ReferenceUpdate{r_ref, tick, seq});
+}
+
+TelemetryLink::TelemetryLink(std::string name)
+    : ControlLink(ChannelKind::Telemetry, std::move(name))
+{
+}
+
+void
+TelemetryLink::emit(double value, double aux, size_t tick)
+{
+    uint64_t seq = nextSeq();
+    mirror(tick, seq, value, aux, true, false);
+}
+
+} // namespace bus
+} // namespace nps

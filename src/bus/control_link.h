@@ -1,0 +1,195 @@
+/**
+ * @file
+ * ControlLink: the per-link abstraction every coordination channel of
+ * the hierarchy speaks through.
+ *
+ * A link binds one (sender, receiver) pair to one typed channel and
+ * gives the whole stack a single uniform hook point:
+ *
+ *   - sequence numbers: every message on a link is numbered, so logs
+ *     and tests can reason about ordering and loss;
+ *   - fault injection: drop/stale faults on budget links are applied
+ *     here, once, instead of being re-implemented per controller;
+ *   - observability: delivered (and dropped) messages can be mirrored
+ *     into an optional ControlPlaneLog.
+ *
+ * The fault semantics reproduce the per-controller plumbing they
+ * replace exactly: a dropped grant is counted and not delivered (the
+ * receiver's lease keeps aging); a stale grant delivers the previous
+ * epoch's value when one exists (and is counted), otherwise the fresh
+ * value passes through uncounted; delivered budgets are clamped to a
+ * tiny positive floor. FaultInjector queries are pure functions of
+ * (seed, kind, target, tick), so routing them through the link cannot
+ * perturb any other random stream.
+ */
+
+#ifndef NPS_BUS_CONTROL_LINK_H
+#define NPS_BUS_CONTROL_LINK_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bus/control_log.h"
+#include "bus/messages.h"
+#include "bus/violation.h"
+#include "fault/injector.h"
+
+namespace nps {
+namespace bus {
+
+/**
+ * Common identity, sequencing and mirroring of every channel.
+ */
+class ControlLink
+{
+  public:
+    ControlLink(ChannelKind kind, std::string name);
+    virtual ~ControlLink() = default;
+
+    /** The link's unique name, e.g. "EM/2->SM/9". */
+    const std::string &name() const { return name_; }
+
+    /** What the link carries. */
+    ChannelKind kind() const { return kind_; }
+
+    /** Messages sent so far (dropped ones included). */
+    uint64_t sent() const { return seq_; }
+
+    /**
+     * Mirror this link's traffic into @p log (null detaches). Must be
+     * called at wiring time, before the engine runs.
+     */
+    void attachLog(ControlPlaneLog *log);
+
+  protected:
+    /** Claim the next sequence number (1-based). */
+    uint64_t nextSeq() { return ++seq_; }
+
+    /** Append one event to the attached log, if any. */
+    void mirror(size_t tick, uint64_t seq, double value, double aux,
+                bool delivered, bool stale);
+
+  private:
+    ChannelKind kind_;
+    std::string name_;
+    uint64_t seq_ = 0;
+    std::vector<ControlEvent> *events_ = nullptr;
+};
+
+/**
+ * A downstream budget channel (GM→GM, GM→EM, GM→SM, EM→SM): the only
+ * channel the fault layer's drop/stale modes target.
+ */
+class BudgetLink : public ControlLink
+{
+  public:
+    /** Delivery floor: grants are clamped to at least this (watts). */
+    static constexpr double kMinGrant = 1e-6;
+
+    using Sink = std::function<void(const BudgetGrant &)>;
+
+    /**
+     * @param link  Which fault-model link class this instance is.
+     * @param child Receiver instance id (the fault target id).
+     * @param name  Unique link name for logs and diagnostics.
+     * @param sink  Delivery callback into the receiver.
+     */
+    BudgetLink(fault::Link link, long child, std::string name, Sink sink);
+
+    /**
+     * Attach the fault oracle and the sender's degradation counters
+     * (either may be null; both null = fault-free).
+     */
+    void setFaultInjector(const fault::FaultInjector *faults,
+                          fault::DegradeStats *stats);
+
+    /**
+     * Send a grant of @p watts at @p tick. Applies any active drop or
+     * stale fault, mirrors the outcome, and invokes the sink on
+     * delivery. @return false when the send was dropped.
+     */
+    bool send(double watts, size_t tick);
+
+    /**
+     * Forget the previous-epoch grant (sender restarted cold): the next
+     * stale fault has nothing old to replay and delivers fresh.
+     */
+    void reset();
+
+    /** Messages actually delivered (sent() minus drops). */
+    uint64_t delivered() const { return delivered_; }
+
+    /** The fault-model link class. */
+    fault::Link link() const { return link_; }
+
+    /** The receiver's fault target id. */
+    long child() const { return child_; }
+
+  private:
+    fault::Link link_;
+    long child_;
+    Sink sink_;
+    const fault::FaultInjector *faults_ = nullptr;
+    fault::DegradeStats *stats_ = nullptr;
+    double prev_ = 0.0;      //!< previous epoch's grant (stale replay)
+    bool has_prev_ = false;
+    uint64_t delivered_ = 0;
+};
+
+/**
+ * An upstream violation-feedback channel: wraps one ViolationSource so
+ * the consolidator's reads become typed, numbered messages.
+ */
+class ViolationChannel : public ControlLink
+{
+  public:
+    ViolationChannel(std::string name, ViolationSource *source);
+
+    /** Read the source's current rates as a report (and mirror it). */
+    ViolationReport poll(size_t tick);
+
+    /** Reset the source's epoch window (after consuming a report). */
+    void drain();
+
+    /** The wrapped source. */
+    ViolationSource *source() const { return source_; }
+
+  private:
+    ViolationSource *source_;
+};
+
+/**
+ * A nested-loop reference channel (SM → EC r_ref actuation).
+ */
+class ReferenceLink : public ControlLink
+{
+  public:
+    using Sink = std::function<void(const ReferenceUpdate &)>;
+
+    ReferenceLink(std::string name, Sink sink);
+
+    /** Send a reference update of @p r_ref at @p tick. */
+    void send(double r_ref, size_t tick);
+
+  private:
+    Sink sink_;
+};
+
+/**
+ * A one-way telemetry channel: no receiver, mirror-only. Used by the
+ * electrical cappers and memory managers to publish actuation events.
+ */
+class TelemetryLink : public ControlLink
+{
+  public:
+    explicit TelemetryLink(std::string name);
+
+    /** Publish one sample. */
+    void emit(double value, double aux, size_t tick);
+};
+
+} // namespace bus
+} // namespace nps
+
+#endif // NPS_BUS_CONTROL_LINK_H

@@ -1,0 +1,69 @@
+#include "bus/control_log.h"
+
+#include <algorithm>
+
+#include "util/csv.h"
+#include "util/logging.h"
+
+namespace nps {
+namespace bus {
+
+std::vector<ControlEvent> *
+ControlPlaneLog::channel(const std::string &name, ChannelKind kind)
+{
+    for (const auto &l : links_) {
+        if (l->name == name)
+            util::fatal("control log: link '%s' registered twice",
+                        name.c_str());
+    }
+    links_.push_back(std::make_unique<LinkLog>());
+    links_.back()->name = name;
+    links_.back()->kind = kind;
+    return &links_.back()->events;
+}
+
+size_t
+ControlPlaneLog::totalEvents() const
+{
+    size_t n = 0;
+    for (const auto &l : links_)
+        n += l->events.size();
+    return n;
+}
+
+std::vector<ControlPlaneLog::Entry>
+ControlPlaneLog::merged() const
+{
+    std::vector<Entry> out;
+    out.reserve(totalEvents());
+    for (const auto &l : links_) {
+        for (const auto &e : l->events)
+            out.push_back({l.get(), &e});
+    }
+    std::sort(out.begin(), out.end(), [](const Entry &a, const Entry &b) {
+        if (a.event->tick != b.event->tick)
+            return a.event->tick < b.event->tick;
+        if (a.link->name != b.link->name)
+            return a.link->name < b.link->name;
+        return a.event->seq < b.event->seq;
+    });
+    return out;
+}
+
+void
+ControlPlaneLog::writeCsv(std::ostream &out) const
+{
+    util::CsvWriter w(out);
+    w.row("tick", "link", "kind", "seq", "value", "aux", "delivered",
+          "stale");
+    for (const Entry &e : merged()) {
+        w.row(static_cast<unsigned long>(e.event->tick), e.link->name,
+              channelKindName(e.event->kind),
+              static_cast<unsigned long>(e.event->seq), e.event->value,
+              e.event->aux, e.event->delivered ? 1 : 0,
+              e.event->stale ? 1 : 0);
+    }
+}
+
+} // namespace bus
+} // namespace nps

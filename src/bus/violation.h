@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Violation feedback interface: the exposure of budget-violation history
+ * across controllers, the stand-in for the paper's "extend current CIM
+ * models exposed through DMTF interfaces" (Section 3.1).
+ *
+ * Lives in the bus layer because it is the payload contract of the
+ * Violation channel: every capping level implements ViolationSource, and
+ * the consolidator polls it through a ViolationChannel.
+ */
+
+#ifndef NPS_BUS_VIOLATION_H
+#define NPS_BUS_VIOLATION_H
+
+namespace nps {
+namespace bus {
+
+/**
+ * Exposure of budget-violation history across controllers. The VMC
+ * consumes this to tune consolidation aggressiveness.
+ */
+class ViolationSource
+{
+  public:
+    virtual ~ViolationSource() = default;
+
+    /** Fraction of observed ticks over budget since the last drain. */
+    virtual double epochViolationRate() const = 0;
+
+    /** Reset the epoch window (called by the consumer after reading). */
+    virtual void drainEpoch() = 0;
+
+    /** Lifetime fraction of observed ticks over budget. */
+    virtual double lifetimeViolationRate() const = 0;
+};
+
+/** Accumulator implementing ViolationSource bookkeeping. */
+class ViolationTracker : public ViolationSource
+{
+  public:
+    /** Record one observation. */
+    void
+    record(bool violated)
+    {
+        ++epoch_total_;
+        ++life_total_;
+        if (violated) {
+            ++epoch_hits_;
+            ++life_hits_;
+        }
+    }
+
+    double epochViolationRate() const override;
+    void drainEpoch() override;
+    double lifetimeViolationRate() const override;
+
+  private:
+    unsigned long epoch_total_ = 0;
+    unsigned long epoch_hits_ = 0;
+    unsigned long life_total_ = 0;
+    unsigned long life_hits_ = 0;
+};
+
+} // namespace bus
+} // namespace nps
+
+#endif // NPS_BUS_VIOLATION_H

@@ -10,10 +10,22 @@ ElectricalCapper::ElectricalCapper(sim::Server &server, double limit_watts,
     : server_(server),
       limit_(limit_watts),
       params_(params),
-      name_("CAP/" + std::to_string(server.id()))
+      name_("CAP/" + std::to_string(server.id())),
+      telemetry_(name_ + ".clamp")
 {
     if (limit_ <= 0.0)
         util::fatal("CAP/%u: non-positive limit", server.id());
+}
+
+void
+ElectricalCapper::publishClamp(bool clamping, size_t tick)
+{
+    // Edge-triggered: one sample per engage/release transition, carrying
+    // the measured power that caused it against the limit.
+    if (clamping == clamping_)
+        return;
+    clamping_ = clamping;
+    telemetry_.emit(clamping ? 1.0 : 0.0, server_.lastPower(), tick);
 }
 
 void
@@ -42,10 +54,10 @@ ElectricalCapper::step(size_t tick)
     if (was_down_) {
         was_down_ = false;
         ++degrade_.restarts;
-        clamping_ = false;
+        publishClamp(false, tick);
     }
     if (!server_.isOn(tick)) {
-        clamping_ = false;
+        publishClamp(false, tick);
         return;
     }
 
@@ -66,7 +78,7 @@ ElectricalCapper::step(size_t tick)
         } else {
             server_.setPState(p);
         }
-        clamping_ = true;
+        publishClamp(true, tick);
         return;
     }
 
@@ -92,7 +104,7 @@ ElectricalCapper::step(size_t tick)
             }
         }
         if (p == 0 && m.powerForDemand(0, demand) <= headroom)
-            clamping_ = false;
+            publishClamp(false, tick);
     }
 }
 

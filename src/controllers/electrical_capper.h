@@ -17,6 +17,7 @@
 
 #include <string>
 
+#include "bus/control_link.h"
 #include "controllers/server_manager.h"
 #include "sim/engine.h"
 #include "sim/server.h"
@@ -83,11 +84,21 @@ class ElectricalCapper : public sim::Actor, public ViolationTracker
 
     /// @}
 
+    /** Mirror clamp engage/release telemetry into @p log. */
+    void attachControlLog(bus::ControlPlaneLog *log)
+    {
+        telemetry_.attachLog(log);
+    }
+
   private:
+    /** Publish clamp transitions on the telemetry channel. */
+    void publishClamp(bool clamping, size_t tick);
+
     sim::Server &server_;
     double limit_;
     Params params_;
     std::string name_;
+    bus::TelemetryLink telemetry_;
     bool clamping_ = false;
     const fault::FaultInjector *faults_ = nullptr;
     fault::DegradeStats degrade_;

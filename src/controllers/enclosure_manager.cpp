@@ -35,6 +35,30 @@ EnclosureManager::EnclosureManager(sim::Cluster &cluster,
         util::fatal("EM/%u: Priority policy needs one priority per blade",
                     enclosure_);
     }
+    for (auto *sm : blades_) {
+        long sid = static_cast<long>(sm->server().id());
+        grant_links_.push_back(std::make_unique<bus::BudgetLink>(
+            fault::Link::EmToSm, sid,
+            name_ + "->SM/" + std::to_string(sid),
+            [sm](const bus::BudgetGrant &g) {
+                sm->setBudget(g.watts, g.tick);
+            }));
+    }
+}
+
+void
+EnclosureManager::setFaultInjector(const fault::FaultInjector *faults)
+{
+    faults_ = faults;
+    for (auto &link : grant_links_)
+        link->setFaultInjector(faults, &degrade_);
+}
+
+void
+EnclosureManager::attachControlLog(bus::ControlPlaneLog *log)
+{
+    for (auto &link : grant_links_)
+        link->attachLog(log);
 }
 
 void
@@ -83,7 +107,8 @@ EnclosureManager::restartCold(size_t tick)
     std::fill(demand_ewma_.begin(), demand_ewma_.end(), 0.0);
     std::fill(history_ewma_.begin(), history_ewma_.end(), 0.0);
     last_grants_.clear();
-    prev_grants_.clear();
+    for (auto &link : grant_links_)
+        link->reset();
     dynamic_cap_ = static_cap_;
     budget_tick_ = tick;
     lease_expired_ = false;
@@ -154,26 +179,11 @@ EnclosureManager::step(size_t tick)
         in.maxima.push_back(gb.max);
         in.floors.push_back(gb.floor);
     }
-    prev_grants_ = last_grants_;
     last_grants_ = divideBudget(params_.policy, in, &rng_);
-    for (size_t i = 0; i < blades_.size(); ++i) {
-        long sid = static_cast<long>(blades_[i]->server().id());
-        double send = last_grants_[i];
-        if (faults_) {
-            if (faults_->budgetDropped(fault::Link::EmToSm, sid, tick)) {
-                // Lost on the wire: the blade's lease keeps aging.
-                ++degrade_.dropped_budgets;
-                continue;
-            }
-            if (faults_->budgetStale(fault::Link::EmToSm, sid, tick) &&
-                i < prev_grants_.size()) {
-                // The link delivered the previous epoch's grant.
-                ++degrade_.stale_budgets;
-                send = prev_grants_[i];
-            }
-        }
-        blades_[i]->setBudget(std::max(send, 1e-6), tick);
-    }
+    // Each grant goes out on the blade's typed budget channel; drop and
+    // stale faults (and the delivery floor) are the link's business now.
+    for (size_t i = 0; i < blades_.size(); ++i)
+        grant_links_[i]->send(last_grants_[i], tick);
 }
 
 } // namespace controllers

@@ -13,9 +13,11 @@
 #ifndef NPS_CONTROLLERS_ENCLOSURE_MANAGER_H
 #define NPS_CONTROLLERS_ENCLOSURE_MANAGER_H
 
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "bus/control_link.h"
 #include "controllers/policies.h"
 #include "controllers/server_manager.h"
 #include "fault/injector.h"
@@ -100,16 +102,20 @@ class EnclosureManager : public sim::Actor, public ViolationTracker
     /// @name Fault injection
     /// @{
 
-    /** Attach the fault oracle (null = fault-free, the default). */
-    void setFaultInjector(const fault::FaultInjector *faults)
-    {
-        faults_ = faults;
-    }
+    /**
+     * Attach the fault oracle (null = fault-free, the default). The
+     * oracle is propagated to the EM→SM budget links, where drop/stale
+     * faults are actually applied.
+     */
+    void setFaultInjector(const fault::FaultInjector *faults);
 
     /** Degradation counters accumulated by this EM. */
     const fault::DegradeStats &degradeStats() const { return degrade_; }
 
     /// @}
+
+    /** Mirror the EM→SM budget links into @p log; null detaches. */
+    void attachControlLog(bus::ControlPlaneLog *log);
 
   private:
     /** @return true when the GM budget lease has lapsed as of @p tick. */
@@ -129,7 +135,8 @@ class EnclosureManager : public sim::Actor, public ViolationTracker
     std::vector<double> demand_ewma_;
     std::vector<double> history_ewma_;
     std::vector<double> last_grants_;
-    std::vector<double> prev_grants_; //!< previous epoch (stale delivery)
+    /** One budget channel per blade, in member order. */
+    std::vector<std::unique_ptr<bus::BudgetLink>> grant_links_;
     const fault::FaultInjector *faults_ = nullptr;
     fault::DegradeStats degrade_;
     size_t budget_tick_ = 0;     //!< receipt tick of the live GM grant

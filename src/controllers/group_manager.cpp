@@ -12,75 +12,196 @@ GroupManager::GroupManager(sim::Cluster &cluster,
                            std::vector<ServerManager *> standalone,
                            std::vector<ServerManager *> all_servers,
                            double static_cap, const Params &params)
+    : GroupManager(cluster, 0, "GM",
+                   Children{{}, std::move(enclosures),
+                            std::move(standalone),
+                            std::move(all_servers)},
+                   static_cap, params)
+{
+}
+
+GroupManager::GroupManager(sim::Cluster &cluster, long id,
+                           std::string name, Children children,
+                           double static_cap, const Params &params)
     : cluster_(cluster),
-      enclosures_(std::move(enclosures)),
-      standalone_(std::move(standalone)),
-      all_servers_(std::move(all_servers)),
+      id_(id),
+      groups_(std::move(children.groups)),
+      enclosures_(std::move(children.enclosures)),
+      standalone_(std::move(children.standalone)),
+      all_servers_(std::move(children.all_servers)),
       static_cap_(static_cap),
+      dynamic_cap_(static_cap),
       params_(params),
-      name_("GM"),
+      name_(std::move(name)),
       rng_(params.seed, name_),
-      child_demand_(enclosures_.size() + standalone_.size(), 0.0),
-      child_history_(enclosures_.size() + standalone_.size(), 0.0),
+      child_demand_(groups_.size() + enclosures_.size() +
+                        standalone_.size(),
+                    0.0),
+      child_history_(child_demand_.size(), 0.0),
       server_demand_(all_servers_.size(), 0.0),
       server_history_(all_servers_.size(), 0.0)
 {
     if (static_cap_ <= 0.0)
-        util::fatal("GM: non-positive static cap");
+        util::fatal("%s: non-positive static cap", name_.c_str());
     if (all_servers_.empty())
-        util::fatal("GM: no servers");
+        util::fatal("%s: no servers", name_.c_str());
+    for (auto *g : groups_) {
+        if (!g)
+            util::fatal("%s: null GM child", name_.c_str());
+        if (g == this)
+            util::fatal("%s: GM cannot parent itself", name_.c_str());
+        g->has_parent_ = true;
+    }
     for (auto *em : enclosures_) {
         if (!em)
-            util::fatal("GM: null EM child");
+            util::fatal("%s: null EM child", name_.c_str());
     }
     for (auto *sm : standalone_) {
         if (!sm)
-            util::fatal("GM: null standalone SM child");
+            util::fatal("%s: null standalone SM child", name_.c_str());
     }
-    size_t n_children = enclosures_.size() + standalone_.size();
+    size_t n_children = child_demand_.size();
     if (params_.policy == DivisionPolicy::Priority &&
         params_.priorities.size() != n_children &&
         params_.priorities.size() != all_servers_.size()) {
-        util::fatal("GM: Priority policy needs one priority per child");
+        util::fatal("%s: Priority policy needs one priority per child",
+                    name_.c_str());
+    }
+    if (params_.mode == Mode::Coordinated) {
+        for (auto *g : groups_) {
+            addChildLink(fault::Link::GmToGm, g->id(), g->name(),
+                         [g](const bus::BudgetGrant &b) {
+                             g->setBudget(b.watts, b.tick);
+                         });
+        }
+        for (auto *em : enclosures_) {
+            addChildLink(fault::Link::GmToEm,
+                         static_cast<long>(em->enclosureId()), em->name(),
+                         [em](const bus::BudgetGrant &b) {
+                             em->setBudget(b.watts, b.tick);
+                         });
+        }
+        for (auto *sm : standalone_) {
+            addChildLink(fault::Link::GmToSm,
+                         static_cast<long>(sm->server().id()), sm->name(),
+                         [sm](const bus::BudgetGrant &b) {
+                             sm->setBudget(b.watts, b.tick);
+                         });
+        }
+    } else {
+        for (auto *sm : all_servers_) {
+            long sid = static_cast<long>(sm->server().id());
+            server_links_.push_back(std::make_unique<bus::BudgetLink>(
+                fault::Link::GmToSm, sid,
+                name_ + "->" + sm->name(),
+                [sm](const bus::BudgetGrant &b) {
+                    sm->setBudget(b.watts, b.tick);
+                }));
+        }
     }
 }
 
 void
-GroupManager::restartCold()
+GroupManager::addChildLink(fault::Link link, long child,
+                           const std::string &peer,
+                           bus::BudgetLink::Sink sink)
+{
+    child_links_.push_back(std::make_unique<bus::BudgetLink>(
+        link, child, name_ + "->" + peer, std::move(sink)));
+}
+
+void
+GroupManager::setFaultInjector(const fault::FaultInjector *faults)
+{
+    faults_ = faults;
+    for (auto &link : child_links_)
+        link->setFaultInjector(faults, &degrade_);
+    for (auto &link : server_links_)
+        link->setFaultInjector(faults, &degrade_);
+}
+
+void
+GroupManager::attachControlLog(bus::ControlPlaneLog *log)
+{
+    for (auto &link : child_links_)
+        link->attachLog(log);
+    for (auto &link : server_links_)
+        link->attachLog(log);
+}
+
+void
+GroupManager::setBudget(double watts)
+{
+    if (watts <= 0.0)
+        util::fatal("%s: non-positive budget recommendation",
+                    name_.c_str());
+    dynamic_cap_ = watts;
+}
+
+void
+GroupManager::setBudget(double watts, size_t tick)
+{
+    setBudget(watts);
+    budget_tick_ = tick;
+}
+
+double
+GroupManager::effectiveCap() const
+{
+    return std::min(static_cap_, dynamic_cap_);
+}
+
+bool
+GroupManager::leaseLapsed(size_t tick) const
+{
+    return has_parent_ && params_.lease_ticks > 0 &&
+           tick > budget_tick_ + params_.lease_ticks;
+}
+
+double
+GroupManager::currentCap(size_t tick) const
+{
+    if (leaseLapsed(tick))
+        return std::min(static_cap_, params_.lease_fallback * static_cap_);
+    return effectiveCap();
+}
+
+double
+GroupManager::scopePower() const
+{
+    // Serial left-fold in server-id order: for a full-cluster scope this
+    // reproduces ClusterTick::total_power bit-for-bit (same fold).
+    double sum = 0.0;
+    for (const auto *sm : all_servers_)
+        sum += sm->server().lastPower();
+    return sum;
+}
+
+void
+GroupManager::restartCold(size_t tick)
 {
     // A restarted GM rebuilds its demand estimates from zero and has no
-    // memory of past grants; children ride their leases meanwhile.
+    // memory of past grants or of its parent's; children ride their
+    // leases meanwhile.
     std::fill(child_demand_.begin(), child_demand_.end(), 0.0);
     std::fill(child_history_.begin(), child_history_.end(), 0.0);
     std::fill(server_demand_.begin(), server_demand_.end(), 0.0);
     std::fill(server_history_.begin(), server_history_.end(), 0.0);
     last_grants_.clear();
-    prev_grants_.clear();
-}
-
-bool
-GroupManager::faultedSend(fault::Link link, long id, size_t tick,
-                          size_t slot, double grant, double &send)
-{
-    send = grant;
-    if (!faults_)
-        return true;
-    if (faults_->budgetDropped(link, id, tick)) {
-        ++degrade_.dropped_budgets;
-        return false;
-    }
-    if (faults_->budgetStale(link, id, tick) && slot < prev_grants_.size()) {
-        ++degrade_.stale_budgets;
-        send = prev_grants_[slot];
-    }
-    return true;
+    for (auto &link : child_links_)
+        link->reset();
+    for (auto &link : server_links_)
+        link->reset();
+    dynamic_cap_ = static_cap_;
+    budget_tick_ = tick;
+    lease_expired_ = false;
 }
 
 void
 GroupManager::observe(size_t tick)
 {
     if (faults_) {
-        if (faults_->down(fault::Level::GM, 0, tick)) {
+        if (faults_->down(fault::Level::GM, id_, tick)) {
             ++degrade_.outage_ticks;
             was_down_ = true;
             return;
@@ -88,15 +209,21 @@ GroupManager::observe(size_t tick)
         if (was_down_) {
             was_down_ = false;
             ++degrade_.restarts;
-            restartCold();
+            restartCold(tick);
         }
     }
-    record(cluster_.lastTick().total_power > static_cap_ + 1e-9);
+    record(scopePower() > static_cap_ + 1e-9);
 
     double a_short = 1.0 / params_.demand_horizon;
     double a_long = 1.0 / params_.history_horizon;
 
     size_t c = 0;
+    for (auto *g : groups_) {
+        double p = g->scopePower();
+        child_demand_[c] += a_short * (p - child_demand_[c]);
+        child_history_[c] += a_long * (p - child_history_[c]);
+        ++c;
+    }
     for (auto *em : enclosures_) {
         double p = cluster_.lastEnclosurePower(em->enclosureId());
         child_demand_[c] += a_short * (p - child_demand_[c]);
@@ -119,11 +246,21 @@ GroupManager::observe(size_t tick)
 void
 GroupManager::step(size_t tick)
 {
-    if (faults_ && faults_->down(fault::Level::GM, 0, tick)) {
-        // A down GM stops refreshing child leases; EMs and standalone SMs
-        // degrade to their local fallbacks when those expire.
+    if (faults_ && faults_->down(fault::Level::GM, id_, tick)) {
+        // A down GM stops refreshing child leases; child GMs, EMs and
+        // standalone SMs degrade to their fallbacks when those expire.
         ++degrade_.outage_steps;
         return;
+    }
+    bool lapsed = leaseLapsed(tick);
+    if (lapsed) {
+        if (!lease_expired_) {
+            lease_expired_ = true;
+            ++degrade_.lease_expiries;
+        }
+        ++degrade_.lease_fallback_steps;
+    } else {
+        lease_expired_ = false;
     }
     if (params_.mode == Mode::Coordinated)
         stepCoordinated(tick);
@@ -135,13 +272,24 @@ void
 GroupManager::stepCoordinated(size_t tick)
 {
     DivisionInput in;
-    in.budget = static_cap_;
+    in.budget = currentCap(tick);
     in.demands = params_.policy == DivisionPolicy::History
                      ? child_history_
                      : child_demand_;
     if (params_.priorities.size() == child_demand_.size())
         in.priorities = params_.priorities;
 
+    for (auto *g : groups_) {
+        // A child group's bounds aggregate over its whole subtree.
+        double floor = 0.0, max_pow = 0.0;
+        for (auto *sm : g->allServers()) {
+            GrantBounds gb = grantBounds(sm->server(), tick);
+            floor += gb.floor;
+            max_pow += gb.max;
+        }
+        in.maxima.push_back(max_pow);
+        in.floors.push_back(floor);
+    }
     for (auto *em : enclosures_) {
         // Aggregate the platform-state-aware bounds of the member
         // blades: a half-dark enclosure neither needs nor can use its
@@ -162,25 +310,9 @@ GroupManager::stepCoordinated(size_t tick)
         in.floors.push_back(gb.floor);
     }
 
-    prev_grants_ = last_grants_;
     last_grants_ = divideBudget(params_.policy, in, &rng_);
-
-    size_t c = 0;
-    double send = 0.0;
-    for (auto *em : enclosures_) {
-        size_t slot = c++;
-        if (faultedSend(fault::Link::GmToEm,
-                        static_cast<long>(em->enclosureId()), tick, slot,
-                        last_grants_[slot], send))
-            em->setBudget(std::max(send, 1e-6), tick);
-    }
-    for (auto *sm : standalone_) {
-        size_t slot = c++;
-        if (faultedSend(fault::Link::GmToSm,
-                        static_cast<long>(sm->server().id()), tick, slot,
-                        last_grants_[slot], send))
-            sm->setBudget(std::max(send, 1e-6), tick);
-    }
+    for (size_t slot = 0; slot < child_links_.size(); ++slot)
+        child_links_[slot]->send(last_grants_[slot], tick);
 }
 
 void
@@ -189,7 +321,7 @@ GroupManager::stepUncoordinated(size_t tick)
     // A solo group capper knows only servers; it pushes per-server
     // budgets straight to every iLO, overwriting any EM allocation.
     DivisionInput in;
-    in.budget = static_cap_;
+    in.budget = currentCap(tick);
     in.demands = params_.policy == DivisionPolicy::History
                      ? server_history_
                      : server_demand_;
@@ -201,15 +333,9 @@ GroupManager::stepUncoordinated(size_t tick)
         in.maxima.push_back(gb.max);
         in.floors.push_back(gb.floor);
     }
-    prev_grants_ = last_grants_;
     last_grants_ = divideBudget(params_.policy, in, &rng_);
-    double send = 0.0;
-    for (size_t i = 0; i < all_servers_.size(); ++i) {
-        long sid = static_cast<long>(all_servers_[i]->server().id());
-        if (faultedSend(fault::Link::GmToSm, sid, tick, i,
-                        last_grants_[i], send))
-            all_servers_[i]->setBudget(std::max(send, 1e-6), tick);
-    }
+    for (size_t i = 0; i < server_links_.size(); ++i)
+        server_links_[i]->send(last_grants_[i], tick);
 }
 
 } // namespace controllers

@@ -1,11 +1,17 @@
 /**
  * @file
- * Group Manager (GM): power capping at the rack / data-center level.
+ * Group Manager (GM): power capping at the rack / zone / data-center
+ * level.
  *
  * Works like the EM one level up (Eq. GMs): each interval it divides the
- * group budget among its children — blade enclosures (through their EMs)
- * and standalone servers (through their SMs) — proportionally to their
- * recent power by default.
+ * group budget among its children — child group managers (a zone GM
+ * parenting rack GMs), blade enclosures (through their EMs) and
+ * standalone servers (through their SMs) — proportionally to their
+ * recent power by default. GMs nest to arbitrary depth: a child GM
+ * receives its parent's grant on a typed GM→GM budget link and enforces
+ * min(its own static cap, the grant), exactly the coordination rule the
+ * EM and SM apply one level down. The paper's Figure 2 stack is the
+ * one-GM special case.
  *
  * Coordinated mode respects the hierarchy: enclosure grants go to the EM,
  * which subdivides among its blades. Uncoordinated mode models a solo
@@ -18,9 +24,11 @@
 #ifndef NPS_CONTROLLERS_GROUP_MANAGER_H
 #define NPS_CONTROLLERS_GROUP_MANAGER_H
 
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "bus/control_link.h"
 #include "controllers/enclosure_manager.h"
 #include "controllers/policies.h"
 #include "controllers/server_manager.h"
@@ -55,22 +63,57 @@ class GroupManager : public sim::Actor, public ViolationTracker
         double demand_horizon = 20.0;   //!< short smoothing (ticks)
         double history_horizon = 400.0; //!< History policy smoothing
         Mode mode = Mode::Coordinated;
+        /**
+         * Budget-lease length in ticks on the parent-GM channel: past it
+         * a silent parent makes this GM degrade to lease_fallback * its
+         * static cap. Only meaningful for nested GMs (the root has no
+         * parent); 0 disables leasing.
+         */
+        unsigned lease_ticks = 0;
+        /** Fraction of the static cap enforced while the lease lapsed. */
+        double lease_fallback = 1.0;
     };
 
     /**
-     * @param cluster     The cluster.
-     * @param enclosures  EMs of all enclosures (coordinated children).
-     * @param standalone  SMs of the standalone servers.
-     * @param all_servers SMs of *every* server, in server-id order (used
-     *                    by the uncoordinated direct-to-server mode).
-     * @param static_cap  The group budget CAP_GRP.
-     * @param params      Controller parameters.
+     * The managed children of one GM. Division order (and therefore
+     * grant-slot order) is groups, then enclosures, then standalone.
+     */
+    struct Children
+    {
+        std::vector<GroupManager *> groups;      //!< nested child GMs
+        std::vector<EnclosureManager *> enclosures;
+        std::vector<ServerManager *> standalone;
+        /**
+         * SMs of every server in this GM's scope (subtree), in server-id
+         * order — the uncoordinated direct-to-server mode's targets and
+         * the basis of the scope power measurement.
+         */
+        std::vector<ServerManager *> all_servers;
+    };
+
+    /**
+     * The paper's single flat GM over the whole cluster: id 0, name
+     * "GM", no child groups.
      */
     GroupManager(sim::Cluster &cluster,
                  std::vector<EnclosureManager *> enclosures,
                  std::vector<ServerManager *> standalone,
                  std::vector<ServerManager *> all_servers,
                  double static_cap, const Params &params);
+
+    /**
+     * General (possibly nested) GM.
+     *
+     * @param cluster    The cluster.
+     * @param id         Fault-target / GM→GM link id, unique per GM.
+     * @param name       Actor name; also keys the RNG stream.
+     * @param children   Managed children (see Children).
+     * @param static_cap This group's own budget.
+     * @param params     Controller parameters.
+     */
+    GroupManager(sim::Cluster &cluster, long id, std::string name,
+                 Children children, double static_cap,
+                 const Params &params);
 
     /// @name sim::Actor
     /// @{
@@ -80,8 +123,49 @@ class GroupManager : public sim::Actor, public ViolationTracker
     void step(size_t tick) override;
     /// @}
 
-    /** The group budget CAP_GRP. */
+    /** The group's own static budget. */
     double staticCap() const { return static_cap_; }
+
+    /// @name Budget channel (driven by a parent GM, nested GMs only)
+    /// @{
+
+    /** Grant from the parent GM; effective = min(static, grant). */
+    void setBudget(double watts);
+
+    /** Timestamped variant: additionally refreshes the parent lease. */
+    void setBudget(double watts, size_t tick);
+
+    /** The budget currently being enforced (ignoring lease expiry). */
+    double effectiveCap() const;
+
+    /**
+     * The budget divided at @p tick: effectiveCap(), unless the parent
+     * lease has lapsed, in which case min(static, fallback * static).
+     */
+    double currentCap(size_t tick) const;
+
+    /// @}
+
+    /** This GM's id (0 for the root). */
+    long id() const { return id_; }
+
+    /** @return true when a parent GM feeds this one. */
+    bool hasParent() const { return has_parent_; }
+
+    /** Total last-tick power of every server in this GM's scope. */
+    double scopePower() const;
+
+    /** The SMs of every server in this GM's scope, in id order. */
+    const std::vector<ServerManager *> &allServers() const
+    {
+        return all_servers_;
+    }
+
+    /** The nested child GMs (empty for a flat Figure-2 GM). */
+    const std::vector<GroupManager *> &childGroups() const
+    {
+        return groups_;
+    }
 
     /** The most recent per-child grants (coordinated mode). */
     const std::vector<double> &lastGrants() const { return last_grants_; }
@@ -89,40 +173,46 @@ class GroupManager : public sim::Actor, public ViolationTracker
     /// @name Fault injection
     /// @{
 
-    /** Attach the fault oracle (null = fault-free, the default). */
-    void setFaultInjector(const fault::FaultInjector *faults)
-    {
-        faults_ = faults;
-    }
+    /**
+     * Attach the fault oracle (null = fault-free, the default). The
+     * oracle is propagated to this GM's outgoing budget links, where
+     * drop/stale faults are actually applied.
+     */
+    void setFaultInjector(const fault::FaultInjector *faults);
 
     /** Degradation counters accumulated by the GM. */
     const fault::DegradeStats &degradeStats() const { return degrade_; }
 
     /// @}
 
+    /** Mirror this GM's outgoing budget links into @p log. */
+    void attachControlLog(bus::ControlPlaneLog *log);
+
   private:
-    /** Coordinated step: divide among enclosures + standalone servers. */
+    /** Coordinated step: divide among groups + enclosures + standalone. */
     void stepCoordinated(size_t tick);
 
     /** Uncoordinated step: divide among all servers directly. */
     void stepUncoordinated(size_t tick);
 
-    /** Cold restart after an outage: forget demand estimates and grants. */
-    void restartCold();
+    /** @return true when the parent budget lease lapsed as of @p tick. */
+    bool leaseLapsed(size_t tick) const;
 
-    /**
-     * Deliver @p grant to child @p id on @p link, honoring any active
-     * drop/stale fault. @p send receives the value to forward (fresh or
-     * previous-epoch); @return false when the send was dropped.
-     */
-    bool faultedSend(fault::Link link, long id, size_t tick, size_t slot,
-                     double grant, double &send);
+    /** Register one coordinated child budget link (slot order). */
+    void addChildLink(fault::Link link, long child,
+                      const std::string &peer, bus::BudgetLink::Sink sink);
+
+    /** Cold restart after an outage: forget estimates and grant state. */
+    void restartCold(size_t tick);
 
     sim::Cluster &cluster_;
+    long id_;
+    std::vector<GroupManager *> groups_;
     std::vector<EnclosureManager *> enclosures_;
     std::vector<ServerManager *> standalone_;
     std::vector<ServerManager *> all_servers_;
     double static_cap_;
+    double dynamic_cap_;
     Params params_;
     std::string name_;
     util::Rng rng_;
@@ -132,10 +222,16 @@ class GroupManager : public sim::Actor, public ViolationTracker
     std::vector<double> server_demand_;
     std::vector<double> server_history_;
     std::vector<double> last_grants_;
-    std::vector<double> prev_grants_; //!< previous epoch (stale delivery)
+    /** Coordinated-mode budget channels, in child (slot) order. */
+    std::vector<std::unique_ptr<bus::BudgetLink>> child_links_;
+    /** Uncoordinated-mode direct-to-server channels, in server order. */
+    std::vector<std::unique_ptr<bus::BudgetLink>> server_links_;
     const fault::FaultInjector *faults_ = nullptr;
     fault::DegradeStats degrade_;
-    bool was_down_ = false; //!< edge detector for restarts
+    bool has_parent_ = false;
+    size_t budget_tick_ = 0;     //!< receipt tick of the live grant
+    bool lease_expired_ = false; //!< edge detector for lease_expiries
+    bool was_down_ = false;      //!< edge detector for restarts
 };
 
 } // namespace controllers

@@ -8,7 +8,8 @@ namespace controllers {
 MemoryManager::MemoryManager(sim::Server &server, const Params &params)
     : server_(server),
       params_(params),
-      name_("MM/" + std::to_string(server.id()))
+      name_("MM/" + std::to_string(server.id())),
+      telemetry_(name_ + ".memmode")
 {
     if (params_.engage_below >= params_.release_above)
         util::fatal("MM/%u: engage threshold %f must sit below the "
@@ -17,24 +18,35 @@ MemoryManager::MemoryManager(sim::Server &server, const Params &params)
 }
 
 void
+MemoryManager::setMode(bool low, size_t tick)
+{
+    // Edge-triggered telemetry: one sample per engage/release, carrying
+    // the apparent utilization that drove the decision.
+    if (low == server_.memLowPower())
+        return;
+    server_.setMemLowPower(low);
+    telemetry_.emit(low ? 1.0 : 0.0, server_.lastApparentUtil(), tick);
+}
+
+void
 MemoryManager::step(size_t tick)
 {
     if (!server_.isOn(tick)) {
-        server_.setMemLowPower(false);
+        setMode(false, tick);
         quiet_steps_ = 0;
         return;
     }
     double util = server_.lastApparentUtil();
     if (server_.memLowPower()) {
         if (util > params_.release_above) {
-            server_.setMemLowPower(false);
+            setMode(false, tick);
             quiet_steps_ = 0;
         }
         return;
     }
     if (util < params_.engage_below) {
         if (++quiet_steps_ >= params_.engage_patience) {
-            server_.setMemLowPower(true);
+            setMode(true, tick);
             ++engagements_;
             quiet_steps_ = 0;
         }

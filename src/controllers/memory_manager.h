@@ -19,6 +19,7 @@
 
 #include <string>
 
+#include "bus/control_link.h"
 #include "sim/engine.h"
 #include "sim/server.h"
 
@@ -64,10 +65,20 @@ class MemoryManager : public sim::Actor
     /** Number of engage transitions performed. */
     unsigned long engagements() const { return engagements_; }
 
+    /** Mirror engage/release telemetry into @p log. */
+    void attachControlLog(bus::ControlPlaneLog *log)
+    {
+        telemetry_.attachLog(log);
+    }
+
   private:
+    /** Publish a mode transition on the telemetry channel. */
+    void setMode(bool low, size_t tick);
+
     sim::Server &server_;
     Params params_;
     std::string name_;
+    bus::TelemetryLink telemetry_;
     unsigned quiet_steps_ = 0;
     unsigned long engagements_ = 0;
 };

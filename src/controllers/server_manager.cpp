@@ -8,31 +8,6 @@
 namespace nps {
 namespace controllers {
 
-double
-ViolationTracker::epochViolationRate() const
-{
-    if (epoch_total_ == 0)
-        return 0.0;
-    return static_cast<double>(epoch_hits_) /
-           static_cast<double>(epoch_total_);
-}
-
-void
-ViolationTracker::drainEpoch()
-{
-    epoch_total_ = 0;
-    epoch_hits_ = 0;
-}
-
-double
-ViolationTracker::lifetimeViolationRate() const
-{
-    if (life_total_ == 0)
-        return 0.0;
-    return static_cast<double>(life_hits_) /
-           static_cast<double>(life_total_);
-}
-
 GrantBounds
 grantBounds(const sim::Server &server, size_t tick)
 {
@@ -64,6 +39,13 @@ ServerManager::ServerManager(sim::Server &server, EfficiencyController *ec,
     if (params_.mode == Mode::Coordinated && !ec_)
         util::fatal("SM/%u: coordinated mode requires a nested EC",
                     server.id());
+    if (ec_) {
+        ref_link_.emplace(
+            name_ + "->EC/" + std::to_string(server.id()),
+            [this](const bus::ReferenceUpdate &u) {
+                ec_->setReference(u.r_ref);
+            });
+    }
     // Normalized-power stability check: the effective slope of power with
     // respect to r_ref is bounded by maxPowerSlope()/maxPower.
     double c_max = server_.model().maxPowerSlope() /
@@ -157,8 +139,16 @@ ServerManager::observe(size_t tick)
 }
 
 void
+ServerManager::attachControlLog(bus::ControlPlaneLog *log)
+{
+    if (ref_link_)
+        ref_link_->attachLog(log);
+}
+
+void
 ServerManager::step(size_t tick)
 {
+    step_tick_ = tick;
     if (faults_ && faults_->down(fault::Level::SM,
                                  static_cast<long>(server_.id()), tick)) {
         ++degrade_.outage_steps;
@@ -219,7 +209,7 @@ ServerManager::control(double error, double measurement)
 void
 ServerManager::actuate(double value)
 {
-    ec_->setReference(value);
+    ref_link_->send(value, step_tick_);
 }
 
 void

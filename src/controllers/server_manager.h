@@ -25,8 +25,11 @@
 #ifndef NPS_CONTROLLERS_SERVER_MANAGER_H
 #define NPS_CONTROLLERS_SERVER_MANAGER_H
 
+#include <optional>
 #include <string>
 
+#include "bus/control_link.h"
+#include "bus/violation.h"
 #include "control/integral.h"
 #include "control/loop.h"
 #include "controllers/efficiency.h"
@@ -38,52 +41,12 @@ namespace nps {
 namespace controllers {
 
 /**
- * Exposure of budget-violation history across controllers: the stand-in
- * for the paper's "extend current CIM models exposed through DMTF
- * interfaces" (Section 3.1). The VMC consumes this to tune consolidation
- * aggressiveness.
+ * The violation-history interfaces live in the bus layer (they are the
+ * payload of the upstream feedback channel); these aliases keep the
+ * controllers' historical spelling.
  */
-class ViolationSource
-{
-  public:
-    virtual ~ViolationSource() = default;
-
-    /** Fraction of observed ticks over budget since the last drain. */
-    virtual double epochViolationRate() const = 0;
-
-    /** Reset the epoch window (called by the consumer after reading). */
-    virtual void drainEpoch() = 0;
-
-    /** Lifetime fraction of observed ticks over budget. */
-    virtual double lifetimeViolationRate() const = 0;
-};
-
-/** Accumulator implementing ViolationSource bookkeeping. */
-class ViolationTracker : public ViolationSource
-{
-  public:
-    /** Record one observation. */
-    void
-    record(bool violated)
-    {
-        ++epoch_total_;
-        ++life_total_;
-        if (violated) {
-            ++epoch_hits_;
-            ++life_hits_;
-        }
-    }
-
-    double epochViolationRate() const override;
-    void drainEpoch() override;
-    double lifetimeViolationRate() const override;
-
-  private:
-    unsigned long epoch_total_ = 0;
-    unsigned long epoch_hits_ = 0;
-    unsigned long life_total_ = 0;
-    unsigned long life_hits_ = 0;
-};
+using ViolationSource = bus::ViolationSource;
+using ViolationTracker = bus::ViolationTracker;
 
 /**
  * Physical grant bounds of one server, used by the budget-division
@@ -223,6 +186,12 @@ class ServerManager : public sim::Actor,
 
     /// @}
 
+    /**
+     * Mirror this SM's outgoing control traffic (the r_ref reference
+     * channel into the nested EC) into @p log; null detaches.
+     */
+    void attachControlLog(bus::ControlPlaneLog *log);
+
     /** Active parameters. */
     const Params &params() const { return params_; }
 
@@ -254,6 +223,8 @@ class ServerManager : public sim::Actor,
     Params params_;
     std::string name_;
     ctl::IntegralController r_ref_;
+    std::optional<bus::ReferenceLink> ref_link_; //!< SM -> EC r_ref channel
+    size_t step_tick_ = 0; //!< tick of the step in flight (for actuate)
     const fault::FaultInjector *faults_ = nullptr;
     fault::DegradeStats degrade_;
     size_t budget_tick_ = 0;    //!< receipt tick of the live grant

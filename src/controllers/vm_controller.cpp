@@ -31,6 +31,37 @@ VmController::VmController(sim::Cluster &cluster, Feedback feedback,
         forecasters_.assign(cluster.numVms(),
                             DemandForecaster(params_.forecast));
     }
+    // Wrap every feed in a typed upstream channel. The group tier mixes
+    // the root GM and any nested sub-GMs; with no sub-GMs its mean is the
+    // root's rate, exactly the flat Figure-2 behavior.
+    for (size_t i = 0; i < feedback_.local.size(); ++i) {
+        loc_channels_.push_back(std::make_unique<bus::ViolationChannel>(
+            "loc" + std::to_string(i) + "->VMC", feedback_.local[i]));
+    }
+    for (size_t i = 0; i < feedback_.enclosure.size(); ++i) {
+        enc_channels_.push_back(std::make_unique<bus::ViolationChannel>(
+            "enc" + std::to_string(i) + "->VMC", feedback_.enclosure[i]));
+    }
+    std::vector<ViolationSource *> grp;
+    if (feedback_.group)
+        grp.push_back(feedback_.group);
+    for (auto *s : feedback_.subgroup)
+        grp.push_back(s);
+    for (size_t i = 0; i < grp.size(); ++i) {
+        grp_channels_.push_back(std::make_unique<bus::ViolationChannel>(
+            "grp" + std::to_string(i) + "->VMC", grp[i]));
+    }
+}
+
+void
+VmController::attachControlLog(bus::ControlPlaneLog *log)
+{
+    for (auto &ch : loc_channels_)
+        ch->attachLog(log);
+    for (auto &ch : enc_channels_)
+        ch->attachLog(log);
+    for (auto &ch : grp_channels_)
+        ch->attachLog(log);
 }
 
 void
@@ -113,7 +144,7 @@ VmController::epochLoads()
 }
 
 void
-VmController::updateBuffers()
+VmController::updateBuffers(size_t tick)
 {
     if (!params_.use_violation_feedback) {
         b_loc_ = 0.0;
@@ -121,19 +152,18 @@ VmController::updateBuffers()
         b_grp_ = 0.0;
         return;
     }
-    auto mean_rate = [](const std::vector<ViolationSource *> &sources) {
-        if (sources.empty())
-            return 0.0;
-        double sum = 0.0;
-        for (auto *s : sources)
-            sum += s->epochViolationRate();
-        return sum / static_cast<double>(sources.size());
-    };
-    double loc_rate = mean_rate(feedback_.local);
-    double enc_rate = mean_rate(feedback_.enclosure);
-    double grp_rate = feedback_.group
-                          ? feedback_.group->epochViolationRate()
-                          : 0.0;
+    auto mean_rate =
+        [tick](std::vector<std::unique_ptr<bus::ViolationChannel>> &chs) {
+            if (chs.empty())
+                return 0.0;
+            double sum = 0.0;
+            for (auto &ch : chs)
+                sum += ch->poll(tick).epoch_rate;
+            return sum / static_cast<double>(chs.size());
+        };
+    double loc_rate = mean_rate(loc_channels_);
+    double enc_rate = mean_rate(enc_channels_);
+    double grp_rate = mean_rate(grp_channels_);
 
     // Per-unit-time feedback: shorter epochs integrate the same
     // violation rate with a proportionally larger per-epoch gain.
@@ -148,12 +178,12 @@ VmController::updateBuffers()
     b_enc_ = tune(b_enc_, enc_rate);
     b_grp_ = tune(b_grp_, grp_rate);
 
-    for (auto *s : feedback_.local)
-        s->drainEpoch();
-    for (auto *s : feedback_.enclosure)
-        s->drainEpoch();
-    if (feedback_.group)
-        feedback_.group->drainEpoch();
+    for (auto &ch : loc_channels_)
+        ch->drain();
+    for (auto &ch : enc_channels_)
+        ch->drain();
+    for (auto &ch : grp_channels_)
+        ch->drain();
 }
 
 std::vector<PackBin>
@@ -198,7 +228,7 @@ VmController::step(size_t tick)
         ++degrade_.outage_steps;
         return;
     }
-    updateBuffers();
+    updateBuffers(tick);
 
     std::vector<double> loads = epochLoads();
     std::vector<PackItem> items;

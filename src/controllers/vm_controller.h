@@ -21,9 +21,11 @@
 #ifndef NPS_CONTROLLERS_VM_CONTROLLER_H
 #define NPS_CONTROLLERS_VM_CONTROLLER_H
 
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "bus/control_link.h"
 #include "controllers/binpack.h"
 #include "controllers/forecast.h"
 #include "controllers/server_manager.h"
@@ -96,7 +98,9 @@ class VmController : public sim::Actor
     {
         std::vector<ViolationSource *> local;     //!< the SMs
         std::vector<ViolationSource *> enclosure; //!< the EMs
-        ViolationSource *group = nullptr;         //!< the GM
+        ViolationSource *group = nullptr;         //!< the root GM
+        /** Nested sub-GMs; their rates average into the group tier. */
+        std::vector<ViolationSource *> subgroup;
     };
 
     /** Running statistics of the controller. */
@@ -151,12 +155,15 @@ class VmController : public sim::Actor
 
     /// @}
 
+    /** Mirror the upstream violation channels into @p log. */
+    void attachControlLog(bus::ControlPlaneLog *log);
+
   private:
     /** Per-VM load estimate for the next epoch (updates forecasters). */
     std::vector<double> epochLoads();
 
-    /** Update the buffers from the violation feeds. */
-    void updateBuffers();
+    /** Update the buffers from the violation channels. */
+    void updateBuffers(size_t tick);
 
     /** Build the candidate bins for the packer. */
     std::vector<PackBin> buildBins(size_t tick) const;
@@ -171,6 +178,10 @@ class VmController : public sim::Actor
 
     sim::Cluster &cluster_;
     Feedback feedback_;
+    /** Typed upstream channels wrapping the feeds, by tier. */
+    std::vector<std::unique_ptr<bus::ViolationChannel>> loc_channels_;
+    std::vector<std::unique_ptr<bus::ViolationChannel>> enc_channels_;
+    std::vector<std::unique_ptr<bus::ViolationChannel>> grp_channels_;
     Params params_;
     std::string name_;
     Stats stats_;

@@ -54,6 +54,10 @@ CoordinationConfig::resolved() const
             out.sm.lease_ticks = 3 * parent;
         if (out.em.lease_ticks == 0)
             out.em.lease_ticks = 3 * out.gm.period;
+        // Nested GMs are fed by a parent GM running on the same period;
+        // the root ignores the lease (it has no parent).
+        if (out.gm.lease_ticks == 0)
+            out.gm.lease_ticks = 3 * out.gm.period;
     }
 
     if (out.alpha_v < 0.0 || out.alpha_m < 0.0)

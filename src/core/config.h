@@ -37,6 +37,13 @@ struct CoordinationConfig
     bool enable_vmc = true;  //!< the consolidation controller
     bool enable_cap = false; //!< optional electrical cappers (Section 6)
     bool enable_mem = false; //!< optional memory managers (Section 6 MIMO)
+    /**
+     * Mirror every control-plane message (budget grants, violation
+     * reports, r_ref references, actuation telemetry) into an event log
+     * readable after the run (Coordinator::controlLog()). Observation
+     * only: the simulation arithmetic is bit-identical either way.
+     */
+    bool log_control_plane = false;
     /// @}
 
     /**

@@ -72,7 +72,8 @@ schema()
         {"deployment",
          {"coordinated", "enable_ec", "enable_sm", "enable_em",
           "enable_gm", "enable_vmc", "enable_cap", "enable_mem",
-          "alpha_v", "alpha_m", "cap_limit_frac", "threads"}},
+          "alpha_v", "alpha_m", "cap_limit_frac", "threads",
+          "log_control_plane"}},
         {"ec", {"lambda", "r_ref", "period", "objective",
                 "quantize_up"}},
         {"sm", {"beta", "r_ref_min", "r_ref_max", "period",
@@ -82,7 +83,8 @@ schema()
                 "history_horizon", "seed", "lease_ticks",
                 "lease_fallback"}},
         {"gm", {"period", "policy", "demand_horizon",
-                "history_horizon", "seed"}},
+                "history_horizon", "seed", "lease_ticks",
+                "lease_fallback"}},
         {"vmc",
          {"period", "allow_power_off", "capacity_target",
           "migration_ticks", "buffer_gain", "gain_ref_period",
@@ -150,6 +152,9 @@ configFromIni(const IniDocument &ini)
     cfg.threads = static_cast<unsigned>(
         ini.getInt("deployment", "threads",
                    static_cast<long>(cfg.threads)));
+    cfg.log_control_plane = ini.getBool("deployment",
+                                        "log_control_plane",
+                                        cfg.log_control_plane);
 
     cfg.ec.lambda = ini.getDouble("ec", "lambda", cfg.ec.lambda);
     cfg.ec.r_ref = ini.getDouble("ec", "r_ref", cfg.ec.r_ref);
@@ -207,6 +212,10 @@ configFromIni(const IniDocument &ini)
                                            cfg.gm.history_horizon);
     cfg.gm.seed = static_cast<uint64_t>(
         ini.getInt("gm", "seed", static_cast<long>(cfg.gm.seed)));
+    cfg.gm.lease_ticks = static_cast<unsigned>(
+        ini.getInt("gm", "lease_ticks", cfg.gm.lease_ticks));
+    cfg.gm.lease_fallback = ini.getDouble("gm", "lease_fallback",
+                                          cfg.gm.lease_fallback);
 
     auto &vmc = cfg.vmc;
     vmc.period = static_cast<unsigned>(
@@ -318,6 +327,55 @@ loadConfigFile(const std::string &path)
     return configFromIni(util::readIniFile(path));
 }
 
+sim::Topology
+topologyFromIni(const IniDocument &ini)
+{
+    static const std::set<std::string> keys{
+        "servers", "enclosures", "enclosure_size", "tree"};
+    for (const auto &section : ini.sections()) {
+        if (section != "topology")
+            util::fatal("topology: unknown section [%s]",
+                        section.c_str());
+        for (const auto &key : ini.keys(section)) {
+            if (!keys.count(key))
+                util::fatal("topology: unknown key '%s' in [topology]",
+                            key.c_str());
+        }
+    }
+
+    sim::Topology topo;
+    topo.num_servers = static_cast<unsigned>(
+        ini.getInt("topology", "servers", topo.num_servers));
+    topo.num_enclosures = static_cast<unsigned>(
+        ini.getInt("topology", "enclosures", topo.num_enclosures));
+    topo.enclosure_size = static_cast<unsigned>(
+        ini.getInt("topology", "enclosure_size", topo.enclosure_size));
+    topo.tree = sim::Topology::parseTree(
+        ini.get("topology", "tree", ""));
+    topo.validate();
+    return topo;
+}
+
+sim::Topology
+loadTopologyFile(const std::string &path)
+{
+    return topologyFromIni(util::readIniFile(path));
+}
+
+util::IniDocument
+topologyToIni(const sim::Topology &topo)
+{
+    IniDocument ini;
+    ini.set("topology", "servers", std::to_string(topo.num_servers));
+    ini.set("topology", "enclosures",
+            std::to_string(topo.num_enclosures));
+    ini.set("topology", "enclosure_size",
+            std::to_string(topo.enclosure_size));
+    if (topo.hasTree())
+        ini.set("topology", "tree", topo.treeText());
+    return ini;
+}
+
 util::IniDocument
 configToIni(const CoordinationConfig &cfg)
 {
@@ -334,6 +392,8 @@ configToIni(const CoordinationConfig &cfg)
     ini.set("deployment", "alpha_m", numStr(cfg.alpha_m));
     ini.set("deployment", "cap_limit_frac", numStr(cfg.cap_limit_frac));
     ini.set("deployment", "threads", std::to_string(cfg.threads));
+    ini.set("deployment", "log_control_plane",
+            boolStr(cfg.log_control_plane));
 
     ini.set("ec", "lambda", numStr(cfg.ec.lambda));
     ini.set("ec", "r_ref", numStr(cfg.ec.r_ref));
@@ -369,6 +429,8 @@ configToIni(const CoordinationConfig &cfg)
     ini.set("gm", "demand_horizon", numStr(cfg.gm.demand_horizon));
     ini.set("gm", "history_horizon", numStr(cfg.gm.history_horizon));
     ini.set("gm", "seed", std::to_string(cfg.gm.seed));
+    ini.set("gm", "lease_ticks", std::to_string(cfg.gm.lease_ticks));
+    ini.set("gm", "lease_fallback", numStr(cfg.gm.lease_fallback));
 
     const auto &vmc = cfg.vmc;
     ini.set("vmc", "period", std::to_string(vmc.period));

@@ -24,6 +24,7 @@
 #include <string>
 
 #include "core/config.h"
+#include "sim/topology.h"
 #include "util/ini.h"
 
 namespace nps {
@@ -40,6 +41,32 @@ CoordinationConfig loadConfigFile(const std::string &path);
 
 /** Render a configuration (all knobs, current values) as INI text. */
 util::IniDocument configToIni(const CoordinationConfig &config);
+
+/**
+ * Parse a sim::Topology from an INI document holding one [topology]
+ * section:
+ *
+ *     [topology]
+ *     servers = 60
+ *     enclosures = 6
+ *     enclosure_size = 8
+ *     tree = dc(z0(z0r0(e0,s48),...),...)
+ *
+ * Keys not present keep the paper-180 defaults; 'tree' uses the
+ * sim::Topology::treeText() grammar and may be omitted for the flat
+ * Figure 2 shape. Unknown sections/keys are fatal; the result is
+ * validate()d before it is returned.
+ */
+sim::Topology topologyFromIni(const util::IniDocument &ini);
+
+/** Load a topology from an INI file. */
+sim::Topology loadTopologyFile(const std::string &path);
+
+/**
+ * Render a topology as INI text. topologyFromIni() round-trips the
+ * output exactly (write-read-write is a fixed point).
+ */
+util::IniDocument topologyToIni(const sim::Topology &topo);
 
 } // namespace core
 } // namespace nps

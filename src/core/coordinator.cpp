@@ -1,25 +1,32 @@
 #include "core/coordinator.h"
 
+#include <algorithm>
+
 #include "util/logging.h"
 
 namespace nps {
 namespace core {
+
+namespace {
+
+/** One shared spec replicated per server (homogeneous fleet). */
+std::vector<std::shared_ptr<const model::MachineSpec>>
+replicateSpec(const model::MachineSpec &spec, unsigned num_servers)
+{
+    return std::vector<std::shared_ptr<const model::MachineSpec>>(
+        num_servers, std::make_shared<const model::MachineSpec>(spec));
+}
+
+} // namespace
 
 Coordinator::Coordinator(const CoordinationConfig &config,
                          const sim::Topology &topo,
                          const model::MachineSpec &spec,
                          const std::vector<trace::UtilizationTrace> &traces,
                          bool keep_series)
-    : config_(config.resolved()),
-      cluster_(std::make_unique<sim::Cluster>(topo, spec, traces,
-                                              config_.budgets,
-                                              config_.alpha_v,
-                                              config_.alpha_m)),
-      metrics_(keep_series),
-      engine_(std::make_unique<sim::Engine>(*cluster_, metrics_))
+    : Coordinator(config, topo, replicateSpec(spec, topo.num_servers),
+                  traces, keep_series)
 {
-    engine_->setThreads(config_.threads);
-    buildControllers();
 }
 
 Coordinator::Coordinator(
@@ -27,6 +34,7 @@ Coordinator::Coordinator(
     const std::vector<std::shared_ptr<const model::MachineSpec>> &specs,
     const std::vector<trace::UtilizationTrace> &traces, bool keep_series)
     : config_(config.resolved()),
+      topo_(topo),
       cluster_(std::make_unique<sim::Cluster>(topo, specs, traces,
                                               config_.budgets,
                                               config_.alpha_v,
@@ -126,8 +134,44 @@ Coordinator::buildControllers()
         }
     }
 
-    // The GM federates EMs and standalone SMs.
-    if (config_.enable_gm && config_.enable_sm) {
+    // The GM level: one flat GM, or the topology's whole GM tree.
+    if (config_.enable_gm && config_.enable_sm)
+        buildGroupManagers();
+
+    // The VMC consumes the violation feeds of every capping level.
+    if (config_.enable_vmc) {
+        controllers::VmController::Feedback feedback;
+        if (config_.vmc.use_violation_feedback) {
+            for (auto &sm : sms_)
+                feedback.local.push_back(sm.get());
+            for (auto &em : ems_)
+                feedback.enclosure.push_back(em.get());
+            if (!gms_.empty()) {
+                feedback.group = gms_.front().get();
+                for (size_t g = 1; g < gms_.size(); ++g)
+                    feedback.subgroup.push_back(gms_[g].get());
+            }
+        }
+        vmc_ = std::make_shared<controllers::VmController>(
+            cl, std::move(feedback), config_.vmc);
+        vmc_->setFaultInjector(inj);
+        engine_->addActor(vmc_);
+    }
+
+    if (config_.log_control_plane) {
+        control_log_ = std::make_unique<bus::ControlPlaneLog>();
+        attachControlLog();
+    }
+}
+
+void
+Coordinator::buildGroupManagers()
+{
+    sim::Cluster &cl = *cluster_;
+
+    if (!topo_.hasTree()) {
+        // The paper's flat Figure 2: one GM over every EM and every
+        // standalone SM.
         std::vector<controllers::EnclosureManager *> em_ptrs;
         for (auto &em : ems_)
             em_ptrs.push_back(em.get());
@@ -143,28 +187,98 @@ Coordinator::buildControllers()
         std::vector<controllers::ServerManager *> all;
         for (auto &sm : sms_)
             all.push_back(sm.get());
-        gm_ = std::make_shared<controllers::GroupManager>(
+        auto gm = std::make_shared<controllers::GroupManager>(
             cl, std::move(em_ptrs), std::move(standalone), std::move(all),
             cl.capGrp(), config_.gm);
-        gm_->setFaultInjector(inj);
-        engine_->addActor(gm_);
+        gm->setFaultInjector(injector_.get());
+        gms_.push_back(gm);
+        engine_->addActor(gm);
+        return;
     }
 
-    // The VMC consumes the violation feeds of every capping level.
-    if (config_.enable_vmc) {
-        controllers::VmController::Feedback feedback;
-        if (config_.vmc.use_violation_feedback) {
-            for (auto &sm : sms_)
-                feedback.local.push_back(sm.get());
-            for (auto &em : ems_)
-                feedback.enclosure.push_back(em.get());
-            feedback.group = gm_.get();
-        }
-        vmc_ = std::make_shared<controllers::VmController>(
-            cl, std::move(feedback), config_.vmc);
-        vmc_->setFaultInjector(inj);
-        engine_->addActor(vmc_);
+    long next_id = 0;
+    buildGroupNode(topo_.tree.front(), next_id);
+
+    // Pre-order registration: GMs share one period, and the engine steps
+    // same-period actors in insertion order, so a parent's grant always
+    // lands before its children subdivide within the same tick.
+    for (auto &gm : gms_)
+        engine_->addActor(gm);
+}
+
+controllers::GroupManager *
+Coordinator::buildGroupNode(const sim::TopologyNode &node, long &next_id)
+{
+    sim::Cluster &cl = *cluster_;
+    const long id = next_id++;
+    const bool is_root = id == 0;
+    const size_t slot = gms_.size();
+    gms_.push_back(nullptr); // reserve the pre-order slot
+
+    controllers::GroupManager::Children ch;
+    for (const sim::TopologyNode &child : node.children)
+        ch.groups.push_back(buildGroupNode(child, next_id));
+    std::vector<sim::ServerId> scope;
+    for (auto *g : ch.groups) {
+        for (auto *sm : g->allServers())
+            scope.push_back(sm->server().id());
     }
+    for (unsigned e : node.enclosures) {
+        const auto &members = cl.enclosure(e).members();
+        scope.insert(scope.end(), members.begin(), members.end());
+        if (!ems_.empty()) {
+            ch.enclosures.push_back(ems_[e].get());
+        } else {
+            // No EM level deployed: the blades report directly to this
+            // GM, mirroring the flat builder's fallback.
+            for (sim::ServerId sid : members)
+                ch.standalone.push_back(sms_[sid].get());
+        }
+    }
+    for (unsigned s : node.servers) {
+        scope.push_back(s);
+        ch.standalone.push_back(sms_[s].get());
+    }
+    std::sort(scope.begin(), scope.end());
+    for (sim::ServerId sid : scope)
+        ch.all_servers.push_back(sms_[sid].get());
+
+    // The root enforces the paper's CAP_GRP; an inner node caps its own
+    // scope with the same fractional savings off its maximum power.
+    double cap;
+    if (is_root) {
+        cap = cl.capGrp();
+    } else {
+        double max_pow = 0.0;
+        for (sim::ServerId sid : scope)
+            max_pow += cl.serverMaxPower(sid);
+        cap = (1.0 - config_.budgets.grp_off_frac) * max_pow;
+    }
+
+    auto gm = std::make_shared<controllers::GroupManager>(
+        cl, id, is_root ? "GM" : "GM/" + node.name, std::move(ch), cap,
+        config_.gm);
+    gm->setFaultInjector(injector_.get());
+    gms_[slot] = gm;
+    return gm.get();
+}
+
+void
+Coordinator::attachControlLog()
+{
+    bus::ControlPlaneLog *log = control_log_.get();
+    for (auto &sm : sms_)
+        sm->attachControlLog(log);
+    for (auto &em : ems_)
+        em->attachControlLog(log);
+    for (auto &gm : gms_)
+        gm->attachControlLog(log);
+    for (auto &cap : caps_)
+        cap->attachControlLog(log);
+    for (auto &mm : mems_)
+        mm->attachControlLog(log);
+    if (vmc_)
+        vmc_->attachControlLog(log);
 }
 
 void
@@ -185,8 +299,8 @@ Coordinator::degradeStats() const
         total += em->degradeStats();
     for (const auto &cap : caps_)
         total += cap->degradeStats();
-    if (gm_)
-        total += gm_->degradeStats();
+    for (const auto &gm : gms_)
+        total += gm->degradeStats();
     if (vmc_)
         total += vmc_->degradeStats();
     return total;

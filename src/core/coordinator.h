@@ -2,22 +2,29 @@
  * @file
  * Coordinator: the public entry point of the library.
  *
- * Builds the full Figure 2 architecture over a cluster — per-server ECs
- * and SMs (nested), EMs per enclosure, one GM, the VMC, and optional
- * electrical cappers — wiring every coordination channel described in
- * Figure 4:
+ * Builds the control-plane architecture over a cluster — per-server ECs
+ * and SMs (nested), EMs per enclosure, a tree of GMs shaped by the
+ * topology (one flat GM by default, exactly Figure 2), the VMC, and
+ * optional electrical cappers — wiring every coordination channel
+ * described in Figure 4 through typed bus links:
  *
- *   EC  : exposes setReference() to the SM;
- *   SM  : exposes setBudget() to the EM/GM and its violation history to
- *         the VMC;
- *   EM  : exposes setBudget() to the GM and violations to the VMC;
- *   GM  : exposes violations to the VMC;
+ *   EC  : receives r_ref over the SM's reference link;
+ *   SM  : receives budget grants from the EM/GM and exposes its
+ *         violation history to the VMC;
+ *   EM  : receives grants from its GM, subdivides over per-blade budget
+ *         links, and exposes violations to the VMC;
+ *   GM  : receives grants from a parent GM (when nested), subdivides
+ *         over GM/EM/SM budget links, and exposes violations;
  *   VMC : consumes real utilization, budget constraints and violation
- *         feedback.
+ *         feedback over per-source violation channels.
  *
- * The same constructor also realizes the *uncoordinated* deployment (all
- * five solutions from different vendors side by side) when the config's
- * coordination switch is off.
+ * When the topology carries a management tree (sim::Topology::tree) the
+ * builder realizes one GM per tree node: the root keeps the paper's cap
+ * CAP_GRP, inner nodes cap their own scope, and grants cascade down
+ * GM→GM links with the same min(static, grant) rule as every other
+ * level. The same constructor also realizes the *uncoordinated*
+ * deployment (all five solutions from different vendors side by side)
+ * when the config's coordination switch is off.
  */
 
 #ifndef NPS_CORE_COORDINATOR_H
@@ -26,6 +33,7 @@
 #include <memory>
 #include <vector>
 
+#include "bus/control_log.h"
 #include "core/config.h"
 #include "fault/injector.h"
 #include "sim/engine.h"
@@ -120,8 +128,30 @@ class Coordinator
         return ems_;
     }
 
-    /** The GM, or nullptr when disabled. */
-    const controllers::GroupManager *gm() const { return gm_.get(); }
+    /** The root GM, or nullptr when disabled. */
+    const controllers::GroupManager *gm() const
+    {
+        return gms_.empty() ? nullptr : gms_.front().get();
+    }
+
+    /**
+     * Every GM in pre-order (root first, then subtrees in topology
+     * order); exactly one entry for the default flat topology.
+     */
+    const std::vector<std::shared_ptr<controllers::GroupManager>> &
+    gms() const
+    {
+        return gms_;
+    }
+
+    /**
+     * The control-plane event log, or nullptr unless the config set
+     * log_control_plane.
+     */
+    const bus::ControlPlaneLog *controlLog() const
+    {
+        return control_log_.get();
+    }
 
     /** The electrical cappers (empty when disabled), in server order. */
     const std::vector<std::shared_ptr<controllers::ElectricalCapper>> &
@@ -143,16 +173,29 @@ class Coordinator
   private:
     void buildControllers();
     void buildFaultInjector();
+    void buildGroupManagers();
+
+    /**
+     * Recursively realize @p node as a GM (children first); the GM is
+     * stored at its pre-order slot in gms_ and returned.
+     */
+    controllers::GroupManager *buildGroupNode(const sim::TopologyNode &node,
+                                              long &next_id);
+
+    void attachControlLog();
 
     CoordinationConfig config_;
+    sim::Topology topo_;
     std::unique_ptr<fault::FaultInjector> injector_;
     std::unique_ptr<sim::Cluster> cluster_;
     sim::MetricsCollector metrics_;
     std::unique_ptr<sim::Engine> engine_;
+    std::unique_ptr<bus::ControlPlaneLog> control_log_;
     std::vector<std::shared_ptr<controllers::EfficiencyController>> ecs_;
     std::vector<std::shared_ptr<controllers::ServerManager>> sms_;
     std::vector<std::shared_ptr<controllers::EnclosureManager>> ems_;
-    std::shared_ptr<controllers::GroupManager> gm_;
+    /** All GMs in pre-order; gms_[0] is the root. */
+    std::vector<std::shared_ptr<controllers::GroupManager>> gms_;
     std::shared_ptr<controllers::VmController> vmc_;
     std::vector<std::shared_ptr<controllers::ElectricalCapper>> caps_;
     std::vector<std::shared_ptr<controllers::MemoryManager>> mems_;

@@ -46,6 +46,7 @@ linkName(Link link)
     case Link::GmToEm: return "gm-em";
     case Link::GmToSm: return "gm-sm";
     case Link::EmToSm: return "em-sm";
+    case Link::GmToGm: return "gm-gm";
     }
     return "?";
 }
@@ -80,7 +81,8 @@ levelFromName(const std::string &name)
 Link
 linkFromName(const std::string &name)
 {
-    for (Link l : {Link::GmToEm, Link::GmToSm, Link::EmToSm}) {
+    for (Link l : {Link::GmToEm, Link::GmToSm, Link::EmToSm,
+                   Link::GmToGm}) {
         if (name == linkName(l))
             return l;
     }

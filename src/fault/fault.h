@@ -10,8 +10,8 @@
  *   Outage      — a controller at any level (GM, EM, SM, EC, VMC, CAP) is
  *                 down: it neither observes nor steps, and restarts cold
  *                 when the interval ends;
- *   DropBudget  — budget recommendations on a GM→EM, GM→SM, or EM→SM
- *                 link are lost with a given probability per send;
+ *   DropBudget  — budget recommendations on a GM→EM, GM→SM, EM→SM, or
+ *                 GM→GM link are lost with a given probability per send;
  *   StaleBudget — the link delivers the *previous* epoch's grant instead
  *                 of the fresh one (a delayed/stale management message);
  *   StuckPState — the P-state actuator of a server ignores writes (a
@@ -67,6 +67,7 @@ enum class Link
     GmToEm,  //!< group manager -> enclosure manager (child = enclosure id)
     GmToSm,  //!< group manager -> server manager (child = server id)
     EmToSm,  //!< enclosure manager -> blade SM (child = server id)
+    GmToGm,  //!< parent GM -> child GM (child = child GM id)
 };
 
 /** Script/diagnostic name of a fault kind. */
@@ -148,8 +149,8 @@ class FaultSchedule
      * ';'-separated clause), '#' comments. Grammar (docs/FAULTS.md):
      *
      *   outage <gm|em|sm|ec|vmc|cap> <id|*> <start> <end>
-     *   drop   <gm-em|gm-sm|em-sm>   <id|*> <start> <end> [prob]
-     *   stale  <gm-em|gm-sm|em-sm>   <id|*> <start> <end>
+     *   drop   <gm-em|gm-sm|em-sm|gm-gm> <id|*> <start> <end> [prob]
+     *   stale  <gm-em|gm-sm|em-sm|gm-gm> <id|*> <start> <end>
      *   stuck  <id|*> <start> <end>
      *   noise  <id|*> <start> <end> <sigma>
      *   freeze <id|*> <start> <end>

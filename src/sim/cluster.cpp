@@ -53,11 +53,8 @@ Cluster::Cluster(
 void
 Cluster::buildTopology(const Topology &topo)
 {
+    topo.validate();
     const unsigned enclosed = topo.num_enclosures * topo.enclosure_size;
-    if (enclosed > topo.num_servers)
-        util::fatal("Cluster: %u enclosed blades exceed %u servers",
-                    enclosed, topo.num_servers);
-
     server_enclosure_.assign(topo.num_servers, kNoEnclosure);
     for (unsigned e = 0; e < topo.num_enclosures; ++e) {
         std::vector<ServerId> members;

@@ -18,6 +18,7 @@
 #include "model/machine.h"
 #include "sim/enclosure.h"
 #include "sim/server.h"
+#include "sim/topology.h"
 #include "sim/vm.h"
 #include "trace/trace.h"
 
@@ -56,20 +57,6 @@ struct ClusterTick
     std::vector<double> enclosure_power; //!< per-enclosure power
     double demanded_useful = 0.0;        //!< useful work requested
     double served_useful = 0.0;          //!< useful work delivered
-};
-
-/** Shape parameters for building a paper-style cluster. */
-struct Topology
-{
-    unsigned num_servers = 180;
-    unsigned num_enclosures = 6;
-    unsigned enclosure_size = 20;
-
-    /** The paper's 180-server base configuration. */
-    static Topology paper180() { return {180, 6, 20}; }
-
-    /** The paper's 60-server configuration for the 60-workload mixes. */
-    static Topology paper60() { return {60, 2, 20}; }
 };
 
 /**

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Topology: the shape of the managed data center.
+ *
+ * The flat parameters (servers, enclosures, enclosure size) describe
+ * the physical population exactly as the paper's 180-server testbed
+ * does: enclosures hold contiguous blade ids, the remaining servers are
+ * standalone. On top of that an optional topology *tree* groups those
+ * enclosures and standalone servers into nested management domains
+ * (datacenter → zones → racks → ...), each of which the Coordinator
+ * realizes as one GroupManager; an empty tree keeps the paper's
+ * single-GM Figure 2 shape. The hierarchy is therefore data, not code.
+ */
+
+#ifndef NPS_SIM_TOPOLOGY_H
+#define NPS_SIM_TOPOLOGY_H
+
+#include <string>
+#include <vector>
+
+namespace nps {
+namespace sim {
+
+/**
+ * One management domain of the topology tree: a node owns child
+ * domains, whole enclosures, and standalone servers. Every enclosure id
+ * and every standalone server id of the flat topology must appear in
+ * exactly one node (validate() enforces this).
+ */
+struct TopologyNode
+{
+    std::string name;                  //!< unique node name, e.g. "z0r1"
+    std::vector<TopologyNode> children; //!< nested domains
+    std::vector<unsigned> enclosures;  //!< owned enclosure ids
+    std::vector<unsigned> servers;     //!< owned standalone server ids
+
+    /** Total fan-out of this node. */
+    size_t
+    fanout() const
+    {
+        return children.size() + enclosures.size() + servers.size();
+    }
+};
+
+/** Shape parameters for building a paper-style cluster. */
+struct Topology
+{
+    unsigned num_servers = 180;
+    unsigned num_enclosures = 6;
+    unsigned enclosure_size = 20;
+
+    /**
+     * Optional management tree over the flat population: empty (the
+     * default) means one GM over everything, exactly Figure 2;
+     * otherwise exactly one root whose leaves partition the enclosures
+     * and standalone servers.
+     */
+    std::vector<TopologyNode> tree = {};
+
+    /** The paper's 180-server base configuration. */
+    static Topology paper180() { return {180, 6, 20}; }
+
+    /** The paper's 60-server configuration for the 60-workload mixes. */
+    static Topology paper60() { return {60, 2, 20}; }
+
+    /**
+     * A regular multi-level data center: @p zones zones of
+     * @p racks_per_zone racks, each rack holding @p enclosures_per_rack
+     * enclosures of @p enclosure_size blades plus @p standalone_per_rack
+     * standalone servers. Enclosure and standalone ids are assigned in
+     * rack order.
+     */
+    static Topology tiered(unsigned zones, unsigned racks_per_zone,
+                           unsigned enclosures_per_rack,
+                           unsigned enclosure_size,
+                           unsigned standalone_per_rack);
+
+    /** @return true when a management tree is present. */
+    bool hasTree() const { return !tree.empty(); }
+
+    /**
+     * Check every structural invariant and fatal() with a clear message
+     * on the first failure: nonzero population, enclosed blades within
+     * the server count, and (when a tree is present) a single root,
+     * nonzero fan-out and unique name per node, and exact coverage of
+     * all enclosures and standalone servers.
+     */
+    void validate() const;
+
+    /**
+     * Render the tree as one line of text, e.g.
+     * "dc(z0(z0r0(e0,s12),z0r1(e1,s13)),z1(...))" — nodes by name,
+     * enclosures as 'e<id>', standalone servers as 's<id>'. Empty string
+     * when no tree is present. parseTree() accepts the output verbatim
+     * (write-read-write is a fixed point).
+     */
+    std::string treeText() const;
+
+    /**
+     * Parse the tree grammar produced by treeText(): an empty string
+     * yields no tree; fatal() on malformed input.
+     */
+    static std::vector<TopologyNode> parseTree(const std::string &text);
+};
+
+} // namespace sim
+} // namespace nps
+
+#endif // NPS_SIM_TOPOLOGY_H

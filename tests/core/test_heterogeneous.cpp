@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Tests for the heterogeneous-spec Coordinator constructor: per-server
+ * machine specs with different P-state tables in one cluster, and the
+ * contract that the homogeneous constructor is exactly the replicated
+ * special case.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/fixtures.h"
+#include "core/coordinator.h"
+#include "core/scenarios.h"
+
+namespace {
+
+using namespace nps;
+using core::Coordinator;
+
+sim::Topology
+smallTopo()
+{
+    return sim::Topology{6, 1, 4};
+}
+
+std::vector<std::shared_ptr<const model::MachineSpec>>
+mixedSpecs()
+{
+    // Alternate two machines whose P-state tables differ in depth and
+    // power range; the paper's Blade A and Server B.
+    auto blade =
+        std::make_shared<const model::MachineSpec>(model::bladeA());
+    auto server =
+        std::make_shared<const model::MachineSpec>(model::serverB());
+    std::vector<std::shared_ptr<const model::MachineSpec>> specs;
+    for (size_t i = 0; i < 6; ++i)
+        specs.push_back(i % 2 == 0 ? blade : server);
+    return specs;
+}
+
+TEST(HeterogeneousCoordinator, PerServerSpecsAreHonored)
+{
+    Coordinator c(core::coordinatedConfig(), smallTopo(), mixedSpecs(),
+                  nps_test::flatTraces(6, 0.3, 64));
+    for (sim::ServerId s = 0; s < 6; ++s) {
+        const model::MachineSpec &spec = c.cluster().server(s).spec();
+        EXPECT_EQ(spec.name(), s % 2 == 0 ? "BladeA" : "ServerB");
+    }
+    // The budget ladder derives from each server's own max power, so
+    // neighbouring servers with different tables get different CAP_LOC.
+    EXPECT_NE(c.cluster().capLoc(0), c.cluster().capLoc(1));
+    EXPECT_EQ(c.cluster().capLoc(0), c.cluster().capLoc(2));
+}
+
+TEST(HeterogeneousCoordinator, FullStackRunsOnMixedFleet)
+{
+    Coordinator c(core::coordinatedConfig(), smallTopo(), mixedSpecs(),
+                  nps_test::flatTraces(6, 0.5, 256));
+    c.run(250);
+    sim::MetricsSummary m = c.summary();
+    EXPECT_EQ(m.ticks, 250u);
+    EXPECT_GT(m.mean_power, 0.0);
+    EXPECT_GE(m.perf_loss, 0.0);
+    // Every control level got built over the mixed fleet.
+    EXPECT_EQ(c.ecs().size(), 6u);
+    EXPECT_EQ(c.sms().size(), 6u);
+    EXPECT_EQ(c.ems().size(), 1u);
+    ASSERT_NE(c.gm(), nullptr);
+    EXPECT_DOUBLE_EQ(c.gm()->staticCap(), c.cluster().capGrp());
+}
+
+TEST(HeterogeneousCoordinator, HomogeneousIsTheReplicatedSpecialCase)
+{
+    // The homogeneous constructor delegates to the heterogeneous one
+    // with one shared spec per server; both paths must agree
+    // bit-for-bit.
+    auto traces = nps_test::flatTraces(6, 0.4, 128);
+    Coordinator homogeneous(core::coordinatedConfig(), smallTopo(),
+                            model::serverB(), traces);
+    auto spec =
+        std::make_shared<const model::MachineSpec>(model::serverB());
+    Coordinator replicated(
+        core::coordinatedConfig(), smallTopo(),
+        std::vector<std::shared_ptr<const model::MachineSpec>>(6, spec),
+        traces);
+    homogeneous.run(120);
+    replicated.run(120);
+    sim::MetricsSummary a = homogeneous.summary();
+    sim::MetricsSummary b = replicated.summary();
+    EXPECT_EQ(a.energy, b.energy);
+    EXPECT_EQ(a.mean_power, b.mean_power);
+    EXPECT_EQ(a.peak_power, b.peak_power);
+    EXPECT_EQ(a.sm_violation, b.sm_violation);
+    EXPECT_EQ(a.gm_violation, b.gm_violation);
+    EXPECT_EQ(a.perf_loss, b.perf_loss);
+}
+
+TEST(HeterogeneousCoordinator, MixedExtremesOnlyTables)
+{
+    // A fleet where half the machines only expose the extreme P-states
+    // (the paper's 2-P-state study) still builds and runs coordinated.
+    auto full =
+        std::make_shared<const model::MachineSpec>(model::bladeA());
+    auto extremes = std::make_shared<const model::MachineSpec>(
+        model::bladeA().extremesOnly());
+    std::vector<std::shared_ptr<const model::MachineSpec>> specs;
+    for (size_t i = 0; i < 6; ++i)
+        specs.push_back(i < 3 ? full : extremes);
+    Coordinator c(core::coordinatedConfig(), smallTopo(), specs,
+                  nps_test::flatTraces(6, 0.6, 128));
+    c.run(120);
+    EXPECT_GT(c.summary().mean_power, 0.0);
+    EXPECT_LT(c.cluster().server(5).spec().pstates().size(),
+              c.cluster().server(0).spec().pstates().size());
+}
+
+} // namespace

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Topology INI round-trip property: for any topology, write -> read ->
+ * write produces byte-identical text (matching the trace-IO fixed-point
+ * contract), and the strict schema rejects unknown keys.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/config_io.h"
+#include "sim/topology.h"
+#include "util/ini.h"
+
+namespace {
+
+using namespace nps;
+using sim::Topology;
+
+/** The property under test: toIni(fromIni(toIni(x))) is stable. */
+void
+expectFixedPoint(const Topology &topo)
+{
+    std::string first = core::topologyToIni(topo).toText();
+    Topology back = core::topologyFromIni(util::parseIni(first));
+    std::string second = core::topologyToIni(back).toText();
+    EXPECT_EQ(first, second);
+
+    EXPECT_EQ(back.num_servers, topo.num_servers);
+    EXPECT_EQ(back.num_enclosures, topo.num_enclosures);
+    EXPECT_EQ(back.enclosure_size, topo.enclosure_size);
+    EXPECT_EQ(back.treeText(), topo.treeText());
+}
+
+TEST(TopologyIoTest, FlatPaperShapesAreFixedPoints)
+{
+    expectFixedPoint(Topology::paper180());
+    expectFixedPoint(Topology::paper60());
+}
+
+TEST(TopologyIoTest, TieredTreesAreFixedPoints)
+{
+    expectFixedPoint(Topology::tiered(2, 3, 1, 8, 2));
+    expectFixedPoint(Topology::tiered(3, 2, 2, 4, 0));
+    expectFixedPoint(Topology::tiered(1, 1, 1, 2, 5));
+}
+
+TEST(TopologyIoTest, HandWrittenTreeSurvives)
+{
+    Topology topo{12, 2, 4};
+    topo.tree =
+        Topology::parseTree("dc(left(e0,s8,s9),right(e1,s10,s11))");
+    expectFixedPoint(topo);
+}
+
+TEST(TopologyIoTest, DefaultsFillMissingKeys)
+{
+    Topology topo = core::topologyFromIni(
+        util::parseIni("[topology]\nservers = 40\nenclosures = 2\n"));
+    EXPECT_EQ(topo.num_servers, 40u);
+    EXPECT_EQ(topo.num_enclosures, 2u);
+    EXPECT_EQ(topo.enclosure_size, 20u); // paper default
+    EXPECT_FALSE(topo.hasTree());
+}
+
+TEST(TopologyIoTest, StrictSchemaRejectsTypos)
+{
+    EXPECT_DEATH(core::topologyFromIni(
+                     util::parseIni("[topology]\nserver = 40\n")),
+                 "unknown key");
+    EXPECT_DEATH(core::topologyFromIni(util::parseIni("[deployment]\n")),
+                 "unknown section");
+}
+
+TEST(TopologyIoTest, LoadValidatesTheResult)
+{
+    // A structurally broken topology dies at load, not at cluster build.
+    EXPECT_DEATH(core::topologyFromIni(util::parseIni(
+                     "[topology]\nservers = 4\nenclosures = 2\n"
+                     "enclosure_size = 4\n")),
+                 "exceed");
+    EXPECT_DEATH(core::topologyFromIni(util::parseIni(
+                     "[topology]\nservers = 12\nenclosures = 2\n"
+                     "enclosure_size = 4\ntree = dc(e0,s8,s9,s10,s11)\n")),
+                 "covers");
+}
+
+} // namespace

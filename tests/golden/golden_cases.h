@@ -37,6 +37,12 @@ struct GoldenCase
     const char *name;              //!< stable identifier, used in output
     nps::core::Scenario scenario;  //!< deployment under test
     const char *budgets;           //!< "20-15-10" | "25-20-15" | "30-25-20"
+    /**
+     * When true the case runs on the 3-level tiered(2,3,1,8,2) topology
+     * (60 servers under a GM-of-GMs tree) instead of the flat Mid60
+     * shape, pinning the nested control plane.
+     */
+    bool tree = false;
 };
 
 /** Reduced horizon: fast enough for every CI run, long enough that the
@@ -64,6 +70,13 @@ inline const GoldenCase kGoldenCases[] = {
      "25-20-15"},
     {"fig10_coordinated_302520", nps::core::Scenario::Coordinated,
      "30-25-20"},
+    // The N-level control plane: the same workloads under a
+    // datacenter -> zone -> rack GM tree (new cases append here so the
+    // values above stay byte-identical across regenerations).
+    {"tree3_coordinated", nps::core::Scenario::Coordinated, "20-15-10",
+     true},
+    {"tree3_uncoordinated", nps::core::Scenario::Uncoordinated,
+     "20-15-10", true},
 };
 
 inline constexpr size_t kNumGoldenCases =
@@ -103,8 +116,10 @@ runGoldenCase(const GoldenCase &c, unsigned threads)
         nps::core::scenarioConfig(c.scenario);
     cfg.budgets = goldenBudgets(c.budgets);
     cfg.threads = threads;
-    nps::sim::Topology topo = nps::core::ExperimentRunner::topologyFor(
-        nps::trace::Mix::Mid60);
+    nps::sim::Topology topo =
+        c.tree ? nps::sim::Topology::tiered(2, 3, 1, 8, 2)
+               : nps::core::ExperimentRunner::topologyFor(
+                     nps::trace::Mix::Mid60);
     nps::core::Coordinator coord(cfg, topo,
                                  nps::model::machineByName("BladeA"),
                                  goldenTraces());

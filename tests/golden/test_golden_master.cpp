@@ -2,8 +2,9 @@
  * @file
  * Golden-master regression suite: every Figure 7/8/9/10 scenario runs
  * at a reduced horizon and its MetricsSummary must match the checked-in
- * expected values exactly — at threads = 1 (the legacy serial path) and
- * threads = 4 (the parallel tick engine) alike. A drift in any field
+ * expected values exactly — at threads = 1 (the legacy serial path),
+ * threads = 4 and threads = 8 (the parallel tick engine) alike. A drift
+ * in any field
  * fails with the full-precision expected/actual pair, so a refactor
  * that changes simulation behavior is caught (and diagnosable) at once.
  *
@@ -93,7 +94,7 @@ TEST_P(GoldenMaster, AllScenariosMatchCheckedInValues)
 }
 
 INSTANTIATE_TEST_SUITE_P(Threads, GoldenMaster,
-                         ::testing::Values(1u, 4u),
+                         ::testing::Values(1u, 4u, 8u),
                          [](const auto &info) {
                              return "threads" +
                                     std::to_string(info.param);

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Integration tests for the N-level GM hierarchy: a 3-level
+ * datacenter -> zone -> rack tree (GM-of-GMs), built from the topology
+ * by the Coordinator, with grants cascading over GM->GM links.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/fixtures.h"
+#include "core/coordinator.h"
+#include "core/scenarios.h"
+
+namespace {
+
+using namespace nps;
+using core::Coordinator;
+
+/** 2 zones x 3 racks, 1 enclosure of 8 blades + 2 standalone per rack:
+ * 60 servers under 9 GMs (1 root + 2 zones + 6 racks). */
+sim::Topology
+treeTopo()
+{
+    return sim::Topology::tiered(2, 3, 1, 8, 2);
+}
+
+TEST(HierarchyTest, BuildsOneGmPerTreeNode)
+{
+    Coordinator c(core::coordinatedConfig(), treeTopo(), model::bladeA(),
+                  nps_test::flatTraces(60, 0.3, 64));
+    ASSERT_EQ(c.gms().size(), 9u);
+    // Pre-order: root first, then each zone followed by its racks.
+    EXPECT_EQ(c.gms()[0]->name(), "GM");
+    EXPECT_EQ(c.gms()[1]->name(), "GM/z0");
+    EXPECT_EQ(c.gms()[2]->name(), "GM/z0r0");
+    EXPECT_EQ(c.gms()[5]->name(), "GM/z1");
+    EXPECT_EQ(c.gms()[8]->name(), "GM/z1r2");
+    // Ids follow pre-order too (they key the fault targets).
+    for (size_t i = 0; i < c.gms().size(); ++i)
+        EXPECT_EQ(c.gms()[i]->id(), static_cast<long>(i));
+
+    const controllers::GroupManager *root = c.gm();
+    ASSERT_NE(root, nullptr);
+    EXPECT_FALSE(root->hasParent());
+    ASSERT_EQ(root->childGroups().size(), 2u);
+    EXPECT_TRUE(root->childGroups()[0]->hasParent());
+    EXPECT_EQ(root->childGroups()[0]->childGroups().size(), 3u);
+    // The root still enforces the paper's CAP_GRP over all 60 servers.
+    EXPECT_DOUBLE_EQ(root->staticCap(), c.cluster().capGrp());
+    EXPECT_EQ(root->allServers().size(), 60u);
+    // A rack GM scopes only its own 10 servers.
+    EXPECT_EQ(c.gms()[2]->allServers().size(), 10u);
+}
+
+TEST(HierarchyTest, GrantsCascadeDownTheTree)
+{
+    Coordinator c(core::coordinatedConfig(), treeTopo(), model::bladeA(),
+                  nps_test::flatTraces(60, 0.6, 256));
+    c.run(200);
+    // Every nested GM received at least one grant over its GM->GM link
+    // and enforces min(static, grant).
+    for (size_t i = 1; i < c.gms().size(); ++i) {
+        const auto &gm = *c.gms()[i];
+        EXPECT_LE(gm.effectiveCap(), gm.staticCap() + 1e-9)
+            << gm.name();
+    }
+    // The root divided among its two zones.
+    EXPECT_EQ(c.gm()->lastGrants().size(), 2u);
+    // An inner zone GM divided among its three racks.
+    EXPECT_EQ(c.gms()[1]->lastGrants().size(), 3u);
+}
+
+TEST(HierarchyTest, CoordinatedBeatsUncoordinatedOnViolations)
+{
+    // The paper's core claim, restated on a 3-level tree: coordinated
+    // capping violates the group budget no more often than the
+    // uncoordinated vendor mix.
+    auto traces = nps_test::generatedTraces(60, 512, 7);
+    Coordinator coord(core::coordinatedConfig(), treeTopo(),
+                      model::bladeA(), traces);
+    coord.run(480);
+    Coordinator uncoord(core::uncoordinatedConfig(), treeTopo(),
+                        model::bladeA(), traces);
+    uncoord.run(480);
+    EXPECT_LE(coord.summary().gm_violation,
+              uncoord.summary().gm_violation + 1e-12);
+}
+
+TEST(HierarchyTest, TreeRunsAreThreadCountInvariant)
+{
+    auto traces = nps_test::generatedTraces(60, 256, 3);
+    auto run = [&](unsigned threads) {
+        core::CoordinationConfig cfg = core::coordinatedConfig();
+        cfg.threads = threads;
+        Coordinator c(cfg, treeTopo(), model::bladeA(), traces);
+        c.run(250);
+        return c.summary();
+    };
+    sim::MetricsSummary serial = run(1);
+    sim::MetricsSummary parallel = run(4);
+    EXPECT_EQ(serial.energy, parallel.energy);
+    EXPECT_EQ(serial.mean_power, parallel.mean_power);
+    EXPECT_EQ(serial.peak_power, parallel.peak_power);
+    EXPECT_EQ(serial.gm_violation, parallel.gm_violation);
+    EXPECT_EQ(serial.perf_loss, parallel.perf_loss);
+}
+
+TEST(HierarchyTest, GmToGmDropsDegradeTheZoneLease)
+{
+    // Sever the root->z0 budget link with the uniform ControlLink drop
+    // hook: z0's lease must expire and its subtree degrade to the
+    // fallback cap, while z1 keeps coordinating normally.
+    core::CoordinationConfig cfg = core::coordinatedConfig();
+    cfg.faults.enabled = true;
+    cfg.faults.script = "drop gm-gm 1 0 2000 1";
+    Coordinator c(cfg, treeTopo(), model::bladeA(),
+                  nps_test::flatTraces(60, 0.5, 2048));
+    c.run(1000);
+    const fault::DegradeStats d = c.degradeStats();
+    EXPECT_GT(d.dropped_budgets, 0u);
+    EXPECT_GT(d.lease_expiries, 0u);
+    EXPECT_GT(d.lease_fallback_steps, 0u);
+}
+
+TEST(HierarchyTest, ControlLogCoversGmToGmLinks)
+{
+    core::CoordinationConfig cfg = core::coordinatedConfig();
+    cfg.log_control_plane = true;
+    Coordinator c(cfg, treeTopo(), model::bladeA(),
+                  nps_test::flatTraces(60, 0.4, 128));
+    c.run(120);
+    const bus::ControlPlaneLog *log = c.controlLog();
+    ASSERT_NE(log, nullptr);
+    EXPECT_GT(log->totalEvents(), 0u);
+    bool saw_gm_gm = false;
+    for (const auto &link : log->links())
+        saw_gm_gm |= link->name == "GM->GM/z0";
+    EXPECT_TRUE(saw_gm_gm);
+}
+
+} // namespace

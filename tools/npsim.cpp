@@ -45,6 +45,8 @@ struct Args
     std::string series_path;
     std::string record_path;
     std::string faults_path;
+    std::string topology_path;
+    std::string control_log_path;
     unsigned record_stride = 10;
     size_t ticks = 2880;
     uint64_t seed = 20080301;
@@ -77,8 +79,13 @@ usage()
         "  --mem          enable the memory managers\n"
         "  --config FILE  load controller parameters from an INI file\n"
         "                 (applied on top of the chosen scenario)\n"
+        "  --topology FILE  load the cluster shape (and optional GM\n"
+        "                 tree) from a [topology] INI file instead of\n"
+        "                 deriving it from the mix\n"
         "  --faults FILE  load a fault-injection script (docs/FAULTS.md)\n"
         "                 and run the scenario under it\n"
+        "  --control-log FILE  mirror every control-plane message and\n"
+        "                 dump the merged event log as CSV\n"
         "  --dump-config  print the effective configuration as INI\n"
         "  --series FILE  dump per-tick power/perf series as CSV\n"
         "  --record FILE  dump per-server/enclosure telemetry as CSV\n"
@@ -117,8 +124,12 @@ parse(int argc, char **argv)
         }
         else if (a == "--config")
             args.config_path = need(i), ++i;
+        else if (a == "--topology")
+            args.topology_path = need(i), ++i;
         else if (a == "--faults")
             args.faults_path = need(i), ++i;
+        else if (a == "--control-log")
+            args.control_log_path = need(i), ++i;
         else if (a == "--dump-config")
             args.dump_config = true;
         else if (a == "--series")
@@ -225,6 +236,8 @@ main(int argc, char **argv)
         fault::FaultSchedule::parse(cfg.faults.script); // validate early
         cfg.faults.enabled = true;
     }
+    if (!args.control_log_path.empty())
+        cfg.log_control_plane = true;
     if (args.dump_config) {
         std::printf("%s", core::configToIni(cfg).toText().c_str());
         return 0;
@@ -239,7 +252,28 @@ main(int argc, char **argv)
     if (args.two_pstates)
         machine = machine.extremesOnly();
 
-    sim::Topology topo = core::ExperimentRunner::topologyFor(mix);
+    sim::Topology topo = args.topology_path.empty()
+                             ? core::ExperimentRunner::topologyFor(mix)
+                             : core::loadTopologyFile(args.topology_path);
+    // Fail before any construction: a topology too small for the mix (or
+    // structurally broken) should die with a message naming the inputs,
+    // not surface as a mid-build error.
+    topo.validate();
+    size_t workloads = library.mix(mix).size();
+    if (workloads > topo.num_servers) {
+        util::fatal("topology '%s' has %u servers but mix %s carries %zu "
+                    "workloads; pick a larger topology or a smaller mix",
+                    args.topology_path.empty() ? "(built-in)"
+                                               : args.topology_path.c_str(),
+                    topo.num_servers, args.mix.c_str(), workloads);
+    }
+    if (topo.hasTree() && !cfg.enable_gm) {
+        util::fatal("topology '%s' defines a GM tree but the "
+                    "configuration disables the group manager "
+                    "(enable_gm = false)",
+                    args.topology_path.empty() ? "(built-in)"
+                                               : args.topology_path.c_str());
+    }
     bool keep_series = !args.series_path.empty();
 
     core::Coordinator coordinator(cfg, topo, machine, library.mix(mix),
@@ -319,6 +353,17 @@ main(int argc, char **argv)
         recorder->writeCsv(out);
         std::printf("record: wrote %zu samples to %s\n",
                     recorder->samples(), args.record_path.c_str());
+    }
+    if (!args.control_log_path.empty()) {
+        const bus::ControlPlaneLog *log = coordinator.controlLog();
+        std::ofstream out(args.control_log_path, std::ios::binary);
+        if (!out)
+            nps::util::fatal("cannot open %s",
+                             args.control_log_path.c_str());
+        log->writeCsv(out);
+        std::printf("control-log: wrote %zu events on %zu links to %s\n",
+                    log->totalEvents(), log->numLinks(),
+                    args.control_log_path.c_str());
     }
     return 0;
 }
