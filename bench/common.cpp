@@ -3,7 +3,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 
+#include "util/json.h"
 #include "util/logging.h"
 
 namespace nps {
@@ -20,8 +22,17 @@ parseArgs(int argc, char **argv)
             ++i;
         } else if (std::strcmp(argv[i], "--quick") == 0) {
             opts.quick = true;
+        } else if (std::strcmp(argv[i], "--json") == 0) {
+            opts.json = true;
+            // Optional value: --json FILE overrides BENCH_<name>.json.
+            if (i + 1 < argc &&
+                std::strncmp(argv[i + 1], "--", 2) != 0) {
+                opts.json_path = argv[i + 1];
+                ++i;
+            }
         } else if (std::strcmp(argv[i], "--help") == 0) {
-            std::printf("usage: %s [--ticks N] [--quick]\n", argv[0]);
+            std::printf("usage: %s [--ticks N] [--quick] [--json [FILE]]\n",
+                        argv[0]);
             std::exit(0);
         } else {
             util::fatal("unknown argument '%s'", argv[i]);
@@ -32,6 +43,75 @@ parseArgs(int argc, char **argv)
     if (opts.ticks == 0)
         util::fatal("--ticks must be positive");
     return opts;
+}
+
+BenchReport::BenchReport(std::string name, const Options &opts)
+    : name_(std::move(name)),
+      opts_(opts),
+      start_(std::chrono::steady_clock::now())
+{
+}
+
+core::ExperimentResult
+BenchReport::run(const core::ExperimentSpec &spec,
+                 const std::string &label)
+{
+    core::ExperimentResult r = sharedRunner().run(spec);
+    rows_.push_back({label.empty() ? spec.label : label, r});
+    return r;
+}
+
+void
+BenchReport::write() const
+{
+    if (!opts_.json)
+        return;
+    const std::string path =
+        opts_.json_path.empty() ? "BENCH_" + name_ + ".json"
+                                : opts_.json_path;
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        util::fatal("cannot open %s", path.c_str());
+
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+    // Scenario runs only; cached baselines make the true simulated tick
+    // count run-order dependent, so this is a conservative floor.
+    const double sim_ticks =
+        static_cast<double>(rows_.size()) *
+        static_cast<double>(opts_.ticks);
+
+    using util::jsonNumber;
+    using util::jsonQuote;
+    out << "{\n";
+    out << "  \"bench\": " << jsonQuote(name_) << ",\n";
+    out << "  \"ticks\": " << opts_.ticks << ",\n";
+    out << "  \"experiments\": " << rows_.size() << ",\n";
+    out << "  \"wall_seconds\": " << jsonNumber(wall) << ",\n";
+    out << "  \"ticks_per_sec\": "
+        << jsonNumber(wall > 0.0 ? sim_ticks / wall : 0.0) << ",\n";
+    out << "  \"results\": [";
+    for (size_t i = 0; i < rows_.size(); ++i) {
+        const Row &row = rows_[i];
+        const sim::MetricsSummary &s = row.result.scenario;
+        out << (i ? ",\n    " : "\n    ");
+        out << "{\"label\": " << jsonQuote(row.label)
+            << ", \"power_savings\": "
+            << jsonNumber(row.result.power_savings)
+            << ", \"mean_power_watts\": " << jsonNumber(s.mean_power)
+            << ", \"peak_power_watts\": " << jsonNumber(s.peak_power)
+            << ", \"energy_watt_ticks\": " << jsonNumber(s.energy)
+            << ", \"perf_loss\": " << jsonNumber(s.perf_loss)
+            << ", \"violations\": {\"gm\": "
+            << jsonNumber(s.gm_violation)
+            << ", \"em\": " << jsonNumber(s.em_violation)
+            << ", \"sm\": " << jsonNumber(s.sm_violation) << "}}";
+    }
+    out << "\n  ]\n}\n";
+    std::printf("json: wrote %zu results to %s\n", rows_.size(),
+                path.c_str());
 }
 
 core::ExperimentRunner &

@@ -8,6 +8,7 @@
 #ifndef NPS_BENCH_COMMON_H
 #define NPS_BENCH_COMMON_H
 
+#include <chrono>
 #include <string>
 #include <vector>
 
@@ -24,10 +25,53 @@ struct Options
     size_t ticks = 2880;
     /** Quick mode: shorter horizon for smoke runs (--quick). */
     bool quick = false;
+    /** Write a machine-readable BENCH_<name>.json next to the table. */
+    bool json = false;
+    /** Output path override for --json FILE (empty = BENCH_<name>.json). */
+    std::string json_path;
 };
 
-/** Parse --ticks N / --quick; fatal() on unknown arguments. */
+/** Parse --ticks N / --quick / --json [FILE]; fatal() on unknowns. */
 Options parseArgs(int argc, char **argv);
+
+/**
+ * Machine-readable mirror of a reproduction bench: every experiment
+ * routed through run() is recorded, and write() emits one JSON document
+ * (scenario rows, horizon, wall time, ticks/sec) when --json was given.
+ * The tables stay the human-facing output; this is the artifact CI
+ * uploads (docs/OBSERVABILITY.md).
+ */
+class BenchReport
+{
+  public:
+    /** @param name bench name, e.g. "fig7_coordination". */
+    BenchReport(std::string name, const Options &opts);
+
+    /**
+     * Run @p spec on sharedRunner() and record the result under
+     * @p label (defaults to spec.label when empty).
+     */
+    core::ExperimentResult run(const core::ExperimentSpec &spec,
+                               const std::string &label = "");
+
+    /**
+     * Write BENCH_<name>.json (or the --json FILE override) when JSON
+     * output was requested; silent no-op otherwise.
+     */
+    void write() const;
+
+  private:
+    struct Row
+    {
+        std::string label;
+        core::ExperimentResult result;
+    };
+
+    std::string name_;
+    Options opts_;
+    std::chrono::steady_clock::time_point start_;
+    std::vector<Row> rows_;
+};
 
 /**
  * The process-wide experiment runner over the default 180-trace

@@ -23,6 +23,7 @@ main(int argc, char **argv)
 {
     using namespace nps;
     auto opts = bench::parseArgs(argc, argv);
+    bench::BenchReport report("fig10_budgets", opts);
     bench::banner("Figure 10: impact of power budgets",
                   "Figure 10 (budget sensitivity table)", opts);
 
@@ -51,7 +52,10 @@ main(int argc, char **argv)
                 spec.machine = machine;
                 spec.mix = trace::Mix::All180;
                 spec.ticks = opts.ticks;
-                auto r = bench::sharedRunner().run(spec);
+                auto r = report.run(
+                    spec, std::string(machine) + "/" +
+                              core::scenarioName(scenario) + "/" +
+                              budget.label());
                 std::vector<std::string> row{
                     machine, core::scenarioName(scenario),
                     budget.label()};
@@ -63,5 +67,6 @@ main(int argc, char **argv)
         }
     }
     table.print(std::cout);
+    report.write();
     return 0;
 }

@@ -20,6 +20,7 @@ main(int argc, char **argv)
 {
     using namespace nps;
     auto opts = bench::parseArgs(argc, argv);
+    bench::BenchReport report("fig7_coordination", opts);
     bench::banner("Figure 7: benefits from coordination",
                   "Figure 7 + Section 5.1 headline numbers", opts);
 
@@ -52,7 +53,8 @@ main(int argc, char **argv)
             spec.machine = cfg.machine;
             spec.mix = cfg.mix;
             spec.ticks = opts.ticks;
-            auto r = bench::sharedRunner().run(spec);
+            auto r = report.run(spec, spec.label + "/" +
+                                          core::scenarioName(scenario));
 
             std::vector<std::string> row{spec.label,
                                          core::scenarioName(scenario)};
@@ -75,5 +77,6 @@ main(int argc, char **argv)
         table.separator();
     }
     table.print(std::cout);
+    report.write();
     return 0;
 }

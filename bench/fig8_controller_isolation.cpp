@@ -22,6 +22,7 @@ main(int argc, char **argv)
 {
     using namespace nps;
     auto opts = bench::parseArgs(argc, argv);
+    bench::BenchReport report("fig8_controller_isolation", opts);
     bench::banner("Figure 8: isolating the controllers",
                   "Figure 8 (power savings per deployment subset)", opts);
 
@@ -42,8 +43,11 @@ main(int argc, char **argv)
                 spec.machine = machine;
                 spec.mix = mix;
                 spec.ticks = opts.ticks;
-                savings[s] = bench::sharedRunner().run(spec)
-                                 .power_savings;
+                savings[s] =
+                    report.run(spec, std::string(machine) + "/" +
+                                         trace::mixName(mix) + "/" +
+                                         spec.label)
+                        .power_savings;
             }
             double vmc_share = savings[0] > 1e-9
                                    ? (savings[0] - savings[1]) /
@@ -60,5 +64,6 @@ main(int argc, char **argv)
     table.print(std::cout);
     std::cout << "\npaper reference points: BladeA/180 = 64/23/48, "
                  "ServerB/180 = 57/4/54 (%)\n";
+    report.write();
     return 0;
 }

@@ -22,6 +22,7 @@ main(int argc, char **argv)
 {
     using namespace nps;
     auto opts = bench::parseArgs(argc, argv);
+    bench::BenchReport report("fig9_interfaces", opts);
     bench::banner("Figure 9: coordination interface ablations",
                   "Figure 9 (interface characterization table)", opts);
 
@@ -39,7 +40,8 @@ main(int argc, char **argv)
             spec.machine = machine;
             spec.mix = trace::Mix::All180;
             spec.ticks = opts.ticks;
-            auto r = bench::sharedRunner().run(spec);
+            auto r = report.run(spec, std::string(machine) + "/" +
+                                          spec.label);
             std::vector<std::string> row{machine, spec.label};
             for (const auto &cell : bench::metricCells(r))
                 row.push_back(cell);
@@ -54,7 +56,8 @@ main(int argc, char **argv)
         spec.two_pstates = true;
         spec.mix = trace::Mix::All180;
         spec.ticks = opts.ticks;
-        auto r = bench::sharedRunner().run(spec);
+        auto r = report.run(spec, std::string(machine) + "/" +
+                                      spec.label);
         std::vector<std::string> row{machine, spec.label};
         for (const auto &cell : bench::metricCells(r))
             row.push_back(cell);
@@ -62,5 +65,6 @@ main(int argc, char **argv)
         table.separator();
     }
     table.print(std::cout);
+    report.write();
     return 0;
 }

@@ -27,6 +27,7 @@ main(int argc, char **argv)
 {
     using namespace nps;
     auto opts = bench::parseArgs(argc, argv);
+    bench::BenchReport report("tbl_idlepower", opts);
     bench::banner("Conclusions: idle-power sensitivity",
                   "Section 7 (future low-idle systems)", opts);
 
@@ -51,7 +52,11 @@ main(int argc, char **argv)
             spec.custom_machine = machine;
             spec.mix = trace::Mix::All180;
             spec.ticks = opts.ticks;
-            savings[s] = bench::sharedRunner().run(spec).power_savings;
+            savings[s] =
+                report.run(spec,
+                           "idle x" + util::Table::num(scale, 1) + "/" +
+                               core::scenarioName(scenarios[s]))
+                    .power_savings;
         }
         double share = savings[0] > 1e-9
                            ? (savings[0] - savings[1]) / savings[0]
@@ -66,5 +71,6 @@ main(int argc, char **argv)
     table.print(std::cout);
     std::cout << "\npaper claim: less idle power -> less total savings, "
                  "but consolidation still contributes\n";
+    report.write();
     return 0;
 }

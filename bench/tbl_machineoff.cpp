@@ -21,6 +21,7 @@ main(int argc, char **argv)
 {
     using namespace nps;
     auto opts = bench::parseArgs(argc, argv);
+    bench::BenchReport report("tbl_machineoff", opts);
     bench::banner("Section 5.4: avoiding machine power-off",
                   "Section 5.4 (power-off avoidance study)", opts);
 
@@ -41,7 +42,9 @@ main(int argc, char **argv)
             spec.machine = machine;
             spec.mix = trace::Mix::All180;
             spec.ticks = opts.ticks;
-            auto r = bench::sharedRunner().run(spec);
+            auto r = report.run(
+                spec, std::string(machine) + "/power-off-" +
+                          (allow_off ? "allowed" : "disabled"));
             std::vector<std::string> row{machine,
                                          allow_off ? "allowed"
                                                    : "disabled"};
@@ -55,5 +58,6 @@ main(int argc, char **argv)
     table.print(std::cout);
     std::cout << "\npaper reference points: BladeA 64% -> 23%, ServerB "
                  "-> ~5% when power-off is disabled\n";
+    report.write();
     return 0;
 }

@@ -19,6 +19,7 @@ main(int argc, char **argv)
 {
     using namespace nps;
     auto opts = bench::parseArgs(argc, argv);
+    bench::BenchReport report("tbl_migration", opts);
     bench::banner("Section 5.4: migration overhead sensitivity",
                   "Section 5.4 (alpha_mu sweep)", opts);
 
@@ -38,7 +39,9 @@ main(int argc, char **argv)
             spec.machine = machine;
             spec.mix = trace::Mix::All180;
             spec.ticks = opts.ticks;
-            auto r = bench::sharedRunner().run(spec);
+            auto r = report.run(spec, std::string(machine) +
+                                          "/alpha_mu=" +
+                                          util::Table::pct(alpha_m, 0));
             std::vector<std::string> row{
                 machine, util::Table::pct(alpha_m, 0) + "%"};
             for (const auto &cell : bench::metricCells(r))
@@ -51,5 +54,6 @@ main(int argc, char **argv)
     table.print(std::cout);
     std::cout << "\npaper claim: perf loss stays below 10% in all "
                  "cases\n";
+    report.write();
     return 0;
 }

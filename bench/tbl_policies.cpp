@@ -20,6 +20,7 @@ main(int argc, char **argv)
 {
     using namespace nps;
     auto opts = bench::parseArgs(argc, argv);
+    bench::BenchReport report("tbl_policies", opts);
     bench::banner("Section 5.4: division-policy robustness",
                   "Section 5.4 (EM/GM policy study)", opts);
 
@@ -54,7 +55,7 @@ main(int argc, char **argv)
         }
         spec.mix = trace::Mix::All180;
         spec.ticks = opts.ticks;
-        auto r = bench::sharedRunner().run(spec);
+        auto r = report.run(spec, controllers::policyName(policy));
         std::vector<std::string> row{
             controllers::policyName(policy)};
         for (const auto &cell : bench::metricCells(r))
@@ -64,5 +65,6 @@ main(int argc, char **argv)
     table.print(std::cout);
     std::cout << "\npaper claim: results are robust to the policy "
                  "choice\n";
+    report.write();
     return 0;
 }

@@ -23,6 +23,7 @@ main(int argc, char **argv)
 {
     using namespace nps;
     auto opts = bench::parseArgs(argc, argv);
+    bench::BenchReport report("tbl_pstates", opts);
     bench::banner("Section 5.3: number of P-states",
                   "Section 5.3 (P-state count study)", opts);
 
@@ -43,7 +44,10 @@ main(int argc, char **argv)
                 spec.two_pstates = two_pstates;
                 spec.mix = trace::Mix::All180;
                 spec.ticks = opts.ticks;
-                auto r = bench::sharedRunner().run(spec);
+                auto r = report.run(
+                    spec, std::string(machine) + "/" +
+                              (two_pstates ? "2-pstates" : "all") +
+                              "/" + core::scenarioName(scenario));
                 std::vector<std::string> row{
                     machine, two_pstates ? "2 (extremes)" : "all",
                     core::scenarioName(scenario)};
@@ -55,5 +59,6 @@ main(int argc, char **argv)
         table.separator();
     }
     table.print(std::cout);
+    report.write();
     return 0;
 }

@@ -23,7 +23,8 @@ namespace {
 void
 sweep(const char *which, const std::vector<unsigned> &values,
       unsigned t_ec, unsigned t_sm, unsigned t_gm, unsigned t_vmc,
-      const nps::bench::Options &opts, nps::util::Table &table)
+      const nps::bench::Options &opts, nps::util::Table &table,
+      nps::bench::BenchReport &report)
 {
     using namespace nps;
     for (unsigned v : values) {
@@ -41,7 +42,8 @@ sweep(const char *which, const std::vector<unsigned> &values,
                                               ec, sm, 0, gm, vmc);
         spec.mix = trace::Mix::All180;
         spec.ticks = opts.ticks;
-        auto r = bench::sharedRunner().run(spec);
+        auto r = report.run(spec, std::string(which) + "/" +
+                                      std::to_string(v));
         std::vector<std::string> row{which, std::to_string(v)};
         for (const auto &cell : bench::metricCells(r))
             row.push_back(cell);
@@ -57,6 +59,7 @@ main(int argc, char **argv)
 {
     using namespace nps;
     auto opts = bench::parseArgs(argc, argv);
+    bench::BenchReport report("tbl_timeconstants", opts);
     bench::banner("Section 5.4: time-constant sensitivity",
                   "Section 5.4 (T_ec/T_sm/T_grp/T_vmc sweeps, BladeA/180)",
                   opts);
@@ -68,14 +71,16 @@ main(int argc, char **argv)
         header.push_back(h);
     table.header(header);
 
-    sweep("EC", {1, 2, 5, 10}, 0, 0, 0, 0, opts, table);
-    sweep("SM", {1, 2, 5, 10}, 0, 0, 0, 0, opts, table);
-    sweep("GM", {50, 100, 200, 400}, 0, 0, 0, 0, opts, table);
-    sweep("VMC", {100, 200, 300, 400, 500}, 0, 0, 0, 0, opts, table);
+    sweep("EC", {1, 2, 5, 10}, 0, 0, 0, 0, opts, table, report);
+    sweep("SM", {1, 2, 5, 10}, 0, 0, 0, 0, opts, table, report);
+    sweep("GM", {50, 100, 200, 400}, 0, 0, 0, 0, opts, table, report);
+    sweep("VMC", {100, 200, 300, 400, 500}, 0, 0, 0, 0, opts, table,
+          report);
 
     table.print(std::cout);
     std::cout << "\npaper claim: EC/SM/GM sweeps are flat; faster VMC "
                  "epochs reduce savings via more conservative "
                  "consolidation\n";
+    report.write();
     return 0;
 }

@@ -23,6 +23,7 @@ main(int argc, char **argv)
 {
     using namespace nps;
     auto opts = bench::parseArgs(argc, argv);
+    bench::BenchReport report("tbl_vmc_knobs", opts);
     bench::banner("Design ablation: VMC packing headroom",
                   "DESIGN.md design-choice ablation (BladeA/180)", opts);
 
@@ -41,7 +42,9 @@ main(int argc, char **argv)
             spec.config.vmc.spread_sigma = spread;
             spec.mix = trace::Mix::All180;
             spec.ticks = opts.ticks;
-            auto r = bench::sharedRunner().run(spec);
+            auto r = report.run(
+                spec, "capacity=" + util::Table::num(capacity, 2) +
+                          "/spread=" + util::Table::num(spread, 1));
             std::vector<std::string> row{util::Table::num(capacity, 2),
                                          util::Table::num(spread, 1)};
             for (const auto &cell : bench::metricCells(r))
@@ -52,5 +55,6 @@ main(int argc, char **argv)
         table.separator();
     }
     table.print(std::cout);
+    report.write();
     return 0;
 }

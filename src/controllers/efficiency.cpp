@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "control/stability.h"
+#include "obs/decision_trace.h"
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace nps {
@@ -29,10 +31,31 @@ EfficiencyController::EfficiencyController(sim::Server &server,
 }
 
 void
+EfficiencyController::attachObs(obs::MetricsRegistry *metrics,
+                                obs::TraceSink *trace)
+{
+    if (metrics) {
+        obs_pstate_changes_ = metrics->counter(
+            "nps_ec_pstate_changes_total", name_,
+            "P-state transitions actuated by the EC");
+        obs_restarts_ = metrics->counter(
+            "nps_ec_restarts_total", name_,
+            "Cold restarts after an EC outage");
+        obs_stuck_ = metrics->counter(
+            "nps_ec_stuck_actuations_total", name_,
+            "P-state writes swallowed by a stuck actuator fault");
+    }
+    if (trace)
+        obs_trace_ = trace->channel(name_);
+}
+
+void
 EfficiencyController::step(size_t tick)
 {
     if (faults_ && faults_->down(fault::Level::EC,
                                  static_cast<long>(server_.id()), tick)) {
+        if (!was_down_ && obs_trace_)
+            obs_trace_->emit(tick, "outage begins: EC down, P-state held");
         ++degrade_.outage_ticks;
         ++degrade_.outage_steps;
         was_down_ = true;
@@ -41,6 +64,11 @@ EfficiencyController::step(size_t tick)
     if (was_down_) {
         was_down_ = false;
         ++degrade_.restarts;
+        if (obs_restarts_)
+            obs_restarts_->add();
+        if (obs_trace_)
+            obs_trace_->emit(tick, "cold restart after outage: back to "
+                                   "P0, integrator and r_ref reset");
         restartCold();
     }
     cur_tick_ = tick;
@@ -113,7 +141,21 @@ EfficiencyController::actuate(double value)
         // The firmware actuator swallowed the write; the integrator keeps
         // running against the stuck plant (realistic windup).
         ++degrade_.stuck_actuations;
+        if (obs_stuck_)
+            obs_stuck_->add();
+        if (obs_trace_)
+            obs_trace_->emit(cur_tick_,
+                             "actuator stuck: P%zu held (wanted P%zu)",
+                             server_.pstate(), p);
         return;
+    }
+    if (p != server_.pstate()) {
+        if (obs_pstate_changes_)
+            obs_pstate_changes_->add();
+        if (obs_trace_)
+            obs_trace_->emit(cur_tick_,
+                             "P%zu -> P%zu: f_cont=%.6g MHz r_ref=%.6g",
+                             server_.pstate(), p, value, reference());
     }
     server_.setPState(p);
 }
@@ -143,7 +185,18 @@ EfficiencyController::stepEnergyDelay(size_t tick)
     if (best != server_.pstate() && faults_ &&
         faults_->pstateStuck(static_cast<long>(server_.id()), tick)) {
         ++degrade_.stuck_actuations;
+        if (obs_stuck_)
+            obs_stuck_->add();
         return;
+    }
+    if (best != server_.pstate()) {
+        if (obs_pstate_changes_)
+            obs_pstate_changes_->add();
+        if (obs_trace_)
+            obs_trace_->emit(tick,
+                             "P%zu -> P%zu: energy-delay best for "
+                             "demand=%.6g",
+                             server_.pstate(), best, demand);
     }
     server_.setPState(best);
     freq_.setValue(table.at(best).freq_mhz);

@@ -28,6 +28,13 @@
 #include "sim/server.h"
 
 namespace nps {
+namespace obs {
+class Counter;
+class MetricsRegistry;
+class TraceChannel;
+class TraceSink;
+} // namespace obs
+
 namespace controllers {
 
 /**
@@ -108,6 +115,12 @@ class EfficiencyController : public sim::Actor, public ctl::ControlLoop
 
     /// @}
 
+    /**
+     * Register this EC's metrics series and decision-trace channel.
+     * Either argument may be null; wiring time only (not thread-safe).
+     */
+    void attachObs(obs::MetricsRegistry *metrics, obs::TraceSink *trace);
+
   protected:
     /// @name ctl::ControlLoop hooks
     /// @{
@@ -138,6 +151,11 @@ class EfficiencyController : public sim::Actor, public ctl::ControlLoop
     size_t cur_tick_ = 0;     //!< tick of the in-flight step (for hooks)
     double held_util_ = 0.0;  //!< last healthy sensor reading
     bool was_down_ = false;   //!< edge detector for restarts
+
+    obs::Counter *obs_pstate_changes_ = nullptr;
+    obs::Counter *obs_restarts_ = nullptr;
+    obs::Counter *obs_stuck_ = nullptr;
+    obs::TraceChannel *obs_trace_ = nullptr;
 };
 
 } // namespace controllers

@@ -1,5 +1,7 @@
 #include "controllers/electrical_capper.h"
 
+#include "obs/decision_trace.h"
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace nps {
@@ -18,6 +20,19 @@ ElectricalCapper::ElectricalCapper(sim::Server &server, double limit_watts,
 }
 
 void
+ElectricalCapper::attachObs(obs::MetricsRegistry *metrics,
+                            obs::TraceSink *trace)
+{
+    if (metrics) {
+        obs_engagements_ = metrics->counter(
+            "nps_cap_engagements_total", name_,
+            "Electrical clamp engage transitions");
+    }
+    if (trace)
+        obs_trace_ = trace->channel(name_);
+}
+
+void
 ElectricalCapper::publishClamp(bool clamping, size_t tick)
 {
     // Edge-triggered: one sample per engage/release transition, carrying
@@ -26,6 +41,20 @@ ElectricalCapper::publishClamp(bool clamping, size_t tick)
         return;
     clamping_ = clamping;
     telemetry_.emit(clamping ? 1.0 : 0.0, server_.lastPower(), tick);
+    if (clamping) {
+        if (obs_engagements_)
+            obs_engagements_->add();
+        if (obs_trace_)
+            obs_trace_->emit(tick,
+                             "clamp engaged: pow=%.6gW > limit=%.6gW, "
+                             "overriding EC P-state",
+                             server_.lastPower(), limit_);
+    } else if (obs_trace_) {
+        obs_trace_->emit(tick,
+                         "clamp released: P0 safe under %.6gW, authority "
+                         "back to EC",
+                         limit_);
+    }
 }
 
 void

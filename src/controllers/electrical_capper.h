@@ -90,6 +90,12 @@ class ElectricalCapper : public sim::Actor, public ViolationTracker
         telemetry_.attachLog(log);
     }
 
+    /**
+     * Register this capper's metrics series and decision-trace channel.
+     * Either argument may be null; wiring time only (not thread-safe).
+     */
+    void attachObs(obs::MetricsRegistry *metrics, obs::TraceSink *trace);
+
   private:
     /** Publish clamp transitions on the telemetry channel. */
     void publishClamp(bool clamping, size_t tick);
@@ -103,6 +109,9 @@ class ElectricalCapper : public sim::Actor, public ViolationTracker
     const fault::FaultInjector *faults_ = nullptr;
     fault::DegradeStats degrade_;
     bool was_down_ = false; //!< edge detector for restarts
+
+    obs::Counter *obs_engagements_ = nullptr;
+    obs::TraceChannel *obs_trace_ = nullptr;
 };
 
 } // namespace controllers

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/decision_trace.h"
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace nps {
@@ -59,6 +61,32 @@ EnclosureManager::attachControlLog(bus::ControlPlaneLog *log)
 {
     for (auto &link : grant_links_)
         link->attachLog(log);
+}
+
+void
+EnclosureManager::attachObs(obs::MetricsRegistry *metrics,
+                            obs::TraceSink *trace)
+{
+    if (metrics) {
+        obs_divisions_ = metrics->counter(
+            "nps_em_divisions_total", name_,
+            "Budget divisions performed by the EM");
+        obs_lease_expiries_ = metrics->counter(
+            "nps_em_lease_expiries_total", name_,
+            "GM-budget leases that lapsed into the local fallback cap");
+        obs_restarts_ = metrics->counter(
+            "nps_em_restarts_total", name_,
+            "Cold restarts after an EM outage");
+        obs_cap_ = metrics->gauge(
+            "nps_em_cap_watts", name_,
+            "Budget divided by the EM at its most recent step");
+        obs_grants_ = metrics->histogram(
+            "nps_em_grant_watts", name_,
+            "Per-blade grants sent by the EM",
+            {25.0, 50.0, 75.0, 100.0, 150.0, 200.0, 300.0, 500.0});
+    }
+    if (trace)
+        obs_trace_ = trace->channel(name_);
 }
 
 void
@@ -127,6 +155,13 @@ EnclosureManager::observe(size_t tick)
         if (was_down_) {
             was_down_ = false;
             ++degrade_.restarts;
+            if (obs_restarts_)
+                obs_restarts_->add();
+            if (obs_trace_)
+                obs_trace_->emit(tick,
+                                 "cold restart after outage: CAP_ENC "
+                                 "%.6gW, estimates rebuilt from zero",
+                                 static_cap_);
             restartCold(tick);
         }
     }
@@ -159,9 +194,21 @@ EnclosureManager::step(size_t tick)
         if (!lease_expired_) {
             lease_expired_ = true;
             ++degrade_.lease_expiries;
+            if (obs_lease_expiries_)
+                obs_lease_expiries_->add();
+            if (obs_trace_)
+                obs_trace_->emit(tick,
+                                 "GM lease expired (grant from tick "
+                                 "%zu, lease %u) -> fallback cap %.6gW",
+                                 budget_tick_, params_.lease_ticks,
+                                 currentCap(tick));
         }
         ++degrade_.lease_fallback_steps;
     } else {
+        if (lease_expired_ && obs_trace_)
+            obs_trace_->emit(tick,
+                             "GM lease recovered: dividing %.6gW again",
+                             effectiveCap());
         lease_expired_ = false;
     }
 
@@ -180,6 +227,28 @@ EnclosureManager::step(size_t tick)
         in.floors.push_back(gb.floor);
     }
     last_grants_ = divideBudget(params_.policy, in, &rng_);
+    if (obs_divisions_)
+        obs_divisions_->add();
+    if (obs_cap_)
+        obs_cap_->set(in.budget);
+    if (obs_grants_) {
+        for (double g : last_grants_)
+            obs_grants_->observe(g);
+    }
+    if (obs_trace_) {
+        double lo = last_grants_.empty() ? 0.0 : last_grants_[0];
+        double hi = lo;
+        for (double g : last_grants_) {
+            lo = std::min(lo, g);
+            hi = std::max(hi, g);
+        }
+        obs_trace_->emit(tick,
+                         "divided %.6gW across %zu blades (%s): "
+                         "grants %.6g..%.6gW%s",
+                         in.budget, blades_.size(),
+                         policyName(params_.policy), lo, hi,
+                         lapsed ? " [lease fallback]" : "");
+    }
     // Each grant goes out on the blade's typed budget channel; drop and
     // stale faults (and the delivery floor) are the link's business now.
     for (size_t i = 0; i < blades_.size(); ++i)

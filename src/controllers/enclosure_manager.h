@@ -26,6 +26,15 @@
 #include "util/random.h"
 
 namespace nps {
+namespace obs {
+class Counter;
+class Gauge;
+class Histogram;
+class MetricsRegistry;
+class TraceChannel;
+class TraceSink;
+} // namespace obs
+
 namespace controllers {
 
 /**
@@ -117,6 +126,12 @@ class EnclosureManager : public sim::Actor, public ViolationTracker
     /** Mirror the EM→SM budget links into @p log; null detaches. */
     void attachControlLog(bus::ControlPlaneLog *log);
 
+    /**
+     * Register this EM's metrics series and decision-trace channel.
+     * Either argument may be null; wiring time only (not thread-safe).
+     */
+    void attachObs(obs::MetricsRegistry *metrics, obs::TraceSink *trace);
+
   private:
     /** @return true when the GM budget lease has lapsed as of @p tick. */
     bool leaseLapsed(size_t tick) const;
@@ -142,6 +157,13 @@ class EnclosureManager : public sim::Actor, public ViolationTracker
     size_t budget_tick_ = 0;     //!< receipt tick of the live GM grant
     bool lease_expired_ = false; //!< edge detector for lease_expiries
     bool was_down_ = false;      //!< edge detector for restarts
+
+    obs::Counter *obs_divisions_ = nullptr;
+    obs::Counter *obs_lease_expiries_ = nullptr;
+    obs::Counter *obs_restarts_ = nullptr;
+    obs::Gauge *obs_cap_ = nullptr;
+    obs::Histogram *obs_grants_ = nullptr;
+    obs::TraceChannel *obs_trace_ = nullptr;
 };
 
 } // namespace controllers

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/decision_trace.h"
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace nps {
@@ -130,6 +132,36 @@ GroupManager::attachControlLog(bus::ControlPlaneLog *log)
 }
 
 void
+GroupManager::attachObs(obs::MetricsRegistry *metrics,
+                        obs::TraceSink *trace)
+{
+    if (metrics) {
+        obs_divisions_ = metrics->counter(
+            "nps_gm_divisions_total", name_,
+            "Budget divisions performed by the GM");
+        obs_lease_expiries_ = metrics->counter(
+            "nps_gm_lease_expiries_total", name_,
+            "Parent-GM budget leases that lapsed into the fallback cap");
+        obs_restarts_ = metrics->counter(
+            "nps_gm_restarts_total", name_,
+            "Cold restarts after a GM outage");
+        obs_cap_ = metrics->gauge(
+            "nps_gm_cap_watts", name_,
+            "Budget divided by the GM at its most recent step");
+        obs_scope_power_ = metrics->gauge(
+            "nps_gm_scope_power_watts", name_,
+            "Scope power observed at the GM's most recent step");
+        obs_grants_ = metrics->histogram(
+            "nps_gm_grant_watts", name_,
+            "Per-child grants sent by the GM",
+            {100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0,
+             25000.0});
+    }
+    if (trace)
+        obs_trace_ = trace->channel(name_);
+}
+
+void
 GroupManager::setBudget(double watts)
 {
     if (watts <= 0.0)
@@ -209,6 +241,13 @@ GroupManager::observe(size_t tick)
         if (was_down_) {
             was_down_ = false;
             ++degrade_.restarts;
+            if (obs_restarts_)
+                obs_restarts_->add();
+            if (obs_trace_)
+                obs_trace_->emit(tick,
+                                 "cold restart after outage: static cap "
+                                 "%.6gW, estimates rebuilt from zero",
+                                 static_cap_);
             restartCold(tick);
         }
     }
@@ -257,9 +296,22 @@ GroupManager::step(size_t tick)
         if (!lease_expired_) {
             lease_expired_ = true;
             ++degrade_.lease_expiries;
+            if (obs_lease_expiries_)
+                obs_lease_expiries_->add();
+            if (obs_trace_)
+                obs_trace_->emit(tick,
+                                 "parent lease expired (grant from tick "
+                                 "%zu, lease %u) -> fallback cap %.6gW",
+                                 budget_tick_, params_.lease_ticks,
+                                 currentCap(tick));
         }
         ++degrade_.lease_fallback_steps;
     } else {
+        if (lease_expired_ && obs_trace_)
+            obs_trace_->emit(tick,
+                             "parent lease recovered: dividing %.6gW "
+                             "again",
+                             effectiveCap());
         lease_expired_ = false;
     }
     if (params_.mode == Mode::Coordinated)
@@ -311,6 +363,24 @@ GroupManager::stepCoordinated(size_t tick)
     }
 
     last_grants_ = divideBudget(params_.policy, in, &rng_);
+    if (obs_divisions_)
+        obs_divisions_->add();
+    if (obs_cap_)
+        obs_cap_->set(in.budget);
+    if (obs_scope_power_)
+        obs_scope_power_->set(scopePower());
+    if (obs_grants_) {
+        for (double g : last_grants_)
+            obs_grants_->observe(g);
+    }
+    if (obs_trace_) {
+        obs_trace_->emit(tick,
+                         "divided %.6gW (%s): %zu group, %zu enclosure, "
+                         "%zu standalone grants; scope power %.6gW",
+                         in.budget, policyName(params_.policy),
+                         groups_.size(), enclosures_.size(),
+                         standalone_.size(), scopePower());
+    }
     for (size_t slot = 0; slot < child_links_.size(); ++slot)
         child_links_[slot]->send(last_grants_[slot], tick);
 }
@@ -334,6 +404,23 @@ GroupManager::stepUncoordinated(size_t tick)
         in.floors.push_back(gb.floor);
     }
     last_grants_ = divideBudget(params_.policy, in, &rng_);
+    if (obs_divisions_)
+        obs_divisions_->add();
+    if (obs_cap_)
+        obs_cap_->set(in.budget);
+    if (obs_scope_power_)
+        obs_scope_power_->set(scopePower());
+    if (obs_grants_) {
+        for (double g : last_grants_)
+            obs_grants_->observe(g);
+    }
+    if (obs_trace_) {
+        obs_trace_->emit(tick,
+                         "divided %.6gW (%s) directly across %zu "
+                         "servers, overwriting EM grants",
+                         in.budget, policyName(params_.policy),
+                         all_servers_.size());
+    }
     for (size_t i = 0; i < server_links_.size(); ++i)
         server_links_[i]->send(last_grants_[i], tick);
 }

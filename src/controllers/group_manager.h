@@ -37,6 +37,15 @@
 #include "util/random.h"
 
 namespace nps {
+namespace obs {
+class Counter;
+class Gauge;
+class Histogram;
+class MetricsRegistry;
+class TraceChannel;
+class TraceSink;
+} // namespace obs
+
 namespace controllers {
 
 /**
@@ -188,6 +197,12 @@ class GroupManager : public sim::Actor, public ViolationTracker
     /** Mirror this GM's outgoing budget links into @p log. */
     void attachControlLog(bus::ControlPlaneLog *log);
 
+    /**
+     * Register this GM's metrics series and decision-trace channel.
+     * Either argument may be null; wiring time only (not thread-safe).
+     */
+    void attachObs(obs::MetricsRegistry *metrics, obs::TraceSink *trace);
+
   private:
     /** Coordinated step: divide among groups + enclosures + standalone. */
     void stepCoordinated(size_t tick);
@@ -232,6 +247,14 @@ class GroupManager : public sim::Actor, public ViolationTracker
     size_t budget_tick_ = 0;     //!< receipt tick of the live grant
     bool lease_expired_ = false; //!< edge detector for lease_expiries
     bool was_down_ = false;      //!< edge detector for restarts
+
+    obs::Counter *obs_divisions_ = nullptr;
+    obs::Counter *obs_lease_expiries_ = nullptr;
+    obs::Counter *obs_restarts_ = nullptr;
+    obs::Gauge *obs_cap_ = nullptr;
+    obs::Gauge *obs_scope_power_ = nullptr;
+    obs::Histogram *obs_grants_ = nullptr;
+    obs::TraceChannel *obs_trace_ = nullptr;
 };
 
 } // namespace controllers

@@ -1,5 +1,7 @@
 #include "controllers/memory_manager.h"
 
+#include "obs/decision_trace.h"
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace nps {
@@ -18,6 +20,19 @@ MemoryManager::MemoryManager(sim::Server &server, const Params &params)
 }
 
 void
+MemoryManager::attachObs(obs::MetricsRegistry *metrics,
+                         obs::TraceSink *trace)
+{
+    if (metrics) {
+        obs_engagements_ = metrics->counter(
+            "nps_mm_engagements_total", name_,
+            "Memory low-power mode engage transitions");
+    }
+    if (trace)
+        obs_trace_ = trace->channel(name_);
+}
+
+void
 MemoryManager::setMode(bool low, size_t tick)
 {
     // Edge-triggered telemetry: one sample per engage/release, carrying
@@ -26,6 +41,12 @@ MemoryManager::setMode(bool low, size_t tick)
         return;
     server_.setMemLowPower(low);
     telemetry_.emit(low ? 1.0 : 0.0, server_.lastApparentUtil(), tick);
+    if (low && obs_engagements_)
+        obs_engagements_->add();
+    if (obs_trace_)
+        obs_trace_->emit(tick, "mem low-power %s: util=%.6g",
+                         low ? "engaged" : "released",
+                         server_.lastApparentUtil());
 }
 
 void

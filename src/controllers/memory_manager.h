@@ -24,6 +24,13 @@
 #include "sim/server.h"
 
 namespace nps {
+namespace obs {
+class Counter;
+class MetricsRegistry;
+class TraceChannel;
+class TraceSink;
+} // namespace obs
+
 namespace controllers {
 
 /**
@@ -71,6 +78,12 @@ class MemoryManager : public sim::Actor
         telemetry_.attachLog(log);
     }
 
+    /**
+     * Register this MM's metrics series and decision-trace channel.
+     * Either argument may be null; wiring time only (not thread-safe).
+     */
+    void attachObs(obs::MetricsRegistry *metrics, obs::TraceSink *trace);
+
   private:
     /** Publish a mode transition on the telemetry channel. */
     void setMode(bool low, size_t tick);
@@ -81,6 +94,9 @@ class MemoryManager : public sim::Actor
     bus::TelemetryLink telemetry_;
     unsigned quiet_steps_ = 0;
     unsigned long engagements_ = 0;
+
+    obs::Counter *obs_engagements_ = nullptr;
+    obs::TraceChannel *obs_trace_ = nullptr;
 };
 
 } // namespace controllers

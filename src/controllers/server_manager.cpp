@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "control/stability.h"
+#include "obs/decision_trace.h"
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace nps {
@@ -73,6 +75,41 @@ ServerManager::setBudget(double watts, size_t tick)
 {
     setBudget(watts);
     budget_tick_ = tick;
+    if (params_.mode == Mode::Coordinated && watts < static_cap_) {
+        if (obs_grant_clamps_)
+            obs_grant_clamps_->add();
+        if (obs_trace_)
+            obs_trace_->emit(tick,
+                             "clamped budget %.6gW -> %.6gW: grant < "
+                             "static",
+                             static_cap_, watts);
+    }
+}
+
+void
+ServerManager::attachObs(obs::MetricsRegistry *metrics,
+                         obs::TraceSink *trace)
+{
+    if (metrics) {
+        obs_grant_clamps_ = metrics->counter(
+            "nps_sm_grant_clamps_total", name_,
+            "Dynamic grants below the static cap (grant won the min)");
+        obs_lease_expiries_ = metrics->counter(
+            "nps_sm_lease_expiries_total", name_,
+            "Budget leases that lapsed into the local fallback cap");
+        obs_ec_fallback_steps_ = metrics->counter(
+            "nps_sm_ec_fallback_steps_total", name_,
+            "Steps spent capping P-states directly because the nested "
+            "EC was down");
+        obs_restarts_ = metrics->counter(
+            "nps_sm_restarts_total", name_,
+            "Cold restarts after an SM outage");
+        obs_cap_ = metrics->gauge(
+            "nps_sm_cap_watts", name_,
+            "Budget enforced by the SM at its most recent step");
+    }
+    if (trace)
+        obs_trace_ = trace->channel(name_);
 }
 
 double
@@ -127,6 +164,13 @@ ServerManager::observe(size_t tick)
         if (was_down_) {
             was_down_ = false;
             ++degrade_.restarts;
+            if (obs_restarts_)
+                obs_restarts_->add();
+            if (obs_trace_)
+                obs_trace_->emit(tick,
+                                 "cold restart after outage: static "
+                                 "budget %.6gW, fresh lease",
+                                 static_cap_);
             restartCold(tick);
         }
     }
@@ -165,12 +209,27 @@ ServerManager::step(size_t tick)
         if (!lease_expired_) {
             lease_expired_ = true;
             ++degrade_.lease_expiries;
+            if (obs_lease_expiries_)
+                obs_lease_expiries_->add();
+            if (obs_trace_)
+                obs_trace_->emit(tick,
+                                 "lease expired (grant from tick %zu, "
+                                 "lease %u) -> fallback cap %.6gW",
+                                 budget_tick_, params_.lease_ticks,
+                                 currentCap(tick));
         }
         ++degrade_.lease_fallback_steps;
     } else {
+        if (lease_expired_ && obs_trace_)
+            obs_trace_->emit(tick,
+                             "lease recovered: fresh grant, enforcing "
+                             "%.6gW",
+                             effectiveCap());
         lease_expired_ = false;
     }
     double cap = currentCap(tick);
+    if (obs_cap_)
+        obs_cap_->set(cap);
 
     bool ec_down = faults_ && ec_ &&
                    faults_->down(fault::Level::EC,
@@ -178,10 +237,23 @@ ServerManager::step(size_t tick)
     if (params_.mode == Mode::DirectPState || ec_down) {
         // With the nested EC down nobody runs the inner loop; the SM
         // degrades to capping P-states directly, like a solo product.
-        if (ec_down && params_.mode == Mode::Coordinated)
+        if (ec_down && params_.mode == Mode::Coordinated) {
             ++degrade_.ec_fallback_steps;
+            if (obs_ec_fallback_steps_)
+                obs_ec_fallback_steps_->add();
+            if (!ec_fallback_ && obs_trace_)
+                obs_trace_->emit(tick, "nested EC down -> direct "
+                                       "P-state capping");
+            ec_fallback_ = true;
+        }
         stepDirect(tick, cap);
         return;
+    }
+    if (ec_fallback_) {
+        ec_fallback_ = false;
+        if (obs_trace_)
+            obs_trace_->emit(tick, "nested EC back -> r_ref actuation "
+                                   "resumed");
     }
     setReference(cap);
     ControlLoop::step();
@@ -238,6 +310,10 @@ ServerManager::stepDirect(size_t tick, double cap)
         ++degrade_.stuck_actuations;
         return;
     }
+    if (obs_trace_)
+        obs_trace_->emit(tick, "%s P%zu -> P%zu: pow=%.6gW cap=%.6gW",
+                         q > p ? "throttle" : "unthrottle", p, q, pow,
+                         cap);
     server_.setPState(q);
 }
 

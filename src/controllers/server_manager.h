@@ -38,6 +38,14 @@
 #include "sim/server.h"
 
 namespace nps {
+namespace obs {
+class Counter;
+class Gauge;
+class MetricsRegistry;
+class TraceChannel;
+class TraceSink;
+} // namespace obs
+
 namespace controllers {
 
 /**
@@ -192,6 +200,12 @@ class ServerManager : public sim::Actor,
      */
     void attachControlLog(bus::ControlPlaneLog *log);
 
+    /**
+     * Register this SM's metrics series and decision-trace channel.
+     * Either argument may be null; wiring time only (not thread-safe).
+     */
+    void attachObs(obs::MetricsRegistry *metrics, obs::TraceSink *trace);
+
     /** Active parameters. */
     const Params &params() const { return params_; }
 
@@ -230,6 +244,14 @@ class ServerManager : public sim::Actor,
     size_t budget_tick_ = 0;    //!< receipt tick of the live grant
     bool lease_expired_ = false; //!< edge detector for lease_expiries
     bool was_down_ = false;      //!< edge detector for restarts
+    bool ec_fallback_ = false;   //!< edge detector for EC-down tracing
+
+    obs::Counter *obs_grant_clamps_ = nullptr;
+    obs::Counter *obs_lease_expiries_ = nullptr;
+    obs::Counter *obs_ec_fallback_steps_ = nullptr;
+    obs::Counter *obs_restarts_ = nullptr;
+    obs::Gauge *obs_cap_ = nullptr;
+    obs::TraceChannel *obs_trace_ = nullptr;
 };
 
 } // namespace controllers

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/decision_trace.h"
+#include "obs/metrics.h"
 #include "util/logging.h"
 #include "util/stats.h"
 
@@ -65,6 +67,43 @@ VmController::attachControlLog(bus::ControlPlaneLog *log)
 }
 
 void
+VmController::attachObs(obs::MetricsRegistry *metrics,
+                        obs::TraceSink *trace)
+{
+    if (metrics) {
+        obs_epochs_ = metrics->counter(
+            "nps_vmc_epochs_total", name_,
+            "Completed consolidation epochs");
+        obs_adoptions_ = metrics->counter(
+            "nps_vmc_adoptions_total", name_,
+            "Epochs whose new placement plan was adopted");
+        obs_migrations_ = metrics->counter(
+            "nps_vmc_migrations_total", name_, "VM migrations applied");
+        obs_infeasible_ = metrics->counter(
+            "nps_vmc_infeasible_total", name_,
+            "Epochs whose packing was infeasible");
+        obs_poweroffs_ = metrics->counter(
+            "nps_vmc_poweroffs_total", name_,
+            "Idle machines switched off by the VMC");
+        obs_b_loc_ = metrics->gauge(
+            "nps_vmc_buffer", "loc",
+            "Violation-feedback buffers b_loc/b_enc/b_grp");
+        obs_b_enc_ = metrics->gauge(
+            "nps_vmc_buffer", "enc",
+            "Violation-feedback buffers b_loc/b_enc/b_grp");
+        obs_b_grp_ = metrics->gauge(
+            "nps_vmc_buffer", "grp",
+            "Violation-feedback buffers b_loc/b_enc/b_grp");
+        obs_est_power_ = metrics->gauge(
+            "nps_vmc_est_power_watts", name_,
+            "Estimated power of the placement standing after the last "
+            "epoch");
+    }
+    if (trace)
+        obs_trace_ = trace->channel(name_);
+}
+
+void
 VmController::restartCold()
 {
     // A restarted VMC has lost its epoch accumulators, forecaster state
@@ -96,6 +135,10 @@ VmController::observe(size_t tick)
         if (was_down_) {
             was_down_ = false;
             ++degrade_.restarts;
+            if (obs_trace_)
+                obs_trace_->emit(tick,
+                                 "cold restart after outage: buffers "
+                                 "and epoch state reset");
             restartCold();
         }
     }
@@ -255,8 +298,13 @@ VmController::step(size_t tick)
 
     PackResult packed = packGreedy(items, bins, constraints);
     ++stats_.epochs;
-    if (!packed.feasible)
+    if (obs_epochs_)
+        obs_epochs_->add();
+    if (!packed.feasible) {
         ++stats_.infeasible;
+        if (obs_infeasible_)
+            obs_infeasible_->add();
+    }
 
     // Price both plans with the same estimator; the new plan also pays
     // the amortized migration overhead of Eq. (1).
@@ -285,8 +333,31 @@ VmController::step(size_t tick)
     // costs power.
     bool adopt = cost_new < cost_cur * (1.0 - params_.adoption_margin) ||
                  (packed.feasible && !cur_eval.feasible);
+    if (obs_trace_) {
+        size_t moved = 0;
+        for (size_t i = 0; i < items.size(); ++i) {
+            if (packed.assignment[i] != items[i].current)
+                ++moved;
+        }
+        size_t active_caps =
+            params_.use_budget_constraints
+                ? constraints.enclosure_caps.size() + 1
+                : 0;
+        obs_trace_->emit(tick,
+                         "epoch %lu: packed %zu VMs, %zu budget "
+                         "constraints active, est %.6gW vs current "
+                         "%.6gW -> %s (%zu moves)%s; buffers "
+                         "loc=%.4g enc=%.4g grp=%.4g",
+                         stats_.epochs, items.size(), active_caps,
+                         cost_new, cost_cur,
+                         adopt ? "adopted" : "kept current", moved,
+                         packed.feasible ? "" : " [plan infeasible]",
+                         b_loc_, b_enc_, b_grp_);
+    }
     if (adopt) {
         ++stats_.adoptions;
+        if (obs_adoptions_)
+            obs_adoptions_->add();
         stats_.last_est_power = packed.est_power;
         applyAssignment(items, packed.assignment, tick);
     } else {
@@ -295,10 +366,19 @@ VmController::step(size_t tick)
         // off (e.g. after demand drops).
         if (params_.allow_power_off) {
             for (auto &srv : cluster_.servers()) {
-                if (srv.vms().empty() && srv.isOn(tick))
+                if (srv.vms().empty() && srv.isOn(tick)) {
                     srv.powerOff();
+                    if (obs_poweroffs_)
+                        obs_poweroffs_->add();
+                }
             }
         }
+    }
+    if (obs_b_loc_) {
+        obs_b_loc_->set(b_loc_);
+        obs_b_enc_->set(b_enc_);
+        obs_b_grp_->set(b_grp_);
+        obs_est_power_->set(stats_.last_est_power);
     }
 
     // Start the next epoch's averaging window.
@@ -323,12 +403,17 @@ VmController::applyAssignment(const std::vector<PackItem> &items,
             cluster_.migrateVm(items[i].vm, assignment[i], tick,
                                params_.migration_ticks);
             ++stats_.migrations;
+            if (obs_migrations_)
+                obs_migrations_->add();
         }
     }
     if (params_.allow_power_off) {
         for (auto &srv : cluster_.servers()) {
-            if (srv.vms().empty() && srv.isOn(tick))
+            if (srv.vms().empty() && srv.isOn(tick)) {
                 srv.powerOff();
+                if (obs_poweroffs_)
+                    obs_poweroffs_->add();
+            }
         }
     }
 }

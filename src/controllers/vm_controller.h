@@ -34,6 +34,14 @@
 #include "sim/engine.h"
 
 namespace nps {
+namespace obs {
+class Counter;
+class Gauge;
+class MetricsRegistry;
+class TraceChannel;
+class TraceSink;
+} // namespace obs
+
 namespace controllers {
 
 /**
@@ -158,6 +166,12 @@ class VmController : public sim::Actor
     /** Mirror the upstream violation channels into @p log. */
     void attachControlLog(bus::ControlPlaneLog *log);
 
+    /**
+     * Register the VMC's metrics series and decision-trace channel.
+     * Either argument may be null; wiring time only (not thread-safe).
+     */
+    void attachObs(obs::MetricsRegistry *metrics, obs::TraceSink *trace);
+
   private:
     /** Per-VM load estimate for the next epoch (updates forecasters). */
     std::vector<double> epochLoads();
@@ -195,6 +209,17 @@ class VmController : public sim::Actor
     const fault::FaultInjector *faults_ = nullptr;
     fault::DegradeStats degrade_;
     bool was_down_ = false; //!< edge detector for restarts
+
+    obs::Counter *obs_epochs_ = nullptr;
+    obs::Counter *obs_adoptions_ = nullptr;
+    obs::Counter *obs_migrations_ = nullptr;
+    obs::Counter *obs_infeasible_ = nullptr;
+    obs::Counter *obs_poweroffs_ = nullptr;
+    obs::Gauge *obs_b_loc_ = nullptr;
+    obs::Gauge *obs_b_enc_ = nullptr;
+    obs::Gauge *obs_b_grp_ = nullptr;
+    obs::Gauge *obs_est_power_ = nullptr;
+    obs::TraceChannel *obs_trace_ = nullptr;
 };
 
 } // namespace controllers

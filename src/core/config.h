@@ -17,6 +17,7 @@
 #include "controllers/server_manager.h"
 #include "controllers/vm_controller.h"
 #include "fault/fault.h"
+#include "obs/observability.h"
 #include "sim/cluster.h"
 
 namespace nps {
@@ -92,6 +93,14 @@ struct CoordinationConfig
      * fault layer at all.
      */
     fault::FaultSetup faults;
+
+    /**
+     * Observability setup (docs/OBSERVABILITY.md): metrics registry,
+     * decision traces, and the engine profiler. All off by default;
+     * every instrument is observation-only, so the simulation arithmetic
+     * is bit-identical whether they are on or off.
+     */
+    obs::ObsConfig observability;
 
     /**
      * Validate invariants and resolve derived settings: propagates the

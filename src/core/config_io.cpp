@@ -97,6 +97,8 @@ schema()
         {"mem", {"period", "engage_below", "release_above",
                  "engage_patience"}},
         {"budgets", {"group_off", "enclosure_off", "local_off"}},
+        {"obs", {"metrics", "trace", "trace_filter", "trace_capacity",
+                 "profile"}},
         {"faults",
          {"enabled", "seed", "script", "horizon", "outages",
           "outage_len", "drops", "drop_len", "drop_prob", "stales",
@@ -277,6 +279,14 @@ configFromIni(const IniDocument &ini)
         "budgets", "enclosure_off", cfg.budgets.enc_off_frac);
     cfg.budgets.loc_off_frac = ini.getDouble(
         "budgets", "local_off", cfg.budgets.loc_off_frac);
+
+    auto &ob = cfg.observability;
+    ob.metrics = ini.getBool("obs", "metrics", ob.metrics);
+    ob.trace = ini.getBool("obs", "trace", ob.trace);
+    ob.trace_filter = ini.get("obs", "trace_filter", ob.trace_filter);
+    ob.trace_capacity = static_cast<unsigned>(ini.getInt(
+        "obs", "trace_capacity", static_cast<long>(ob.trace_capacity)));
+    ob.profile = ini.getBool("obs", "profile", ob.profile);
 
     auto &fl = cfg.faults;
     fl.enabled = ini.getBool("faults", "enabled", fl.enabled);
@@ -470,6 +480,14 @@ configToIni(const CoordinationConfig &cfg)
     ini.set("budgets", "enclosure_off",
             numStr(cfg.budgets.enc_off_frac));
     ini.set("budgets", "local_off", numStr(cfg.budgets.loc_off_frac));
+
+    const auto &ob = cfg.observability;
+    ini.set("obs", "metrics", boolStr(ob.metrics));
+    ini.set("obs", "trace", boolStr(ob.trace));
+    if (!ob.trace_filter.empty())
+        ini.set("obs", "trace_filter", ob.trace_filter);
+    ini.set("obs", "trace_capacity", std::to_string(ob.trace_capacity));
+    ini.set("obs", "profile", boolStr(ob.profile));
 
     const auto &fl = cfg.faults;
     ini.set("faults", "enabled", boolStr(fl.enabled));

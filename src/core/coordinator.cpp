@@ -162,6 +162,11 @@ Coordinator::buildControllers()
         control_log_ = std::make_unique<bus::ControlPlaneLog>();
         attachControlLog();
     }
+
+    if (config_.observability.any()) {
+        obs_ = std::make_unique<obs::Observability>(config_.observability);
+        attachObservability();
+    }
 }
 
 void
@@ -281,10 +286,102 @@ Coordinator::attachControlLog()
         vmc_->attachControlLog(log);
 }
 
+/**
+ * Hand every controller its metrics cells and trace channel, register
+ * the run-summary series, and point the engine at the profiler. Runs
+ * once at construction, single-threaded, before any tick — the
+ * registration side of the determinism recipe (docs/OBSERVABILITY.md).
+ */
+void
+Coordinator::attachObservability()
+{
+    obs::MetricsRegistry *reg = obs_->metrics();
+    obs::TraceSink *trace = obs_->trace();
+
+    for (auto &ec : ecs_)
+        ec->attachObs(reg, trace);
+    for (auto &sm : sms_)
+        sm->attachObs(reg, trace);
+    for (auto &em : ems_)
+        em->attachObs(reg, trace);
+    for (auto &gm : gms_)
+        gm->attachObs(reg, trace);
+    for (auto &cap : caps_)
+        cap->attachObs(reg, trace);
+    for (auto &mm : mems_)
+        mm->attachObs(reg, trace);
+    if (vmc_)
+        vmc_->attachObs(reg, trace);
+
+    if (reg) {
+        obs_ticks_ = reg->gauge("nps_run_ticks", "",
+                                "Simulated ticks so far");
+        obs_energy_ = reg->gauge("nps_run_energy_watt_ticks", "",
+                                 "Total energy consumed (watt-ticks)");
+        obs_mean_power_ = reg->gauge("nps_run_mean_power_watts", "",
+                                     "Mean group power");
+        obs_peak_power_ = reg->gauge("nps_run_peak_power_watts", "",
+                                     "Peak group power in any tick");
+        const char *viol_help =
+            "Fraction of scope-ticks spent over the level's budget";
+        obs_viol_sm_ = reg->gauge("nps_run_violation_frac", "sm",
+                                  viol_help);
+        obs_viol_em_ = reg->gauge("nps_run_violation_frac", "em",
+                                  viol_help);
+        obs_viol_gm_ = reg->gauge("nps_run_violation_frac", "gm",
+                                  viol_help);
+        obs_perf_loss_ = reg->gauge("nps_run_perf_loss_frac", "",
+                                    "1 - served / demanded useful work");
+        using DS = fault::DegradeStats;
+        const char *deg_help =
+            "Graceful-degradation counters summed across controllers";
+        const std::pair<const char *, unsigned long DS::*> fields[] = {
+            {"outage_ticks", &DS::outage_ticks},
+            {"outage_steps", &DS::outage_steps},
+            {"restarts", &DS::restarts},
+            {"lease_expiries", &DS::lease_expiries},
+            {"lease_fallback_steps", &DS::lease_fallback_steps},
+            {"ec_fallback_steps", &DS::ec_fallback_steps},
+            {"dropped_budgets", &DS::dropped_budgets},
+            {"stale_budgets", &DS::stale_budgets},
+            {"stuck_actuations", &DS::stuck_actuations},
+            {"noisy_reads", &DS::noisy_reads},
+        };
+        for (const auto &f : fields) {
+            obs_degrade_.emplace_back(
+                reg->gauge("nps_degrade_total", f.first, deg_help),
+                f.second);
+        }
+    }
+
+    if (obs_->profiler())
+        engine_->setProfiler(obs_->profiler());
+}
+
+/** Refresh the run-summary gauges from the collector. */
+void
+Coordinator::updateRunGauges()
+{
+    if (!obs_ticks_)
+        return;
+    const sim::MetricsSummary s = summary();
+    obs_ticks_->set(static_cast<double>(s.ticks));
+    obs_energy_->set(s.energy);
+    obs_mean_power_->set(s.mean_power);
+    obs_peak_power_->set(s.peak_power);
+    obs_viol_sm_->set(s.sm_violation);
+    obs_viol_em_->set(s.em_violation);
+    obs_viol_gm_->set(s.gm_violation);
+    obs_perf_loss_->set(s.perf_loss);
+    for (const auto &g : obs_degrade_)
+        g.first->set(static_cast<double>(s.degrade.*(g.second)));
+}
+
 void
 Coordinator::run(size_t ticks)
 {
     engine_->run(ticks);
+    updateRunGauges();
 }
 
 fault::DegradeStats

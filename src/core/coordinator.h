@@ -31,11 +31,13 @@
 #define NPS_CORE_COORDINATOR_H
 
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "bus/control_log.h"
 #include "core/config.h"
 #include "fault/injector.h"
+#include "obs/observability.h"
 #include "sim/engine.h"
 
 namespace nps {
@@ -170,6 +172,34 @@ class Coordinator
     /** The engine (for adding custom actors before running). */
     sim::Engine &engine() { return *engine_; }
 
+    /**
+     * The observability bundle, or nullptr when config.observability
+     * enables no instrument. Everything in it is observation-only: the
+     * simulation results are bit-identical with it on or off, and the
+     * metrics export and merged trace are byte-identical across thread
+     * counts (docs/OBSERVABILITY.md).
+     */
+    const obs::Observability *observability() const { return obs_.get(); }
+    obs::Observability *observability() { return obs_.get(); }
+
+    /** The metrics registry, or nullptr when metrics are off. */
+    const obs::MetricsRegistry *metricsRegistry() const
+    {
+        return obs_ ? obs_->metrics() : nullptr;
+    }
+
+    /** The decision-trace sink, or nullptr when tracing is off. */
+    const obs::TraceSink *traceSink() const
+    {
+        return obs_ ? obs_->trace() : nullptr;
+    }
+
+    /** The engine profiler, or nullptr when profiling is off. */
+    const obs::EngineProfiler *profiler() const
+    {
+        return obs_ ? obs_->profiler() : nullptr;
+    }
+
   private:
     void buildControllers();
     void buildFaultInjector();
@@ -183,6 +213,8 @@ class Coordinator
                                               long &next_id);
 
     void attachControlLog();
+    void attachObservability();
+    void updateRunGauges();
 
     CoordinationConfig config_;
     sim::Topology topo_;
@@ -199,6 +231,21 @@ class Coordinator
     std::shared_ptr<controllers::VmController> vmc_;
     std::vector<std::shared_ptr<controllers::ElectricalCapper>> caps_;
     std::vector<std::shared_ptr<controllers::MemoryManager>> mems_;
+
+    std::unique_ptr<obs::Observability> obs_;
+    /** Run-summary gauges (null when metrics are off). */
+    obs::Gauge *obs_ticks_ = nullptr;
+    obs::Gauge *obs_energy_ = nullptr;
+    obs::Gauge *obs_mean_power_ = nullptr;
+    obs::Gauge *obs_peak_power_ = nullptr;
+    obs::Gauge *obs_viol_sm_ = nullptr;
+    obs::Gauge *obs_viol_em_ = nullptr;
+    obs::Gauge *obs_viol_gm_ = nullptr;
+    obs::Gauge *obs_perf_loss_ = nullptr;
+    /** (gauge, DegradeStats field) pairs mirrored after each run. */
+    std::vector<std::pair<obs::Gauge *,
+                          unsigned long fault::DegradeStats::*>>
+        obs_degrade_;
 };
 
 } // namespace core

@@ -1,0 +1,115 @@
+#include "obs/decision_trace.h"
+
+#include <algorithm>
+
+#include "util/csv.h"
+#include "util/logging.h"
+
+namespace nps {
+namespace obs {
+
+TraceChannel::TraceChannel(std::string name, size_t capacity)
+    : name_(std::move(name)), capacity_(capacity)
+{
+}
+
+void
+TraceChannel::emit(std::uint64_t tick, const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string text = util::vformat(fmt, args);
+    va_end(args);
+
+    if (events_.size() == capacity_) {
+        events_.pop_front();
+        ++dropped_;
+    }
+    TraceEvent ev;
+    ev.tick = tick;
+    ev.seq = next_seq_++;
+    ev.text = std::move(text);
+    events_.push_back(std::move(ev));
+}
+
+TraceSink::TraceSink(size_t capacity) : capacity_(capacity)
+{
+    if (capacity_ == 0)
+        util::fatal("TraceSink: channel capacity must be > 0");
+}
+
+void
+TraceSink::setFilter(const std::string &substring)
+{
+    if (!channels_.empty())
+        util::fatal("TraceSink: filter must be set before any channel "
+                    "is registered");
+    filter_ = substring;
+}
+
+TraceChannel *
+TraceSink::channel(const std::string &name)
+{
+    for (const auto &c : channels_) {
+        if (c->name_ == name)
+            util::fatal("trace: channel '%s' registered twice",
+                        name.c_str());
+    }
+    if (!filter_.empty() && name.find(filter_) == std::string::npos)
+        return nullptr;
+    channels_.push_back(std::unique_ptr<TraceChannel>(
+        new TraceChannel(name, capacity_)));
+    return channels_.back().get();
+}
+
+size_t
+TraceSink::totalEvents() const
+{
+    size_t n = 0;
+    for (const auto &c : channels_)
+        n += c->events_.size();
+    return n;
+}
+
+std::uint64_t
+TraceSink::totalDropped() const
+{
+    std::uint64_t n = 0;
+    for (const auto &c : channels_)
+        n += c->dropped_;
+    return n;
+}
+
+std::vector<TraceSink::Entry>
+TraceSink::merged() const
+{
+    std::vector<Entry> out;
+    out.reserve(totalEvents());
+    for (const auto &c : channels_) {
+        for (const auto &e : c->events_)
+            out.push_back({c.get(), &e});
+    }
+    std::sort(out.begin(), out.end(), [](const Entry &a, const Entry &b) {
+        if (a.event->tick != b.event->tick)
+            return a.event->tick < b.event->tick;
+        if (a.channel->name() != b.channel->name())
+            return a.channel->name() < b.channel->name();
+        return a.event->seq < b.event->seq;
+    });
+    return out;
+}
+
+void
+TraceSink::writeCsv(std::ostream &out) const
+{
+    util::CsvWriter w(out);
+    w.row("tick", "channel", "seq", "event");
+    for (const Entry &e : merged()) {
+        w.row(static_cast<unsigned long>(e.event->tick),
+              e.channel->name(),
+              static_cast<unsigned long>(e.event->seq), e.event->text);
+    }
+}
+
+} // namespace obs
+} // namespace nps

@@ -1,0 +1,350 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/json.h"
+#include "util/logging.h"
+
+namespace nps {
+namespace obs {
+
+namespace {
+
+/** Escape a label value per the Prometheus text exposition rules. */
+std::string
+promEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '\\': out += "\\\\"; break;
+          case '"':  out += "\\\""; break;
+          case '\n': out += "\\n"; break;
+          default:   out.push_back(c);
+        }
+    }
+    return out;
+}
+
+/** `family{id="label"}` or bare `family` for unlabelled series. */
+std::string
+promSeriesName(const std::string &family, const std::string &label,
+               const std::string &extra = std::string())
+{
+    std::string out = family;
+    if (label.empty() && extra.empty())
+        return out;
+    out.push_back('{');
+    if (!label.empty()) {
+        out += "id=\"";
+        out += promEscape(label);
+        out.push_back('"');
+        if (!extra.empty())
+            out.push_back(',');
+    }
+    out += extra;
+    out.push_back('}');
+    return out;
+}
+
+} // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1, 0)
+{
+    for (size_t i = 1; i < bounds_.size(); ++i) {
+        if (bounds_[i] <= bounds_[i - 1])
+            util::fatal("Histogram: bucket bounds must be strictly "
+                        "increasing (%g after %g)",
+                        bounds_[i], bounds_[i - 1]);
+    }
+}
+
+void
+Histogram::observe(double v)
+{
+    size_t i = 0;
+    while (i < bounds_.size() && v > bounds_[i])
+        ++i;
+    ++counts_[i];
+    ++count_;
+    sum_ += v;
+}
+
+MetricsRegistry::Family *
+MetricsRegistry::familyFor(const std::string &name, Kind kind,
+                           const std::string &help)
+{
+    for (auto &f : families_) {
+        if (f->name != name)
+            continue;
+        if (f->kind != kind)
+            util::fatal("metrics: family '%s' re-registered as %s "
+                        "(was %s)",
+                        name.c_str(), metricKindName(kind),
+                        metricKindName(f->kind));
+        if (f->help != help)
+            util::fatal("metrics: family '%s' re-registered with a "
+                        "different help string",
+                        name.c_str());
+        return f.get();
+    }
+    families_.push_back(std::make_unique<Family>());
+    families_.back()->name = name;
+    families_.back()->kind = kind;
+    families_.back()->help = help;
+    return families_.back().get();
+}
+
+void
+MetricsRegistry::checkNewSeries(const Family &fam, const std::string &label)
+{
+    for (const auto &s : fam.series) {
+        if (s.label == label)
+            util::fatal("metrics: series '%s{id=\"%s\"}' registered "
+                        "twice",
+                        fam.name.c_str(), label.c_str());
+    }
+}
+
+Counter *
+MetricsRegistry::counter(const std::string &family, const std::string &label,
+                         const std::string &help)
+{
+    Family *fam = familyFor(family, Kind::Counter, help);
+    checkNewSeries(*fam, label);
+    fam->series.push_back(Series());
+    fam->series.back().label = label;
+    fam->series.back().counter = std::make_unique<Counter>();
+    return fam->series.back().counter.get();
+}
+
+Gauge *
+MetricsRegistry::gauge(const std::string &family, const std::string &label,
+                       const std::string &help)
+{
+    Family *fam = familyFor(family, Kind::Gauge, help);
+    checkNewSeries(*fam, label);
+    fam->series.push_back(Series());
+    fam->series.back().label = label;
+    fam->series.back().gauge = std::make_unique<Gauge>();
+    return fam->series.back().gauge.get();
+}
+
+Histogram *
+MetricsRegistry::histogram(const std::string &family,
+                           const std::string &label, const std::string &help,
+                           const std::vector<double> &bounds)
+{
+    Family *fam = familyFor(family, Kind::Histogram, help);
+    if (fam->series.empty()) {
+        fam->bounds = bounds;
+    } else if (fam->bounds != bounds) {
+        util::fatal("metrics: histogram family '%s' registered with "
+                    "mismatched bucket bounds",
+                    family.c_str());
+    }
+    checkNewSeries(*fam, label);
+    fam->series.push_back(Series());
+    fam->series.back().label = label;
+    fam->series.back().histogram = std::make_unique<Histogram>(bounds);
+    return fam->series.back().histogram.get();
+}
+
+size_t
+MetricsRegistry::numSeries() const
+{
+    size_t n = 0;
+    for (const auto &f : families_)
+        n += f->series.size();
+    return n;
+}
+
+double
+MetricsRegistry::total(const std::string &family) const
+{
+    for (const auto &f : families_) {
+        if (f->name != family)
+            continue;
+        if (f->kind == Kind::Histogram)
+            util::fatal("metrics: total() on histogram family '%s'",
+                        family.c_str());
+        double sum = 0.0;
+        for (const auto &s : f->series)
+            sum += f->kind == Kind::Counter ? s.counter->value()
+                                            : s.gauge->value();
+        return sum;
+    }
+    util::fatal("metrics: total() on unknown family '%s'", family.c_str());
+}
+
+double
+MetricsRegistry::value(const std::string &family, const std::string &label,
+                       double fallback) const
+{
+    for (const auto &f : families_) {
+        if (f->name != family)
+            continue;
+        for (const auto &s : f->series) {
+            if (s.label != label)
+                continue;
+            switch (f->kind) {
+              case Kind::Counter:   return s.counter->value();
+              case Kind::Gauge:     return s.gauge->value();
+              case Kind::Histogram:
+                return static_cast<double>(s.histogram->count());
+            }
+        }
+    }
+    return fallback;
+}
+
+std::vector<const MetricsRegistry::Family *>
+MetricsRegistry::sortedFamilies() const
+{
+    std::vector<const Family *> out;
+    out.reserve(families_.size());
+    for (const auto &f : families_)
+        out.push_back(f.get());
+    std::sort(out.begin(), out.end(),
+              [](const Family *a, const Family *b) {
+                  return a->name < b->name;
+              });
+    return out;
+}
+
+void
+MetricsRegistry::writeProm(std::ostream &out) const
+{
+    for (const Family *fam : sortedFamilies()) {
+        std::vector<const Series *> series;
+        series.reserve(fam->series.size());
+        for (const auto &s : fam->series)
+            series.push_back(&s);
+        std::sort(series.begin(), series.end(),
+                  [](const Series *a, const Series *b) {
+                      return a->label < b->label;
+                  });
+
+        out << "# HELP " << fam->name << ' ' << fam->help << '\n';
+        out << "# TYPE " << fam->name << ' ' << metricKindName(fam->kind)
+            << '\n';
+        for (const Series *s : series) {
+            switch (fam->kind) {
+              case Kind::Counter:
+                out << promSeriesName(fam->name, s->label) << ' '
+                    << formatMetricValue(s->counter->value()) << '\n';
+                break;
+              case Kind::Gauge:
+                out << promSeriesName(fam->name, s->label) << ' '
+                    << formatMetricValue(s->gauge->value()) << '\n';
+                break;
+              case Kind::Histogram: {
+                const Histogram &h = *s->histogram;
+                std::uint64_t cum = 0;
+                for (size_t i = 0; i < h.counts().size(); ++i) {
+                    cum += h.counts()[i];
+                    std::string le =
+                        i < h.bounds().size()
+                            ? formatMetricValue(h.bounds()[i])
+                            : std::string("+Inf");
+                    out << promSeriesName(fam->name + "_bucket", s->label,
+                                          "le=\"" + le + "\"")
+                        << ' ' << cum << '\n';
+                }
+                out << promSeriesName(fam->name + "_sum", s->label) << ' '
+                    << formatMetricValue(h.sum()) << '\n';
+                out << promSeriesName(fam->name + "_count", s->label)
+                    << ' ' << h.count() << '\n';
+                break;
+              }
+            }
+        }
+    }
+}
+
+void
+MetricsRegistry::writeJson(std::ostream &out) const
+{
+    out << "{\n  \"families\": [\n";
+    bool first_fam = true;
+    for (const Family *fam : sortedFamilies()) {
+        std::vector<const Series *> series;
+        series.reserve(fam->series.size());
+        for (const auto &s : fam->series)
+            series.push_back(&s);
+        std::sort(series.begin(), series.end(),
+                  [](const Series *a, const Series *b) {
+                      return a->label < b->label;
+                  });
+
+        if (!first_fam)
+            out << ",\n";
+        first_fam = false;
+        out << "    {\"name\": " << util::jsonQuote(fam->name)
+            << ", \"kind\": \"" << metricKindName(fam->kind)
+            << "\", \"help\": " << util::jsonQuote(fam->help)
+            << ", \"series\": [";
+        bool first_series = true;
+        for (const Series *s : series) {
+            if (!first_series)
+                out << ", ";
+            first_series = false;
+            out << "{\"label\": " << util::jsonQuote(s->label);
+            switch (fam->kind) {
+              case Kind::Counter:
+                out << ", \"value\": "
+                    << util::jsonNumber(s->counter->value());
+                break;
+              case Kind::Gauge:
+                out << ", \"value\": "
+                    << util::jsonNumber(s->gauge->value());
+                break;
+              case Kind::Histogram: {
+                const Histogram &h = *s->histogram;
+                out << ", \"sum\": " << util::jsonNumber(h.sum())
+                    << ", \"count\": " << h.count() << ", \"buckets\": [";
+                std::uint64_t cum = 0;
+                for (size_t i = 0; i < h.counts().size(); ++i) {
+                    cum += h.counts()[i];
+                    if (i)
+                        out << ", ";
+                    out << "{\"le\": ";
+                    if (i < h.bounds().size())
+                        out << util::jsonNumber(h.bounds()[i]);
+                    else
+                        out << "\"+Inf\"";
+                    out << ", \"count\": " << cum << '}';
+                }
+                out << ']';
+                break;
+              }
+            }
+            out << '}';
+        }
+        out << "]}";
+    }
+    out << "\n  ]\n}\n";
+}
+
+const char *
+metricKindName(MetricsRegistry::Kind kind)
+{
+    switch (kind) {
+      case MetricsRegistry::Kind::Counter:   return "counter";
+      case MetricsRegistry::Kind::Gauge:     return "gauge";
+      case MetricsRegistry::Kind::Histogram: return "histogram";
+    }
+    return "?";
+}
+
+std::string
+formatMetricValue(double v)
+{
+    return util::jsonNumber(v);
+}
+
+} // namespace obs
+} // namespace nps

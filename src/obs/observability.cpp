@@ -1,0 +1,23 @@
+#include "obs/observability.h"
+
+#include "util/logging.h"
+
+namespace nps {
+namespace obs {
+
+Observability::Observability(const ObsConfig &cfg) : cfg_(cfg)
+{
+    if (cfg_.metrics)
+        metrics_ = std::make_unique<MetricsRegistry>();
+    if (cfg_.trace) {
+        if (cfg_.trace_capacity == 0)
+            util::fatal("observability: trace_capacity must be > 0");
+        trace_ = std::make_unique<TraceSink>(cfg_.trace_capacity);
+        trace_->setFilter(cfg_.trace_filter);
+    }
+    if (cfg_.profile)
+        profiler_ = std::make_unique<EngineProfiler>();
+}
+
+} // namespace obs
+} // namespace nps

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The observability bundle: configuration switches plus ownership of
+ * the three instruments (metrics registry, decision-trace sink, engine
+ * profiler). A disabled instrument is simply absent — every consumer
+ * branches on a null pointer, which keeps the disabled path free of
+ * observability work and the simulation bit-identical to a build
+ * without it.
+ */
+
+#ifndef NPS_OBS_OBSERVABILITY_H
+#define NPS_OBS_OBSERVABILITY_H
+
+#include <memory>
+#include <string>
+
+#include "obs/decision_trace.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
+
+namespace nps {
+namespace obs {
+
+/** Which instruments to build; part of core::CoordinationConfig. */
+struct ObsConfig
+{
+    bool metrics = false; //!< build a MetricsRegistry
+    bool trace = false;   //!< build a TraceSink
+    bool profile = false; //!< build an EngineProfiler
+
+    /** Substring filter on trace channel names; empty keeps all. */
+    std::string trace_filter;
+    /** Per-channel trace ring capacity (events). */
+    unsigned trace_capacity = TraceSink::kDefaultCapacity;
+
+    /** @return true when any instrument is enabled. */
+    bool any() const { return metrics || trace || profile; }
+};
+
+/**
+ * Owns whichever instruments the config enables. Accessors return
+ * nullptr for disabled instruments.
+ */
+class Observability
+{
+  public:
+    explicit Observability(const ObsConfig &cfg);
+
+    const ObsConfig &config() const { return cfg_; }
+
+    MetricsRegistry *metrics() { return metrics_.get(); }
+    const MetricsRegistry *metrics() const { return metrics_.get(); }
+    TraceSink *trace() { return trace_.get(); }
+    const TraceSink *trace() const { return trace_.get(); }
+    EngineProfiler *profiler() { return profiler_.get(); }
+    const EngineProfiler *profiler() const { return profiler_.get(); }
+
+  private:
+    ObsConfig cfg_;
+    std::unique_ptr<MetricsRegistry> metrics_;
+    std::unique_ptr<TraceSink> trace_;
+    std::unique_ptr<EngineProfiler> profiler_;
+};
+
+} // namespace obs
+} // namespace nps
+
+#endif // NPS_OBS_OBSERVABILITY_H

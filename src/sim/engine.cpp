@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/profiler.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
@@ -158,14 +159,143 @@ Engine::runParallel(size_t ticks)
 }
 
 void
+Engine::setProfiler(obs::EngineProfiler *profiler)
+{
+    profiler_ = profiler;
+}
+
+void
+Engine::announceSchedule()
+{
+    if (!profiler_)
+        return;
+    std::vector<obs::EngineProfiler::ActorInfo> infos;
+    infos.reserve(actors_.size());
+    for (const auto &a : actors_) {
+        obs::EngineProfiler::ActorInfo info;
+        info.name = a->name();
+        info.shard_key = a->shardKey();
+        infos.push_back(std::move(info));
+    }
+    profiler_->setSchedule(std::move(infos), threads_);
+}
+
+void
+Engine::runSerialProfiled(size_t ticks)
+{
+    using Clock = obs::EngineProfiler::Clock;
+    obs::EngineProfiler &prof = *profiler_;
+    Clock::time_point run_start = Clock::now();
+    for (size_t i = 0; i < ticks; ++i) {
+        size_t tick = now_;
+        for (size_t a = 0; a < actors_.size(); ++a) {
+            Clock::time_point t0 = Clock::now();
+            actors_[a]->observe(tick);
+            prof.addObserve(a, obs::EngineProfiler::sinceNs(t0), 0);
+        }
+        if (tick > 0) {
+            for (size_t a = 0; a < actors_.size(); ++a) {
+                if (tick % actors_[a]->period() != 0)
+                    continue;
+                Clock::time_point t0 = Clock::now();
+                actors_[a]->step(tick);
+                prof.addStep(a, obs::EngineProfiler::sinceNs(t0), 0);
+            }
+        }
+        Clock::time_point t0 = Clock::now();
+        cluster_.evaluateTick(tick);
+        prof.addPhase(obs::EnginePhase::Evaluate,
+                      obs::EngineProfiler::sinceNs(t0));
+        t0 = Clock::now();
+        metrics_.record(cluster_, tick);
+        prof.addPhase(obs::EnginePhase::Record,
+                      obs::EngineProfiler::sinceNs(t0));
+        ++now_;
+    }
+    prof.addRun(ticks, obs::EngineProfiler::sinceNs(run_start));
+}
+
+void
+Engine::runParallelProfiled(size_t ticks)
+{
+    using Clock = obs::EngineProfiler::Clock;
+    obs::EngineProfiler &prof = *profiler_;
+    util::ThreadPool &pool = *pool_;
+    Clock::time_point run_start = Clock::now();
+    for (size_t i = 0; i < ticks; ++i) {
+        size_t tick = now_;
+        for (const Segment &seg : plan_) {
+            if (!seg.shardable) {
+                Clock::time_point t0 = Clock::now();
+                actors_[seg.actor]->observe(tick);
+                prof.addObserve(seg.actor,
+                                obs::EngineProfiler::sinceNs(t0), 0);
+                continue;
+            }
+            pool.parallelFor(seg.per_shard.size(), [&](size_t s) {
+                for (size_t idx : seg.per_shard[s]) {
+                    Clock::time_point t0 = Clock::now();
+                    actors_[idx]->observe(tick);
+                    prof.addObserve(idx, obs::EngineProfiler::sinceNs(t0),
+                                    static_cast<unsigned>(s));
+                }
+            });
+        }
+        if (tick > 0) {
+            for (const Segment &seg : plan_) {
+                if (!seg.shardable) {
+                    Actor &actor = *actors_[seg.actor];
+                    if (tick % actor.period() == 0) {
+                        Clock::time_point t0 = Clock::now();
+                        actor.step(tick);
+                        prof.addStep(seg.actor,
+                                     obs::EngineProfiler::sinceNs(t0), 0);
+                    }
+                    continue;
+                }
+                pool.parallelFor(seg.per_shard.size(), [&](size_t s) {
+                    for (size_t idx : seg.per_shard[s]) {
+                        Actor &actor = *actors_[idx];
+                        if (tick % actor.period() != 0)
+                            continue;
+                        Clock::time_point t0 = Clock::now();
+                        actor.step(tick);
+                        prof.addStep(idx,
+                                     obs::EngineProfiler::sinceNs(t0),
+                                     static_cast<unsigned>(s));
+                    }
+                });
+            }
+        }
+        Clock::time_point t0 = Clock::now();
+        cluster_.evaluateTick(tick, &pool);
+        prof.addPhase(obs::EnginePhase::Evaluate,
+                      obs::EngineProfiler::sinceNs(t0));
+        t0 = Clock::now();
+        metrics_.record(cluster_, tick);
+        prof.addPhase(obs::EnginePhase::Record,
+                      obs::EngineProfiler::sinceNs(t0));
+        ++now_;
+    }
+    prof.addRun(ticks, obs::EngineProfiler::sinceNs(run_start));
+}
+
+void
 Engine::run(size_t ticks)
 {
     preparePlan();
+    announceSchedule();
     if (threads_ <= 1) {
-        runSerial(ticks);
+        if (profiler_)
+            runSerialProfiled(ticks);
+        else
+            runSerial(ticks);
         return;
     }
-    runParallel(ticks);
+    if (profiler_)
+        runParallelProfiled(ticks);
+    else
+        runParallel(ticks);
 }
 
 } // namespace sim

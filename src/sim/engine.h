@@ -35,6 +35,10 @@
 #include "sim/metrics.h"
 
 namespace nps {
+namespace obs {
+class EngineProfiler;
+} // namespace obs
+
 namespace util {
 class ThreadPool;
 } // namespace util
@@ -135,6 +139,15 @@ class Engine
     /** The resolved worker-thread count currently configured. */
     unsigned threads() const { return threads_; }
 
+    /**
+     * Attach (or detach, with nullptr) a wall-clock profiler. When
+     * attached, every actor observe()/step() call and the engine-level
+     * phases are timed; the profiler must outlive the engine or be
+     * detached first. Timing is observation-only: simulation results
+     * are bit-identical with or without a profiler.
+     */
+    void setProfiler(obs::EngineProfiler *profiler);
+
     /** Advance the simulation by @p ticks ticks. */
     void run(size_t ticks);
 
@@ -158,6 +171,9 @@ class Engine
     void preparePlan();
     void runSerial(size_t ticks);
     void runParallel(size_t ticks);
+    void runSerialProfiled(size_t ticks);
+    void runParallelProfiled(size_t ticks);
+    void announceSchedule();
 
     Cluster &cluster_;
     MetricsCollector &metrics_;
@@ -168,6 +184,7 @@ class Engine
     std::unique_ptr<util::ThreadPool> pool_;
     std::vector<Segment> plan_;
     bool plan_dirty_ = true;
+    obs::EngineProfiler *profiler_ = nullptr;
 };
 
 } // namespace sim

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Tiny JSON emission helpers. The exporters in this codebase write JSON
+ * by hand (no third-party dependency); these helpers keep the quoting
+ * and number formatting consistent across them.
+ */
+
+#ifndef NPS_UTIL_JSON_H
+#define NPS_UTIL_JSON_H
+
+#include <string>
+
+namespace nps {
+namespace util {
+
+/**
+ * @return @p s as a double-quoted JSON string literal with the
+ * mandatory escapes (backslash, quote, control characters) applied.
+ */
+std::string jsonQuote(const std::string &s);
+
+/**
+ * Format a double as a JSON number: integral values without a decimal
+ * point, everything else via "%.17g" (exact round-trip). Non-finite
+ * values (not representable in JSON) are emitted as null.
+ */
+std::string jsonNumber(double v);
+
+} // namespace util
+} // namespace nps
+
+#endif // NPS_UTIL_JSON_H

@@ -11,8 +11,19 @@ namespace {
 
 LogLevel global_level = LogLevel::Warn;
 
+void
+emit(LogLevel level, const std::string &msg)
+{
+    if (level < global_level)
+        return;
+    std::fprintf(stderr, "[nps:%s] %s\n", logLevelName(level),
+                 msg.c_str());
+}
+
+} // namespace
+
 const char *
-levelName(LogLevel level)
+logLevelName(LogLevel level)
 {
     switch (level) {
       case LogLevel::Debug: return "debug";
@@ -23,15 +34,18 @@ levelName(LogLevel level)
     return "?";
 }
 
-void
-emit(LogLevel level, const std::string &msg)
+bool
+logLevelFromName(const std::string &name, LogLevel &out)
 {
-    if (level < global_level)
-        return;
-    std::fprintf(stderr, "[nps:%s] %s\n", levelName(level), msg.c_str());
+    for (LogLevel l : {LogLevel::Debug, LogLevel::Info, LogLevel::Warn,
+                       LogLevel::Error}) {
+        if (name == logLevelName(l)) {
+            out = l;
+            return true;
+        }
+    }
+    return false;
 }
-
-} // namespace
 
 void
 setLogLevel(LogLevel level)

@@ -34,6 +34,15 @@ void setLogLevel(LogLevel level);
 /** @return the current global minimum log level. */
 LogLevel logLevel();
 
+/** Canonical lower-case name of a level ("debug", "info", ...). */
+const char *logLevelName(LogLevel level);
+
+/**
+ * Parse a level name as produced by logLevelName(). @return true and
+ * set @p out on success; false (leaving @p out untouched) otherwise.
+ */
+bool logLevelFromName(const std::string &name, LogLevel &out);
+
 /** Emit a printf-style message at the given level. */
 void logf(LogLevel level, const char *fmt, ...)
     __attribute__((format(printf, 2, 3)));

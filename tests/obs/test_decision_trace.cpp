@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Tests for decision tracing: channel emission, ring eviction, the
+ * name filter, the deterministic merged view, and CSV output.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "obs/decision_trace.h"
+
+namespace {
+
+using namespace nps::obs;
+
+TEST(Trace, EmitRecordsTickSeqAndText)
+{
+    TraceSink sink;
+    TraceChannel *c = sink.channel("SM/0");
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->name(), "SM/0");
+
+    c->emit(3, "budget %.1fW", 42.5);
+    ASSERT_EQ(c->events().size(), 1u);
+    EXPECT_EQ(c->events()[0].tick, 3u);
+    EXPECT_EQ(c->events()[0].seq, 0u);
+    EXPECT_EQ(c->events()[0].text, "budget 42.5W");
+    EXPECT_EQ(c->emitted(), 1u);
+    EXPECT_EQ(c->dropped(), 0u);
+}
+
+TEST(Trace, SeqAdvancesPerChannel)
+{
+    TraceSink sink;
+    TraceChannel *a = sink.channel("a");
+    TraceChannel *b = sink.channel("b");
+    a->emit(0, "x");
+    b->emit(0, "y");
+    a->emit(1, "z");
+    EXPECT_EQ(a->events()[0].seq, 0u);
+    EXPECT_EQ(a->events()[1].seq, 1u);
+    EXPECT_EQ(b->events()[0].seq, 0u);
+    EXPECT_EQ(sink.totalEvents(), 3u);
+}
+
+TEST(Trace, RingEvictsOldestAndCountsDropped)
+{
+    TraceSink sink(2);
+    TraceChannel *c = sink.channel("ring");
+    c->emit(1, "one");
+    c->emit(2, "two");
+    c->emit(3, "three");
+    ASSERT_EQ(c->events().size(), 2u);
+    EXPECT_EQ(c->events()[0].text, "two");
+    EXPECT_EQ(c->events()[1].text, "three");
+    // Sequence numbers keep advancing past the eviction.
+    EXPECT_EQ(c->events()[1].seq, 2u);
+    EXPECT_EQ(c->dropped(), 1u);
+    EXPECT_EQ(c->emitted(), 3u);
+    EXPECT_EQ(sink.totalEvents(), 2u);
+    EXPECT_EQ(sink.totalDropped(), 1u);
+}
+
+TEST(Trace, MergedSortsByTickNameSeq)
+{
+    TraceSink sink;
+    // Register out of name order on purpose.
+    TraceChannel *b = sink.channel("b");
+    TraceChannel *a = sink.channel("a");
+    b->emit(1, "b-first");
+    b->emit(1, "b-second");
+    a->emit(1, "a-one");
+    a->emit(2, "a-two");
+
+    auto entries = sink.merged();
+    ASSERT_EQ(entries.size(), 4u);
+    EXPECT_EQ(entries[0].event->text, "a-one");
+    EXPECT_EQ(entries[1].event->text, "b-first");
+    EXPECT_EQ(entries[2].event->text, "b-second");
+    EXPECT_EQ(entries[3].event->text, "a-two");
+}
+
+TEST(Trace, MergedIsIndependentOfRegistrationOrder)
+{
+    TraceSink fwd, rev;
+    TraceChannel *f1 = fwd.channel("EC/0");
+    TraceChannel *f2 = fwd.channel("SM/0");
+    TraceChannel *r2 = rev.channel("SM/0");
+    TraceChannel *r1 = rev.channel("EC/0");
+    for (TraceChannel *c : {f1, r1}) {
+        c->emit(0, "p-state up");
+        c->emit(5, "p-state down");
+    }
+    for (TraceChannel *c : {f2, r2})
+        c->emit(5, "budget clamp");
+
+    std::ostringstream of, orv;
+    fwd.writeCsv(of);
+    rev.writeCsv(orv);
+    EXPECT_EQ(of.str(), orv.str());
+}
+
+TEST(Trace, FilterSelectsChannelsBySubstring)
+{
+    TraceSink sink;
+    sink.setFilter("SM/");
+    EXPECT_NE(sink.channel("SM/3"), nullptr);
+    EXPECT_EQ(sink.channel("EC/3"), nullptr);
+    EXPECT_EQ(sink.channel("GM/group"), nullptr);
+    EXPECT_EQ(sink.numChannels(), 1u);
+}
+
+TEST(Trace, CsvFormat)
+{
+    TraceSink sink;
+    TraceChannel *c = sink.channel("SM/0");
+    c->emit(1, "grant 10W");
+    c->emit(2, "clamp, then grant"); // comma forces RFC-4180 quoting
+    std::ostringstream out;
+    sink.writeCsv(out);
+    EXPECT_EQ(out.str(),
+              "tick,channel,seq,event\n"
+              "1,SM/0,0,grant 10W\n"
+              "2,SM/0,1,\"clamp, then grant\"\n");
+}
+
+TEST(TraceDeath, DuplicateChannelIsFatal)
+{
+    TraceSink sink;
+    sink.channel("dup");
+    EXPECT_DEATH(sink.channel("dup"), "twice");
+}
+
+TEST(TraceDeath, FilterAfterChannelIsFatal)
+{
+    TraceSink sink;
+    sink.channel("early");
+    EXPECT_DEATH(sink.setFilter("x"), "before");
+}
+
+TEST(TraceDeath, ZeroCapacityIsFatal)
+{
+    EXPECT_DEATH(TraceSink sink(0), "capacity");
+}
+
+} // namespace

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Tests for the metrics registry: registration contracts, recording,
+ * deterministic export in both formats, and value formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "obs/metrics.h"
+
+namespace {
+
+using namespace nps::obs;
+
+TEST(Metrics, CounterAccumulates)
+{
+    MetricsRegistry reg;
+    Counter *c = reg.counter("nps_test_total", "A", "help");
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->value(), 0.0);
+    c->add();
+    c->add(2.5);
+    EXPECT_EQ(c->value(), 3.5);
+    EXPECT_EQ(reg.value("nps_test_total", "A"), 3.5);
+}
+
+TEST(Metrics, GaugeOverwrites)
+{
+    MetricsRegistry reg;
+    Gauge *g = reg.gauge("nps_test_watts", "A", "help");
+    g->set(10.0);
+    g->set(7.5);
+    EXPECT_EQ(g->value(), 7.5);
+}
+
+TEST(Metrics, HistogramBucketsAndSum)
+{
+    MetricsRegistry reg;
+    Histogram *h = reg.histogram("nps_test_hist", "A", "help",
+                                 {1.0, 5.0, 10.0});
+    h->observe(0.5);  // bucket le=1
+    h->observe(1.0);  // le=1 (inclusive upper bound)
+    h->observe(3.0);  // le=5
+    h->observe(99.0); // +Inf
+    EXPECT_EQ(h->count(), 4u);
+    EXPECT_EQ(h->sum(), 103.5);
+    ASSERT_EQ(h->counts().size(), 4u); // 3 bounds + Inf
+    EXPECT_EQ(h->counts()[0], 2u);
+    EXPECT_EQ(h->counts()[1], 1u);
+    EXPECT_EQ(h->counts()[2], 0u);
+    EXPECT_EQ(h->counts()[3], 1u);
+    // value() reports the observation count for histograms.
+    EXPECT_EQ(reg.value("nps_test_hist", "A"), 4.0);
+}
+
+TEST(Metrics, FamiliesGroupSeries)
+{
+    MetricsRegistry reg;
+    reg.counter("nps_a_total", "x", "h")->add(1.0);
+    reg.counter("nps_a_total", "y", "h")->add(2.0);
+    reg.gauge("nps_b", "", "h")->set(5.0);
+    EXPECT_EQ(reg.numFamilies(), 2u);
+    EXPECT_EQ(reg.numSeries(), 3u);
+    EXPECT_EQ(reg.total("nps_a_total"), 3.0);
+    EXPECT_EQ(reg.value("nps_missing", "x", -1.0), -1.0);
+    EXPECT_EQ(reg.value("nps_a_total", "z", -1.0), -1.0);
+}
+
+TEST(MetricsDeath, DuplicateSeriesIsFatal)
+{
+    MetricsRegistry reg;
+    reg.counter("nps_dup_total", "A", "h");
+    EXPECT_DEATH(reg.counter("nps_dup_total", "A", "h"),
+                 "registered twice");
+}
+
+TEST(MetricsDeath, KindMismatchIsFatal)
+{
+    MetricsRegistry reg;
+    reg.counter("nps_kind_total", "A", "h");
+    EXPECT_DEATH(reg.gauge("nps_kind_total", "B", "h"), "kind");
+}
+
+TEST(MetricsDeath, NonIncreasingBoundsAreFatal)
+{
+    MetricsRegistry reg;
+    EXPECT_DEATH(reg.histogram("nps_h", "A", "h", {5.0, 1.0}),
+                 "increasing");
+}
+
+TEST(Metrics, PromExportIsSortedAndCumulative)
+{
+    MetricsRegistry reg;
+    // Register out of order; export must sort by (family, label).
+    reg.counter("nps_z_total", "b", "zed help")->add(2.0);
+    reg.counter("nps_z_total", "a", "zed help")->add(1.0);
+    Histogram *h = reg.histogram("nps_h", "s", "hist help", {1.0, 2.0});
+    h->observe(0.5);
+    h->observe(1.5);
+    h->observe(9.0);
+
+    std::ostringstream out;
+    reg.writeProm(out);
+    EXPECT_EQ(out.str(),
+              "# HELP nps_h hist help\n"
+              "# TYPE nps_h histogram\n"
+              "nps_h_bucket{id=\"s\",le=\"1\"} 1\n"
+              "nps_h_bucket{id=\"s\",le=\"2\"} 2\n"
+              "nps_h_bucket{id=\"s\",le=\"+Inf\"} 3\n"
+              "nps_h_sum{id=\"s\"} 11\n"
+              "nps_h_count{id=\"s\"} 3\n"
+              "# HELP nps_z_total zed help\n"
+              "# TYPE nps_z_total counter\n"
+              "nps_z_total{id=\"a\"} 1\n"
+              "nps_z_total{id=\"b\"} 2\n");
+}
+
+TEST(Metrics, PromBareSeriesOmitsLabel)
+{
+    MetricsRegistry reg;
+    reg.gauge("nps_run_ticks", "", "help")->set(480.0);
+    std::ostringstream out;
+    reg.writeProm(out);
+    EXPECT_NE(out.str().find("\nnps_run_ticks 480\n"),
+              std::string::npos);
+}
+
+TEST(Metrics, JsonExportShape)
+{
+    MetricsRegistry reg;
+    reg.counter("nps_c_total", "A", "c help")->add(2.0);
+    Histogram *h = reg.histogram("nps_h", "B", "h help", {1.0});
+    h->observe(0.5);
+
+    std::ostringstream out;
+    reg.writeJson(out);
+    const std::string json = out.str();
+    EXPECT_NE(json.find("\"name\": \"nps_c_total\""), std::string::npos);
+    EXPECT_NE(json.find("\"kind\": \"counter\""), std::string::npos);
+    EXPECT_NE(json.find("\"kind\": \"histogram\""), std::string::npos);
+    EXPECT_NE(json.find("\"buckets\""), std::string::npos);
+    EXPECT_NE(json.find("\"le\": 1"), std::string::npos);
+    // Exports must not disturb the recorded values.
+    EXPECT_EQ(reg.value("nps_c_total", "A"), 2.0);
+}
+
+TEST(Metrics, ExportIsIndependentOfRegistrationOrder)
+{
+    MetricsRegistry a, b;
+    a.counter("nps_one_total", "x", "h")->add(1.0);
+    a.counter("nps_two_total", "y", "h")->add(2.0);
+    b.counter("nps_two_total", "y", "h")->add(2.0);
+    b.counter("nps_one_total", "x", "h")->add(1.0);
+    std::ostringstream oa, ob;
+    a.writeProm(oa);
+    b.writeProm(ob);
+    EXPECT_EQ(oa.str(), ob.str());
+}
+
+TEST(Metrics, FormatMetricValue)
+{
+    EXPECT_EQ(formatMetricValue(0.0), "0");
+    EXPECT_EQ(formatMetricValue(42.0), "42");
+    EXPECT_EQ(formatMetricValue(-3.0), "-3");
+    EXPECT_EQ(formatMetricValue(0.5), "0.5");
+    EXPECT_EQ(formatMetricValue(1.0 / 0.0), "null");
+}
+
+TEST(Metrics, KindNames)
+{
+    EXPECT_STREQ(metricKindName(MetricsRegistry::Kind::Counter),
+                 "counter");
+    EXPECT_STREQ(metricKindName(MetricsRegistry::Kind::Gauge), "gauge");
+    EXPECT_STREQ(metricKindName(MetricsRegistry::Kind::Histogram),
+                 "histogram");
+}
+
+} // namespace

@@ -47,6 +47,71 @@ TEST(Logging, LevelRoundTrip)
     setLogLevel(prev);
 }
 
+TEST(Logging, LevelNames)
+{
+    EXPECT_STREQ(logLevelName(LogLevel::Debug), "debug");
+    EXPECT_STREQ(logLevelName(LogLevel::Info), "info");
+    EXPECT_STREQ(logLevelName(LogLevel::Warn), "warn");
+    EXPECT_STREQ(logLevelName(LogLevel::Error), "error");
+}
+
+TEST(Logging, LevelFromName)
+{
+    for (LogLevel level : {LogLevel::Debug, LogLevel::Info,
+                           LogLevel::Warn, LogLevel::Error}) {
+        LogLevel parsed = LogLevel::Warn;
+        EXPECT_TRUE(logLevelFromName(logLevelName(level), parsed));
+        EXPECT_EQ(parsed, level);
+    }
+}
+
+TEST(Logging, LevelFromNameRejectsUnknown)
+{
+    LogLevel parsed = LogLevel::Info;
+    EXPECT_FALSE(logLevelFromName("verbose", parsed));
+    EXPECT_FALSE(logLevelFromName("", parsed));
+    EXPECT_FALSE(logLevelFromName("WARN", parsed));
+    EXPECT_EQ(parsed, LogLevel::Info) << "failed parse must not write";
+}
+
+TEST(Logging, LevelFiltering)
+{
+    LogLevel prev = logLevel();
+
+    setLogLevel(LogLevel::Error);
+    testing::internal::CaptureStderr();
+    warn("should be filtered %d", 1);
+    inform("and this too");
+    EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+
+    setLogLevel(LogLevel::Debug);
+    testing::internal::CaptureStderr();
+    warn("now visible %d", 2);
+    std::string out = testing::internal::GetCapturedStderr();
+    EXPECT_NE(out.find("warn"), std::string::npos);
+    EXPECT_NE(out.find("now visible 2"), std::string::npos);
+
+    setLogLevel(prev);
+}
+
+TEST(Logging, LogfHonorsLevelAndFormats)
+{
+    LogLevel prev = logLevel();
+    setLogLevel(LogLevel::Info);
+
+    testing::internal::CaptureStderr();
+    logf(LogLevel::Debug, "hidden %s", "detail");
+    EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+
+    testing::internal::CaptureStderr();
+    logf(LogLevel::Info, "tick %d at %.1f W", 7, 42.5);
+    std::string out = testing::internal::GetCapturedStderr();
+    EXPECT_NE(out.find("info"), std::string::npos);
+    EXPECT_NE(out.find("tick 7 at 42.5 W"), std::string::npos);
+
+    setLogLevel(prev);
+}
+
 TEST(LoggingDeath, FatalExits)
 {
     EXPECT_DEATH(fatal("bad config %d", 7), "bad config 7");

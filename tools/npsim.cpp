@@ -47,7 +47,12 @@ struct Args
     std::string faults_path;
     std::string topology_path;
     std::string control_log_path;
-    unsigned record_stride = 10;
+    std::string metrics_path;
+    std::string trace_path;
+    std::string trace_filter;
+    std::string profile_path;
+    std::string log_level;
+    unsigned record_stride = 1;
     size_t ticks = 2880;
     uint64_t seed = 20080301;
     unsigned threads = 0;
@@ -86,10 +91,21 @@ usage()
         "                 and run the scenario under it\n"
         "  --control-log FILE  mirror every control-plane message and\n"
         "                 dump the merged event log as CSV\n"
+        "  --metrics FILE  export the metrics registry after the run\n"
+        "                 (.json = JSON, anything else = Prometheus\n"
+        "                 text exposition)\n"
+        "  --trace FILE[:FILTER]  record per-controller decision traces\n"
+        "                 and dump the merged log as CSV; an optional\n"
+        "                 FILTER keeps only channels whose name contains\n"
+        "                 the substring (e.g. trace.csv:SM/)\n"
+        "  --profile FILE  profile the engine and write the per-actor\n"
+        "                 report (.json = JSON, else a text table)\n"
+        "  --log-level L  debug | info | warn | error (default warn)\n"
         "  --dump-config  print the effective configuration as INI\n"
         "  --series FILE  dump per-tick power/perf series as CSV\n"
         "  --record FILE  dump per-server/enclosure telemetry as CSV\n"
-        "  --record-stride N  telemetry sampling stride (default 10)\n");
+        "  --record-stride N  telemetry sampling stride (default 1,\n"
+        "                 matching sim::Recorder::Options)\n");
     std::exit(0);
 }
 
@@ -130,6 +146,27 @@ parse(int argc, char **argv)
             args.faults_path = need(i), ++i;
         else if (a == "--control-log")
             args.control_log_path = need(i), ++i;
+        else if (a == "--metrics")
+            args.metrics_path = need(i), ++i;
+        else if (a == "--trace") {
+            // FILE[:FILTER] — split at the first ':' so the filter part
+            // may itself contain one (channel names never do today).
+            std::string spec = need(i);
+            std::string::size_type colon = spec.find(':');
+            if (colon == std::string::npos) {
+                args.trace_path = spec;
+            } else {
+                args.trace_path = spec.substr(0, colon);
+                args.trace_filter = spec.substr(colon + 1);
+            }
+            if (args.trace_path.empty())
+                util::fatal("--trace needs a file name before ':'");
+            ++i;
+        }
+        else if (a == "--profile")
+            args.profile_path = need(i), ++i;
+        else if (a == "--log-level")
+            args.log_level = need(i), ++i;
         else if (a == "--dump-config")
             args.dump_config = true;
         else if (a == "--series")
@@ -214,6 +251,15 @@ readFile(const std::string &path)
     return text;
 }
 
+/** Pick JSON output when the target file is named *.json. */
+bool
+wantsJson(const std::string &path)
+{
+    static const std::string ext = ".json";
+    return path.size() >= ext.size() &&
+           path.compare(path.size() - ext.size(), ext.size(), ext) == 0;
+}
+
 trace::Mix
 mixFor(const std::string &name)
 {
@@ -230,7 +276,22 @@ int
 main(int argc, char **argv)
 {
     Args args = parse(argc, argv);
+    if (!args.log_level.empty()) {
+        util::LogLevel level;
+        if (!util::logLevelFromName(args.log_level, level))
+            util::fatal("unknown log level '%s' (try debug, info, warn "
+                        "or error)", args.log_level.c_str());
+        util::setLogLevel(level);
+    }
     core::CoordinationConfig cfg = configFor(args);
+    if (!args.metrics_path.empty())
+        cfg.observability.metrics = true;
+    if (!args.trace_path.empty()) {
+        cfg.observability.trace = true;
+        cfg.observability.trace_filter = args.trace_filter;
+    }
+    if (!args.profile_path.empty())
+        cfg.observability.profile = true;
     if (!args.faults_path.empty()) {
         cfg.faults.script = readFile(args.faults_path);
         fault::FaultSchedule::parse(cfg.faults.script); // validate early
@@ -364,6 +425,46 @@ main(int argc, char **argv)
         std::printf("control-log: wrote %zu events on %zu links to %s\n",
                     log->totalEvents(), log->numLinks(),
                     args.control_log_path.c_str());
+    }
+    if (!args.metrics_path.empty()) {
+        const obs::MetricsRegistry *reg = coordinator.metricsRegistry();
+        std::ofstream out(args.metrics_path, std::ios::binary);
+        if (!out)
+            util::fatal("cannot open %s", args.metrics_path.c_str());
+        if (wantsJson(args.metrics_path))
+            reg->writeJson(out);
+        else
+            reg->writeProm(out);
+        std::printf("metrics: wrote %zu series in %zu families to %s\n",
+                    reg->numSeries(), reg->numFamilies(),
+                    args.metrics_path.c_str());
+    }
+    if (!args.trace_path.empty()) {
+        const obs::TraceSink *trace = coordinator.traceSink();
+        std::ofstream out(args.trace_path, std::ios::binary);
+        if (!out)
+            util::fatal("cannot open %s", args.trace_path.c_str());
+        trace->writeCsv(out);
+        std::printf("trace: wrote %zu events on %zu channels to %s",
+                    trace->totalEvents(), trace->numChannels(),
+                    args.trace_path.c_str());
+        if (trace->totalDropped() > 0)
+            std::printf(" (%llu dropped by the ring cap)",
+                        (unsigned long long)trace->totalDropped());
+        std::printf("\n");
+    }
+    if (!args.profile_path.empty()) {
+        const obs::EngineProfiler *prof = coordinator.profiler();
+        std::ofstream out(args.profile_path, std::ios::binary);
+        if (!out)
+            util::fatal("cannot open %s", args.profile_path.c_str());
+        if (wantsJson(args.profile_path))
+            prof->writeJson(out);
+        else
+            prof->writeTable(out);
+        std::printf("profile: %zu ticks over %zu actors to %s\n",
+                    prof->ticks(), prof->actorStats().size(),
+                    args.profile_path.c_str());
     }
     return 0;
 }
