@@ -56,6 +56,18 @@ ControlLink::attachLog(ControlPlaneLog *log)
 }
 
 void
+ControlLink::saveState(ckpt::SectionWriter &w) const
+{
+    w.putU64(seq_);
+}
+
+void
+ControlLink::loadState(ckpt::SectionReader &r)
+{
+    seq_ = r.getU64();
+}
+
+void
 ControlLink::mirror(size_t tick, uint64_t seq, double value, double aux,
                     bool delivered, bool stale)
 {
@@ -131,6 +143,24 @@ BudgetLink::reset()
 {
     prev_ = 0.0;
     has_prev_ = false;
+}
+
+void
+BudgetLink::saveState(ckpt::SectionWriter &w) const
+{
+    ControlLink::saveState(w);
+    w.putDouble(prev_);
+    w.putBool(has_prev_);
+    w.putU64(delivered_);
+}
+
+void
+BudgetLink::loadState(ckpt::SectionReader &r)
+{
+    ControlLink::loadState(r);
+    prev_ = r.getDouble();
+    has_prev_ = r.getBool();
+    delivered_ = r.getU64();
 }
 
 ViolationChannel::ViolationChannel(std::string name,

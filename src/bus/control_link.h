@@ -62,6 +62,12 @@ class ControlLink
      */
     void attachLog(ControlPlaneLog *log);
 
+    /** Serialize the sequence counter (checkpointing). */
+    virtual void saveState(ckpt::SectionWriter &w) const;
+
+    /** Restore the sequence counter (checkpoint restore). */
+    virtual void loadState(ckpt::SectionReader &r);
+
   protected:
     /** Claim the next sequence number (1-based). */
     uint64_t nextSeq() { return ++seq_; }
@@ -119,6 +125,12 @@ class BudgetLink : public ControlLink
 
     /** Messages actually delivered (sent() minus drops). */
     uint64_t delivered() const { return delivered_; }
+
+    /** Serialize seq + stale-replay slot + delivery count. */
+    void saveState(ckpt::SectionWriter &w) const override;
+
+    /** Restore seq + stale-replay slot + delivery count. */
+    void loadState(ckpt::SectionReader &r) override;
 
     /** The fault-model link class. */
     fault::Link link() const { return link_; }

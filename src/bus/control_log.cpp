@@ -65,5 +65,68 @@ ControlPlaneLog::writeCsv(std::ostream &out) const
     }
 }
 
+void
+ControlPlaneLog::saveState(ckpt::SectionWriter &w) const
+{
+    w.putU64(links_.size());
+    for (const auto &l : links_) {
+        w.putString(l->name);
+        w.putU32(static_cast<uint32_t>(l->kind));
+        w.putU64(l->events.size());
+        for (const auto &e : l->events) {
+            w.putU64(e.tick);
+            w.putU64(e.seq);
+            w.putU32(static_cast<uint32_t>(e.kind));
+            w.putDouble(e.value);
+            w.putDouble(e.aux);
+            w.putBool(e.delivered);
+            w.putBool(e.stale);
+        }
+    }
+}
+
+void
+ControlPlaneLog::loadState(ckpt::SectionReader &r)
+{
+    uint64_t n = r.getU64();
+    if (n != links_.size())
+        util::fatal("control log restore: snapshot has %llu links, "
+                    "rebuilt wiring has %zu — config/topology mismatch",
+                    static_cast<unsigned long long>(n), links_.size());
+    for (uint64_t i = 0; i < n; ++i) {
+        std::string name = r.getString();
+        auto kind = static_cast<ChannelKind>(r.getU32());
+        LinkLog *target = nullptr;
+        for (const auto &l : links_) {
+            if (l->name == name) {
+                target = l.get();
+                break;
+            }
+        }
+        if (!target)
+            util::fatal("control log restore: snapshot link '%s' not "
+                        "present in rebuilt wiring — config/topology "
+                        "mismatch",
+                        name.c_str());
+        if (target->kind != kind)
+            util::fatal("control log restore: link '%s' kind mismatch",
+                        name.c_str());
+        uint64_t events = r.getU64();
+        target->events.clear();
+        target->events.reserve(events);
+        for (uint64_t j = 0; j < events; ++j) {
+            ControlEvent e;
+            e.tick = static_cast<size_t>(r.getU64());
+            e.seq = r.getU64();
+            e.kind = static_cast<ChannelKind>(r.getU32());
+            e.value = r.getDouble();
+            e.aux = r.getDouble();
+            e.delivered = r.getBool();
+            e.stale = r.getBool();
+            target->events.push_back(e);
+        }
+    }
+}
+
 } // namespace bus
 } // namespace nps

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "bus/messages.h"
+#include "ckpt/snapshot.h"
 
 namespace nps {
 namespace bus {
@@ -79,6 +80,16 @@ class ControlPlaneLog
 
     /** Write the merged view as CSV (tick,link,kind,seq,...). */
     void writeCsv(std::ostream &out) const;
+
+    /** Serialize every link's buffered events (checkpointing). */
+    void saveState(ckpt::SectionWriter &w) const;
+
+    /**
+     * Restore buffered events into the already-registered links, matched
+     * by name. Fatal when the snapshot's link set differs from the
+     * rebuilt wiring (topology/config mismatch).
+     */
+    void loadState(ckpt::SectionReader &r);
 
   private:
     std::vector<std::unique_ptr<LinkLog>> links_;

@@ -12,6 +12,8 @@
 #ifndef NPS_BUS_VIOLATION_H
 #define NPS_BUS_VIOLATION_H
 
+#include "ckpt/snapshot.h"
+
 namespace nps {
 namespace bus {
 
@@ -53,6 +55,26 @@ class ViolationTracker : public ViolationSource
     double epochViolationRate() const override;
     void drainEpoch() override;
     double lifetimeViolationRate() const override;
+
+    /** Serialize the four counters (checkpointing). */
+    void
+    saveState(ckpt::SectionWriter &w) const
+    {
+        w.putU64(epoch_total_);
+        w.putU64(epoch_hits_);
+        w.putU64(life_total_);
+        w.putU64(life_hits_);
+    }
+
+    /** Restore the four counters (checkpoint restore). */
+    void
+    loadState(ckpt::SectionReader &r)
+    {
+        epoch_total_ = static_cast<unsigned long>(r.getU64());
+        epoch_hits_ = static_cast<unsigned long>(r.getU64());
+        life_total_ = static_cast<unsigned long>(r.getU64());
+        life_hits_ = static_cast<unsigned long>(r.getU64());
+    }
 
   private:
     unsigned long epoch_total_ = 0;

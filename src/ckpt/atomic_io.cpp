@@ -1,0 +1,80 @@
+#include "ckpt/atomic_io.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "util/logging.h"
+
+namespace nps {
+namespace ckpt {
+
+namespace {
+
+/** Directory part of @p path ("." when there is no slash). */
+std::string
+dirOf(const std::string &path)
+{
+    auto slash = path.find_last_of('/');
+    if (slash == std::string::npos)
+        return ".";
+    if (slash == 0)
+        return "/";
+    return path.substr(0, slash);
+}
+
+} // namespace
+
+void
+writeFileAtomic(const std::string &path, const std::string &data)
+{
+    const std::string tmp = path + ".tmp";
+
+    int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0)
+        util::fatal("cannot open %s for writing: %s", tmp.c_str(),
+                    std::strerror(errno));
+
+    size_t off = 0;
+    while (off < data.size()) {
+        ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            int err = errno;
+            ::close(fd);
+            ::unlink(tmp.c_str());
+            util::fatal("write failed on %s: %s", tmp.c_str(),
+                        std::strerror(err));
+        }
+        off += static_cast<size_t>(n);
+    }
+
+    if (::fsync(fd) != 0) {
+        int err = errno;
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        util::fatal("fsync failed on %s: %s", tmp.c_str(),
+                    std::strerror(err));
+    }
+    if (::close(fd) != 0)
+        util::fatal("close failed on %s: %s", tmp.c_str(),
+                    std::strerror(errno));
+
+    if (::rename(tmp.c_str(), path.c_str()) != 0)
+        util::fatal("cannot rename %s to %s: %s", tmp.c_str(), path.c_str(),
+                    std::strerror(errno));
+
+    // Make the rename itself durable before reporting success.
+    int dfd = ::open(dirOf(path).c_str(), O_RDONLY | O_DIRECTORY);
+    if (dfd >= 0) {
+        ::fsync(dfd);
+        ::close(dfd);
+    }
+}
+
+} // namespace ckpt
+} // namespace nps

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Crash-safe file writes: temp file + fsync + atomic rename.
+ *
+ * Used for checkpoints and for every user-facing output file (Recorder
+ * CSVs, metrics/trace/profile exports), so a crash mid-write never leaves
+ * a torn file behind — readers see either the old contents or the new,
+ * never a prefix.
+ */
+
+#ifndef NPS_CKPT_ATOMIC_IO_H
+#define NPS_CKPT_ATOMIC_IO_H
+
+#include <string>
+
+namespace nps {
+namespace ckpt {
+
+/**
+ * Write @p data to @p path crash-safely: write to "<path>.tmp" in the same
+ * directory, fsync the file, rename over @p path, fsync the directory.
+ * Fatal (non-zero exit) with the path and errno string on any failure —
+ * output I/O errors must never pass silently.
+ */
+void writeFileAtomic(const std::string &path, const std::string &data);
+
+} // namespace ckpt
+} // namespace nps
+
+#endif // NPS_CKPT_ATOMIC_IO_H

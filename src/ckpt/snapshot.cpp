@@ -1,0 +1,364 @@
+#include "ckpt/snapshot.h"
+
+#include <array>
+#include <bit>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "ckpt/atomic_io.h"
+#include "util/logging.h"
+
+namespace nps {
+namespace ckpt {
+
+namespace {
+
+constexpr char kMagic[8] = {'N', 'P', 'S', 'C', 'K', 'P', 'T', '1'};
+
+std::array<uint32_t, 256>
+makeCrcTable()
+{
+    std::array<uint32_t, 256> table{};
+    for (uint32_t i = 0; i < 256; ++i) {
+        uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+        table[i] = c;
+    }
+    return table;
+}
+
+void
+appendLe(std::string &buf, uint64_t v, size_t bytes)
+{
+    for (size_t i = 0; i < bytes; ++i)
+        buf.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+uint64_t
+readLe(const unsigned char *p, size_t bytes)
+{
+    uint64_t v = 0;
+    for (size_t i = 0; i < bytes; ++i)
+        v |= static_cast<uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+} // namespace
+
+uint32_t
+crc32(const void *data, size_t len)
+{
+    static const std::array<uint32_t, 256> table = makeCrcTable();
+    uint32_t c = 0xFFFFFFFFu;
+    const auto *p = static_cast<const unsigned char *>(data);
+    for (size_t i = 0; i < len; ++i)
+        c = table[(c ^ p[i]) & 0xFF] ^ (c >> 8);
+    return c ^ 0xFFFFFFFFu;
+}
+
+void
+SectionWriter::putU32(uint32_t v)
+{
+    appendLe(buf_, v, 4);
+}
+
+void
+SectionWriter::putU64(uint64_t v)
+{
+    appendLe(buf_, v, 8);
+}
+
+void
+SectionWriter::putI64(int64_t v)
+{
+    appendLe(buf_, static_cast<uint64_t>(v), 8);
+}
+
+void
+SectionWriter::putDouble(double v)
+{
+    appendLe(buf_, std::bit_cast<uint64_t>(v), 8);
+}
+
+void
+SectionWriter::putBool(bool v)
+{
+    buf_.push_back(v ? '\1' : '\0');
+}
+
+void
+SectionWriter::putString(std::string_view s)
+{
+    putU32(static_cast<uint32_t>(s.size()));
+    buf_.append(s.data(), s.size());
+}
+
+void
+SectionWriter::putDoubleVec(const std::vector<double> &v)
+{
+    putU64(v.size());
+    for (double d : v)
+        putDouble(d);
+}
+
+void
+SectionWriter::putU64Vec(const std::vector<uint64_t> &v)
+{
+    putU64(v.size());
+    for (uint64_t u : v)
+        putU64(u);
+}
+
+SectionReader::SectionReader(std::string_view name, std::string_view bytes)
+    : name_(name), bytes_(bytes)
+{
+}
+
+const unsigned char *
+SectionReader::take(size_t n)
+{
+    if (pos_ + n > bytes_.size())
+        util::fatal("checkpoint section '%s': truncated read at offset %zu "
+                    "(want %zu bytes, %zu left) — snapshot layout does not "
+                    "match this binary",
+                    name_.c_str(), pos_, n, bytes_.size() - pos_);
+    const auto *p =
+        reinterpret_cast<const unsigned char *>(bytes_.data()) + pos_;
+    pos_ += n;
+    return p;
+}
+
+uint32_t
+SectionReader::getU32()
+{
+    return static_cast<uint32_t>(readLe(take(4), 4));
+}
+
+uint64_t
+SectionReader::getU64()
+{
+    return readLe(take(8), 8);
+}
+
+int64_t
+SectionReader::getI64()
+{
+    return static_cast<int64_t>(readLe(take(8), 8));
+}
+
+double
+SectionReader::getDouble()
+{
+    return std::bit_cast<double>(readLe(take(8), 8));
+}
+
+bool
+SectionReader::getBool()
+{
+    return *take(1) != 0;
+}
+
+std::string
+SectionReader::getString()
+{
+    uint32_t n = getU32();
+    const auto *p = take(n);
+    return std::string(reinterpret_cast<const char *>(p), n);
+}
+
+std::vector<double>
+SectionReader::getDoubleVec()
+{
+    uint64_t n = getU64();
+    if (n > remaining() / 8)
+        util::fatal("checkpoint section '%s': vector length %llu exceeds "
+                    "remaining payload",
+                    name_.c_str(), static_cast<unsigned long long>(n));
+    std::vector<double> v;
+    v.reserve(n);
+    for (uint64_t i = 0; i < n; ++i)
+        v.push_back(getDouble());
+    return v;
+}
+
+std::vector<uint64_t>
+SectionReader::getU64Vec()
+{
+    uint64_t n = getU64();
+    if (n > remaining() / 8)
+        util::fatal("checkpoint section '%s': vector length %llu exceeds "
+                    "remaining payload",
+                    name_.c_str(), static_cast<unsigned long long>(n));
+    std::vector<uint64_t> v;
+    v.reserve(n);
+    for (uint64_t i = 0; i < n; ++i)
+        v.push_back(getU64());
+    return v;
+}
+
+void
+SectionReader::expectEnd() const
+{
+    if (pos_ != bytes_.size())
+        util::fatal("checkpoint section '%s': %zu trailing bytes after "
+                    "restore — snapshot layout does not match this binary",
+                    name_.c_str(), bytes_.size() - pos_);
+}
+
+SectionWriter &
+SnapshotWriter::section(std::string_view name)
+{
+    auto [it, inserted] =
+        sections_.try_emplace(std::string(name), SectionWriter{});
+    if (!inserted)
+        util::fatal("checkpoint: duplicate section '%s'",
+                    it->first.c_str());
+    order_.push_back(it->first);
+    return it->second;
+}
+
+std::string
+SnapshotWriter::serialize() const
+{
+    std::string out;
+    out.append(kMagic, sizeof(kMagic));
+    appendLe(out, kFormatVersion, 4);
+    appendLe(out, order_.size(), 4);
+    for (const auto &name : order_) {
+        const std::string &payload = sections_.at(name).bytes();
+        appendLe(out, name.size(), 4);
+        out.append(name);
+        appendLe(out, payload.size(), 8);
+        appendLe(out, crc32(payload.data(), payload.size()), 4);
+        out.append(payload);
+    }
+    return out;
+}
+
+void
+SnapshotWriter::writeFile(const std::string &path) const
+{
+    writeFileAtomic(path, serialize());
+}
+
+bool
+SnapshotReader::load(const std::string &path, std::string &error)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        error = "cannot open " + path;
+        return false;
+    }
+    std::string data((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    if (!in.good() && !in.eof()) {
+        error = "read error on " + path;
+        return false;
+    }
+    return loadBytes(data, path, error);
+}
+
+bool
+SnapshotReader::loadBytes(const std::string &data, const std::string &label,
+                          std::string &error)
+{
+    order_.clear();
+    sections_.clear();
+    path_ = label;
+    const std::string &path = label;
+
+    size_t pos = 0;
+    auto need = [&](size_t n, const char *what) {
+        if (pos + n > data.size()) {
+            error = path + ": truncated (" + what + ")";
+            return false;
+        }
+        return true;
+    };
+    const auto *bytes = reinterpret_cast<const unsigned char *>(data.data());
+
+    if (!need(sizeof(kMagic), "magic"))
+        return false;
+    if (std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0) {
+        error = path + ": bad magic (not an npsim checkpoint)";
+        return false;
+    }
+    pos += sizeof(kMagic);
+
+    if (!need(8, "header"))
+        return false;
+    auto version = static_cast<uint32_t>(readLe(bytes + pos, 4));
+    pos += 4;
+    if (version != kFormatVersion) {
+        error = path + ": format version " + std::to_string(version) +
+                " not supported (this binary reads version " +
+                std::to_string(kFormatVersion) + ")";
+        return false;
+    }
+    auto count = static_cast<uint32_t>(readLe(bytes + pos, 4));
+    pos += 4;
+
+    for (uint32_t i = 0; i < count; ++i) {
+        if (!need(4, "section name length"))
+            return false;
+        auto name_len = static_cast<size_t>(readLe(bytes + pos, 4));
+        pos += 4;
+        if (!need(name_len, "section name"))
+            return false;
+        std::string name(data.data() + pos, name_len);
+        pos += name_len;
+        if (!need(12, "section header"))
+            return false;
+        auto payload_len = static_cast<size_t>(readLe(bytes + pos, 8));
+        pos += 8;
+        auto expect_crc = static_cast<uint32_t>(readLe(bytes + pos, 4));
+        pos += 4;
+        if (!need(payload_len, "section payload"))
+            return false;
+        uint32_t got_crc = crc32(data.data() + pos, payload_len);
+        if (got_crc != expect_crc) {
+            char buf[160];
+            std::snprintf(buf, sizeof(buf),
+                          ": CRC mismatch in section '%s' "
+                          "(stored %08x, computed %08x) — file is corrupt",
+                          name.c_str(), expect_crc, got_crc);
+            error = path + buf;
+            return false;
+        }
+        auto [it, inserted] = sections_.try_emplace(
+            std::move(name), data.substr(pos, payload_len));
+        if (!inserted) {
+            error = path + ": duplicate section '" + it->first + "'";
+            return false;
+        }
+        order_.push_back(it->first);
+        pos += payload_len;
+    }
+    if (pos != data.size()) {
+        error = path + ": " + std::to_string(data.size() - pos) +
+                " trailing bytes after last section";
+        return false;
+    }
+    return true;
+}
+
+bool
+SnapshotReader::has(std::string_view name) const
+{
+    return sections_.find(name) != sections_.end();
+}
+
+SectionReader
+SnapshotReader::section(std::string_view name) const
+{
+    auto it = sections_.find(name);
+    if (it == sections_.end())
+        util::fatal("checkpoint %s: missing section '%.*s'", path_.c_str(),
+                    static_cast<int>(name.size()), name.data());
+    return SectionReader(it->first, it->second);
+}
+
+} // namespace ckpt
+} // namespace nps

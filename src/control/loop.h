@@ -66,6 +66,21 @@ class ControlLoop
     /** Reset error history; keeps the reference. */
     virtual void reset();
 
+    /**
+     * Overwrite the loop's history verbatim (checkpoint restore only).
+     * Bypasses setReference() on purpose: subclass side effects already
+     * happened in the original run and are restored separately.
+     */
+    void
+    restoreLoopState(double reference, double last_measurement,
+                     double last_error, unsigned long steps)
+    {
+        reference_ = reference;
+        last_measurement_ = last_measurement;
+        last_error_ = last_error;
+        steps_ = steps;
+    }
+
   protected:
     /** Read the sensor. */
     virtual double measure() = 0;

@@ -202,5 +202,34 @@ EfficiencyController::stepEnergyDelay(size_t tick)
     freq_.setValue(table.at(best).freq_mhz);
 }
 
+void
+EfficiencyController::saveState(ckpt::SectionWriter &w) const
+{
+    w.putDouble(reference());
+    w.putDouble(lastMeasurement());
+    w.putDouble(lastError());
+    w.putU64(steps());
+    w.putDouble(freq_.value());
+    degrade_.saveState(w);
+    w.putU64(cur_tick_);
+    w.putDouble(held_util_);
+    w.putBool(was_down_);
+}
+
+void
+EfficiencyController::loadState(ckpt::SectionReader &r)
+{
+    double ref = r.getDouble();
+    double meas = r.getDouble();
+    double err = r.getDouble();
+    auto steps = static_cast<unsigned long>(r.getU64());
+    restoreLoopState(ref, meas, err, steps);
+    freq_.setValue(r.getDouble());
+    degrade_.loadState(r);
+    cur_tick_ = static_cast<size_t>(r.getU64());
+    held_util_ = r.getDouble();
+    was_down_ = r.getBool();
+}
+
 } // namespace controllers
 } // namespace nps

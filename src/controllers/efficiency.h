@@ -121,6 +121,12 @@ class EfficiencyController : public sim::Actor, public ctl::ControlLoop
      */
     void attachObs(obs::MetricsRegistry *metrics, obs::TraceSink *trace);
 
+    /** Serialize mutable controller state (checkpointing). */
+    void saveState(ckpt::SectionWriter &w) const;
+
+    /** Restore mutable controller state (checkpoint restore). */
+    void loadState(ckpt::SectionReader &r);
+
   protected:
     /// @name ctl::ControlLoop hooks
     /// @{

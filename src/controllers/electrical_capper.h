@@ -96,6 +96,28 @@ class ElectricalCapper : public sim::Actor, public ViolationTracker
      */
     void attachObs(obs::MetricsRegistry *metrics, obs::TraceSink *trace);
 
+    /** Serialize mutable controller state (checkpointing). */
+    void
+    saveState(ckpt::SectionWriter &w) const
+    {
+        ViolationTracker::saveState(w);
+        telemetry_.saveState(w);
+        w.putBool(clamping_);
+        degrade_.saveState(w);
+        w.putBool(was_down_);
+    }
+
+    /** Restore mutable controller state (checkpoint restore). */
+    void
+    loadState(ckpt::SectionReader &r)
+    {
+        ViolationTracker::loadState(r);
+        telemetry_.loadState(r);
+        clamping_ = r.getBool();
+        degrade_.loadState(r);
+        was_down_ = r.getBool();
+    }
+
   private:
     /** Publish clamp transitions on the telemetry channel. */
     void publishClamp(bool clamping, size_t tick);

@@ -255,5 +255,54 @@ EnclosureManager::step(size_t tick)
         grant_links_[i]->send(last_grants_[i], tick);
 }
 
+void
+EnclosureManager::saveState(ckpt::SectionWriter &w) const
+{
+    ViolationTracker::saveState(w);
+    w.putDouble(dynamic_cap_);
+    uint64_t rng_state[4];
+    rng_.getState(rng_state);
+    for (uint64_t s : rng_state)
+        w.putU64(s);
+    w.putDoubleVec(demand_ewma_);
+    w.putDoubleVec(history_ewma_);
+    w.putDoubleVec(last_grants_);
+    w.putU64(grant_links_.size());
+    for (const auto &link : grant_links_)
+        link->saveState(w);
+    degrade_.saveState(w);
+    w.putU64(budget_tick_);
+    w.putBool(lease_expired_);
+    w.putBool(was_down_);
+}
+
+void
+EnclosureManager::loadState(ckpt::SectionReader &r)
+{
+    ViolationTracker::loadState(r);
+    dynamic_cap_ = r.getDouble();
+    uint64_t rng_state[4];
+    for (uint64_t &s : rng_state)
+        s = r.getU64();
+    rng_.setState(rng_state);
+    demand_ewma_ = r.getDoubleVec();
+    history_ewma_ = r.getDoubleVec();
+    last_grants_ = r.getDoubleVec();
+    auto links = static_cast<size_t>(r.getU64());
+    if (links != grant_links_.size())
+        util::fatal("EM %s restore: snapshot has %zu grant links, "
+                    "rebuilt EM has %zu — topology mismatch",
+                    name_.c_str(), links, grant_links_.size());
+    for (auto &link : grant_links_)
+        link->loadState(r);
+    degrade_.loadState(r);
+    budget_tick_ = static_cast<size_t>(r.getU64());
+    lease_expired_ = r.getBool();
+    was_down_ = r.getBool();
+    if (demand_ewma_.size() != blades_.size() ||
+        history_ewma_.size() != blades_.size())
+        util::fatal("EM %s restore: blade-count mismatch", name_.c_str());
+}
+
 } // namespace controllers
 } // namespace nps

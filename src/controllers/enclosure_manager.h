@@ -132,6 +132,12 @@ class EnclosureManager : public sim::Actor, public ViolationTracker
      */
     void attachObs(obs::MetricsRegistry *metrics, obs::TraceSink *trace);
 
+    /** Serialize mutable controller state (checkpointing). */
+    void saveState(ckpt::SectionWriter &w) const;
+
+    /** Restore mutable controller state (checkpoint restore). */
+    void loadState(ckpt::SectionReader &r);
+
   private:
     /** @return true when the GM budget lease has lapsed as of @p tick. */
     bool leaseLapsed(size_t tick) const;

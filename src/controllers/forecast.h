@@ -69,6 +69,15 @@ class DemandForecaster
     /** Forget all history. */
     void reset();
 
+    /** Overwrite the smoothing state verbatim (checkpoint restore only). */
+    void
+    restoreState(double level, double trend, size_t count)
+    {
+        level_ = level;
+        trend_ = trend;
+        count_ = count;
+    }
+
   private:
     Params params_;
     double level_ = 0.0;

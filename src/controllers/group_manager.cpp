@@ -425,5 +425,65 @@ GroupManager::stepUncoordinated(size_t tick)
         server_links_[i]->send(last_grants_[i], tick);
 }
 
+void
+GroupManager::saveState(ckpt::SectionWriter &w) const
+{
+    ViolationTracker::saveState(w);
+    w.putDouble(dynamic_cap_);
+    uint64_t rng_state[4];
+    rng_.getState(rng_state);
+    for (uint64_t s : rng_state)
+        w.putU64(s);
+    w.putDoubleVec(child_demand_);
+    w.putDoubleVec(child_history_);
+    w.putDoubleVec(server_demand_);
+    w.putDoubleVec(server_history_);
+    w.putDoubleVec(last_grants_);
+    w.putU64(child_links_.size());
+    for (const auto &link : child_links_)
+        link->saveState(w);
+    w.putU64(server_links_.size());
+    for (const auto &link : server_links_)
+        link->saveState(w);
+    degrade_.saveState(w);
+    w.putU64(budget_tick_);
+    w.putBool(lease_expired_);
+    w.putBool(was_down_);
+}
+
+void
+GroupManager::loadState(ckpt::SectionReader &r)
+{
+    ViolationTracker::loadState(r);
+    dynamic_cap_ = r.getDouble();
+    uint64_t rng_state[4];
+    for (uint64_t &s : rng_state)
+        s = r.getU64();
+    rng_.setState(rng_state);
+    child_demand_ = r.getDoubleVec();
+    child_history_ = r.getDoubleVec();
+    server_demand_ = r.getDoubleVec();
+    server_history_ = r.getDoubleVec();
+    last_grants_ = r.getDoubleVec();
+    auto child_links = static_cast<size_t>(r.getU64());
+    if (child_links != child_links_.size())
+        util::fatal("GM %s restore: snapshot has %zu child links, "
+                    "rebuilt GM has %zu — topology mismatch",
+                    name_.c_str(), child_links, child_links_.size());
+    for (auto &link : child_links_)
+        link->loadState(r);
+    auto server_links = static_cast<size_t>(r.getU64());
+    if (server_links != server_links_.size())
+        util::fatal("GM %s restore: snapshot has %zu server links, "
+                    "rebuilt GM has %zu — topology mismatch",
+                    name_.c_str(), server_links, server_links_.size());
+    for (auto &link : server_links_)
+        link->loadState(r);
+    degrade_.loadState(r);
+    budget_tick_ = static_cast<size_t>(r.getU64());
+    lease_expired_ = r.getBool();
+    was_down_ = r.getBool();
+}
+
 } // namespace controllers
 } // namespace nps

@@ -203,6 +203,12 @@ class GroupManager : public sim::Actor, public ViolationTracker
      */
     void attachObs(obs::MetricsRegistry *metrics, obs::TraceSink *trace);
 
+    /** Serialize mutable controller state (checkpointing). */
+    void saveState(ckpt::SectionWriter &w) const;
+
+    /** Restore mutable controller state (checkpoint restore). */
+    void loadState(ckpt::SectionReader &r);
+
   private:
     /** Coordinated step: divide among groups + enclosures + standalone. */
     void stepCoordinated(size_t tick);

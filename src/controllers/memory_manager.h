@@ -84,6 +84,24 @@ class MemoryManager : public sim::Actor
      */
     void attachObs(obs::MetricsRegistry *metrics, obs::TraceSink *trace);
 
+    /** Serialize mutable controller state (checkpointing). */
+    void
+    saveState(ckpt::SectionWriter &w) const
+    {
+        telemetry_.saveState(w);
+        w.putU32(quiet_steps_);
+        w.putU64(engagements_);
+    }
+
+    /** Restore mutable controller state (checkpoint restore). */
+    void
+    loadState(ckpt::SectionReader &r)
+    {
+        telemetry_.loadState(r);
+        quiet_steps_ = r.getU32();
+        engagements_ = static_cast<unsigned long>(r.getU64());
+    }
+
   private:
     /** Publish a mode transition on the telemetry channel. */
     void setMode(bool low, size_t tick);

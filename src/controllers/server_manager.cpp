@@ -317,5 +317,53 @@ ServerManager::stepDirect(size_t tick, double cap)
     server_.setPState(q);
 }
 
+void
+ServerManager::saveState(ckpt::SectionWriter &w) const
+{
+    w.putDouble(reference());
+    w.putDouble(lastMeasurement());
+    w.putDouble(lastError());
+    w.putU64(steps());
+    ViolationTracker::saveState(w);
+    w.putDouble(dynamic_cap_);
+    w.putDouble(r_ref_.value());
+    w.putU64(step_tick_);
+    degrade_.saveState(w);
+    w.putU64(budget_tick_);
+    w.putBool(lease_expired_);
+    w.putBool(was_down_);
+    w.putBool(ec_fallback_);
+    w.putBool(ref_link_.has_value());
+    if (ref_link_)
+        ref_link_->saveState(w);
+}
+
+void
+ServerManager::loadState(ckpt::SectionReader &r)
+{
+    double ref = r.getDouble();
+    double meas = r.getDouble();
+    double err = r.getDouble();
+    auto steps = static_cast<unsigned long>(r.getU64());
+    restoreLoopState(ref, meas, err, steps);
+    ViolationTracker::loadState(r);
+    dynamic_cap_ = r.getDouble();
+    r_ref_.setValue(r.getDouble());
+    step_tick_ = static_cast<size_t>(r.getU64());
+    degrade_.loadState(r);
+    budget_tick_ = static_cast<size_t>(r.getU64());
+    lease_expired_ = r.getBool();
+    was_down_ = r.getBool();
+    ec_fallback_ = r.getBool();
+    bool has_link = r.getBool();
+    if (has_link != ref_link_.has_value())
+        util::fatal("SM %s restore: reference-link presence mismatch "
+                    "(snapshot %d, rebuilt %d)",
+                    name().c_str(), has_link ? 1 : 0,
+                    ref_link_ ? 1 : 0);
+    if (ref_link_)
+        ref_link_->loadState(r);
+}
+
 } // namespace controllers
 } // namespace nps

@@ -212,6 +212,12 @@ class ServerManager : public sim::Actor,
     /** The managed server. */
     const sim::Server &server() const { return server_; }
 
+    /** Serialize mutable controller state (checkpointing). */
+    void saveState(ckpt::SectionWriter &w) const;
+
+    /** Restore mutable controller state (checkpoint restore). */
+    void loadState(ckpt::SectionReader &r);
+
   protected:
     /// @name ctl::ControlLoop hooks (Coordinated mode)
     /// @{

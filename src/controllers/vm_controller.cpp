@@ -418,5 +418,81 @@ VmController::applyAssignment(const std::vector<PackItem> &items,
     }
 }
 
+void
+VmController::saveState(ckpt::SectionWriter &w) const
+{
+    w.putU64(stats_.epochs);
+    w.putU64(stats_.migrations);
+    w.putU64(stats_.adoptions);
+    w.putU64(stats_.infeasible);
+    w.putDouble(stats_.last_est_power);
+    w.putDouble(b_loc_);
+    w.putDouble(b_enc_);
+    w.putDouble(b_grp_);
+    w.putDoubleVec(load_accum_);
+    w.putDoubleVec(load_sq_accum_);
+    w.putU64(forecasters_.size());
+    for (const auto &f : forecasters_) {
+        w.putDouble(f.level());
+        w.putDouble(f.trend());
+        w.putU64(f.observations());
+    }
+    w.putU64(obs_ticks_);
+    degrade_.saveState(w);
+    w.putBool(was_down_);
+    w.putU64(loc_channels_.size());
+    for (const auto &ch : loc_channels_)
+        ch->saveState(w);
+    w.putU64(enc_channels_.size());
+    for (const auto &ch : enc_channels_)
+        ch->saveState(w);
+    w.putU64(grp_channels_.size());
+    for (const auto &ch : grp_channels_)
+        ch->saveState(w);
+}
+
+void
+VmController::loadState(ckpt::SectionReader &r)
+{
+    stats_.epochs = static_cast<unsigned long>(r.getU64());
+    stats_.migrations = static_cast<unsigned long>(r.getU64());
+    stats_.adoptions = static_cast<unsigned long>(r.getU64());
+    stats_.infeasible = static_cast<unsigned long>(r.getU64());
+    stats_.last_est_power = r.getDouble();
+    b_loc_ = r.getDouble();
+    b_enc_ = r.getDouble();
+    b_grp_ = r.getDouble();
+    load_accum_ = r.getDoubleVec();
+    load_sq_accum_ = r.getDoubleVec();
+    auto n_forecasters = static_cast<size_t>(r.getU64());
+    if (n_forecasters != forecasters_.size())
+        util::fatal("VMC restore: snapshot has %zu forecasters, rebuilt "
+                    "VMC has %zu — config mismatch",
+                    n_forecasters, forecasters_.size());
+    for (auto &f : forecasters_) {
+        double level = r.getDouble();
+        double trend = r.getDouble();
+        auto count = static_cast<size_t>(r.getU64());
+        f.restoreState(level, trend, count);
+    }
+    obs_ticks_ = static_cast<unsigned long>(r.getU64());
+    degrade_.loadState(r);
+    was_down_ = r.getBool();
+    auto restoreChannels =
+        [&r](std::vector<std::unique_ptr<bus::ViolationChannel>> &chs,
+             const char *tier) {
+            auto n = static_cast<size_t>(r.getU64());
+            if (n != chs.size())
+                util::fatal("VMC restore: snapshot has %zu %s violation "
+                            "channels, rebuilt VMC has %zu",
+                            n, tier, chs.size());
+            for (auto &ch : chs)
+                ch->loadState(r);
+        };
+    restoreChannels(loc_channels_, "local");
+    restoreChannels(enc_channels_, "enclosure");
+    restoreChannels(grp_channels_, "group");
+}
+
 } // namespace controllers
 } // namespace nps

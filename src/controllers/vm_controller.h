@@ -172,6 +172,12 @@ class VmController : public sim::Actor
      */
     void attachObs(obs::MetricsRegistry *metrics, obs::TraceSink *trace);
 
+    /** Serialize mutable controller state (checkpointing). */
+    void saveState(ckpt::SectionWriter &w) const;
+
+    /** Restore mutable controller state (checkpoint restore). */
+    void loadState(ckpt::SectionReader &r);
+
   private:
     /** Per-VM load estimate for the next epoch (updates forecasters). */
     std::vector<double> epochLoads();

@@ -1,6 +1,8 @@
 #include "core/config_io.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <set>
 #include <string>
@@ -24,8 +26,13 @@ boolStr(bool v)
 std::string
 numStr(double v)
 {
-    char buf[32];
+    // Prefer the short %g form, but only when it parses back to the
+    // exact same double: checkpoint resume embeds the config as INI and
+    // rebuilds from it, so every value must round-trip bit-exactly.
+    char buf[40];
     std::snprintf(buf, sizeof buf, "%g", v);
+    if (std::strtod(buf, nullptr) != v)
+        std::snprintf(buf, sizeof buf, "%.17g", v);
     return buf;
 }
 

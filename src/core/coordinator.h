@@ -200,6 +200,31 @@ class Coordinator
         return obs_ ? obs_->profiler() : nullptr;
     }
 
+    /// @name Checkpointing (src/core/checkpoint.cpp)
+    /// @{
+
+    /**
+     * Serialize the complete mutable simulation state into @p snap: the
+     * engine clock and roster, the cluster (placement, server/VM state),
+     * metrics, every controller's internal state (integrators, leases,
+     * grants, links), the control-plane log, and the obs instruments.
+     * Structure and immutable inputs (config, topology, traces, the
+     * FaultInjector) are NOT serialized — restore rebuilds them from the
+     * same config and overlays this state (docs/CHECKPOINTING.md).
+     */
+    void saveState(ckpt::SnapshotWriter &snap) const;
+
+    /**
+     * Restore state saved by saveState() into this freshly-built
+     * Coordinator. The Coordinator must have been constructed from the
+     * same config and topology; mismatches are fatal with an actionable
+     * message. After restore, run() continues byte-identically to the
+     * original uninterrupted run at any thread count.
+     */
+    void loadState(const ckpt::SnapshotReader &snap);
+
+    /// @}
+
   private:
     void buildControllers();
     void buildFaultInjector();

@@ -31,6 +31,36 @@ DegradeStats::none() const
            noisy_reads == 0;
 }
 
+void
+DegradeStats::saveState(ckpt::SectionWriter &w) const
+{
+    w.putU64(outage_ticks);
+    w.putU64(outage_steps);
+    w.putU64(restarts);
+    w.putU64(lease_expiries);
+    w.putU64(lease_fallback_steps);
+    w.putU64(ec_fallback_steps);
+    w.putU64(dropped_budgets);
+    w.putU64(stale_budgets);
+    w.putU64(stuck_actuations);
+    w.putU64(noisy_reads);
+}
+
+void
+DegradeStats::loadState(ckpt::SectionReader &r)
+{
+    outage_ticks = static_cast<unsigned long>(r.getU64());
+    outage_steps = static_cast<unsigned long>(r.getU64());
+    restarts = static_cast<unsigned long>(r.getU64());
+    lease_expiries = static_cast<unsigned long>(r.getU64());
+    lease_fallback_steps = static_cast<unsigned long>(r.getU64());
+    ec_fallback_steps = static_cast<unsigned long>(r.getU64());
+    dropped_budgets = static_cast<unsigned long>(r.getU64());
+    stale_budgets = static_cast<unsigned long>(r.getU64());
+    stuck_actuations = static_cast<unsigned long>(r.getU64());
+    noisy_reads = static_cast<unsigned long>(r.getU64());
+}
+
 namespace {
 
 /** SplitMix64 finalizer: decorrelates the packed query key. */

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "ckpt/snapshot.h"
 #include "fault/fault.h"
 
 namespace nps {
@@ -47,6 +48,12 @@ struct DegradeStats
 
     /** @return true when every counter is zero. */
     bool none() const;
+
+    /** Serialize all counters (checkpointing). */
+    void saveState(ckpt::SectionWriter &w) const;
+
+    /** Restore all counters (checkpoint restore). */
+    void loadState(ckpt::SectionReader &r);
 };
 
 /**

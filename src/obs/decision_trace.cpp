@@ -111,5 +111,57 @@ TraceSink::writeCsv(std::ostream &out) const
     }
 }
 
+void
+TraceSink::saveState(ckpt::SectionWriter &w) const
+{
+    w.putU64(channels_.size());
+    for (const auto &ch : channels_) {
+        w.putString(ch->name_);
+        w.putU64(ch->next_seq_);
+        w.putU64(ch->dropped_);
+        w.putU64(ch->events_.size());
+        for (const auto &e : ch->events_) {
+            w.putU64(e.tick);
+            w.putU64(e.seq);
+            w.putString(e.text);
+        }
+    }
+}
+
+void
+TraceSink::loadState(ckpt::SectionReader &r)
+{
+    auto n = static_cast<size_t>(r.getU64());
+    if (n != channels_.size())
+        util::fatal("trace restore: snapshot has %zu channels, rebuilt "
+                    "sink has %zu — config mismatch",
+                    n, channels_.size());
+    for (size_t i = 0; i < n; ++i) {
+        std::string name = r.getString();
+        TraceChannel *target = nullptr;
+        for (const auto &ch : channels_) {
+            if (ch->name_ == name) {
+                target = ch.get();
+                break;
+            }
+        }
+        if (!target)
+            util::fatal("trace restore: snapshot channel '%s' not "
+                        "registered in this run — config mismatch",
+                        name.c_str());
+        target->next_seq_ = r.getU64();
+        target->dropped_ = r.getU64();
+        auto events = static_cast<size_t>(r.getU64());
+        target->events_.clear();
+        for (size_t j = 0; j < events; ++j) {
+            TraceEvent e;
+            e.tick = r.getU64();
+            e.seq = r.getU64();
+            e.text = r.getString();
+            target->events_.push_back(std::move(e));
+        }
+    }
+}
+
 } // namespace obs
 } // namespace nps

@@ -28,6 +28,8 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/snapshot.h"
+
 namespace nps {
 namespace obs {
 
@@ -123,6 +125,16 @@ class TraceSink
 
     /** Write the merged view as CSV: tick,channel,seq,event. */
     void writeCsv(std::ostream &out) const;
+
+    /** Serialize every channel's ring, counters included. */
+    void saveState(ckpt::SectionWriter &w) const;
+
+    /**
+     * Restore rings into already-registered channels matched by name.
+     * Fatal when the snapshot's channel set differs from the rebuilt
+     * registration (config mismatch).
+     */
+    void loadState(ckpt::SectionReader &r);
 
   private:
     size_t capacity_;

@@ -73,6 +73,19 @@ Histogram::observe(double v)
     sum_ += v;
 }
 
+void
+Histogram::restore(std::vector<std::uint64_t> counts, std::uint64_t count,
+                   double sum)
+{
+    if (counts.size() != counts_.size())
+        util::fatal("Histogram restore: %zu buckets in snapshot, %zu "
+                    "registered",
+                    counts.size(), counts_.size());
+    counts_ = std::move(counts);
+    count_ = count;
+    sum_ = sum;
+}
+
 MetricsRegistry::Family *
 MetricsRegistry::familyFor(const std::string &name, Kind kind,
                            const std::string &help)
@@ -327,6 +340,95 @@ MetricsRegistry::writeJson(std::ostream &out) const
         out << "]}";
     }
     out << "\n  ]\n}\n";
+}
+
+void
+MetricsRegistry::saveState(ckpt::SectionWriter &w) const
+{
+    w.putU64(families_.size());
+    for (const auto &f : families_) {
+        w.putString(f->name);
+        w.putU32(static_cast<uint32_t>(f->kind));
+        w.putU64(f->series.size());
+        for (const auto &s : f->series) {
+            w.putString(s.label);
+            switch (f->kind) {
+              case Kind::Counter:
+                w.putDouble(s.counter->value());
+                break;
+              case Kind::Gauge:
+                w.putDouble(s.gauge->value());
+                break;
+              case Kind::Histogram:
+                w.putU64Vec(s.histogram->counts());
+                w.putU64(s.histogram->count());
+                w.putDouble(s.histogram->sum());
+                break;
+            }
+        }
+    }
+}
+
+void
+MetricsRegistry::loadState(ckpt::SectionReader &r)
+{
+    auto n = static_cast<size_t>(r.getU64());
+    if (n != families_.size())
+        util::fatal("metrics restore: snapshot has %zu families, rebuilt "
+                    "registry has %zu — config mismatch",
+                    n, families_.size());
+    for (size_t i = 0; i < n; ++i) {
+        std::string name = r.getString();
+        auto kind = static_cast<Kind>(r.getU32());
+        Family *fam = nullptr;
+        for (auto &f : families_) {
+            if (f->name == name) {
+                fam = f.get();
+                break;
+            }
+        }
+        if (!fam)
+            util::fatal("metrics restore: snapshot family '%s' not "
+                        "registered in this run — config mismatch",
+                        name.c_str());
+        if (fam->kind != kind)
+            util::fatal("metrics restore: family '%s' kind mismatch",
+                        name.c_str());
+        auto series = static_cast<size_t>(r.getU64());
+        if (series != fam->series.size())
+            util::fatal("metrics restore: family '%s' has %zu series in "
+                        "snapshot, %zu registered",
+                        name.c_str(), series, fam->series.size());
+        for (size_t j = 0; j < series; ++j) {
+            std::string label = r.getString();
+            Series *target = nullptr;
+            for (auto &s : fam->series) {
+                if (s.label == label) {
+                    target = &s;
+                    break;
+                }
+            }
+            if (!target)
+                util::fatal("metrics restore: series '%s' of family '%s' "
+                            "not registered in this run",
+                            label.c_str(), name.c_str());
+            switch (kind) {
+              case Kind::Counter:
+                target->counter->restore(r.getDouble());
+                break;
+              case Kind::Gauge:
+                target->gauge->set(r.getDouble());
+                break;
+              case Kind::Histogram: {
+                std::vector<std::uint64_t> counts = r.getU64Vec();
+                std::uint64_t count = r.getU64();
+                double sum = r.getDouble();
+                target->histogram->restore(std::move(counts), count, sum);
+                break;
+              }
+            }
+        }
+    }
 }
 
 const char *

@@ -27,6 +27,8 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/snapshot.h"
+
 namespace nps {
 namespace obs {
 
@@ -36,6 +38,9 @@ class Counter
   public:
     void add(double v = 1.0) { value_ += v; }
     double value() const { return value_; }
+
+    /** Overwrite the count verbatim (checkpoint restore only). */
+    void restore(double v) { value_ = v; }
 
   private:
     double value_ = 0.0;
@@ -69,6 +74,10 @@ class Histogram
     const std::vector<std::uint64_t> &counts() const { return counts_; }
     std::uint64_t count() const { return count_; }
     double sum() const { return sum_; }
+
+    /** Overwrite buckets and totals verbatim (checkpoint restore only). */
+    void restore(std::vector<std::uint64_t> counts, std::uint64_t count,
+                 double sum);
 
   private:
     std::vector<double> bounds_;
@@ -138,6 +147,16 @@ class MetricsRegistry
 
     /** JSON export with the same deterministic ordering. */
     void writeJson(std::ostream &out) const;
+
+    /** Serialize every series' value(s), keyed by (family, label). */
+    void saveState(ckpt::SectionWriter &w) const;
+
+    /**
+     * Restore values into already-registered series matched by
+     * (family, label). Fatal when the snapshot's instrument set differs
+     * from the rebuilt registration (config mismatch).
+     */
+    void loadState(ckpt::SectionReader &r);
 
   private:
     struct Series

@@ -254,5 +254,54 @@ Cluster::lastEnclosurePower(EnclosureId id) const
     return last_.enclosure_power[id];
 }
 
+void
+Cluster::saveState(ckpt::SectionWriter &w) const
+{
+    w.putU64(servers_.size());
+    w.putU64(vms_.size());
+    for (ServerId srv : vm_server_)
+        w.putU64(srv);
+    for (const Server &srv : servers_)
+        srv.saveState(w);
+    for (const VirtualMachine &vm : vms_)
+        vm.saveState(w);
+    w.putDouble(last_.total_power);
+    w.putDoubleVec(last_.enclosure_power);
+    w.putDouble(last_.demanded_useful);
+    w.putDouble(last_.served_useful);
+}
+
+void
+Cluster::loadState(ckpt::SectionReader &r)
+{
+    auto n_servers = static_cast<size_t>(r.getU64());
+    auto n_vms = static_cast<size_t>(r.getU64());
+    if (n_servers != servers_.size() || n_vms != vms_.size())
+        util::fatal("cluster restore: snapshot has %zu servers / %zu VMs, "
+                    "rebuilt cluster has %zu / %zu — config/topology "
+                    "mismatch",
+                    n_servers, n_vms, servers_.size(), vms_.size());
+    for (VmId vm = 0; vm < vms_.size(); ++vm) {
+        auto dst = static_cast<ServerId>(r.getU64());
+        if (dst >= servers_.size())
+            util::fatal("cluster restore: VM %u placed on server %u, out "
+                        "of range",
+                        vm, dst);
+        placeVm(vm, dst);
+    }
+    for (Server &srv : servers_)
+        srv.loadState(r);
+    for (VirtualMachine &vm : vms_)
+        vm.loadState(r);
+    last_.total_power = r.getDouble();
+    last_.enclosure_power = r.getDoubleVec();
+    last_.demanded_useful = r.getDouble();
+    last_.served_useful = r.getDouble();
+    // Empty before the first evaluated tick; sized per-enclosure after.
+    if (!last_.enclosure_power.empty() &&
+        last_.enclosure_power.size() != enclosures_.size())
+        util::fatal("cluster restore: enclosure count mismatch");
+}
+
 } // namespace sim
 } // namespace nps

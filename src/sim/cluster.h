@@ -208,6 +208,20 @@ class Cluster
     double lastEnclosurePower(EnclosureId id) const;
 
     /// @}
+    /// @name Checkpointing
+    /// @{
+
+    /**
+     * Serialize all mutable state: VM placement, per-server and per-VM
+     * dynamic state, and the last-tick aggregate. Structure (servers,
+     * enclosures, traces, budgets) is rebuilt from config on restore.
+     */
+    void saveState(ckpt::SectionWriter &w) const;
+
+    /** Restore mutable state into an identically-built cluster. */
+    void loadState(ckpt::SectionReader &r);
+
+    /// @}
 
   private:
     void buildTopology(const Topology &topo);

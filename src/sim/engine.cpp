@@ -298,5 +298,52 @@ Engine::run(size_t ticks)
         runParallel(ticks);
 }
 
+void
+Engine::saveState(ckpt::SectionWriter &w) const
+{
+    w.putU64(now_);
+    std::vector<std::string> names;
+    names.reserve(actors_.size());
+    for (const auto &a : actors_)
+        names.push_back(a->name());
+    // Sorted: actors_ order depends on whether run() has executed yet.
+    std::sort(names.begin(), names.end());
+    w.putU64(names.size());
+    for (const auto &n : names)
+        w.putString(n);
+}
+
+void
+Engine::loadState(ckpt::SectionReader &r)
+{
+    now_ = static_cast<size_t>(r.getU64());
+    auto count = static_cast<size_t>(r.getU64());
+    std::vector<std::string> expect;
+    expect.reserve(count);
+    for (size_t i = 0; i < count; ++i)
+        expect.push_back(r.getString());
+    std::vector<std::string> names;
+    names.reserve(actors_.size());
+    for (const auto &a : actors_)
+        names.push_back(a->name());
+    std::sort(names.begin(), names.end());
+    if (names != expect) {
+        for (const auto &n : expect) {
+            if (std::find(names.begin(), names.end(), n) == names.end())
+                util::fatal("engine restore: snapshot actor '%s' missing "
+                            "from rebuilt roster — config/topology "
+                            "mismatch",
+                            n.c_str());
+        }
+        for (const auto &n : names) {
+            if (std::find(expect.begin(), expect.end(), n) == expect.end())
+                util::fatal("engine restore: rebuilt actor '%s' not in "
+                            "snapshot — config/topology mismatch",
+                            n.c_str());
+        }
+        util::fatal("engine restore: actor roster mismatch");
+    }
+}
+
 } // namespace sim
 } // namespace nps

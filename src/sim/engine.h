@@ -154,6 +154,19 @@ class Engine
     /** @return the next tick to be simulated. */
     size_t now() const { return now_; }
 
+    /**
+     * Serialize the clock and the actor roster (checkpointing). The
+     * roster is stored as a sorted name list and used purely as a
+     * consistency check on restore — actors serialize their own state.
+     */
+    void saveState(ckpt::SectionWriter &w) const;
+
+    /**
+     * Restore the clock; fatal when the rebuilt actor roster does not
+     * match the snapshot's (config/topology mismatch).
+     */
+    void loadState(ckpt::SectionReader &r);
+
   private:
     /**
      * One schedule segment: a maximal run of consecutive same-kind

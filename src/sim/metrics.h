@@ -76,6 +76,50 @@ class MetricsCollector
      */
     size_t longestGroupViolationRun() const { return longest_grp_run_; }
 
+    /** Serialize all accumulators and retained series (checkpointing). */
+    void
+    saveState(ckpt::SectionWriter &w) const
+    {
+        w.putU64(ticks_);
+        w.putDouble(energy_);
+        w.putDouble(peak_power_);
+        w.putDouble(demanded_);
+        w.putDouble(served_);
+        w.putU64(sm_violations_.total());
+        w.putU64(sm_violations_.hits());
+        w.putU64(em_violations_.total());
+        w.putU64(em_violations_.hits());
+        w.putU64(gm_violations_.total());
+        w.putU64(gm_violations_.hits());
+        w.putU64(cur_grp_run_);
+        w.putU64(longest_grp_run_);
+        w.putDoubleVec(power_series_);
+        w.putDoubleVec(perf_series_);
+    }
+
+    /** Restore all accumulators and series (checkpoint restore). */
+    void
+    loadState(ckpt::SectionReader &r)
+    {
+        ticks_ = static_cast<size_t>(r.getU64());
+        energy_ = r.getDouble();
+        peak_power_ = r.getDouble();
+        demanded_ = r.getDouble();
+        served_ = r.getDouble();
+        auto restoreRate = [&r](util::RateCounter &c) {
+            auto total = static_cast<size_t>(r.getU64());
+            auto hits = static_cast<size_t>(r.getU64());
+            c.restore(total, hits);
+        };
+        restoreRate(sm_violations_);
+        restoreRate(em_violations_);
+        restoreRate(gm_violations_);
+        cur_grp_run_ = static_cast<size_t>(r.getU64());
+        longest_grp_run_ = static_cast<size_t>(r.getU64());
+        power_series_ = r.getDoubleVec();
+        perf_series_ = r.getDoubleVec();
+    }
+
   private:
     bool keep_series_;
     size_t ticks_ = 0;

@@ -143,5 +143,71 @@ Recorder::writeCsv(std::ostream &out) const
     }
 }
 
+void
+Recorder::saveState(ckpt::SectionWriter &w) const
+{
+    auto putSizeVec = [&w](const std::vector<size_t> &v) {
+        w.putU64(v.size());
+        for (size_t x : v)
+            w.putU64(x);
+    };
+    auto putIntVec = [&w](const std::vector<int> &v) {
+        w.putU64(v.size());
+        for (int x : v)
+            w.putI64(x);
+    };
+    putSizeVec(ticks_);
+    putSizeVec(active_faults_);
+    w.putDoubleVec(group_power_);
+    w.putDoubleVec(group_served_);
+    w.putDoubleVec(group_demanded_);
+    w.putU64(server_power_.size());
+    for (size_t s = 0; s < server_power_.size(); ++s) {
+        w.putDoubleVec(server_power_[s]);
+        w.putDoubleVec(server_util_[s]);
+        putIntVec(server_pstate_[s]);
+    }
+    w.putU64(enclosure_power_.size());
+    for (const auto &v : enclosure_power_)
+        w.putDoubleVec(v);
+}
+
+void
+Recorder::loadState(ckpt::SectionReader &r)
+{
+    auto getSizeVec = [&r](std::vector<size_t> &v) {
+        v.resize(static_cast<size_t>(r.getU64()));
+        for (size_t &x : v)
+            x = static_cast<size_t>(r.getU64());
+    };
+    auto getIntVec = [&r](std::vector<int> &v) {
+        v.resize(static_cast<size_t>(r.getU64()));
+        for (int &x : v)
+            x = static_cast<int>(r.getI64());
+    };
+    getSizeVec(ticks_);
+    getSizeVec(active_faults_);
+    group_power_ = r.getDoubleVec();
+    group_served_ = r.getDoubleVec();
+    group_demanded_ = r.getDoubleVec();
+    auto servers = static_cast<size_t>(r.getU64());
+    if (servers != server_power_.size())
+        util::fatal("recorder restore: snapshot captured %zu servers, "
+                    "recorder is configured for %zu",
+                    servers, server_power_.size());
+    for (size_t s = 0; s < servers; ++s) {
+        server_power_[s] = r.getDoubleVec();
+        server_util_[s] = r.getDoubleVec();
+        getIntVec(server_pstate_[s]);
+    }
+    auto encs = static_cast<size_t>(r.getU64());
+    if (encs != enclosure_power_.size())
+        util::fatal("recorder restore: snapshot captured %zu enclosures, "
+                    "recorder is configured for %zu",
+                    encs, enclosure_power_.size());
+    for (auto &v : enclosure_power_)
+        v = r.getDoubleVec();
+}
+
 } // namespace sim
 } // namespace nps

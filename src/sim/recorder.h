@@ -94,6 +94,12 @@ class Recorder : public Actor
      */
     void writeCsv(std::ostream &out) const;
 
+    /** Serialize every captured series (checkpointing). */
+    void saveState(ckpt::SectionWriter &w) const;
+
+    /** Restore captured series into an identically-configured recorder. */
+    void loadState(ckpt::SectionReader &r);
+
   private:
     const Cluster &cluster_;
     Options options_;

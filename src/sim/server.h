@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/snapshot.h"
 #include "model/machine.h"
 #include "sim/vm.h"
 
@@ -156,6 +157,41 @@ class Server
     double lastRealUtil() const { return last_.real_util; }
 
     /// @}
+
+    /**
+     * Serialize mutable state (checkpointing). VM placement is restored
+     * separately by the Cluster, so vms_ is not included here.
+     */
+    void
+    saveState(ckpt::SectionWriter &w) const
+    {
+        w.putU32(static_cast<uint32_t>(power_state_));
+        w.putU64(boot_done_tick_);
+        w.putBool(ever_off_);
+        w.putU64(pstate_);
+        w.putBool(mem_low_power_);
+        w.putDouble(last_.power);
+        w.putDouble(last_.apparent_util);
+        w.putDouble(last_.real_util);
+        w.putDouble(last_.demanded_useful);
+        w.putDouble(last_.served_useful);
+    }
+
+    /** Restore mutable state (checkpoint restore). */
+    void
+    loadState(ckpt::SectionReader &r)
+    {
+        power_state_ = static_cast<PlatformPower>(r.getU32());
+        boot_done_tick_ = static_cast<size_t>(r.getU64());
+        ever_off_ = r.getBool();
+        pstate_ = static_cast<size_t>(r.getU64());
+        mem_low_power_ = r.getBool();
+        last_.power = r.getDouble();
+        last_.apparent_util = r.getDouble();
+        last_.real_util = r.getDouble();
+        last_.demanded_useful = r.getDouble();
+        last_.served_useful = r.getDouble();
+    }
 
     /** Fractional power trim when memory low-power mode is on. */
     static constexpr double kMemPowerTrim = 0.08;

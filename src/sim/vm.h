@@ -14,6 +14,7 @@
 #include <cstddef>
 #include <limits>
 
+#include "ckpt/snapshot.h"
 #include "trace/trace.h"
 
 namespace nps {
@@ -86,6 +87,26 @@ class VirtualMachine
      * demand on throttled machines.
      */
     double lastApparentShare() const { return last_apparent_share_; }
+
+    /** Serialize mutable state (checkpointing); the trace is rebuilt. */
+    void
+    saveState(ckpt::SectionWriter &w) const
+    {
+        w.putU64(migrating_until_);
+        w.putDouble(last_demanded_);
+        w.putDouble(last_served_);
+        w.putDouble(last_apparent_share_);
+    }
+
+    /** Restore mutable state (checkpoint restore). */
+    void
+    loadState(ckpt::SectionReader &r)
+    {
+        migrating_until_ = static_cast<size_t>(r.getU64());
+        last_demanded_ = r.getDouble();
+        last_served_ = r.getDouble();
+        last_apparent_share_ = r.getDouble();
+    }
 
   private:
     VmId id_;

@@ -58,6 +58,22 @@ class Rng
     /** @return true with probability @p p (clamped to [0,1]). */
     bool bernoulli(double p);
 
+    /** Copy the raw 256-bit generator state out (checkpointing). */
+    void
+    getState(uint64_t out[4]) const
+    {
+        for (int i = 0; i < 4; ++i)
+            out[i] = state_[i];
+    }
+
+    /** Overwrite the raw generator state (checkpoint restore). */
+    void
+    setState(const uint64_t in[4])
+    {
+        for (int i = 0; i < 4; ++i)
+            state_[i] = in[i];
+    }
+
     /** Fisher-Yates shuffle of [first, last). */
     template <typename It>
     void

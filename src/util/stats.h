@@ -105,6 +105,14 @@ class RateCounter
         hits_ = 0;
     }
 
+    /** Overwrite the counters verbatim (checkpoint restore only). */
+    void
+    restore(size_t total, size_t hits)
+    {
+        total_ = total;
+        hits_ = hits;
+    }
+
   private:
     size_t total_ = 0;
     size_t hits_ = 0;

@@ -1,0 +1,283 @@
+/**
+ * @file
+ * Kill-and-resume chaos harness. A child process runs the simulation
+ * tick by tick, writing a checkpoint every few ticks, and SIGKILLs
+ * itself at a randomized tick — including one variant that dies "mid
+ * checkpoint" with a partial temp file on disk. The parent then plays
+ * operator: scan the checkpoint directory newest-first, skip anything
+ * that fails validation (with the real loader, not a mock), restore the
+ * newest valid snapshot, finish the run, and require every artifact to
+ * match an uninterrupted reference byte for byte.
+ *
+ * Everything runs single-threaded: the engine spawns no pool at
+ * threads=1, so fork() is safe, and thread-count independence has its
+ * own coverage in test_resume.cpp.
+ */
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <random>
+#include <string>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#include <vector>
+
+#include "ckpt/ckpt_test_util.h"
+
+namespace {
+
+using namespace nps_ckpt_test;
+
+constexpr size_t kTotal = 360;
+constexpr size_t kEvery = 25; // checkpoint cadence (ticks)
+
+/** The campaign for the faulty variant: activity on both sides of any
+ *  kill tick in [kEvery, kTotal). */
+constexpr const char *kFaults = "outage sm 2 40 150\n"
+                                "drop gm-em * 100 200 0.5\n"
+                                "stale em-sm 1 120 240\n"
+                                "outage ec 0 220 300";
+
+std::string
+makeTempDir()
+{
+    std::string tmpl = ::testing::TempDir() + "/nps_chaos_XXXXXX";
+    std::vector<char> buf(tmpl.begin(), tmpl.end());
+    buf.push_back('\0');
+    if (!::mkdtemp(buf.data()))
+        ADD_FAILURE() << "mkdtemp failed for " << tmpl;
+    return buf.data();
+}
+
+void
+removeTree(const std::string &dir)
+{
+    for (const std::string &n : listCkpts(dir))
+        std::remove((dir + "/" + n).c_str());
+    std::remove((dir + "/" + ckptName(9999999999ull) + ".tmp").c_str());
+    ::rmdir(dir.c_str());
+}
+
+/**
+ * Child body: run @p c tick by tick, checkpointing every kEvery ticks,
+ * and die by SIGKILL at @p kill_tick. When @p partial_tmp, also leave a
+ * half-written temp file behind first, as if the kill landed in the
+ * middle of the next checkpoint's write. Never returns.
+ */
+[[noreturn]] void
+childRun(const CkptCase &c, const std::string &dir, size_t kill_tick,
+         bool partial_tmp)
+{
+    Sim s = buildSim(c, 1);
+    for (size_t t = 0; t < kTotal;) {
+        s.coord->run(1);
+        ++t;
+        if (t % kEvery == 0)
+            writeCheckpoint(s, dir + "/" + ckptName(t));
+        if (t == kill_tick) {
+            if (partial_tmp) {
+                nps::ckpt::SnapshotWriter w;
+                s.coord->saveState(w);
+                std::string bytes = w.serialize();
+                std::ofstream out(dir + "/" + ckptName(9999999999ull) +
+                                      ".tmp",
+                                  std::ios::binary);
+                out.write(bytes.data(),
+                          static_cast<std::streamsize>(bytes.size() / 2));
+            }
+            ::raise(SIGKILL);
+        }
+    }
+    ::_exit(0); // kill_tick past the end: nothing to test, but be clean
+}
+
+/** Fork the child, wait, and assert it really died by SIGKILL. */
+void
+runAndKill(const CkptCase &c, const std::string &dir, size_t kill_tick,
+           bool partial_tmp = false)
+{
+    pid_t pid = ::fork();
+    ASSERT_GE(pid, 0) << "fork failed";
+    if (pid == 0)
+        childRun(c, dir, kill_tick, partial_tmp); // never returns
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFSIGNALED(status)) << "child exited instead of dying";
+    ASSERT_EQ(WTERMSIG(status), SIGKILL);
+}
+
+/**
+ * The operator's recovery procedure: newest valid checkpoint wins,
+ * corrupt ones are skipped. @return the tick resumed from, or SIZE_MAX
+ * when no checkpoint in @p dir validates.
+ */
+size_t
+resumeNewestValid(const CkptCase &c, const std::string &dir, Sim &out)
+{
+    for (const std::string &name : listCkpts(dir)) {
+        nps::ckpt::SnapshotReader snap;
+        std::string err;
+        if (!snap.load(dir + "/" + name, err))
+            continue; // npsim warns here; the test just moves on
+        out = buildSim(c, 1);
+        restoreSim(out, snap);
+        return ckptTick(name);
+    }
+    return static_cast<size_t>(-1);
+}
+
+/** Kill at @p kill_tick, recover, finish, compare against @p want. */
+void
+killResumeCompare(const CkptCase &c, size_t kill_tick,
+                  const Artifacts &want, bool partial_tmp = false)
+{
+    std::string dir = makeTempDir();
+    runAndKill(c, dir, kill_tick, partial_tmp);
+
+    Sim resumed;
+    size_t from = resumeNewestValid(c, dir, resumed);
+    ASSERT_NE(from, static_cast<size_t>(-1))
+        << "no valid checkpoint after kill at tick " << kill_tick;
+    EXPECT_EQ(from, kill_tick / kEvery * kEvery)
+        << "resumed from an unexpected checkpoint";
+    resumed.coord->run(kTotal - from);
+    expectIdentical(want, collect(resumed));
+    removeTree(dir);
+}
+
+TEST(ChaosKillTest, RandomizedKillPointsResumeIdentically)
+{
+    CkptCase c;
+    Sim ref = buildSim(c, 1);
+    ref.coord->run(kTotal);
+    Artifacts want = collect(ref);
+
+    // Fixed seed: the campaign is random-looking but reproducible.
+    std::mt19937 rng(20080301u);
+    std::uniform_int_distribution<size_t> pick(kEvery, kTotal - 1);
+    for (int i = 0; i < 4; ++i)
+        killResumeCompare(c, pick(rng), want);
+    // And the worst cases by construction: right after a checkpoint
+    // completes, and right before the next one starts.
+    killResumeCompare(c, kEvery, want);
+    killResumeCompare(c, 2 * kEvery - 1, want);
+}
+
+TEST(ChaosKillTest, FaultCampaignReplaysIdenticallyAcrossKill)
+{
+    CkptCase c;
+    c.faults = kFaults;
+    Sim ref = buildSim(c, 1);
+    ref.coord->run(kTotal);
+    Artifacts want = collect(ref);
+
+    std::mt19937 rng(42u);
+    std::uniform_int_distribution<size_t> pick(kEvery, kTotal - 1);
+    for (int i = 0; i < 3; ++i)
+        killResumeCompare(c, pick(rng), want);
+    // A kill inside the outage/stale windows specifically.
+    killResumeCompare(c, 130, want);
+}
+
+TEST(ChaosKillTest, KillMidCheckpointLeavesRecoverableState)
+{
+    // The child dies with a half-written .tmp on disk. The scan must
+    // ignore it and resume from the last completed checkpoint.
+    CkptCase c;
+    Sim ref = buildSim(c, 1);
+    ref.coord->run(kTotal);
+    Artifacts want = collect(ref);
+    killResumeCompare(c, 137, want, /*partial_tmp=*/true);
+}
+
+TEST(ChaosKillTest, CorruptedNewestFallsBackToPrevious)
+{
+    CkptCase c;
+    Sim ref = buildSim(c, 1);
+    ref.coord->run(kTotal);
+    Artifacts want = collect(ref);
+
+    std::string dir = makeTempDir();
+    runAndKill(c, dir, 137); // checkpoints at 25,50,...,125
+    std::vector<std::string> names = listCkpts(dir);
+    ASSERT_GE(names.size(), 2u);
+
+    // Flip one payload byte in the newest checkpoint: CRC catches it.
+    {
+        std::string path = dir + "/" + names[0];
+        std::fstream f(path, std::ios::in | std::ios::out |
+                                 std::ios::binary | std::ios::ate);
+        ASSERT_TRUE(f.good());
+        auto size = static_cast<std::streamoff>(f.tellg());
+        f.seekg(size - 5);
+        char b = 0;
+        f.get(b);
+        f.seekp(size - 5);
+        f.put(static_cast<char>(b ^ 0x40));
+    }
+
+    Sim resumed;
+    size_t from = resumeNewestValid(c, dir, resumed);
+    ASSERT_EQ(from, ckptTick(names[1])) << "did not fall back";
+    resumed.coord->run(kTotal - from);
+    expectIdentical(want, collect(resumed));
+    removeTree(dir);
+}
+
+TEST(ChaosKillTest, TruncatedNewestFallsBackToPrevious)
+{
+    CkptCase c;
+    Sim ref = buildSim(c, 1);
+    ref.coord->run(kTotal);
+    Artifacts want = collect(ref);
+
+    std::string dir = makeTempDir();
+    runAndKill(c, dir, 112);
+    std::vector<std::string> names = listCkpts(dir);
+    ASSERT_GE(names.size(), 2u);
+
+    // Chop the newest checkpoint roughly in half.
+    {
+        std::string path = dir + "/" + names[0];
+        std::ifstream in(path, std::ios::binary);
+        std::string bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+        in.close();
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size() / 2));
+    }
+
+    Sim resumed;
+    size_t from = resumeNewestValid(c, dir, resumed);
+    ASSERT_EQ(from, ckptTick(names[1])) << "did not fall back";
+    resumed.coord->run(kTotal - from);
+    expectIdentical(want, collect(resumed));
+    removeTree(dir);
+}
+
+TEST(ChaosKillTest, AllCheckpointsCorruptMeansNoResume)
+{
+    CkptCase c;
+    std::string dir = makeTempDir();
+    runAndKill(c, dir, 60); // checkpoints at 25, 50
+    std::vector<std::string> names = listCkpts(dir);
+    ASSERT_GE(names.size(), 2u);
+    for (const std::string &n : names) {
+        std::ofstream out(dir + "/" + n,
+                          std::ios::binary | std::ios::trunc);
+        out << "garbage";
+    }
+    Sim resumed;
+    EXPECT_EQ(resumeNewestValid(c, dir, resumed),
+              static_cast<size_t>(-1))
+        << "corrupt checkpoints must not validate";
+    removeTree(dir);
+}
+
+} // namespace

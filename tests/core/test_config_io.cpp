@@ -132,4 +132,30 @@ TEST(ConfigIo, LoadFromFile)
     EXPECT_FALSE(cfg.coordinated);
 }
 
+TEST(ConfigIo, TypoedKeyInRecognizedSectionDiesNamingBoth)
+{
+    // A typo inside a *known* section must not fall back to the default
+    // silently, and the error has to name both the key and the section.
+    EXPECT_DEATH(configFromIni(util::parseIni("[sm]\nlease_tiks = 12\n")),
+                 "unknown key 'lease_tiks' in \\[sm\\]");
+    EXPECT_DEATH(configFromIni(util::parseIni("[gm]\nperiodd = 60\n")),
+                 "unknown key 'periodd' in \\[gm\\]");
+}
+
+TEST(ConfigIo, NumbersRoundTripBitExactly)
+{
+    // Checkpoint resume rebuilds the simulation from configToIni text,
+    // so every double must round-trip to the identical bit pattern —
+    // including values %g's 6 significant digits cannot represent.
+    CoordinationConfig original;
+    original.ec.lambda = 0.1 + 0.2; // 0.30000000000000004
+    original.sm.beta = 1.0 / 3.0;
+    original.vmc.capacity_target = 0.7000000000000001;
+
+    auto back = configFromIni(configToIni(original));
+    EXPECT_EQ(back.ec.lambda, original.ec.lambda);
+    EXPECT_EQ(back.sm.beta, original.sm.beta);
+    EXPECT_EQ(back.vmc.capacity_target, original.vmc.capacity_target);
+}
+
 } // namespace

@@ -12,14 +12,30 @@
  *   npsim --scenario uncoordinated --mix 60HH --machine ServerB \
  *         --ticks 5760 --budgets 25-20-15
  *   npsim --scenario coordinated --series out.csv
+ *   npsim --checkpoint-every 200 --checkpoint-dir ckpts
+ *   npsim --resume latest --checkpoint-dir ckpts --record out.csv
+ *
+ * Checkpointing (docs/CHECKPOINTING.md): --checkpoint-every writes a
+ * crash-safe snapshot after every chunk of ticks; --resume restores one
+ * and continues byte-identically to an uninterrupted run. The snapshot
+ * embeds the resolved configuration and topology, so a resumed run needs
+ * no --scenario/--config/--faults flags — only the output paths.
  */
 
+#include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <dirent.h>
 #include <fstream>
 #include <iterator>
+#include <sstream>
 #include <string>
+#include <sys/stat.h>
+#include <vector>
 
+#include "ckpt/atomic_io.h"
+#include "ckpt/snapshot.h"
 #include "core/config_io.h"
 #include "fault/fault.h"
 #include "fault/injector.h"
@@ -28,6 +44,7 @@
 #include "core/scenarios.h"
 #include "sim/recorder.h"
 #include "util/csv.h"
+#include "util/ini.h"
 #include "util/logging.h"
 
 namespace {
@@ -52,8 +69,13 @@ struct Args
     std::string trace_filter;
     std::string profile_path;
     std::string log_level;
+    std::string checkpoint_dir;
+    size_t checkpoint_every = 0;
+    std::string resume; //!< snapshot file, or "latest"
     unsigned record_stride = 1;
+    bool record_stride_set = false;
     size_t ticks = 2880;
+    bool ticks_set = false;
     uint64_t seed = 20080301;
     unsigned threads = 0;
     bool threads_set = false;
@@ -105,7 +127,15 @@ usage()
         "  --series FILE  dump per-tick power/perf series as CSV\n"
         "  --record FILE  dump per-server/enclosure telemetry as CSV\n"
         "  --record-stride N  telemetry sampling stride (default 1,\n"
-        "                 matching sim::Recorder::Options)\n");
+        "                 matching sim::Recorder::Options)\n"
+        "  --checkpoint-every N  write a crash-safe snapshot after every\n"
+        "                 N ticks (needs --checkpoint-dir)\n"
+        "  --checkpoint-dir D  directory for ckpt-<tick>.nps snapshots\n"
+        "  --resume WHAT  continue from a snapshot: a file path, or\n"
+        "                 'latest' to pick the newest valid snapshot in\n"
+        "                 --checkpoint-dir (corrupt files are skipped\n"
+        "                 with a warning); the resumed run reproduces an\n"
+        "                 uninterrupted one byte-for-byte\n");
     std::exit(0);
 }
 
@@ -128,8 +158,11 @@ parse(int argc, char **argv)
             args.mix = need(i), ++i;
         else if (a == "--budgets")
             args.budgets = need(i), ++i;
-        else if (a == "--ticks")
-            args.ticks = std::strtoull(need(i), nullptr, 10), ++i;
+        else if (a == "--ticks") {
+            args.ticks = std::strtoull(need(i), nullptr, 10);
+            args.ticks_set = true;
+            ++i;
+        }
         else if (a == "--seed")
             args.seed = std::strtoull(need(i), nullptr, 10), ++i;
         else if (a == "--threads") {
@@ -173,9 +206,19 @@ parse(int argc, char **argv)
             args.series_path = need(i), ++i;
         else if (a == "--record")
             args.record_path = need(i), ++i;
-        else if (a == "--record-stride")
+        else if (a == "--record-stride") {
             args.record_stride = static_cast<unsigned>(
-                std::strtoul(need(i), nullptr, 10)), ++i;
+                std::strtoul(need(i), nullptr, 10));
+            args.record_stride_set = true;
+            ++i;
+        }
+        else if (a == "--checkpoint-every")
+            args.checkpoint_every = std::strtoull(need(i), nullptr, 10),
+            ++i;
+        else if (a == "--checkpoint-dir")
+            args.checkpoint_dir = need(i), ++i;
+        else if (a == "--resume")
+            args.resume = need(i), ++i;
         else if (a == "--two-pstates")
             args.two_pstates = true;
         else if (a == "--no-power-off")
@@ -270,6 +313,153 @@ mixFor(const std::string &name)
     util::fatal("unknown mix '%s'", name.c_str());
 }
 
+/**
+ * Everything a resumed run needs to rebuild the simulation that wrote
+ * the snapshot, stored in the npsim-level "meta" section: the resolved
+ * config and topology as INI text (bit-exact round trip) plus the
+ * driver inputs that live outside the config.
+ */
+struct ResumeMeta
+{
+    std::string config_ini;
+    std::string topo_ini;
+    std::string scenario;
+    std::string machine;
+    std::string mix;
+    std::string budgets;
+    bool two_pstates = false;
+    uint64_t seed = 0;
+    size_t total_ticks = 0;
+    size_t done_ticks = 0;
+    unsigned record_stride = 1;
+    bool has_recorder = false;
+    bool keep_series = false;
+};
+
+void
+writeMeta(ckpt::SectionWriter &w, const Args &args,
+          const core::CoordinationConfig &cfg, const sim::Topology &topo,
+          size_t done, bool has_recorder, bool keep_series)
+{
+    w.putString(core::configToIni(cfg).toText());
+    w.putString(core::topologyToIni(topo).toText());
+    w.putString(args.scenario);
+    w.putString(args.machine);
+    w.putString(args.mix);
+    w.putString(args.budgets);
+    w.putBool(args.two_pstates);
+    w.putU64(args.seed);
+    w.putU64(args.ticks);
+    w.putU64(done);
+    w.putU32(args.record_stride);
+    w.putBool(has_recorder);
+    w.putBool(keep_series);
+}
+
+ResumeMeta
+readMeta(const ckpt::SnapshotReader &snap)
+{
+    if (!snap.has("meta"))
+        util::fatal("checkpoint %s has no 'meta' section — not written "
+                    "by npsim", snap.path().c_str());
+    ckpt::SectionReader r = snap.section("meta");
+    ResumeMeta m;
+    m.config_ini = r.getString();
+    m.topo_ini = r.getString();
+    m.scenario = r.getString();
+    m.machine = r.getString();
+    m.mix = r.getString();
+    m.budgets = r.getString();
+    m.two_pstates = r.getBool();
+    m.seed = r.getU64();
+    m.total_ticks = static_cast<size_t>(r.getU64());
+    m.done_ticks = static_cast<size_t>(r.getU64());
+    m.record_stride = r.getU32();
+    m.has_recorder = r.getBool();
+    m.keep_series = r.getBool();
+    r.expectEnd();
+    return m;
+}
+
+std::string
+checkpointPath(const std::string &dir, size_t tick)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "ckpt-%010zu.nps", tick);
+    return dir + "/" + buf;
+}
+
+void
+ensureDir(const std::string &dir)
+{
+    if (::mkdir(dir.c_str(), 0755) == 0)
+        return;
+    if (errno == EEXIST) {
+        struct stat st;
+        if (::stat(dir.c_str(), &st) == 0 && S_ISDIR(st.st_mode))
+            return;
+        util::fatal("checkpoint dir %s exists but is not a directory",
+                    dir.c_str());
+    }
+    util::fatal("cannot create checkpoint dir %s: %s", dir.c_str(),
+                std::strerror(errno));
+}
+
+/** Names of ckpt-*.nps files in @p dir, newest (highest tick) first. */
+std::vector<std::string>
+listCheckpoints(const std::string &dir)
+{
+    DIR *d = ::opendir(dir.c_str());
+    if (!d)
+        util::fatal("cannot open checkpoint dir %s: %s", dir.c_str(),
+                    std::strerror(errno));
+    std::vector<std::string> names;
+    while (struct dirent *e = ::readdir(d)) {
+        std::string name = e->d_name;
+        if (name.size() > 9 && name.compare(0, 5, "ckpt-") == 0 &&
+            name.compare(name.size() - 4, 4, ".nps") == 0)
+            names.push_back(name);
+    }
+    ::closedir(d);
+    // Tick numbers are zero-padded, so lexicographic order is tick order.
+    std::sort(names.rbegin(), names.rend());
+    return names;
+}
+
+/**
+ * Load the snapshot named by --resume into @p snap and return its path.
+ * A file path is loaded strictly (corruption is fatal); 'latest' walks
+ * the checkpoint dir newest-first, skipping corrupt snapshots with a
+ * warning so a crash mid-write falls back to the previous one.
+ */
+std::string
+loadResumeSnapshot(const Args &args, ckpt::SnapshotReader &snap)
+{
+    std::string err;
+    if (args.resume != "latest") {
+        if (!snap.load(args.resume, err))
+            util::fatal("cannot resume from %s: %s", args.resume.c_str(),
+                        err.c_str());
+        return args.resume;
+    }
+    if (args.checkpoint_dir.empty())
+        util::fatal("--resume latest needs --checkpoint-dir");
+    std::vector<std::string> names = listCheckpoints(args.checkpoint_dir);
+    if (names.empty())
+        util::fatal("no checkpoints (ckpt-*.nps) in %s",
+                    args.checkpoint_dir.c_str());
+    for (const std::string &name : names) {
+        std::string path = args.checkpoint_dir + "/" + name;
+        if (snap.load(path, err))
+            return path;
+        util::warn("skipping corrupt checkpoint %s: %s", path.c_str(),
+                   err.c_str());
+    }
+    util::fatal("no valid checkpoint in %s: all %zu candidates are "
+                "corrupt or unreadable", args.checkpoint_dir.c_str(),
+                names.size());
+}
+
 } // namespace
 
 int
@@ -283,22 +473,76 @@ main(int argc, char **argv)
                         "or error)", args.log_level.c_str());
         util::setLogLevel(level);
     }
-    core::CoordinationConfig cfg = configFor(args);
-    if (!args.metrics_path.empty())
-        cfg.observability.metrics = true;
-    if (!args.trace_path.empty()) {
-        cfg.observability.trace = true;
-        cfg.observability.trace_filter = args.trace_filter;
+    bool resuming = !args.resume.empty();
+    if (args.checkpoint_every > 0 && args.checkpoint_dir.empty())
+        util::fatal("--checkpoint-every needs --checkpoint-dir");
+
+    ckpt::SnapshotReader snap;
+    ResumeMeta meta;
+    std::string resume_path;
+    if (resuming) {
+        if (!args.config_path.empty() || !args.faults_path.empty() ||
+            !args.topology_path.empty())
+            util::fatal("--resume cannot be combined with --config, "
+                        "--faults or --topology: the checkpoint embeds "
+                        "the original configuration and topology");
+        resume_path = loadResumeSnapshot(args, snap);
+        meta = readMeta(snap);
+        // The simulation's identity comes from the snapshot; the resume
+        // command line only names output files (and may extend --ticks
+        // or change --threads — both preserve byte-identical results).
+        args.scenario = meta.scenario;
+        args.machine = meta.machine;
+        args.mix = meta.mix;
+        args.budgets = meta.budgets;
+        args.two_pstates = meta.two_pstates;
+        args.seed = meta.seed;
+        if (!args.ticks_set)
+            args.ticks = meta.total_ticks;
+        if (args.record_stride_set &&
+            args.record_stride != meta.record_stride)
+            util::fatal("--record-stride %u does not match the stride %u "
+                        "the checkpointed run recorded with",
+                        args.record_stride, meta.record_stride);
+        args.record_stride = meta.record_stride;
     }
-    if (!args.profile_path.empty())
-        cfg.observability.profile = true;
-    if (!args.faults_path.empty()) {
-        cfg.faults.script = readFile(args.faults_path);
-        fault::FaultSchedule::parse(cfg.faults.script); // validate early
-        cfg.faults.enabled = true;
+
+    core::CoordinationConfig cfg;
+    sim::Topology topo;
+    if (resuming) {
+        cfg = core::configFromIni(util::parseIni(meta.config_ini));
+        topo = core::topologyFromIni(util::parseIni(meta.topo_ini));
+        if (args.threads_set)
+            cfg.threads = args.threads;
+        if (!args.metrics_path.empty() && !cfg.observability.metrics)
+            util::fatal("--metrics on resume, but the checkpointed run "
+                        "did not enable metrics");
+        if (!args.trace_path.empty() && !cfg.observability.trace)
+            util::fatal("--trace on resume, but the checkpointed run "
+                        "did not enable tracing");
+        if (!args.control_log_path.empty() && !cfg.log_control_plane)
+            util::fatal("--control-log on resume, but the checkpointed "
+                        "run did not log the control plane");
+        if (!args.profile_path.empty())
+            cfg.observability.profile = true; // wall clock only, no state
+    } else {
+        cfg = configFor(args);
+        if (!args.metrics_path.empty())
+            cfg.observability.metrics = true;
+        if (!args.trace_path.empty()) {
+            cfg.observability.trace = true;
+            cfg.observability.trace_filter = args.trace_filter;
+        }
+        if (!args.profile_path.empty())
+            cfg.observability.profile = true;
+        if (!args.faults_path.empty()) {
+            cfg.faults.script = readFile(args.faults_path);
+            fault::FaultSchedule::parse(cfg.faults.script); // validate early
+            cfg.faults.enabled = true;
+        }
+        if (!args.control_log_path.empty())
+            cfg.log_control_plane = true;
     }
-    if (!args.control_log_path.empty())
-        cfg.log_control_plane = true;
     if (args.dump_config) {
         std::printf("%s", core::configToIni(cfg).toText().c_str());
         return 0;
@@ -313,9 +557,10 @@ main(int argc, char **argv)
     if (args.two_pstates)
         machine = machine.extremesOnly();
 
-    sim::Topology topo = args.topology_path.empty()
-                             ? core::ExperimentRunner::topologyFor(mix)
-                             : core::loadTopologyFile(args.topology_path);
+    if (!resuming)
+        topo = args.topology_path.empty()
+                   ? core::ExperimentRunner::topologyFor(mix)
+                   : core::loadTopologyFile(args.topology_path);
     // Fail before any construction: a topology too small for the mix (or
     // structurally broken) should die with a message naming the inputs,
     // not surface as a mid-build error.
@@ -335,11 +580,24 @@ main(int argc, char **argv)
                     args.topology_path.empty() ? "(built-in)"
                                                : args.topology_path.c_str());
     }
-    bool keep_series = !args.series_path.empty();
+    bool keep_series = !args.series_path.empty() ||
+                       (resuming && meta.keep_series);
+    if (resuming && !args.series_path.empty() && !meta.keep_series)
+        util::fatal("--series on resume, but the checkpointed run did "
+                    "not keep per-tick series; the original run must "
+                    "also use --series");
 
     core::Coordinator coordinator(cfg, topo, machine, library.mix(mix),
                                   keep_series);
     std::shared_ptr<sim::Recorder> recorder;
+    if (resuming && meta.has_recorder && args.record_path.empty())
+        util::fatal("the checkpointed run recorded telemetry; pass "
+                    "--record FILE when resuming (the Recorder is part "
+                    "of the checkpointed engine roster)");
+    if (resuming && !meta.has_recorder && !args.record_path.empty())
+        util::fatal("--record on resume, but the checkpoint has no "
+                    "recorder state; the original run must also use "
+                    "--record");
     if (!args.record_path.empty()) {
         sim::Recorder::Options opts;
         opts.stride = args.record_stride;
@@ -348,7 +606,49 @@ main(int argc, char **argv)
         recorder->setFaultInjector(coordinator.faultInjector());
         coordinator.engine().addActor(recorder);
     }
-    coordinator.run(args.ticks);
+
+    size_t done = 0;
+    if (resuming) {
+        coordinator.loadState(snap);
+        if (recorder) {
+            ckpt::SectionReader r = snap.section("recorder");
+            recorder->loadState(r);
+            r.expectEnd();
+        }
+        done = meta.done_ticks;
+        if (done > args.ticks)
+            util::fatal("checkpoint %s is at tick %zu, beyond --ticks "
+                        "%zu", resume_path.c_str(), done, args.ticks);
+        // Progress notes go to stderr so stdout stays byte-identical to
+        // an uninterrupted run.
+        std::fprintf(stderr, "npsim: resumed at tick %zu from %s\n",
+                     done, resume_path.c_str());
+    }
+
+    auto writeCheckpoint = [&](size_t at) {
+        ckpt::SnapshotWriter out;
+        coordinator.saveState(out);
+        if (recorder)
+            recorder->saveState(out.section("recorder"));
+        writeMeta(out.section("meta"), args, cfg, topo, at,
+                  recorder != nullptr, keep_series);
+        std::string path = checkpointPath(args.checkpoint_dir, at);
+        out.writeFile(path);
+        std::fprintf(stderr, "npsim: checkpoint %s (tick %zu)\n",
+                     path.c_str(), at);
+    };
+    if (args.checkpoint_every > 0) {
+        ensureDir(args.checkpoint_dir);
+        while (done < args.ticks) {
+            size_t chunk = std::min(args.checkpoint_every,
+                                    args.ticks - done);
+            coordinator.run(chunk);
+            done += chunk;
+            writeCheckpoint(done);
+        }
+    } else if (done < args.ticks) {
+        coordinator.run(args.ticks - done);
+    }
     sim::MetricsSummary m = coordinator.summary();
 
     core::Coordinator baseline(core::baselineConfig(), topo, machine,
@@ -394,57 +694,54 @@ main(int argc, char **argv)
                     (unsigned long long)d.noisy_reads);
     }
 
-    if (keep_series) {
-        std::ofstream out(args.series_path, std::ios::binary);
-        if (!out)
-            nps::util::fatal("cannot open %s", args.series_path.c_str());
+    // Every output below goes through writeFileAtomic: the file appears
+    // complete or not at all, and any I/O failure is fatal (non-zero
+    // exit) with the path and errno string.
+    if (!args.series_path.empty()) {
+        std::ostringstream out;
         nps::util::CsvWriter w(out);
         w.row("tick", "group_watts", "perf");
         const auto &power = coordinator.metrics().powerSeries();
         const auto &perf = coordinator.metrics().perfSeries();
         for (size_t t = 0; t < power.size(); ++t)
             w.row(static_cast<unsigned long>(t), power[t], perf[t]);
+        ckpt::writeFileAtomic(args.series_path, out.str());
         std::printf("series: wrote %zu rows to %s\n", power.size(),
                     args.series_path.c_str());
     }
     if (recorder) {
-        std::ofstream out(args.record_path, std::ios::binary);
-        if (!out)
-            nps::util::fatal("cannot open %s", args.record_path.c_str());
+        std::ostringstream out;
         recorder->writeCsv(out);
+        ckpt::writeFileAtomic(args.record_path, out.str());
         std::printf("record: wrote %zu samples to %s\n",
                     recorder->samples(), args.record_path.c_str());
     }
     if (!args.control_log_path.empty()) {
         const bus::ControlPlaneLog *log = coordinator.controlLog();
-        std::ofstream out(args.control_log_path, std::ios::binary);
-        if (!out)
-            nps::util::fatal("cannot open %s",
-                             args.control_log_path.c_str());
+        std::ostringstream out;
         log->writeCsv(out);
+        ckpt::writeFileAtomic(args.control_log_path, out.str());
         std::printf("control-log: wrote %zu events on %zu links to %s\n",
                     log->totalEvents(), log->numLinks(),
                     args.control_log_path.c_str());
     }
     if (!args.metrics_path.empty()) {
         const obs::MetricsRegistry *reg = coordinator.metricsRegistry();
-        std::ofstream out(args.metrics_path, std::ios::binary);
-        if (!out)
-            util::fatal("cannot open %s", args.metrics_path.c_str());
+        std::ostringstream out;
         if (wantsJson(args.metrics_path))
             reg->writeJson(out);
         else
             reg->writeProm(out);
+        ckpt::writeFileAtomic(args.metrics_path, out.str());
         std::printf("metrics: wrote %zu series in %zu families to %s\n",
                     reg->numSeries(), reg->numFamilies(),
                     args.metrics_path.c_str());
     }
     if (!args.trace_path.empty()) {
         const obs::TraceSink *trace = coordinator.traceSink();
-        std::ofstream out(args.trace_path, std::ios::binary);
-        if (!out)
-            util::fatal("cannot open %s", args.trace_path.c_str());
+        std::ostringstream out;
         trace->writeCsv(out);
+        ckpt::writeFileAtomic(args.trace_path, out.str());
         std::printf("trace: wrote %zu events on %zu channels to %s",
                     trace->totalEvents(), trace->numChannels(),
                     args.trace_path.c_str());
@@ -455,13 +752,12 @@ main(int argc, char **argv)
     }
     if (!args.profile_path.empty()) {
         const obs::EngineProfiler *prof = coordinator.profiler();
-        std::ofstream out(args.profile_path, std::ios::binary);
-        if (!out)
-            util::fatal("cannot open %s", args.profile_path.c_str());
+        std::ostringstream out;
         if (wantsJson(args.profile_path))
             prof->writeJson(out);
         else
             prof->writeTable(out);
+        ckpt::writeFileAtomic(args.profile_path, out.str());
         std::printf("profile: %zu ticks over %zu actors to %s\n",
                     prof->ticks(), prof->actorStats().size(),
                     args.profile_path.c_str());

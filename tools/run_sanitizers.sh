@@ -17,10 +17,13 @@ build_root="${1:-${repo_root}/build-san}"
 
 # The suites that exercise the parallel engine: the engine unit and
 # fuzz tests, the serial-vs-parallel determinism suite, the
-# golden-master scenarios (which run at threads = 1 and 4), and the
+# golden-master scenarios (which run at threads = 1 and 4), the
 # fault-injection chaos layer (whose injector queries run on the
-# sharded worker threads).
-test_regex='sim/test_engine|sim/test_engine_fuzz|integration/test_determinism|golden/test_golden_master|fault/test_injector|fault/test_chaos|fault/test_degradation'
+# sharded worker threads), and the checkpoint layer (snapshot format,
+# the resume-equality matrix that crosses thread counts, the
+# fork-and-SIGKILL chaos harness, and the link/lease edge suites the
+# restore path depends on).
+test_regex='sim/test_engine|sim/test_engine_fuzz|integration/test_determinism|golden/test_golden_master|fault/test_injector|fault/test_chaos|fault/test_degradation|ckpt/test_snapshot|ckpt/test_resume|ckpt/test_chaos_kill|bus/test_link_replay|controllers/test_lease_boundary'
 
 run_one() {
     local label="$1"
