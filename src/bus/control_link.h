@@ -80,7 +80,7 @@ class ControlLink
     ChannelKind kind_;
     std::string name_;
     uint64_t seq_ = 0;
-    std::vector<ControlEvent> *events_ = nullptr;
+    EventBuffer *events_ = nullptr;
 };
 
 /**

@@ -8,7 +8,7 @@
 namespace nps {
 namespace bus {
 
-std::vector<ControlEvent> *
+EventBuffer *
 ControlPlaneLog::channel(const std::string &name, ChannelKind kind)
 {
     for (const auto &l : links_) {

@@ -25,9 +25,15 @@
 
 #include "bus/messages.h"
 #include "ckpt/snapshot.h"
+#include "util/chunked_vector.h"
 
 namespace nps {
 namespace bus {
+
+/** Per-link event buffer: chunk-pooled so high-rate mirroring appends
+ * without vector doubling/moves, and element addresses stay stable for
+ * the merged view (util/chunked_vector.h). */
+using EventBuffer = util::ChunkedVector<ControlEvent, 256>;
 
 /**
  * The event log of the whole control plane.
@@ -40,7 +46,7 @@ class ControlPlaneLog
     {
         std::string name;
         ChannelKind kind = ChannelKind::Budget;
-        std::vector<ControlEvent> events;
+        EventBuffer events;
     };
 
     /** One entry of the merged view. */
@@ -56,8 +62,7 @@ class ControlPlaneLog
      * not thread-safe (appending to the returned buffer from the owning
      * sender is). Registering the same name twice is fatal.
      */
-    std::vector<ControlEvent> *channel(const std::string &name,
-                                       ChannelKind kind);
+    EventBuffer *channel(const std::string &name, ChannelKind kind);
 
     /** Number of registered links. */
     size_t numLinks() const { return links_.size(); }

@@ -58,6 +58,15 @@ baselineConfig()
 }
 
 CoordinationConfig
+fleetConfig()
+{
+    CoordinationConfig cfg = coordinatedConfig();
+    cfg.enable_vmc = false;
+    cfg.log_control_plane = false;
+    return cfg;
+}
+
+CoordinationConfig
 scenarioConfig(Scenario s)
 {
     switch (s) {

@@ -48,6 +48,16 @@ CoordinationConfig uncoordinatedConfig();
 /** Everything off: the normalization baseline. */
 CoordinationConfig baselineConfig();
 
+/**
+ * The fully coordinated stack tuned for synthetic fleets at 10k+ servers
+ * (sim/fleetgen.h): VM migration off (the bin-packing consolidation pass
+ * is cluster-global and O(VMs log VMs) per step — the scaling studies
+ * measure the per-tick control plane, not placement search) and all
+ * observation layers off so the hot path is what bench/macro_fleet
+ * times.
+ */
+CoordinationConfig fleetConfig();
+
 /** @return @p base with machine power-off disabled (Section 5.4). */
 CoordinationConfig withoutPowerOff(CoordinationConfig base);
 

@@ -23,14 +23,19 @@ Cluster::Cluster(const Topology &topo, const model::MachineSpec &spec,
                  const std::vector<trace::UtilizationTrace> &traces,
                  const BudgetConfig &budgets, double alpha_v,
                  double alpha_m)
-    : budgets_(budgets), alpha_v_(alpha_v), alpha_m_(alpha_m)
+    : server_store_(std::make_shared<ServerStateSoA>()),
+      vm_store_(std::make_shared<VmStateSoA>()), budgets_(budgets),
+      alpha_v_(alpha_v), alpha_m_(alpha_m)
 {
     auto shared = std::make_shared<const model::MachineSpec>(spec);
+    server_store_->resize(topo.num_servers);
     servers_.reserve(topo.num_servers);
     for (unsigned i = 0; i < topo.num_servers; ++i)
-        servers_.emplace_back(i, shared, alpha_v_, alpha_m_);
+        servers_.emplace_back(i, shared, alpha_v_, alpha_m_,
+                              server_store_, i);
     buildTopology(topo);
     initialPlacement(traces);
+    cacheBudgets();
 }
 
 Cluster::Cluster(
@@ -38,16 +43,21 @@ Cluster::Cluster(
     const std::vector<std::shared_ptr<const model::MachineSpec>> &specs,
     const std::vector<trace::UtilizationTrace> &traces,
     const BudgetConfig &budgets, double alpha_v, double alpha_m)
-    : budgets_(budgets), alpha_v_(alpha_v), alpha_m_(alpha_m)
+    : server_store_(std::make_shared<ServerStateSoA>()),
+      vm_store_(std::make_shared<VmStateSoA>()), budgets_(budgets),
+      alpha_v_(alpha_v), alpha_m_(alpha_m)
 {
     if (specs.size() != topo.num_servers)
         util::fatal("Cluster: %zu specs for %u servers", specs.size(),
                     topo.num_servers);
+    server_store_->resize(topo.num_servers);
     servers_.reserve(topo.num_servers);
     for (unsigned i = 0; i < topo.num_servers; ++i)
-        servers_.emplace_back(i, specs[i], alpha_v_, alpha_m_);
+        servers_.emplace_back(i, specs[i], alpha_v_, alpha_m_,
+                              server_store_, i);
     buildTopology(topo);
     initialPlacement(traces);
+    cacheBudgets();
 }
 
 void
@@ -78,13 +88,41 @@ Cluster::initialPlacement(
     if (traces.size() > servers_.size())
         util::fatal("Cluster: %zu workloads exceed %zu servers",
                     traces.size(), servers_.size());
+    vm_store_->resize(traces.size());
     vms_.reserve(traces.size());
     vm_server_.assign(traces.size(), kNoServer);
     for (VmId id = 0; id < traces.size(); ++id) {
-        vms_.emplace_back(id, traces[id]);
+        vms_.emplace_back(id, traces[id], vm_store_,
+                          static_cast<uint32_t>(id));
         vm_server_[id] = id;
         servers_[id].addVm(id);
     }
+}
+
+void
+Cluster::cacheBudgets()
+{
+    // Same expressions, same summation order as the former per-call
+    // accessors — cached once since specs never change after build.
+    server_max_.resize(servers_.size());
+    cap_loc_.resize(servers_.size());
+    for (size_t i = 0; i < servers_.size(); ++i) {
+        server_max_[i] = servers_[i].model().maxPower();
+        cap_loc_[i] = (1.0 - budgets_.loc_off_frac) * server_max_[i];
+    }
+    enc_max_.resize(enclosures_.size());
+    cap_enc_.resize(enclosures_.size());
+    for (size_t e = 0; e < enclosures_.size(); ++e) {
+        double sum = 0.0;
+        for (ServerId sid : enclosures_[e].members())
+            sum += server_max_[sid];
+        enc_max_[e] = sum;
+        cap_enc_[e] = (1.0 - budgets_.enc_off_frac) * sum;
+    }
+    group_max_ = 0.0;
+    for (const auto &s : servers_)
+        group_max_ += s.model().maxPower();
+    cap_grp_ = (1.0 - budgets_.grp_off_frac) * group_max_;
 }
 
 Server &
@@ -170,43 +208,45 @@ Cluster::migrateVm(VmId vm, ServerId dst, size_t tick,
 double
 Cluster::serverMaxPower(ServerId id) const
 {
-    return server(id).model().maxPower();
+    if (id >= server_max_.size())
+        util::panic("Cluster::serverMaxPower(%u): out of range", id);
+    return server_max_[id];
 }
 
 double
 Cluster::capLoc(ServerId id) const
 {
-    return (1.0 - budgets_.loc_off_frac) * serverMaxPower(id);
+    if (id >= cap_loc_.size())
+        util::panic("Cluster::capLoc(%u): out of range", id);
+    return cap_loc_[id];
 }
 
 double
 Cluster::enclosureMaxPower(EnclosureId id) const
 {
-    double sum = 0.0;
-    for (ServerId sid : enclosure(id).members())
-        sum += serverMaxPower(sid);
-    return sum;
+    if (id >= enc_max_.size())
+        util::panic("Cluster::enclosureMaxPower(%u): out of range", id);
+    return enc_max_[id];
 }
 
 double
 Cluster::capEnc(EnclosureId id) const
 {
-    return (1.0 - budgets_.enc_off_frac) * enclosureMaxPower(id);
+    if (id >= cap_enc_.size())
+        util::panic("Cluster::capEnc(%u): out of range", id);
+    return cap_enc_[id];
 }
 
 double
 Cluster::groupMaxPower() const
 {
-    double sum = 0.0;
-    for (const auto &s : servers_)
-        sum += s.model().maxPower();
-    return sum;
+    return group_max_;
 }
 
 double
 Cluster::capGrp() const
 {
-    return (1.0 - budgets_.grp_off_frac) * groupMaxPower();
+    return cap_grp_;
 }
 
 const ClusterTick &
@@ -231,17 +271,26 @@ Cluster::evaluateTick(size_t tick, util::ThreadPool *pool)
 
     // Phase 2: aggregate serially, in server-id order, on the calling
     // thread — the identical left-fold either way, so parallel and
-    // serial runs produce bit-identical sums.
-    last_ = ClusterTick{};
-    last_.enclosure_power.assign(enclosures_.size(), 0.0);
-    for (const auto &srv : servers_) {
-        const ServerTick &st = srv.last();
-        last_.total_power += st.power;
-        last_.demanded_useful += st.demanded_useful;
-        last_.served_useful += st.served_useful;
-        EnclosureId enc = server_enclosure_[srv.id()];
+    // serial runs produce bit-identical sums. The fold reads the SoA
+    // sensor arrays directly (cluster-owned servers are never reseated,
+    // so slot i is server i) and reuses last_'s buffers in place — no
+    // per-tick allocation.
+    last_.total_power = 0.0;
+    last_.demanded_useful = 0.0;
+    last_.served_useful = 0.0;
+    if (last_.enclosure_power.size() != enclosures_.size())
+        last_.enclosure_power.assign(enclosures_.size(), 0.0);
+    else
+        std::fill(last_.enclosure_power.begin(),
+                  last_.enclosure_power.end(), 0.0);
+    const ServerStateSoA &st = *server_store_;
+    for (size_t i = 0; i < servers_.size(); ++i) {
+        last_.total_power += st.power[i];
+        last_.demanded_useful += st.demanded_useful[i];
+        last_.served_useful += st.served_useful[i];
+        EnclosureId enc = server_enclosure_[i];
         if (enc != kNoEnclosure)
-            last_.enclosure_power[enc] += st.power;
+            last_.enclosure_power[enc] += st.power[i];
     }
     return last_;
 }

@@ -18,6 +18,7 @@
 #include "model/machine.h"
 #include "sim/enclosure.h"
 #include "sim/server.h"
+#include "sim/soa.h"
 #include "sim/topology.h"
 #include "sim/vm.h"
 #include "trace/trace.h"
@@ -223,11 +224,18 @@ class Cluster
 
     /// @}
 
+    /** Shared per-server dynamic state (slot == ServerId). The hot
+     * aggregation in evaluateTick folds over these arrays directly. */
+    const ServerStateSoA &serverState() const { return *server_store_; }
+
   private:
     void buildTopology(const Topology &topo);
     void initialPlacement(
         const std::vector<trace::UtilizationTrace> &traces);
+    void cacheBudgets();
 
+    std::shared_ptr<ServerStateSoA> server_store_;
+    std::shared_ptr<VmStateSoA> vm_store_;
     std::vector<Server> servers_;
     std::vector<Enclosure> enclosures_;
     std::vector<ServerId> standalone_;
@@ -238,6 +246,16 @@ class Cluster
     double alpha_v_;
     double alpha_m_;
     ClusterTick last_;
+
+    // Static caps, cached at construction (specs are immutable). The
+    // cached values are computed with exactly the arithmetic the
+    // accessors used to run per call, so goldens are bit-identical.
+    std::vector<double> server_max_;
+    std::vector<double> cap_loc_;
+    std::vector<double> enc_max_;
+    std::vector<double> cap_enc_;
+    double group_max_ = 0.0;
+    double cap_grp_ = 0.0;
 };
 
 } // namespace sim

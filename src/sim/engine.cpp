@@ -30,14 +30,15 @@ Engine::addActor(std::shared_ptr<Actor> actor)
     // instead of appending. The slot, not the registration time, is what
     // the stable coarse-first sort uses to break period ties, so the
     // replacement steps exactly where its predecessor did and the
-    // schedule stays deterministic.
-    for (auto &existing : actors_) {
-        if (existing->name() == actor->name()) {
-            existing = std::move(actor);
-            plan_dirty_ = true;
-            return;
-        }
+    // schedule stays deterministic. The name index keeps both paths
+    // O(1); preparePlan rebuilds it after the sort moves slots.
+    auto it = slot_of_.find(actor->name());
+    if (it != slot_of_.end()) {
+        actors_[it->second] = std::move(actor);
+        plan_dirty_ = true;
+        return;
     }
+    slot_of_.emplace(actor->name(), actors_.size());
     actors_.push_back(std::move(actor));
     plan_dirty_ = true;
 }
@@ -67,50 +68,94 @@ Engine::preparePlan()
                      [](const auto &a, const auto &b) {
                          return a->period() > b->period();
                      });
+    for (size_t i = 0; i < actors_.size(); ++i)
+        slot_of_[actors_[i]->name()] = i;
 
     if (threads_ > 1 && !pool_)
         pool_ = std::make_unique<util::ThreadPool>(threads_);
 
+    // Dispatch caches: raw pointers and periods in schedule order.
+    // period() is a constant of the actor (the paper's T_* control
+    // intervals), so hoisting the virtual call out of the tick loop is
+    // behaviour-preserving.
+    raw_.resize(actors_.size());
+    period_.resize(actors_.size());
+    for (size_t i = 0; i < actors_.size(); ++i) {
+        raw_[i] = actors_[i].get();
+        period_[i] = actors_[i]->period();
+    }
+
     // Static shard assignment: contiguous server-id blocks, one per
     // worker. Keys beyond the server count land in the last shard.
+    // Shardable runs are flattened shard-major so each worker walks one
+    // contiguous slice of indices per tick.
     plan_.clear();
     const size_t shards = threads_;
     const size_t servers = cluster_.numServers();
     const size_t block =
         std::max<size_t>(1, (servers + shards - 1) / shards);
+    std::vector<std::vector<size_t>> scratch;
+    auto flush = [&]() {
+        if (scratch.empty())
+            return;
+        Segment seg;
+        seg.shardable = true;
+        seg.begin.reserve(scratch.size() + 1);
+        seg.begin.push_back(0);
+        for (const auto &list : scratch) {
+            for (size_t idx : list) {
+                seg.flat.push_back(idx);
+                if (std::find(seg.fire.begin(), seg.fire.end(),
+                              period_[idx]) == seg.fire.end())
+                    seg.fire.push_back(period_[idx]);
+            }
+            seg.begin.push_back(seg.flat.size());
+        }
+        plan_.push_back(std::move(seg));
+        scratch.clear();
+    };
     for (size_t i = 0; i < actors_.size(); ++i) {
-        long key = actors_[i]->shardKey();
+        long key = raw_[i]->shardKey();
         if (key < 0) {
+            flush();
             Segment seg;
             seg.shardable = false;
             seg.actor = i;
             plan_.push_back(std::move(seg));
             continue;
         }
-        if (plan_.empty() || !plan_.back().shardable) {
-            Segment seg;
-            seg.shardable = true;
-            seg.per_shard.resize(shards);
-            plan_.push_back(std::move(seg));
-        }
+        if (scratch.empty())
+            scratch.resize(shards);
         size_t shard = std::min(static_cast<size_t>(key) / block,
                                 shards - 1);
-        plan_.back().per_shard[shard].push_back(i);
+        scratch[shard].push_back(i);
     }
+    flush();
     plan_dirty_ = false;
+}
+
+/** True when any of the segment's distinct periods fires at @p tick. */
+static bool
+segmentFires(const std::vector<unsigned> &fire, size_t tick)
+{
+    for (unsigned p : fire)
+        if (tick % p == 0)
+            return true;
+    return false;
 }
 
 void
 Engine::runSerial(size_t ticks)
 {
+    const size_t count = raw_.size();
     for (size_t i = 0; i < ticks; ++i) {
         size_t tick = now_;
-        for (auto &actor : actors_)
+        for (Actor *actor : raw_)
             actor->observe(tick);
         if (tick > 0) {
-            for (auto &actor : actors_) {
-                if (tick % actor->period() == 0)
-                    actor->step(tick);
+            for (size_t a = 0; a < count; ++a) {
+                if (tick % period_[a] == 0)
+                    raw_[a]->step(tick);
             }
         }
         cluster_.evaluateTick(tick);
@@ -127,27 +172,32 @@ Engine::runParallel(size_t ticks)
         size_t tick = now_;
         for (const Segment &seg : plan_) {
             if (!seg.shardable) {
-                actors_[seg.actor]->observe(tick);
+                raw_[seg.actor]->observe(tick);
                 continue;
             }
-            pool.parallelFor(seg.per_shard.size(), [&](size_t s) {
-                for (size_t idx : seg.per_shard[s])
-                    actors_[idx]->observe(tick);
+            pool.parallelFor(seg.begin.size() - 1, [&](size_t s) {
+                for (size_t k = seg.begin[s]; k < seg.begin[s + 1]; ++k)
+                    raw_[seg.flat[k]]->observe(tick);
             });
         }
         if (tick > 0) {
             for (const Segment &seg : plan_) {
                 if (!seg.shardable) {
-                    Actor &actor = *actors_[seg.actor];
-                    if (tick % actor.period() == 0)
-                        actor.step(tick);
+                    if (tick % period_[seg.actor] == 0)
+                        raw_[seg.actor]->step(tick);
                     continue;
                 }
-                pool.parallelFor(seg.per_shard.size(), [&](size_t s) {
-                    for (size_t idx : seg.per_shard[s]) {
-                        Actor &actor = *actors_[idx];
-                        if (tick % actor.period() == 0)
-                            actor.step(tick);
+                // Skipping the dispatch when no member period divides
+                // the tick is exact: every worker would have fired zero
+                // steps.
+                if (!segmentFires(seg.fire, tick))
+                    continue;
+                pool.parallelFor(seg.begin.size() - 1, [&](size_t s) {
+                    for (size_t k = seg.begin[s]; k < seg.begin[s + 1];
+                         ++k) {
+                        size_t idx = seg.flat[k];
+                        if (tick % period_[idx] == 0)
+                            raw_[idx]->step(tick);
                     }
                 });
             }
@@ -188,17 +238,17 @@ Engine::runSerialProfiled(size_t ticks)
     Clock::time_point run_start = Clock::now();
     for (size_t i = 0; i < ticks; ++i) {
         size_t tick = now_;
-        for (size_t a = 0; a < actors_.size(); ++a) {
+        for (size_t a = 0; a < raw_.size(); ++a) {
             Clock::time_point t0 = Clock::now();
-            actors_[a]->observe(tick);
+            raw_[a]->observe(tick);
             prof.addObserve(a, obs::EngineProfiler::sinceNs(t0), 0);
         }
         if (tick > 0) {
-            for (size_t a = 0; a < actors_.size(); ++a) {
-                if (tick % actors_[a]->period() != 0)
+            for (size_t a = 0; a < raw_.size(); ++a) {
+                if (tick % period_[a] != 0)
                     continue;
                 Clock::time_point t0 = Clock::now();
-                actors_[a]->step(tick);
+                raw_[a]->step(tick);
                 prof.addStep(a, obs::EngineProfiler::sinceNs(t0), 0);
             }
         }
@@ -227,15 +277,16 @@ Engine::runParallelProfiled(size_t ticks)
         for (const Segment &seg : plan_) {
             if (!seg.shardable) {
                 Clock::time_point t0 = Clock::now();
-                actors_[seg.actor]->observe(tick);
+                raw_[seg.actor]->observe(tick);
                 prof.addObserve(seg.actor,
                                 obs::EngineProfiler::sinceNs(t0), 0);
                 continue;
             }
-            pool.parallelFor(seg.per_shard.size(), [&](size_t s) {
-                for (size_t idx : seg.per_shard[s]) {
+            pool.parallelFor(seg.begin.size() - 1, [&](size_t s) {
+                for (size_t k = seg.begin[s]; k < seg.begin[s + 1]; ++k) {
+                    size_t idx = seg.flat[k];
                     Clock::time_point t0 = Clock::now();
-                    actors_[idx]->observe(tick);
+                    raw_[idx]->observe(tick);
                     prof.addObserve(idx, obs::EngineProfiler::sinceNs(t0),
                                     static_cast<unsigned>(s));
                 }
@@ -244,22 +295,24 @@ Engine::runParallelProfiled(size_t ticks)
         if (tick > 0) {
             for (const Segment &seg : plan_) {
                 if (!seg.shardable) {
-                    Actor &actor = *actors_[seg.actor];
-                    if (tick % actor.period() == 0) {
+                    if (tick % period_[seg.actor] == 0) {
                         Clock::time_point t0 = Clock::now();
-                        actor.step(tick);
+                        raw_[seg.actor]->step(tick);
                         prof.addStep(seg.actor,
                                      obs::EngineProfiler::sinceNs(t0), 0);
                     }
                     continue;
                 }
-                pool.parallelFor(seg.per_shard.size(), [&](size_t s) {
-                    for (size_t idx : seg.per_shard[s]) {
-                        Actor &actor = *actors_[idx];
-                        if (tick % actor.period() != 0)
+                if (!segmentFires(seg.fire, tick))
+                    continue;
+                pool.parallelFor(seg.begin.size() - 1, [&](size_t s) {
+                    for (size_t k = seg.begin[s]; k < seg.begin[s + 1];
+                         ++k) {
+                        size_t idx = seg.flat[k];
+                        if (tick % period_[idx] != 0)
                             continue;
                         Clock::time_point t0 = Clock::now();
-                        actor.step(tick);
+                        raw_[idx]->step(tick);
                         prof.addStep(idx,
                                      obs::EngineProfiler::sinceNs(t0),
                                      static_cast<unsigned>(s));

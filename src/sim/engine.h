@@ -29,6 +29,7 @@
 
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/cluster.h"
@@ -115,14 +116,32 @@ class Engine
      * *replaces* it in place (e.g. a controller instance rebuilt after a
      * fault-driven restart): the replacement inherits its predecessor's
      * slot, and with it the predecessor's position among equal-period
-     * actors in the rebuilt schedule.
+     * actors in the rebuilt schedule. See actors() for the resulting
+     * ordering contract.
      */
     void addActor(std::shared_ptr<Actor> actor);
 
     /**
-     * @return registered actors. Ordered by the schedule (descending
-     * period, stable) once run() has executed; in insertion order before
-     * the first run() and after a subsequent addActor().
+     * @return registered actors.
+     *
+     * Ordering contract (the single authoritative statement — the
+     * scheduling, batching, and replacement logic all key off it):
+     *
+     *  - Before the first run(), actors are in *insertion order* —
+     *    addActor appends, and a name-matched replacement reuses its
+     *    predecessor's slot instead of appending.
+     *  - run() lazily rebuilds the schedule, stable-sorting the vector
+     *    into *schedule order*: descending period, ties broken by the
+     *    pre-sort slot order. From then on actors() returns schedule
+     *    order.
+     *  - A subsequent addActor() mutates the (now schedule-ordered)
+     *    vector — appending a new name, or replacing in place — and the
+     *    next run() re-sorts. Because the sort is stable and a
+     *    replacement keeps its slot, a replaced actor steps exactly
+     *    where its predecessor did among equal-period peers.
+     *
+     * Callers that need a state-independent order must sort by name
+     * (as the checkpoint roster does).
      */
     const std::vector<std::shared_ptr<Actor>> &actors() const
     {
@@ -171,14 +190,20 @@ class Engine
     /**
      * One schedule segment: a maximal run of consecutive same-kind
      * actors in the sorted order. A global segment holds exactly one
-     * actor; a shardable segment holds the actor indices partitioned by
-     * shard, each list in schedule order.
+     * actor. A shardable segment holds the actor indices partitioned by
+     * shard in one flat array (shard-major, each shard's slice in
+     * schedule order) with an offsets table — workers walk a contiguous
+     * index range instead of chasing a vector-of-vectors, and `fire`
+     * (the distinct periods present in the segment) lets the step phase
+     * skip the whole dispatch on ticks where no member fires.
      */
     struct Segment
     {
         bool shardable = false;
-        size_t actor = 0;                              //!< global only
-        std::vector<std::vector<size_t>> per_shard;    //!< shardable only
+        size_t actor = 0;            //!< global only
+        std::vector<size_t> flat;    //!< shardable: indices, shard-major
+        std::vector<size_t> begin;   //!< shardable: shards+1 offsets
+        std::vector<unsigned> fire;  //!< shardable: distinct periods
     };
 
     void preparePlan();
@@ -191,11 +216,22 @@ class Engine
     Cluster &cluster_;
     MetricsCollector &metrics_;
     std::vector<std::shared_ptr<Actor>> actors_;
+    // name -> current slot in actors_, so the replace-by-name path of
+    // addActor stays O(1) at fleet scale (hundreds of thousands of
+    // registrations). Rebuilt after the schedule sort moves slots.
+    std::unordered_map<std::string, size_t> slot_of_;
     size_t now_ = 0;
 
     unsigned threads_;
     std::unique_ptr<util::ThreadPool> pool_;
     std::vector<Segment> plan_;
+    // Dispatch caches rebuilt with the plan: raw actor pointers and
+    // periods indexed like actors_, so the per-tick loops skip the
+    // shared_ptr control-block dereference and the virtual period()
+    // call. Valid only while plan_dirty_ is false (addActor and
+    // setThreads invalidate).
+    std::vector<Actor *> raw_;
+    std::vector<unsigned> period_;
     bool plan_dirty_ = true;
     obs::EngineProfiler *profiler_ = nullptr;
 };

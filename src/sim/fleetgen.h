@@ -1,0 +1,109 @@
+/**
+ * @file
+ * FleetGen: deterministic synthetic fleets beyond the paper's 180-server
+ * testbed (docs/PERFORMANCE.md).
+ *
+ * The paper validates on 180 servers; the scaling work (ROADMAP item 1)
+ * needs tiered topologies and workload campaigns at 10k/100k/1M servers.
+ * FleetGen builds both from one seed: a regular zone/rack/enclosure tree
+ * via Topology::tiered, and one utilization trace per VM reusing the
+ * enterprise trace synthesizer's per-(site, server) streams — so a given
+ * (seed, vm) pair always yields the identical trace regardless of fleet
+ * size, generation order, or thread count.
+ *
+ * Traces are deliberately short (trace_length, default 128 ticks) and
+ * rely on UtilizationTrace::at()'s wrap-around: a 1M-server fleet at the
+ * paper's 2880-tick traces would hold ~46 GB of samples; at 128 ticks it
+ * is ~2 GB and the tick loop behaviour is unchanged in kind.
+ */
+
+#ifndef NPS_SIM_FLEETGEN_H
+#define NPS_SIM_FLEETGEN_H
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/topology.h"
+#include "trace/trace.h"
+
+namespace nps {
+namespace util {
+class ThreadPool;
+} // namespace util
+
+namespace sim {
+
+/**
+ * Shape and seed of a synthetic fleet. The rack is the fixed building
+ * block: enclosures_per_rack blade enclosures of enclosure_size plus
+ * standalone_per_rack standalone servers (defaults: 2x20 + 10 = 50
+ * servers per rack, 10 racks per zone = 500 per zone). `servers` must be
+ * a whole number of zones.
+ */
+struct FleetSpec
+{
+    unsigned servers = 10000;          //!< total servers; multiple of zone size
+    unsigned enclosure_size = 20;      //!< blades per enclosure
+    unsigned enclosures_per_rack = 2;  //!< enclosures per rack
+    unsigned standalone_per_rack = 10; //!< standalone servers per rack
+    unsigned racks_per_zone = 10;      //!< racks per zone
+    size_t trace_length = 128;         //!< ticks per VM trace (wraps)
+    size_t ticks_per_day = 288;        //!< diurnal period of the traces
+    uint64_t seed = 20080301;          //!< master seed
+    double vm_fill = 1.0;              //!< fraction of servers given a VM
+
+    /** Servers per rack. */
+    unsigned
+    rackSize() const
+    {
+        return enclosures_per_rack * enclosure_size + standalone_per_rack;
+    }
+
+    /** Servers per zone. */
+    unsigned zoneSize() const { return rackSize() * racks_per_zone; }
+};
+
+/**
+ * Builds the topology and workload campaign of one synthetic fleet.
+ */
+class FleetGen
+{
+  public:
+    /** @param spec Fleet shape; fatal when servers is not a whole number
+     * of zones or any dimension is zero. */
+    explicit FleetGen(FleetSpec spec);
+
+    /** The validated spec. */
+    const FleetSpec &spec() const { return spec_; }
+
+    /** Number of zones (servers / zoneSize()). */
+    unsigned zones() const { return zones_; }
+
+    /** Number of VMs (servers * vm_fill, floored). */
+    unsigned numVms() const;
+
+    /**
+     * The tiered management topology: dc -> zones -> racks, each rack
+     * owning its enclosures and standalone servers. validate()-clean by
+     * construction.
+     */
+    Topology topology() const;
+
+    /**
+     * One trace per VM, in VM-id order. Each trace is a pure function of
+     * (seed, vm): generation is campaign-size independent and may fan
+     * out over @p pool with bit-identical results for any thread count.
+     * Samples are clamped to [0, 1].
+     */
+    std::vector<trace::UtilizationTrace>
+    traces(util::ThreadPool *pool = nullptr) const;
+
+  private:
+    FleetSpec spec_;
+    unsigned zones_ = 0;
+};
+
+} // namespace sim
+} // namespace nps
+
+#endif // NPS_SIM_FLEETGEN_H

@@ -9,12 +9,28 @@ namespace sim {
 
 Server::Server(ServerId id, std::shared_ptr<const model::MachineSpec> spec,
                double alpha_v, double alpha_m)
-    : id_(id), spec_(std::move(spec)), alpha_v_(alpha_v), alpha_m_(alpha_m)
+    : id_(id), spec_(std::move(spec)), alpha_v_(alpha_v), alpha_m_(alpha_m),
+      store_(std::make_shared<ServerStateSoA>()), slot_(0)
 {
     if (!spec_)
         util::fatal("Server %u: null machine spec", id_);
     if (alpha_v_ < 0.0 || alpha_m_ < 0.0)
         util::fatal("Server %u: negative overhead", id_);
+    store_->resize(1);
+}
+
+Server::Server(ServerId id, std::shared_ptr<const model::MachineSpec> spec,
+               double alpha_v, double alpha_m,
+               std::shared_ptr<ServerStateSoA> store, uint32_t slot)
+    : id_(id), spec_(std::move(spec)), alpha_v_(alpha_v), alpha_m_(alpha_m),
+      store_(std::move(store)), slot_(slot)
+{
+    if (!spec_)
+        util::fatal("Server %u: null machine spec", id_);
+    if (alpha_v_ < 0.0 || alpha_m_ < 0.0)
+        util::fatal("Server %u: negative overhead", id_);
+    if (!store_ || slot_ >= store_->size())
+        util::fatal("Server %u: bad state slot %u", id_, slot_);
 }
 
 void
@@ -37,9 +53,11 @@ Server::removeVm(VmId vm)
 PlatformPower
 Server::platformPower(size_t tick) const
 {
-    if (power_state_ == PlatformPower::Booting && tick >= boot_done_tick_)
+    const PlatformPower state = powerState();
+    if (state == PlatformPower::Booting &&
+        tick >= store_->boot_done_tick[slot_])
         return PlatformPower::On;
-    return power_state_;
+    return state;
 }
 
 bool
@@ -54,17 +72,17 @@ Server::powerOff()
     if (!vms_.empty())
         util::panic("Server %u: powering off with %zu hosted VMs", id_,
                     vms_.size());
-    power_state_ = PlatformPower::Off;
-    ever_off_ = true;
+    setPowerState(PlatformPower::Off);
+    store_->ever_off[slot_] = 1;
 }
 
 void
 Server::powerOn(size_t tick)
 {
-    if (power_state_ != PlatformPower::Off)
+    if (powerState() != PlatformPower::Off)
         return;
-    power_state_ = PlatformPower::Booting;
-    boot_done_tick_ = tick + spec_->bootTicks();
+    setPowerState(PlatformPower::Booting);
+    store_->boot_done_tick[slot_] = tick + spec_->bootTicks();
 }
 
 void
@@ -72,23 +90,24 @@ Server::setPState(size_t p)
 {
     if (p >= spec_->pstates().size())
         util::panic("Server %u: P-state %zu out of range", id_, p);
-    pstate_ = p;
+    store_->pstate[slot_] = static_cast<uint32_t>(p);
 }
 
 double
 Server::frequencyMhz() const
 {
-    return spec_->pstates().at(pstate_).freq_mhz;
+    return spec_->pstates().at(pstate()).freq_mhz;
 }
 
-const ServerTick &
+ServerTick
 Server::evaluate(size_t tick, std::vector<VirtualMachine> &vms)
 {
     // Resolve a finished boot into the On state.
-    if (power_state_ == PlatformPower::Booting && tick >= boot_done_tick_)
-        power_state_ = PlatformPower::On;
+    if (powerState() == PlatformPower::Booting &&
+        tick >= store_->boot_done_tick[slot_])
+        setPowerState(PlatformPower::On);
 
-    last_ = ServerTick{};
+    ServerTick out;
 
     // Gather useful-work demand and overheads.
     double useful = 0.0;
@@ -101,43 +120,45 @@ Server::evaluate(size_t tick, std::vector<VirtualMachine> &vms)
         if (vm.migrating(tick))
             overhead += alpha_m_ * d;
     }
-    last_.demanded_useful = useful;
+    out.demanded_useful = useful;
 
-    const PlatformPower state = power_state_;
+    const PlatformPower state = powerState();
     if (state == PlatformPower::Off) {
         if (!vms_.empty())
             util::panic("Server %u: off but hosting VMs", id_);
-        last_.power = spec_->offWatts();
-        return last_;
+        out.power = spec_->offWatts();
+        commit(out);
+        return out;
     }
     if (state == PlatformPower::Booting) {
         // Burns idle power at the boot P-state (P0); serves nothing.
-        last_.power = model().idlePower(0);
+        out.power = model().idlePower(0);
         for (VmId vm_id : vms_) {
             VirtualMachine &vm = vms.at(vm_id);
             vm.recordServed(vm.demandAt(tick), 0.0, 0.0);
         }
-        return last_;
+        commit(out);
+        return out;
     }
 
-    double capacity = spec_->pstates().relSpeed(pstate_);
-    if (mem_low_power_)
+    double capacity = spec_->pstates().relSpeed(pstate());
+    if (memLowPower())
         capacity *= 1.0 - kMemCapacityCost;
 
     double total_load = useful + overhead;
     double served_frac =
         total_load > capacity && total_load > 0.0 ? capacity / total_load
                                                   : 1.0;
-    last_.served_useful = useful * served_frac;
-    last_.real_util = std::min(total_load, capacity);
-    last_.apparent_util =
+    out.served_useful = useful * served_frac;
+    out.real_util = std::min(total_load, capacity);
+    out.apparent_util =
         capacity > 0.0 ? std::min(1.0, total_load / capacity) : 1.0;
     // Scale utilization back to the P-state's own axis: relSpeed already
     // normalized capacity to full speed, so apparent_util is correct as a
     // fraction of this state's capacity.
-    last_.power = model().powerAt(pstate_, last_.apparent_util);
-    if (mem_low_power_)
-        last_.power *= 1.0 - kMemPowerTrim;
+    out.power = model().powerAt(pstate(), out.apparent_util);
+    if (memLowPower())
+        out.power *= 1.0 - kMemPowerTrim;
 
     for (VmId vm_id : vms_) {
         VirtualMachine &vm = vms.at(vm_id);
@@ -148,7 +169,8 @@ Server::evaluate(size_t tick, std::vector<VirtualMachine> &vms)
             capacity > 0.0 ? load * served_frac / capacity : 0.0;
         vm.recordServed(d, d * served_frac, apparent_share);
     }
-    return last_;
+    commit(out);
+    return out;
 }
 
 } // namespace sim

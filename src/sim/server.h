@@ -8,6 +8,12 @@
  * performance-loss channel. Capacity is the P-state's relative speed;
  * virtualization adds a fixed fractional overhead to every VM's load, and
  * an in-flight migration adds a further fractional tax.
+ *
+ * Like VirtualMachine, a Server is a thin view over a struct-of-arrays
+ * state store (sim/soa.h): cluster-owned servers share the cluster's
+ * store at slot == id, standalone servers own a private single-slot
+ * store. The accessors below are the only way state is read or written,
+ * so the two modes are indistinguishable to callers.
  */
 
 #ifndef NPS_SIM_SERVER_H
@@ -19,6 +25,7 @@
 
 #include "ckpt/snapshot.h"
 #include "model/machine.h"
+#include "sim/soa.h"
 #include "sim/vm.h"
 
 namespace nps {
@@ -49,6 +56,8 @@ class Server
 {
   public:
     /**
+     * Standalone view: owns a private single-slot state store.
+     *
      * @param id    Unique server id (dense, used as index).
      * @param spec  Immutable machine description (shared across servers).
      * @param alpha_v Virtualization overhead as a fraction of VM load.
@@ -56,6 +65,14 @@ class Server
      */
     Server(ServerId id, std::shared_ptr<const model::MachineSpec> spec,
            double alpha_v, double alpha_m);
+
+    /**
+     * Cluster view: state lives at @p slot of the shared @p store.
+     * @pre store != nullptr and slot < store->size().
+     */
+    Server(ServerId id, std::shared_ptr<const model::MachineSpec> spec,
+           double alpha_v, double alpha_m,
+           std::shared_ptr<ServerStateSoA> store, uint32_t slot);
 
     /** @return unique id. */
     ServerId id() const { return id_; }
@@ -99,14 +116,14 @@ class Server
 
     /** @return true when the platform was ever powered off/on (vs the
      * initial always-on state). */
-    bool everOff() const { return ever_off_; }
+    bool everOff() const { return store_->ever_off[slot_] != 0; }
 
     /// @}
     /// @name P-state actuator
     /// @{
 
     /** Current P-state index. */
-    size_t pstate() const { return pstate_; }
+    size_t pstate() const { return store_->pstate[slot_]; }
 
     /** Set the P-state index. @pre valid index */
     void setPState(size_t p);
@@ -123,10 +140,10 @@ class Server
      * fraction at the cost of a small capacity reduction. A second
      * actuator for the multi-input extension of Section 6.
      */
-    void setMemLowPower(bool on) { mem_low_power_ = on; }
+    void setMemLowPower(bool on) { store_->mem_low_power[slot_] = on; }
 
     /** @return true when memory low-power mode is engaged. */
-    bool memLowPower() const { return mem_low_power_; }
+    bool memLowPower() const { return store_->mem_low_power[slot_] != 0; }
 
     /// @}
     /// @name Tick evaluation and sensors
@@ -141,20 +158,29 @@ class Server
      * @param vms  the cluster's VM store, indexed by VmId
      * @return the evaluation result (also retained as last*()).
      */
-    const ServerTick &evaluate(size_t tick,
-                               std::vector<VirtualMachine> &vms);
+    ServerTick evaluate(size_t tick, std::vector<VirtualMachine> &vms);
 
     /** Most recent evaluation (zeros before the first). */
-    const ServerTick &last() const { return last_; }
+    ServerTick
+    last() const
+    {
+        ServerTick t;
+        t.power = store_->power[slot_];
+        t.apparent_util = store_->apparent_util[slot_];
+        t.real_util = store_->real_util[slot_];
+        t.demanded_useful = store_->demanded_useful[slot_];
+        t.served_useful = store_->served_useful[slot_];
+        return t;
+    }
 
     /** Measured power of the last tick (the SM/EM/GM sensor Sp). */
-    double lastPower() const { return last_.power; }
+    double lastPower() const { return store_->power[slot_]; }
 
     /** Measured apparent utilization of the last tick (the EC sensor Sr). */
-    double lastApparentUtil() const { return last_.apparent_util; }
+    double lastApparentUtil() const { return store_->apparent_util[slot_]; }
 
     /** Served load of the last tick in full-speed units. */
-    double lastRealUtil() const { return last_.real_util; }
+    double lastRealUtil() const { return store_->real_util[slot_]; }
 
     /// @}
 
@@ -165,32 +191,32 @@ class Server
     void
     saveState(ckpt::SectionWriter &w) const
     {
-        w.putU32(static_cast<uint32_t>(power_state_));
-        w.putU64(boot_done_tick_);
-        w.putBool(ever_off_);
-        w.putU64(pstate_);
-        w.putBool(mem_low_power_);
-        w.putDouble(last_.power);
-        w.putDouble(last_.apparent_util);
-        w.putDouble(last_.real_util);
-        w.putDouble(last_.demanded_useful);
-        w.putDouble(last_.served_useful);
+        w.putU32(store_->power_state[slot_]);
+        w.putU64(store_->boot_done_tick[slot_]);
+        w.putBool(store_->ever_off[slot_] != 0);
+        w.putU64(store_->pstate[slot_]);
+        w.putBool(store_->mem_low_power[slot_] != 0);
+        w.putDouble(store_->power[slot_]);
+        w.putDouble(store_->apparent_util[slot_]);
+        w.putDouble(store_->real_util[slot_]);
+        w.putDouble(store_->demanded_useful[slot_]);
+        w.putDouble(store_->served_useful[slot_]);
     }
 
     /** Restore mutable state (checkpoint restore). */
     void
     loadState(ckpt::SectionReader &r)
     {
-        power_state_ = static_cast<PlatformPower>(r.getU32());
-        boot_done_tick_ = static_cast<size_t>(r.getU64());
-        ever_off_ = r.getBool();
-        pstate_ = static_cast<size_t>(r.getU64());
-        mem_low_power_ = r.getBool();
-        last_.power = r.getDouble();
-        last_.apparent_util = r.getDouble();
-        last_.real_util = r.getDouble();
-        last_.demanded_useful = r.getDouble();
-        last_.served_useful = r.getDouble();
+        store_->power_state[slot_] = static_cast<uint8_t>(r.getU32());
+        store_->boot_done_tick[slot_] = r.getU64();
+        store_->ever_off[slot_] = r.getBool() ? 1 : 0;
+        store_->pstate[slot_] = static_cast<uint32_t>(r.getU64());
+        store_->mem_low_power[slot_] = r.getBool() ? 1 : 0;
+        store_->power[slot_] = r.getDouble();
+        store_->apparent_util[slot_] = r.getDouble();
+        store_->real_util[slot_] = r.getDouble();
+        store_->demanded_useful[slot_] = r.getDouble();
+        store_->served_useful[slot_] = r.getDouble();
     }
 
     /** Fractional power trim when memory low-power mode is on. */
@@ -200,19 +226,37 @@ class Server
     static constexpr double kMemCapacityCost = 0.05;
 
   private:
+    /** Publish a tick result into the store's sensor arrays. */
+    void
+    commit(const ServerTick &t)
+    {
+        store_->power[slot_] = t.power;
+        store_->apparent_util[slot_] = t.apparent_util;
+        store_->real_util[slot_] = t.real_util;
+        store_->demanded_useful[slot_] = t.demanded_useful;
+        store_->served_useful[slot_] = t.served_useful;
+    }
+
+    PlatformPower
+    powerState() const
+    {
+        return static_cast<PlatformPower>(store_->power_state[slot_]);
+    }
+
+    void
+    setPowerState(PlatformPower p)
+    {
+        store_->power_state[slot_] = static_cast<uint8_t>(p);
+    }
+
     ServerId id_;
     std::shared_ptr<const model::MachineSpec> spec_;
     double alpha_v_;
     double alpha_m_;
 
     std::vector<VmId> vms_;
-    PlatformPower power_state_ = PlatformPower::On;
-    size_t boot_done_tick_ = 0;
-    bool ever_off_ = false;
-    size_t pstate_ = 0;
-    bool mem_low_power_ = false;
-
-    ServerTick last_;
+    std::shared_ptr<ServerStateSoA> store_;
+    uint32_t slot_ = 0;
 };
 
 } // namespace sim

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Struct-of-arrays backing stores for the per-server and per-VM dynamic
+ * state (docs/PERFORMANCE.md).
+ *
+ * At fleet scale the per-tick hot path — Cluster::evaluateTick, the
+ * metrics pass, and every shardable controller's sensor reads — is
+ * dominated by memory traffic, not arithmetic. Keeping the mutable
+ * scalars inside the Server / VirtualMachine objects interleaves the
+ * few hot doubles with cold construction data (spec pointers, hosted-VM
+ * lists, trace metadata), so a 100k-server sweep touches a cache line
+ * per server and uses a fraction of it. These stores pull the dynamic
+ * state out into one contiguous array per field; Server and
+ * VirtualMachine stay the API as thin views (store pointer + slot), so
+ * controllers, checkpointing, and the golden scenarios are untouched.
+ *
+ * Ownership contract: a Cluster builds one shared store per kind and
+ * hands every element a slot equal to its id. Objects constructed
+ * standalone (unit tests, examples) own a private single-slot store —
+ * the view code is identical either way. Assigning a foreign
+ * VirtualMachine into a cluster slot (some tests do, to swap traces)
+ * simply reseats that VM onto its private store; all per-VM reads go
+ * through the object, so the swap is safe. Cluster-owned Servers are
+ * never reseated: the aggregation pass iterates the server arrays
+ * directly, which is what makes the tick fold cache-friendly.
+ */
+
+#ifndef NPS_SIM_SOA_H
+#define NPS_SIM_SOA_H
+
+#include <cstdint>
+#include <vector>
+
+namespace nps {
+namespace sim {
+
+/**
+ * Dynamic per-server state, one contiguous array per field, indexed by
+ * server slot (== ServerId for cluster-owned servers).
+ */
+struct ServerStateSoA
+{
+    /// @name Platform / actuator state
+    /// @{
+    std::vector<uint8_t> power_state;    //!< PlatformPower as raw byte
+    std::vector<uint64_t> boot_done_tick;
+    std::vector<uint8_t> ever_off;
+    std::vector<uint32_t> pstate;
+    std::vector<uint8_t> mem_low_power;
+    /// @}
+    /// @name Last-tick sensors (the ServerTick fields, one array each)
+    /// @{
+    std::vector<double> power;
+    std::vector<double> apparent_util;
+    std::vector<double> real_util;
+    std::vector<double> demanded_useful;
+    std::vector<double> served_useful;
+    /// @}
+
+    /** Number of slots. */
+    size_t size() const { return pstate.size(); }
+
+    /** Resize every array to @p n slots, new slots default-initialized
+     * (on, P0, zeroed sensors) — the state of a freshly built Server. */
+    void
+    resize(size_t n)
+    {
+        power_state.resize(n, 0); // PlatformPower::On
+        boot_done_tick.resize(n, 0);
+        ever_off.resize(n, 0);
+        pstate.resize(n, 0);
+        mem_low_power.resize(n, 0);
+        power.resize(n, 0.0);
+        apparent_util.resize(n, 0.0);
+        real_util.resize(n, 0.0);
+        demanded_useful.resize(n, 0.0);
+        served_useful.resize(n, 0.0);
+    }
+};
+
+/**
+ * Dynamic per-VM state, indexed by VM slot (== VmId for cluster-owned
+ * VMs).
+ */
+struct VmStateSoA
+{
+    std::vector<uint64_t> migrating_until;
+    std::vector<double> last_demanded;
+    std::vector<double> last_served;
+    std::vector<double> last_apparent_share;
+
+    /** Number of slots. */
+    size_t size() const { return migrating_until.size(); }
+
+    /** Resize every array to @p n slots, new slots zeroed. */
+    void
+    resize(size_t n)
+    {
+        migrating_until.resize(n, 0);
+        last_demanded.resize(n, 0.0);
+        last_served.resize(n, 0.0);
+        last_apparent_share.resize(n, 0.0);
+    }
+};
+
+} // namespace sim
+} // namespace nps
+
+#endif // NPS_SIM_SOA_H

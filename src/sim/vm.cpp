@@ -6,10 +6,23 @@ namespace nps {
 namespace sim {
 
 VirtualMachine::VirtualMachine(VmId id, trace::UtilizationTrace tr)
-    : id_(id), trace_(std::move(tr))
+    : id_(id), trace_(std::move(tr)),
+      store_(std::make_shared<VmStateSoA>()), slot_(0)
 {
     if (trace_.empty())
         util::fatal("VirtualMachine %u: empty trace", id_);
+    store_->resize(1);
+}
+
+VirtualMachine::VirtualMachine(VmId id, trace::UtilizationTrace tr,
+                               std::shared_ptr<VmStateSoA> store,
+                               uint32_t slot)
+    : id_(id), trace_(std::move(tr)), store_(std::move(store)), slot_(slot)
+{
+    if (trace_.empty())
+        util::fatal("VirtualMachine %u: empty trace", id_);
+    if (!store_ || slot_ >= store_->size())
+        util::fatal("VirtualMachine %u: bad state slot %u", id_, slot_);
 }
 
 } // namespace sim

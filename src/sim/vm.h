@@ -6,6 +6,12 @@
  * useful work demanded vs. served each tick (for performance-loss
  * accounting) and any in-flight migration (which taxes the source of truth
  * for the paper's 10%-overhead pre-copy model).
+ *
+ * The mutable scalars live in a struct-of-arrays store (sim/soa.h):
+ * a VirtualMachine is a thin view (store + slot). Cluster-owned VMs
+ * share the cluster's store so the hot path iterates contiguous arrays;
+ * standalone-constructed VMs own a private single-slot store and behave
+ * identically.
  */
 
 #ifndef NPS_SIM_VM_H
@@ -13,8 +19,10 @@
 
 #include <cstddef>
 #include <limits>
+#include <memory>
 
 #include "ckpt/snapshot.h"
+#include "sim/soa.h"
 #include "trace/trace.h"
 
 namespace nps {
@@ -34,8 +42,18 @@ inline constexpr ServerId kNoServer =
 class VirtualMachine
 {
   public:
-    /** @param id unique VM id; @param tr the demand trace it replays. */
+    /**
+     * Standalone view: owns a private single-slot state store.
+     * @param id unique VM id; @param tr the demand trace it replays.
+     */
     VirtualMachine(VmId id, trace::UtilizationTrace tr);
+
+    /**
+     * Cluster view: state lives at @p slot of the shared @p store.
+     * @pre store != nullptr and slot < store->size().
+     */
+    VirtualMachine(VmId id, trace::UtilizationTrace tr,
+                   std::shared_ptr<VmStateSoA> store, uint32_t slot);
 
     /** @return unique id. */
     VmId id() const { return id_; }
@@ -50,10 +68,18 @@ class VirtualMachine
      * Begin a migration whose overhead lasts until (exclusive) @p until.
      * While migrating the VM's load is taxed by the migration overhead.
      */
-    void beginMigration(size_t until) { migrating_until_ = until; }
+    void
+    beginMigration(size_t until)
+    {
+        store_->migrating_until[slot_] = until;
+    }
 
     /** @return true when a migration is in flight at @p tick. */
-    bool migrating(size_t tick) const { return tick < migrating_until_; }
+    bool
+    migrating(size_t tick) const
+    {
+        return tick < store_->migrating_until[slot_];
+    }
 
     /**
      * Record this tick's service outcome (set by Server).
@@ -65,20 +91,20 @@ class VirtualMachine
     void
     recordServed(double demanded, double served, double apparent_share)
     {
-        last_demanded_ = demanded;
-        last_served_ = served;
-        last_apparent_share_ = apparent_share;
+        store_->last_demanded[slot_] = demanded;
+        store_->last_served[slot_] = served;
+        store_->last_apparent_share[slot_] = apparent_share;
     }
 
     /** Useful work demanded in the most recent tick. */
-    double lastDemanded() const { return last_demanded_; }
+    double lastDemanded() const { return store_->last_demanded[slot_]; }
 
     /**
      * Useful work served in the most recent tick, expressed in full-speed
      * utilization units. This is the VM's *real* utilization, the quantity
      * the coordinated VMC consumes.
      */
-    double lastServed() const { return last_served_; }
+    double lastServed() const { return store_->last_served[slot_]; }
 
     /**
      * The VM's share of its host's capacity at the host's *current*
@@ -86,35 +112,37 @@ class VirtualMachine
      * uncoordinated VMC reads; it saturates with the host and understates
      * demand on throttled machines.
      */
-    double lastApparentShare() const { return last_apparent_share_; }
+    double
+    lastApparentShare() const
+    {
+        return store_->last_apparent_share[slot_];
+    }
 
     /** Serialize mutable state (checkpointing); the trace is rebuilt. */
     void
     saveState(ckpt::SectionWriter &w) const
     {
-        w.putU64(migrating_until_);
-        w.putDouble(last_demanded_);
-        w.putDouble(last_served_);
-        w.putDouble(last_apparent_share_);
+        w.putU64(store_->migrating_until[slot_]);
+        w.putDouble(store_->last_demanded[slot_]);
+        w.putDouble(store_->last_served[slot_]);
+        w.putDouble(store_->last_apparent_share[slot_]);
     }
 
     /** Restore mutable state (checkpoint restore). */
     void
     loadState(ckpt::SectionReader &r)
     {
-        migrating_until_ = static_cast<size_t>(r.getU64());
-        last_demanded_ = r.getDouble();
-        last_served_ = r.getDouble();
-        last_apparent_share_ = r.getDouble();
+        store_->migrating_until[slot_] = r.getU64();
+        store_->last_demanded[slot_] = r.getDouble();
+        store_->last_served[slot_] = r.getDouble();
+        store_->last_apparent_share[slot_] = r.getDouble();
     }
 
   private:
     VmId id_;
     trace::UtilizationTrace trace_;
-    size_t migrating_until_ = 0;
-    double last_demanded_ = 0.0;
-    double last_served_ = 0.0;
-    double last_apparent_share_ = 0.0;
+    std::shared_ptr<VmStateSoA> store_;
+    uint32_t slot_ = 0;
 };
 
 } // namespace sim

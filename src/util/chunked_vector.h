@@ -1,0 +1,163 @@
+/**
+ * @file
+ * ChunkedVector: an append-only sequence allocated chunk-at-a-time.
+ *
+ * A plain std::vector doubles by reallocating and moving every element,
+ * which at fleet scale turns high-rate append paths (control-bus event
+ * mirroring, per-tick logs) into repeated large copies and transient 2x
+ * memory spikes. ChunkedVector allocates fixed-size chunks and never
+ * moves an element once written: push_back is amortized one small
+ * allocation per kChunk elements, addresses are stable for the lifetime
+ * of the container (safe to hold pointers across appends, which the
+ * merged-view code in bus/control_log.cpp does), and memory grows in
+ * kChunk steps instead of doubling.
+ *
+ * Deliberately minimal: append, indexed access, iteration, clear. Not a
+ * drop-in std::vector replacement and not thread-safe — single-writer,
+ * like the per-link buffers it backs (docs/PERFORMANCE.md).
+ */
+
+#ifndef NPS_UTIL_CHUNKED_VECTOR_H
+#define NPS_UTIL_CHUNKED_VECTOR_H
+
+#include <cstddef>
+#include <iterator>
+#include <memory>
+#include <vector>
+
+namespace nps {
+namespace util {
+
+/**
+ * Append-only chunked sequence with stable element addresses.
+ *
+ * @tparam T      element type
+ * @tparam kChunk elements per chunk (power of two keeps the index
+ *                arithmetic to a shift and a mask)
+ */
+template <typename T, size_t kChunk = 1024>
+class ChunkedVector
+{
+    static_assert(kChunk > 0 && (kChunk & (kChunk - 1)) == 0,
+                  "kChunk must be a power of two");
+
+  public:
+    /** Number of elements. */
+    size_t size() const { return size_; }
+
+    /** True when empty. */
+    bool empty() const { return size_ == 0; }
+
+    /** Element @p i. @pre i < size() (unchecked, like std::vector). */
+    T &
+    operator[](size_t i)
+    {
+        return chunks_[i / kChunk][i & (kChunk - 1)];
+    }
+
+    const T &
+    operator[](size_t i) const
+    {
+        return chunks_[i / kChunk][i & (kChunk - 1)];
+    }
+
+    /** Last element. @pre !empty() */
+    T &back() { return (*this)[size_ - 1]; }
+    const T &back() const { return (*this)[size_ - 1]; }
+
+    /** Append a copy of @p v; never moves existing elements. */
+    void
+    push_back(const T &v)
+    {
+        emplace_back(v);
+    }
+
+    /** Construct an element in place at the end. */
+    template <typename... Args>
+    T &
+    emplace_back(Args &&...args)
+    {
+        const size_t slot = size_ & (kChunk - 1);
+        if (slot == 0 && size_ / kChunk == chunks_.size())
+            chunks_.push_back(std::make_unique<T[]>(kChunk));
+        T &ref = chunks_[size_ / kChunk][slot];
+        ref = T(std::forward<Args>(args)...);
+        ++size_;
+        return ref;
+    }
+
+    /**
+     * Drop all elements. Keeps the allocated chunks for reuse — a
+     * restore path that clears and refills does not churn the heap.
+     */
+    void clear() { size_ = 0; }
+
+    /** Pre-allocate chunks for at least @p n elements. */
+    void
+    reserve(size_t n)
+    {
+        const size_t need = (n + kChunk - 1) / kChunk;
+        while (chunks_.size() < need)
+            chunks_.push_back(std::make_unique<T[]>(kChunk));
+    }
+
+    /** Forward const iterator (enough for range-for and std:: algorithms
+     * over immutable views). */
+    class const_iterator
+    {
+      public:
+        using iterator_category = std::forward_iterator_tag;
+        using value_type = T;
+        using difference_type = std::ptrdiff_t;
+        using pointer = const T *;
+        using reference = const T &;
+
+        const_iterator() = default;
+        const_iterator(const ChunkedVector *v, size_t i) : v_(v), i_(i) {}
+
+        reference operator*() const { return (*v_)[i_]; }
+        pointer operator->() const { return &(*v_)[i_]; }
+
+        const_iterator &
+        operator++()
+        {
+            ++i_;
+            return *this;
+        }
+
+        const_iterator
+        operator++(int)
+        {
+            const_iterator tmp = *this;
+            ++i_;
+            return tmp;
+        }
+
+        bool
+        operator==(const const_iterator &o) const
+        {
+            return v_ == o.v_ && i_ == o.i_;
+        }
+
+        bool operator!=(const const_iterator &o) const
+        {
+            return !(*this == o);
+        }
+
+      private:
+        const ChunkedVector *v_ = nullptr;
+        size_t i_ = 0;
+    };
+
+    const_iterator begin() const { return const_iterator(this, 0); }
+    const_iterator end() const { return const_iterator(this, size_); }
+
+  private:
+    std::vector<std::unique_ptr<T[]>> chunks_;
+    size_t size_ = 0;
+};
+
+} // namespace util
+} // namespace nps
+
+#endif // NPS_UTIL_CHUNKED_VECTOR_H

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Scale-invariance suite: the determinism and resume contracts proven on
+ * the paper-scale testbed must survive a synthetic 5000-server tiered
+ * fleet (sim/fleetgen.h) running the fleet control stack.
+ *
+ *  - serial vs parallel: threads 1/4/8 produce bit-identical per-tick
+ *    series, summaries, and recorder output;
+ *  - checkpoint/resume: a snapshot taken mid-run and restored into a
+ *    freshly built twin finishes with byte-equal recorder CSV;
+ *  - mini-golden: the final summary is pinned exactly (hexfloat), so a
+ *    behaviour change at fleet scale fails loudly even if the small
+ *    goldens stay green.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ckpt/snapshot.h"
+#include "core/coordinator.h"
+#include "core/scenarios.h"
+#include "model/machine.h"
+#include "sim/fleetgen.h"
+#include "sim/recorder.h"
+#include "util/logging.h"
+
+namespace {
+
+using namespace nps;
+
+constexpr unsigned kServers = 5000; // 10 zones of 500
+constexpr size_t kTicks = 120;      // GM (period 50) fires twice
+constexpr size_t kSplit = 60;       // checkpoint taken here
+
+/** A built fleet simulation: coordinator + attached recorder. */
+struct Sim
+{
+    std::unique_ptr<core::Coordinator> coord;
+    std::shared_ptr<sim::Recorder> recorder;
+};
+
+Sim
+buildFleet(unsigned threads)
+{
+    sim::FleetSpec spec;
+    spec.servers = kServers;
+    sim::FleetGen gen(spec);
+
+    core::CoordinationConfig cfg = core::fleetConfig();
+    cfg.threads = threads;
+
+    Sim s;
+    s.coord = std::make_unique<core::Coordinator>(
+        cfg, gen.topology(), model::bladeA(), gen.traces(),
+        /*keep_series=*/true);
+    sim::Recorder::Options opts;
+    opts.stride = 4;
+    s.recorder = std::make_shared<sim::Recorder>(s.coord->cluster(), opts);
+    s.coord->engine().addActor(s.recorder);
+    return s;
+}
+
+/** Everything a fleet run exports (fleetConfig keeps the control-plane
+ * log and obs sinks off, so the artifact set is series + recorder). */
+struct Artifacts
+{
+    std::vector<double> power;
+    std::vector<double> perf;
+    std::string recorder_csv;
+    sim::MetricsSummary summary;
+};
+
+Artifacts
+collect(const Sim &s)
+{
+    Artifacts a;
+    a.power = s.coord->metrics().powerSeries();
+    a.perf = s.coord->metrics().perfSeries();
+    std::ostringstream rec;
+    s.recorder->writeCsv(rec);
+    a.recorder_csv = rec.str();
+    a.summary = s.coord->summary();
+    return a;
+}
+
+void
+expectIdentical(const Artifacts &ref, const Artifacts &got)
+{
+    ASSERT_EQ(ref.power.size(), got.power.size());
+    // Exact equality on purpose: fleet scale must not loosen the
+    // bit-identical contracts.
+    EXPECT_EQ(ref.power, got.power);
+    EXPECT_EQ(ref.perf, got.perf);
+    EXPECT_EQ(ref.recorder_csv, got.recorder_csv);
+    EXPECT_EQ(ref.summary.ticks, got.summary.ticks);
+    EXPECT_EQ(ref.summary.energy, got.summary.energy);
+    EXPECT_EQ(ref.summary.mean_power, got.summary.mean_power);
+    EXPECT_EQ(ref.summary.peak_power, got.summary.peak_power);
+    EXPECT_EQ(ref.summary.sm_violation, got.summary.sm_violation);
+    EXPECT_EQ(ref.summary.em_violation, got.summary.em_violation);
+    EXPECT_EQ(ref.summary.gm_violation, got.summary.gm_violation);
+    EXPECT_EQ(ref.summary.perf_loss, got.summary.perf_loss);
+}
+
+/** FNV-1a, the digest pinned by the mini-golden below. */
+uint64_t
+fnv1a(const std::string &s)
+{
+    uint64_t h = 1469598103934665603ull;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+const Artifacts &
+referenceRun()
+{
+    static const Artifacts ref = [] {
+        Sim s = buildFleet(1);
+        s.coord->run(kTicks);
+        return collect(s);
+    }();
+    return ref;
+}
+
+TEST(FleetScale, ParallelMatchesSerialBitForBit)
+{
+    const Artifacts &serial = referenceRun();
+    ASSERT_EQ(serial.summary.ticks, kTicks);
+    for (unsigned threads : {4u, 8u}) {
+        SCOPED_TRACE("threads " + std::to_string(threads));
+        Sim s = buildFleet(threads);
+        s.coord->run(kTicks);
+        expectIdentical(serial, collect(s));
+    }
+}
+
+TEST(FleetScale, CheckpointResumeIsByteEqual)
+{
+    // Reference: one uninterrupted serial run.
+    const Artifacts &ref = referenceRun();
+
+    // Interrupted run: checkpoint at kSplit, restore into a freshly
+    // built twin (different thread count on purpose — snapshots are
+    // thread-count agnostic), finish there.
+    Sim first = buildFleet(4);
+    first.coord->run(kSplit);
+    ckpt::SnapshotWriter w;
+    first.coord->saveState(w);
+    first.recorder->saveState(w.section("recorder"));
+    const std::string bytes = w.serialize();
+
+    Sim resumed = buildFleet(1);
+    ckpt::SnapshotReader snap;
+    std::string err;
+    ASSERT_TRUE(snap.loadBytes(bytes, "<memory>", err)) << err;
+    resumed.coord->loadState(snap);
+    ckpt::SectionReader r = snap.section("recorder");
+    resumed.recorder->loadState(r);
+    r.expectEnd();
+    EXPECT_EQ(resumed.coord->engine().now(), kSplit);
+
+    resumed.coord->run(kTicks - kSplit);
+    expectIdentical(ref, collect(resumed));
+}
+
+TEST(FleetScale, FinalMetricsMatchPinnedDigest)
+{
+    // Mini-golden for the 5000-server fleet: exact hexfloat pins on the
+    // summary and an FNV-1a digest of the recorder CSV. A mismatch means
+    // fleet-scale behaviour changed — regenerate deliberately by pasting
+    // the values this test prints on failure.
+    const Artifacts &ref = referenceRun();
+    std::printf("fleet digest: energy=%a mean=%a peak=%a perf_loss=%a "
+                "sm=%a csv_fnv1a=%llu csv_bytes=%zu\n",
+                ref.summary.energy, ref.summary.mean_power,
+                ref.summary.peak_power, ref.summary.perf_loss,
+                ref.summary.sm_violation,
+                static_cast<unsigned long long>(fnv1a(ref.recorder_csv)),
+                ref.recorder_csv.size());
+    EXPECT_EQ(ref.summary.ticks, kTicks);
+    EXPECT_EQ(ref.summary.energy, 0x1.79c61cc147319p+24);
+    EXPECT_EQ(ref.summary.mean_power, 0x1.92f574015d01bp+17);
+    EXPECT_EQ(ref.summary.peak_power, 0x1.109a561b7ad4p+18);
+    EXPECT_EQ(ref.summary.perf_loss, 0x1.2dc0ced207p-13);
+    EXPECT_EQ(ref.summary.sm_violation, 0x1.50331e3a7daa5p-9);
+    EXPECT_EQ(fnv1a(ref.recorder_csv), 6010948514903574250ull);
+    EXPECT_EQ(ref.recorder_csv.size(), 2768641u);
+}
+
+} // namespace

@@ -227,6 +227,55 @@ TEST_F(EngineTest, ReplacementWithDifferentPeriodResortsDeterministically)
                 fast->steps.back() <= 4u);  // replaced instance retired
 }
 
+TEST_F(EngineTest, ActorsOrderingContractInBothPhases)
+{
+    // Pins the two-phase actors() ordering contract documented on
+    // Engine::actors(): insertion order (with replacement reusing its
+    // predecessor's slot) before the first run(), schedule order
+    // (descending period, stable for ties) afterwards.
+    auto fine = std::make_shared<ProbeActor>("fine", 1, &log_);
+    auto mid_a = std::make_shared<ProbeActor>("mid_a", 5, &log_);
+    auto coarse = std::make_shared<ProbeActor>("coarse", 10, &log_);
+    auto mid_b = std::make_shared<ProbeActor>("mid_b", 5, &log_);
+    engine_.addActor(fine);
+    engine_.addActor(mid_a);
+    engine_.addActor(coarse);
+    engine_.addActor(mid_b);
+
+    // Phase 1: insertion order, and a pre-run replacement reuses the
+    // predecessor's slot instead of appending.
+    auto mid_a2 = std::make_shared<ProbeActor>("mid_a", 5, &log_);
+    engine_.addActor(mid_a2);
+    ASSERT_EQ(engine_.actors().size(), 4u);
+    EXPECT_EQ(engine_.actors()[0]->name(), "fine");
+    EXPECT_EQ(engine_.actors()[1]->name(), "mid_a");
+    EXPECT_EQ(engine_.actors()[1].get(), mid_a2.get());
+    EXPECT_EQ(engine_.actors()[2]->name(), "coarse");
+    EXPECT_EQ(engine_.actors()[3]->name(), "mid_b");
+
+    // Phase 2: after run() the vector is in schedule order — descending
+    // period, equal periods keeping their pre-sort relative order.
+    engine_.run(11);
+    ASSERT_EQ(engine_.actors().size(), 4u);
+    EXPECT_EQ(engine_.actors()[0]->name(), "coarse");
+    EXPECT_EQ(engine_.actors()[1]->name(), "mid_a");
+    EXPECT_EQ(engine_.actors()[2]->name(), "mid_b");
+    EXPECT_EQ(engine_.actors()[3]->name(), "fine");
+    EXPECT_EQ(mid_a->steps.size(), 0u);   // replaced before any work
+    EXPECT_EQ(mid_a2->steps.size(), 2u);  // ticks 5 and 10
+
+    // The step log at tick 10 matches the reported schedule order.
+    std::vector<std::string> tick10;
+    for (const auto &e : log_)
+        if (e.size() > 3 && e.substr(e.size() - 3) == "@10")
+            tick10.push_back(e);
+    ASSERT_EQ(tick10.size(), 4u);
+    EXPECT_EQ(tick10[0], "coarse@10");
+    EXPECT_EQ(tick10[1], "mid_a@10");
+    EXPECT_EQ(tick10[2], "mid_b@10");
+    EXPECT_EQ(tick10[3], "fine@10");
+}
+
 TEST_F(EngineTest, NullActorDies)
 {
     EXPECT_DEATH(engine_.addActor(nullptr), "null actor");

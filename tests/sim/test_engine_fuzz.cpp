@@ -237,4 +237,132 @@ TEST(EngineFuzz, AllGlobalPopulationStaysSerialOrdered)
     }
 }
 
+void
+fuzzReplaceOnce(uint32_t seed)
+{
+    // Mixes mid-simulation addActor() — both fresh names and name-matched
+    // replacements — with the sharded batch dispatch: after the roster
+    // churn, the rebuilt flattened segments must still honour every
+    // scheduling invariant, replaced instances must stop receiving work,
+    // and replacements must step exactly where their predecessors would
+    // have.
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    std::mt19937 rng(seed);
+    constexpr size_t kFirst = 15;
+    constexpr size_t kTicks = 30;
+
+    Cluster cluster = nps_test::smallCluster();
+    MetricsCollector metrics;
+    Engine engine(cluster, metrics);
+    engine.setThreads(4);
+
+    std::atomic<uint64_t> clock{0};
+    auto draw = [&](const std::string &name) {
+        const unsigned period = 1 + rng() % 7;
+        const bool global = rng() % 4 == 0;
+        const long shard =
+            global ? Actor::kGlobalShard
+                   : static_cast<long>(rng() % cluster.numServers());
+        return std::make_shared<FuzzActor>(name, period, shard, &clock);
+    };
+
+    const size_t count = 9 + rng() % 9;
+    std::vector<std::shared_ptr<FuzzActor>> originals;
+    for (size_t i = 0; i < count; ++i) {
+        originals.push_back(draw("r" + std::to_string(i)));
+        engine.addActor(originals.back());
+    }
+    engine.run(kFirst);
+
+    // Replace roughly a third by name — same period and shard, so the
+    // replacement inherits the predecessor's exact schedule position —
+    // and add a couple of newcomers.
+    std::vector<std::shared_ptr<FuzzActor>> replacements;
+    for (size_t i = 0; i < count; ++i) {
+        if (rng() % 3 != 0)
+            continue;
+        auto twin = std::make_shared<FuzzActor>(
+            originals[i]->name(), originals[i]->period(),
+            originals[i]->shard(), &clock);
+        replacements.push_back(twin);
+        engine.addActor(twin);
+    }
+    const size_t added = 2 + rng() % 3;
+    std::vector<std::shared_ptr<FuzzActor>> newcomers;
+    for (size_t i = 0; i < added; ++i) {
+        newcomers.push_back(draw("n" + std::to_string(i)));
+        engine.addActor(newcomers.back());
+    }
+    engine.run(kTicks - kFirst);
+
+    ASSERT_EQ(engine.actors().size(), count + added);
+
+    // Current roster, in post-run schedule order; rank = vector index.
+    std::vector<FuzzActor *> current;
+    for (const auto &a : engine.actors()) {
+        auto *fa = dynamic_cast<FuzzActor *>(a.get());
+        ASSERT_NE(fa, nullptr);
+        current.push_back(fa);
+    }
+
+    // Replaced instances received nothing after the swap.
+    for (const auto &r : replacements) {
+        for (const auto &orig : originals) {
+            if (orig->name() != r->name() || orig.get() == r.get())
+                continue;
+            EXPECT_TRUE(orig->observe_stamps.empty() ||
+                        orig->observe_stamps.back().first < kFirst)
+                << orig->name();
+            EXPECT_TRUE(orig->step_stamps.empty() ||
+                        orig->step_stamps.back().first < kFirst)
+                << orig->name();
+        }
+    }
+
+    for (FuzzActor *a : current) {
+        // Every second-run tick observed, in order.
+        const size_t window = kTicks - kFirst;
+        ASSERT_GE(a->observe_stamps.size(), window) << a->name();
+        const size_t base = a->observe_stamps.size() - window;
+        for (size_t t = 0; t < window; ++t)
+            EXPECT_EQ(a->observe_stamps[base + t].first, kFirst + t)
+                << a->name();
+
+        // Steps in the window at exactly the period multiples.
+        std::vector<size_t> expected;
+        for (size_t t = a->period(); t < kTicks; t += a->period())
+            if (t >= kFirst)
+                expected.push_back(t);
+        std::vector<size_t> got;
+        for (const auto &s : a->step_stamps)
+            if (s.first >= kFirst)
+                got.push_back(s.first);
+        EXPECT_EQ(got, expected) << a->name();
+    }
+
+    // Ordered pairs still step coarse-first / schedule-stable in the
+    // window, across the rebuilt batched segments.
+    for (size_t tick = kFirst; tick < kTicks; ++tick) {
+        for (size_t i = 0; i < current.size(); ++i) {
+            if (tick % current[i]->period() != 0)
+                continue;
+            for (size_t j = i + 1; j < current.size(); ++j) {
+                if (tick % current[j]->period() != 0 ||
+                    !ordered(*current[i], *current[j]))
+                    continue;
+                EXPECT_LT(stampAt(current[i]->step_stamps, tick),
+                          stampAt(current[j]->step_stamps, tick))
+                    << current[i]->name() << " must step before "
+                    << current[j]->name() << " at tick " << tick;
+            }
+        }
+    }
+}
+
+TEST(EngineFuzz, ReplaceAndAddAcrossRunsKeepBatchedDispatchInvariants)
+{
+    for (uint32_t seed : {3u, 21u, 777u, 4242u})
+        fuzzReplaceOnce(seed);
+}
+
 } // namespace

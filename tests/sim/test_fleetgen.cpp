@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Property suite for the synthetic fleet generator (sim/fleetgen.h):
+ * determinism per seed, validate()-clean tiered topologies at 10k
+ * servers, bounded trace values, and bit-identical regeneration across
+ * calls and thread counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/fleetgen.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+using namespace nps;
+using sim::FleetGen;
+using sim::FleetSpec;
+
+FleetSpec
+specOf(unsigned servers, uint64_t seed = 20080301)
+{
+    FleetSpec spec;
+    spec.servers = servers;
+    spec.seed = seed;
+    return spec;
+}
+
+void
+expectSameTraces(const std::vector<trace::UtilizationTrace> &a,
+                 const std::vector<trace::UtilizationTrace> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].name(), b[i].name()) << "vm " << i;
+        EXPECT_EQ(a[i].workloadClass(), b[i].workloadClass()) << i;
+        // Exact double equality: regeneration must be bit-identical.
+        ASSERT_EQ(a[i].samples(), b[i].samples()) << "vm " << i;
+    }
+}
+
+TEST(FleetGen, RejectsPartialZones)
+{
+    EXPECT_DEATH(FleetGen(specOf(777)), "whole number");
+    EXPECT_DEATH(FleetGen(specOf(0)), "whole number");
+}
+
+TEST(FleetGen, TenThousandServerTopologyIsValid)
+{
+    FleetGen gen(specOf(10000));
+    EXPECT_EQ(gen.zones(), 20u);
+    sim::Topology topo = gen.topology();
+    topo.validate(); // fatal() on any structural violation
+    EXPECT_EQ(topo.num_servers, 10000u);
+    EXPECT_EQ(topo.num_enclosures,
+              gen.zones() * gen.spec().racks_per_zone *
+                  gen.spec().enclosures_per_rack);
+    EXPECT_TRUE(topo.hasTree());
+    // dc -> 20 zones -> 10 racks each.
+    ASSERT_EQ(topo.tree.size(), 1u);
+    EXPECT_EQ(topo.tree[0].children.size(), 20u);
+    for (const auto &zone : topo.tree[0].children)
+        EXPECT_EQ(zone.children.size(), 10u);
+}
+
+TEST(FleetGen, TraceValuesBoundedAndSizedPerVm)
+{
+    FleetGen gen(specOf(1000));
+    auto traces = gen.traces();
+    ASSERT_EQ(traces.size(), 1000u);
+    for (const auto &t : traces) {
+        ASSERT_EQ(t.length(), gen.spec().trace_length);
+        for (double v : t.samples()) {
+            EXPECT_GE(v, 0.0);
+            EXPECT_LE(v, 1.0);
+        }
+    }
+}
+
+TEST(FleetGen, DeterministicPerSeedAndDistinctAcrossSeeds)
+{
+    auto a = FleetGen(specOf(500, 1)).traces();
+    auto b = FleetGen(specOf(500, 1)).traces();
+    expectSameTraces(a, b);
+
+    auto c = FleetGen(specOf(500, 2)).traces();
+    ASSERT_EQ(a.size(), c.size());
+    bool any_differ = false;
+    for (size_t i = 0; i < a.size() && !any_differ; ++i)
+        any_differ = a[i].samples() != c[i].samples();
+    EXPECT_TRUE(any_differ) << "seed change must change the campaign";
+}
+
+TEST(FleetGen, TracesIdenticalAcrossThreadCounts)
+{
+    FleetGen gen(specOf(1000));
+    auto serial = gen.traces(nullptr);
+    for (unsigned threads : {2u, 4u, 8u}) {
+        util::ThreadPool pool(threads);
+        auto parallel = gen.traces(&pool);
+        expectSameTraces(serial, parallel);
+    }
+}
+
+TEST(FleetGen, TracesIndependentOfFleetSize)
+{
+    // A VM's trace is a pure function of (seed, vm id): growing the
+    // fleet must not perturb the workloads of existing VMs.
+    auto small = FleetGen(specOf(500)).traces();
+    auto large = FleetGen(specOf(1500)).traces();
+    for (size_t i = 0; i < small.size(); ++i)
+        ASSERT_EQ(small[i].samples(), large[i].samples()) << "vm " << i;
+}
+
+TEST(FleetGen, VmFillControlsPopulation)
+{
+    FleetSpec spec = specOf(500);
+    spec.vm_fill = 0.5;
+    FleetGen gen(spec);
+    EXPECT_EQ(gen.numVms(), 250u);
+    EXPECT_EQ(gen.traces().size(), 250u);
+}
+
+} // namespace

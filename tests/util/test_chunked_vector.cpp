@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Unit tests for util::ChunkedVector: chunked growth, stable element
+ * addresses across appends, clear()-keeps-storage reuse, and iteration.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "util/chunked_vector.h"
+
+namespace {
+
+using nps::util::ChunkedVector;
+
+TEST(ChunkedVector, GrowsAcrossChunkBoundaries)
+{
+    ChunkedVector<int, 8> v;
+    EXPECT_TRUE(v.empty());
+    for (int i = 0; i < 100; ++i)
+        v.push_back(i);
+    EXPECT_FALSE(v.empty());
+    ASSERT_EQ(v.size(), 100u);
+    for (size_t i = 0; i < v.size(); ++i)
+        EXPECT_EQ(v[i], static_cast<int>(i));
+    EXPECT_EQ(v.back(), 99);
+}
+
+TEST(ChunkedVector, AddressesStableAcrossAppends)
+{
+    ChunkedVector<int, 4> v;
+    std::vector<const int *> addrs;
+    for (int i = 0; i < 64; ++i) {
+        v.push_back(i);
+        addrs.push_back(&v[static_cast<size_t>(i)]);
+    }
+    // Unlike std::vector, no append may have relocated earlier elements.
+    for (size_t i = 0; i < addrs.size(); ++i) {
+        EXPECT_EQ(addrs[i], &v[i]);
+        EXPECT_EQ(*addrs[i], static_cast<int>(i));
+    }
+}
+
+TEST(ChunkedVector, ClearKeepsStorageForReuse)
+{
+    ChunkedVector<int, 4> v;
+    for (int i = 0; i < 16; ++i)
+        v.push_back(i);
+    const int *first = &v[0];
+    v.clear();
+    EXPECT_EQ(v.size(), 0u);
+    EXPECT_TRUE(v.empty());
+    for (int i = 0; i < 16; ++i)
+        v.push_back(100 + i);
+    // Refill lands in the retained chunks: same address, new values.
+    EXPECT_EQ(&v[0], first);
+    EXPECT_EQ(v[0], 100);
+    EXPECT_EQ(v[15], 115);
+}
+
+TEST(ChunkedVector, ReservePreallocatesWithoutChangingSize)
+{
+    ChunkedVector<int, 8> v;
+    v.reserve(100);
+    EXPECT_EQ(v.size(), 0u);
+    for (int i = 0; i < 100; ++i)
+        v.push_back(i);
+    EXPECT_EQ(v.size(), 100u);
+    EXPECT_EQ(v[99], 99);
+}
+
+TEST(ChunkedVector, EmplaceBackReturnsStableReference)
+{
+    ChunkedVector<std::string, 2> v;
+    std::string &a = v.emplace_back(3, 'x');
+    EXPECT_EQ(a, "xxx");
+    for (int i = 0; i < 20; ++i)
+        v.emplace_back("s" + std::to_string(i));
+    EXPECT_EQ(a, "xxx"); // still valid after 10 chunk allocations
+    EXPECT_EQ(v[0], "xxx");
+    EXPECT_EQ(v.back(), "s19");
+}
+
+TEST(ChunkedVector, IterationCoversAllElementsInOrder)
+{
+    ChunkedVector<int, 8> v;
+    for (int i = 0; i < 37; ++i)
+        v.push_back(i);
+
+    int expect = 0;
+    for (int x : v)
+        EXPECT_EQ(x, expect++);
+    EXPECT_EQ(expect, 37);
+
+    EXPECT_EQ(std::accumulate(v.begin(), v.end(), 0), 37 * 36 / 2);
+    auto it = std::find(v.begin(), v.end(), 20);
+    ASSERT_NE(it, v.end());
+    EXPECT_EQ(*it, 20);
+
+    ChunkedVector<int, 8> empty;
+    EXPECT_EQ(empty.begin(), empty.end());
+}
+
+} // namespace

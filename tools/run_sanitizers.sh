@@ -19,11 +19,13 @@ build_root="${1:-${repo_root}/build-san}"
 # fuzz tests, the serial-vs-parallel determinism suite, the
 # golden-master scenarios (which run at threads = 1 and 4), the
 # fault-injection chaos layer (whose injector queries run on the
-# sharded worker threads), and the checkpoint layer (snapshot format,
+# sharded worker threads), the checkpoint layer (snapshot format,
 # the resume-equality matrix that crosses thread counts, the
 # fork-and-SIGKILL chaos harness, and the link/lease edge suites the
-# restore path depends on).
-test_regex='sim/test_engine|sim/test_engine_fuzz|integration/test_determinism|golden/test_golden_master|fault/test_injector|fault/test_chaos|fault/test_degradation|ckpt/test_snapshot|ckpt/test_resume|ckpt/test_chaos_kill|bus/test_link_replay|controllers/test_lease_boundary'
+# restore path depends on), and the fleet-scale layer (parallel trace
+# generation in sim/test_fleetgen, the 5000-server SoA hot path across
+# thread counts in integration/test_fleet_scale).
+test_regex='sim/test_engine|sim/test_engine_fuzz|sim/test_fleetgen|integration/test_determinism|integration/test_fleet_scale|golden/test_golden_master|fault/test_injector|fault/test_chaos|fault/test_degradation|ckpt/test_snapshot|ckpt/test_resume|ckpt/test_chaos_kill|bus/test_link_replay|controllers/test_lease_boundary'
 
 run_one() {
     local label="$1"
