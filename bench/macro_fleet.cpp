@@ -155,8 +155,11 @@ writeJson(const std::string &path, const std::vector<Cell> &cells)
         util::fatal("macro_fleet: cannot write '%s'", path.c_str());
     out << "{\n";
     out << "  \"bench\": \"macro_fleet\",\n";
+    out << "  \"host_cpus\": " << util::ThreadPool::hardwareThreads()
+        << ",\n";
     out << "  \"unit_note\": \"peak_rss_mb is process-wide and "
-           "monotone across cells\",\n";
+           "monotone across cells; threads > host_cpus cells measure "
+           "oversubscription, not scaling\",\n";
     out << "  \"cells\": [\n";
     for (size_t i = 0; i < cells.size(); ++i) {
         const Cell &c = cells[i];

@@ -103,6 +103,15 @@ BudgetLink::setFaultInjector(const fault::FaultInjector *faults,
     stats_ = stats;
 }
 
+void
+BudgetLink::setStreamHealth(const fault::StreamHealth *health,
+                            fault::DegradeStats *stats)
+{
+    health_ = health;
+    if (stats)
+        stats_ = stats;
+}
+
 bool
 BudgetLink::send(double watts, size_t tick)
 {
@@ -110,7 +119,14 @@ BudgetLink::send(double watts, size_t tick)
     double deliver = watts;
     bool dropped = false;
     bool stale = false;
-    if (faults_) {
+    if (health_ && health_->silent(child_, tick)) {
+        // The child's telemetry stream is silent: treat the send as
+        // lost on the wire, byte-for-byte the injected-drop path below
+        // (counted, mirrored undelivered, lease keeps aging).
+        dropped = true;
+        if (stats_)
+            ++stats_->dropped_budgets;
+    } else if (faults_) {
         if (faults_->budgetDropped(link_, child_, tick)) {
             // Lost on the wire: the receiver's lease keeps aging.
             dropped = true;

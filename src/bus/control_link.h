@@ -33,6 +33,7 @@
 #include "bus/control_log.h"
 #include "bus/messages.h"
 #include "bus/violation.h"
+#include "fault/health.h"
 #include "fault/injector.h"
 
 namespace nps {
@@ -111,6 +112,17 @@ class BudgetLink : public ControlLink
                           fault::DegradeStats *stats);
 
     /**
+     * Attach a stream-liveness oracle (online engine): a send to a
+     * child whose telemetry stream is silent at the send tick is
+     * treated exactly like an injected drop — counted in @p stats,
+     * mirrored as undelivered, the receiver's lease keeps aging. Only
+     * meaningful on links whose child id is a server id (EM→SM, GM→SM);
+     * null detaches.
+     */
+    void setStreamHealth(const fault::StreamHealth *health,
+                         fault::DegradeStats *stats);
+
+    /**
      * Send a grant of @p watts at @p tick. Applies any active drop or
      * stale fault, mirrors the outcome, and invokes the sink on
      * delivery. @return false when the send was dropped.
@@ -144,6 +156,7 @@ class BudgetLink : public ControlLink
     Sink sink_;
     const fault::FaultInjector *faults_ = nullptr;
     fault::DegradeStats *stats_ = nullptr;
+    const fault::StreamHealth *health_ = nullptr;
     double prev_ = 0.0;      //!< previous epoch's grant (stale replay)
     bool has_prev_ = false;
     uint64_t delivered_ = 0;

@@ -37,6 +37,9 @@ EnclosureManager::EnclosureManager(sim::Cluster &cluster,
         util::fatal("EM/%u: Priority policy needs one priority per blade",
                     enclosure_);
     }
+    blade_ids_.reserve(blades_.size());
+    for (const auto *sm : blades_)
+        blade_ids_.push_back(sm->server().id());
     for (auto *sm : blades_) {
         long sid = static_cast<long>(sm->server().id());
         grant_links_.push_back(std::make_unique<bus::BudgetLink>(
@@ -54,6 +57,13 @@ EnclosureManager::setFaultInjector(const fault::FaultInjector *faults)
     faults_ = faults;
     for (auto &link : grant_links_)
         link->setFaultInjector(faults, &degrade_);
+}
+
+void
+EnclosureManager::setStreamHealth(const fault::StreamHealth *health)
+{
+    for (auto &link : grant_links_)
+        link->setStreamHealth(health, &degrade_);
 }
 
 void
@@ -172,8 +182,9 @@ EnclosureManager::observe(size_t tick)
 
     double a_short = 1.0 / params_.demand_horizon;
     double a_long = 1.0 / params_.history_horizon;
-    for (size_t i = 0; i < blades_.size(); ++i) {
-        double p = blades_[i]->server().lastPower();
+    const std::vector<double> &power = cluster_.serverState().power;
+    for (size_t i = 0; i < blade_ids_.size(); ++i) {
+        double p = power[blade_ids_[i]];
         demand_ewma_[i] += a_short * (p - demand_ewma_[i]);
         history_ewma_[i] += a_long * (p - history_ewma_[i]);
     }

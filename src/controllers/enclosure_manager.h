@@ -123,6 +123,13 @@ class EnclosureManager : public sim::Actor, public ViolationTracker
 
     /// @}
 
+    /**
+     * Attach the stream-liveness oracle of an online run (src/stream/)
+     * to the EM→SM budget links: grants to a blade whose telemetry
+     * stream is silent are dropped like a lost link. Null detaches.
+     */
+    void setStreamHealth(const fault::StreamHealth *health);
+
     /** Mirror the EM→SM budget links into @p log; null detaches. */
     void attachControlLog(bus::ControlPlaneLog *log);
 
@@ -148,6 +155,13 @@ class EnclosureManager : public sim::Actor, public ViolationTracker
     sim::Cluster &cluster_;
     sim::EnclosureId enclosure_;
     std::vector<ServerManager *> blades_;
+    /**
+     * Server ids of blades_, in member order: the per-blade estimate
+     * loop reads the cluster's SoA power array through these ids
+     * instead of chasing SM -> Server -> store pointers (identical
+     * values; a linear scan at fleet scale).
+     */
+    std::vector<sim::ServerId> blade_ids_;
     double static_cap_;
     double dynamic_cap_;
     Params params_;

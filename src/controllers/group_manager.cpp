@@ -62,6 +62,10 @@ GroupManager::GroupManager(sim::Cluster &cluster, long id,
         if (!sm)
             util::fatal("%s: null standalone SM child", name_.c_str());
     }
+    scope_ids_.reserve(all_servers_.size());
+    for (const auto *sm : all_servers_)
+        scope_ids_.push_back(sm->server().id());
+    track_server_ewmas_ = params_.mode == Mode::Uncoordinated;
     size_t n_children = child_demand_.size();
     if (params_.policy == DivisionPolicy::Priority &&
         params_.priorities.size() != n_children &&
@@ -120,6 +124,17 @@ GroupManager::setFaultInjector(const fault::FaultInjector *faults)
         link->setFaultInjector(faults, &degrade_);
     for (auto &link : server_links_)
         link->setFaultInjector(faults, &degrade_);
+}
+
+void
+GroupManager::setStreamHealth(const fault::StreamHealth *health)
+{
+    for (auto &link : child_links_) {
+        if (link->link() == fault::Link::GmToSm)
+            link->setStreamHealth(health, &degrade_);
+    }
+    for (auto &link : server_links_)
+        link->setStreamHealth(health, &degrade_);
 }
 
 void
@@ -202,10 +217,12 @@ double
 GroupManager::scopePower() const
 {
     // Serial left-fold in server-id order: for a full-cluster scope this
-    // reproduces ClusterTick::total_power bit-for-bit (same fold).
+    // reproduces ClusterTick::total_power bit-for-bit (same fold). Reads
+    // go straight to the SoA power array (slot == ServerId).
+    const std::vector<double> &power = cluster_.serverState().power;
     double sum = 0.0;
-    for (const auto *sm : all_servers_)
-        sum += sm->server().lastPower();
+    for (sim::ServerId id : scope_ids_)
+        sum += power[id];
     return sum;
 }
 
@@ -275,10 +292,16 @@ GroupManager::observe(size_t tick)
         child_history_[c] += a_long * (p - child_history_[c]);
         ++c;
     }
-    for (size_t i = 0; i < all_servers_.size(); ++i) {
-        double p = all_servers_[i]->server().lastPower();
-        server_demand_[i] += a_short * (p - server_demand_[i]);
-        server_history_[i] += a_long * (p - server_history_[i]);
+    if (track_server_ewmas_) {
+        // Uncoordinated mode only: the direct-to-server division needs
+        // per-server estimates. Coordinated GMs never read these, so
+        // they skip the O(scope) update (the vectors stay zero).
+        const std::vector<double> &power = cluster_.serverState().power;
+        for (size_t i = 0; i < scope_ids_.size(); ++i) {
+            double p = power[scope_ids_[i]];
+            server_demand_[i] += a_short * (p - server_demand_[i]);
+            server_history_[i] += a_long * (p - server_history_[i]);
+        }
     }
 }
 

@@ -194,6 +194,16 @@ class GroupManager : public sim::Actor, public ViolationTracker
 
     /// @}
 
+    /**
+     * Attach the stream-liveness oracle of an online run (src/stream/)
+     * to this GM's server-targeting budget links (GM→SM: standalone
+     * grants and the uncoordinated direct-to-server channels): grants
+     * to a server whose telemetry stream is silent are dropped like a
+     * lost link. Group- and enclosure-targeting links are unaffected —
+     * stream liveness is a per-server property. Null detaches.
+     */
+    void setStreamHealth(const fault::StreamHealth *health);
+
     /** Mirror this GM's outgoing budget links into @p log. */
     void attachControlLog(bus::ControlPlaneLog *log);
 
@@ -232,6 +242,21 @@ class GroupManager : public sim::Actor, public ViolationTracker
     std::vector<EnclosureManager *> enclosures_;
     std::vector<ServerManager *> standalone_;
     std::vector<ServerManager *> all_servers_;
+    /**
+     * Server ids of all_servers_, in the same order: the scope power
+     * fold and the per-server estimate loops index the cluster's
+     * contiguous SoA power array through these ids instead of chasing
+     * SM -> Server -> store pointers, which at fleet scale turns a
+     * cache-missing pointer walk into a linear array scan (identical
+     * values, identical fold order).
+     */
+    std::vector<sim::ServerId> scope_ids_;
+    /**
+     * Per-server demand estimates feed only the uncoordinated
+     * direct-to-server division; coordinated GMs skip maintaining them
+     * (the vectors stay zero-filled, keeping the checkpoint layout).
+     */
+    bool track_server_ewmas_ = true;
     double static_cap_;
     double dynamic_cap_;
     Params params_;

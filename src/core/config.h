@@ -19,6 +19,7 @@
 #include "fault/fault.h"
 #include "obs/observability.h"
 #include "sim/cluster.h"
+#include "stream/stream_config.h"
 
 namespace nps {
 namespace core {
@@ -101,6 +102,14 @@ struct CoordinationConfig
      * is bit-identical whether they are on or off.
      */
     obs::ObsConfig observability;
+
+    /**
+     * Online-telemetry setup (docs/STREAMING.md): whether the run is
+     * driven by a live feed (`npsim --serve`) and the late/missing-
+     * sample policy. Disabled by default; a batch run is bit-identical
+     * to a build without the stream layer at all.
+     */
+    stream::StreamConfig stream;
 
     /**
      * Validate invariants and resolve derived settings: propagates the

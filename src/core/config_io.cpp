@@ -111,6 +111,9 @@ schema()
           "outage_len", "drops", "drop_len", "drop_prob", "stales",
           "stale_len", "stucks", "stuck_len", "noises", "noise_len",
           "noise_sigma", "freezes", "freeze_len"}},
+        {"stream",
+         {"enabled", "timeout_ms", "max_pending", "hold_last",
+          "hold_ticks", "fallback_util"}},
     };
     return s;
 }
@@ -335,6 +338,20 @@ configFromIni(const IniDocument &ini)
     rnd.freeze_len = static_cast<unsigned>(
         ini.getInt("faults", "freeze_len", rnd.freeze_len));
 
+    auto &st = cfg.stream;
+    st.enabled = ini.getBool("stream", "enabled", st.enabled);
+    st.timeout_ms = static_cast<unsigned>(ini.getInt(
+        "stream", "timeout_ms", static_cast<long>(st.timeout_ms)));
+    st.max_pending = static_cast<unsigned>(ini.getInt(
+        "stream", "max_pending", static_cast<long>(st.max_pending)));
+    st.hold_last = ini.getBool("stream", "hold_last", st.hold_last);
+    st.hold_ticks = static_cast<unsigned>(ini.getInt(
+        "stream", "hold_ticks", static_cast<long>(st.hold_ticks)));
+    st.fallback_util = ini.getDouble("stream", "fallback_util",
+                                     st.fallback_util);
+    if (st.max_pending == 0)
+        util::fatal("config: [stream] max_pending must be at least 1");
+
     return cfg;
 }
 
@@ -521,6 +538,14 @@ configToIni(const CoordinationConfig &cfg)
     ini.set("faults", "noise_sigma", numStr(rnd.noise_sigma));
     ini.set("faults", "freezes", std::to_string(rnd.freezes));
     ini.set("faults", "freeze_len", std::to_string(rnd.freeze_len));
+
+    const auto &st = cfg.stream;
+    ini.set("stream", "enabled", boolStr(st.enabled));
+    ini.set("stream", "timeout_ms", std::to_string(st.timeout_ms));
+    ini.set("stream", "max_pending", std::to_string(st.max_pending));
+    ini.set("stream", "hold_last", boolStr(st.hold_last));
+    ini.set("stream", "hold_ticks", std::to_string(st.hold_ticks));
+    ini.set("stream", "fallback_util", numStr(st.fallback_util));
     return ini;
 }
 

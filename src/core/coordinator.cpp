@@ -269,6 +269,18 @@ Coordinator::buildGroupNode(const sim::TopologyNode &node, long &next_id)
 }
 
 void
+Coordinator::attachStreamHealth(const fault::StreamHealth *health)
+{
+    // Stream liveness is a per-server property, so only the links that
+    // terminate at a server consult the oracle: the EMs' per-blade
+    // grants and the GMs' standalone / direct-to-server channels.
+    for (auto &em : ems_)
+        em->setStreamHealth(health);
+    for (auto &gm : gms_)
+        gm->setStreamHealth(health);
+}
+
+void
 Coordinator::attachControlLog()
 {
     bus::ControlPlaneLog *log = control_log_.get();
@@ -377,11 +389,12 @@ Coordinator::updateRunGauges()
         g.first->set(static_cast<double>(s.degrade.*(g.second)));
 }
 
-void
+size_t
 Coordinator::run(size_t ticks)
 {
-    engine_->run(ticks);
+    size_t done = engine_->run(ticks);
     updateRunGauges();
+    return done;
 }
 
 fault::DegradeStats

@@ -74,8 +74,12 @@ class Coordinator
     Coordinator(const Coordinator &) = delete;
     Coordinator &operator=(const Coordinator &) = delete;
 
-    /** Advance the simulation by @p ticks. */
-    void run(size_t ticks);
+    /**
+     * Advance the simulation by @p ticks.
+     * @return ticks actually simulated — fewer than @p ticks only when
+     *         a TickSource (an online telemetry feed) ended the run.
+     */
+    size_t run(size_t ticks);
 
     /** The resolved configuration in force. */
     const CoordinationConfig &config() const { return config_; }
@@ -102,6 +106,16 @@ class Coordinator
 
     /** Degradation counters summed across all controllers. */
     fault::DegradeStats degradeStats() const;
+
+    /**
+     * Attach the stream-liveness oracle of an online run (src/stream/)
+     * to every server-targeting budget link in the hierarchy: grants to
+     * a server whose telemetry stream is silent are then dropped exactly
+     * like an injected link-drop fault, with the same DegradeStats and
+     * the same lease-expiry fallback downstream. Null detaches; batch
+     * runs never call this.
+     */
+    void attachStreamHealth(const fault::StreamHealth *health);
 
     /** The metrics collector (for series access). */
     const sim::MetricsCollector &metrics() const { return metrics_; }

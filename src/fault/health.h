@@ -1,0 +1,54 @@
+/**
+ * @file
+ * StreamHealth: the liveness oracle of an online telemetry feed
+ * (src/stream/), expressed in the fault layer's vocabulary so the
+ * degradation machinery treats a silent stream exactly like a lost
+ * budget link.
+ *
+ * The online engine's missing-sample policy (docs/STREAMING.md) is
+ * deliberately not a new mechanism: when a server's telemetry stream
+ * has no sample for the current tick, every budget link targeting that
+ * server treats its sends as dropped — counted in the sender's
+ * DegradeStats like a wire loss, never delivered — so the receiving
+ * ServerManager's budget lease ages and eventually falls back to its
+ * conservative local cap, precisely the PR-2 drop-campaign behavior.
+ * The recorder's `faults` column likewise adds the number of silent
+ * streams to the injector's active-event count.
+ *
+ * Implemented by stream::ClusterFeed; queried on the engine thread only
+ * (budget links send from global actors, the recorder observes
+ * serially), and per-tick answers are precomputed when the tick is
+ * staged, so queries are pure reads.
+ */
+
+#ifndef NPS_FAULT_HEALTH_H
+#define NPS_FAULT_HEALTH_H
+
+#include <cstddef>
+
+namespace nps {
+namespace fault {
+
+/**
+ * Read-only per-tick stream-liveness oracle.
+ */
+class StreamHealth
+{
+  public:
+    virtual ~StreamHealth() = default;
+
+    /**
+     * @return true when server @p server_id's telemetry stream supplied
+     * no sample for @p tick (its hosted VMs' demand had to be filled by
+     * the missing-sample policy).
+     */
+    virtual bool silent(long server_id, size_t tick) const = 0;
+
+    /** Number of silent streams at @p tick (telemetry / recorder). */
+    virtual size_t silentCount(size_t tick) const = 0;
+};
+
+} // namespace fault
+} // namespace nps
+
+#endif // NPS_FAULT_HEALTH_H

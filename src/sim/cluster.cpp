@@ -249,6 +249,14 @@ Cluster::capGrp() const
     return cap_grp_;
 }
 
+void
+Cluster::enableExternalDemand()
+{
+    vm_store_->external_demand = 1;
+    if (vm_store_->staged_demand.size() != vms_.size())
+        vm_store_->staged_demand.assign(vms_.size(), 0.0);
+}
+
 const ClusterTick &
 Cluster::evaluateTick(size_t tick, util::ThreadPool *pool)
 {

@@ -223,6 +223,28 @@ class Cluster
     void loadState(ckpt::SectionReader &r);
 
     /// @}
+    /// @name External demand (the online engine, src/stream/)
+    /// @{
+
+    /**
+     * Switch every VM's demandAt() from trace playback to the staged
+     * demand array: from now on each tick serves whatever a telemetry
+     * feed staged via stagedDemand(). Wiring time only; there is no way
+     * back (an online run never mixes the two sources).
+     */
+    void enableExternalDemand();
+
+    /** @return true once enableExternalDemand() has been called. */
+    bool externalDemand() const { return vm_store_->external_demand != 0; }
+
+    /**
+     * The staged per-VM demand slots (index == VmId), written by the
+     * feed before each tick. Only meaningful after
+     * enableExternalDemand().
+     */
+    std::vector<double> &stagedDemand() { return vm_store_->staged_demand; }
+
+    /// @}
 
     /** Shared per-server dynamic state (slot == ServerId). The hot
      * aggregation in evaluateTick folds over these arrays directly. */

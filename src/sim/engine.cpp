@@ -144,12 +144,14 @@ segmentFires(const std::vector<unsigned> &fire, size_t tick)
     return false;
 }
 
-void
+size_t
 Engine::runSerial(size_t ticks)
 {
     const size_t count = raw_.size();
     for (size_t i = 0; i < ticks; ++i) {
         size_t tick = now_;
+        if (source_ && !source_->beginTick(tick))
+            return i;
         for (Actor *actor : raw_)
             actor->observe(tick);
         if (tick > 0) {
@@ -162,14 +164,17 @@ Engine::runSerial(size_t ticks)
         metrics_.record(cluster_, tick);
         ++now_;
     }
+    return ticks;
 }
 
-void
+size_t
 Engine::runParallel(size_t ticks)
 {
     util::ThreadPool &pool = *pool_;
     for (size_t i = 0; i < ticks; ++i) {
         size_t tick = now_;
+        if (source_ && !source_->beginTick(tick))
+            return i;
         for (const Segment &seg : plan_) {
             if (!seg.shardable) {
                 raw_[seg.actor]->observe(tick);
@@ -206,6 +211,7 @@ Engine::runParallel(size_t ticks)
         metrics_.record(cluster_, tick);
         ++now_;
     }
+    return ticks;
 }
 
 void
@@ -230,14 +236,17 @@ Engine::announceSchedule()
     profiler_->setSchedule(std::move(infos), threads_);
 }
 
-void
+size_t
 Engine::runSerialProfiled(size_t ticks)
 {
     using Clock = obs::EngineProfiler::Clock;
     obs::EngineProfiler &prof = *profiler_;
     Clock::time_point run_start = Clock::now();
+    size_t done = 0;
     for (size_t i = 0; i < ticks; ++i) {
         size_t tick = now_;
+        if (source_ && !source_->beginTick(tick))
+            break;
         for (size_t a = 0; a < raw_.size(); ++a) {
             Clock::time_point t0 = Clock::now();
             raw_[a]->observe(tick);
@@ -261,19 +270,24 @@ Engine::runSerialProfiled(size_t ticks)
         prof.addPhase(obs::EnginePhase::Record,
                       obs::EngineProfiler::sinceNs(t0));
         ++now_;
+        ++done;
     }
-    prof.addRun(ticks, obs::EngineProfiler::sinceNs(run_start));
+    prof.addRun(done, obs::EngineProfiler::sinceNs(run_start));
+    return done;
 }
 
-void
+size_t
 Engine::runParallelProfiled(size_t ticks)
 {
     using Clock = obs::EngineProfiler::Clock;
     obs::EngineProfiler &prof = *profiler_;
     util::ThreadPool &pool = *pool_;
     Clock::time_point run_start = Clock::now();
+    size_t done = 0;
     for (size_t i = 0; i < ticks; ++i) {
         size_t tick = now_;
+        if (source_ && !source_->beginTick(tick))
+            break;
         for (const Segment &seg : plan_) {
             if (!seg.shardable) {
                 Clock::time_point t0 = Clock::now();
@@ -329,26 +343,25 @@ Engine::runParallelProfiled(size_t ticks)
         prof.addPhase(obs::EnginePhase::Record,
                       obs::EngineProfiler::sinceNs(t0));
         ++now_;
+        ++done;
     }
-    prof.addRun(ticks, obs::EngineProfiler::sinceNs(run_start));
+    prof.addRun(done, obs::EngineProfiler::sinceNs(run_start));
+    return done;
 }
 
-void
+size_t
 Engine::run(size_t ticks)
 {
     preparePlan();
     announceSchedule();
     if (threads_ <= 1) {
         if (profiler_)
-            runSerialProfiled(ticks);
-        else
-            runSerial(ticks);
-        return;
+            return runSerialProfiled(ticks);
+        return runSerial(ticks);
     }
     if (profiler_)
-        runParallelProfiled(ticks);
-    else
-        runParallel(ticks);
+        return runParallelProfiled(ticks);
+    return runParallel(ticks);
 }
 
 void

@@ -89,6 +89,27 @@ class Actor
 };
 
 /**
+ * Per-tick gate for externally paced simulation (the online engine,
+ * src/stream/): when attached, the engine calls beginTick() at the top
+ * of every tick — before any actor observes — so a telemetry feed can
+ * stage the tick's externally supplied VM demand (or end the run).
+ */
+class TickSource
+{
+  public:
+    virtual ~TickSource() = default;
+
+    /**
+     * Prepare tick @p tick. Return false to stop the run *before* the
+     * tick is simulated (end of stream): Engine::run() returns early
+     * and now() still names this tick as the next one to simulate.
+     * Called on the engine thread at every thread count, so staging is
+     * naturally ordered before all actor/cluster work of the tick.
+     */
+    virtual bool beginTick(size_t tick) = 0;
+};
+
+/**
  * Drives a Cluster and a set of Actors through simulated time.
  */
 class Engine
@@ -167,8 +188,21 @@ class Engine
      */
     void setProfiler(obs::EngineProfiler *profiler);
 
-    /** Advance the simulation by @p ticks ticks. */
-    void run(size_t ticks);
+    /**
+     * Attach (or detach, with nullptr) a per-tick source gate. The
+     * source must outlive the engine or be detached first. With no
+     * source attached the tick loops are exactly the offline engine —
+     * the online path adds one pointer test per tick.
+     */
+    void setTickSource(TickSource *source) { source_ = source; }
+
+    /**
+     * Advance the simulation by up to @p ticks ticks.
+     *
+     * @return the number of ticks actually simulated: @p ticks, unless
+     * an attached TickSource ended the run early.
+     */
+    size_t run(size_t ticks);
 
     /** @return the next tick to be simulated. */
     size_t now() const { return now_; }
@@ -207,10 +241,10 @@ class Engine
     };
 
     void preparePlan();
-    void runSerial(size_t ticks);
-    void runParallel(size_t ticks);
-    void runSerialProfiled(size_t ticks);
-    void runParallelProfiled(size_t ticks);
+    size_t runSerial(size_t ticks);
+    size_t runParallel(size_t ticks);
+    size_t runSerialProfiled(size_t ticks);
+    size_t runParallelProfiled(size_t ticks);
     void announceSchedule();
 
     Cluster &cluster_;
@@ -234,6 +268,7 @@ class Engine
     std::vector<unsigned> period_;
     bool plan_dirty_ = true;
     obs::EngineProfiler *profiler_ = nullptr;
+    TickSource *source_ = nullptr;
 };
 
 } // namespace sim

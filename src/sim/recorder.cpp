@@ -53,8 +53,12 @@ Recorder::observe(size_t tick)
                 cluster_.lastEnclosurePower(enc.id()));
         }
     }
-    if (faults_)
-        active_faults_.push_back(faults_->activeCount(tick - 1));
+    if (faults_ || health_) {
+        size_t active = faults_ ? faults_->activeCount(tick - 1) : 0;
+        if (health_)
+            active += health_->silentCount(tick - 1);
+        active_faults_.push_back(active);
+    }
 }
 
 const std::vector<double> &
@@ -110,7 +114,7 @@ Recorder::writeCsv(std::ostream &out) const
             header.push_back("srv" + std::to_string(s) + "_p");
         }
     }
-    if (faults_)
+    if (faults_ || health_)
         header.push_back("faults");
     w.rowFromFields(header);
 
@@ -137,7 +141,7 @@ Recorder::writeCsv(std::ostream &out) const
                 row.push_back(std::to_string(server_pstate_[s][i]));
             }
         }
-        if (faults_)
+        if (faults_ || health_)
             row.push_back(std::to_string(active_faults_[i]));
         w.rowFromFields(row);
     }

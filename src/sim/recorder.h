@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/health.h"
 #include "fault/injector.h"
 #include "sim/cluster.h"
 #include "sim/engine.h"
@@ -88,6 +89,18 @@ class Recorder : public Actor
     const std::vector<size_t> &activeFaults() const { return active_faults_; }
 
     /**
+     * Attach the stream-liveness oracle of an online run: the `faults`
+     * column then additionally counts the silent telemetry streams at
+     * each sampled tick (added to the injector's active events when
+     * both oracles are attached), so a stream outage aligns with the
+     * power series exactly like a fault campaign would.
+     */
+    void setStreamHealth(const fault::StreamHealth *health)
+    {
+        health_ = health;
+    }
+
+    /**
      * Write everything captured as wide-form CSV: one row per sample,
      * one column per signal (tick, group, enc<i>, srv<i>_{w,util,p},
      * plus `faults` when an injector is attached).
@@ -105,6 +118,7 @@ class Recorder : public Actor
     Options options_;
     std::string name_ = "Recorder";
     const fault::FaultInjector *faults_ = nullptr;
+    const fault::StreamHealth *health_ = nullptr;
     std::vector<size_t> active_faults_;
     std::vector<size_t> ticks_;
     std::vector<double> group_power_;

@@ -88,6 +88,17 @@ struct VmStateSoA
     std::vector<double> last_demanded;
     std::vector<double> last_served;
     std::vector<double> last_apparent_share;
+    /**
+     * Externally staged demand, one slot per VM, read by
+     * VirtualMachine::demandAt instead of the trace when
+     * external_demand is set (the online engine, src/stream/: a
+     * telemetry feed stages every VM's demand before each tick).
+     * Deliberately not checkpointed — the feed re-stages before the
+     * first post-restore tick.
+     */
+    std::vector<double> staged_demand;
+    /** When nonzero demandAt serves staged_demand, not the trace. */
+    uint8_t external_demand = 0;
 
     /** Number of slots. */
     size_t size() const { return migrating_until.size(); }
@@ -100,6 +111,7 @@ struct VmStateSoA
         last_demanded.resize(n, 0.0);
         last_served.resize(n, 0.0);
         last_apparent_share.resize(n, 0.0);
+        staged_demand.resize(n, 0.0);
     }
 };
 

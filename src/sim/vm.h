@@ -61,8 +61,20 @@ class VirtualMachine
     /** @return the demand trace. */
     const trace::UtilizationTrace &trace() const { return trace_; }
 
-    /** Useful-work demand (full-speed utilization fraction) at @p tick. */
-    double demandAt(size_t tick) const { return trace_.at(tick); }
+    /**
+     * Useful-work demand (full-speed utilization fraction) at @p tick:
+     * the trace sample, unless the store has been switched to
+     * externally staged demand (Cluster::enableExternalDemand — the
+     * online engine), in which case it is whatever the telemetry feed
+     * staged for this tick.
+     */
+    double
+    demandAt(size_t tick) const
+    {
+        if (store_->external_demand)
+            return store_->staged_demand[slot_];
+        return trace_.at(tick);
+    }
 
     /**
      * Begin a migration whose overhead lasts until (exclusive) @p until.

@@ -1,0 +1,202 @@
+#include "stream/frame.h"
+
+#include <cstring>
+
+#include "ckpt/snapshot.h"
+
+namespace nps {
+namespace stream {
+
+namespace {
+
+const uint8_t kMagic[4] = {'N', 'P', 'S', 'F'};
+constexpr size_t kMagicLen = 4;
+constexpr size_t kHeaderLen = kMagicLen + 1; // magic + type
+constexpr size_t kCrcLen = 4;
+
+void
+putU32(uint8_t *p, uint32_t v)
+{
+    p[0] = static_cast<uint8_t>(v);
+    p[1] = static_cast<uint8_t>(v >> 8);
+    p[2] = static_cast<uint8_t>(v >> 16);
+    p[3] = static_cast<uint8_t>(v >> 24);
+}
+
+void
+putU64(uint8_t *p, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        p[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+
+uint32_t
+getU32(const uint8_t *p)
+{
+    return static_cast<uint32_t>(p[0]) |
+           static_cast<uint32_t>(p[1]) << 8 |
+           static_cast<uint32_t>(p[2]) << 16 |
+           static_cast<uint32_t>(p[3]) << 24;
+}
+
+uint64_t
+getU64(const uint8_t *p)
+{
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+/** Payload length of @p type, or SIZE_MAX for an unknown type byte. */
+size_t
+payloadLen(uint8_t type)
+{
+    switch (type) {
+    case 'H':
+        return 24;
+    case 'S':
+        return 20;
+    case 'T':
+    case 'B':
+        return 8;
+    default:
+        return SIZE_MAX;
+    }
+}
+
+} // namespace
+
+void
+FrameWriter::frame(FrameType type, const uint8_t *payload, size_t len)
+{
+    size_t base = buf_.size();
+    buf_.resize(base + kHeaderLen + len + kCrcLen);
+    std::memcpy(&buf_[base], kMagic, kMagicLen);
+    buf_[base + kMagicLen] = static_cast<uint8_t>(type);
+    if (len > 0)
+        std::memcpy(&buf_[base + kHeaderLen], payload, len);
+    uint32_t crc = ckpt::crc32(&buf_[base + kMagicLen], 1 + len);
+    putU32(&buf_[base + kHeaderLen + len], crc);
+}
+
+void
+FrameWriter::hello(const HelloFrame &h)
+{
+    uint8_t p[24];
+    putU32(p, h.version);
+    putU32(p + 4, h.streams);
+    putU64(p + 8, h.start_tick);
+    putU64(p + 16, h.total_ticks);
+    frame(FrameType::Hello, p, sizeof p);
+}
+
+void
+FrameWriter::sample(const SampleFrame &s)
+{
+    uint8_t p[20];
+    putU64(p, s.tick);
+    putU32(p + 8, s.stream);
+    uint64_t bits;
+    static_assert(sizeof bits == sizeof s.demand, "double width");
+    std::memcpy(&bits, &s.demand, sizeof bits);
+    putU64(p + 12, bits);
+    frame(FrameType::Sample, p, sizeof p);
+}
+
+void
+FrameWriter::tickEnd(uint64_t tick)
+{
+    uint8_t p[8];
+    putU64(p, tick);
+    frame(FrameType::TickEnd, p, sizeof p);
+}
+
+void
+FrameWriter::bye(uint64_t final_tick)
+{
+    uint8_t p[8];
+    putU64(p, final_tick);
+    frame(FrameType::Bye, p, sizeof p);
+}
+
+void
+FrameDecoder::feed(const void *data, size_t len)
+{
+    const uint8_t *p = static_cast<const uint8_t *>(data);
+    buf_.insert(buf_.end(), p, p + len);
+}
+
+bool
+FrameDecoder::next(Frame &out)
+{
+    while (pos_ + kHeaderLen <= buf_.size()) {
+        if (std::memcmp(&buf_[pos_], kMagic, kMagicLen) != 0) {
+            ++pos_;
+            ++stats_.resync_bytes;
+            continue;
+        }
+        uint8_t type = buf_[pos_ + kMagicLen];
+        size_t plen = payloadLen(type);
+        if (plen == SIZE_MAX) {
+            // Valid magic, unknown type: almost certainly a corrupted
+            // frame (or a future protocol). Skip one byte and rescan so
+            // a real frame embedded later is still found.
+            ++stats_.bad_type;
+            ++pos_;
+            ++stats_.resync_bytes;
+            continue;
+        }
+        size_t frame_len = kHeaderLen + plen + kCrcLen;
+        if (pos_ + frame_len > buf_.size())
+            break; // incomplete; wait for more input
+        const uint8_t *body = &buf_[pos_ + kMagicLen];
+        uint32_t want = getU32(&buf_[pos_ + kHeaderLen + plen]);
+        if (ckpt::crc32(body, 1 + plen) != want) {
+            ++stats_.bad_crc;
+            ++pos_;
+            ++stats_.resync_bytes;
+            continue;
+        }
+        const uint8_t *p = &buf_[pos_ + kHeaderLen];
+        out = Frame{};
+        out.type = static_cast<FrameType>(type);
+        switch (out.type) {
+        case FrameType::Hello:
+            out.hello.version = getU32(p);
+            out.hello.streams = getU32(p + 4);
+            out.hello.start_tick = getU64(p + 8);
+            out.hello.total_ticks = getU64(p + 16);
+            break;
+        case FrameType::Sample: {
+            out.sample.tick = getU64(p);
+            out.sample.stream = getU32(p + 8);
+            uint64_t bits = getU64(p + 12);
+            std::memcpy(&out.sample.demand, &bits, sizeof bits);
+            break;
+        }
+        case FrameType::TickEnd:
+        case FrameType::Bye:
+            out.tick = getU64(p);
+            break;
+        }
+        pos_ += frame_len;
+        ++stats_.frames;
+        // Compact lazily so a long session does not grow the buffer
+        // without bound.
+        if (pos_ > 65536) {
+            buf_.erase(buf_.begin(),
+                       buf_.begin() + static_cast<long>(pos_));
+            pos_ = 0;
+        }
+        return true;
+    }
+    if (pos_ > 65536) {
+        buf_.erase(buf_.begin(), buf_.begin() + static_cast<long>(pos_));
+        pos_ = 0;
+    }
+    return false;
+}
+
+} // namespace stream
+} // namespace nps

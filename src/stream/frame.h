@@ -1,0 +1,143 @@
+/**
+ * @file
+ * The NPSF wire format: framed utilization samples for the online
+ * telemetry engine (docs/STREAMING.md).
+ *
+ * Every frame is
+ *
+ *     magic "NPSF" (4 bytes) | type (1 byte) | payload | CRC32 (4 bytes)
+ *
+ * with all integers little-endian, demand values bit-cast IEEE-754
+ * doubles (the stream replays bit-exactly), and the CRC taken over type
+ * plus payload. Four frame types:
+ *
+ *     'H' hello    u32 version, u32 streams, u64 start_tick,
+ *                  u64 total_ticks (0 = open-ended)
+ *     'S' sample   u64 tick, u32 stream (VM id), f64 demand
+ *     'T' tick-end u64 tick  — all samples for @p tick have been sent
+ *     'B' bye      u64 final_tick — one past the last covered tick
+ *
+ * The decoder is pure over byte buffers (no I/O), accepts input split at
+ * arbitrary boundaries, and resynchronizes after garbage by scanning
+ * forward one byte at a time for the next valid frame — a corrupted,
+ * truncated, or injected byte costs the frames it overlaps, never the
+ * process. Every anomaly is counted in DecodeStats.
+ */
+
+#ifndef NPS_STREAM_FRAME_H
+#define NPS_STREAM_FRAME_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace nps {
+namespace stream {
+
+/** Wire protocol version emitted and accepted. */
+inline constexpr uint32_t kProtocolVersion = 1;
+
+/** Frame type tags (the on-wire type byte). */
+enum class FrameType : uint8_t
+{
+    Hello = 'H',
+    Sample = 'S',
+    TickEnd = 'T',
+    Bye = 'B',
+};
+
+/** 'H' payload: the session handshake. */
+struct HelloFrame
+{
+    uint32_t version = kProtocolVersion;
+    uint32_t streams = 0;    //!< number of telemetry streams (== VMs)
+    uint64_t start_tick = 0; //!< first tick the feeder will cover
+    uint64_t total_ticks = 0; //!< ticks the feeder intends to send (0 = open)
+};
+
+/** 'S' payload: one stream's demand for one tick. */
+struct SampleFrame
+{
+    uint64_t tick = 0;
+    uint32_t stream = 0; //!< VM id
+    double demand = 0.0;
+};
+
+/** One decoded frame (tagged union; @c tick serves TickEnd and Bye). */
+struct Frame
+{
+    FrameType type = FrameType::Hello;
+    HelloFrame hello;
+    SampleFrame sample;
+    uint64_t tick = 0;
+};
+
+/** Malformed-input tallies kept by the decoder. */
+struct DecodeStats
+{
+    uint64_t frames = 0;       //!< frames decoded successfully
+    uint64_t resync_bytes = 0; //!< bytes skipped hunting for a frame
+    uint64_t bad_crc = 0;      //!< frames rejected on checksum
+    uint64_t bad_type = 0;     //!< magic followed by an unknown type
+};
+
+/**
+ * Serializes frames into an internal byte buffer (no I/O; the caller
+ * flushes data() however it likes and clear()s between flushes).
+ */
+class FrameWriter
+{
+  public:
+    void hello(const HelloFrame &h);
+    void sample(const SampleFrame &s);
+    void tickEnd(uint64_t tick);
+    void bye(uint64_t final_tick);
+
+    const uint8_t *data() const { return buf_.data(); }
+    size_t size() const { return buf_.size(); }
+    const std::vector<uint8_t> &buffer() const { return buf_; }
+    void clear() { buf_.clear(); }
+
+  private:
+    void frame(FrameType type, const uint8_t *payload, size_t len);
+
+    std::vector<uint8_t> buf_;
+};
+
+/**
+ * Incremental frame parser. feed() arbitrary byte chunks, then drain
+ * complete frames with next(); partial frames wait in the buffer for
+ * more input. Never throws, never aborts: garbage is skipped and
+ * counted.
+ */
+class FrameDecoder
+{
+  public:
+    /** Append @p len raw bytes to the parse buffer. */
+    void feed(const void *data, size_t len);
+
+    /**
+     * Decode the next complete frame into @p out.
+     * @return false when the buffer holds no complete frame (call
+     *         feed() with more input and retry).
+     */
+    bool next(Frame &out);
+
+    /** Anomaly counters (monotonic over the decoder's lifetime). */
+    const DecodeStats &stats() const { return stats_; }
+
+    /** Bytes buffered but not yet consumed (an unfinished frame, or
+     * garbage not yet skipped). Non-zero at end-of-input means the
+     * stream was cut mid-frame. */
+    size_t buffered() const { return buf_.size() - pos_; }
+
+  private:
+    std::vector<uint8_t> buf_;
+    size_t pos_ = 0;
+    DecodeStats stats_;
+};
+
+} // namespace stream
+} // namespace nps
+
+#endif // NPS_STREAM_FRAME_H

@@ -1,0 +1,196 @@
+#include "stream/net.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <time.h>
+#include <unistd.h>
+
+#include "util/logging.h"
+
+namespace nps {
+namespace stream {
+
+namespace {
+
+bool
+hasPrefix(const std::string &s, const char *prefix)
+{
+    return s.rfind(prefix, 0) == 0;
+}
+
+void
+fillUnixAddr(const std::string &path, sockaddr_un &addr)
+{
+    std::memset(&addr, 0, sizeof addr);
+    addr.sun_family = AF_UNIX;
+    if (path.empty() || path.size() >= sizeof addr.sun_path)
+        util::fatal("stream: unix socket path '%s' is empty or too "
+                    "long",
+                    path.c_str());
+    std::memcpy(addr.sun_path, path.c_str(), path.size());
+}
+
+void
+fillTcpAddr(const std::string &hostport, bool server, sockaddr_in &addr)
+{
+    std::string host = "127.0.0.1";
+    std::string port = hostport;
+    auto colon = hostport.rfind(':');
+    if (colon != std::string::npos) {
+        host = hostport.substr(0, colon);
+        port = hostport.substr(colon + 1);
+    }
+    if (server)
+        host = "127.0.0.1"; // the daemon only ever binds loopback
+    char *end = nullptr;
+    long p = std::strtol(port.c_str(), &end, 10);
+    if (port.empty() || *end != '\0' || p < 1 || p > 65535)
+        util::fatal("stream: bad TCP port '%s'", port.c_str());
+    std::memset(&addr, 0, sizeof addr);
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(p));
+    if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+        util::fatal("stream: bad TCP host '%s' (numeric IPv4 only)",
+                    host.c_str());
+}
+
+void
+sleepMs(unsigned ms)
+{
+    struct timespec ts;
+    ts.tv_sec = ms / 1000;
+    ts.tv_nsec = static_cast<long>(ms % 1000) * 1000000L;
+    nanosleep(&ts, nullptr);
+}
+
+} // namespace
+
+bool
+isStdioSpec(const std::string &spec)
+{
+    return spec == "stdin" || spec == "-" || spec == "stdio";
+}
+
+int
+serveAndAccept(const std::string &spec)
+{
+    if (isStdioSpec(spec))
+        return 0;
+    int listener = -1;
+    std::string unix_path;
+    if (hasPrefix(spec, "unix:")) {
+        unix_path = spec.substr(5);
+        sockaddr_un addr;
+        fillUnixAddr(unix_path, addr);
+        ::unlink(unix_path.c_str());
+        listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (listener < 0)
+            util::fatal("stream: socket(AF_UNIX): %s",
+                        std::strerror(errno));
+        if (::bind(listener, reinterpret_cast<sockaddr *>(&addr),
+                   sizeof addr) != 0)
+            util::fatal("stream: bind(%s): %s", unix_path.c_str(),
+                        std::strerror(errno));
+    } else if (hasPrefix(spec, "tcp:")) {
+        sockaddr_in addr;
+        fillTcpAddr(spec.substr(4), /*server=*/true, addr);
+        listener = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (listener < 0)
+            util::fatal("stream: socket(AF_INET): %s",
+                        std::strerror(errno));
+        int one = 1;
+        ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one,
+                     sizeof one);
+        if (::bind(listener, reinterpret_cast<sockaddr *>(&addr),
+                   sizeof addr) != 0)
+            util::fatal("stream: bind(%s): %s", spec.c_str(),
+                        std::strerror(errno));
+    } else {
+        util::fatal("stream: bad endpoint '%s' (want stdin, unix:PATH "
+                    "or tcp:PORT)",
+                    spec.c_str());
+    }
+    if (::listen(listener, 1) != 0)
+        util::fatal("stream: listen(%s): %s", spec.c_str(),
+                    std::strerror(errno));
+    int fd;
+    do {
+        fd = ::accept(listener, nullptr, nullptr);
+    } while (fd < 0 && errno == EINTR);
+    if (fd < 0)
+        util::fatal("stream: accept(%s): %s", spec.c_str(),
+                    std::strerror(errno));
+    ::close(listener);
+    if (!unix_path.empty())
+        ::unlink(unix_path.c_str());
+    return fd;
+}
+
+int
+connectTo(const std::string &spec, unsigned wait_ms)
+{
+    if (isStdioSpec(spec))
+        return 1; // the feeder writes frames to stdout
+    unsigned waited = 0;
+    for (;;) {
+        int fd = -1;
+        int rc = -1;
+        if (hasPrefix(spec, "unix:")) {
+            sockaddr_un addr;
+            fillUnixAddr(spec.substr(5), addr);
+            fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+            if (fd < 0)
+                util::fatal("stream: socket(AF_UNIX): %s",
+                            std::strerror(errno));
+            rc = ::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                           sizeof addr);
+        } else if (hasPrefix(spec, "tcp:")) {
+            sockaddr_in addr;
+            fillTcpAddr(spec.substr(4), /*server=*/false, addr);
+            fd = ::socket(AF_INET, SOCK_STREAM, 0);
+            if (fd < 0)
+                util::fatal("stream: socket(AF_INET): %s",
+                            std::strerror(errno));
+            rc = ::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                           sizeof addr);
+        } else {
+            util::fatal("stream: bad endpoint '%s' (want stdin, "
+                        "unix:PATH or tcp:HOST:PORT)",
+                        spec.c_str());
+        }
+        if (rc == 0)
+            return fd;
+        ::close(fd);
+        if (waited >= wait_ms)
+            util::fatal("stream: cannot connect to %s after %u ms: %s",
+                        spec.c_str(), wait_ms, std::strerror(errno));
+        sleepMs(50);
+        waited += 50;
+    }
+}
+
+bool
+writeAll(int fd, const void *data, size_t len)
+{
+    const uint8_t *p = static_cast<const uint8_t *>(data);
+    while (len > 0) {
+        ssize_t n = ::write(fd, p, len);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        p += n;
+        len -= static_cast<size_t>(n);
+    }
+    return true;
+}
+
+} // namespace stream
+} // namespace nps

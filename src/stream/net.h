@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Minimal blocking-socket plumbing for the telemetry daemon and feeder:
+ * endpoint specs parsed from the command line, one connection at a
+ * time. Spec grammar (shared by `npsim --serve` and `npsfeed --to`):
+ *
+ *     stdin        the daemon reads frames from fd 0 (feeder: stdout)
+ *     unix:PATH    a Unix-domain stream socket at PATH
+ *     tcp:PORT     loopback TCP (daemon side: bind 127.0.0.1:PORT)
+ *     tcp:HOST:PORT  (feeder side: connect to HOST:PORT)
+ */
+
+#ifndef NPS_STREAM_NET_H
+#define NPS_STREAM_NET_H
+
+#include <cstddef>
+#include <string>
+
+namespace nps {
+namespace stream {
+
+/** @return true when @p spec names the stdin/stdout transport. */
+bool isStdioSpec(const std::string &spec);
+
+/**
+ * Daemon side: bind + listen on @p spec, block for exactly one peer,
+ * close the listener, and return the connected descriptor. A Unix
+ * socket path is unlinked first (stale socket from a killed daemon)
+ * and again once the peer is accepted. Fatal on any socket error.
+ */
+int serveAndAccept(const std::string &spec);
+
+/**
+ * Feeder side: connect to @p spec and return the descriptor. Retries
+ * for up to @p wait_ms (the daemon may still be binding); fatal once
+ * the budget is exhausted.
+ */
+int connectTo(const std::string &spec, unsigned wait_ms = 5000);
+
+/** write(2) until @p len bytes are out. @return false on a dead peer. */
+bool writeAll(int fd, const void *data, size_t len);
+
+} // namespace stream
+} // namespace nps
+
+#endif // NPS_STREAM_NET_H

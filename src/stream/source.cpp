@@ -1,0 +1,27 @@
+#include "stream/source.h"
+
+namespace nps {
+namespace stream {
+
+OfflineTraceSource::OfflineTraceSource(
+    const std::vector<trace::UtilizationTrace> &traces, size_t horizon)
+    : traces_(traces), horizon_(horizon)
+{
+}
+
+bool
+OfflineTraceSource::pull(size_t tick, TickBatch &batch)
+{
+    if (horizon_ != 0 && tick >= horizon_)
+        return false;
+    batch.reset(traces_.size(), tick);
+    for (size_t i = 0; i < traces_.size(); ++i) {
+        batch.present[i] = 1;
+        batch.demand[i] = traces_[i].at(tick);
+    }
+    batch.samples = traces_.size();
+    return true;
+}
+
+} // namespace stream
+} // namespace nps

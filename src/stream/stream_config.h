@@ -1,0 +1,67 @@
+/**
+ * @file
+ * StreamConfig: the `[stream]` block of a deployment configuration — the
+ * knobs of the online telemetry engine (docs/STREAMING.md).
+ *
+ * A plain struct with no behaviour so core/config_io can parse and
+ * re-render it without pulling in the transport code. The policy half
+ * (hold_last / hold_ticks / fallback_util) deliberately mirrors the
+ * budget-lease machinery: a telemetry stream that goes silent degrades a
+ * server to a conservative assumed demand exactly the way a lapsed
+ * budget lease degrades it to a conservative local cap.
+ */
+
+#ifndef NPS_STREAM_STREAM_CONFIG_H
+#define NPS_STREAM_STREAM_CONFIG_H
+
+namespace nps {
+namespace stream {
+
+/**
+ * Configuration of the online telemetry path (`npsim --serve`).
+ */
+struct StreamConfig
+{
+    /**
+     * Whether this deployment is driven by a live telemetry feed instead
+     * of trace playback. Recorded in checkpoints so a mid-stream
+     * snapshot refuses to resume in batch mode (the staged demand is
+     * not part of the snapshot; only the feed can re-stage it).
+     */
+    bool enabled = false;
+
+    /**
+     * How long one tick may wait for its TICK barrier frame before the
+     * feed gives up and delivers the tick with whatever samples arrived
+     * (milliseconds; 0 waits forever). A timeout does not end the run —
+     * the missing streams degrade through the silent-stream policy.
+     */
+    unsigned timeout_ms = 5000;
+
+    /**
+     * How many ticks ahead of the current one a sample may arrive and
+     * still be buffered. Anything further ahead is dropped and counted —
+     * the bound that keeps a runaway feeder from growing the queue
+     * without limit (backpressure is the kernel socket buffer plus this
+     * window).
+     */
+    unsigned max_pending = 64;
+
+    /**
+     * Missing-sample policy: when true a stream that skips a tick holds
+     * its last reported demand for up to hold_ticks consecutive misses;
+     * when false (or past hold_ticks) the feed assumes fallback_util.
+     */
+    bool hold_last = true;
+
+    /** Consecutive misses tolerated before falling back (0 = forever). */
+    unsigned hold_ticks = 0;
+
+    /** Demand assumed for a stream that is not holding its last value. */
+    double fallback_util = 0.0;
+};
+
+} // namespace stream
+} // namespace nps
+
+#endif // NPS_STREAM_STREAM_CONFIG_H

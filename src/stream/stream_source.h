@@ -1,0 +1,116 @@
+/**
+ * @file
+ * StreamSource: the online TelemetrySource — reads NPSF frames from a
+ * connected file descriptor (Unix/TCP socket or a pipe) and assembles
+ * them into per-tick batches.
+ *
+ * Reads happen on the engine thread inside pull(): the simulation is
+ * clocked by the feed, one TICK barrier per tick, which is what makes
+ * the online run replay-equivalent to batch. Backpressure is the kernel
+ * socket buffer plus a bounded pending window (samples arriving more
+ * than max_pending ticks early are dropped and counted); a tick whose
+ * barrier does not arrive within timeout_ms is delivered with whatever
+ * samples made it, and the absent streams degrade through the feed's
+ * silent-stream policy. End-of-stream (BYE, EOF, or a dead peer) ends
+ * the run cleanly: only barrier-complete ticks are ever delivered, so a
+ * feeder killed mid-tick yields a strict prefix of the batch output,
+ * never a half-filled tick.
+ */
+
+#ifndef NPS_STREAM_STREAM_SOURCE_H
+#define NPS_STREAM_STREAM_SOURCE_H
+
+#include <map>
+
+#include "stream/frame.h"
+#include "stream/source.h"
+#include "stream/stream_config.h"
+
+namespace nps {
+namespace stream {
+
+/**
+ * Framed telemetry over a file descriptor.
+ */
+class StreamSource : public TelemetrySource
+{
+  public:
+    /**
+     * @param fd      Connected stream descriptor; the source owns it and
+     *                closes it on destruction (stdin is left open).
+     * @param streams Expected stream count (the cluster's VM count); a
+     *                HELLO advertising anything else is fatal.
+     * @param config  Timeout and window knobs (policy fields unused here).
+     */
+    StreamSource(int fd, size_t streams, const StreamConfig &config);
+    ~StreamSource() override;
+
+    StreamSource(const StreamSource &) = delete;
+    StreamSource &operator=(const StreamSource &) = delete;
+
+    size_t streams() const override { return expected_; }
+    bool pull(size_t tick, TickBatch &batch) override;
+    IngestStats *ingest() override { return &ingest_; }
+    const DecodeStats *codec() const override { return &decoder_.stats(); }
+
+    /** Frame-level anomaly counters. */
+    const DecodeStats &decodeStats() const { return decoder_.stats(); }
+
+    /** The handshake, valid once sawHello(). */
+    bool sawHello() const { return got_hello_; }
+    const HelloFrame &hello() const { return hello_; }
+
+    /** @return true when the stream ended with bytes of an unfinished
+     * frame still buffered (the peer died mid-frame). */
+    bool truncated() const { return eof_ && decoder_.buffered() > 0; }
+
+    /** @return true when the peer signed off with a BYE frame. */
+    bool sawBye() const { return got_bye_; }
+
+  private:
+    enum class ReadResult
+    {
+        Data,
+        Timeout,
+        Eof,
+    };
+
+    /** One poll+read cycle feeding the decoder. */
+    ReadResult readMore();
+
+    /** Decode and file every buffered frame. */
+    void drainFrames();
+
+    /** @return true when every sample for @p tick has been promised. */
+    bool tickClosed(size_t tick) const
+    {
+        return have_closed_ && closed_through_ >= tick;
+    }
+
+    struct Pending
+    {
+        std::vector<uint8_t> present;
+        std::vector<double> demand;
+        size_t count = 0;
+    };
+
+    int fd_;
+    bool owns_fd_;
+    size_t expected_;
+    StreamConfig config_;
+    FrameDecoder decoder_;
+    IngestStats ingest_;
+    HelloFrame hello_;
+    bool got_hello_ = false;
+    bool got_bye_ = false;
+    bool eof_ = false;
+    bool have_closed_ = false;
+    uint64_t closed_through_ = 0; //!< barrier high-water mark
+    size_t cursor_ = 0;           //!< tick currently being pulled
+    std::map<uint64_t, Pending> pending_;
+};
+
+} // namespace stream
+} // namespace nps
+
+#endif // NPS_STREAM_STREAM_SOURCE_H

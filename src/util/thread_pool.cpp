@@ -18,7 +18,7 @@ ThreadPool::ThreadPool(unsigned threads)
     // The calling thread is worker 0; spawn only the extras.
     workers_.reserve(size_ - 1);
     for (unsigned i = 1; i < size_; ++i)
-        workers_.emplace_back([this] { workerLoop(); });
+        workers_.emplace_back([this, i] { workerLoop(i); });
 }
 
 ThreadPool::~ThreadPool()
@@ -33,20 +33,37 @@ ThreadPool::~ThreadPool()
 }
 
 void
-ThreadPool::runShards(unsigned long generation)
+ThreadPool::runShards(unsigned long generation, unsigned index)
 {
-    // Claim shards one at a time. The generation check keeps a straggler
-    // that wakes after its job has drained from touching a later job's
-    // counters (or a dangling job function).
+    // Claim shards one at a time, preferring the shard matching this
+    // worker's index and scanning upward (wrapping) from there: with the
+    // engine's shards == threads layout every worker re-claims the same
+    // shard on every dispatch, keeping each shard's working set on one
+    // core, and an idle worker still steals from a stalled peer. The
+    // generation check keeps a straggler that wakes after its job has
+    // drained from touching a later job's counters (or a dangling job
+    // function).
     for (;;) {
         const std::function<void(size_t)> *job;
         size_t shard;
         {
             std::lock_guard<std::mutex> lock(mutex_);
-            if (generation_ != generation || next_shard_ >= job_shards_)
+            if (generation_ != generation)
                 return;
+            size_t n = job_shards_;
+            size_t found = n;
+            for (size_t off = 0; off < n; ++off) {
+                size_t s = (index + off) % n;
+                if (!claimed_[s]) {
+                    found = s;
+                    break;
+                }
+            }
+            if (found == n)
+                return;
+            claimed_[found] = 1;
             job = job_;
-            shard = next_shard_++;
+            shard = found;
         }
         (*job)(shard);
         {
@@ -60,7 +77,7 @@ ThreadPool::runShards(unsigned long generation)
 }
 
 void
-ThreadPool::workerLoop()
+ThreadPool::workerLoop(unsigned index)
 {
     unsigned long seen = 0;
     for (;;) {
@@ -74,7 +91,7 @@ ThreadPool::workerLoop()
                 return;
             seen = generation = generation_;
         }
-        runShards(generation);
+        runShards(generation, index);
     }
 }
 
@@ -96,12 +113,12 @@ ThreadPool::parallelFor(size_t shards,
             fatal("ThreadPool::parallelFor: re-entered");
         job_ = &fn;
         job_shards_ = shards;
-        next_shard_ = 0;
         pending_shards_ = shards;
+        claimed_.assign(shards, 0);
         generation = ++generation_;
     }
     start_cv_.notify_all();
-    runShards(generation);
+    runShards(generation, 0);
     {
         std::unique_lock<std::mutex> lock(mutex_);
         done_cv_.wait(lock, [&] { return pending_shards_ == 0; });

@@ -59,8 +59,8 @@ class ThreadPool
     static unsigned hardwareThreads();
 
   private:
-    void workerLoop();
-    void runShards(unsigned long generation);
+    void workerLoop(unsigned index);
+    void runShards(unsigned long generation, unsigned index);
 
     unsigned size_;
     std::vector<std::thread> workers_;
@@ -70,8 +70,16 @@ class ThreadPool
     std::condition_variable done_cv_;
     const std::function<void(size_t)> *job_ = nullptr;
     size_t job_shards_ = 0;
-    size_t next_shard_ = 0;
     size_t pending_shards_ = 0;
+    /**
+     * Per-shard claim flags for the current job. Worker i claims shard
+     * i first and only then steals unclaimed shards (ascending from its
+     * own), so across repeated parallelFor calls — the per-tick phases
+     * of the engine — a shard's working set stays with the same thread
+     * (and core) instead of migrating on every dispatch, while a
+     * stalled worker still cannot leave work stranded.
+     */
+    std::vector<char> claimed_;
     unsigned long generation_ = 0;
     bool stop_ = false;
 };

@@ -37,6 +37,7 @@ struct CkptCase
     bool tree = false;        //!< run on the 3-level GM-of-GMs topology
     bool cap_mem = false;     //!< enable electrical cappers + memory mgrs
     const char *faults = nullptr; //!< fault script, or null = fault-free
+    bool stream = false;      //!< online run: arms the budget leases
 };
 
 /** A built simulation: coordinator + attached recorder. */
@@ -64,6 +65,7 @@ buildSim(const CkptCase &c, unsigned threads)
         cfg.faults.script = c.faults;
         cfg.faults.enabled = true;
     }
+    cfg.stream.enabled = c.stream;
     nps::sim::Topology topo =
         c.tree ? nps::sim::Topology::tiered(2, 3, 1, 8, 2)
                : nps::core::ExperimentRunner::topologyFor(

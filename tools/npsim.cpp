@@ -43,6 +43,9 @@
 #include "core/experiment.h"
 #include "core/scenarios.h"
 #include "sim/recorder.h"
+#include "stream/feed.h"
+#include "stream/net.h"
+#include "stream/stream_source.h"
 #include "util/csv.h"
 #include "util/ini.h"
 #include "util/logging.h"
@@ -70,6 +73,7 @@ struct Args
     std::string profile_path;
     std::string log_level;
     std::string checkpoint_dir;
+    std::string serve; //!< telemetry endpoint (daemon mode)
     size_t checkpoint_every = 0;
     std::string resume; //!< snapshot file, or "latest"
     unsigned record_stride = 1;
@@ -128,6 +132,15 @@ usage()
         "  --record FILE  dump per-server/enclosure telemetry as CSV\n"
         "  --record-stride N  telemetry sampling stride (default 1,\n"
         "                 matching sim::Recorder::Options)\n"
+        "  --serve SPEC   daemon mode (docs/STREAMING.md): instead of\n"
+        "                 replaying traces, read live NPSF-framed\n"
+        "                 utilization samples from SPEC — stdin,\n"
+        "                 unix:PATH, or tcp:PORT (loopback). One tick is\n"
+        "                 simulated per TICK barrier frame; the run ends\n"
+        "                 early and cleanly if the feeder goes away.\n"
+        "                 Output is byte-identical to the batch run fed\n"
+        "                 the same samples (tools/npsfeed replays a\n"
+        "                 trace campaign as frames)\n"
         "  --checkpoint-every N  write a crash-safe snapshot after every\n"
         "                 N ticks (needs --checkpoint-dir)\n"
         "  --checkpoint-dir D  directory for ckpt-<tick>.nps snapshots\n"
@@ -219,6 +232,8 @@ parse(int argc, char **argv)
             args.checkpoint_dir = need(i), ++i;
         else if (a == "--resume")
             args.resume = need(i), ++i;
+        else if (a == "--serve")
+            args.serve = need(i), ++i;
         else if (a == "--two-pstates")
             args.two_pstates = true;
         else if (a == "--no-power-off")
@@ -542,6 +557,19 @@ main(int argc, char **argv)
         }
         if (!args.control_log_path.empty())
             cfg.log_control_plane = true;
+        if (!args.serve.empty())
+            cfg.stream.enabled = true;
+    }
+    if (resuming) {
+        // A mid-stream snapshot holds no staged demand — only a feed can
+        // re-stage the resume tick, so the mode must match the original.
+        if (cfg.stream.enabled && args.serve.empty())
+            util::fatal("the checkpointed run was stream-fed; pass "
+                        "--serve SPEC to resume it (the staged demand "
+                        "is re-sent by the feeder, not checkpointed)");
+        if (!cfg.stream.enabled && !args.serve.empty())
+            util::fatal("--serve on resume, but the checkpointed run "
+                        "replayed traces; resume it without --serve");
     }
     if (args.dump_config) {
         std::printf("%s", core::configToIni(cfg).toText().c_str());
@@ -607,12 +635,39 @@ main(int argc, char **argv)
         coordinator.engine().addActor(recorder);
     }
 
+    std::unique_ptr<stream::StreamSource> source;
+    std::unique_ptr<stream::ClusterFeed> feed;
+    if (cfg.stream.enabled) {
+        std::fprintf(stderr, "npsim: serving on %s, waiting for the "
+                             "feeder...\n", args.serve.c_str());
+        int fd = stream::serveAndAccept(args.serve);
+        source = std::make_unique<stream::StreamSource>(
+            fd, coordinator.cluster().numVms(), cfg.stream);
+        feed = std::make_unique<stream::ClusterFeed>(
+            coordinator.cluster(), *source, cfg.stream);
+        coordinator.engine().setTickSource(feed.get());
+        coordinator.attachStreamHealth(feed.get());
+        // The recorder grows a `faults` column whenever a fault oracle
+        // is attached; wiring the stream oracle in only when a fault
+        // campaign already runs keeps a pure stream-fed run's CSV
+        // byte-identical to the batch run it replays.
+        if (recorder && coordinator.faultInjector())
+            recorder->setStreamHealth(feed.get());
+        if (coordinator.observability())
+            feed->attachObs(coordinator.observability()->metrics());
+    }
+
     size_t done = 0;
     if (resuming) {
         coordinator.loadState(snap);
         if (recorder) {
             ckpt::SectionReader r = snap.section("recorder");
             recorder->loadState(r);
+            r.expectEnd();
+        }
+        if (feed) {
+            ckpt::SectionReader r = snap.section("stream");
+            feed->loadState(r);
             r.expectEnd();
         }
         done = meta.done_ticks;
@@ -630,6 +685,8 @@ main(int argc, char **argv)
         coordinator.saveState(out);
         if (recorder)
             recorder->saveState(out.section("recorder"));
+        if (feed)
+            feed->saveState(out.section("stream"));
         writeMeta(out.section("meta"), args, cfg, topo, at,
                   recorder != nullptr, keep_series);
         std::string path = checkpointPath(args.checkpoint_dir, at);
@@ -642,18 +699,23 @@ main(int argc, char **argv)
         while (done < args.ticks) {
             size_t chunk = std::min(args.checkpoint_every,
                                     args.ticks - done);
-            coordinator.run(chunk);
-            done += chunk;
+            size_t ran = coordinator.run(chunk);
+            done += ran;
             writeCheckpoint(done);
+            if (ran < chunk)
+                break; // the telemetry feed ended
         }
     } else if (done < args.ticks) {
-        coordinator.run(args.ticks - done);
+        done += coordinator.run(args.ticks - done);
     }
+    if (feed && done < args.ticks)
+        std::fprintf(stderr, "npsim: stream ended after %zu of %zu "
+                             "ticks\n", done, args.ticks);
     sim::MetricsSummary m = coordinator.summary();
 
     core::Coordinator baseline(core::baselineConfig(), topo, machine,
                                library.mix(mix));
-    baseline.run(args.ticks);
+    baseline.run(done);
 
     std::printf("scenario=%s machine=%s mix=%s budgets=%s ticks=%zu\n",
                 args.scenario.c_str(), machine.name().c_str(),

@@ -22,10 +22,14 @@ build_root="${1:-${repo_root}/build-san}"
 # sharded worker threads), the checkpoint layer (snapshot format,
 # the resume-equality matrix that crosses thread counts, the
 # fork-and-SIGKILL chaos harness, and the link/lease edge suites the
-# restore path depends on), and the fleet-scale layer (parallel trace
+# restore path depends on), the fleet-scale layer (parallel trace
 # generation in sim/test_fleetgen, the 5000-server SoA hot path across
-# thread counts in integration/test_fleet_scale).
-test_regex='sim/test_engine|sim/test_engine_fuzz|sim/test_fleetgen|integration/test_determinism|integration/test_fleet_scale|golden/test_golden_master|fault/test_injector|fault/test_chaos|fault/test_degradation|ckpt/test_snapshot|ckpt/test_resume|ckpt/test_chaos_kill|bus/test_link_replay|controllers/test_lease_boundary'
+# thread counts in integration/test_fleet_scale), and the online
+# telemetry layer (the frame-decoder fuzz battery over adversarial
+# byte streams, the socket-fed StreamSource/ClusterFeed policy suite,
+# and the replay-equivalence matrix that crosses thread counts with a
+# live feeder thread writing into the engine).
+test_regex='sim/test_engine|sim/test_engine_fuzz|sim/test_fleetgen|integration/test_determinism|integration/test_fleet_scale|golden/test_golden_master|fault/test_injector|fault/test_chaos|fault/test_degradation|ckpt/test_snapshot|ckpt/test_resume|ckpt/test_chaos_kill|bus/test_link_replay|controllers/test_lease_boundary|stream/test_frame|stream/test_stream_source|stream/test_silence_equiv|stream/test_replay_equiv'
 
 run_one() {
     local label="$1"

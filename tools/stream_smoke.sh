@@ -1,0 +1,137 @@
+#!/usr/bin/env bash
+#
+# End-to-end smoke test for the online telemetry engine
+# (docs/STREAMING.md).
+#
+# Leg 1 (replay equivalence): run npsim in batch mode, then run
+# `npsfeed | npsim --serve stdin` over the same campaign at several
+# thread counts, and require every artifact — telemetry CSV, series,
+# metrics export — to be byte-identical. The nps_stream_* metric
+# families are transport-timing diagnostics that only exist in daemon
+# mode, so the metrics diff filters them out (everything else must
+# match exactly).
+#
+# Leg 2 (unix socket): same equivalence over a unix-domain socket.
+#
+# Leg 3 (killed feeder): SIGKILL the feeder mid-run; the daemon must
+# exit cleanly (no hang, no crash) and its partial telemetry CSV must
+# be a byte-prefix of the batch run's.
+#
+# Leg 4 (checkpoint + resume under --serve): checkpoint the daemon
+# mid-stream, then resume with a feeder that picks up at the
+# checkpointed tick; the final artifacts must match the batch run.
+#
+# Usage:  tools/stream_smoke.sh [npsim-binary] [npsfeed-binary] [workdir]
+#
+# Exits non-zero on the first mismatch.
+
+set -euo pipefail
+
+npsim="${1:-build/tools/npsim}"
+npsfeed="${2:-build/tools/npsfeed}"
+work="${3:-$(mktemp -d)}"
+mkdir -p "${work}"
+
+ticks=480
+mix=180
+
+common=(--scenario coordinated --mix "${mix}" --ticks "${ticks}"
+        --log-level warn)
+
+# Strip the stream-only metric families before diffing: ingest lag,
+# batch sizes, and decode tallies depend on socket timing, not on the
+# simulation, and have no batch-mode counterpart.
+filter_stream_metrics() { # <in> <out>
+    grep -v '^nps_stream_' "$1" | grep -v '^# .*nps_stream_' > "$2"
+}
+
+echo "=== leg 0: batch reference ==="
+"${npsim}" "${common[@]}" \
+    --record "${work}/ref-record.csv" \
+    --series "${work}/ref-series.csv" \
+    --metrics "${work}/ref-metrics.prom"
+filter_stream_metrics "${work}/ref-metrics.prom" "${work}/ref-metrics.flt"
+
+check_identical() { # <prefix>
+    diff "${work}/ref-record.csv" "${work}/$1-record.csv" \
+        || { echo "FAIL: $1 record differs from batch" >&2; exit 1; }
+    diff "${work}/ref-series.csv" "${work}/$1-series.csv" \
+        || { echo "FAIL: $1 series differs from batch" >&2; exit 1; }
+    filter_stream_metrics "${work}/$1-metrics.prom" "${work}/$1-metrics.flt"
+    diff "${work}/ref-metrics.flt" "${work}/$1-metrics.flt" \
+        || { echo "FAIL: $1 metrics differ from batch" >&2; exit 1; }
+    echo "OK: $1 is byte-identical to the batch run"
+}
+
+echo "=== leg 1: stdin pipe, threads 1 and 4 ==="
+for t in 1 4; do
+    "${npsfeed}" --mix "${mix}" --ticks "${ticks}" \
+        | "${npsim}" "${common[@]}" --serve stdin --threads "${t}" \
+            --record "${work}/pipe${t}-record.csv" \
+            --series "${work}/pipe${t}-series.csv" \
+            --metrics "${work}/pipe${t}-metrics.prom"
+    check_identical "pipe${t}"
+done
+
+echo "=== leg 2: unix socket ==="
+sock="${work}/nps.sock"
+"${npsim}" "${common[@]}" --serve "unix:${sock}" --threads 4 \
+    --record "${work}/sock-record.csv" \
+    --series "${work}/sock-series.csv" \
+    --metrics "${work}/sock-metrics.prom" &
+daemon=$!
+"${npsfeed}" --mix "${mix}" --ticks "${ticks}" --to "unix:${sock}"
+wait "${daemon}"
+check_identical "sock"
+
+echo "=== leg 3: feeder SIGKILLed mid-run ==="
+sock="${work}/nps-kill.sock"
+"${npsim}" "${common[@]}" --serve "unix:${sock}" \
+    --record "${work}/kill-record.csv" &
+daemon=$!
+# Paced so the campaign takes ~2s: the SIGKILL lands mid-stream, not
+# after a too-fast feeder already signed off.
+"${npsfeed}" --mix "${mix}" --ticks "${ticks}" --pace-ms 4 \
+    --to "unix:${sock}" &
+feeder=$!
+sleep 0.4
+kill -9 "${feeder}" 2>/dev/null || true
+wait "${feeder}" 2>/dev/null || true
+# The daemon must notice the dead peer and exit cleanly on its own —
+# a hang here fails the smoke via the surrounding CI timeout.
+wait "${daemon}" \
+    || { echo "FAIL: daemon exited non-zero after feeder kill" >&2
+         exit 1; }
+# Whatever was simulated must be a byte-prefix of the batch output:
+# the daemon only commits barrier-complete ticks.
+got="${work}/kill-record.csv"
+lines=$(wc -l < "${got}")
+head -n "${lines}" "${work}/ref-record.csv" | cmp - "${got}" \
+    || { echo "FAIL: partial record is not a prefix of the batch run" >&2
+         exit 1; }
+echo "OK: killed-feeder run exited cleanly with a ${lines}-line prefix"
+
+echo "=== leg 4: checkpoint mid-stream, resume under --serve ==="
+ckpt="${work}/ckpt"
+mkdir -p "${ckpt}"
+half=$((ticks / 2))
+# First half: the feeder covers [0, half); the daemon checkpoints every
+# 60 ticks and ends early (cleanly) when the stream signs off. The obs
+# artifacts must be enabled here too — a resume leg may only ask for
+# artifacts the checkpointed run was collecting.
+"${npsfeed}" --mix "${mix}" --ticks "${half}" \
+    | "${npsim}" "${common[@]}" --serve stdin \
+        --checkpoint-every 60 --checkpoint-dir "${ckpt}" \
+        --record "${work}/half-record.csv" \
+        --series "${work}/half-series.csv" \
+        --metrics "${work}/half-metrics.prom"
+# Resume from the newest snapshot; the feeder picks up at its tick.
+"${npsfeed}" --mix "${mix}" --ticks "${ticks}" --start-tick "${half}" \
+    | "${npsim}" "${common[@]}" --serve stdin --resume latest \
+        --checkpoint-dir "${ckpt}" \
+        --record "${work}/resumed-record.csv" \
+        --series "${work}/resumed-series.csv" \
+        --metrics "${work}/resumed-metrics.prom"
+check_identical "resumed"
+
+echo "=== stream smoke: all legs passed ==="
