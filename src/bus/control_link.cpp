@@ -56,6 +56,14 @@ ControlLink::attachLog(ControlPlaneLog *log)
 }
 
 void
+ControlLink::setTransport(Transport *transport, int owner_rank)
+{
+    transport_ = transport;
+    owner_rank_ = transport ? owner_rank : 0;
+    wire_id_ = transport ? transport->registerLink(this, owner_rank_) : 0;
+}
+
+void
 ControlLink::saveState(ckpt::SectionWriter &w) const
 {
     w.putU64(seq_);
@@ -124,20 +132,14 @@ BudgetLink::send(double watts, size_t tick)
         // lost on the wire, byte-for-byte the injected-drop path below
         // (counted, mirrored undelivered, lease keeps aging).
         dropped = true;
-        if (stats_)
-            ++stats_->dropped_budgets;
     } else if (faults_) {
         if (faults_->budgetDropped(link_, child_, tick)) {
             // Lost on the wire: the receiver's lease keeps aging.
             dropped = true;
-            if (stats_)
-                ++stats_->dropped_budgets;
         } else if (faults_->budgetStale(link_, child_, tick) &&
                    has_prev_) {
             // The link delivered the previous epoch's grant.
             stale = true;
-            if (stats_)
-                ++stats_->stale_budgets;
             deliver = prev_;
         }
     }
@@ -146,6 +148,31 @@ BudgetLink::send(double watts, size_t tick)
     prev_ = watts;
     has_prev_ = true;
     deliver = std::max(deliver, kMinGrant);
+    if (!dropped) {
+        // A locally dropped send never reaches the transport: over a
+        // socket an injected link fault is real wire silence (every
+        // replica computes the same drop, so no receiver waits for the
+        // frame). The transport may still degrade a computed delivery
+        // to a drop — the process hosting this link is down.
+        WireMsg m = resolveOutcome(wireMsg(
+            tick, seq, deliver, watts,
+            static_cast<uint8_t>(kWireDelivered |
+                                 (stale ? kWireStale : 0))));
+        if (!(m.flags & kWireDelivered)) {
+            dropped = true;
+            stale = false;
+        } else {
+            stale = (m.flags & kWireStale) != 0;
+            deliver = m.value;
+        }
+    }
+    if (dropped) {
+        if (stats_)
+            ++stats_->dropped_budgets;
+    } else if (stale) {
+        if (stats_)
+            ++stats_->stale_budgets;
+    }
     mirror(tick, seq, dropped ? 0.0 : deliver, watts, !dropped, stale);
     if (dropped)
         return false;
@@ -197,7 +224,14 @@ ViolationChannel::poll(size_t tick)
     r.lifetime_rate = source_->lifetimeViolationRate();
     r.tick = tick;
     r.seq = nextSeq();
-    mirror(tick, r.seq, r.epoch_rate, r.lifetime_rate, true, false);
+    WireMsg m = resolveOutcome(wireMsg(tick, r.seq, r.epoch_rate,
+                                       r.lifetime_rate, kWireDelivered));
+    bool delivered = (m.flags & kWireDelivered) != 0;
+    // A dead source reports no violations: zero rates, mirrored as an
+    // undelivered poll, until the hosting process rejoins.
+    r.epoch_rate = delivered ? m.value : 0.0;
+    r.lifetime_rate = delivered ? m.aux : 0.0;
+    mirror(tick, r.seq, r.epoch_rate, r.lifetime_rate, delivered, false);
     return r;
 }
 
@@ -219,8 +253,12 @@ void
 ReferenceLink::send(double r_ref, size_t tick)
 {
     uint64_t seq = nextSeq();
-    mirror(tick, seq, r_ref, 0.0, true, false);
-    sink_(ReferenceUpdate{r_ref, tick, seq});
+    WireMsg m = resolveOutcome(wireMsg(tick, seq, r_ref, 0.0,
+                                       kWireDelivered));
+    bool delivered = (m.flags & kWireDelivered) != 0;
+    mirror(tick, seq, m.value, 0.0, delivered, false);
+    if (delivered)
+        sink_(ReferenceUpdate{m.value, tick, seq});
 }
 
 TelemetryLink::TelemetryLink(std::string name)
@@ -232,7 +270,10 @@ void
 TelemetryLink::emit(double value, double aux, size_t tick)
 {
     uint64_t seq = nextSeq();
-    mirror(tick, seq, value, aux, true, false);
+    WireMsg m = resolveOutcome(wireMsg(tick, seq, value, aux,
+                                       kWireDelivered));
+    mirror(tick, seq, m.value, m.aux, (m.flags & kWireDelivered) != 0,
+           false);
 }
 
 } // namespace bus

@@ -32,6 +32,7 @@
 
 #include "bus/control_log.h"
 #include "bus/messages.h"
+#include "bus/transport.h"
 #include "bus/violation.h"
 #include "fault/health.h"
 #include "fault/injector.h"
@@ -63,6 +64,25 @@ class ControlLink
      */
     void attachLog(ControlPlaneLog *log);
 
+    /**
+     * Route this link's messages through @p transport (null detaches,
+     * restoring the inline fast path — the two are bit-identical for
+     * an in-process transport). @p owner_rank is the process rank
+     * hosting this link's sender (docs/DISTRIBUTED.md); a
+     * single-process run passes 0. Must be called at wiring time,
+     * before the engine runs.
+     */
+    void setTransport(Transport *transport, int owner_rank);
+
+    /** The attached transport, or nullptr. */
+    Transport *transport() const { return transport_; }
+
+    /** The rank owning this link under the attached transport. */
+    int ownerRank() const { return owner_rank_; }
+
+    /** The wire id assigned at registration (transport attached only). */
+    uint32_t wireId() const { return wire_id_; }
+
     /** Serialize the sequence counter (checkpointing). */
     virtual void saveState(ckpt::SectionWriter &w) const;
 
@@ -77,11 +97,40 @@ class ControlLink
     void mirror(size_t tick, uint64_t seq, double value, double aux,
                 bool delivered, bool stale);
 
+    /**
+     * Resolve @p local through the attached transport, or return it
+     * unchanged when none is attached. Subclasses call this between
+     * computing a message's local outcome and acting on it.
+     */
+    WireMsg resolveOutcome(const WireMsg &local)
+    {
+        if (!transport_)
+            return local;
+        return transport_->resolve(*this, local);
+    }
+
+    /** Build a WireMsg stamped with this link's wire id. */
+    WireMsg wireMsg(size_t tick, uint64_t seq, double value, double aux,
+                    uint8_t flags) const
+    {
+        WireMsg m;
+        m.link = wire_id_;
+        m.tick = tick;
+        m.seq = seq;
+        m.value = value;
+        m.aux = aux;
+        m.flags = flags;
+        return m;
+    }
+
   private:
     ChannelKind kind_;
     std::string name_;
     uint64_t seq_ = 0;
     EventBuffer *events_ = nullptr;
+    Transport *transport_ = nullptr;
+    int owner_rank_ = 0;
+    uint32_t wire_id_ = 0;
 };
 
 /**
@@ -121,6 +170,20 @@ class BudgetLink : public ControlLink
      */
     void setStreamHealth(const fault::StreamHealth *health,
                          fault::DegradeStats *stats);
+
+    /**
+     * Attach the sender's degradation counters without touching the
+     * fault or liveness oracles. A distributed run needs drops counted
+     * even when no fault campaign is scheduled: a grant addressed to a
+     * killed peer process resolves as undelivered and must age the
+     * receiver's lease ladder visibly (docs/DISTRIBUTED.md). Null is
+     * ignored (an earlier attachment stays).
+     */
+    void attachDegradeStats(fault::DegradeStats *stats)
+    {
+        if (stats)
+            stats_ = stats;
+    }
 
     /**
      * Send a grant of @p watts at @p tick. Applies any active drop or

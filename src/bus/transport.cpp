@@ -1,0 +1,27 @@
+#include "bus/transport.h"
+
+#include "bus/control_link.h"
+
+namespace nps {
+namespace bus {
+
+uint32_t
+InProcTransport::registerLink(ControlLink *link, int owner_rank)
+{
+    (void)link;
+    (void)owner_rank;
+    return next_id_.fetch_add(1, std::memory_order_relaxed);
+}
+
+WireMsg
+InProcTransport::resolve(const ControlLink &link, const WireMsg &local)
+{
+    (void)link;
+    messages_.fetch_add(1, std::memory_order_relaxed);
+    if (local.flags & kWireDelivered)
+        delivered_.fetch_add(1, std::memory_order_relaxed);
+    return local;
+}
+
+} // namespace bus
+} // namespace nps

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * The transport seam of the control plane (docs/DISTRIBUTED.md).
+ *
+ * Every ControlLink subclass (budget, violation, reference, telemetry,
+ * gm-gm) first computes its message outcome exactly as the in-process
+ * bus always has — sequence number, fault drop/stale resolution, the
+ * delivery clamp — and then, when a Transport is attached, hands that
+ * locally computed outcome to Transport::resolve() for the
+ * *authoritative* outcome. The seam is what makes the management
+ * levels deployable as separate processes:
+ *
+ *   - InProcTransport (here) resolves every message to its local
+ *     outcome, bit-identically to having no transport at all. It is
+ *     the default everywhere and the oracle the distributed runtime is
+ *     tested against.
+ *   - stream::SocketTransport serializes messages of remotely-hosted
+ *     links as NPSF frames over unix/tcp sockets. The processes run in
+ *     deterministic lockstep (every replica computes every link's
+ *     message), so in a healthy run resolve() returns exactly the
+ *     local outcome — verified frame by frame — and when the hosting
+ *     process dies its links' sends resolve as drops, feeding the
+ *     existing lease/fallback degradation ladder.
+ *
+ * Link ownership: each link belongs to the management level of its
+ * *sender* (a GM owns its grant links, the VMC's violation channels
+ * belong to the polled source's level, an SM owns its r_ref link).
+ * Controllers report that owner through an OwnerFn when the transport
+ * is attached; links owned by rank 0 (the supervisor, which can never
+ * outlive the run) resolve locally in every process and put nothing on
+ * the wire.
+ */
+
+#ifndef NPS_BUS_TRANSPORT_H
+#define NPS_BUS_TRANSPORT_H
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+
+namespace nps {
+namespace bus {
+
+class ControlLink;
+
+/** Management level a link's sender belongs to (transport ownership). */
+enum class OwnerLevel
+{
+    Gm,
+    Em,
+    Sm,
+    Ec,
+    Vmc,
+    Cap,
+    Mem,
+};
+
+/**
+ * Maps a link's owning (level, instance id) to the process rank that
+ * hosts it. Rank 0 is always the supervisor; a single-process run maps
+ * everything to 0.
+ */
+using OwnerFn = std::function<int(OwnerLevel, long)>;
+
+/** An OwnerFn mapping every level to the local process (rank 0). */
+inline OwnerFn
+localOwner()
+{
+    return [](OwnerLevel, long) { return 0; };
+}
+
+/// @name WireMsg flags
+/// @{
+inline constexpr uint8_t kWireDelivered = 0x1; //!< message reached the sink
+inline constexpr uint8_t kWireStale = 0x2;     //!< stale-fault replay
+/// @}
+
+/**
+ * One control-plane message in transport form — the exact payload the
+ * socket transport frames on the wire ('G'/'V'/'R'/'Y' NPSF types).
+ * `value`/`aux` carry the channel-specific pair (delivered watts and
+ * requested watts for budgets, epoch and lifetime rate for violations,
+ * r_ref for references, value/aux for telemetry).
+ */
+struct WireMsg
+{
+    uint32_t link = 0; //!< dense wire id from Transport::registerLink
+    uint64_t tick = 0;
+    uint64_t seq = 0;
+    double value = 0.0;
+    double aux = 0.0;
+    uint8_t flags = 0;
+};
+
+/**
+ * Pluggable message mover behind every ControlLink.
+ */
+class Transport
+{
+  public:
+    virtual ~Transport() = default;
+
+    /**
+     * Register @p link as the next wire id. Called once per link at
+     * wiring time (before the engine runs), in the deterministic
+     * Coordinator::attachTransport order — every process of a
+     * distributed run therefore assigns identical ids, which the join
+     * handshake verifies with a digest of the registered names.
+     * @return the id the link must stamp into its messages.
+     */
+    virtual uint32_t registerLink(ControlLink *link, int owner_rank) = 0;
+
+    /**
+     * Resolve the authoritative outcome of one message whose locally
+     * computed outcome is @p local. In-process this is the identity. A
+     * socket transport broadcasts messages of links it owns, blocks for
+     * the owner's frame on links it does not, and degrades the message
+     * to an undelivered drop when the owning process is down.
+     */
+    virtual WireMsg resolve(const ControlLink &link, const WireMsg &local) = 0;
+};
+
+/**
+ * The default transport: every message resolves to its local outcome,
+ * bit-identically to the transport-less bus. Keeps per-kind tallies so
+ * tests can assert traffic volumes; counters are atomic because
+ * rank-0-owned links send from sharded worker threads.
+ */
+class InProcTransport : public Transport
+{
+  public:
+    uint32_t registerLink(ControlLink *link, int owner_rank) override;
+
+    WireMsg resolve(const ControlLink &link, const WireMsg &local) override;
+
+    /** Links registered so far. */
+    uint32_t links() const { return next_id_.load(); }
+
+    /** Messages resolved so far (delivered and dropped). */
+    uint64_t messages() const { return messages_.load(); }
+
+    /** Messages resolved as delivered. */
+    uint64_t delivered() const { return delivered_.load(); }
+
+  private:
+    std::atomic<uint32_t> next_id_{0};
+    std::atomic<uint64_t> messages_{0};
+    std::atomic<uint64_t> delivered_{0};
+};
+
+} // namespace bus
+} // namespace nps
+
+#endif // NPS_BUS_TRANSPORT_H

@@ -7,6 +7,7 @@
 #include <fstream>
 
 #include "ckpt/atomic_io.h"
+#include "util/crc32.h"
 #include "util/logging.h"
 
 namespace nps {
@@ -15,19 +16,6 @@ namespace ckpt {
 namespace {
 
 constexpr char kMagic[8] = {'N', 'P', 'S', 'C', 'K', 'P', 'T', '1'};
-
-std::array<uint32_t, 256>
-makeCrcTable()
-{
-    std::array<uint32_t, 256> table{};
-    for (uint32_t i = 0; i < 256; ++i) {
-        uint32_t c = i;
-        for (int k = 0; k < 8; ++k)
-            c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-        table[i] = c;
-    }
-    return table;
-}
 
 void
 appendLe(std::string &buf, uint64_t v, size_t bytes)
@@ -50,12 +38,7 @@ readLe(const unsigned char *p, size_t bytes)
 uint32_t
 crc32(const void *data, size_t len)
 {
-    static const std::array<uint32_t, 256> table = makeCrcTable();
-    uint32_t c = 0xFFFFFFFFu;
-    const auto *p = static_cast<const unsigned char *>(data);
-    for (size_t i = 0; i < len; ++i)
-        c = table[(c ^ p[i]) & 0xFF] ^ (c >> 8);
-    return c ^ 0xFFFFFFFFu;
+    return util::crc32(data, len);
 }
 
 void

@@ -42,7 +42,11 @@ namespace ckpt {
 /** Snapshot container format version (bump on layout change). */
 inline constexpr uint32_t kFormatVersion = 1;
 
-/** CRC32 (IEEE 802.3 polynomial) of a byte range. */
+/**
+ * CRC32 (IEEE 802.3 polynomial) of a byte range. Thin alias of
+ * util::crc32 (util/crc32.h), kept so every checkpoint call site and
+ * snapshot byte stays exactly as before the consolidation.
+ */
 uint32_t crc32(const void *data, size_t len);
 
 /**

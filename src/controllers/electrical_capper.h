@@ -91,6 +91,20 @@ class ElectricalCapper : public sim::Actor, public ViolationTracker
     }
 
     /**
+     * Route the clamp telemetry link through @p transport (null
+     * detaches); it is owned by (Cap, server id). Wiring time only.
+     */
+    void attachTransport(bus::Transport *transport,
+                         const bus::OwnerFn &owner)
+    {
+        const int rank =
+            owner ? owner(bus::OwnerLevel::Cap,
+                          static_cast<long>(server_.id()))
+                  : 0;
+        telemetry_.setTransport(transport, rank);
+    }
+
+    /**
      * Register this capper's metrics series and decision-trace channel.
      * Either argument may be null; wiring time only (not thread-safe).
      */

@@ -74,6 +74,20 @@ EnclosureManager::attachControlLog(bus::ControlPlaneLog *log)
 }
 
 void
+EnclosureManager::attachTransport(bus::Transport *transport,
+                                  const bus::OwnerFn &owner)
+{
+    const int rank =
+        owner ? owner(bus::OwnerLevel::Em, static_cast<long>(enclosure_))
+              : 0;
+    for (auto &link : grant_links_) {
+        link->setTransport(transport, rank);
+        if (transport)
+            link->attachDegradeStats(&degrade_);
+    }
+}
+
+void
 EnclosureManager::attachObs(obs::MetricsRegistry *metrics,
                             obs::TraceSink *trace)
 {

@@ -134,6 +134,14 @@ class EnclosureManager : public sim::Actor, public ViolationTracker
     void attachControlLog(bus::ControlPlaneLog *log);
 
     /**
+     * Route the EM→SM budget links through @p transport (null
+     * detaches); they are owned by (Em, enclosureId()). Wiring time
+     * only, before the engine runs.
+     */
+    void attachTransport(bus::Transport *transport,
+                         const bus::OwnerFn &owner);
+
+    /**
      * Register this EM's metrics series and decision-trace channel.
      * Either argument may be null; wiring time only (not thread-safe).
      */

@@ -147,6 +147,23 @@ GroupManager::attachControlLog(bus::ControlPlaneLog *log)
 }
 
 void
+GroupManager::attachTransport(bus::Transport *transport,
+                              const bus::OwnerFn &owner)
+{
+    const int rank = owner ? owner(bus::OwnerLevel::Gm, id_) : 0;
+    for (auto &link : child_links_) {
+        link->setTransport(transport, rank);
+        if (transport)
+            link->attachDegradeStats(&degrade_);
+    }
+    for (auto &link : server_links_) {
+        link->setTransport(transport, rank);
+        if (transport)
+            link->attachDegradeStats(&degrade_);
+    }
+}
+
+void
 GroupManager::attachObs(obs::MetricsRegistry *metrics,
                         obs::TraceSink *trace)
 {

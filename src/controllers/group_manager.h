@@ -208,6 +208,15 @@ class GroupManager : public sim::Actor, public ViolationTracker
     void attachControlLog(bus::ControlPlaneLog *log);
 
     /**
+     * Route this GM's outgoing budget links through @p transport (null
+     * detaches). @p owner maps the link's owning (level, id) to the
+     * process rank hosting it; all of this GM's links are owned by
+     * (Gm, id()). Wiring time only, before the engine runs.
+     */
+    void attachTransport(bus::Transport *transport,
+                         const bus::OwnerFn &owner);
+
+    /**
      * Register this GM's metrics series and decision-trace channel.
      * Either argument may be null; wiring time only (not thread-safe).
      */

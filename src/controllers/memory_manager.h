@@ -79,6 +79,21 @@ class MemoryManager : public sim::Actor
     }
 
     /**
+     * Route the engage/release telemetry link through @p transport
+     * (null detaches); it is owned by (Mem, server id). Wiring time
+     * only.
+     */
+    void attachTransport(bus::Transport *transport,
+                         const bus::OwnerFn &owner)
+    {
+        const int rank =
+            owner ? owner(bus::OwnerLevel::Mem,
+                          static_cast<long>(server_.id()))
+                  : 0;
+        telemetry_.setTransport(transport, rank);
+    }
+
+    /**
      * Register this MM's metrics series and decision-trace channel.
      * Either argument may be null; wiring time only (not thread-safe).
      */

@@ -190,6 +190,18 @@ ServerManager::attachControlLog(bus::ControlPlaneLog *log)
 }
 
 void
+ServerManager::attachTransport(bus::Transport *transport,
+                               const bus::OwnerFn &owner)
+{
+    if (!ref_link_)
+        return;
+    const int rank =
+        owner ? owner(bus::OwnerLevel::Sm, static_cast<long>(server_.id()))
+              : 0;
+    ref_link_->setTransport(transport, rank);
+}
+
+void
 ServerManager::step(size_t tick)
 {
     step_tick_ = tick;

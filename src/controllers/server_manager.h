@@ -201,6 +201,14 @@ class ServerManager : public sim::Actor,
     void attachControlLog(bus::ControlPlaneLog *log);
 
     /**
+     * Route the r_ref reference link through @p transport (null
+     * detaches); it is owned by (Sm, server id). Wiring time only,
+     * before the engine runs.
+     */
+    void attachTransport(bus::Transport *transport,
+                         const bus::OwnerFn &owner);
+
+    /**
      * Register this SM's metrics series and decision-trace channel.
      * Either argument may be null; wiring time only (not thread-safe).
      */

@@ -67,6 +67,33 @@ VmController::attachControlLog(bus::ControlPlaneLog *log)
 }
 
 void
+VmController::attachTransport(bus::Transport *transport,
+                              const bus::OwnerFn &owner)
+{
+    auto rank = [&](bus::OwnerLevel level, long id) {
+        return owner ? owner(level, id) : 0;
+    };
+    // Feed order mirrors the coordinator's wiring: local[i] is SM i,
+    // enclosure[i] is EM i, and the group tier is the root GM (id 0)
+    // followed by the nested sub-GMs in pre-order (ids 1..N); with no
+    // root feed the sub-GM ids still start at 1.
+    for (size_t i = 0; i < loc_channels_.size(); ++i) {
+        loc_channels_[i]->setTransport(
+            transport, rank(bus::OwnerLevel::Sm, static_cast<long>(i)));
+    }
+    for (size_t i = 0; i < enc_channels_.size(); ++i) {
+        enc_channels_[i]->setTransport(
+            transport, rank(bus::OwnerLevel::Em, static_cast<long>(i)));
+    }
+    const long grp_base = feedback_.group ? 0 : 1;
+    for (size_t i = 0; i < grp_channels_.size(); ++i) {
+        grp_channels_[i]->setTransport(
+            transport,
+            rank(bus::OwnerLevel::Gm, grp_base + static_cast<long>(i)));
+    }
+}
+
+void
 VmController::attachObs(obs::MetricsRegistry *metrics,
                         obs::TraceSink *trace)
 {

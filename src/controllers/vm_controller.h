@@ -167,6 +167,17 @@ class VmController : public sim::Actor
     void attachControlLog(bus::ControlPlaneLog *log);
 
     /**
+     * Route the upstream violation channels through @p transport (null
+     * detaches). A violation channel belongs to the *polled source's*
+     * level — (Sm, i) for the local tier, (Em, i) for the enclosure
+     * tier, (Gm, id) for the group tier — because the source's rates
+     * are only observable in the process hosting that controller.
+     * Wiring time only, before the engine runs.
+     */
+    void attachTransport(bus::Transport *transport,
+                         const bus::OwnerFn &owner);
+
+    /**
      * Register the VMC's metrics series and decision-trace channel.
      * Either argument may be null; wiring time only (not thread-safe).
      */

@@ -42,14 +42,15 @@ CoordinationConfig::resolved() const
     // servers land at the efficient operating point.
     out.vmc.util_limit = out.ec.r_ref;
 
-    if (out.faults.enabled || out.stream.enabled) {
+    if (out.faults.enabled || out.stream.enabled || out.distributed) {
         // Default budget leases to three parent epochs: generous enough
         // that a healthy parent (or one missing a couple of sends) never
         // trips them, tight enough that an outage degrades within the
         // same order of magnitude as the parent's control interval.
-        // Armed for fault campaigns AND online runs — a silent
-        // telemetry stream must age leases exactly like a lossy budget
-        // link (docs/STREAMING.md). Leases stay off otherwise, keeping
+        // Armed for fault campaigns, online runs AND distributed runs —
+        // a silent telemetry stream or a killed peer process must age
+        // leases exactly like a lossy budget link (docs/STREAMING.md,
+        // docs/DISTRIBUTED.md). Leases stay off otherwise, keeping
         // the fault-free batch arithmetic bit-identical to the
         // pre-fault engine; armed-but-refreshed leases are themselves
         // bit-transparent (tests/stream/test_replay_equiv.cpp).

@@ -69,8 +69,35 @@ Coordinator::buildFaultInjector()
 void
 Coordinator::buildControllers()
 {
-    sim::Cluster &cl = *cluster_;
     buildFaultInjector();
+
+    // Innermost levels first, exactly the pre-split construction order:
+    // the per-server loops, then the enclosure level above them, then
+    // the GM tree, then the VMC consuming every level's feeds. Each
+    // level is its own builder so a hosting runtime (core/dist.cpp) can
+    // reason about — and a reader can find — one management level at a
+    // time.
+    buildServerLevel();
+    buildEnclosureLevel();
+    if (config_.enable_gm && config_.enable_sm)
+        buildGroupManagers();
+    buildVmController();
+
+    if (config_.log_control_plane) {
+        control_log_ = std::make_unique<bus::ControlPlaneLog>();
+        attachControlLog();
+    }
+
+    if (config_.observability.any()) {
+        obs_ = std::make_unique<obs::Observability>(config_.observability);
+        attachObservability();
+    }
+}
+
+void
+Coordinator::buildServerLevel()
+{
+    sim::Cluster &cl = *cluster_;
     const fault::FaultInjector *inj = injector_.get();
 
     // Innermost first: one EC per server.
@@ -118,6 +145,12 @@ Coordinator::buildControllers()
             engine_->addActor(mm);
         }
     }
+}
+
+void
+Coordinator::buildEnclosureLevel()
+{
+    sim::Cluster &cl = *cluster_;
 
     // EMs need the blade SMs to push budgets into.
     if (config_.enable_em && config_.enable_sm) {
@@ -128,45 +161,36 @@ Coordinator::buildControllers()
             auto em = std::make_shared<controllers::EnclosureManager>(
                 cl, enc.id(), std::move(blades), cl.capEnc(enc.id()),
                 config_.em);
-            em->setFaultInjector(inj);
+            em->setFaultInjector(injector_.get());
             ems_.push_back(em);
             engine_->addActor(em);
         }
     }
+}
 
-    // The GM level: one flat GM, or the topology's whole GM tree.
-    if (config_.enable_gm && config_.enable_sm)
-        buildGroupManagers();
+void
+Coordinator::buildVmController()
+{
+    if (!config_.enable_vmc)
+        return;
 
     // The VMC consumes the violation feeds of every capping level.
-    if (config_.enable_vmc) {
-        controllers::VmController::Feedback feedback;
-        if (config_.vmc.use_violation_feedback) {
-            for (auto &sm : sms_)
-                feedback.local.push_back(sm.get());
-            for (auto &em : ems_)
-                feedback.enclosure.push_back(em.get());
-            if (!gms_.empty()) {
-                feedback.group = gms_.front().get();
-                for (size_t g = 1; g < gms_.size(); ++g)
-                    feedback.subgroup.push_back(gms_[g].get());
-            }
+    controllers::VmController::Feedback feedback;
+    if (config_.vmc.use_violation_feedback) {
+        for (auto &sm : sms_)
+            feedback.local.push_back(sm.get());
+        for (auto &em : ems_)
+            feedback.enclosure.push_back(em.get());
+        if (!gms_.empty()) {
+            feedback.group = gms_.front().get();
+            for (size_t g = 1; g < gms_.size(); ++g)
+                feedback.subgroup.push_back(gms_[g].get());
         }
-        vmc_ = std::make_shared<controllers::VmController>(
-            cl, std::move(feedback), config_.vmc);
-        vmc_->setFaultInjector(inj);
-        engine_->addActor(vmc_);
     }
-
-    if (config_.log_control_plane) {
-        control_log_ = std::make_unique<bus::ControlPlaneLog>();
-        attachControlLog();
-    }
-
-    if (config_.observability.any()) {
-        obs_ = std::make_unique<obs::Observability>(config_.observability);
-        attachObservability();
-    }
+    vmc_ = std::make_shared<controllers::VmController>(
+        *cluster_, std::move(feedback), config_.vmc);
+    vmc_->setFaultInjector(injector_.get());
+    engine_->addActor(vmc_);
 }
 
 void
@@ -296,6 +320,28 @@ Coordinator::attachControlLog()
         mm->attachControlLog(log);
     if (vmc_)
         vmc_->attachControlLog(log);
+}
+
+void
+Coordinator::attachTransport(bus::Transport *transport,
+                             const bus::OwnerFn &owner)
+{
+    // Canonical wire-id assignment order (mirrors attachControlLog):
+    // every process of a distributed run registers links in exactly
+    // this sequence, which is what lets the dense ids agree across
+    // ranks without any id-exchange protocol.
+    for (auto &sm : sms_)
+        sm->attachTransport(transport, owner);
+    for (auto &em : ems_)
+        em->attachTransport(transport, owner);
+    for (auto &gm : gms_)
+        gm->attachTransport(transport, owner);
+    for (auto &cap : caps_)
+        cap->attachTransport(transport, owner);
+    for (auto &mm : mems_)
+        mm->attachTransport(transport, owner);
+    if (vmc_)
+        vmc_->attachTransport(transport, owner);
 }
 
 /**

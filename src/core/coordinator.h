@@ -117,6 +117,20 @@ class Coordinator
      */
     void attachStreamHealth(const fault::StreamHealth *health);
 
+    /**
+     * Route every control link of the hierarchy through @p transport
+     * (null detaches, restoring the inline in-process fast path). The
+     * attach order — SMs, EMs, GMs, cappers, memory managers, VMC — is
+     * the canonical wire-id assignment order: every process of a
+     * distributed run walks it identically, so link ids and the wiring
+     * digest agree across ranks (docs/DISTRIBUTED.md). @p owner maps
+     * each link's owning (level, id) to its hosting process rank;
+     * bus::localOwner() pins everything to rank 0. Wiring time only,
+     * before the engine runs.
+     */
+    void attachTransport(bus::Transport *transport,
+                         const bus::OwnerFn &owner);
+
     /** The metrics collector (for series access). */
     const sim::MetricsCollector &metrics() const { return metrics_; }
 
@@ -242,7 +256,23 @@ class Coordinator
   private:
     void buildControllers();
     void buildFaultInjector();
+
+    /// @name Per-level builders (split of buildControllers)
+    /// @{
+
+    /** ECs + SMs + electrical cappers + memory managers, per server. */
+    void buildServerLevel();
+
+    /** EMs over the blade SMs, per enclosure. */
+    void buildEnclosureLevel();
+
+    /** The GM level: one flat GM, or the topology's whole GM tree. */
     void buildGroupManagers();
+
+    /** The VMC over the violation feeds of every capping level. */
+    void buildVmController();
+
+    /// @}
 
     /**
      * Recursively realize @p node as a GM (children first); the GM is

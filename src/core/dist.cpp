@@ -1,0 +1,472 @@
+#include "core/dist.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <signal.h>
+#include <sstream>
+#include <sys/wait.h>
+#include <unistd.h>
+#include <utility>
+#include <vector>
+
+#include "ckpt/atomic_io.h"
+#include "ckpt/snapshot.h"
+#include "core/coordinator.h"
+#include "core/experiment.h"
+#include "core/scenarios.h"
+#include "model/machine.h"
+#include "sim/recorder.h"
+#include "stream/net.h"
+#include "stream/socket_transport.h"
+#include "trace/workload.h"
+#include "util/logging.h"
+
+namespace nps {
+namespace core {
+namespace dist {
+
+namespace {
+
+/**
+ * The materialized experiment every process of a distributed run builds
+ * identically: one plan in, the same config, topology, machine and
+ * traces out everywhere — the precondition for lockstep replication.
+ */
+struct Experiment
+{
+    CoordinationConfig cfg;
+    sim::Topology topo;
+    model::MachineSpec machine;
+    std::vector<trace::UtilizationTrace> traces;
+};
+
+CoordinationConfig
+configForScenario(const std::string &name)
+{
+    // The same scenario catalogue npsim exposes as --scenario; a plan
+    // must not accept names the flag would reject.
+    if (name == "coordinated")
+        return coordinatedConfig();
+    if (name == "uncoordinated")
+        return uncoordinatedConfig();
+    if (name == "baseline")
+        return baselineConfig();
+    if (name == "novmc")
+        return scenarioConfig(Scenario::NoVmc);
+    if (name == "vmconly")
+        return scenarioConfig(Scenario::VmcOnly);
+    if (name == "appr-util")
+        return scenarioConfig(Scenario::CoordApparentUtil);
+    if (name == "no-feedback")
+        return scenarioConfig(Scenario::CoordNoFeedback);
+    if (name == "no-budget-limits")
+        return scenarioConfig(Scenario::CoordNoBudgetLimits);
+    util::fatal("plan: unknown scenario '%s'", name.c_str());
+}
+
+sim::BudgetConfig
+budgetsForName(const std::string &name)
+{
+    if (name == "20-15-10")
+        return sim::BudgetConfig::paper201510();
+    if (name == "25-20-15")
+        return sim::BudgetConfig::paper252015();
+    if (name == "30-25-20")
+        return sim::BudgetConfig::paper302520();
+    util::fatal("plan: unknown budgets '%s'", name.c_str());
+}
+
+trace::Mix
+mixForName(const std::string &name)
+{
+    for (auto mix : trace::allMixes()) {
+        if (name == trace::mixName(mix))
+            return mix;
+    }
+    util::fatal("plan: unknown mix '%s'", name.c_str());
+}
+
+Experiment
+materialize(const DistPlan &plan, unsigned threads_override)
+{
+    CoordinationConfig cfg = configForScenario(plan.scenario);
+    cfg.budgets = budgetsForName(plan.budgets);
+    cfg.threads = threads_override ? threads_override : plan.threads;
+    // Arm the budget leases in *every* process of the plan, the oracle
+    // included: identical configs are what make the oracle's CSV a
+    // meaningful byte-for-byte reference (core/config.cpp).
+    cfg.distributed = true;
+
+    trace::GeneratorConfig gen;
+    gen.seed = plan.seed;
+    trace::WorkloadLibrary library(gen);
+    trace::Mix mix = mixForName(plan.mix);
+
+    Experiment ex{std::move(cfg), ExperimentRunner::topologyFor(mix),
+                  model::machineByName(plan.machine), library.mix(mix)};
+    ex.topo.validate();
+    return ex;
+}
+
+/**
+ * Every runtime attaches a Recorder unconditionally (output may be
+ * discarded): the engine roster must be identical across the oracle,
+ * the supervisor and every child, or a restart snapshot taken in one
+ * process could not restore into another.
+ */
+std::shared_ptr<sim::Recorder>
+attachRecorder(Coordinator &coordinator, const DistPlan &plan)
+{
+    sim::Recorder::Options opts;
+    opts.stride = plan.record_stride;
+    auto recorder = std::make_shared<sim::Recorder>(coordinator.cluster(),
+                                                    opts);
+    recorder->setFaultInjector(coordinator.faultInjector());
+    coordinator.engine().addActor(recorder);
+    return recorder;
+}
+
+void
+writeRecordCsv(const sim::Recorder &recorder, const std::string &path)
+{
+    if (path.empty())
+        return;
+    std::ostringstream out;
+    recorder.writeCsv(out);
+    ckpt::writeFileAtomic(path, out.str());
+    std::printf("record: wrote %zu samples to %s\n", recorder.samples(),
+                path.c_str());
+}
+
+void
+printSummary(const Coordinator &coordinator, const DistPlan &plan,
+             size_t ran)
+{
+    sim::MetricsSummary m = coordinator.summary();
+    std::printf("plan: scenario=%s machine=%s mix=%s budgets=%s "
+                "ticks=%zu ranks=%zu\n",
+                plan.scenario.c_str(), plan.machine.c_str(),
+                plan.mix.c_str(), plan.budgets.c_str(), ran,
+                plan.nodes.size() + 1);
+    std::printf("power:  mean %.1f W, peak %.1f W\n", m.mean_power,
+                m.peak_power);
+    std::printf("perf:   loss %.3f %%\n", m.perf_loss * 100.0);
+    const fault::DegradeStats &d = m.degrade;
+    std::printf("degrade: %llu dropped, %llu stale, %llu lease "
+                "expiries, %llu fallback steps, %llu restarts\n",
+                (unsigned long long)d.dropped_budgets,
+                (unsigned long long)d.stale_budgets,
+                (unsigned long long)d.lease_expiries,
+                (unsigned long long)d.lease_fallback_steps,
+                (unsigned long long)d.restarts);
+}
+
+/** Directory holding the running binary (to find npsnode next to it). */
+std::string
+selfDir()
+{
+    char buf[4096];
+    ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+    if (n <= 0)
+        util::fatal("dist: readlink(/proc/self/exe): %s",
+                    std::strerror(errno));
+    buf[n] = '\0';
+    std::string path(buf);
+    std::string::size_type slash = path.rfind('/');
+    return slash == std::string::npos ? std::string(".")
+                                      : path.substr(0, slash);
+}
+
+/** Leaf tick gate: report the previous tick, wait for this one. */
+class NodeGate : public sim::TickSource
+{
+  public:
+    explicit NodeGate(stream::SocketTransport &transport)
+        : transport_(transport)
+    {
+    }
+
+    bool beginTick(size_t tick) override
+    {
+        // The first gated tick has nothing to report: a fresh child
+        // reported nothing yet, a restored one resumes at a tick whose
+        // predecessor the supervisor's own replica already covered.
+        if (started_)
+            transport_.sendTickDone(tick - 1);
+        started_ = true;
+        return transport_.waitTickStart(tick);
+    }
+
+  private:
+    stream::SocketTransport &transport_;
+    bool started_ = false;
+};
+
+/**
+ * Rank 0's tick gate and process manager: collects the barrier,
+ * executes scheduled kills, restarts dead ranks from snapshots, and
+ * releases each tick to the children.
+ */
+class SupervisorGate : public sim::TickSource
+{
+  public:
+    SupervisorGate(const DistPlan &plan, const std::string &plan_path,
+                   Coordinator &coordinator, sim::Recorder &recorder,
+                   stream::SocketTransport &transport, int listener)
+        : plan_(plan), plan_path_(plan_path), coordinator_(coordinator),
+          recorder_(recorder), transport_(transport), listener_(listener)
+    {
+    }
+
+    /** Spawn every [node] child and collect their join handshakes. */
+    void spawnAll()
+    {
+        for (size_t n = 0; n < plan_.nodes.size(); ++n)
+            spawn(static_cast<int>(n) + 1, "");
+        for (size_t n = 0; n < plan_.nodes.size(); ++n) {
+            int rank = transport_.acceptPeer(listener_);
+            std::fprintf(stderr, "npsim: rank %d (%s) joined\n", rank,
+                         plan_.nodes[static_cast<size_t>(rank) - 1]
+                             .name.c_str());
+        }
+    }
+
+    bool beginTick(size_t tick) override
+    {
+        if (started_) {
+            for (size_t n = 0; n < plan_.nodes.size(); ++n) {
+                int rank = static_cast<int>(n) + 1;
+                if (transport_.alive(rank))
+                    transport_.waitTickDone(rank, tick - 1);
+            }
+        }
+        started_ = true;
+        for (const auto &kill : plan_.kills) {
+            if (kill.tick == tick)
+                executeKill(kill.rank, tick);
+        }
+        for (auto it = restart_at_.begin(); it != restart_at_.end();) {
+            if (it->second == tick) {
+                restart(it->first, tick);
+                it = restart_at_.erase(it);
+            } else {
+                ++it;
+            }
+        }
+        transport_.broadcastTickStart(tick);
+        return true;
+    }
+
+    /** Final barrier: collect the last tick, say bye, reap children. */
+    void finish(uint64_t final_tick)
+    {
+        for (size_t n = 0; n < plan_.nodes.size(); ++n) {
+            int rank = static_cast<int>(n) + 1;
+            if (transport_.alive(rank))
+                transport_.waitTickDone(rank, final_tick);
+        }
+        transport_.broadcastBye(final_tick + 1);
+        for (auto &entry : pids_) {
+            int status = 0;
+            ::waitpid(entry.second, &status, 0);
+            if (!WIFEXITED(status) || WEXITSTATUS(status) != 0)
+                util::fatal("dist: rank %d (pid %ld) exited "
+                            "abnormally", entry.first,
+                            static_cast<long>(entry.second));
+        }
+        pids_.clear();
+    }
+
+  private:
+    void spawn(int rank, const std::string &restore)
+    {
+        const std::string npsnode = selfDir() + "/npsnode";
+        const std::string rank_str = std::to_string(rank);
+        pid_t pid = ::fork();
+        if (pid < 0)
+            util::fatal("dist: fork: %s", std::strerror(errno));
+        if (pid == 0) {
+            std::vector<const char *> argv{
+                npsnode.c_str(), "--plan", plan_path_.c_str(), "--rank",
+                rank_str.c_str()};
+            if (!restore.empty()) {
+                argv.push_back("--restore");
+                argv.push_back(restore.c_str());
+            }
+            argv.push_back(nullptr);
+            ::execv(npsnode.c_str(),
+                    const_cast<char *const *>(argv.data()));
+            std::fprintf(stderr, "npsim: cannot exec %s: %s\n",
+                         npsnode.c_str(), std::strerror(errno));
+            ::_exit(127);
+        }
+        pids_[rank] = pid;
+    }
+
+    void executeKill(int rank, size_t tick)
+    {
+        auto it = pids_.find(rank);
+        if (it == pids_.end())
+            return; // already dead (two kills on one rank)
+        ::kill(it->second, SIGKILL);
+        int status = 0;
+        ::waitpid(it->second, &status, 0);
+        std::fprintf(stderr, "npsim: killed rank %d (pid %ld) at tick "
+                             "%zu\n",
+                     rank, static_cast<long>(it->second), tick);
+        pids_.erase(it);
+        if (plan_.restart_after > 0 &&
+            tick + plan_.restart_after < plan_.ticks)
+            restart_at_[rank] = tick + plan_.restart_after;
+    }
+
+    void restart(int rank, size_t tick)
+    {
+        // The supervisor's replica *is* the authoritative state of a
+        // dead rank's levels: snapshot it and let the fresh child
+        // restore the whole engine, seq counters included, so it
+        // rejoins the lockstep mid-run.
+        const std::string snap = snapshotPath(rank);
+        ckpt::SnapshotWriter out;
+        coordinator_.saveState(out);
+        recorder_.saveState(out.section("recorder"));
+        out.writeFile(snap);
+        spawn(rank, snap);
+        int joined = transport_.acceptPeer(listener_);
+        if (joined != rank)
+            util::fatal("dist: expected restarted rank %d, got %d",
+                        rank, joined);
+        transport_.syncLiveness(rank);
+        transport_.broadcastPeerUp(rank, tick);
+        std::fprintf(stderr, "npsim: restarted rank %d at tick %zu "
+                             "from %s\n",
+                     rank, tick, snap.c_str());
+    }
+
+    std::string snapshotPath(int rank) const
+    {
+        // Unix plans park snapshots next to the socket (the run's
+        // scratch directory); tcp plans fall back to the cwd.
+        const std::string stem = plan_.transport == "unix"
+                                     ? plan_.socket
+                                     : std::string("npsdist");
+        return stem + ".restart-r" + std::to_string(rank) + ".nps";
+    }
+
+    const DistPlan &plan_;
+    std::string plan_path_;
+    Coordinator &coordinator_;
+    sim::Recorder &recorder_;
+    stream::SocketTransport &transport_;
+    int listener_;
+    bool started_ = false;
+    std::map<int, pid_t> pids_;
+    std::map<int, uint64_t> restart_at_;
+};
+
+} // namespace
+
+int
+runPlanSingle(const DistPlan &plan, const std::string &record_path,
+              unsigned threads)
+{
+    Experiment ex = materialize(plan, threads);
+    Coordinator coordinator(ex.cfg, ex.topo, ex.machine, ex.traces);
+    auto recorder = attachRecorder(coordinator, plan);
+    size_t ran = coordinator.run(plan.ticks);
+    printSummary(coordinator, plan, ran);
+    writeRecordCsv(*recorder, record_path);
+    return 0;
+}
+
+int
+runSupervisor(const DistPlan &plan, const std::string &plan_path,
+              const std::string &record_path, unsigned threads)
+{
+    // A write to a freshly-killed peer must surface as an error the
+    // transport turns into a peer-down, not as a fatal SIGPIPE.
+    ::signal(SIGPIPE, SIG_IGN);
+    Experiment ex = materialize(plan, threads);
+    const int listener = stream::listenOn(plan.endpoint());
+    stream::SocketTransport transport(plan.timeout_ms);
+    Coordinator coordinator(ex.cfg, ex.topo, ex.machine, ex.traces);
+    auto recorder = attachRecorder(coordinator, plan);
+    coordinator.attachTransport(&transport, plan.ownerFn());
+
+    SupervisorGate gate(plan, plan_path, coordinator, *recorder,
+                        transport, listener);
+    gate.spawnAll();
+    coordinator.engine().setTickSource(&gate);
+    size_t ran = coordinator.run(plan.ticks);
+    if (ran != plan.ticks)
+        util::fatal("dist: supervisor stopped after %zu of %zu ticks",
+                    ran, plan.ticks);
+    gate.finish(plan.ticks - 1);
+    coordinator.engine().setTickSource(nullptr);
+    ::close(listener);
+    if (plan.transport == "unix")
+        ::unlink(plan.socket.c_str());
+
+    printSummary(coordinator, plan, ran);
+    writeRecordCsv(*recorder, record_path);
+    return 0;
+}
+
+int
+runNode(const DistPlan &plan, int rank, const std::string &restore_path)
+{
+    if (rank < 1 || rank > static_cast<int>(plan.nodes.size()))
+        util::fatal("npsnode: rank %d out of range 1..%zu", rank,
+                    plan.nodes.size());
+    ::signal(SIGPIPE, SIG_IGN); // see runSupervisor
+    Experiment ex = materialize(plan, 0);
+    const int fd = stream::connectTo(plan.endpoint(), plan.timeout_ms);
+    stream::SocketTransport transport(rank, fd, plan.timeout_ms);
+    Coordinator coordinator(ex.cfg, ex.topo, ex.machine, ex.traces);
+    auto recorder = attachRecorder(coordinator, plan);
+    coordinator.attachTransport(&transport, plan.ownerFn());
+
+    size_t done = 0;
+    if (!restore_path.empty()) {
+        ckpt::SnapshotReader snap;
+        std::string err;
+        if (!snap.load(restore_path, err))
+            util::fatal("npsnode: cannot restore %s: %s",
+                        restore_path.c_str(), err.c_str());
+        coordinator.loadState(snap);
+        ckpt::SectionReader r = snap.section("recorder");
+        recorder->loadState(r);
+        r.expectEnd();
+        done = coordinator.engine().now();
+        std::fprintf(stderr, "npsnode: rank %d restored at tick %zu\n",
+                     rank, done);
+    }
+    if (done >= plan.ticks)
+        util::fatal("npsnode: snapshot %s is at tick %zu, beyond the "
+                    "plan's %zu ticks",
+                    restore_path.c_str(), done, plan.ticks);
+
+    transport.sendJoin();
+    NodeGate gate(transport);
+    coordinator.engine().setTickSource(&gate);
+    size_t ran = coordinator.run(plan.ticks - done);
+    coordinator.engine().setTickSource(nullptr);
+    if (transport.byeSeen())
+        util::fatal("npsnode: rank %d dismissed after %zu of %zu "
+                    "ticks", rank, done + ran, plan.ticks);
+
+    // Final handshake: report the last tick, then wait for the bye so
+    // the supervisor controls when the socket goes down.
+    transport.sendTickDone(plan.ticks - 1);
+    if (transport.waitTickStart(plan.ticks))
+        util::fatal("npsnode: supervisor released tick %zu past the "
+                    "end of the run", plan.ticks);
+    return 0;
+}
+
+} // namespace dist
+} // namespace core
+} // namespace nps

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * DistPlan: the declarative description of a distributed control-plane
+ * run (docs/DISTRIBUTED.md) — which experiment to run, which socket the
+ * process tree meets on, and which management levels live in which
+ * child process:
+ *
+ *     [dist]
+ *     transport = unix            # unix | tcp
+ *     socket = /tmp/nps-dist.sock # path (unix) or port (tcp)
+ *     timeout_ms = 30000
+ *     restart_after = 40          # restart killed ranks after N ticks
+ *
+ *     [run]
+ *     scenario = coordinated
+ *     mix = 60M
+ *     ticks = 480
+ *
+ *     [node group]
+ *     levels = gm:*
+ *
+ *     [node enclosures]
+ *     levels = em:*, vmc
+ *
+ *     [chaos]
+ *     kill = 1@120                # SIGKILL rank 1 at the tick-120 barrier
+ *
+ * Each [node] section becomes one npsnode child; ranks are assigned
+ * 1..N in file order (rank 0 is the supervisor, which hosts everything
+ * not claimed by a node). Only the *global* levels — gm, em, vmc — may
+ * be claimed: they run on the engine thread in every process, which is
+ * what lets the socket transport work without locks and keeps results
+ * byte-identical across thread counts (stream/socket_transport.h). The
+ * per-server levels (sm, ec, cap, mem) are sharded across worker
+ * threads and always stay on the supervisor.
+ *
+ * Loading is strict in the config_io style: unknown sections, keys,
+ * level names, malformed selectors, overlapping claims and out-of-range
+ * kills are all fatal at parse time.
+ */
+
+#ifndef NPS_CORE_DIST_PLAN_H
+#define NPS_CORE_DIST_PLAN_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bus/transport.h"
+#include "util/ini.h"
+
+namespace nps {
+namespace core {
+
+/**
+ * A parsed, validated distributed-run plan.
+ */
+struct DistPlan
+{
+    /** One `level:id` (or `level:*`) claim inside a [node] section. */
+    struct Selector
+    {
+        bus::OwnerLevel level = bus::OwnerLevel::Gm;
+        long id = 0;      //!< instance id; meaningless when all is set
+        bool all = false; //!< `level:*` — every instance of the level
+    };
+
+    /** One [node NAME] section; rank = its index in nodes + 1. */
+    struct Node
+    {
+        std::string name;
+        std::vector<Selector> selectors;
+    };
+
+    /** One scheduled SIGKILL from the [chaos] section. */
+    struct Kill
+    {
+        int rank = 0;
+        uint64_t tick = 0;
+    };
+
+    /// @name [dist]
+    /// @{
+    std::string transport = "unix"; //!< unix | tcp
+    std::string socket;             //!< path (unix) or port (tcp)
+    unsigned timeout_ms = 30000;    //!< barrier/socket silence guard
+    /** Ticks a killed rank stays down before the supervisor restarts
+     * it from a snapshot; 0 leaves dead ranks down for good. */
+    unsigned restart_after = 0;
+    /// @}
+
+    /// @name [run] — the same experiment knobs npsim takes as flags
+    /// @{
+    std::string scenario = "coordinated";
+    std::string machine = "BladeA";
+    std::string mix = "180";
+    std::string budgets = "20-15-10";
+    size_t ticks = 2880;
+    uint64_t seed = 20080301;
+    unsigned threads = 0;
+    unsigned record_stride = 1;
+    /// @}
+
+    std::vector<Node> nodes;
+    std::vector<Kill> kills;
+
+    /** The endpoint spec for stream::listenOn / stream::connectTo. */
+    std::string endpoint() const { return transport + ":" + socket; }
+
+    /** Rank hosting instance @p id of @p level (0 = supervisor). */
+    int ownerOf(bus::OwnerLevel level, long id) const;
+
+    /** ownerOf as the callable Coordinator::attachTransport expects.
+     * The returned closure copies the node table, so it outlives this
+     * plan object. */
+    bus::OwnerFn ownerFn() const;
+};
+
+/**
+ * Parse and validate a DistPlan from an INI document. Keys not present
+ * keep their defaults; unknown sections/keys, bad selectors, levels
+ * that cannot be distributed, overlapping claims and out-of-range
+ * [chaos] kills are fatal.
+ */
+DistPlan planFromIni(const util::IniDocument &ini);
+
+/** Load a plan from an INI file. */
+DistPlan loadPlanFile(const std::string &path);
+
+} // namespace core
+} // namespace nps
+
+#endif // NPS_CORE_DIST_PLAN_H

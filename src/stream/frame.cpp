@@ -59,13 +59,57 @@ payloadLen(uint8_t type)
         return 20;
     case 'T':
     case 'B':
+    case 'K':
         return 8;
+    case 'G':
+    case 'V':
+    case 'R':
+    case 'Y':
+        return 37; // u32 link, u64 tick, u64 seq, f64 x2, u8 flags
+    case 'D':
+    case 'U':
+        return 12;
+    case 'P':
+        return 4;
+    case 'J':
+        return 16;
     default:
         return SIZE_MAX;
     }
 }
 
+uint64_t
+doubleBits(double v)
+{
+    uint64_t bits;
+    static_assert(sizeof bits == sizeof v, "double width");
+    std::memcpy(&bits, &v, sizeof bits);
+    return bits;
+}
+
+double
+bitsDouble(uint64_t bits)
+{
+    double v;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+}
+
 } // namespace
+
+bool
+isCtrlFrame(FrameType type)
+{
+    switch (type) {
+    case FrameType::Budget:
+    case FrameType::Violation:
+    case FrameType::Reference:
+    case FrameType::Telemetry:
+        return true;
+    default:
+        return false;
+    }
+}
 
 void
 FrameWriter::frame(FrameType type, const uint8_t *payload, size_t len)
@@ -118,6 +162,64 @@ FrameWriter::bye(uint64_t final_tick)
     uint8_t p[8];
     putU64(p, final_tick);
     frame(FrameType::Bye, p, sizeof p);
+}
+
+void
+FrameWriter::ctrl(FrameType type, const bus::WireMsg &m)
+{
+    uint8_t p[37];
+    putU32(p, m.link);
+    putU64(p + 4, m.tick);
+    putU64(p + 12, m.seq);
+    putU64(p + 20, doubleBits(m.value));
+    putU64(p + 28, doubleBits(m.aux));
+    p[36] = m.flags;
+    frame(type, p, sizeof p);
+}
+
+void
+FrameWriter::tickStart(uint64_t tick)
+{
+    uint8_t p[8];
+    putU64(p, tick);
+    frame(FrameType::TickStart, p, sizeof p);
+}
+
+void
+FrameWriter::tickDone(uint64_t tick, uint32_t rank)
+{
+    uint8_t p[12];
+    putU64(p, tick);
+    putU32(p + 8, rank);
+    frame(FrameType::TickDone, p, sizeof p);
+}
+
+void
+FrameWriter::peerDown(uint32_t rank)
+{
+    uint8_t p[4];
+    putU32(p, rank);
+    frame(FrameType::PeerDown, p, sizeof p);
+}
+
+void
+FrameWriter::peerUp(uint32_t rank, uint64_t tick)
+{
+    uint8_t p[12];
+    putU32(p, rank);
+    putU64(p + 4, tick);
+    frame(FrameType::PeerUp, p, sizeof p);
+}
+
+void
+FrameWriter::join(const JoinFrame &j)
+{
+    uint8_t p[16];
+    putU32(p, j.rank);
+    putU32(p + 4, j.version);
+    putU32(p + 8, j.links);
+    putU32(p + 12, j.digest);
+    frame(FrameType::Join, p, sizeof p);
 }
 
 void
@@ -177,7 +279,36 @@ FrameDecoder::next(Frame &out)
         }
         case FrameType::TickEnd:
         case FrameType::Bye:
+        case FrameType::TickStart:
             out.tick = getU64(p);
+            break;
+        case FrameType::Budget:
+        case FrameType::Violation:
+        case FrameType::Reference:
+        case FrameType::Telemetry:
+            out.ctrl.link = getU32(p);
+            out.ctrl.tick = getU64(p + 4);
+            out.ctrl.seq = getU64(p + 12);
+            out.ctrl.value = bitsDouble(getU64(p + 20));
+            out.ctrl.aux = bitsDouble(getU64(p + 28));
+            out.ctrl.flags = p[36];
+            break;
+        case FrameType::TickDone:
+            out.tick = getU64(p);
+            out.rank = getU32(p + 8);
+            break;
+        case FrameType::PeerDown:
+            out.rank = getU32(p);
+            break;
+        case FrameType::PeerUp:
+            out.rank = getU32(p);
+            out.tick = getU64(p + 4);
+            break;
+        case FrameType::Join:
+            out.join.rank = getU32(p);
+            out.join.version = getU32(p + 4);
+            out.join.links = getU32(p + 8);
+            out.join.digest = getU32(p + 12);
             break;
         }
         pos_ += frame_len;

@@ -9,13 +9,31 @@
  *
  * with all integers little-endian, demand values bit-cast IEEE-754
  * doubles (the stream replays bit-exactly), and the CRC taken over type
- * plus payload. Four frame types:
+ * plus payload. Telemetry frame types:
  *
  *     'H' hello    u32 version, u32 streams, u64 start_tick,
  *                  u64 total_ticks (0 = open-ended)
  *     'S' sample   u64 tick, u32 stream (VM id), f64 demand
  *     'T' tick-end u64 tick  — all samples for @p tick have been sent
  *     'B' bye      u64 final_tick — one past the last covered tick
+ *
+ * The distributed control plane (docs/DISTRIBUTED.md) rides the same
+ * format. Control-message frames carry one bus::WireMsg each — the four
+ * tags select the ControlLink channel kind:
+ *
+ *     'G' budget     u32 link, u64 tick, u64 seq, f64 value, f64 aux,
+ *     'V' violation  u8 flags                  (37 bytes, all four)
+ *     'R' reference
+ *     'Y' telemetry
+ *
+ * and the supervision/barrier frames:
+ *
+ *     'K' tick-start u64 tick            — supervisor releases a tick
+ *     'D' tick-done  u64 tick, u32 rank  — a rank finished a tick
+ *     'P' peer-down  u32 rank            — a rank died (hub broadcast)
+ *     'U' peer-up    u32 rank, u64 tick  — a rank rejoined at @p tick
+ *     'J' join       u32 rank, u32 version, u32 links, u32 digest
+ *                                        — handshake + wiring digest
  *
  * The decoder is pure over byte buffers (no I/O), accepts input split at
  * arbitrary boundaries, and resynchronizes after garbage by scanning
@@ -31,6 +49,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "bus/transport.h"
+
 namespace nps {
 namespace stream {
 
@@ -44,7 +64,20 @@ enum class FrameType : uint8_t
     Sample = 'S',
     TickEnd = 'T',
     Bye = 'B',
+    Budget = 'G',
+    Violation = 'V',
+    Reference = 'R',
+    Telemetry = 'Y',
+    TickStart = 'K',
+    TickDone = 'D',
+    PeerDown = 'P',
+    PeerUp = 'U',
+    Join = 'J',
 };
+
+/** @return true when @p type is one of the four control-message tags
+ * ('G'/'V'/'R'/'Y'), each carrying one bus::WireMsg. */
+bool isCtrlFrame(FrameType type);
 
 /** 'H' payload: the session handshake. */
 struct HelloFrame
@@ -63,13 +96,29 @@ struct SampleFrame
     double demand = 0.0;
 };
 
-/** One decoded frame (tagged union; @c tick serves TickEnd and Bye). */
+/** 'J' payload: the distributed-run handshake. */
+struct JoinFrame
+{
+    uint32_t rank = 0;
+    uint32_t version = kProtocolVersion;
+    uint32_t links = 0;  //!< control links registered by the sender
+    uint32_t digest = 0; //!< CRC32 over the registered link names
+};
+
+/**
+ * One decoded frame (tagged union). @c tick serves TickEnd, Bye,
+ * TickStart, TickDone and PeerUp; @c rank serves TickDone, PeerDown and
+ * PeerUp; @c ctrl serves the four control-message types.
+ */
 struct Frame
 {
     FrameType type = FrameType::Hello;
     HelloFrame hello;
     SampleFrame sample;
+    bus::WireMsg ctrl;
+    JoinFrame join;
     uint64_t tick = 0;
+    uint32_t rank = 0;
 };
 
 /** Malformed-input tallies kept by the decoder. */
@@ -92,6 +141,20 @@ class FrameWriter
     void sample(const SampleFrame &s);
     void tickEnd(uint64_t tick);
     void bye(uint64_t final_tick);
+
+    /// @name Distributed control plane (docs/DISTRIBUTED.md)
+    /// @{
+
+    /** One control message; @p type must satisfy isCtrlFrame(). */
+    void ctrl(FrameType type, const bus::WireMsg &m);
+
+    void tickStart(uint64_t tick);
+    void tickDone(uint64_t tick, uint32_t rank);
+    void peerDown(uint32_t rank);
+    void peerUp(uint32_t rank, uint64_t tick);
+    void join(const JoinFrame &j);
+
+    /// @}
 
     const uint8_t *data() const { return buf_.data(); }
     size_t size() const { return buf_.size(); }

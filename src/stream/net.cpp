@@ -133,6 +133,63 @@ serveAndAccept(const std::string &spec)
 }
 
 int
+listenOn(const std::string &spec, int backlog)
+{
+    if (isStdioSpec(spec))
+        util::fatal("stream: listenOn needs a socket endpoint, not "
+                    "stdio");
+    int listener = -1;
+    if (hasPrefix(spec, "unix:")) {
+        const std::string unix_path = spec.substr(5);
+        sockaddr_un addr;
+        fillUnixAddr(unix_path, addr);
+        ::unlink(unix_path.c_str());
+        listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (listener < 0)
+            util::fatal("stream: socket(AF_UNIX): %s",
+                        std::strerror(errno));
+        if (::bind(listener, reinterpret_cast<sockaddr *>(&addr),
+                   sizeof addr) != 0)
+            util::fatal("stream: bind(%s): %s", unix_path.c_str(),
+                        std::strerror(errno));
+    } else if (hasPrefix(spec, "tcp:")) {
+        sockaddr_in addr;
+        fillTcpAddr(spec.substr(4), /*server=*/true, addr);
+        listener = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (listener < 0)
+            util::fatal("stream: socket(AF_INET): %s",
+                        std::strerror(errno));
+        int one = 1;
+        ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one,
+                     sizeof one);
+        if (::bind(listener, reinterpret_cast<sockaddr *>(&addr),
+                   sizeof addr) != 0)
+            util::fatal("stream: bind(%s): %s", spec.c_str(),
+                        std::strerror(errno));
+    } else {
+        util::fatal("stream: bad endpoint '%s' (want unix:PATH or "
+                    "tcp:PORT)",
+                    spec.c_str());
+    }
+    if (::listen(listener, backlog) != 0)
+        util::fatal("stream: listen(%s): %s", spec.c_str(),
+                    std::strerror(errno));
+    return listener;
+}
+
+int
+acceptOne(int listener)
+{
+    int fd;
+    do {
+        fd = ::accept(listener, nullptr, nullptr);
+    } while (fd < 0 && errno == EINTR);
+    if (fd < 0)
+        util::fatal("stream: accept: %s", std::strerror(errno));
+    return fd;
+}
+
+int
 connectTo(const std::string &spec, unsigned wait_ms)
 {
     if (isStdioSpec(spec))

@@ -31,6 +31,18 @@ bool isStdioSpec(const std::string &spec);
 int serveAndAccept(const std::string &spec);
 
 /**
+ * Hub side (distributed runs): bind + listen on @p spec with a backlog
+ * of @p backlog and return the *listening* descriptor, so the caller
+ * can accept several peers (and re-accept restarted ones). A stale
+ * Unix socket path is unlinked first; the caller unlinks it again when
+ * done. @p spec must not be stdio. Fatal on any socket error.
+ */
+int listenOn(const std::string &spec, int backlog = 8);
+
+/** Block for one peer on @p listener (from listenOn). Fatal on error. */
+int acceptOne(int listener);
+
+/**
  * Feeder side: connect to @p spec and return the descriptor. Retries
  * for up to @p wait_ms (the daemon may still be binding); fatal once
  * the budget is exhausted.

@@ -1,0 +1,481 @@
+#include "stream/socket_transport.h"
+
+#include <cerrno>
+#include <cstring>
+#include <poll.h>
+#include <unistd.h>
+
+#include "bus/control_link.h"
+#include "stream/net.h"
+#include "util/crc32.h"
+#include "util/logging.h"
+
+namespace nps {
+namespace stream {
+
+namespace {
+
+/** Wire tag of a channel kind (the 'G'/'V'/'R'/'Y' frame types). */
+FrameType
+typeFor(bus::ChannelKind kind)
+{
+    switch (kind) {
+    case bus::ChannelKind::Budget: return FrameType::Budget;
+    case bus::ChannelKind::Violation: return FrameType::Violation;
+    case bus::ChannelKind::Reference: return FrameType::Reference;
+    case bus::ChannelKind::Telemetry: return FrameType::Telemetry;
+    }
+    return FrameType::Budget; // unreachable
+}
+
+/** Bit-exact double comparison (lockstep replicas must agree on bits,
+ * and NaN != NaN would defeat an equality check). */
+bool
+sameBits(double a, double b)
+{
+    return std::memcmp(&a, &b, sizeof a) == 0;
+}
+
+} // namespace
+
+SocketTransport::SocketTransport(unsigned timeout_ms)
+    : rank_(0), timeout_ms_(timeout_ms)
+{
+}
+
+SocketTransport::SocketTransport(int rank, int fd, unsigned timeout_ms)
+    : rank_(rank), timeout_ms_(timeout_ms)
+{
+    if (rank <= 0)
+        util::fatal("dist: leaf transport needs rank > 0, got %d", rank);
+    Peer &hub = peers_[0];
+    hub.fd = fd;
+    hub.alive = true;
+}
+
+SocketTransport::~SocketTransport()
+{
+    for (auto &entry : peers_) {
+        if (entry.second.fd >= 0)
+            ::close(entry.second.fd);
+    }
+}
+
+uint32_t
+SocketTransport::registerLink(bus::ControlLink *link, int owner_rank)
+{
+    const uint32_t id = static_cast<uint32_t>(links_.size());
+    LinkState ls;
+    ls.link = link;
+    ls.owner = owner_rank;
+    links_.push_back(std::move(ls));
+    // Digest the name *including* its terminator so "AB"+"C" cannot
+    // collide with "A"+"BC"; every replica registers in the canonical
+    // Coordinator::attachTransport order, so equal digests mean equal
+    // wiring.
+    digest_ = util::crc32Update(digest_, link->name().c_str(),
+                                link->name().size() + 1);
+    return id;
+}
+
+bus::WireMsg
+SocketTransport::resolve(const bus::ControlLink &link,
+                         const bus::WireMsg &local)
+{
+    if (local.link >= links_.size())
+        util::fatal("dist: resolve on unregistered link %s",
+                    link.name().c_str());
+    LinkState &ls = links_[local.link];
+    // Rank-0-owned links resolve locally in every replica and touch no
+    // mutable transport state — the one path sharded worker threads may
+    // take (see the file comment).
+    if (ls.owner == 0)
+        return local;
+    if (ls.owner == rank_) {
+        FrameWriter w;
+        w.ctrl(typeFor(link.kind()), local);
+        writePeer(0, w.data(), w.size());
+        ++stats_.sent;
+        return local;
+    }
+    return consumeRemote(ls, local);
+}
+
+bus::WireMsg
+SocketTransport::consumeRemote(LinkState &ls, const bus::WireMsg &local)
+{
+    for (;;) {
+        // Discard re-deliveries of the frame we already consumed (the
+        // one-frame duplicate window injected faults and tests exercise;
+        // anything older trips the desync check below instead).
+        while (!ls.queue.empty() && ls.consumed_any &&
+               ls.queue.front().seq == ls.last_seq &&
+               ls.queue.front().tick == ls.last_tick) {
+            ls.queue.pop_front();
+            ++stats_.duplicates;
+        }
+        if (!ls.queue.empty())
+            break;
+        if (!alive(ls.owner)) {
+            // The owning process is down: the message the replicas all
+            // computed resolves as an undelivered drop, exactly an
+            // injected link-drop fault as far as the caller can tell.
+            ++stats_.peer_drops;
+            bus::WireMsg dropped;
+            dropped.link = local.link;
+            dropped.tick = local.tick;
+            dropped.seq = local.seq;
+            dropped.flags = 0;
+            return dropped;
+        }
+        pumpOnce();
+    }
+    bus::WireMsg m = ls.queue.front();
+    ls.queue.pop_front();
+    if (m.seq != local.seq || m.tick != local.tick) {
+        util::fatal("dist: replica desync on link %s: owner rank %d sent "
+                    "tick %llu seq %llu, this rank computed tick %llu "
+                    "seq %llu",
+                    ls.link->name().c_str(), ls.owner,
+                    static_cast<unsigned long long>(m.tick),
+                    static_cast<unsigned long long>(m.seq),
+                    static_cast<unsigned long long>(local.tick),
+                    static_cast<unsigned long long>(local.seq));
+    }
+    if (!sameBits(m.value, local.value) || !sameBits(m.aux, local.aux) ||
+        m.flags != local.flags) {
+        util::fatal("dist: replica desync on link %s at tick %llu: "
+                    "owner value %.17g/%.17g flags %u, local %.17g/%.17g "
+                    "flags %u",
+                    ls.link->name().c_str(),
+                    static_cast<unsigned long long>(local.tick), m.value,
+                    m.aux, m.flags, local.value, local.aux, local.flags);
+    }
+    ls.last_seq = m.seq;
+    ls.last_tick = m.tick;
+    ls.consumed_any = true;
+    ++stats_.received;
+    return m;
+}
+
+bool
+SocketTransport::alive(int rank) const
+{
+    if (rank == 0 || rank == rank_)
+        return true;
+    auto it = peers_.find(rank);
+    if (it != peers_.end())
+        return it->second.alive;
+    // Leaf view of the other children: alive unless the hub said
+    // otherwise (the supervisor collects every join before tick 0).
+    auto ra = remote_alive_.find(rank);
+    return ra == remote_alive_.end() || ra->second;
+}
+
+void
+SocketTransport::addPeer(int rank, int fd)
+{
+    if (rank_ != 0)
+        util::fatal("dist: only the hub accepts peers");
+    if (rank <= 0)
+        util::fatal("dist: peer rank must be > 0, got %d", rank);
+    Peer &p = peers_[rank]; // replaces a dead entry on restart
+    if (p.fd >= 0)
+        ::close(p.fd);
+    p = Peer{};
+    p.fd = fd;
+    p.alive = true;
+}
+
+int
+SocketTransport::acceptPeer(int listener)
+{
+    const int fd = acceptOne(listener);
+    // Read this one descriptor until its join frame arrives; the frame
+    // must be first on a fresh connection.
+    FrameDecoder dec;
+    Frame f;
+    while (!dec.next(f)) {
+        pollfd pfd{fd, POLLIN, 0};
+        int rc = ::poll(&pfd, 1, static_cast<int>(timeout_ms_));
+        if (rc == 0)
+            util::fatal("dist: no join frame within %u ms", timeout_ms_);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            util::fatal("dist: poll: %s", std::strerror(errno));
+        }
+        uint8_t buf[4096];
+        ssize_t n = ::read(fd, buf, sizeof buf);
+        if (n == 0)
+            util::fatal("dist: peer closed before joining");
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            util::fatal("dist: read: %s", std::strerror(errno));
+        }
+        dec.feed(buf, static_cast<size_t>(n));
+    }
+    if (f.type != FrameType::Join)
+        util::fatal("dist: expected join frame, got type '%c'",
+                    static_cast<char>(f.type));
+    if (f.join.version != kProtocolVersion)
+        util::fatal("dist: protocol version mismatch: peer %u, ours %u",
+                    f.join.version, kProtocolVersion);
+    if (f.join.links != numLinks() || f.join.digest != digest_)
+        util::fatal("dist: wiring mismatch from rank %u: peer has %u "
+                    "links digest %08x, this replica %u links digest "
+                    "%08x — the processes were built from different "
+                    "plans or binaries",
+                    f.join.rank, f.join.links, f.join.digest, numLinks(),
+                    digest_);
+    addPeer(static_cast<int>(f.join.rank), fd);
+    return static_cast<int>(f.join.rank);
+}
+
+void
+SocketTransport::broadcast(const FrameWriter &w, int except)
+{
+    for (auto &entry : peers_) {
+        if (entry.first == except || !entry.second.alive)
+            continue;
+        writePeer(entry.first, w.data(), w.size());
+    }
+}
+
+void
+SocketTransport::writePeer(int rank, const void *data, size_t len)
+{
+    auto it = peers_.find(rank);
+    if (it == peers_.end() || !it->second.alive)
+        return;
+    if (writeAll(it->second.fd, data, len))
+        return;
+    if (rank_ == 0)
+        markDead(rank);
+    else
+        util::fatal("dist: rank %d lost the supervisor socket", rank_);
+}
+
+void
+SocketTransport::markDead(int rank)
+{
+    auto it = peers_.find(rank);
+    if (it == peers_.end() || !it->second.alive)
+        return;
+    it->second.alive = false;
+    if (it->second.fd >= 0) {
+        ::close(it->second.fd);
+        it->second.fd = -1;
+    }
+    // Tell the survivors so their blocked resolves degrade to drops the
+    // same way ours do.
+    FrameWriter w;
+    w.peerDown(static_cast<uint32_t>(rank));
+    broadcast(w, rank);
+}
+
+void
+SocketTransport::pumpOnce()
+{
+    std::vector<pollfd> fds;
+    std::vector<int> ranks;
+    for (auto &entry : peers_) {
+        if (!entry.second.alive || entry.second.fd < 0)
+            continue;
+        fds.push_back(pollfd{entry.second.fd, POLLIN, 0});
+        ranks.push_back(entry.first);
+    }
+    if (fds.empty())
+        util::fatal("dist: rank %d has no live peers left to wait on",
+                    rank_);
+    int rc;
+    do {
+        rc = ::poll(fds.data(), fds.size(),
+                    static_cast<int>(timeout_ms_));
+    } while (rc < 0 && errno == EINTR);
+    if (rc < 0)
+        util::fatal("dist: poll: %s", std::strerror(errno));
+    if (rc == 0)
+        util::fatal("dist: rank %d heard nothing for %u ms — a peer is "
+                    "hung or the barrier deadlocked",
+                    rank_, timeout_ms_);
+    for (size_t i = 0; i < fds.size(); ++i) {
+        if (!(fds[i].revents & (POLLIN | POLLHUP | POLLERR)))
+            continue;
+        const int peer_rank = ranks[i];
+        Peer &peer = peers_[peer_rank];
+        if (!peer.alive)
+            continue; // died while handling an earlier fd this round
+        uint8_t buf[65536];
+        ssize_t n = ::read(peer.fd, buf, sizeof buf);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            util::fatal("dist: read from rank %d: %s", peer_rank,
+                        std::strerror(errno));
+        }
+        if (n == 0) {
+            if (rank_ == 0) {
+                markDead(peer_rank);
+                continue;
+            }
+            if (bye_seen_)
+                continue;
+            util::fatal("dist: rank %d lost the supervisor socket",
+                        rank_);
+        }
+        peer.decoder.feed(buf, static_cast<size_t>(n));
+        Frame f;
+        while (peer.decoder.next(f))
+            dispatch(peer_rank, f);
+    }
+}
+
+void
+SocketTransport::dispatch(int from_rank, const Frame &f)
+{
+    if (isCtrlFrame(f.type)) {
+        if (f.ctrl.link >= links_.size())
+            util::fatal("dist: control frame for unknown link id %u "
+                        "(have %u)",
+                        f.ctrl.link, numLinks());
+        links_[f.ctrl.link].queue.push_back(f.ctrl);
+        if (rank_ == 0) {
+            // Hub: relay the owner's frame to every other live child,
+            // preserving per-sender FIFO order.
+            FrameWriter w;
+            w.ctrl(f.type, f.ctrl);
+            for (auto &entry : peers_) {
+                if (entry.first == from_rank || !entry.second.alive)
+                    continue;
+                writePeer(entry.first, w.data(), w.size());
+                ++stats_.forwarded;
+            }
+        }
+        return;
+    }
+    switch (f.type) {
+    case FrameType::TickDone:
+        if (rank_ != 0)
+            util::fatal("dist: tick-done frame reached rank %d", rank_);
+        done_plus1_[static_cast<int>(f.rank)] = f.tick + 1;
+        return;
+    case FrameType::TickStart:
+        if (rank_ == 0)
+            util::fatal("dist: tick-start frame reached the hub");
+        tick_start_plus1_ = f.tick + 1;
+        return;
+    case FrameType::PeerDown:
+        if (static_cast<int>(f.rank) != rank_)
+            remote_alive_[static_cast<int>(f.rank)] = false;
+        return;
+    case FrameType::PeerUp:
+        if (static_cast<int>(f.rank) != rank_)
+            remote_alive_[static_cast<int>(f.rank)] = true;
+        return;
+    case FrameType::Bye:
+        if (rank_ == 0)
+            util::fatal("dist: bye frame reached the hub");
+        bye_seen_ = true;
+        return;
+    default:
+        util::fatal("dist: unexpected frame type '%c' from rank %d",
+                    static_cast<char>(f.type), from_rank);
+    }
+}
+
+void
+SocketTransport::broadcastTickStart(uint64_t tick)
+{
+    FrameWriter w;
+    w.tickStart(tick);
+    broadcast(w, -1);
+}
+
+bool
+SocketTransport::waitTickDone(int rank, uint64_t tick)
+{
+    for (;;) {
+        auto it = done_plus1_.find(rank);
+        if (it != done_plus1_.end() && it->second >= tick + 1)
+            return true;
+        if (!alive(rank))
+            return false;
+        pumpOnce();
+    }
+}
+
+void
+SocketTransport::broadcastPeerUp(int rank, uint64_t tick)
+{
+    FrameWriter w;
+    w.peerUp(static_cast<uint32_t>(rank), tick);
+    broadcast(w, rank);
+}
+
+void
+SocketTransport::syncLiveness(int rank)
+{
+    if (rank_ != 0)
+        util::fatal("dist: only the hub syncs liveness");
+    for (auto &entry : peers_) {
+        if (entry.first == rank || entry.second.alive)
+            continue;
+        FrameWriter w;
+        w.peerDown(static_cast<uint32_t>(entry.first));
+        writePeer(rank, w.data(), w.size());
+    }
+}
+
+void
+SocketTransport::broadcastBye(uint64_t final_tick)
+{
+    FrameWriter w;
+    w.bye(final_tick);
+    broadcast(w, -1);
+}
+
+void
+SocketTransport::sendJoin()
+{
+    JoinFrame j;
+    j.rank = static_cast<uint32_t>(rank_);
+    j.version = kProtocolVersion;
+    j.links = numLinks();
+    j.digest = digest_;
+    FrameWriter w;
+    w.join(j);
+    writePeer(0, w.data(), w.size());
+}
+
+bool
+SocketTransport::waitTickStart(uint64_t tick)
+{
+    for (;;) {
+        if (bye_seen_)
+            return false;
+        if (tick_start_plus1_ >= tick + 1) {
+            if (tick_start_plus1_ != tick + 1)
+                util::fatal("dist: rank %d waiting for tick %llu but the "
+                            "supervisor already released %llu",
+                            rank_,
+                            static_cast<unsigned long long>(tick),
+                            static_cast<unsigned long long>(
+                                tick_start_plus1_ - 1));
+            return true;
+        }
+        pumpOnce();
+    }
+}
+
+void
+SocketTransport::sendTickDone(uint64_t tick)
+{
+    FrameWriter w;
+    w.tickDone(tick, static_cast<uint32_t>(rank_));
+    writePeer(0, w.data(), w.size());
+}
+
+} // namespace stream
+} // namespace nps

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * SocketTransport: the control plane over real sockets
+ * (docs/DISTRIBUTED.md).
+ *
+ * A distributed run is deterministic lockstep replication: every
+ * process — the supervisor (rank 0) and each npsnode child — builds the
+ * *identical* full Coordinator from the same plan and steps it tick by
+ * tick, so every replica computes every link's message locally. The
+ * transport's job is therefore not to move state but to make exactly
+ * one process *authoritative* for each link (the rank hosting the
+ * sender's management level) and to verify, frame by frame, that all
+ * replicas agree:
+ *
+ *   - a link owned by rank 0 resolves purely locally in every process
+ *     (the supervisor cannot outlive the run, so there is no failure
+ *     mode to communicate) — nothing goes on the wire;
+ *   - a link owned by *this* process broadcasts its computed outcome as
+ *     an NPSF control frame and returns the local result;
+ *   - a link owned by another rank blocks until the owner's frame
+ *     arrives (pumping the socket meanwhile) and fatals if the frame
+ *     disagrees with the locally computed outcome — a desync detector;
+ *     when the owner is dead the message resolves as an undelivered
+ *     drop, feeding the existing lease/fallback degradation ladder.
+ *
+ * Topology is a star: children connect to the supervisor, which relays
+ * each child's control frames to every other live child (per-sender
+ * FIFO order is preserved end to end). The same socket carries the
+ * per-tick barrier ('K'/'D'), liveness ('P'/'U'), the join handshake
+ * ('J', carrying a CRC32 digest of the registered link names so
+ * mismatched builds or plans are caught before the first tick), and
+ * the final 'B' bye.
+ *
+ * Threading: all socket traffic happens on the engine thread. The plan
+ * validator only lets *global* actors (GM, EM, VMC) be hosted on child
+ * ranks, so every remote-owned link resolves from the engine thread;
+ * rank-0-owned links, which sharded worker threads may resolve, take
+ * the wire-free local path that touches no mutable transport state.
+ * This is what keeps distributed runs byte-identical across thread
+ * counts without a single lock.
+ */
+
+#ifndef NPS_STREAM_SOCKET_TRANSPORT_H
+#define NPS_STREAM_SOCKET_TRANSPORT_H
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bus/transport.h"
+#include "stream/frame.h"
+
+namespace nps {
+namespace stream {
+
+/**
+ * bus::Transport over NPSF-framed unix/tcp sockets.
+ */
+class SocketTransport : public bus::Transport
+{
+  public:
+    /** Wire-traffic tallies (engine-thread only). */
+    struct Stats
+    {
+        uint64_t sent = 0;       //!< control frames written by this rank
+        uint64_t received = 0;   //!< control frames consumed
+        uint64_t forwarded = 0;  //!< hub: frames relayed between children
+        uint64_t duplicates = 0; //!< re-delivered frames discarded
+        uint64_t peer_drops = 0; //!< resolves degraded to drops (owner dead)
+    };
+
+    /** Hub side (the supervisor, rank 0). */
+    explicit SocketTransport(unsigned timeout_ms = 30000);
+
+    /**
+     * Leaf side: rank @p rank (> 0), already connected to the hub over
+     * @p fd (ownership taken).
+     */
+    SocketTransport(int rank, int fd, unsigned timeout_ms = 30000);
+
+    ~SocketTransport() override;
+
+    SocketTransport(const SocketTransport &) = delete;
+    SocketTransport &operator=(const SocketTransport &) = delete;
+
+    /// @name bus::Transport
+    /// @{
+    uint32_t registerLink(bus::ControlLink *link, int owner_rank) override;
+    bus::WireMsg resolve(const bus::ControlLink &link,
+                         const bus::WireMsg &local) override;
+    /// @}
+
+    /** This process's rank. */
+    int rank() const { return rank_; }
+
+    /** Links registered so far. */
+    uint32_t numLinks() const { return static_cast<uint32_t>(links_.size()); }
+
+    /** CRC32 over the registered link names, in registration order. */
+    uint32_t wiringDigest() const { return digest_; }
+
+    /** Wire-traffic tallies. */
+    const Stats &stats() const { return stats_; }
+
+    /** @return true when @p rank is connected and not known dead.
+     * Rank 0 and this process's own rank are always alive. */
+    bool alive(int rank) const;
+
+    /// @name Hub side (rank 0 only)
+    /// @{
+
+    /**
+     * Register an already-connected, already-verified peer. Used
+     * directly by tests driving a socketpair; real runs go through
+     * acceptPeer().
+     */
+    void addPeer(int rank, int fd);
+
+    /**
+     * Block for one child on @p listener (from listenOn), read its
+     * join frame, and verify protocol version, link count and wiring
+     * digest against this replica — fatal on any mismatch, which is
+     * what catches a child built from a different plan or binary.
+     * @return the joined rank.
+     */
+    int acceptPeer(int listener);
+
+    /** Release tick @p tick on every live child. */
+    void broadcastTickStart(uint64_t tick);
+
+    /**
+     * Block until @p rank reports tick @p tick done (pumping and
+     * relaying meanwhile). @return false when the rank died instead.
+     */
+    bool waitTickDone(int rank, uint64_t tick);
+
+    /** Announce a restarted rank to the other children. */
+    void broadcastPeerUp(int rank, uint64_t tick);
+
+    /**
+     * Send @p rank one peer-down frame per currently-dead rank. A
+     * restarted child starts with every other rank presumed alive and
+     * would otherwise block forever on a rank that died before it
+     * (re)joined; call right after acceptPeer() when restarting.
+     */
+    void syncLiveness(int rank);
+
+    /** End the run on every live child. */
+    void broadcastBye(uint64_t final_tick);
+
+    /// @}
+
+    /// @name Leaf side (rank > 0 only)
+    /// @{
+
+    /** Send the join handshake (after every link is registered). */
+    void sendJoin();
+
+    /**
+     * Block until the supervisor releases tick @p tick. @return false
+     * when the run ended (bye) instead.
+     */
+    bool waitTickStart(uint64_t tick);
+
+    /** Report tick @p tick done to the supervisor. */
+    void sendTickDone(uint64_t tick);
+
+    /** @return true once the supervisor's bye frame arrived. */
+    bool byeSeen() const { return bye_seen_; }
+
+    /// @}
+
+  private:
+    /** Per-link owner, consumption cursor and pending remote frames. */
+    struct LinkState
+    {
+        bus::ControlLink *link = nullptr;
+        int owner = 0;
+        uint64_t last_seq = 0;  //!< seq of the last consumed frame
+        uint64_t last_tick = 0; //!< tick of the last consumed frame
+        bool consumed_any = false;
+        std::deque<bus::WireMsg> queue;
+    };
+
+    /** One connected peer (the hub for a leaf; children for the hub). */
+    struct Peer
+    {
+        int fd = -1;
+        bool alive = false;
+        FrameDecoder decoder;
+    };
+
+    /** Block until any peer has traffic, read it, dispatch frames.
+     * Fatal after timeout_ms_ of total silence (deadlock guard). */
+    void pumpOnce();
+
+    /** Route one decoded frame from @p from_rank. */
+    void dispatch(int from_rank, const Frame &f);
+
+    /** Append @p writer's bytes to every live child except @p except. */
+    void broadcast(const FrameWriter &w, int except);
+
+    /** Write to one peer; a dead child is marked down, not fatal. */
+    void writePeer(int rank, const void *data, size_t len);
+
+    /** Mark @p rank dead and tell the surviving children. */
+    void markDead(int rank);
+
+    /** Blocking resolve of a frame owned by another live-or-dead rank. */
+    bus::WireMsg consumeRemote(LinkState &ls, const bus::WireMsg &local);
+
+    int rank_;
+    unsigned timeout_ms_;
+    uint32_t digest_ = 0;
+    std::vector<LinkState> links_;
+    std::map<int, Peer> peers_;
+    /** Hub: per-rank (last reported done tick + 1); 0 = none yet. */
+    std::map<int, uint64_t> done_plus1_;
+    /** Leaf: liveness of the *other* children, learned from the hub's
+     * peer-down/up frames (absent = alive). */
+    std::map<int, bool> remote_alive_;
+    uint64_t tick_start_plus1_ = 0; //!< leaf: last released tick + 1
+    bool bye_seen_ = false;
+    Stats stats_;
+};
+
+} // namespace stream
+} // namespace nps
+
+#endif // NPS_STREAM_SOCKET_TRANSPORT_H

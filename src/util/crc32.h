@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The one CRC32 implementation of the repository (IEEE 802.3 /
+ * zlib-compatible: polynomial 0xEDB88320 reflected, init and final XOR
+ * 0xFFFFFFFF).
+ *
+ * Both durable formats depend on it byte-for-byte: the checkpoint
+ * container protects every snapshot section with it (src/ckpt/), and
+ * the NPSF wire format seals every frame with it (src/stream/), which
+ * now includes the distributed control plane's budget/violation/
+ * reference/telemetry payloads (docs/DISTRIBUTED.md). Consolidated
+ * here so the two stacks can never drift apart; the known-answer
+ * vectors are pinned in tests/util/test_crc32.cpp.
+ */
+
+#ifndef NPS_UTIL_CRC32_H
+#define NPS_UTIL_CRC32_H
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace nps {
+namespace util {
+
+namespace detail {
+
+inline std::array<uint32_t, 256>
+makeCrc32Table()
+{
+    std::array<uint32_t, 256> table{};
+    for (uint32_t i = 0; i < 256; ++i) {
+        uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+        table[i] = c;
+    }
+    return table;
+}
+
+} // namespace detail
+
+/**
+ * Continue a CRC32 over @p len bytes from a previous partial value.
+ * Pass the result of a prior call as @p crc to checksum scattered
+ * byte ranges as one logical stream; start from 0.
+ */
+inline uint32_t
+crc32Update(uint32_t crc, const void *data, size_t len)
+{
+    static const std::array<uint32_t, 256> table = detail::makeCrc32Table();
+    uint32_t c = crc ^ 0xFFFFFFFFu;
+    const auto *p = static_cast<const unsigned char *>(data);
+    for (size_t i = 0; i < len; ++i)
+        c = table[(c ^ p[i]) & 0xFF] ^ (c >> 8);
+    return c ^ 0xFFFFFFFFu;
+}
+
+/** CRC32 of one contiguous byte range. */
+inline uint32_t
+crc32(const void *data, size_t len)
+{
+    return crc32Update(0, data, len);
+}
+
+} // namespace util
+} // namespace nps
+
+#endif // NPS_UTIL_CRC32_H

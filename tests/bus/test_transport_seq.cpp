@@ -1,0 +1,415 @@
+/**
+ * @file
+ * ControlLink sequence-number edge cases through the transport seam
+ * (docs/DISTRIBUTED.md): wraparound, duplicate delivery and
+ * stale-vs-drop ordering must behave identically whether messages
+ * resolve through the in-process transport or over a real socket.
+ *
+ * One parameterized rig drives both shapes. The in-process rig is a
+ * single link behind an InProcTransport. The socket rig is a faithful
+ * two-replica miniature of a distributed run: a hub SocketTransport
+ * (rank 0) and a leaf SocketTransport (rank 1) joined by a socketpair,
+ * each side holding its own replica of one leaf-owned BudgetLink. Every
+ * send happens on both replicas in lockstep — the leaf broadcasts its
+ * frame, the hub consumes and cross-checks it — so a passing test also
+ * proves the desync detector stayed quiet. A dup() of the leaf's socket
+ * lets tests inject raw re-delivered frames under the hub's nose.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "bus/control_link.h"
+#include "bus/transport.h"
+#include "ckpt/snapshot.h"
+#include "fault/injector.h"
+#include "stream/frame.h"
+#include "stream/socket_transport.h"
+
+namespace {
+
+using namespace nps;
+using bus::BudgetLink;
+
+/** One logical budget link resolved through some transport. */
+class Rig
+{
+  public:
+    virtual ~Rig() = default;
+
+    /** Send on every replica in lockstep.
+     * @return delivered, as seen by the consumer side. */
+    virtual bool send(double watts, size_t tick) = 0;
+
+    /** Consumer-side deliveries. */
+    virtual const std::vector<bus::BudgetGrant> &grants() const = 0;
+
+    /** Consumer-side degradation counters. */
+    virtual const fault::DegradeStats &stats() const = 0;
+
+    /** Seed every replica's sequence counter (checkpoint-restore path). */
+    virtual void seedSeq(uint64_t seq) = 0;
+
+    /** Attach the same (pure) fault oracle to every replica. */
+    virtual void attachFaults(const fault::FaultInjector *inj) = 0;
+
+    /** Re-deliver the last sent frame on the wire, if there is a wire.
+     * @return false when the transport has no wire to duplicate on. */
+    virtual bool redeliverLast() { return false; }
+
+    /** Duplicate frames the consumer discarded. */
+    virtual uint64_t duplicates() const { return 0; }
+};
+
+/** Round-trip a link's serialized state with the seq counter replaced. */
+void
+reseedLink(BudgetLink &link, uint64_t seq)
+{
+    ckpt::SectionWriter w;
+    link.saveState(w);
+    ckpt::SectionReader peek("link", w.bytes());
+    peek.getU64(); // the old seq
+    ckpt::SectionWriter patched;
+    patched.putU64(seq);
+    patched.putDouble(peek.getDouble());
+    patched.putBool(peek.getBool());
+    patched.putU64(peek.getU64());
+    ckpt::SectionReader r("link", patched.bytes());
+    link.loadState(r);
+}
+
+class InProcRig : public Rig
+{
+  public:
+    InProcRig()
+        : link_(fault::Link::EmToSm, 9, "EM/0->SM/9",
+                [this](const bus::BudgetGrant &g) {
+                    grants_.push_back(g);
+                })
+    {
+        link_.setTransport(&transport_, 0);
+        link_.attachDegradeStats(&stats_);
+    }
+
+    bool send(double watts, size_t tick) override
+    {
+        return link_.send(watts, tick);
+    }
+    const std::vector<bus::BudgetGrant> &grants() const override
+    {
+        return grants_;
+    }
+    const fault::DegradeStats &stats() const override { return stats_; }
+    void seedSeq(uint64_t seq) override { reseedLink(link_, seq); }
+    void attachFaults(const fault::FaultInjector *inj) override
+    {
+        link_.setFaultInjector(inj, &stats_);
+    }
+
+  private:
+    bus::InProcTransport transport_;
+    std::vector<bus::BudgetGrant> grants_;
+    fault::DegradeStats stats_;
+    BudgetLink link_;
+};
+
+class SocketRig : public Rig
+{
+  public:
+    SocketRig()
+    {
+        int fds[2] = {-1, -1};
+        EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+        tap_ = ::dup(fds[1]); // writes arrive at the hub "from rank 1"
+        hub_ = std::make_unique<stream::SocketTransport>(5000u);
+        leaf_ = std::make_unique<stream::SocketTransport>(1, fds[1],
+                                                          5000u);
+        hub_->addPeer(1, fds[0]);
+        hub_link_ = makeReplica(hub_grants_);
+        leaf_link_ = makeReplica(leaf_grants_);
+        hub_link_->setTransport(hub_.get(), 1);
+        leaf_link_->setTransport(leaf_.get(), 1);
+        hub_link_->attachDegradeStats(&hub_stats_);
+        leaf_link_->attachDegradeStats(&leaf_stats_);
+    }
+
+    ~SocketRig() override { ::close(tap_); }
+
+    bool send(double watts, size_t tick) override
+    {
+        // Owner first (frames the outcome), consumer second (blocks for
+        // the frame and cross-checks it against its own computation).
+        bool owner = leaf_link_->send(watts, tick);
+        bool consumer = hub_link_->send(watts, tick);
+        EXPECT_EQ(owner, consumer);
+        last_ = bus::WireMsg{};
+        last_.link = hub_link_->wireId();
+        last_.tick = tick;
+        last_.seq = leaf_link_->sent();
+        last_.value = std::max(watts, BudgetLink::kMinGrant);
+        last_.aux = watts;
+        last_.flags = bus::kWireDelivered;
+        have_last_ = owner;
+        return consumer;
+    }
+
+    const std::vector<bus::BudgetGrant> &grants() const override
+    {
+        return hub_grants_;
+    }
+    const fault::DegradeStats &stats() const override
+    {
+        return hub_stats_;
+    }
+
+    void seedSeq(uint64_t seq) override
+    {
+        reseedLink(*hub_link_, seq);
+        reseedLink(*leaf_link_, seq);
+    }
+
+    void attachFaults(const fault::FaultInjector *inj) override
+    {
+        // The oracle is a pure function of (seed, link, target, tick),
+        // so sharing one instance across replicas mirrors how every
+        // process of a real run computes identical faults.
+        hub_link_->setFaultInjector(inj, &hub_stats_);
+        leaf_link_->setFaultInjector(inj, &leaf_stats_);
+    }
+
+    bool redeliverLast() override
+    {
+        if (!have_last_)
+            return false;
+        stream::FrameWriter w;
+        w.ctrl(stream::FrameType::Budget, last_);
+        EXPECT_EQ(::write(tap_, w.data(), w.size()),
+                  static_cast<ssize_t>(w.size()));
+        return true;
+    }
+
+    uint64_t duplicates() const override
+    {
+        return hub_->stats().duplicates;
+    }
+
+  private:
+    std::unique_ptr<BudgetLink>
+    makeReplica(std::vector<bus::BudgetGrant> &sink)
+    {
+        return std::make_unique<BudgetLink>(
+            fault::Link::EmToSm, 9, "EM/0->SM/9",
+            [&sink](const bus::BudgetGrant &g) { sink.push_back(g); });
+    }
+
+    std::unique_ptr<stream::SocketTransport> hub_;
+    std::unique_ptr<stream::SocketTransport> leaf_;
+    int tap_ = -1;
+    std::vector<bus::BudgetGrant> hub_grants_;
+    std::vector<bus::BudgetGrant> leaf_grants_;
+    fault::DegradeStats hub_stats_;
+    fault::DegradeStats leaf_stats_;
+    std::unique_ptr<BudgetLink> hub_link_;
+    std::unique_ptr<BudgetLink> leaf_link_;
+    bus::WireMsg last_;
+    bool have_last_ = false;
+};
+
+enum class Kind
+{
+    InProc,
+    Socket,
+};
+
+class TransportSeqTest : public ::testing::TestWithParam<Kind>
+{
+  protected:
+    void SetUp() override
+    {
+        if (GetParam() == Kind::InProc)
+            rig_ = std::make_unique<InProcRig>();
+        else
+            rig_ = std::make_unique<SocketRig>();
+    }
+
+    std::unique_ptr<Rig> rig_;
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Transports, TransportSeqTest,
+    ::testing::Values(Kind::InProc, Kind::Socket),
+    [](const ::testing::TestParamInfo<Kind> &info) {
+        return info.param == Kind::InProc ? "InProc" : "Socket";
+    });
+
+TEST_P(TransportSeqTest, SequencesAndDelivers)
+{
+    EXPECT_TRUE(rig_->send(120.0, 5));
+    EXPECT_TRUE(rig_->send(130.0, 10));
+    EXPECT_TRUE(rig_->send(140.0, 15));
+    ASSERT_EQ(rig_->grants().size(), 3u);
+    EXPECT_EQ(rig_->grants()[0].seq, 1u);
+    EXPECT_EQ(rig_->grants()[2].seq, 3u);
+    EXPECT_DOUBLE_EQ(rig_->grants()[1].watts, 130.0);
+    EXPECT_EQ(rig_->duplicates(), 0u);
+}
+
+TEST_P(TransportSeqTest, SequenceNumberWrapsAround)
+{
+    // A restored replica whose counter sits at the edge of u64 must
+    // wrap without tripping the socket transport's desync check: the
+    // expectation is the locally computed seq, which wraps identically
+    // on every replica.
+    const uint64_t kMax = std::numeric_limits<uint64_t>::max();
+    rig_->seedSeq(kMax - 2);
+    EXPECT_TRUE(rig_->send(100.0, 1)); // seq kMax - 1
+    EXPECT_TRUE(rig_->send(110.0, 2)); // seq kMax
+    EXPECT_TRUE(rig_->send(120.0, 3)); // seq wraps to 0
+    EXPECT_TRUE(rig_->send(130.0, 4)); // seq 1
+    ASSERT_EQ(rig_->grants().size(), 4u);
+    EXPECT_EQ(rig_->grants()[0].seq, kMax - 1);
+    EXPECT_EQ(rig_->grants()[1].seq, kMax);
+    EXPECT_EQ(rig_->grants()[2].seq, 0u);
+    EXPECT_EQ(rig_->grants()[3].seq, 1u);
+    EXPECT_EQ(rig_->duplicates(), 0u);
+}
+
+TEST_P(TransportSeqTest, DuplicateDeliveryIsDiscardedAndCounted)
+{
+    EXPECT_TRUE(rig_->send(100.0, 1));
+    // Re-inject the tick-1 frame on the wire (socket rigs only; the
+    // in-process transport has no wire and trivially never duplicates).
+    bool injected = rig_->redeliverLast();
+    EXPECT_EQ(injected, GetParam() == Kind::Socket);
+    EXPECT_TRUE(rig_->send(110.0, 2));
+    ASSERT_EQ(rig_->grants().size(), 2u);
+    EXPECT_EQ(rig_->grants()[1].seq, 2u);
+    EXPECT_DOUBLE_EQ(rig_->grants()[1].watts, 110.0);
+    EXPECT_EQ(rig_->duplicates(), injected ? 1u : 0u);
+}
+
+TEST_P(TransportSeqTest, RepeatedDuplicatesAllLandInTheWindow)
+{
+    if (GetParam() != Kind::Socket)
+        GTEST_SKIP() << "duplicate injection needs a wire";
+    rig_->send(100.0, 1);
+    rig_->redeliverLast();
+    rig_->redeliverLast();
+    rig_->redeliverLast();
+    EXPECT_TRUE(rig_->send(110.0, 2));
+    ASSERT_EQ(rig_->grants().size(), 2u);
+    EXPECT_EQ(rig_->duplicates(), 3u);
+}
+
+TEST_P(TransportSeqTest, StaleAfterDropReplaysTheDroppedEpoch)
+{
+    // The stale-after-drop ordering contract (PR 2 semantics): a drop
+    // still advances the replay epoch, so the stale window replays the
+    // *dropped* value. Over a socket the drop is computed identically
+    // on every replica and stays off the wire entirely — the consumer
+    // must come to the same answer without ever seeing a frame.
+    fault::FaultInjector inj(fault::FaultSchedule::parse(
+                                 "drop em-sm 9 10 14 1; "
+                                 "stale em-sm 9 15 20"),
+                             1);
+    rig_->attachFaults(&inj);
+
+    EXPECT_TRUE(rig_->send(100.0, 5));   // fresh
+    EXPECT_FALSE(rig_->send(200.0, 12)); // dropped, epoch advances
+    EXPECT_TRUE(rig_->send(300.0, 16));  // stale: replays 200
+    EXPECT_TRUE(rig_->send(400.0, 25));  // fresh again
+    ASSERT_EQ(rig_->grants().size(), 3u);
+    EXPECT_DOUBLE_EQ(rig_->grants()[0].watts, 100.0);
+    EXPECT_DOUBLE_EQ(rig_->grants()[1].watts, 200.0);
+    EXPECT_DOUBLE_EQ(rig_->grants()[2].watts, 400.0);
+    EXPECT_EQ(rig_->grants()[1].seq, 3u); // the drop consumed seq 2
+    EXPECT_EQ(rig_->stats().dropped_budgets, 1u);
+    EXPECT_EQ(rig_->stats().stale_budgets, 1u);
+}
+
+TEST_P(TransportSeqTest, DropsDoNotDesequenceLaterTraffic)
+{
+    // Sends inside a drop window burn sequence numbers without putting
+    // anything on the wire; the first send after the window must still
+    // line up on every replica.
+    fault::FaultInjector inj(
+        fault::FaultSchedule::parse("drop em-sm 9 10 20 1"), 1);
+    rig_->attachFaults(&inj);
+    EXPECT_TRUE(rig_->send(100.0, 5));
+    EXPECT_FALSE(rig_->send(110.0, 12));
+    EXPECT_FALSE(rig_->send(120.0, 15));
+    EXPECT_TRUE(rig_->send(130.0, 25));
+    ASSERT_EQ(rig_->grants().size(), 2u);
+    EXPECT_EQ(rig_->grants()[0].seq, 1u);
+    EXPECT_EQ(rig_->grants()[1].seq, 4u);
+    EXPECT_EQ(rig_->stats().dropped_budgets, 2u);
+    EXPECT_EQ(rig_->duplicates(), 0u);
+}
+
+TEST(SocketTransportTest, DeadOwnerDegradesSendsToDrops)
+{
+    // When the owning rank dies, every send on its links resolves as an
+    // undelivered drop on the surviving replicas — same observable
+    // behavior as an injected link fault, counted separately.
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    stream::SocketTransport hub(5000u);
+    hub.addPeer(1, fds[0]);
+    std::vector<bus::BudgetGrant> grants;
+    BudgetLink link(fault::Link::EmToSm, 9, "EM/0->SM/9",
+                    [&grants](const bus::BudgetGrant &g) {
+                        grants.push_back(g);
+                    });
+    link.setTransport(&hub, 1);
+    fault::DegradeStats stats;
+    link.attachDegradeStats(&stats);
+
+    // Peer 1 hangs up before ever producing a frame.
+    ::close(fds[1]);
+    EXPECT_FALSE(link.send(100.0, 1));
+    EXPECT_FALSE(link.send(110.0, 2));
+    EXPECT_TRUE(grants.empty());
+    EXPECT_EQ(link.sent(), 2u);
+    EXPECT_EQ(hub.stats().peer_drops, 2u);
+    EXPECT_EQ(stats.dropped_budgets, 2u);
+    EXPECT_FALSE(hub.alive(1));
+}
+
+TEST(SocketTransportTest, WiringDigestSeparatesDifferentTopologies)
+{
+    // The join handshake compares link-name digests; two transports
+    // that registered different wirings must disagree.
+    stream::SocketTransport a(100u);
+    stream::SocketTransport b(100u);
+    std::vector<bus::BudgetGrant> sink;
+    BudgetLink l1(fault::Link::EmToSm, 1, "EM/0->SM/1",
+                  [&sink](const bus::BudgetGrant &g) {
+                      sink.push_back(g);
+                  });
+    BudgetLink l2(fault::Link::EmToSm, 2, "EM/0->SM/2",
+                  [&sink](const bus::BudgetGrant &g) {
+                      sink.push_back(g);
+                  });
+    l1.setTransport(&a, 0);
+    l2.setTransport(&b, 0);
+    EXPECT_NE(a.wiringDigest(), b.wiringDigest());
+    EXPECT_EQ(a.numLinks(), 1u);
+
+    stream::SocketTransport c(100u);
+    BudgetLink l3(fault::Link::EmToSm, 1, "EM/0->SM/1",
+                  [&sink](const bus::BudgetGrant &g) {
+                      sink.push_back(g);
+                  });
+    l3.setTransport(&c, 0);
+    EXPECT_EQ(a.wiringDigest(), c.wiringDigest());
+}
+
+} // namespace

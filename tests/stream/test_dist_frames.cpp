@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Codec tests for the distributed-control-plane NPSF frames
+ * (docs/DISTRIBUTED.md): bit-exact round-trips of the control-message
+ * tags ('G'/'V'/'R'/'Y') and the supervision frames ('K'/'D'/'P'/'U'/
+ * 'J'), arbitrary input splits, and corruption resync — the same
+ * robustness contract the telemetry frames already honor
+ * (tests/stream/test_frame.cpp), extended to the frames a distributed
+ * run's barrier and liveness ride on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "stream/frame.h"
+
+namespace {
+
+using namespace nps::stream;
+
+std::vector<Frame>
+decodeAll(FrameDecoder &dec, const std::vector<uint8_t> &bytes)
+{
+    dec.feed(bytes.data(), bytes.size());
+    std::vector<Frame> out;
+    Frame f;
+    while (dec.next(f))
+        out.push_back(f);
+    return out;
+}
+
+nps::bus::WireMsg
+sampleMsg()
+{
+    nps::bus::WireMsg m;
+    m.link = 42;
+    m.tick = 123456789ull;
+    m.seq = std::numeric_limits<uint64_t>::max(); // edge: about to wrap
+    m.value = 187.5;
+    m.aux = -0.0; // signed zero must survive bit-exactly
+    m.flags = nps::bus::kWireDelivered | nps::bus::kWireStale;
+    return m;
+}
+
+TEST(DistFrames, CtrlTagsRoundTripBitExactly)
+{
+    const FrameType tags[] = {FrameType::Budget, FrameType::Violation,
+                              FrameType::Reference,
+                              FrameType::Telemetry};
+    FrameWriter w;
+    nps::bus::WireMsg m = sampleMsg();
+    for (FrameType t : tags) {
+        ASSERT_TRUE(isCtrlFrame(t));
+        w.ctrl(t, m);
+        m.link++; // vary the payload per tag
+        m.value += 0.125;
+    }
+    FrameDecoder dec;
+    auto frames = decodeAll(dec, w.buffer());
+    ASSERT_EQ(frames.size(), 4u);
+    nps::bus::WireMsg expect = sampleMsg();
+    for (size_t i = 0; i < 4; ++i) {
+        EXPECT_EQ(frames[i].type, tags[i]);
+        EXPECT_EQ(frames[i].ctrl.link, expect.link);
+        EXPECT_EQ(frames[i].ctrl.tick, expect.tick);
+        EXPECT_EQ(frames[i].ctrl.seq, expect.seq);
+        // Bit-level equality, not numeric: -0.0 == 0.0 would pass a
+        // numeric check while corrupting the replica cross-check.
+        EXPECT_EQ(0, std::memcmp(&frames[i].ctrl.value, &expect.value,
+                                 sizeof(double)));
+        EXPECT_EQ(0, std::memcmp(&frames[i].ctrl.aux, &expect.aux,
+                                 sizeof(double)));
+        EXPECT_EQ(frames[i].ctrl.flags, expect.flags);
+        expect.link++;
+        expect.value += 0.125;
+    }
+    EXPECT_EQ(dec.stats().bad_crc, 0u);
+    EXPECT_EQ(dec.stats().resync_bytes, 0u);
+}
+
+TEST(DistFrames, TelemetryTagsAreNotCtrlFrames)
+{
+    EXPECT_FALSE(isCtrlFrame(FrameType::Hello));
+    EXPECT_FALSE(isCtrlFrame(FrameType::Sample));
+    EXPECT_FALSE(isCtrlFrame(FrameType::TickEnd));
+    EXPECT_FALSE(isCtrlFrame(FrameType::Bye));
+    EXPECT_FALSE(isCtrlFrame(FrameType::TickStart));
+    EXPECT_FALSE(isCtrlFrame(FrameType::TickDone));
+    EXPECT_FALSE(isCtrlFrame(FrameType::PeerDown));
+    EXPECT_FALSE(isCtrlFrame(FrameType::PeerUp));
+    EXPECT_FALSE(isCtrlFrame(FrameType::Join));
+}
+
+TEST(DistFrames, SupervisionFramesRoundTrip)
+{
+    FrameWriter w;
+    w.tickStart(77);
+    w.tickDone(76, 3);
+    w.peerDown(2);
+    w.peerUp(1, 300);
+    JoinFrame j;
+    j.rank = 4;
+    j.links = 1234;
+    j.digest = 0xDEADBEEFu;
+    w.join(j);
+    w.bye(480);
+
+    FrameDecoder dec;
+    auto frames = decodeAll(dec, w.buffer());
+    ASSERT_EQ(frames.size(), 6u);
+
+    EXPECT_EQ(frames[0].type, FrameType::TickStart);
+    EXPECT_EQ(frames[0].tick, 77u);
+
+    EXPECT_EQ(frames[1].type, FrameType::TickDone);
+    EXPECT_EQ(frames[1].tick, 76u);
+    EXPECT_EQ(frames[1].rank, 3u);
+
+    EXPECT_EQ(frames[2].type, FrameType::PeerDown);
+    EXPECT_EQ(frames[2].rank, 2u);
+
+    EXPECT_EQ(frames[3].type, FrameType::PeerUp);
+    EXPECT_EQ(frames[3].rank, 1u);
+    EXPECT_EQ(frames[3].tick, 300u);
+
+    EXPECT_EQ(frames[4].type, FrameType::Join);
+    EXPECT_EQ(frames[4].join.rank, 4u);
+    EXPECT_EQ(frames[4].join.version, kProtocolVersion);
+    EXPECT_EQ(frames[4].join.links, 1234u);
+    EXPECT_EQ(frames[4].join.digest, 0xDEADBEEFu);
+
+    EXPECT_EQ(frames[5].type, FrameType::Bye);
+    EXPECT_EQ(frames[5].tick, 480u);
+}
+
+TEST(DistFrames, DecodesAcrossArbitrarySplits)
+{
+    FrameWriter w;
+    w.join(JoinFrame{1, kProtocolVersion, 10, 0x1234u});
+    w.ctrl(FrameType::Budget, sampleMsg());
+    w.tickDone(5, 1);
+    w.tickStart(6);
+
+    // Feed one byte at a time: a frame may straddle any read boundary.
+    FrameDecoder dec;
+    std::vector<Frame> frames;
+    Frame f;
+    for (uint8_t byte : w.buffer()) {
+        dec.feed(&byte, 1);
+        while (dec.next(f))
+            frames.push_back(f);
+    }
+    ASSERT_EQ(frames.size(), 4u);
+    EXPECT_EQ(frames[0].type, FrameType::Join);
+    EXPECT_EQ(frames[1].type, FrameType::Budget);
+    EXPECT_EQ(frames[1].ctrl.link, 42u);
+    EXPECT_EQ(frames[2].type, FrameType::TickDone);
+    EXPECT_EQ(frames[3].type, FrameType::TickStart);
+    EXPECT_EQ(dec.buffered(), 0u);
+}
+
+TEST(DistFrames, CorruptedCtrlFrameIsDroppedAndDecodingResyncs)
+{
+    FrameWriter w;
+    w.ctrl(FrameType::Budget, sampleMsg());
+    size_t first = w.size();
+    w.ctrl(FrameType::Reference, sampleMsg());
+    w.tickStart(9);
+
+    std::vector<uint8_t> bytes = w.buffer();
+    // Flip one payload byte in the middle frame: its CRC fails, the
+    // decoder hunts forward and recovers the tick-start behind it.
+    bytes[first + 10] ^= 0xFF;
+
+    FrameDecoder dec;
+    auto frames = decodeAll(dec, bytes);
+    ASSERT_EQ(frames.size(), 2u);
+    EXPECT_EQ(frames[0].type, FrameType::Budget);
+    EXPECT_EQ(frames[1].type, FrameType::TickStart);
+    EXPECT_EQ(frames[1].tick, 9u);
+    EXPECT_EQ(dec.stats().bad_crc, 1u);
+    EXPECT_GT(dec.stats().resync_bytes, 0u);
+}
+
+TEST(DistFrames, TruncatedFrameStaysBuffered)
+{
+    FrameWriter w;
+    w.peerUp(3, 120);
+    std::vector<uint8_t> bytes = w.buffer();
+    bytes.resize(bytes.size() - 3); // cut mid-CRC
+
+    FrameDecoder dec;
+    auto frames = decodeAll(dec, bytes);
+    EXPECT_TRUE(frames.empty());
+    EXPECT_GT(dec.buffered(), 0u); // the cut is visible, not silent
+}
+
+TEST(DistFrames, GarbageBetweenFramesIsSkippedAndCounted)
+{
+    FrameWriter w;
+    w.tickDone(1, 1);
+    std::vector<uint8_t> bytes = w.buffer();
+    const uint8_t junk[] = {0x00, 0xFF, 'N', 'P', 0x13, 0x37};
+    bytes.insert(bytes.begin(), junk, junk + sizeof(junk));
+    w.clear();
+    w.tickStart(2);
+    bytes.insert(bytes.end(), w.buffer().begin(), w.buffer().end());
+
+    FrameDecoder dec;
+    auto frames = decodeAll(dec, bytes);
+    ASSERT_EQ(frames.size(), 2u);
+    EXPECT_EQ(frames[0].type, FrameType::TickDone);
+    EXPECT_EQ(frames[1].type, FrameType::TickStart);
+    EXPECT_EQ(dec.stats().resync_bytes, sizeof(junk));
+}
+
+} // namespace

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Known-answer tests pinning util::crc32 to the IEEE 802.3 /
+ * zlib-compatible CRC32. Both durable formats (the NPSCKPT1 snapshot
+ * container and the NPSF wire format) seal their bytes with this
+ * function, so these vectors are a compatibility contract: a change
+ * that shifts any of them would silently orphan every existing
+ * checkpoint and break the framed-stream protocol.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "ckpt/snapshot.h"
+#include "util/crc32.h"
+
+namespace {
+
+using nps::util::crc32;
+using nps::util::crc32Update;
+
+TEST(Crc32Test, PinnedKnownVectors)
+{
+    // The catalogue check value: CRC32("123456789") = 0xCBF43926.
+    EXPECT_EQ(crc32("123456789", 9), 0xCBF43926u);
+    // Empty input is the identity.
+    EXPECT_EQ(crc32("", 0), 0x00000000u);
+    // Classic zlib vectors.
+    EXPECT_EQ(crc32("a", 1), 0xE8B7BE43u);
+    EXPECT_EQ(crc32("abc", 3), 0x352441C2u);
+    EXPECT_EQ(crc32("hello world", 11), 0x0D4A1185u);
+    const unsigned char zeros[4] = {0, 0, 0, 0};
+    EXPECT_EQ(crc32(zeros, sizeof zeros), 0x2144DF1Cu);
+    const unsigned char ff[4] = {0xFF, 0xFF, 0xFF, 0xFF};
+    EXPECT_EQ(crc32(ff, sizeof ff), 0xFFFFFFFFu);
+}
+
+TEST(Crc32Test, IncrementalMatchesOneShot)
+{
+    const std::string text = "The quick brown fox jumps over the lazy dog";
+    uint32_t whole = crc32(text.data(), text.size());
+    for (size_t split = 0; split <= text.size(); ++split) {
+        uint32_t part = crc32Update(0, text.data(), split);
+        part = crc32Update(part, text.data() + split, text.size() - split);
+        EXPECT_EQ(part, whole) << "split at " << split;
+    }
+}
+
+TEST(Crc32Test, CkptAliasIsByteCompatible)
+{
+    // ckpt::crc32 must stay the same function: existing snapshots carry
+    // its section checksums, and the NPSF decoder validates frames the
+    // ckpt-side writer of an older build produced.
+    const char blob[] = "NPSCKPT1-section-payload\x00\x7f\xff";
+    EXPECT_EQ(nps::ckpt::crc32(blob, sizeof blob),
+              crc32(blob, sizeof blob));
+    EXPECT_EQ(nps::ckpt::crc32("123456789", 9), 0xCBF43926u);
+}
+
+} // namespace

@@ -1,0 +1,120 @@
+#!/usr/bin/env bash
+#
+# End-to-end smoke test for the distributed control plane
+# (docs/DISTRIBUTED.md).
+#
+# Leg 1 (lockstep equivalence): run a 3-level plan — the group manager,
+# the enclosure managers and the VM controller each hosted in their own
+# npsnode process, four processes total over a unix socket — and require
+# the distributed recorder CSV to be byte-identical to the
+# single-process run of the same plan, at threads 1 and 4.
+#
+# Leg 2 (chaos): SIGKILL the GM rank mid-run with an outage longer than
+# the 150-tick budget leases (3x the GM's 50-tick period), so the
+# survivors must walk the whole degradation ladder — dropped grants,
+# lease expiries, fallback stepping — before the supervisor restarts the
+# rank from a snapshot; the run must finish rc=0 with every tick
+# recorded.
+#
+# Usage:  tools/dist_smoke.sh [npsim-binary] [workdir]
+#
+# Exits non-zero on the first mismatch. Stray child processes and
+# sockets are cleaned up on any exit path.
+
+set -euo pipefail
+
+npsim="${1:-build/tools/npsim}"
+work="${2:-$(mktemp -d)}"
+mkdir -p "${work}"
+work="$(cd "${work}" && pwd)" # plans embed the socket path: absolute
+
+# A failed or interrupted run can orphan the supervisor's npsnode
+# children (they block at the barrier until their socket timeout).
+# Every spawned process has the workdir on its command line — the plan
+# path for npsnode, the plan or record path for npsim — so kill by
+# that, then sweep the sockets.
+cleanup() {
+    pkill -f -- "${work}/.*\.plan" 2>/dev/null || true
+    rm -f "${work}"/*.sock
+}
+trap cleanup EXIT INT TERM
+
+write_plan() { # <name> <ticks> [kill-spec] [restart-after]
+    local name="$1" ticks="$2" kill_spec="${3:-}" restart="${4:-0}"
+    cat > "${work}/${name}.plan" <<EOF
+[dist]
+socket = ${work}/${name}.sock
+timeout_ms = 60000
+restart_after = ${restart}
+
+[run]
+scenario = coordinated
+mix = 60M
+ticks = ${ticks}
+
+[node group]
+levels = gm:*
+
+[node enclosures]
+levels = em:*
+
+[node vms]
+levels = vmc
+EOF
+    if [ -n "${kill_spec}" ]; then
+        printf '\n[chaos]\nkill = %s\n' "${kill_spec}" \
+            >> "${work}/${name}.plan"
+    fi
+}
+
+echo "=== leg 0: single-process reference ==="
+ticks=240
+write_plan ref "${ticks}"
+"${npsim}" --plan "${work}/ref.plan" --record "${work}/ref.csv"
+
+echo "=== leg 1: distributed run, threads 1 and 4 ==="
+for t in 1 4; do
+    write_plan "dist${t}" "${ticks}"
+    "${npsim}" --distributed "${work}/dist${t}.plan" --threads "${t}" \
+        --record "${work}/dist${t}.csv"
+    cmp "${work}/ref.csv" "${work}/dist${t}.csv" \
+        || { echo "FAIL: distributed CSV differs from single-process" \
+                  "at threads ${t}" >&2; exit 1; }
+    echo "OK: threads ${t} is byte-identical to the single-process run"
+done
+
+echo "=== leg 2: SIGKILL the GM rank, degrade, restart, recover ==="
+# Kill at tick 100, restart after 200: the 200-tick outage exceeds the
+# 150-tick leases, so lease expiries and fallback stepping must show up
+# in the degrade summary — not just dropped grants.
+chaos_ticks=480
+write_plan chaos "${chaos_ticks}" "1@100" 200
+"${npsim}" --distributed "${work}/chaos.plan" \
+    --record "${work}/chaos.csv" 2> "${work}/chaos.log" \
+    | tee "${work}/chaos.out"
+cat "${work}/chaos.log" >&2
+
+grep -q "killed rank 1" "${work}/chaos.log" \
+    || { echo "FAIL: supervisor never killed rank 1" >&2; exit 1; }
+grep -q "restarted rank 1" "${work}/chaos.log" \
+    || { echo "FAIL: supervisor never restarted rank 1" >&2; exit 1; }
+
+# degrade: N dropped, N stale, N lease expiries, N fallback steps, ...
+degrade="$(grep '^degrade:' "${work}/chaos.out")"
+dropped="$(echo "${degrade}" | sed -n 's/^degrade: \([0-9]*\) dropped.*/\1/p')"
+leases="$(echo "${degrade}" | sed -n 's/.*, \([0-9]*\) lease expiries.*/\1/p')"
+[ -n "${dropped}" ] && [ "${dropped}" -gt 0 ] \
+    || { echo "FAIL: no dropped grants in '${degrade}'" >&2; exit 1; }
+[ -n "${leases}" ] && [ "${leases}" -gt 0 ] \
+    || { echo "FAIL: no lease expiries in '${degrade}'" >&2; exit 1; }
+
+# Clean recovery: every tick recorded, same sample count as a healthy
+# run of the same length would produce.
+expected=$((chaos_ticks - 1))
+grep -q "wrote ${expected} samples" "${work}/chaos.out" \
+    || { echo "FAIL: chaos run did not record all ${expected} samples" >&2
+         exit 1; }
+echo "OK: degraded (${dropped} dropped, ${leases} lease expiries)," \
+     "restarted, and recovered cleanly"
+
+echo "=== dist smoke: all legs passed ==="

@@ -37,6 +37,8 @@
 #include "ckpt/atomic_io.h"
 #include "ckpt/snapshot.h"
 #include "core/config_io.h"
+#include "core/dist.h"
+#include "core/dist_plan.h"
 #include "fault/fault.h"
 #include "fault/injector.h"
 #include "core/coordinator.h"
@@ -74,6 +76,8 @@ struct Args
     std::string log_level;
     std::string checkpoint_dir;
     std::string serve; //!< telemetry endpoint (daemon mode)
+    std::string plan_single;  //!< --plan: run a dist plan inline (oracle)
+    std::string distributed;  //!< --distributed: supervise a process tree
     size_t checkpoint_every = 0;
     std::string resume; //!< snapshot file, or "latest"
     unsigned record_stride = 1;
@@ -132,6 +136,16 @@ usage()
         "  --record FILE  dump per-server/enclosure telemetry as CSV\n"
         "  --record-stride N  telemetry sampling stride (default 1,\n"
         "                 matching sim::Recorder::Options)\n"
+        "  --plan FILE    run a distributed plan (docs/DISTRIBUTED.md)\n"
+        "                 in this single process — the byte-exact\n"
+        "                 oracle a --distributed run is diffed against;\n"
+        "                 only --record, --threads and --log-level\n"
+        "                 combine with it\n"
+        "  --distributed FILE  run the plan as a process tree: this\n"
+        "                 process becomes the rank-0 supervisor and\n"
+        "                 spawns one npsnode per [node] section over\n"
+        "                 the plan's unix/tcp socket; the recorder CSV\n"
+        "                 is byte-identical to --plan on the same file\n"
         "  --serve SPEC   daemon mode (docs/STREAMING.md): instead of\n"
         "                 replaying traces, read live NPSF-framed\n"
         "                 utilization samples from SPEC — stdin,\n"
@@ -234,6 +248,10 @@ parse(int argc, char **argv)
             args.resume = need(i), ++i;
         else if (a == "--serve")
             args.serve = need(i), ++i;
+        else if (a == "--plan")
+            args.plan_single = need(i), ++i;
+        else if (a == "--distributed")
+            args.distributed = need(i), ++i;
         else if (a == "--two-pstates")
             args.two_pstates = true;
         else if (a == "--no-power-off")
@@ -487,6 +505,30 @@ main(int argc, char **argv)
             util::fatal("unknown log level '%s' (try debug, info, warn "
                         "or error)", args.log_level.c_str());
         util::setLogLevel(level);
+    }
+    if (!args.plan_single.empty() || !args.distributed.empty()) {
+        // The plan-driven modes own the whole run definition; the only
+        // flags that combine with them are output and throughput knobs.
+        if (!args.plan_single.empty() && !args.distributed.empty())
+            util::fatal("--plan and --distributed are exclusive: the "
+                        "former is the single-process oracle of the "
+                        "latter");
+        if (!args.config_path.empty() || !args.faults_path.empty() ||
+            !args.topology_path.empty() || !args.serve.empty() ||
+            !args.resume.empty() || args.checkpoint_every > 0)
+            util::fatal("--plan/--distributed cannot be combined with "
+                        "--config, --faults, --topology, --serve or "
+                        "checkpointing flags: the plan file defines "
+                        "the whole run (docs/DISTRIBUTED.md)");
+        unsigned threads = args.threads_set ? args.threads : 0;
+        if (!args.plan_single.empty()) {
+            core::DistPlan plan = core::loadPlanFile(args.plan_single);
+            return core::dist::runPlanSingle(plan, args.record_path,
+                                             threads);
+        }
+        core::DistPlan plan = core::loadPlanFile(args.distributed);
+        return core::dist::runSupervisor(plan, args.distributed,
+                                         args.record_path, threads);
     }
     bool resuming = !args.resume.empty();
     if (args.checkpoint_every > 0 && args.checkpoint_dir.empty())

@@ -32,6 +32,18 @@ npsfeed="${2:-build/tools/npsfeed}"
 work="${3:-$(mktemp -d)}"
 mkdir -p "${work}"
 
+# Legs 2-4 background a daemon and a feeder; a failed diff, an early
+# exit under `set -e`, or an interrupt must not leave either process
+# running or their sockets behind.
+daemon=""
+feeder=""
+cleanup() {
+    [ -n "${daemon}" ] && kill "${daemon}" 2>/dev/null || true
+    [ -n "${feeder}" ] && kill "${feeder}" 2>/dev/null || true
+    rm -f "${work}"/*.sock
+}
+trap cleanup EXIT INT TERM
+
 ticks=480
 mix=180
 
@@ -82,6 +94,7 @@ sock="${work}/nps.sock"
 daemon=$!
 "${npsfeed}" --mix "${mix}" --ticks "${ticks}" --to "unix:${sock}"
 wait "${daemon}"
+daemon=""
 check_identical "sock"
 
 echo "=== leg 3: feeder SIGKILLed mid-run ==="
@@ -97,11 +110,13 @@ feeder=$!
 sleep 0.4
 kill -9 "${feeder}" 2>/dev/null || true
 wait "${feeder}" 2>/dev/null || true
+feeder=""
 # The daemon must notice the dead peer and exit cleanly on its own —
 # a hang here fails the smoke via the surrounding CI timeout.
 wait "${daemon}" \
     || { echo "FAIL: daemon exited non-zero after feeder kill" >&2
          exit 1; }
+daemon=""
 # Whatever was simulated must be a byte-prefix of the batch output:
 # the daemon only commits barrier-complete ticks.
 got="${work}/kill-record.csv"
