@@ -1,0 +1,73 @@
+#include "bus/cascade.h"
+
+#include <algorithm>
+
+#include "util/csv.h"
+#include "util/logging.h"
+
+namespace nps {
+namespace bus {
+
+HopBuffer *
+CascadeTracer::channel(const std::string &name, ChannelKind kind)
+{
+    for (const auto &l : links_) {
+        if (l->name == name)
+            util::fatal("cascade tracer: link '%s' registered twice",
+                        name.c_str());
+    }
+    links_.push_back(std::make_unique<LinkTrace>());
+    links_.back()->name = name;
+    links_.back()->kind = kind;
+    return &links_.back()->hops;
+}
+
+size_t
+CascadeTracer::totalHops() const
+{
+    size_t n = 0;
+    for (const auto &l : links_)
+        n += l->hops.size();
+    return n;
+}
+
+std::vector<CascadeTracer::Entry>
+CascadeTracer::merged() const
+{
+    std::vector<Entry> out;
+    out.reserve(totalHops());
+    for (const auto &l : links_) {
+        for (const auto &h : l->hops)
+            out.push_back({l.get(), &h});
+    }
+    std::sort(out.begin(), out.end(), [](const Entry &a, const Entry &b) {
+        if (a.hop->tick != b.hop->tick)
+            return a.hop->tick < b.hop->tick;
+        if (a.link->name != b.link->name)
+            return a.link->name < b.link->name;
+        return a.hop->seq < b.hop->seq;
+    });
+    return out;
+}
+
+void
+CascadeTracer::writeCsv(std::ostream &out) const
+{
+    util::CsvWriter w(out);
+    w.row("tick", "link", "kind", "seq", "trace", "root_tick",
+          "hop_latency", "value", "delivered");
+    for (const Entry &e : merged()) {
+        // trace is root tick + 1 and never 0 here (untraced hops are
+        // not recorded), so the subtraction cannot underflow.
+        unsigned long root = static_cast<unsigned long>(e.hop->trace - 1);
+        w.row(static_cast<unsigned long>(e.hop->tick), e.link->name,
+              channelKindName(e.link->kind),
+              static_cast<unsigned long>(e.hop->seq),
+              static_cast<unsigned long>(e.hop->trace), root,
+              static_cast<unsigned long>(e.hop->tick - root),
+              e.hop->value, e.hop->delivered ? 1 : 0);
+    }
+}
+
+} // namespace bus
+} // namespace nps

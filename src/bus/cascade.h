@@ -1,0 +1,105 @@
+/**
+ * @file
+ * CascadeTracer: causal tracing of the GM→EM→SM budget cascade
+ * (docs/OBSERVABILITY.md).
+ *
+ * Every root budget epoch a group manager opens is stamped with a
+ * deterministic trace id (the epoch tick + 1, so id 0 means untraced).
+ * The id rides in bus::WireMsg across every hop the epoch causally
+ * produces — nested GM grants, EM re-grants, and the violation reports
+ * that answer them — including across process boundaries, where the
+ * socket transport carries it inside the NPSF ctrl frame. Attached
+ * links record each stamped hop into a private per-link buffer, the
+ * exact determinism recipe of ControlPlaneLog: registration is
+ * single-threaded at wiring time, recording is contention-free, and
+ * merged() sorts on (tick, link name, seq) so the CSV is byte-identical
+ * at any thread count and between the single-process oracle and a
+ * distributed run.
+ *
+ * The per-hop latency column is the causal depth in ticks: how long
+ * after the root epoch opened this hop happened (tick − root tick).
+ */
+
+#ifndef NPS_BUS_CASCADE_H
+#define NPS_BUS_CASCADE_H
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "bus/messages.h"
+#include "util/chunked_vector.h"
+
+namespace nps {
+namespace bus {
+
+/** One recorded hop of a budget cascade. */
+struct CascadeHop
+{
+    size_t tick = 0;     //!< send/poll tick of the hop
+    uint64_t seq = 0;    //!< the link's sequence number
+    uint32_t trace = 0;  //!< cascade trace id (root tick + 1, never 0)
+    double value = 0.0;  //!< delivered payload (watts or epoch rate)
+    bool delivered = true; //!< false when the hop was dropped
+};
+
+/** Per-link hop buffer (see bus/control_log.h for the chunking why). */
+using HopBuffer = util::ChunkedVector<CascadeHop, 256>;
+
+/**
+ * The cascade trace of the whole control plane.
+ */
+class CascadeTracer
+{
+  public:
+    /** One link's registration: its name and its private buffer. */
+    struct LinkTrace
+    {
+        std::string name;
+        ChannelKind kind = ChannelKind::Budget;
+        HopBuffer hops;
+    };
+
+    /** One entry of the merged view. */
+    struct Entry
+    {
+        const LinkTrace *link = nullptr;
+        const CascadeHop *hop = nullptr;
+    };
+
+    /**
+     * Register link @p name and return its private hop buffer. Must be
+     * called at wiring time, before the engine runs; registering the
+     * same name twice is fatal.
+     */
+    HopBuffer *channel(const std::string &name, ChannelKind kind);
+
+    /** Number of registered links. */
+    size_t numLinks() const { return links_.size(); }
+
+    /** Total recorded hops across all links. */
+    size_t totalHops() const;
+
+    /**
+     * All hops merged into one deterministic order: by (tick, link
+     * name, seq). Independent of registration order, engine thread
+     * count, and process layout.
+     */
+    std::vector<Entry> merged() const;
+
+    /**
+     * Write the merged view as CSV:
+     * tick,link,kind,seq,trace,root_tick,hop_latency,value,delivered.
+     */
+    void writeCsv(std::ostream &out) const;
+
+  private:
+    std::vector<std::unique_ptr<LinkTrace>> links_;
+};
+
+} // namespace bus
+} // namespace nps
+
+#endif // NPS_BUS_CASCADE_H

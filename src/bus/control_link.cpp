@@ -56,6 +56,27 @@ ControlLink::attachLog(ControlPlaneLog *log)
 }
 
 void
+ControlLink::attachCascade(CascadeTracer *tracer)
+{
+    cascade_ = tracer ? tracer->channel(name_, kind_) : nullptr;
+}
+
+void
+ControlLink::traceHop(size_t tick, uint64_t seq, uint32_t trace,
+                      double value, bool delivered)
+{
+    if (!cascade_ || trace == 0)
+        return;
+    CascadeHop h;
+    h.tick = tick;
+    h.seq = seq;
+    h.trace = trace;
+    h.value = value;
+    h.delivered = delivered;
+    cascade_->push_back(h);
+}
+
+void
 ControlLink::setTransport(Transport *transport, int owner_rank)
 {
     transport_ = transport;
@@ -148,6 +169,7 @@ BudgetLink::send(double watts, size_t tick)
     prev_ = watts;
     has_prev_ = true;
     deliver = std::max(deliver, kMinGrant);
+    uint32_t trace = traceStamp();
     if (!dropped) {
         // A locally dropped send never reaches the transport: over a
         // socket an injected link fault is real wire silence (every
@@ -158,6 +180,7 @@ BudgetLink::send(double watts, size_t tick)
             tick, seq, deliver, watts,
             static_cast<uint8_t>(kWireDelivered |
                                  (stale ? kWireStale : 0))));
+        trace = m.trace;
         if (!(m.flags & kWireDelivered)) {
             dropped = true;
             stale = false;
@@ -174,10 +197,11 @@ BudgetLink::send(double watts, size_t tick)
             ++stats_->stale_budgets;
     }
     mirror(tick, seq, dropped ? 0.0 : deliver, watts, !dropped, stale);
+    traceHop(tick, seq, trace, dropped ? 0.0 : deliver, !dropped);
     if (dropped)
         return false;
     ++delivered_;
-    sink_(BudgetGrant{deliver, tick, seq});
+    sink_(BudgetGrant{deliver, tick, seq, trace});
     return true;
 }
 
@@ -224,6 +248,9 @@ ViolationChannel::poll(size_t tick)
     r.lifetime_rate = source_->lifetimeViolationRate();
     r.tick = tick;
     r.seq = nextSeq();
+    // Upward feedback answers the last budget epoch the polled source
+    // received: stamp the report with that epoch's cascade trace id.
+    setTraceStamp(source_->cascadeStamp());
     WireMsg m = resolveOutcome(wireMsg(tick, r.seq, r.epoch_rate,
                                        r.lifetime_rate, kWireDelivered));
     bool delivered = (m.flags & kWireDelivered) != 0;
@@ -232,6 +259,7 @@ ViolationChannel::poll(size_t tick)
     r.epoch_rate = delivered ? m.value : 0.0;
     r.lifetime_rate = delivered ? m.aux : 0.0;
     mirror(tick, r.seq, r.epoch_rate, r.lifetime_rate, delivered, false);
+    traceHop(tick, r.seq, m.trace, r.epoch_rate, delivered);
     return r;
 }
 

@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "bus/cascade.h"
 #include "bus/control_log.h"
 #include "bus/messages.h"
 #include "bus/transport.h"
@@ -65,6 +66,24 @@ class ControlLink
     void attachLog(ControlPlaneLog *log);
 
     /**
+     * Record this link's trace-stamped hops into @p tracer (null
+     * detaches). Must be called at wiring time, before the engine runs.
+     * Only messages carrying a non-zero trace id are recorded.
+     */
+    void attachCascade(CascadeTracer *tracer);
+
+    /**
+     * Stamp every subsequent message with cascade trace id @p trace
+     * (0 = untraced). Senders set this right before send/poll; the
+     * stamp is derived from serialized controller state, so it needs no
+     * checkpointing of its own.
+     */
+    void setTraceStamp(uint32_t trace) { trace_stamp_ = trace; }
+
+    /** The current cascade trace stamp. */
+    uint32_t traceStamp() const { return trace_stamp_; }
+
+    /**
      * Route this link's messages through @p transport (null detaches,
      * restoring the inline fast path — the two are bit-identical for
      * an in-process transport). @p owner_rank is the process rank
@@ -98,6 +117,13 @@ class ControlLink
                 bool delivered, bool stale);
 
     /**
+     * Record one resolved hop into the attached cascade buffer, if any.
+     * Untraced messages (trace 0) are skipped.
+     */
+    void traceHop(size_t tick, uint64_t seq, uint32_t trace, double value,
+                  bool delivered);
+
+    /**
      * Resolve @p local through the attached transport, or return it
      * unchanged when none is attached. Subclasses call this between
      * computing a message's local outcome and acting on it.
@@ -119,6 +145,7 @@ class ControlLink
         m.seq = seq;
         m.value = value;
         m.aux = aux;
+        m.trace = trace_stamp_;
         m.flags = flags;
         return m;
     }
@@ -128,6 +155,8 @@ class ControlLink
     std::string name_;
     uint64_t seq_ = 0;
     EventBuffer *events_ = nullptr;
+    HopBuffer *cascade_ = nullptr;
+    uint32_t trace_stamp_ = 0;
     Transport *transport_ = nullptr;
     int owner_rank_ = 0;
     uint32_t wire_id_ = 0;

@@ -38,6 +38,7 @@ struct BudgetGrant
     double watts = 0.0; //!< the granted budget
     size_t tick = 0;    //!< send tick (refreshes the receiver's lease)
     uint64_t seq = 0;   //!< per-link sequence number (1-based)
+    uint32_t trace = 0; //!< cascade trace id (0 = untraced)
 };
 
 /** Budget-violation feedback flowing up to the consolidator. */

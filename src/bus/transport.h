@@ -89,6 +89,11 @@ struct WireMsg
     uint64_t seq = 0;
     double value = 0.0;
     double aux = 0.0;
+    //! cascade trace id (docs/OBSERVABILITY.md): the GM budget epoch
+    //! this message causally descends from, 0 when untraced. Computed
+    //! deterministically from simulation state, so replicas agree on it
+    //! bit-for-bit and the lockstep cross-check covers it.
+    uint32_t trace = 0;
     uint8_t flags = 0;
 };
 

@@ -12,6 +12,8 @@
 #ifndef NPS_BUS_VIOLATION_H
 #define NPS_BUS_VIOLATION_H
 
+#include <cstdint>
+
 #include "ckpt/snapshot.h"
 
 namespace nps {
@@ -34,6 +36,14 @@ class ViolationSource
 
     /** Lifetime fraction of observed ticks over budget. */
     virtual double lifetimeViolationRate() const = 0;
+
+    /**
+     * Cascade trace id of the last budget grant this source received
+     * (0 when untraced or never granted). The ViolationChannel stamps
+     * polled reports with it so upward feedback joins the GM→EM→SM
+     * cascade it causally answers (docs/OBSERVABILITY.md).
+     */
+    virtual uint32_t cascadeStamp() const { return 0; }
 };
 
 /** Accumulator implementing ViolationSource bookkeeping. */

@@ -39,8 +39,12 @@
 namespace nps {
 namespace ckpt {
 
-/** Snapshot container format version (bump on layout change). */
-inline constexpr uint32_t kFormatVersion = 1;
+/**
+ * Snapshot container format version (bump on layout change). v2 added
+ * the controllers' cascade trace context and made the metrics registry
+ * skip runtime (nps_rt_*) families.
+ */
+inline constexpr uint32_t kFormatVersion = 2;
 
 /**
  * CRC32 (IEEE 802.3 polynomial) of a byte range. Thin alias of

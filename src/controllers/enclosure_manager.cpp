@@ -46,7 +46,7 @@ EnclosureManager::EnclosureManager(sim::Cluster &cluster,
             fault::Link::EmToSm, sid,
             name_ + "->SM/" + std::to_string(sid),
             [sm](const bus::BudgetGrant &g) {
-                sm->setBudget(g.watts, g.tick);
+                sm->setBudget(g.watts, g.tick, g.trace);
             }));
     }
 }
@@ -71,6 +71,13 @@ EnclosureManager::attachControlLog(bus::ControlPlaneLog *log)
 {
     for (auto &link : grant_links_)
         link->attachLog(log);
+}
+
+void
+EnclosureManager::attachCascade(bus::CascadeTracer *tracer)
+{
+    for (auto &link : grant_links_)
+        link->attachCascade(tracer);
 }
 
 void
@@ -123,10 +130,11 @@ EnclosureManager::setBudget(double watts)
 }
 
 void
-EnclosureManager::setBudget(double watts, size_t tick)
+EnclosureManager::setBudget(double watts, size_t tick, uint32_t trace)
 {
     setBudget(watts);
     budget_tick_ = tick;
+    trace_ctx_ = trace;
 }
 
 double
@@ -163,6 +171,7 @@ EnclosureManager::restartCold(size_t tick)
         link->reset();
     dynamic_cap_ = static_cap_;
     budget_tick_ = tick;
+    trace_ctx_ = 0;
     lease_expired_ = false;
 }
 
@@ -276,8 +285,11 @@ EnclosureManager::step(size_t tick)
     }
     // Each grant goes out on the blade's typed budget channel; drop and
     // stale faults (and the delivery floor) are the link's business now.
-    for (size_t i = 0; i < blades_.size(); ++i)
+    // Grants propagate the cascade epoch of the GM grant they subdivide.
+    for (size_t i = 0; i < blades_.size(); ++i) {
+        grant_links_[i]->setTraceStamp(trace_ctx_);
         grant_links_[i]->send(last_grants_[i], tick);
+    }
 }
 
 void
@@ -297,6 +309,7 @@ EnclosureManager::saveState(ckpt::SectionWriter &w) const
         link->saveState(w);
     degrade_.saveState(w);
     w.putU64(budget_tick_);
+    w.putU32(trace_ctx_);
     w.putBool(lease_expired_);
     w.putBool(was_down_);
 }
@@ -322,6 +335,7 @@ EnclosureManager::loadState(ckpt::SectionReader &r)
         link->loadState(r);
     degrade_.loadState(r);
     budget_tick_ = static_cast<size_t>(r.getU64());
+    trace_ctx_ = r.getU32();
     lease_expired_ = r.getBool();
     was_down_ = r.getBool();
     if (demand_ewma_.size() != blades_.size() ||

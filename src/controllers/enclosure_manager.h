@@ -87,8 +87,11 @@ class EnclosureManager : public sim::Actor, public ViolationTracker
     /** Budget recommendation from the GM; effective = min(static, it). */
     void setBudget(double watts);
 
-    /** Timestamped variant: additionally refreshes the GM budget lease. */
-    void setBudget(double watts, size_t tick);
+    /**
+     * Timestamped variant: additionally refreshes the GM budget lease
+     * and adopts the grant's cascade trace id as this EM's context.
+     */
+    void setBudget(double watts, size_t tick, uint32_t trace = 0);
 
     /** The budget currently being enforced (ignoring lease expiry). */
     double effectiveCap() const;
@@ -132,6 +135,12 @@ class EnclosureManager : public sim::Actor, public ViolationTracker
 
     /** Mirror the EM→SM budget links into @p log; null detaches. */
     void attachControlLog(bus::ControlPlaneLog *log);
+
+    /** Record the EM→SM budget hops into @p tracer. */
+    void attachCascade(bus::CascadeTracer *tracer);
+
+    /** Cascade trace id of the last GM grant received (0 = none). */
+    uint32_t cascadeStamp() const override { return trace_ctx_; }
 
     /**
      * Route the EM→SM budget links through @p transport (null
@@ -183,6 +192,7 @@ class EnclosureManager : public sim::Actor, public ViolationTracker
     const fault::FaultInjector *faults_ = nullptr;
     fault::DegradeStats degrade_;
     size_t budget_tick_ = 0;     //!< receipt tick of the live GM grant
+    uint32_t trace_ctx_ = 0;     //!< cascade trace id of that grant
     bool lease_expired_ = false; //!< edge detector for lease_expiries
     bool was_down_ = false;      //!< edge detector for restarts
 

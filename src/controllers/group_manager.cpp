@@ -77,21 +77,21 @@ GroupManager::GroupManager(sim::Cluster &cluster, long id,
         for (auto *g : groups_) {
             addChildLink(fault::Link::GmToGm, g->id(), g->name(),
                          [g](const bus::BudgetGrant &b) {
-                             g->setBudget(b.watts, b.tick);
+                             g->setBudget(b.watts, b.tick, b.trace);
                          });
         }
         for (auto *em : enclosures_) {
             addChildLink(fault::Link::GmToEm,
                          static_cast<long>(em->enclosureId()), em->name(),
                          [em](const bus::BudgetGrant &b) {
-                             em->setBudget(b.watts, b.tick);
+                             em->setBudget(b.watts, b.tick, b.trace);
                          });
         }
         for (auto *sm : standalone_) {
             addChildLink(fault::Link::GmToSm,
                          static_cast<long>(sm->server().id()), sm->name(),
                          [sm](const bus::BudgetGrant &b) {
-                             sm->setBudget(b.watts, b.tick);
+                             sm->setBudget(b.watts, b.tick, b.trace);
                          });
         }
     } else {
@@ -101,7 +101,7 @@ GroupManager::GroupManager(sim::Cluster &cluster, long id,
                 fault::Link::GmToSm, sid,
                 name_ + "->" + sm->name(),
                 [sm](const bus::BudgetGrant &b) {
-                    sm->setBudget(b.watts, b.tick);
+                    sm->setBudget(b.watts, b.tick, b.trace);
                 }));
         }
     }
@@ -144,6 +144,15 @@ GroupManager::attachControlLog(bus::ControlPlaneLog *log)
         link->attachLog(log);
     for (auto &link : server_links_)
         link->attachLog(log);
+}
+
+void
+GroupManager::attachCascade(bus::CascadeTracer *tracer)
+{
+    for (auto &link : child_links_)
+        link->attachCascade(tracer);
+    for (auto &link : server_links_)
+        link->attachCascade(tracer);
 }
 
 void
@@ -203,10 +212,11 @@ GroupManager::setBudget(double watts)
 }
 
 void
-GroupManager::setBudget(double watts, size_t tick)
+GroupManager::setBudget(double watts, size_t tick, uint32_t trace)
 {
     setBudget(watts);
     budget_tick_ = tick;
+    trace_ctx_ = trace;
 }
 
 double
@@ -260,6 +270,7 @@ GroupManager::restartCold(size_t tick)
         link->reset();
     dynamic_cap_ = static_cap_;
     budget_tick_ = tick;
+    trace_ctx_ = 0;
     lease_expired_ = false;
 }
 
@@ -354,6 +365,12 @@ GroupManager::step(size_t tick)
                              effectiveCap());
         lease_expired_ = false;
     }
+    // The root GM opens a new cascade epoch at every division; nested
+    // GMs propagate the epoch of the parent grant they hold. Derived
+    // purely from (tick, serialized grant state), so every replica of a
+    // distributed run stamps identically.
+    if (!has_parent_)
+        trace_ctx_ = static_cast<uint32_t>(tick + 1);
     if (params_.mode == Mode::Coordinated)
         stepCoordinated(tick);
     else
@@ -421,8 +438,10 @@ GroupManager::stepCoordinated(size_t tick)
                          groups_.size(), enclosures_.size(),
                          standalone_.size(), scopePower());
     }
-    for (size_t slot = 0; slot < child_links_.size(); ++slot)
+    for (size_t slot = 0; slot < child_links_.size(); ++slot) {
+        child_links_[slot]->setTraceStamp(trace_ctx_);
         child_links_[slot]->send(last_grants_[slot], tick);
+    }
 }
 
 void
@@ -461,8 +480,10 @@ GroupManager::stepUncoordinated(size_t tick)
                          in.budget, policyName(params_.policy),
                          all_servers_.size());
     }
-    for (size_t i = 0; i < server_links_.size(); ++i)
+    for (size_t i = 0; i < server_links_.size(); ++i) {
+        server_links_[i]->setTraceStamp(trace_ctx_);
         server_links_[i]->send(last_grants_[i], tick);
+    }
 }
 
 void
@@ -487,6 +508,7 @@ GroupManager::saveState(ckpt::SectionWriter &w) const
         link->saveState(w);
     degrade_.saveState(w);
     w.putU64(budget_tick_);
+    w.putU32(trace_ctx_);
     w.putBool(lease_expired_);
     w.putBool(was_down_);
 }
@@ -521,6 +543,7 @@ GroupManager::loadState(ckpt::SectionReader &r)
         link->loadState(r);
     degrade_.loadState(r);
     budget_tick_ = static_cast<size_t>(r.getU64());
+    trace_ctx_ = r.getU32();
     lease_expired_ = r.getBool();
     was_down_ = r.getBool();
 }

@@ -141,8 +141,11 @@ class GroupManager : public sim::Actor, public ViolationTracker
     /** Grant from the parent GM; effective = min(static, grant). */
     void setBudget(double watts);
 
-    /** Timestamped variant: additionally refreshes the parent lease. */
-    void setBudget(double watts, size_t tick);
+    /**
+     * Timestamped variant: additionally refreshes the parent lease and
+     * adopts the grant's cascade trace id as this GM's trace context.
+     */
+    void setBudget(double watts, size_t tick, uint32_t trace = 0);
 
     /** The budget currently being enforced (ignoring lease expiry). */
     double effectiveCap() const;
@@ -206,6 +209,16 @@ class GroupManager : public sim::Actor, public ViolationTracker
 
     /** Mirror this GM's outgoing budget links into @p log. */
     void attachControlLog(bus::ControlPlaneLog *log);
+
+    /** Record this GM's outgoing budget hops into @p tracer. */
+    void attachCascade(bus::CascadeTracer *tracer);
+
+    /**
+     * Cascade trace context: the root GM's is the epoch it most
+     * recently opened (tick + 1 of its last division); a nested GM's is
+     * the trace id of the last parent grant it received.
+     */
+    uint32_t cascadeStamp() const override { return trace_ctx_; }
 
     /**
      * Route this GM's outgoing budget links through @p transport (null
@@ -285,6 +298,7 @@ class GroupManager : public sim::Actor, public ViolationTracker
     fault::DegradeStats degrade_;
     bool has_parent_ = false;
     size_t budget_tick_ = 0;     //!< receipt tick of the live grant
+    uint32_t trace_ctx_ = 0;     //!< cascade trace context (see above)
     bool lease_expired_ = false; //!< edge detector for lease_expiries
     bool was_down_ = false;      //!< edge detector for restarts
 

@@ -71,10 +71,11 @@ ServerManager::setBudget(double watts)
 }
 
 void
-ServerManager::setBudget(double watts, size_t tick)
+ServerManager::setBudget(double watts, size_t tick, uint32_t trace)
 {
     setBudget(watts);
     budget_tick_ = tick;
+    trace_ctx_ = trace;
     if (params_.mode == Mode::Coordinated && watts < static_cap_) {
         if (obs_grant_clamps_)
             obs_grant_clamps_->add();
@@ -146,6 +147,7 @@ ServerManager::restartCold(size_t tick)
     ControlLoop::reset();
     dynamic_cap_ = static_cap_;
     budget_tick_ = tick;
+    trace_ctx_ = 0;
     lease_expired_ = false;
     setReference(effectiveCap());
 }
@@ -342,6 +344,7 @@ ServerManager::saveState(ckpt::SectionWriter &w) const
     w.putU64(step_tick_);
     degrade_.saveState(w);
     w.putU64(budget_tick_);
+    w.putU32(trace_ctx_);
     w.putBool(lease_expired_);
     w.putBool(was_down_);
     w.putBool(ec_fallback_);
@@ -364,6 +367,7 @@ ServerManager::loadState(ckpt::SectionReader &r)
     step_tick_ = static_cast<size_t>(r.getU64());
     degrade_.loadState(r);
     budget_tick_ = static_cast<size_t>(r.getU64());
+    trace_ctx_ = r.getU32();
     lease_expired_ = r.getBool();
     was_down_ = r.getBool();
     ec_fallback_ = r.getBool();

@@ -159,11 +159,15 @@ class ServerManager : public sim::Actor,
 
     /**
      * Timestamped variant: additionally refreshes the budget lease, so a
-     * parent that keeps sending keeps the SM on the dynamic grant. The
+     * parent that keeps sending keeps the SM on the dynamic grant, and
+     * adopts the grant's cascade trace id as this SM's context. The
      * coordination stack always sends through this overload; the plain one
      * exists for lease-agnostic callers (tests, scripted experiments).
      */
-    void setBudget(double watts, size_t tick);
+    void setBudget(double watts, size_t tick, uint32_t trace = 0);
+
+    /** Cascade trace id of the last parent grant received (0 = none). */
+    uint32_t cascadeStamp() const override { return trace_ctx_; }
 
     /** The budget currently being enforced (ignoring lease expiry). */
     double effectiveCap() const;
@@ -256,6 +260,7 @@ class ServerManager : public sim::Actor,
     const fault::FaultInjector *faults_ = nullptr;
     fault::DegradeStats degrade_;
     size_t budget_tick_ = 0;    //!< receipt tick of the live grant
+    uint32_t trace_ctx_ = 0;    //!< cascade trace id of that grant
     bool lease_expired_ = false; //!< edge detector for lease_expiries
     bool was_down_ = false;      //!< edge detector for restarts
     bool ec_fallback_ = false;   //!< edge detector for EC-down tracing

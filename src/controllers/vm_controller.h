@@ -167,6 +167,13 @@ class VmController : public sim::Actor
     void attachControlLog(bus::ControlPlaneLog *log);
 
     /**
+     * Record the upstream violation hops into @p tracer: each polled
+     * report closes the loop of the budget epoch the source last
+     * received, completing the GM→EM→SM→VMC cascade.
+     */
+    void attachCascade(bus::CascadeTracer *tracer);
+
+    /**
      * Route the upstream violation channels through @p transport (null
      * detaches). A violation channel belongs to the *polled source's*
      * level — (Sm, i) for the local tier, (Em, i) for the enclosure

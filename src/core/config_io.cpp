@@ -105,7 +105,8 @@ schema()
                  "engage_patience"}},
         {"budgets", {"group_off", "enclosure_off", "local_off"}},
         {"obs", {"metrics", "trace", "trace_filter", "trace_capacity",
-                 "profile"}},
+                 "profile", "cascade", "http", "http_linger_ms",
+                 "publish_every"}},
         {"faults",
          {"enabled", "seed", "script", "horizon", "outages",
           "outage_len", "drops", "drop_len", "drop_prob", "stales",
@@ -297,6 +298,17 @@ configFromIni(const IniDocument &ini)
     ob.trace_capacity = static_cast<unsigned>(ini.getInt(
         "obs", "trace_capacity", static_cast<long>(ob.trace_capacity)));
     ob.profile = ini.getBool("obs", "profile", ob.profile);
+    ob.cascade = ini.getBool("obs", "cascade", ob.cascade);
+    ob.http = ini.get("obs", "http", ob.http);
+    ob.http_linger_ms = static_cast<unsigned>(ini.getInt(
+        "obs", "http_linger_ms", static_cast<long>(ob.http_linger_ms)));
+    ob.publish_every = static_cast<unsigned>(ini.getInt(
+        "obs", "publish_every", static_cast<long>(ob.publish_every)));
+    if (ob.publish_every == 0)
+        util::fatal("config: [obs] publish_every must be at least 1");
+    if (!ob.http.empty() && !ob.metrics)
+        util::fatal("config: [obs] http needs metrics = true — there "
+                    "is no registry to serve without it");
 
     auto &fl = cfg.faults;
     fl.enabled = ini.getBool("faults", "enabled", fl.enabled);
@@ -512,6 +524,11 @@ configToIni(const CoordinationConfig &cfg)
         ini.set("obs", "trace_filter", ob.trace_filter);
     ini.set("obs", "trace_capacity", std::to_string(ob.trace_capacity));
     ini.set("obs", "profile", boolStr(ob.profile));
+    ini.set("obs", "cascade", boolStr(ob.cascade));
+    if (!ob.http.empty())
+        ini.set("obs", "http", ob.http);
+    ini.set("obs", "http_linger_ms", std::to_string(ob.http_linger_ms));
+    ini.set("obs", "publish_every", std::to_string(ob.publish_every));
 
     const auto &fl = cfg.faults;
     ini.set("faults", "enabled", boolStr(fl.enabled));

@@ -92,6 +92,11 @@ Coordinator::buildControllers()
         obs_ = std::make_unique<obs::Observability>(config_.observability);
         attachObservability();
     }
+
+    if (config_.observability.cascade) {
+        cascade_ = std::make_unique<bus::CascadeTracer>();
+        attachCascade();
+    }
 }
 
 void
@@ -322,6 +327,25 @@ Coordinator::attachControlLog()
         vmc_->attachControlLog(log);
 }
 
+/**
+ * Register the cascade-traced channels in the canonical wiring order
+ * (the budget-granting levels, then the VMC's violation polls), so the
+ * tracer's channel roster — and therefore the merged CSV — is the same
+ * in every process and at every thread count. SMs send only untraced
+ * r_ref references and register nothing.
+ */
+void
+Coordinator::attachCascade()
+{
+    bus::CascadeTracer *tracer = cascade_.get();
+    for (auto &em : ems_)
+        em->attachCascade(tracer);
+    for (auto &gm : gms_)
+        gm->attachCascade(tracer);
+    if (vmc_)
+        vmc_->attachCascade(tracer);
+}
+
 void
 Coordinator::attachTransport(bus::Transport *transport,
                              const bus::OwnerFn &owner)
@@ -390,6 +414,11 @@ Coordinator::attachObservability()
                                   viol_help);
         obs_perf_loss_ = reg->gauge("nps_run_perf_loss_frac", "",
                                     "1 - served / demanded useful work");
+        if (trace) {
+            obs_trace_dropped_ = reg->gauge(
+                "nps_trace_dropped_total", "",
+                "Decision-trace events evicted by the ring capacity");
+        }
         using DS = fault::DegradeStats;
         const char *deg_help =
             "Graceful-degradation counters summed across controllers";
@@ -431,6 +460,10 @@ Coordinator::updateRunGauges()
     obs_viol_em_->set(s.em_violation);
     obs_viol_gm_->set(s.gm_violation);
     obs_perf_loss_->set(s.perf_loss);
+    if (obs_trace_dropped_) {
+        obs_trace_dropped_->set(
+            static_cast<double>(obs_->trace()->totalDropped()));
+    }
     for (const auto &g : obs_degrade_)
         g.first->set(static_cast<double>(s.degrade.*(g.second)));
 }

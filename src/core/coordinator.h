@@ -34,6 +34,7 @@
 #include <utility>
 #include <vector>
 
+#include "bus/cascade.h"
 #include "bus/control_log.h"
 #include "core/config.h"
 #include "fault/injector.h"
@@ -183,6 +184,17 @@ class Coordinator
         return control_log_.get();
     }
 
+    /**
+     * The budget-cascade hop trace, or nullptr unless the config set
+     * observability.cascade. Records every stamped budget/violation hop
+     * so a run's GM→EM→SM→VMC cascades can be reconstructed offline
+     * with per-hop latency (docs/OBSERVABILITY.md).
+     */
+    const bus::CascadeTracer *cascadeTracer() const
+    {
+        return cascade_.get();
+    }
+
     /** The electrical cappers (empty when disabled), in server order. */
     const std::vector<std::shared_ptr<controllers::ElectricalCapper>> &
     caps() const
@@ -282,8 +294,18 @@ class Coordinator
                                               long &next_id);
 
     void attachControlLog();
+    void attachCascade();
     void attachObservability();
+
+  public:
+    /**
+     * Refresh the run-summary gauges from the collector. run() calls it
+     * after every batch; the live plane calls it mid-run so scrapes see
+     * current aggregates. Deterministic given the tick it runs at.
+     */
     void updateRunGauges();
+
+  private:
 
     CoordinationConfig config_;
     sim::Topology topo_;
@@ -292,6 +314,7 @@ class Coordinator
     sim::MetricsCollector metrics_;
     std::unique_ptr<sim::Engine> engine_;
     std::unique_ptr<bus::ControlPlaneLog> control_log_;
+    std::unique_ptr<bus::CascadeTracer> cascade_;
     std::vector<std::shared_ptr<controllers::EfficiencyController>> ecs_;
     std::vector<std::shared_ptr<controllers::ServerManager>> sms_;
     std::vector<std::shared_ptr<controllers::EnclosureManager>> ems_;
@@ -311,6 +334,7 @@ class Coordinator
     obs::Gauge *obs_viol_em_ = nullptr;
     obs::Gauge *obs_viol_gm_ = nullptr;
     obs::Gauge *obs_perf_loss_ = nullptr;
+    obs::Gauge *obs_trace_dropped_ = nullptr;
     /** (gauge, DegradeStats field) pairs mirrored after each run. */
     std::vector<std::pair<obs::Gauge *,
                           unsigned long fault::DegradeStats::*>>

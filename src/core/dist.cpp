@@ -1,6 +1,7 @@
 #include "core/dist.h"
 
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -18,6 +19,9 @@
 #include "core/experiment.h"
 #include "core/scenarios.h"
 #include "model/machine.h"
+#include "obs/live/agg.h"
+#include "obs/live/exporter.h"
+#include "obs/live/publisher.h"
 #include "sim/recorder.h"
 #include "stream/net.h"
 #include "stream/socket_transport.h"
@@ -99,6 +103,14 @@ materialize(const DistPlan &plan, unsigned threads_override)
     // included: identical configs are what make the oracle's CSV a
     // meaningful byte-for-byte reference (core/config.cpp).
     cfg.distributed = true;
+    // Observability is likewise plan-wide: every replica must register
+    // the identical instrument set or the cross-rank digest check
+    // (obs/live/agg.h) would report a desync that is really a config
+    // mismatch.
+    if (plan.obs_metrics)
+        cfg.observability.metrics = true;
+    if (plan.obs_cascade)
+        cfg.observability.cascade = true;
 
     trace::GeneratorConfig gen;
     gen.seed = plan.seed;
@@ -139,6 +151,91 @@ writeRecordCsv(const sim::Recorder &recorder, const std::string &path)
     ckpt::writeFileAtomic(path, out.str());
     std::printf("record: wrote %zu samples to %s\n", recorder.samples(),
                 path.c_str());
+}
+
+/**
+ * One process's half of the live observability plane: the optional
+ * HTTP exporter plus the per-tick publisher (also the owner of the
+ * always-on runtime tick-latency histogram). Everything is null when
+ * the plan has no metrics registry.
+ */
+struct LivePlane
+{
+    std::unique_ptr<obs::live::LiveExporter> exporter;
+    std::unique_ptr<obs::live::LivePublisher> publisher;
+    unsigned linger_ms = 0;
+};
+
+LivePlane
+attachLivePlane(Coordinator &coordinator, const DistPlan &plan,
+                const ObsOutputs &obs, int rank)
+{
+    LivePlane lp;
+    obs::MetricsRegistry *reg =
+        coordinator.observability()
+            ? coordinator.observability()->metrics()
+            : nullptr;
+    if (!reg)
+        return lp;
+    const std::string spec =
+        !obs.http.empty() ? obs.http : plan.obsHttpFor(rank);
+    if (!spec.empty())
+        lp.exporter =
+            std::make_unique<obs::live::LiveExporter>(spec, rank);
+    lp.publisher = std::make_unique<obs::live::LivePublisher>(
+        reg, coordinator.profiler(),
+        [&coordinator] { coordinator.updateRunGauges(); },
+        lp.exporter.get(), plan.obs_metrics_every, rank);
+    coordinator.engine().setTickObserver(lp.publisher.get());
+    lp.linger_ms =
+        obs.http_linger_ms ? obs.http_linger_ms : plan.obs_http_linger_ms;
+    return lp;
+}
+
+/**
+ * End-of-run observability epilogue, shared by all three runtimes:
+ * refresh the run gauges one last time, publish the final snapshot
+ * (so the last scrape and the export files agree byte for byte),
+ * write the requested exports, then linger for late scrapers.
+ */
+void
+finishObs(Coordinator &coordinator, const LivePlane &lp,
+          const ObsOutputs &obs, uint64_t final_tick)
+{
+    coordinator.updateRunGauges();
+    if (lp.publisher)
+        lp.publisher->publishFinal(final_tick);
+    if (!obs.metrics_path.empty()) {
+        if (!lp.publisher)
+            util::fatal("dist: --metrics needs an [obs] section in the "
+                        "plan (every replica must carry the registry)");
+        ckpt::writeFileAtomic(obs.metrics_path,
+                              lp.publisher->render(final_tick, true).prom);
+        std::printf("metrics: wrote %s\n", obs.metrics_path.c_str());
+    }
+    if (!obs.cascade_path.empty()) {
+        const bus::CascadeTracer *tracer = coordinator.cascadeTracer();
+        if (!tracer)
+            util::fatal("dist: --cascade needs cascade = true in the "
+                        "plan's [obs] section");
+        std::ostringstream out;
+        tracer->writeCsv(out);
+        ckpt::writeFileAtomic(obs.cascade_path, out.str());
+        std::printf("cascade: wrote %zu hops to %s\n",
+                    tracer->totalHops(), obs.cascade_path.c_str());
+    }
+    if (lp.exporter)
+        lp.exporter->linger(lp.linger_ms);
+    coordinator.engine().setTickObserver(nullptr);
+}
+
+/** Milliseconds elapsed since @p start (runtime instrumentation). */
+double
+msSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
 }
 
 void
@@ -184,8 +281,17 @@ selfDir()
 class NodeGate : public sim::TickSource
 {
   public:
-    explicit NodeGate(stream::SocketTransport &transport)
-        : transport_(transport)
+    /**
+     * @p on_report fires for every completed tick right before its
+     * tick-done goes out (the metrics-snapshot hook: an 'M' frame must
+     * precede its barrier 'D' on the wire). @p barrier_ms, when
+     * non-null, records the wall time spent waiting for each release.
+     */
+    NodeGate(stream::SocketTransport &transport,
+             std::function<void(uint64_t)> on_report = nullptr,
+             obs::Histogram *barrier_ms = nullptr)
+        : transport_(transport), on_report_(std::move(on_report)),
+          barrier_ms_(barrier_ms)
     {
     }
 
@@ -194,14 +300,23 @@ class NodeGate : public sim::TickSource
         // The first gated tick has nothing to report: a fresh child
         // reported nothing yet, a restored one resumes at a tick whose
         // predecessor the supervisor's own replica already covered.
-        if (started_)
+        if (started_) {
+            if (on_report_)
+                on_report_(tick - 1);
             transport_.sendTickDone(tick - 1);
+        }
         started_ = true;
-        return transport_.waitTickStart(tick);
+        auto start = std::chrono::steady_clock::now();
+        bool released = transport_.waitTickStart(tick);
+        if (barrier_ms_)
+            barrier_ms_->observe(msSince(start));
+        return released;
     }
 
   private:
     stream::SocketTransport &transport_;
+    std::function<void(uint64_t)> on_report_;
+    obs::Histogram *barrier_ms_;
     bool started_ = false;
 };
 
@@ -234,14 +349,36 @@ class SupervisorGate : public sim::TickSource
         }
     }
 
+    /** Record barrier waits into @p barrier_ms (may stay null). */
+    void setBarrierHistogram(obs::Histogram *barrier_ms)
+    {
+        barrier_ms_ = barrier_ms;
+    }
+
+    /**
+     * Run @p hook at every barrier, after all alive ranks reported the
+     * completed tick (its argument) and this replica has finished it
+     * too — the only point where every rank's metrics snapshot of that
+     * tick is both present and comparable against local state.
+     */
+    void setBarrierHook(std::function<void(uint64_t)> hook)
+    {
+        barrier_hook_ = std::move(hook);
+    }
+
     bool beginTick(size_t tick) override
     {
         if (started_) {
+            auto start = std::chrono::steady_clock::now();
             for (size_t n = 0; n < plan_.nodes.size(); ++n) {
                 int rank = static_cast<int>(n) + 1;
                 if (transport_.alive(rank))
                     transport_.waitTickDone(rank, tick - 1);
             }
+            if (barrier_ms_)
+                barrier_ms_->observe(msSince(start));
+            if (barrier_hook_)
+                barrier_hook_(tick - 1);
         }
         started_ = true;
         for (const auto &kill : plan_.kills) {
@@ -268,6 +405,8 @@ class SupervisorGate : public sim::TickSource
             if (transport_.alive(rank))
                 transport_.waitTickDone(rank, final_tick);
         }
+        if (barrier_hook_)
+            barrier_hook_(final_tick);
         transport_.broadcastBye(final_tick + 1);
         for (auto &entry : pids_) {
             int status = 0;
@@ -362,6 +501,8 @@ class SupervisorGate : public sim::TickSource
     sim::Recorder &recorder_;
     stream::SocketTransport &transport_;
     int listener_;
+    obs::Histogram *barrier_ms_ = nullptr;
+    std::function<void(uint64_t)> barrier_hook_;
     bool started_ = false;
     std::map<int, pid_t> pids_;
     std::map<int, uint64_t> restart_at_;
@@ -371,12 +512,14 @@ class SupervisorGate : public sim::TickSource
 
 int
 runPlanSingle(const DistPlan &plan, const std::string &record_path,
-              unsigned threads)
+              unsigned threads, const ObsOutputs &obs)
 {
     Experiment ex = materialize(plan, threads);
     Coordinator coordinator(ex.cfg, ex.topo, ex.machine, ex.traces);
     auto recorder = attachRecorder(coordinator, plan);
+    LivePlane lp = attachLivePlane(coordinator, plan, obs, 0);
     size_t ran = coordinator.run(plan.ticks);
+    finishObs(coordinator, lp, obs, ran ? ran - 1 : 0);
     printSummary(coordinator, plan, ran);
     writeRecordCsv(*recorder, record_path);
     return 0;
@@ -384,7 +527,8 @@ runPlanSingle(const DistPlan &plan, const std::string &record_path,
 
 int
 runSupervisor(const DistPlan &plan, const std::string &plan_path,
-              const std::string &record_path, unsigned threads)
+              const std::string &record_path, unsigned threads,
+              const ObsOutputs &obs)
 {
     // A write to a freshly-killed peer must surface as an error the
     // transport turns into a peer-down, not as a fatal SIGPIPE.
@@ -396,8 +540,79 @@ runSupervisor(const DistPlan &plan, const std::string &plan_path,
     auto recorder = attachRecorder(coordinator, plan);
     coordinator.attachTransport(&transport, plan.ownerFn());
 
+    // Cross-rank aggregation (obs/live/agg.h): each 'M' frame is
+    // digest-checked against this replica — the metrics-level desync
+    // detector — then merged into the fleet view the live endpoint
+    // and the end-of-run export serve.
+    obs::MetricsRegistry *reg =
+        coordinator.observability()
+            ? coordinator.observability()->metrics()
+            : nullptr;
+    obs::live::FleetView fleet;
+    std::map<uint32_t, std::pair<uint64_t, std::vector<uint8_t>>> pending;
+    if (reg) {
+        // An 'M' frame can surface mid-tick: the transport drains the
+        // socket whenever a link blocks for an owner frame, possibly
+        // while this replica is still stepping the same tick its
+        // children already finished. Comparing registries at that
+        // moment would race half-written local counters against the
+        // child's completed-tick state, so the sink only buffers the
+        // raw payload; the barrier hook below merges once both sides
+        // have completed the tick.
+        transport.setMetricsSink(
+            [&pending](uint32_t rank, uint64_t tick,
+                       const std::vector<uint8_t> &bytes) {
+                pending[rank] = {tick, bytes};
+            });
+    }
+    auto merge_fleet = [&](uint64_t done_tick) {
+        if (!reg || pending.empty())
+            return;
+        coordinator.updateRunGauges();
+        const std::string own = obs::live::encodeSnapshot(*reg);
+        obs::live::RankSnapshot self = obs::live::decodeSnapshot(
+            0, done_tick, reinterpret_cast<const uint8_t *>(own.data()),
+            own.size());
+        for (const auto &entry : pending) {
+            if (entry.second.first != done_tick)
+                util::fatal("dist: rank %u metrics snapshot is for tick "
+                            "%llu at the tick-%llu barrier",
+                            entry.first,
+                            (unsigned long long)entry.second.first,
+                            (unsigned long long)done_tick);
+            obs::live::RankSnapshot snap = obs::live::decodeSnapshot(
+                entry.first, entry.second.first,
+                entry.second.second.data(), entry.second.second.size());
+            if (snap.digest != self.digest) {
+                std::string what = obs::live::diffSnapshots(snap, self);
+                util::fatal("dist: metrics desync at tick %llu: rank %u "
+                            "digest %08x != supervisor digest %08x — "
+                            "the replicas diverged%s%s",
+                            (unsigned long long)done_tick, entry.first,
+                            snap.digest, self.digest,
+                            what.empty() ? "" : "; first ",
+                            what.c_str());
+            }
+            fleet.update(std::move(snap));
+        }
+        pending.clear();
+        fleet.update(std::move(self));
+    };
+
+    LivePlane lp = attachLivePlane(coordinator, plan, obs, 0);
+    if (lp.publisher)
+        lp.publisher->setFleet(&fleet);
+    obs::Histogram *barrier_ms =
+        reg ? reg->histogram("nps_rt_barrier_wait_ms", "rank0",
+                             "Wall-clock wait at the per-tick barrier "
+                             "(ms)",
+                             obs::MetricsRegistry::runtimeMsBounds())
+            : nullptr;
+
     SupervisorGate gate(plan, plan_path, coordinator, *recorder,
                         transport, listener);
+    gate.setBarrierHistogram(barrier_ms);
+    gate.setBarrierHook(merge_fleet);
     gate.spawnAll();
     coordinator.engine().setTickSource(&gate);
     size_t ran = coordinator.run(plan.ticks);
@@ -410,13 +625,15 @@ runSupervisor(const DistPlan &plan, const std::string &plan_path,
     if (plan.transport == "unix")
         ::unlink(plan.socket.c_str());
 
+    finishObs(coordinator, lp, obs, plan.ticks - 1);
     printSummary(coordinator, plan, ran);
     writeRecordCsv(*recorder, record_path);
     return 0;
 }
 
 int
-runNode(const DistPlan &plan, int rank, const std::string &restore_path)
+runNode(const DistPlan &plan, int rank, const std::string &restore_path,
+        const ObsOutputs &obs)
 {
     if (rank < 1 || rank > static_cast<int>(plan.nodes.size()))
         util::fatal("npsnode: rank %d out of range 1..%zu", rank,
@@ -428,6 +645,34 @@ runNode(const DistPlan &plan, int rank, const std::string &restore_path)
     Coordinator coordinator(ex.cfg, ex.topo, ex.machine, ex.traces);
     auto recorder = attachRecorder(coordinator, plan);
     coordinator.attachTransport(&transport, plan.ownerFn());
+
+    obs::MetricsRegistry *reg =
+        coordinator.observability()
+            ? coordinator.observability()->metrics()
+            : nullptr;
+    LivePlane lp = attachLivePlane(coordinator, plan, obs, rank);
+    obs::Histogram *barrier_ms =
+        reg ? reg->histogram("nps_rt_barrier_wait_ms",
+                             "rank" + std::to_string(rank),
+                             "Wall-clock wait at the per-tick barrier "
+                             "(ms)",
+                             obs::MetricsRegistry::runtimeMsBounds())
+            : nullptr;
+    // Registry snapshot shipped right before each barrier report, at
+    // the plan's cadence — the supervisor consumes it at the matching
+    // tick of its own replica (runSupervisor's sink). The last tick
+    // always ships so the fleet view the export renders is end-of-run
+    // state, whatever the cadence.
+    auto ship = [&](uint64_t done_tick, bool force) {
+        if (!reg ||
+            (!force && done_tick % plan.obs_metrics_every != 0))
+            return;
+        coordinator.updateRunGauges();
+        const std::string bytes = obs::live::encodeSnapshot(*reg);
+        transport.sendMetricsSnapshot(
+            done_tick, reinterpret_cast<const uint8_t *>(bytes.data()),
+            bytes.size());
+    };
 
     size_t done = 0;
     if (!restore_path.empty()) {
@@ -450,7 +695,9 @@ runNode(const DistPlan &plan, int rank, const std::string &restore_path)
                     restore_path.c_str(), done, plan.ticks);
 
     transport.sendJoin();
-    NodeGate gate(transport);
+    NodeGate gate(transport,
+                  [&ship](uint64_t t) { ship(t, /*force=*/false); },
+                  barrier_ms);
     coordinator.engine().setTickSource(&gate);
     size_t ran = coordinator.run(plan.ticks - done);
     coordinator.engine().setTickSource(nullptr);
@@ -460,10 +707,12 @@ runNode(const DistPlan &plan, int rank, const std::string &restore_path)
 
     // Final handshake: report the last tick, then wait for the bye so
     // the supervisor controls when the socket goes down.
+    ship(plan.ticks - 1, /*force=*/true);
     transport.sendTickDone(plan.ticks - 1);
     if (transport.waitTickStart(plan.ticks))
         util::fatal("npsnode: supervisor released tick %zu past the "
                     "end of the run", plan.ticks);
+    finishObs(coordinator, lp, obs, plan.ticks - 1);
     return 0;
 }
 

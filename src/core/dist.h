@@ -36,16 +36,32 @@ namespace core {
 namespace dist {
 
 /**
+ * Observability outputs of one process of a plan run — the flags npsim
+ * forwards (--metrics/--cascade/--http). Anything empty is skipped.
+ * The [obs] *section* of the plan controls what every replica computes
+ * (it must be identical fleet-wide); this struct only controls what
+ * this one process writes or serves.
+ */
+struct ObsOutputs
+{
+    std::string metrics_path; //!< end-of-run Prometheus export
+    std::string cascade_path; //!< cascade-trace CSV (bus/cascade.h)
+    std::string http;         //!< live endpoint override for this rank
+    unsigned http_linger_ms = 0; //!< linger override (0 = plan's value)
+};
+
+/**
  * Run the plan's experiment in this process, no sockets involved.
  * @param plan        The validated plan.
  * @param record_path Recorder CSV output ("" skips the write; the
  *                    recorder still runs so the engine roster matches
  *                    distributed snapshots).
  * @param threads     Engine-thread override (0 keeps the plan's value).
+ * @param obs         Observability outputs of this process.
  * @return process exit code.
  */
 int runPlanSingle(const DistPlan &plan, const std::string &record_path,
-                  unsigned threads = 0);
+                  unsigned threads = 0, const ObsOutputs &obs = {});
 
 /**
  * Run the plan as a process tree: this process becomes rank 0.
@@ -54,10 +70,14 @@ int runPlanSingle(const DistPlan &plan, const std::string &record_path,
  * @param record_path Recorder CSV output ("" skips the write).
  * @param threads     Engine-thread override for rank 0 (0 keeps the
  *                    plan's value; children always use the plan's).
+ * @param obs         Observability outputs of rank 0. With [obs] in
+ *                    the plan, /metrics and the metrics export carry
+ *                    the merged fleet view (rank-labelled series).
  * @return process exit code.
  */
 int runSupervisor(const DistPlan &plan, const std::string &plan_path,
-                  const std::string &record_path, unsigned threads = 0);
+                  const std::string &record_path, unsigned threads = 0,
+                  const ObsOutputs &obs = {});
 
 /**
  * Run one child replica (the npsnode main).
@@ -65,10 +85,13 @@ int runSupervisor(const DistPlan &plan, const std::string &plan_path,
  * @param rank         This child's rank (1-based index into plan.nodes).
  * @param restore_path Supervisor snapshot to resume from ("" starts
  *                     fresh at tick 0).
+ * @param obs          Observability outputs of this child (its live
+ *                     endpoint defaults to the plan's [obs] http with
+ *                     %r expanded to the rank).
  * @return process exit code.
  */
 int runNode(const DistPlan &plan, int rank,
-            const std::string &restore_path);
+            const std::string &restore_path, const ObsOutputs &obs = {});
 
 } // namespace dist
 } // namespace core

@@ -170,6 +170,16 @@ DistPlan::ownerOf(bus::OwnerLevel level, long id) const
     return 0;
 }
 
+std::string
+DistPlan::obsHttpFor(int rank) const
+{
+    std::string out = obs_http;
+    size_t at = out.find("%r");
+    if (at != std::string::npos)
+        out.replace(at, 2, std::to_string(rank));
+    return out;
+}
+
 bus::OwnerFn
 DistPlan::ownerFn() const
 {
@@ -200,6 +210,16 @@ planFromIni(const IniDocument &ini)
                 if (!run_keys.count(key))
                     util::fatal("plan: unknown key '%s' in [run]",
                                 key.c_str());
+        } else if (section == "obs") {
+            static const std::set<std::string> obs_keys{
+                "metrics_every", "http", "http_linger_ms", "cascade"};
+            for (const auto &key : ini.keys(section))
+                if (!obs_keys.count(key))
+                    util::fatal("plan: unknown key '%s' in [obs]",
+                                key.c_str());
+            // Presence of the section switches the replicated
+            // registries on; the knobs below only tune it.
+            plan.obs_metrics = true;
         } else if (section == "chaos") {
             for (const auto &key : ini.keys(section))
                 if (key != "kill")
@@ -261,6 +281,17 @@ planFromIni(const IniDocument &ini)
         "run", "record_stride", static_cast<long>(plan.record_stride)));
     if (plan.record_stride == 0)
         util::fatal("plan: [run] record_stride must be at least 1");
+
+    plan.obs_metrics_every = static_cast<unsigned>(
+        ini.getInt("obs", "metrics_every",
+                   static_cast<long>(plan.obs_metrics_every)));
+    if (plan.obs_metrics && plan.obs_metrics_every == 0)
+        util::fatal("plan: [obs] metrics_every must be at least 1");
+    plan.obs_http = ini.get("obs", "http", plan.obs_http);
+    plan.obs_http_linger_ms = static_cast<unsigned>(
+        ini.getInt("obs", "http_linger_ms",
+                   static_cast<long>(plan.obs_http_linger_ms)));
+    plan.obs_cascade = ini.getBool("obs", "cascade", plan.obs_cascade);
 
     checkOverlap(plan);
 

@@ -102,8 +102,28 @@ struct DistPlan
     unsigned record_stride = 1;
     /// @}
 
+    /// @name [obs] — the live observability plane (docs/OBSERVABILITY.md)
+    /// @{
+    /** Metrics on in *every* process (the registries must be replicated
+     * for the cross-rank digest check, so this lives in the plan, not
+     * in a per-process flag). Set when an [obs] section is present. */
+    bool obs_metrics = false;
+    /** Ticks between registry snapshots shipped to the supervisor. */
+    unsigned obs_metrics_every = 1;
+    /** Live endpoint spec per process ("%r" expands to the rank);
+     * empty runs without endpoints. */
+    std::string obs_http;
+    /** Post-run serving window so scripts can take the final scrape. */
+    unsigned obs_http_linger_ms = 0;
+    /** Causal budget-cascade tracing in every process. */
+    bool obs_cascade = false;
+    /// @}
+
     std::vector<Node> nodes;
     std::vector<Kill> kills;
+
+    /** obs_http with "%r" expanded for @p rank ("" stays ""). */
+    std::string obsHttpFor(int rank) const;
 
     /** The endpoint spec for stream::listenOn / stream::connectTo. */
     std::string endpoint() const { return transport + ":" + socket; }

@@ -1,0 +1,360 @@
+#include "obs/live/agg.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "ckpt/snapshot.h"
+#include "util/json.h"
+#include "util/logging.h"
+
+namespace nps {
+namespace obs {
+namespace live {
+
+namespace {
+
+/** Prometheus label-value escaping (same rules as obs/metrics.cpp). */
+std::string
+promEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '\\': out += "\\\\"; break;
+          case '"':  out += "\\\""; break;
+          case '\n': out += "\\n"; break;
+          default:   out.push_back(c);
+        }
+    }
+    return out;
+}
+
+/** `family{id="label",rank="N",extra}` — rank after id, `le` last, the
+ * label order Prometheus scrapers canonically expect. */
+std::string
+fleetSeriesName(const std::string &family, const std::string &label,
+                uint32_t rank, const std::string &extra = std::string())
+{
+    std::string out = family;
+    out.push_back('{');
+    if (!label.empty()) {
+        out += "id=\"";
+        out += promEscape(label);
+        out += "\",";
+    }
+    out += "rank=\"" + std::to_string(rank) + "\"";
+    if (!extra.empty()) {
+        out.push_back(',');
+        out += extra;
+    }
+    out.push_back('}');
+    return out;
+}
+
+const char *
+kindName(MetricsRegistry::Kind kind)
+{
+    return metricKindName(kind);
+}
+
+MetricsRegistry::Kind
+kindFromU32(uint32_t v)
+{
+    switch (v) {
+    case 0: return MetricsRegistry::Kind::Counter;
+    case 1: return MetricsRegistry::Kind::Gauge;
+    case 2: return MetricsRegistry::Kind::Histogram;
+    }
+    util::fatal("metrics snapshot: unknown series kind %u", v);
+}
+
+/** One series of one rank, for the merged export. */
+struct MergedEntry
+{
+    uint32_t rank;
+    const RankSnapshot::Series *series;
+};
+
+struct MergedFamily
+{
+    MetricsRegistry::Kind kind = MetricsRegistry::Kind::Counter;
+    std::string help;
+    std::vector<MergedEntry> entries;
+};
+
+} // namespace
+
+uint32_t
+registryDigest(const MetricsRegistry &reg)
+{
+    std::ostringstream out;
+    reg.writeProm(out, /*skip_runtime=*/true);
+    const std::string text = out.str();
+    return ckpt::crc32(text.data(), text.size());
+}
+
+std::string
+encodeSnapshot(const MetricsRegistry &reg)
+{
+    ckpt::SectionWriter w;
+    w.putU32(registryDigest(reg));
+    w.putU64(reg.numSeries());
+    reg.forEachSeries([&w](const MetricsRegistry::SeriesRef &s) {
+        w.putString(s.family);
+        w.putU32(static_cast<uint32_t>(s.kind));
+        w.putString(s.help);
+        w.putString(s.label);
+        switch (s.kind) {
+        case MetricsRegistry::Kind::Counter:
+            w.putDouble(s.counter->value());
+            break;
+        case MetricsRegistry::Kind::Gauge:
+            w.putDouble(s.gauge->value());
+            break;
+        case MetricsRegistry::Kind::Histogram:
+            w.putDoubleVec(s.histogram->bounds());
+            w.putU64Vec(s.histogram->counts());
+            w.putU64(s.histogram->count());
+            w.putDouble(s.histogram->sum());
+            break;
+        }
+    });
+    return w.bytes();
+}
+
+RankSnapshot
+decodeSnapshot(uint32_t rank, uint64_t tick, const uint8_t *data,
+               size_t len)
+{
+    RankSnapshot snap;
+    snap.rank = rank;
+    snap.tick = tick;
+    ckpt::SectionReader r(
+        "metrics-snapshot",
+        std::string_view(reinterpret_cast<const char *>(data), len));
+    snap.digest = r.getU32();
+    uint64_t count = r.getU64();
+    snap.series.reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+        RankSnapshot::Series s;
+        s.family = r.getString();
+        s.kind = kindFromU32(r.getU32());
+        s.help = r.getString();
+        s.label = r.getString();
+        switch (s.kind) {
+        case MetricsRegistry::Kind::Counter:
+        case MetricsRegistry::Kind::Gauge:
+            s.value = r.getDouble();
+            break;
+        case MetricsRegistry::Kind::Histogram:
+            s.bounds = r.getDoubleVec();
+            s.counts = r.getU64Vec();
+            s.count = r.getU64();
+            s.sum = r.getDouble();
+            break;
+        }
+        snap.series.push_back(std::move(s));
+    }
+    r.expectEnd();
+    return snap;
+}
+
+std::string
+diffSnapshots(const RankSnapshot &a, const RankSnapshot &b)
+{
+    auto isRuntime = [](const std::string &family) {
+        return family.rfind("nps_rt_", 0) == 0;
+    };
+    auto describe = [](const RankSnapshot::Series &s) {
+        if (s.kind == MetricsRegistry::Kind::Histogram)
+            return "count=" + std::to_string(s.count) +
+                   " sum=" + formatMetricValue(s.sum);
+        return formatMetricValue(s.value);
+    };
+    // Both sides iterate the registry in its sorted (family, label)
+    // order, so a positional walk that skips runtime families lines the
+    // deterministic series up pairwise.
+    size_t i = 0, j = 0;
+    while (i < a.series.size() || j < b.series.size()) {
+        while (i < a.series.size() && isRuntime(a.series[i].family))
+            ++i;
+        while (j < b.series.size() && isRuntime(b.series[j].family))
+            ++j;
+        if (i >= a.series.size() || j >= b.series.size()) {
+            if (i >= a.series.size() && j >= b.series.size())
+                break;
+            const RankSnapshot &extra = i < a.series.size() ? a : b;
+            size_t at = i < a.series.size() ? i : j;
+            return "series " + extra.series[at].family + "{" +
+                   extra.series[at].label + "} exists only on rank " +
+                   std::to_string(extra.rank);
+        }
+        const RankSnapshot::Series &sa = a.series[i];
+        const RankSnapshot::Series &sb = b.series[j];
+        if (sa.family != sb.family || sa.label != sb.label)
+            return "series mismatch: rank " + std::to_string(a.rank) +
+                   " has " + sa.family + "{" + sa.label + "}, rank " +
+                   std::to_string(b.rank) + " has " + sb.family + "{" +
+                   sb.label + "}";
+        bool same = sa.kind == sb.kind;
+        if (same) {
+            if (sa.kind == MetricsRegistry::Kind::Histogram)
+                same = sa.bounds == sb.bounds && sa.counts == sb.counts &&
+                       sa.count == sb.count && sa.sum == sb.sum;
+            else
+                same = sa.value == sb.value;
+        }
+        if (!same)
+            return sa.family + "{" + sa.label + "}: rank " +
+                   std::to_string(a.rank) + " " + describe(sa) +
+                   " != rank " + std::to_string(b.rank) + " " +
+                   describe(sb);
+        ++i, ++j;
+    }
+    return "";
+}
+
+void
+FleetView::update(RankSnapshot snap)
+{
+    ranks_[snap.rank] = std::move(snap);
+}
+
+int64_t
+FleetView::tickOf(uint32_t rank) const
+{
+    auto it = ranks_.find(rank);
+    return it == ranks_.end() ? -1
+                              : static_cast<int64_t>(it->second.tick);
+}
+
+void
+FleetView::writeProm(std::ostream &out) const
+{
+    // Merge by family: one HELP/TYPE block per family, every rank's
+    // series inside it, sorted (family, rank, label) — ranks_ is an
+    // ordered map and each snapshot's series arrive already sorted by
+    // (family, label), so a stable re-bucketing keeps the order.
+    std::map<std::string, MergedFamily> families;
+    for (const auto &entry : ranks_) {
+        for (const auto &s : entry.second.series) {
+            MergedFamily &fam = families[s.family];
+            if (fam.entries.empty()) {
+                fam.kind = s.kind;
+                fam.help = s.help;
+            }
+            fam.entries.push_back({entry.first, &s});
+        }
+    }
+
+    out << "# HELP nps_fleet_snapshot_tick Barrier tick of each rank's "
+           "current registry snapshot\n"
+           "# TYPE nps_fleet_snapshot_tick gauge\n";
+    for (const auto &entry : ranks_)
+        out << fleetSeriesName("nps_fleet_snapshot_tick", "",
+                               entry.first)
+            << ' ' << entry.second.tick << '\n';
+
+    for (const auto &fe : families) {
+        const MergedFamily &fam = fe.second;
+        out << "# HELP " << fe.first << ' ' << fam.help << '\n';
+        out << "# TYPE " << fe.first << ' ' << kindName(fam.kind)
+            << '\n';
+        std::vector<MergedEntry> entries = fam.entries;
+        std::stable_sort(entries.begin(), entries.end(),
+                         [](const MergedEntry &a, const MergedEntry &b) {
+                             if (a.rank != b.rank)
+                                 return a.rank < b.rank;
+                             return a.series->label < b.series->label;
+                         });
+        for (const MergedEntry &e : entries) {
+            const RankSnapshot::Series &s = *e.series;
+            switch (fam.kind) {
+            case MetricsRegistry::Kind::Counter:
+            case MetricsRegistry::Kind::Gauge:
+                out << fleetSeriesName(fe.first, s.label, e.rank) << ' '
+                    << formatMetricValue(s.value) << '\n';
+                break;
+            case MetricsRegistry::Kind::Histogram: {
+                uint64_t cum = 0;
+                for (size_t i = 0; i < s.counts.size(); ++i) {
+                    cum += s.counts[i];
+                    std::string le =
+                        i < s.bounds.size()
+                            ? formatMetricValue(s.bounds[i])
+                            : std::string("+Inf");
+                    out << fleetSeriesName(fe.first + "_bucket",
+                                           s.label, e.rank,
+                                           "le=\"" + le + "\"")
+                        << ' ' << cum << '\n';
+                }
+                out << fleetSeriesName(fe.first + "_sum", s.label,
+                                       e.rank)
+                    << ' ' << formatMetricValue(s.sum) << '\n';
+                out << fleetSeriesName(fe.first + "_count", s.label,
+                                       e.rank)
+                    << ' ' << s.count << '\n';
+                break;
+            }
+            }
+        }
+    }
+}
+
+void
+FleetView::writeJson(std::ostream &out) const
+{
+    out << "{\n  \"ranks\": [\n";
+    bool first_rank = true;
+    for (const auto &entry : ranks_) {
+        const RankSnapshot &snap = entry.second;
+        if (!first_rank)
+            out << ",\n";
+        first_rank = false;
+        out << "    {\"rank\": " << snap.rank
+            << ", \"tick\": " << snap.tick
+            << ", \"digest\": " << snap.digest << ", \"series\": [";
+        bool first_series = true;
+        for (const auto &s : snap.series) {
+            if (!first_series)
+                out << ", ";
+            first_series = false;
+            out << "{\"family\": " << util::jsonQuote(s.family)
+                << ", \"kind\": \"" << kindName(s.kind)
+                << "\", \"label\": " << util::jsonQuote(s.label);
+            switch (s.kind) {
+            case MetricsRegistry::Kind::Counter:
+            case MetricsRegistry::Kind::Gauge:
+                out << ", \"value\": " << util::jsonNumber(s.value);
+                break;
+            case MetricsRegistry::Kind::Histogram: {
+                out << ", \"sum\": " << util::jsonNumber(s.sum)
+                    << ", \"count\": " << s.count << ", \"buckets\": [";
+                uint64_t cum = 0;
+                for (size_t i = 0; i < s.counts.size(); ++i) {
+                    cum += s.counts[i];
+                    if (i)
+                        out << ", ";
+                    out << "{\"le\": ";
+                    if (i < s.bounds.size())
+                        out << util::jsonNumber(s.bounds[i]);
+                    else
+                        out << "\"+Inf\"";
+                    out << ", \"count\": " << cum << '}';
+                }
+                out << ']';
+                break;
+            }
+            }
+            out << '}';
+        }
+        out << "]}";
+    }
+    out << "\n  ]\n}\n";
+}
+
+} // namespace live
+} // namespace obs
+} // namespace nps

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Cross-rank metric aggregation for distributed runs
+ * (docs/OBSERVABILITY.md, docs/DISTRIBUTED.md).
+ *
+ * At the per-tick barrier every rank serializes its MetricsRegistry
+ * into a compact snapshot (ckpt::SectionWriter encoding) and ships it
+ * to the supervisor in an NPSF 'M' frame. The supervisor decodes each
+ * snapshot into a RankSnapshot and merges the fleet into one rank-
+ * labelled Prometheus/JSON view.
+ *
+ * The snapshot carries a digest — CRC32 over the registry's
+ * *deterministic* Prometheus text (runtime "nps_rt_" families
+ * excluded). Because a distributed run is lockstep replication, every
+ * rank's deterministic series must be byte-identical at every barrier;
+ * the supervisor cross-checks each arriving digest against its own
+ * replica and treats a mismatch as a desync, exactly like the
+ * control-frame cross-check in stream/socket_transport.h. The runtime
+ * families are the part that legitimately differs per rank (barrier
+ * wait, tick wall time) — they ride along unchecked and come out
+ * rank-labelled, which is the point of the fleet view.
+ */
+
+#ifndef NPS_OBS_LIVE_AGG_H
+#define NPS_OBS_LIVE_AGG_H
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace nps {
+namespace obs {
+namespace live {
+
+/** One rank's decoded registry snapshot. */
+struct RankSnapshot
+{
+    /** One series; value fields depend on kind. */
+    struct Series
+    {
+        std::string family;
+        MetricsRegistry::Kind kind = MetricsRegistry::Kind::Counter;
+        std::string help;
+        std::string label;
+        double value = 0.0; //!< counter / gauge
+        std::vector<double> bounds;          //!< histogram
+        std::vector<uint64_t> counts;        //!< histogram (per bucket)
+        uint64_t count = 0;                  //!< histogram
+        double sum = 0.0;                    //!< histogram
+    };
+
+    uint32_t rank = 0;
+    uint64_t tick = 0;   //!< barrier tick the snapshot was taken at
+    uint32_t digest = 0; //!< CRC32 of the deterministic prom text
+    std::vector<Series> series;
+};
+
+/** CRC32 over the deterministic (runtime-excluded) prom exposition —
+ * the cross-rank agreement check. */
+uint32_t registryDigest(const MetricsRegistry &reg);
+
+/** Serialize every series (runtime families included) plus the
+ * deterministic digest; the payload of an 'M' frame. */
+std::string encodeSnapshot(const MetricsRegistry &reg);
+
+/** Decode an 'M' payload produced by encodeSnapshot. Fatal on a
+ * malformed payload (the frame CRC already passed, so malformed here
+ * means a protocol bug, not line noise). */
+RankSnapshot decodeSnapshot(uint32_t rank, uint64_t tick,
+                            const uint8_t *data, size_t len);
+
+/** Describe the first deterministic series that differs between two
+ * snapshots ("family{label}: a=X b=Y"), for the desync fatal. Returns
+ * "" when none differs (the digests disagreed on something the
+ * series-level compare cannot see, e.g. help text). */
+std::string diffSnapshots(const RankSnapshot &a, const RankSnapshot &b);
+
+/**
+ * The supervisor's merged picture of every rank's registry. update()
+ * replaces a rank's entry wholesale; export emits every series of
+ * every rank with a `rank="N"` label appended after the series' own
+ * `id` label, sorted by (family, rank, label) so the text is
+ * deterministic. A `nps_fleet_snapshot_tick` gauge per rank reports
+ * how fresh each rank's entry is (a killed rank's entry stays at its
+ * last barrier).
+ */
+class FleetView
+{
+  public:
+    void update(RankSnapshot snap);
+
+    size_t numRanks() const { return ranks_.size(); }
+
+    /** Tick of @p rank's current entry, or -1 when absent. */
+    int64_t tickOf(uint32_t rank) const;
+
+    void writeProm(std::ostream &out) const;
+    void writeJson(std::ostream &out) const;
+
+  private:
+    std::map<uint32_t, RankSnapshot> ranks_;
+};
+
+} // namespace live
+} // namespace obs
+} // namespace nps
+
+#endif // NPS_OBS_LIVE_AGG_H

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * LiveExporter: a minimal HTTP/1.0 endpoint serving published
+ * LiveSnapshots (docs/OBSERVABILITY.md, live mode).
+ *
+ * The exporter owns one listening socket (tcp or unix, via
+ * stream::listenOn) and one serve thread. The serve thread accepts one
+ * connection at a time, answers a single GET, and closes — the scrape
+ * protocol of a Prometheus exporter, deliberately without keep-alive,
+ * chunking or HTTP/1.1 parsing. Routes:
+ *
+ *   /metrics       Prometheus text exposition (the published snapshot)
+ *   /metrics.json  the same series as JSON
+ *   /healthz       {"status":"ok","tick":N,"final":B,"rank":R}
+ *   /profilez      engine profile JSON
+ *   /quitz         ends a post-run linger() early (for scripts)
+ *
+ * Until the first publish() every data route answers 503, so a scraper
+ * arriving before the first tick sees "not ready" instead of garbage.
+ * Unknown paths answer 404.
+ *
+ * Threading contract: publish() is called by the engine thread and
+ * swaps a shared_ptr under a mutex; the serve thread takes the same
+ * mutex only to copy the pointer. Neither side ever blocks on the
+ * other for more than that pointer swap, so a stalled scraper cannot
+ * stall the simulation.
+ */
+
+#ifndef NPS_OBS_LIVE_EXPORTER_H
+#define NPS_OBS_LIVE_EXPORTER_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/live/snapshot.h"
+
+namespace nps {
+namespace obs {
+namespace live {
+
+/**
+ * One live HTTP endpoint. Construction binds and starts serving;
+ * destruction stops the thread and removes a unix socket path.
+ */
+class LiveExporter
+{
+  public:
+    /**
+     * Bind @p spec and start the serve thread. @p spec is "PORT"
+     * (shorthand for "tcp:PORT"), "tcp:PORT", "tcp:HOST:PORT" or
+     * "unix:PATH" — the stream::listenOn grammar. Fatal when the
+     * endpoint cannot be bound (a config error, not a runtime hazard).
+     * @p rank tags /healthz so fleet probes can tell processes apart.
+     */
+    explicit LiveExporter(const std::string &spec, int rank = 0);
+
+    ~LiveExporter();
+
+    LiveExporter(const LiveExporter &) = delete;
+    LiveExporter &operator=(const LiveExporter &) = delete;
+
+    /** Swap in a new snapshot (engine thread). */
+    void publish(std::shared_ptr<const LiveSnapshot> snap);
+
+    /** The currently published snapshot (may be null before the first
+     * publish). */
+    std::shared_ptr<const LiveSnapshot> current() const;
+
+    /**
+     * Keep serving for up to @p ms milliseconds after the run so
+     * scripts can take a final scrape; returns early once /quitz is
+     * hit. No-op for ms == 0.
+     */
+    void linger(unsigned ms);
+
+    /** Scrapes answered so far (any route, any status). */
+    uint64_t scrapes() const { return scrapes_.load(); }
+
+    /** The normalized endpoint spec ("tcp:..." or "unix:..."). */
+    const std::string &spec() const { return spec_; }
+
+  private:
+    void serveLoop();
+    void handleClient(int fd);
+
+    std::string spec_;      //!< normalized listen spec
+    std::string unix_path_; //!< non-empty for unix sockets (unlinked)
+    int rank_;
+    int listener_ = -1;
+    std::thread thread_;
+    std::atomic<bool> stop_{false};
+    std::atomic<bool> quit_{false}; //!< /quitz seen — end linger early
+    std::atomic<uint64_t> scrapes_{0};
+    mutable std::mutex mutex_;
+    std::shared_ptr<const LiveSnapshot> snap_;
+};
+
+} // namespace live
+} // namespace obs
+} // namespace nps
+
+#endif // NPS_OBS_LIVE_EXPORTER_H

@@ -1,0 +1,105 @@
+#include "obs/live/publisher.h"
+
+#include <memory>
+#include <sstream>
+#include <utility>
+
+namespace nps {
+namespace obs {
+namespace live {
+
+LivePublisher::LivePublisher(MetricsRegistry *registry,
+                             const EngineProfiler *profiler,
+                             std::function<void()> refresh,
+                             LiveExporter *exporter,
+                             unsigned publish_every, int rank)
+    : registry_(registry), profiler_(profiler),
+      refresh_(std::move(refresh)), exporter_(exporter),
+      publish_every_(publish_every ? publish_every : 1), rank_(rank),
+      tick_wall_ms_(registry->histogram(
+          "nps_rt_tick_wall_ms", "rank" + std::to_string(rank),
+          "Wall-clock latency per engine tick (ms)",
+          MetricsRegistry::runtimeMsBounds()))
+{
+}
+
+void
+LivePublisher::endTick(size_t tick)
+{
+    auto now = std::chrono::steady_clock::now();
+    if (timed_) {
+        double ms = std::chrono::duration<double, std::milli>(
+                        now - last_tick_end_)
+                        .count();
+        tick_wall_ms_->observe(ms);
+    }
+    timed_ = true;
+    last_tick_end_ = now;
+
+    if (!exporter_ || tick % publish_every_ != 0)
+        return;
+    // A render walks the whole registry into tens of KB of text —
+    // around a millisecond, which dwarfs a paper-scale tick. Re-render
+    // only when a request has arrived since the last publish: an idle
+    // endpoint costs one render for the whole run, and each scrape arms
+    // the next publish, so a poller is never more than one scrape plus
+    // publish_every ticks stale. The final snapshot (publishFinal)
+    // never skips, so the last scrape still equals the export.
+    const uint64_t seen = exporter_->scrapes();
+    if (rendered_once_ && seen == scrapes_at_render_)
+        return;
+    scrapes_at_render_ = seen;
+    rendered_once_ = true;
+    if (refresh_)
+        refresh_();
+    exporter_->publish(
+        std::make_shared<LiveSnapshot>(render(tick, false)));
+}
+
+void
+LivePublisher::publishFinal(uint64_t tick)
+{
+    if (!exporter_)
+        return;
+    exporter_->publish(
+        std::make_shared<LiveSnapshot>(render(tick, true)));
+}
+
+LiveSnapshot
+LivePublisher::render(uint64_t tick, bool final) const
+{
+    LiveSnapshot snap;
+    snap.tick = tick;
+    snap.final = final;
+
+    std::ostringstream prom;
+    std::ostringstream json;
+    if (fleet_ && fleet_->numRanks() > 0) {
+        fleet_->writeProm(prom);
+        fleet_->writeJson(json);
+    } else {
+        registry_->writeProm(prom);
+        registry_->writeJson(json);
+    }
+    snap.prom = prom.str();
+    snap.json = json.str();
+
+    std::ostringstream health;
+    health << "{\"status\": \"ok\", \"tick\": " << tick
+           << ", \"final\": " << (final ? "true" : "false")
+           << ", \"rank\": " << rank_ << "}\n";
+    snap.health = health.str();
+
+    if (profiler_) {
+        std::ostringstream profile;
+        profiler_->writeJson(profile);
+        snap.profile = profile.str();
+    } else {
+        snap.profile = "{}\n";
+    }
+    return snap;
+}
+
+} // namespace live
+} // namespace obs
+} // namespace nps

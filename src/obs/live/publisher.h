@@ -1,0 +1,104 @@
+/**
+ * @file
+ * LivePublisher: the engine-thread half of the live observability
+ * plane (docs/OBSERVABILITY.md, live mode).
+ *
+ * A sim::TickObserver that runs at the end of every engine tick. It
+ * always records the tick's wall latency into the runtime
+ * (`nps_rt_`) histogram set, and — every publish_every ticks — renders
+ * the registry (or, on a distributed supervisor, the merged FleetView)
+ * into an immutable LiveSnapshot and hands it to the LiveExporter.
+ * Renders are demand-gated: a publish tick with no scrape since the
+ * last render skips the (comparatively expensive) text rendering, so
+ * an unscraped endpoint costs one render for the whole run.
+ *
+ * Determinism: everything the publisher *writes* lands in runtime
+ * families, which are excluded from checkpoints, digests and
+ * determinism diffs; the refresh callback (Coordinator's run-gauge
+ * update) is deterministic given the tick it fires at, and it fires on
+ * a pure function of the tick counter. Rendering reads registry cells
+ * the engine thread owns, after the tick's actors finished — so the
+ * simulation's outputs are byte-identical with the live plane on or
+ * off, at any thread count.
+ */
+
+#ifndef NPS_OBS_LIVE_PUBLISHER_H
+#define NPS_OBS_LIVE_PUBLISHER_H
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "obs/live/agg.h"
+#include "obs/live/exporter.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "sim/engine.h"
+
+namespace nps {
+namespace obs {
+namespace live {
+
+/**
+ * Publishes per-tick snapshots. Install with
+ * engine().setTickObserver(&publisher); it is observation-only and
+ * never appears in the actor roster or the checkpoint.
+ */
+class LivePublisher : public sim::TickObserver
+{
+  public:
+    /**
+     * @p registry must outlive the publisher and have been wired; the
+     * tick-wall histogram is registered here (single-threaded wiring
+     * time). @p profiler may be null (no /profilez body). @p refresh
+     * is invoked before each render so derived gauges are current —
+     * pass the Coordinator's updateRunGauges. @p exporter may be null:
+     * the wall-latency histogram still records (always-on runtime
+     * instrumentation), publishing is skipped.
+     */
+    LivePublisher(MetricsRegistry *registry,
+                  const EngineProfiler *profiler,
+                  std::function<void()> refresh, LiveExporter *exporter,
+                  unsigned publish_every = 1, int rank = 0);
+
+    /** Supervisor only: render /metrics and /metrics.json from the
+     * merged fleet view instead of the local registry. */
+    void setFleet(const FleetView *fleet) { fleet_ = fleet; }
+
+    /// @name sim::TickObserver
+    /// @{
+    void endTick(size_t tick) override;
+    /// @}
+
+    /**
+     * Publish the end-of-run snapshot (call after the final run-gauge
+     * refresh and before any end-of-run export is written, so the last
+     * scrape and the export file agree byte for byte).
+     */
+    void publishFinal(uint64_t tick);
+
+    /** Render the current state without publishing (for exports). */
+    LiveSnapshot render(uint64_t tick, bool final) const;
+
+  private:
+    MetricsRegistry *registry_;
+    const EngineProfiler *profiler_;
+    std::function<void()> refresh_;
+    LiveExporter *exporter_;
+    const FleetView *fleet_ = nullptr;
+    unsigned publish_every_;
+    int rank_;
+    Histogram *tick_wall_ms_;
+    uint64_t scrapes_at_render_ = 0; //!< demand gate: exporter_->scrapes()
+    bool rendered_once_ = false;     //!< at the last published render
+    bool timed_ = false;
+    std::chrono::steady_clock::time_point last_tick_end_;
+};
+
+} // namespace live
+} // namespace obs
+} // namespace nps
+
+#endif // NPS_OBS_LIVE_PUBLISHER_H

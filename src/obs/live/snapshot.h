@@ -1,0 +1,40 @@
+/**
+ * @file
+ * LiveSnapshot: one immutable, fully-serialized view of the run's
+ * observable state (docs/OBSERVABILITY.md, live mode).
+ *
+ * The live observability plane never lets a scrape touch controller
+ * state: the engine thread builds a snapshot — every export format
+ * pre-rendered to its final bytes — and publishes it by swapping a
+ * shared_ptr. The HTTP thread only ever reads a published snapshot's
+ * strings, so a scrape costs the exporter one pointer copy and some
+ * socket writes, and the simulation stays byte-identical whether or
+ * not anyone is scraping.
+ */
+
+#ifndef NPS_OBS_LIVE_SNAPSHOT_H
+#define NPS_OBS_LIVE_SNAPSHOT_H
+
+#include <cstdint>
+#include <string>
+
+namespace nps {
+namespace obs {
+namespace live {
+
+/** One published view; immutable once handed to the exporter. */
+struct LiveSnapshot
+{
+    uint64_t tick = 0; //!< last completed tick covered by the snapshot
+    bool final = false; //!< true for the end-of-run snapshot
+    std::string prom;    //!< /metrics — Prometheus text exposition
+    std::string json;    //!< /metrics.json
+    std::string health;  //!< /healthz — small JSON status document
+    std::string profile; //!< /profilez — engine profile JSON (or "{}")
+};
+
+} // namespace live
+} // namespace obs
+} // namespace nps
+
+#endif // NPS_OBS_LIVE_SNAPSHOT_H

@@ -214,6 +214,22 @@ MetricsRegistry::value(const std::string &family, const std::string &label,
     return fallback;
 }
 
+bool
+MetricsRegistry::isRuntimeFamily(const std::string &family)
+{
+    static const char prefix[] = "nps_rt_";
+    return family.compare(0, sizeof prefix - 1, prefix) == 0;
+}
+
+const std::vector<double> &
+MetricsRegistry::runtimeMsBounds()
+{
+    static const std::vector<double> bounds{
+        0.001, 0.005, 0.01, 0.05, 0.1,  0.5,
+        1.0,   5.0,   10.0, 50.0, 100.0, 500.0, 1000.0};
+    return bounds;
+}
+
 std::vector<const MetricsRegistry::Family *>
 MetricsRegistry::sortedFamilies() const
 {
@@ -229,9 +245,11 @@ MetricsRegistry::sortedFamilies() const
 }
 
 void
-MetricsRegistry::writeProm(std::ostream &out) const
+MetricsRegistry::writeProm(std::ostream &out, bool skip_runtime) const
 {
     for (const Family *fam : sortedFamilies()) {
+        if (skip_runtime && isRuntimeFamily(fam->name))
+            continue;
         std::vector<const Series *> series;
         series.reserve(fam->series.size());
         for (const auto &s : fam->series)
@@ -343,10 +361,39 @@ MetricsRegistry::writeJson(std::ostream &out) const
 }
 
 void
+MetricsRegistry::forEachSeries(
+    const std::function<void(const SeriesRef &)> &fn) const
+{
+    for (const Family *fam : sortedFamilies()) {
+        std::vector<const Series *> series;
+        series.reserve(fam->series.size());
+        for (const auto &s : fam->series)
+            series.push_back(&s);
+        std::sort(series.begin(), series.end(),
+                  [](const Series *a, const Series *b) {
+                      return a->label < b->label;
+                  });
+        for (const Series *s : series) {
+            SeriesRef ref{fam->name,    fam->kind,
+                          fam->help,    s->label,
+                          s->counter.get(), s->gauge.get(),
+                          s->histogram.get()};
+            fn(ref);
+        }
+    }
+}
+
+void
 MetricsRegistry::saveState(ckpt::SectionWriter &w) const
 {
-    w.putU64(families_.size());
+    size_t persisted = 0;
+    for (const auto &f : families_)
+        if (!isRuntimeFamily(f->name))
+            ++persisted;
+    w.putU64(persisted);
     for (const auto &f : families_) {
+        if (isRuntimeFamily(f->name))
+            continue;
         w.putString(f->name);
         w.putU32(static_cast<uint32_t>(f->kind));
         w.putU64(f->series.size());
@@ -372,13 +419,22 @@ MetricsRegistry::saveState(ckpt::SectionWriter &w) const
 void
 MetricsRegistry::loadState(ckpt::SectionReader &r)
 {
+    size_t persisted = 0;
+    for (const auto &f : families_)
+        if (!isRuntimeFamily(f->name))
+            ++persisted;
     auto n = static_cast<size_t>(r.getU64());
-    if (n != families_.size())
+    if (n != persisted)
         util::fatal("metrics restore: snapshot has %zu families, rebuilt "
                     "registry has %zu — config mismatch",
-                    n, families_.size());
+                    n, persisted);
     for (size_t i = 0; i < n; ++i) {
         std::string name = r.getString();
+        if (isRuntimeFamily(name))
+            util::fatal("metrics restore: snapshot contains runtime "
+                        "family '%s' — written by an incompatible "
+                        "version",
+                        name.c_str());
         auto kind = static_cast<Kind>(r.getU32());
         Family *fam = nullptr;
         for (auto &f : families_) {

@@ -22,6 +22,7 @@
 #define NPS_OBS_METRICS_H
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <ostream>
 #include <string>
@@ -142,13 +143,55 @@ class MetricsRegistry
     double value(const std::string &family, const std::string &label,
                  double fallback = 0.0) const;
 
-    /** Prometheus text exposition, sorted by (family, label). */
-    void writeProm(std::ostream &out) const;
+    /**
+     * Runtime (wall-clock) families are prefixed "nps_rt_": their values
+     * are real-time measurements, so they are excluded from everything
+     * that must be deterministic — checkpoints, cross-rank digests, and
+     * determinism diffs — while still appearing in live scrapes and the
+     * end-of-run export.
+     */
+    static bool isRuntimeFamily(const std::string &family);
+
+    /** Bucket bounds (milliseconds) shared by the runtime latency
+     * histograms; spans sub-tick µs costs up to multi-second stalls. */
+    static const std::vector<double> &runtimeMsBounds();
+
+    /**
+     * Prometheus text exposition, sorted by (family, label). With
+     * @p skip_runtime the "nps_rt_" families are omitted, producing the
+     * deterministic subset used by cross-rank digests.
+     */
+    void writeProm(std::ostream &out, bool skip_runtime = false) const;
 
     /** JSON export with the same deterministic ordering. */
     void writeJson(std::ostream &out) const;
 
-    /** Serialize every series' value(s), keyed by (family, label). */
+    /** Read-only view of one registered series, for external exporters. */
+    struct SeriesRef
+    {
+        const std::string &family;
+        Kind kind;
+        const std::string &help;
+        const std::string &label;
+        const Counter *counter;       //!< non-null for counters
+        const Gauge *gauge;           //!< non-null for gauges
+        const Histogram *histogram;   //!< non-null for histograms
+    };
+
+    /**
+     * Visit every series in the deterministic (family, label) sorted
+     * export order (the same order writeProm emits).
+     */
+    void forEachSeries(
+        const std::function<void(const SeriesRef &)> &fn) const;
+
+    /**
+     * Serialize every deterministic series' value(s), keyed by
+     * (family, label). Runtime ("nps_rt_") families are skipped on both
+     * sides: different processes of one distributed run register
+     * different runtime sets (supervisor vs node), and their wall-clock
+     * values must never leak into a restored simulation.
+     */
     void saveState(ckpt::SectionWriter &w) const;
 
     /**

@@ -7,7 +7,8 @@ namespace obs {
 
 Observability::Observability(const ObsConfig &cfg) : cfg_(cfg)
 {
-    if (cfg_.metrics)
+    // A live endpoint scrapes the registry, so serving implies it.
+    if (cfg_.metrics || !cfg_.http.empty())
         metrics_ = std::make_unique<MetricsRegistry>();
     if (cfg_.trace) {
         if (cfg_.trace_capacity == 0)

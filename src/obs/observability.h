@@ -27,14 +27,29 @@ struct ObsConfig
     bool metrics = false; //!< build a MetricsRegistry
     bool trace = false;   //!< build a TraceSink
     bool profile = false; //!< build an EngineProfiler
+    bool cascade = false; //!< record the budget-cascade hop trace
 
     /** Substring filter on trace channel names; empty keeps all. */
     std::string trace_filter;
     /** Per-channel trace ring capacity (events). */
     unsigned trace_capacity = TraceSink::kDefaultCapacity;
 
+    /**
+     * Live-scrape endpoint spec: "PORT" (TCP on localhost) or
+     * "unix:PATH". Empty disables the live observability plane
+     * (src/obs/live/). Serving implies a MetricsRegistry.
+     */
+    std::string http;
+    /** How long the exporter lingers after the run ends (ms). */
+    unsigned http_linger_ms = 0;
+    /** Publish a fresh live snapshot every N ticks. */
+    unsigned publish_every = 1;
+
     /** @return true when any instrument is enabled. */
-    bool any() const { return metrics || trace || profile; }
+    bool any() const
+    {
+        return metrics || trace || profile || cascade || !http.empty();
+    }
 };
 
 /**

@@ -162,6 +162,8 @@ Engine::runSerial(size_t ticks)
         }
         cluster_.evaluateTick(tick);
         metrics_.record(cluster_, tick);
+        if (observer_)
+            observer_->endTick(tick);
         ++now_;
     }
     return ticks;
@@ -209,6 +211,8 @@ Engine::runParallel(size_t ticks)
         }
         cluster_.evaluateTick(tick, &pool);
         metrics_.record(cluster_, tick);
+        if (observer_)
+            observer_->endTick(tick);
         ++now_;
     }
     return ticks;
@@ -269,6 +273,8 @@ Engine::runSerialProfiled(size_t ticks)
         metrics_.record(cluster_, tick);
         prof.addPhase(obs::EnginePhase::Record,
                       obs::EngineProfiler::sinceNs(t0));
+        if (observer_)
+            observer_->endTick(tick);
         ++now_;
         ++done;
     }
@@ -342,6 +348,8 @@ Engine::runParallelProfiled(size_t ticks)
         metrics_.record(cluster_, tick);
         prof.addPhase(obs::EnginePhase::Record,
                       obs::EngineProfiler::sinceNs(t0));
+        if (observer_)
+            observer_->endTick(tick);
         ++now_;
         ++done;
     }

@@ -110,6 +110,25 @@ class TickSource
 };
 
 /**
+ * Per-tick completion hook for observation-only consumers (the live
+ * observability plane, src/obs/live/): when attached, the engine calls
+ * endTick() after the tick is fully simulated and recorded — all actor
+ * steps, the cluster evaluation and the metrics record have happened —
+ * and before the clock advances. Always invoked on the engine thread,
+ * at every thread count, so the hook sees a quiescent simulation.
+ * Implementations must not mutate simulation state: results are
+ * bit-identical with or without an observer.
+ */
+class TickObserver
+{
+  public:
+    virtual ~TickObserver() = default;
+
+    /** Tick @p tick has been fully simulated and recorded. */
+    virtual void endTick(size_t tick) = 0;
+};
+
+/**
  * Drives a Cluster and a set of Actors through simulated time.
  */
 class Engine
@@ -197,6 +216,14 @@ class Engine
     void setTickSource(TickSource *source) { source_ = source; }
 
     /**
+     * Attach (or detach, with nullptr) a per-tick completion observer.
+     * The observer must outlive the engine or be detached first. With
+     * no observer attached the tick loops are exactly the plain engine
+     * — the hook adds one pointer test per tick.
+     */
+    void setTickObserver(TickObserver *observer) { observer_ = observer; }
+
+    /**
      * Advance the simulation by up to @p ticks ticks.
      *
      * @return the number of ticks actually simulated: @p ticks, unless
@@ -269,6 +296,7 @@ class Engine
     bool plan_dirty_ = true;
     obs::EngineProfiler *profiler_ = nullptr;
     TickSource *source_ = nullptr;
+    TickObserver *observer_ = nullptr;
 };
 
 } // namespace sim

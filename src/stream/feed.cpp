@@ -1,5 +1,7 @@
 #include "stream/feed.h"
 
+#include <chrono>
+
 #include "ckpt/snapshot.h"
 #include "obs/metrics.h"
 #include "util/logging.h"
@@ -26,8 +28,16 @@ bool
 ClusterFeed::beginTick(size_t tick)
 {
     TickBatch batch;
+    auto pull_start = std::chrono::steady_clock::now();
     if (!source_.pull(tick, batch))
         return false;
+    if (rt_pull_ms_) {
+        rt_pull_ms_->observe(
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - pull_start)
+                .count());
+        rt_backlog_->observe(static_cast<double>(source_.backlog()));
+    }
 
     std::vector<double> &staged = cluster_.stagedDemand();
     // Roll the silence window: the batch we are about to stage becomes
@@ -206,6 +216,19 @@ ClusterFeed::attachObs(obs::MetricsRegistry *metrics)
     obs_lag_ = metrics->histogram(
         "nps_stream_ingest_lag_ticks", label,
         "How many ticks ahead of the pull cursor samples arrived",
+        {0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0});
+    // Runtime (wall-clock) instruments: nondeterministic by nature, so
+    // they live in nps_rt_ families, which every determinism check
+    // (digests, checkpoints, diffs) excludes.
+    rt_pull_ms_ = metrics->histogram(
+        "nps_rt_stream_pull_wall_ms", label,
+        "Wall-clock time blocked in the telemetry pull per tick — "
+        "socket wait plus frame decode (ms)",
+        obs::MetricsRegistry::runtimeMsBounds());
+    rt_backlog_ = metrics->histogram(
+        "nps_rt_stream_backlog_ticks", label,
+        "Ticks buffered ahead of the pull cursor after each pull "
+        "(backpressure depth)",
         {0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0});
 }
 

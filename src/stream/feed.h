@@ -145,6 +145,8 @@ class ClusterFeed : public sim::TickSource, public fault::StreamHealth
     obs::Gauge *obs_silent_ = nullptr;
     obs::Histogram *obs_batch_ = nullptr;
     obs::Histogram *obs_lag_ = nullptr;
+    obs::Histogram *rt_pull_ms_ = nullptr;
+    obs::Histogram *rt_backlog_ = nullptr;
 };
 
 } // namespace stream

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "ckpt/snapshot.h"
+#include "util/logging.h"
 
 namespace nps {
 namespace stream {
@@ -65,13 +66,18 @@ payloadLen(uint8_t type)
     case 'V':
     case 'R':
     case 'Y':
-        return 37; // u32 link, u64 tick, u64 seq, f64 x2, u8 flags
+        // u32 link, u64 tick, u64 seq, f64 x2, u8 flags, u32 trace
+        return 41;
     case 'D':
     case 'U':
         return 12;
     case 'P':
         return 4;
     case 'J':
+        return 16;
+    case 'M':
+        // Variable: u32 rank, u64 tick, u32 len prefix; the caller
+        // reads len and extends to 16 + len itself.
         return 16;
     default:
         return SIZE_MAX;
@@ -167,13 +173,14 @@ FrameWriter::bye(uint64_t final_tick)
 void
 FrameWriter::ctrl(FrameType type, const bus::WireMsg &m)
 {
-    uint8_t p[37];
+    uint8_t p[41];
     putU32(p, m.link);
     putU64(p + 4, m.tick);
     putU64(p + 12, m.seq);
     putU64(p + 20, doubleBits(m.value));
     putU64(p + 28, doubleBits(m.aux));
     p[36] = m.flags;
+    putU32(p + 37, m.trace);
     frame(type, p, sizeof p);
 }
 
@@ -223,6 +230,22 @@ FrameWriter::join(const JoinFrame &j)
 }
 
 void
+FrameWriter::metrics(uint32_t rank, uint64_t tick, const uint8_t *data,
+                     size_t len)
+{
+    if (len > kMaxMetricsBytes)
+        util::fatal("metrics frame: %zu-byte snapshot exceeds the %u-byte "
+                    "wire cap", len, kMaxMetricsBytes);
+    std::vector<uint8_t> p(16 + len);
+    putU32(p.data(), rank);
+    putU64(p.data() + 4, tick);
+    putU32(p.data() + 12, static_cast<uint32_t>(len));
+    if (len > 0)
+        std::memcpy(p.data() + 16, data, len);
+    frame(FrameType::Metrics, p.data(), p.size());
+}
+
+void
 FrameDecoder::feed(const void *data, size_t len)
 {
     const uint8_t *p = static_cast<const uint8_t *>(data);
@@ -248,6 +271,22 @@ FrameDecoder::next(Frame &out)
             ++pos_;
             ++stats_.resync_bytes;
             continue;
+        }
+        if (type == 'M') {
+            // The one variable-length frame: the fixed 16-byte prefix
+            // ends in the payload byte count. An implausible count is
+            // treated like a corrupted frame (resync), not trusted to
+            // allocate.
+            if (pos_ + kHeaderLen + 16 > buf_.size())
+                break; // prefix incomplete; wait for more input
+            uint32_t blen = getU32(&buf_[pos_ + kHeaderLen + 12]);
+            if (blen > kMaxMetricsBytes) {
+                ++stats_.bad_type;
+                ++pos_;
+                ++stats_.resync_bytes;
+                continue;
+            }
+            plen += blen;
         }
         size_t frame_len = kHeaderLen + plen + kCrcLen;
         if (pos_ + frame_len > buf_.size())
@@ -292,6 +331,7 @@ FrameDecoder::next(Frame &out)
             out.ctrl.value = bitsDouble(getU64(p + 20));
             out.ctrl.aux = bitsDouble(getU64(p + 28));
             out.ctrl.flags = p[36];
+            out.ctrl.trace = getU32(p + 37);
             break;
         case FrameType::TickDone:
             out.tick = getU64(p);
@@ -309,6 +349,11 @@ FrameDecoder::next(Frame &out)
             out.join.version = getU32(p + 4);
             out.join.links = getU32(p + 8);
             out.join.digest = getU32(p + 12);
+            break;
+        case FrameType::Metrics:
+            out.rank = getU32(p);
+            out.tick = getU64(p + 4);
+            out.bytes.assign(p + 16, p + plen);
             break;
         }
         pos_ += frame_len;

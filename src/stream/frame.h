@@ -22,7 +22,7 @@
  * tags select the ControlLink channel kind:
  *
  *     'G' budget     u32 link, u64 tick, u64 seq, f64 value, f64 aux,
- *     'V' violation  u8 flags                  (37 bytes, all four)
+ *     'V' violation  u8 flags, u32 trace       (41 bytes, all four)
  *     'R' reference
  *     'Y' telemetry
  *
@@ -34,6 +34,10 @@
  *     'U' peer-up    u32 rank, u64 tick  — a rank rejoined at @p tick
  *     'J' join       u32 rank, u32 version, u32 links, u32 digest
  *                                        — handshake + wiring digest
+ *     'M' metrics    u32 rank, u64 tick, u32 len, bytes
+ *                                        — a rank's registry snapshot
+ *                                          (the one variable-length
+ *                                          frame; len capped at 1 MiB)
  *
  * The decoder is pure over byte buffers (no I/O), accepts input split at
  * arbitrary boundaries, and resynchronizes after garbage by scanning
@@ -54,8 +58,15 @@
 namespace nps {
 namespace stream {
 
-/** Wire protocol version emitted and accepted. */
-inline constexpr uint32_t kProtocolVersion = 1;
+/**
+ * Wire protocol version emitted and accepted. v2 widened the four
+ * control-message frames with the cascade trace id and added the 'M'
+ * metrics-snapshot supervision frame.
+ */
+inline constexpr uint32_t kProtocolVersion = 2;
+
+/** Cap on the 'M' frame's variable payload (bytes). */
+inline constexpr uint32_t kMaxMetricsBytes = 1u << 20;
 
 /** Frame type tags (the on-wire type byte). */
 enum class FrameType : uint8_t
@@ -73,6 +84,7 @@ enum class FrameType : uint8_t
     PeerDown = 'P',
     PeerUp = 'U',
     Join = 'J',
+    Metrics = 'M',
 };
 
 /** @return true when @p type is one of the four control-message tags
@@ -107,8 +119,9 @@ struct JoinFrame
 
 /**
  * One decoded frame (tagged union). @c tick serves TickEnd, Bye,
- * TickStart, TickDone and PeerUp; @c rank serves TickDone, PeerDown and
- * PeerUp; @c ctrl serves the four control-message types.
+ * TickStart, TickDone, PeerUp and Metrics; @c rank serves TickDone,
+ * PeerDown, PeerUp and Metrics; @c ctrl serves the four
+ * control-message types; @c bytes carries the Metrics payload.
  */
 struct Frame
 {
@@ -119,6 +132,7 @@ struct Frame
     JoinFrame join;
     uint64_t tick = 0;
     uint32_t rank = 0;
+    std::vector<uint8_t> bytes;
 };
 
 /** Malformed-input tallies kept by the decoder. */
@@ -153,6 +167,13 @@ class FrameWriter
     void peerDown(uint32_t rank);
     void peerUp(uint32_t rank, uint64_t tick);
     void join(const JoinFrame &j);
+
+    /**
+     * One rank's serialized metrics snapshot as of the @p tick barrier;
+     * @p len must stay under kMaxMetricsBytes.
+     */
+    void metrics(uint32_t rank, uint64_t tick, const uint8_t *data,
+                 size_t len);
 
     /// @}
 

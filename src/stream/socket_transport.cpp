@@ -143,13 +143,14 @@ SocketTransport::consumeRemote(LinkState &ls, const bus::WireMsg &local)
                     static_cast<unsigned long long>(local.seq));
     }
     if (!sameBits(m.value, local.value) || !sameBits(m.aux, local.aux) ||
-        m.flags != local.flags) {
+        m.flags != local.flags || m.trace != local.trace) {
         util::fatal("dist: replica desync on link %s at tick %llu: "
-                    "owner value %.17g/%.17g flags %u, local %.17g/%.17g "
-                    "flags %u",
+                    "owner value %.17g/%.17g flags %u trace %u, local "
+                    "%.17g/%.17g flags %u trace %u",
                     ls.link->name().c_str(),
                     static_cast<unsigned long long>(local.tick), m.value,
-                    m.aux, m.flags, local.value, local.aux, local.flags);
+                    m.aux, m.flags, m.trace, local.value, local.aux,
+                    local.flags, local.trace);
     }
     ls.last_seq = m.seq;
     ls.last_tick = m.tick;
@@ -379,6 +380,13 @@ SocketTransport::dispatch(int from_rank, const Frame &f)
             util::fatal("dist: bye frame reached the hub");
         bye_seen_ = true;
         return;
+    case FrameType::Metrics:
+        // Supervision traffic, consumed by the hub; never relayed.
+        if (rank_ != 0)
+            util::fatal("dist: metrics frame reached rank %d", rank_);
+        if (metrics_sink_)
+            metrics_sink_(f.rank, f.tick, f.bytes);
+        return;
     default:
         util::fatal("dist: unexpected frame type '%c' from rank %d",
                     static_cast<char>(f.type), from_rank);
@@ -474,6 +482,15 @@ SocketTransport::sendTickDone(uint64_t tick)
 {
     FrameWriter w;
     w.tickDone(tick, static_cast<uint32_t>(rank_));
+    writePeer(0, w.data(), w.size());
+}
+
+void
+SocketTransport::sendMetricsSnapshot(uint64_t tick, const uint8_t *data,
+                                     size_t len)
+{
+    FrameWriter w;
+    w.metrics(static_cast<uint32_t>(rank_), tick, data, len);
     writePeer(0, w.data(), w.size());
 }
 

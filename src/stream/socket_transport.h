@@ -45,6 +45,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -150,6 +151,19 @@ class SocketTransport : public bus::Transport
     /** End the run on every live child. */
     void broadcastBye(uint64_t final_tick);
 
+    /**
+     * Receives each child's metrics-snapshot ('M') frames. Snapshots
+     * are supervision traffic: the hub consumes them for the fleet
+     * view and does NOT relay them to other children (unlike control
+     * frames, they are per-rank state, not replicated computation).
+     */
+    using MetricsSink =
+        std::function<void(uint32_t rank, uint64_t tick,
+                           const std::vector<uint8_t> &bytes)>;
+
+    /** Install the 'M'-frame consumer (wiring time; hub only). */
+    void setMetricsSink(MetricsSink sink) { metrics_sink_ = std::move(sink); }
+
     /// @}
 
     /// @name Leaf side (rank > 0 only)
@@ -166,6 +180,14 @@ class SocketTransport : public bus::Transport
 
     /** Report tick @p tick done to the supervisor. */
     void sendTickDone(uint64_t tick);
+
+    /**
+     * Ship this rank's serialized registry snapshot (as of the @p tick
+     * barrier) to the supervisor. Engine thread only, like all wire
+     * traffic.
+     */
+    void sendMetricsSnapshot(uint64_t tick, const uint8_t *data,
+                             size_t len);
 
     /** @return true once the supervisor's bye frame arrived. */
     bool byeSeen() const { return bye_seen_; }
@@ -223,6 +245,7 @@ class SocketTransport : public bus::Transport
     std::map<int, bool> remote_alive_;
     uint64_t tick_start_plus1_ = 0; //!< leaf: last released tick + 1
     bool bye_seen_ = false;
+    MetricsSink metrics_sink_; //!< hub: 'M'-frame consumer
     Stats stats_;
 };
 

@@ -87,6 +87,10 @@ class TelemetrySource
 
     /** Frame-codec tallies, or nullptr for unframed sources. */
     virtual const DecodeStats *codec() const { return nullptr; }
+
+    /** Ticks buffered ahead of the pull cursor (backpressure depth);
+     * 0 for sources with no pending window. */
+    virtual size_t backlog() const { return 0; }
 };
 
 /**

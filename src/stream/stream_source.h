@@ -52,6 +52,7 @@ class StreamSource : public TelemetrySource
     bool pull(size_t tick, TickBatch &batch) override;
     IngestStats *ingest() override { return &ingest_; }
     const DecodeStats *codec() const override { return &decoder_.stats(); }
+    size_t backlog() const override { return pending_.size(); }
 
     /** Frame-level anomaly counters. */
     const DecodeStats &decodeStats() const { return decoder_.stats(); }

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Unit tests for cross-rank metric aggregation (obs/live/agg.h): the
+ * 'M'-frame snapshot codec, the deterministic digest that powers the
+ * supervisor's desync check, the diff diagnostic that names the first
+ * divergent series, and the rank-labelled FleetView export.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "obs/live/agg.h"
+#include "obs/metrics.h"
+
+namespace {
+
+using namespace nps::obs;
+using namespace nps::obs::live;
+
+/** Wire a small registry: one counter, one gauge, one histogram, plus
+ * a runtime family that legitimately differs per rank. */
+void
+wire(MetricsRegistry &reg, double grants, double depth, double wall_ms)
+{
+    reg.counter("nps_test_grants_total", "EM/0", "Grants issued")
+        ->add(grants);
+    reg.gauge("nps_test_depth", "", "Queue depth")->set(depth);
+    reg.histogram("nps_test_latency", "EM/0", "Grant latency",
+                  {1.0, 10.0, 100.0})
+        ->observe(5.0);
+    reg.histogram("nps_rt_test_wall_ms", "rank0", "Wall-clock cost",
+                  MetricsRegistry::runtimeMsBounds())
+        ->observe(wall_ms);
+}
+
+RankSnapshot
+snapshotOf(const MetricsRegistry &reg, uint32_t rank, uint64_t tick)
+{
+    const std::string bytes = encodeSnapshot(reg);
+    return decodeSnapshot(rank,
+                          tick,
+                          reinterpret_cast<const uint8_t *>(bytes.data()),
+                          bytes.size());
+}
+
+TEST(LiveAgg, EncodeDecodeRoundTrip)
+{
+    MetricsRegistry reg;
+    wire(reg, 6.0, 3.0, 0.25);
+    RankSnapshot snap = snapshotOf(reg, 3, 41);
+
+    EXPECT_EQ(snap.rank, 3u);
+    EXPECT_EQ(snap.tick, 41u);
+    EXPECT_EQ(snap.digest, registryDigest(reg));
+    ASSERT_EQ(snap.series.size(), 4u);
+
+    // Runtime families ride along in the payload (the fleet view wants
+    // them rank-labelled) even though the digest excludes them.
+    bool saw_rt = false;
+    for (const RankSnapshot::Series &s : snap.series) {
+        if (s.family == "nps_rt_test_wall_ms")
+            saw_rt = true;
+        if (s.family == "nps_test_latency") {
+            EXPECT_EQ(s.kind, MetricsRegistry::Kind::Histogram);
+            EXPECT_EQ(s.count, 1u);
+            EXPECT_DOUBLE_EQ(s.sum, 5.0);
+            ASSERT_EQ(s.bounds.size(), 3u);
+            EXPECT_DOUBLE_EQ(s.bounds[1], 10.0);
+        }
+        if (s.family == "nps_test_grants_total")
+            EXPECT_DOUBLE_EQ(s.value, 6.0);
+    }
+    EXPECT_TRUE(saw_rt);
+}
+
+TEST(LiveAgg, DigestIgnoresRuntimeFamiliesOnly)
+{
+    MetricsRegistry a, b, c;
+    wire(a, 6.0, 3.0, 0.25);
+    wire(b, 6.0, 3.0, 99.0); // same deterministic state, other wall time
+    wire(c, 7.0, 3.0, 0.25); // one deterministic counter diverged
+
+    EXPECT_EQ(registryDigest(a), registryDigest(b));
+    EXPECT_NE(registryDigest(a), registryDigest(c));
+}
+
+TEST(LiveAgg, DiffNamesTheFirstDivergentSeries)
+{
+    MetricsRegistry a, b;
+    wire(a, 6.0, 3.0, 0.25);
+    wire(b, 7.0, 3.0, 42.0);
+    RankSnapshot sa = snapshotOf(a, 1, 10);
+    RankSnapshot sb = snapshotOf(b, 0, 10);
+
+    std::string what = diffSnapshots(sa, sb);
+    EXPECT_NE(what.find("nps_test_grants_total"), std::string::npos)
+        << what;
+    // Runtime families must never be blamed: they differ by design.
+    EXPECT_EQ(what.find("nps_rt_"), std::string::npos) << what;
+}
+
+TEST(LiveAgg, DiffIsEmptyWhenOnlyRuntimeStateDiffers)
+{
+    MetricsRegistry a, b;
+    wire(a, 6.0, 3.0, 0.25);
+    wire(b, 6.0, 3.0, 500.0);
+    RankSnapshot sa = snapshotOf(a, 1, 10);
+    RankSnapshot sb = snapshotOf(b, 0, 10);
+
+    EXPECT_EQ(sa.digest, sb.digest);
+    EXPECT_EQ(diffSnapshots(sa, sb), "");
+}
+
+TEST(LiveAgg, FleetViewLabelsEverySeriesWithItsRank)
+{
+    MetricsRegistry a, b;
+    wire(a, 6.0, 3.0, 0.25);
+    wire(b, 6.0, 3.0, 1.5);
+
+    FleetView fleet;
+    fleet.update(snapshotOf(a, 0, 10));
+    fleet.update(snapshotOf(b, 1, 12));
+    EXPECT_EQ(fleet.numRanks(), 2u);
+    EXPECT_EQ(fleet.tickOf(0), 10);
+    EXPECT_EQ(fleet.tickOf(1), 12);
+    EXPECT_EQ(fleet.tickOf(7), -1);
+
+    std::ostringstream out;
+    fleet.writeProm(out);
+    const std::string prom = out.str();
+    EXPECT_NE(prom.find("rank=\"0\""), std::string::npos);
+    EXPECT_NE(prom.find("rank=\"1\""), std::string::npos);
+    EXPECT_NE(prom.find("nps_fleet_snapshot_tick{rank=\"0\"} 10"),
+              std::string::npos)
+        << prom;
+    EXPECT_NE(prom.find("nps_fleet_snapshot_tick{rank=\"1\"} 12"),
+              std::string::npos)
+        << prom;
+
+    // Rendering is a pure function of the merged state.
+    std::ostringstream again;
+    fleet.writeProm(again);
+    EXPECT_EQ(prom, again.str());
+}
+
+TEST(LiveAgg, FleetViewUpdateReplacesARankWholesale)
+{
+    MetricsRegistry a, b;
+    wire(a, 6.0, 3.0, 0.25);
+    wire(b, 8.0, 1.0, 0.25);
+
+    FleetView fleet;
+    fleet.update(snapshotOf(a, 2, 10));
+    fleet.update(snapshotOf(b, 2, 20));
+    EXPECT_EQ(fleet.numRanks(), 1u);
+    EXPECT_EQ(fleet.tickOf(2), 20);
+
+    std::ostringstream out;
+    fleet.writeProm(out);
+    EXPECT_NE(out.str().find("nps_test_grants_total"),
+              std::string::npos);
+    EXPECT_EQ(out.str().find(" 6\n"), std::string::npos)
+        << "stale rank-2 state survived the update:\n"
+        << out.str();
+}
+
+} // namespace

@@ -1,0 +1,257 @@
+/**
+ * @file
+ * End-to-end tests for the live observability endpoints
+ * (docs/OBSERVABILITY.md): a scrape taken while the engine is mid-run
+ * must be well-formed Prometheus text; the final scrape during the
+ * linger window must be byte-identical to the end-of-run --metrics
+ * export; and running with the live plane armed must not change one
+ * byte of the simulation's outputs.
+ *
+ * Drives the real npsim binary (NPS_NPSIM_BIN, injected by the build)
+ * and speaks HTTP/1.0 over a unix socket directly, like tools/npsfetch.
+ * Skips when the macro is absent.
+ */
+
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "stream/net.h"
+
+namespace {
+
+#ifndef NPS_NPSIM_BIN
+#define NPS_NPSIM_BIN ""
+#endif
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+/** One HTTP/1.0 GET; @return the body, status line in @p status. */
+std::string
+httpGet(const std::string &spec, const std::string &path,
+        std::string *status)
+{
+    int fd = nps::stream::connectTo(spec, 5000);
+    const std::string req = "GET " + path + " HTTP/1.0\r\n\r\n";
+    nps::stream::writeAll(fd, req.data(), req.size());
+    ::shutdown(fd, SHUT_WR);
+    std::string response;
+    char buf[4096];
+    for (;;) {
+        ssize_t n = ::read(fd, buf, sizeof buf);
+        if (n <= 0)
+            break;
+        response.append(buf, static_cast<size_t>(n));
+    }
+    ::close(fd);
+    size_t eol = response.find("\r\n");
+    size_t split = response.find("\r\n\r\n");
+    if (eol == std::string::npos || split == std::string::npos) {
+        *status = "";
+        return "";
+    }
+    *status = response.substr(0, eol);
+    return response.substr(split + 4);
+}
+
+/** Every non-comment exposition line must be `name[{labels}] value`
+ * with a parseable value. @return the first malformed line, or "". */
+std::string
+firstMalformedPromLine(const std::string &body)
+{
+    std::istringstream in(body);
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        size_t sp = line.rfind(' ');
+        if (sp == std::string::npos || sp == 0 ||
+            sp + 1 == line.size())
+            return line;
+        char *end = nullptr;
+        std::strtod(line.c_str() + sp + 1, &end);
+        if (end == line.c_str() + sp + 1)
+            return line;
+        const std::string name = line.substr(0, line.find_first_of("{ "));
+        if (name.find("nps_") != 0)
+            return line;
+    }
+    return "";
+}
+
+class LiveHttpTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        npsim_ = NPS_NPSIM_BIN;
+        if (npsim_.empty())
+            GTEST_SKIP() << "binary paths not wired into this build";
+        ASSERT_EQ(::access(npsim_.c_str(), X_OK), 0)
+            << npsim_ << " is not executable";
+        char tmpl[] = "/tmp/nps-live-http-XXXXXX";
+        ASSERT_NE(::mkdtemp(tmpl), nullptr);
+        dir_ = tmpl;
+    }
+
+    void TearDown() override
+    {
+        if (child_ > 0) {
+            ::kill(child_, SIGKILL);
+            ::waitpid(child_, nullptr, 0);
+        }
+        if (!dir_.empty())
+            std::system(("rm -rf '" + dir_ + "'").c_str());
+    }
+
+    int runNpsim(const std::string &args, const std::string &log)
+    {
+        std::string cmd =
+            npsim_ + " " + args + " > " + dir_ + "/" + log + " 2>&1";
+        int status = std::system(cmd.c_str());
+        if (status == -1 || !WIFEXITED(status))
+            return -1;
+        return WEXITSTATUS(status);
+    }
+
+    /** Fork+exec npsim with @p args, output to @p log. */
+    void spawnNpsim(const std::vector<std::string> &args,
+                    const std::string &log)
+    {
+        child_ = ::fork();
+        ASSERT_GE(child_, 0);
+        if (child_ == 0) {
+            std::string out = dir_ + "/" + log;
+            if (!std::freopen(out.c_str(), "w", stdout) ||
+                !std::freopen(out.c_str(), "w", stderr))
+                _exit(127);
+            std::vector<char *> argv;
+            argv.push_back(const_cast<char *>(npsim_.c_str()));
+            for (const std::string &a : args)
+                argv.push_back(const_cast<char *>(a.c_str()));
+            argv.push_back(nullptr);
+            ::execv(npsim_.c_str(), argv.data());
+            _exit(127);
+        }
+    }
+
+    /** Reap the child; @return its exit code (-1 on abnormal exit). */
+    int waitChild()
+    {
+        int status = 0;
+        ::waitpid(child_, &status, 0);
+        child_ = -1;
+        return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    }
+
+    std::string npsim_;
+    std::string dir_;
+    pid_t child_ = -1;
+};
+
+TEST_F(LiveHttpTest, ScrapeUnderLoadAndFinalScrapeEqualsExport)
+{
+    const std::string sock = "unix:" + dir_ + "/live.sock";
+    const std::string exported = dir_ + "/metrics.prom";
+    spawnNpsim({"--scenario", "coordinated", "--mix", "60L", "--ticks",
+                "20000", "--log-level", "warn", "--http", sock,
+                "--http-linger", "30000", "--metrics", exported},
+               "live.log");
+
+    // Mid-run: /healthz answers with a live tick (connectTo retries
+    // until the exporter binds; the first publish lands a tick later).
+    std::string status, health;
+    for (int i = 0; i < 200; ++i) {
+        health = httpGet(sock, "/healthz", &status);
+        if (status.find(" 200 ") != std::string::npos)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    ASSERT_NE(status.find(" 200 "), std::string::npos)
+        << status << readFile(dir_ + "/live.log");
+    EXPECT_NE(health.find("\"status\": \"ok\""), std::string::npos)
+        << health;
+    EXPECT_NE(health.find("\"final\": false"), std::string::npos)
+        << "scrape landed after the run ended — raise --ticks: "
+        << health;
+
+    // Mid-run /metrics: a full, well-formed exposition.
+    std::string mid = httpGet(sock, "/metrics", &status);
+    ASSERT_NE(status.find(" 200 "), std::string::npos) << status;
+    EXPECT_EQ(firstMalformedPromLine(mid), "");
+    EXPECT_NE(mid.find("# TYPE nps_rt_tick_wall_ms histogram"),
+              std::string::npos);
+    EXPECT_NE(mid.find("nps_run_mean_power_watts"), std::string::npos);
+
+    // End of run: the final published snapshot must equal the export
+    // byte for byte (the export file appears atomically).
+    bool final_seen = false;
+    for (int i = 0; i < 300 && !final_seen; ++i) {
+        health = httpGet(sock, "/healthz", &status);
+        final_seen =
+            health.find("\"final\": true") != std::string::npos &&
+            !readFile(exported).empty();
+        if (!final_seen)
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    ASSERT_TRUE(final_seen) << readFile(dir_ + "/live.log");
+    std::string last = httpGet(sock, "/metrics", &status);
+    ASSERT_NE(status.find(" 200 "), std::string::npos) << status;
+    EXPECT_TRUE(last == readFile(exported))
+        << "final scrape differs from the --metrics export";
+
+    httpGet(sock, "/quitz", &status);
+    EXPECT_EQ(waitChild(), 0) << readFile(dir_ + "/live.log");
+}
+
+TEST_F(LiveHttpTest, LivePlaneDoesNotPerturbTheSimulation)
+{
+    const std::string common =
+        "--scenario coordinated --mix 60M --ticks 240 --log-level warn ";
+    ASSERT_EQ(runNpsim(common + "--record " + dir_ + "/off.csv",
+                       "off.log"),
+              0)
+        << readFile(dir_ + "/off.log");
+    std::string off = readFile(dir_ + "/off.csv");
+    ASSERT_FALSE(off.empty());
+
+    // Same run with the whole plane armed — registry, cascade tracer,
+    // HTTP endpoint — across thread counts.
+    for (int threads : {1, 4, 8}) {
+        std::string name = "on" + std::to_string(threads);
+        ASSERT_EQ(runNpsim(common + "--threads " +
+                               std::to_string(threads) + " --record " +
+                               dir_ + "/" + name + ".csv --metrics " +
+                               dir_ + "/" + name + ".prom --cascade " +
+                               dir_ + "/" + name + "-cascade.csv" +
+                               " --http unix:" + dir_ + "/" + name +
+                               ".sock",
+                           name + ".log"),
+                  0)
+            << readFile(dir_ + "/" + name + ".log");
+        EXPECT_TRUE(readFile(dir_ + "/" + name + ".csv") == off)
+            << "recorder CSV changed with the live plane on, threads="
+            << threads;
+    }
+}
+
+} // namespace

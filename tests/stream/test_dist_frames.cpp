@@ -41,6 +41,7 @@ sampleMsg()
     m.seq = std::numeric_limits<uint64_t>::max(); // edge: about to wrap
     m.value = 187.5;
     m.aux = -0.0; // signed zero must survive bit-exactly
+    m.trace = 0xC0FFEEu;
     m.flags = nps::bus::kWireDelivered | nps::bus::kWireStale;
     return m;
 }
@@ -74,6 +75,7 @@ TEST(DistFrames, CtrlTagsRoundTripBitExactly)
         EXPECT_EQ(0, std::memcmp(&frames[i].ctrl.aux, &expect.aux,
                                  sizeof(double)));
         EXPECT_EQ(frames[i].ctrl.flags, expect.flags);
+        EXPECT_EQ(frames[i].ctrl.trace, expect.trace);
         expect.link++;
         expect.value += 0.125;
     }
@@ -92,6 +94,74 @@ TEST(DistFrames, TelemetryTagsAreNotCtrlFrames)
     EXPECT_FALSE(isCtrlFrame(FrameType::PeerDown));
     EXPECT_FALSE(isCtrlFrame(FrameType::PeerUp));
     EXPECT_FALSE(isCtrlFrame(FrameType::Join));
+    EXPECT_FALSE(isCtrlFrame(FrameType::Metrics));
+}
+
+TEST(DistFrames, MetricsSnapshotRoundTrips)
+{
+    std::vector<uint8_t> blob(300);
+    for (size_t i = 0; i < blob.size(); ++i)
+        blob[i] = static_cast<uint8_t>(i * 7);
+    FrameWriter w;
+    w.metrics(3, 4200, blob.data(), blob.size());
+    w.metrics(1, 4200, nullptr, 0); // empty payload is legal
+    w.tickDone(4200, 3);            // fixed-size frame follows cleanly
+
+    FrameDecoder dec;
+    auto frames = decodeAll(dec, w.buffer());
+    ASSERT_EQ(frames.size(), 3u);
+    EXPECT_EQ(frames[0].type, FrameType::Metrics);
+    EXPECT_EQ(frames[0].rank, 3u);
+    EXPECT_EQ(frames[0].tick, 4200u);
+    EXPECT_EQ(frames[0].bytes, blob);
+    EXPECT_EQ(frames[1].type, FrameType::Metrics);
+    EXPECT_EQ(frames[1].rank, 1u);
+    EXPECT_TRUE(frames[1].bytes.empty());
+    EXPECT_EQ(frames[2].type, FrameType::TickDone);
+    EXPECT_EQ(dec.stats().resync_bytes, 0u);
+}
+
+TEST(DistFrames, MetricsSnapshotDecodesByteByByte)
+{
+    std::vector<uint8_t> blob = {9, 8, 7, 6, 5};
+    FrameWriter w;
+    w.metrics(2, 17, blob.data(), blob.size());
+
+    FrameDecoder dec;
+    std::vector<Frame> frames;
+    Frame f;
+    for (uint8_t byte : w.buffer()) {
+        dec.feed(&byte, 1);
+        while (dec.next(f))
+            frames.push_back(f);
+    }
+    ASSERT_EQ(frames.size(), 1u);
+    EXPECT_EQ(frames[0].rank, 2u);
+    EXPECT_EQ(frames[0].tick, 17u);
+    EXPECT_EQ(frames[0].bytes, blob);
+    EXPECT_EQ(dec.buffered(), 0u);
+}
+
+TEST(DistFrames, ImplausibleMetricsLengthResyncsInsteadOfAllocating)
+{
+    FrameWriter w;
+    w.metrics(1, 5, nullptr, 0);
+    std::vector<uint8_t> bytes = w.buffer();
+    // Corrupt the length prefix to an absurd count: the decoder must
+    // treat the frame as garbage and recover the frame behind it.
+    bytes[5 + 12] = 0xFF;
+    bytes[5 + 13] = 0xFF;
+    bytes[5 + 14] = 0xFF;
+    bytes[5 + 15] = 0x7F;
+    w.clear();
+    w.tickStart(6);
+    bytes.insert(bytes.end(), w.buffer().begin(), w.buffer().end());
+
+    FrameDecoder dec;
+    auto frames = decodeAll(dec, bytes);
+    ASSERT_EQ(frames.size(), 1u);
+    EXPECT_EQ(frames[0].type, FrameType::TickStart);
+    EXPECT_GT(dec.stats().resync_bytes, 0u);
 }
 
 TEST(DistFrames, SupervisionFramesRoundTrip)

@@ -24,6 +24,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <dirent.h>
@@ -34,6 +35,7 @@
 #include <sys/stat.h>
 #include <vector>
 
+#include "bus/cascade.h"
 #include "ckpt/atomic_io.h"
 #include "ckpt/snapshot.h"
 #include "core/config_io.h"
@@ -41,6 +43,8 @@
 #include "core/dist_plan.h"
 #include "fault/fault.h"
 #include "fault/injector.h"
+#include "obs/live/exporter.h"
+#include "obs/live/publisher.h"
 #include "core/coordinator.h"
 #include "core/experiment.h"
 #include "core/scenarios.h"
@@ -70,6 +74,10 @@ struct Args
     std::string topology_path;
     std::string control_log_path;
     std::string metrics_path;
+    std::string cascade_path;
+    std::string http;          //!< live observability endpoint spec
+    unsigned http_linger_ms = 0;
+    bool http_linger_set = false;
     std::string trace_path;
     std::string trace_filter;
     std::string profile_path;
@@ -124,6 +132,16 @@ usage()
         "  --metrics FILE  export the metrics registry after the run\n"
         "                 (.json = JSON, anything else = Prometheus\n"
         "                 text exposition)\n"
+        "  --cascade FILE  trace GM->EM->SM budget cascades and dump\n"
+        "                 the merged hop log as CSV\n"
+        "  --http SPEC    serve live observability endpoints while the\n"
+        "                 run is in flight: GET /metrics, /metrics.json,\n"
+        "                 /healthz and /profilez on SPEC (PORT, tcp:PORT\n"
+        "                 or unix:PATH); scrapes read an atomically\n"
+        "                 swapped per-tick snapshot and never touch\n"
+        "                 controller state (docs/OBSERVABILITY.md)\n"
+        "  --http-linger MS  keep serving for MS milliseconds after the\n"
+        "                 run ends (or until GET /quitz)\n"
         "  --trace FILE[:FILTER]  record per-controller decision traces\n"
         "                 and dump the merged log as CSV; an optional\n"
         "                 FILTER keeps only channels whose name contains\n"
@@ -139,8 +157,9 @@ usage()
         "  --plan FILE    run a distributed plan (docs/DISTRIBUTED.md)\n"
         "                 in this single process — the byte-exact\n"
         "                 oracle a --distributed run is diffed against;\n"
-        "                 only --record, --threads and --log-level\n"
-        "                 combine with it\n"
+        "                 only output and throughput knobs (--record,\n"
+        "                 --metrics, --cascade, --http, --threads,\n"
+        "                 --log-level) combine with it\n"
         "  --distributed FILE  run the plan as a process tree: this\n"
         "                 process becomes the rank-0 supervisor and\n"
         "                 spawns one npsnode per [node] section over\n"
@@ -208,6 +227,16 @@ parse(int argc, char **argv)
             args.control_log_path = need(i), ++i;
         else if (a == "--metrics")
             args.metrics_path = need(i), ++i;
+        else if (a == "--cascade")
+            args.cascade_path = need(i), ++i;
+        else if (a == "--http")
+            args.http = need(i), ++i;
+        else if (a == "--http-linger") {
+            args.http_linger_ms = static_cast<unsigned>(
+                std::strtoul(need(i), nullptr, 10));
+            args.http_linger_set = true;
+            ++i;
+        }
         else if (a == "--trace") {
             // FILE[:FILTER] — split at the first ':' so the filter part
             // may itself contain one (channel names never do today).
@@ -521,14 +550,19 @@ main(int argc, char **argv)
                         "checkpointing flags: the plan file defines "
                         "the whole run (docs/DISTRIBUTED.md)");
         unsigned threads = args.threads_set ? args.threads : 0;
+        core::dist::ObsOutputs obs;
+        obs.metrics_path = args.metrics_path;
+        obs.cascade_path = args.cascade_path;
+        obs.http = args.http;
+        obs.http_linger_ms = args.http_linger_ms;
         if (!args.plan_single.empty()) {
             core::DistPlan plan = core::loadPlanFile(args.plan_single);
             return core::dist::runPlanSingle(plan, args.record_path,
-                                             threads);
+                                             threads, obs);
         }
         core::DistPlan plan = core::loadPlanFile(args.distributed);
         return core::dist::runSupervisor(plan, args.distributed,
-                                         args.record_path, threads);
+                                         args.record_path, threads, obs);
     }
     bool resuming = !args.resume.empty();
     if (args.checkpoint_every > 0 && args.checkpoint_dir.empty())
@@ -582,10 +616,35 @@ main(int argc, char **argv)
                         "run did not log the control plane");
         if (!args.profile_path.empty())
             cfg.observability.profile = true; // wall clock only, no state
+        if (!args.cascade_path.empty())
+            util::fatal("--cascade cannot be combined with --resume: the "
+                        "cascade tracer's hop log is not checkpointed, "
+                        "so the CSV would silently miss every hop before "
+                        "the snapshot");
+        if (!args.http.empty()) {
+            // The live plane itself is stateless, but it serves the
+            // metrics registry — which loadState only restores when the
+            // original run created one.
+            if (!cfg.observability.metrics)
+                util::fatal("--http on resume, but the checkpointed run "
+                            "did not enable metrics (the snapshot holds "
+                            "no registry to serve)");
+            cfg.observability.http = args.http;
+        }
     } else {
         cfg = configFor(args);
         if (!args.metrics_path.empty())
             cfg.observability.metrics = true;
+        if (!args.cascade_path.empty())
+            cfg.observability.cascade = true;
+        if (!args.http.empty()) {
+            cfg.observability.http = args.http;
+            // The endpoint serves the registry; arm it even without
+            // --metrics so `--http` alone is a complete live setup.
+            cfg.observability.metrics = true;
+        }
+        if (args.http_linger_set)
+            cfg.observability.http_linger_ms = args.http_linger_ms;
         if (!args.trace_path.empty()) {
             cfg.observability.trace = true;
             cfg.observability.trace_filter = args.trace_filter;
@@ -699,6 +758,28 @@ main(int argc, char **argv)
             feed->attachObs(coordinator.observability()->metrics());
     }
 
+    // Live observability plane (docs/OBSERVABILITY.md): the publisher
+    // snapshots the registry at its cadence — and always feeds the
+    // per-tick wall-clock histogram — while the exporter's serve thread
+    // answers scrapes from the latest atomically-swapped snapshot.
+    // Observation only: a scrape never touches controller state, so
+    // recorder CSVs are byte-identical with the plane on or off.
+    std::unique_ptr<obs::live::LiveExporter> exporter;
+    std::unique_ptr<obs::live::LivePublisher> publisher;
+    obs::MetricsRegistry *live_reg =
+        coordinator.observability() ? coordinator.observability()->metrics()
+                                    : nullptr;
+    if (live_reg) {
+        if (!cfg.observability.http.empty())
+            exporter = std::make_unique<obs::live::LiveExporter>(
+                cfg.observability.http, /*rank=*/0);
+        publisher = std::make_unique<obs::live::LivePublisher>(
+            live_reg, coordinator.profiler(),
+            [&coordinator] { coordinator.updateRunGauges(); },
+            exporter.get(), cfg.observability.publish_every, /*rank=*/0);
+        coordinator.engine().setTickObserver(publisher.get());
+    }
+
     size_t done = 0;
     if (resuming) {
         coordinator.loadState(snap);
@@ -722,6 +803,12 @@ main(int argc, char **argv)
                      done, resume_path.c_str());
     }
 
+    obs::Histogram *ckpt_ms = nullptr;
+    if (args.checkpoint_every > 0 && live_reg)
+        ckpt_ms = live_reg->histogram(
+            "nps_rt_ckpt_write_ms", "",
+            "Wall-clock checkpoint write latency (ms)",
+            obs::MetricsRegistry::runtimeMsBounds());
     auto writeCheckpoint = [&](size_t at) {
         ckpt::SnapshotWriter out;
         coordinator.saveState(out);
@@ -732,7 +819,11 @@ main(int argc, char **argv)
         writeMeta(out.section("meta"), args, cfg, topo, at,
                   recorder != nullptr, keep_series);
         std::string path = checkpointPath(args.checkpoint_dir, at);
+        auto started = std::chrono::steady_clock::now();
         out.writeFile(path);
+        if (ckpt_ms)
+            ckpt_ms->observe(std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - started).count());
         std::fprintf(stderr, "npsim: checkpoint %s (tick %zu)\n",
                      path.c_str(), at);
     };
@@ -753,6 +844,12 @@ main(int argc, char **argv)
     if (feed && done < args.ticks)
         std::fprintf(stderr, "npsim: stream ended after %zu of %zu "
                              "ticks\n", done, args.ticks);
+    if (publisher) {
+        // Publish the final snapshot before any export renders, so a
+        // last mid-run scrape and the --metrics file are byte-equal.
+        coordinator.updateRunGauges();
+        publisher->publishFinal(done ? done - 1 : 0);
+    }
     sim::MetricsSummary m = coordinator.summary();
 
     core::Coordinator baseline(core::baselineConfig(), topo, machine,
@@ -854,6 +951,15 @@ main(int argc, char **argv)
                         (unsigned long long)trace->totalDropped());
         std::printf("\n");
     }
+    if (!args.cascade_path.empty()) {
+        const bus::CascadeTracer *cascade = coordinator.cascadeTracer();
+        std::ostringstream out;
+        cascade->writeCsv(out);
+        ckpt::writeFileAtomic(args.cascade_path, out.str());
+        std::printf("cascade: wrote %zu hops on %zu links to %s\n",
+                    cascade->totalHops(), cascade->numLinks(),
+                    args.cascade_path.c_str());
+    }
     if (!args.profile_path.empty()) {
         const obs::EngineProfiler *prof = coordinator.profiler();
         std::ostringstream out;
@@ -866,5 +972,11 @@ main(int argc, char **argv)
                     prof->ticks(), prof->actorStats().size(),
                     args.profile_path.c_str());
     }
+    if (exporter)
+        exporter->linger(args.http_linger_set
+                             ? args.http_linger_ms
+                             : cfg.observability.http_linger_ms);
+    if (publisher)
+        coordinator.engine().setTickObserver(nullptr);
     return 0;
 }

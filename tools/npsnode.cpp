@@ -37,6 +37,9 @@ usage()
         "  --rank N       which [node] section this process hosts\n"
         "                 (1-based, in plan file order)\n"
         "  --restore SNAP resume from a supervisor restart snapshot\n"
+        "  --http SPEC    serve this rank's live /metrics endpoint on\n"
+        "                 SPEC (PORT, tcp:PORT or unix:PATH), overriding\n"
+        "                 the plan's [obs] http\n"
         "  --log-level L  debug | info | warn | error (default warn)\n");
     std::exit(0);
 }
@@ -49,6 +52,7 @@ main(int argc, char **argv)
     std::string plan_path;
     std::string restore_path;
     std::string log_level;
+    std::string http;
     int rank = 0;
     auto need = [&](int i) {
         if (i + 1 >= argc)
@@ -64,6 +68,8 @@ main(int argc, char **argv)
             ++i;
         else if (a == "--restore")
             restore_path = need(i), ++i;
+        else if (a == "--http")
+            http = need(i), ++i;
         else if (a == "--log-level")
             log_level = need(i), ++i;
         else if (a == "--help" || a == "-h")
@@ -83,5 +89,7 @@ main(int argc, char **argv)
         util::fatal("npsnode needs --rank N with N >= 1 (try --help)");
 
     core::DistPlan plan = core::loadPlanFile(plan_path);
-    return core::dist::runNode(plan, rank, restore_path);
+    core::dist::ObsOutputs obs;
+    obs.http = http;
+    return core::dist::runNode(plan, rank, restore_path, obs);
 }

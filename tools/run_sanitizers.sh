@@ -32,8 +32,12 @@ build_root="${1:-${repo_root}/build-san}"
 # control plane (the transport-seam sequence suite that drives a real
 # hub/leaf socket pair, the distributed-frame codec battery, the plan
 # loader's death tests, and the multi-process equivalence suite that
-# forks sanitized npsim/npsnode trees and crosses thread counts).
-test_regex='sim/test_engine|sim/test_engine_fuzz|sim/test_fleetgen|integration/test_determinism|integration/test_fleet_scale|golden/test_golden_master|fault/test_injector|fault/test_chaos|fault/test_degradation|ckpt/test_snapshot|ckpt/test_resume|ckpt/test_chaos_kill|bus/test_link_replay|bus/test_transport_seq|controllers/test_lease_boundary|stream/test_frame|stream/test_dist_frames|stream/test_stream_source|stream/test_silence_equiv|stream/test_replay_equiv|core/test_plan_io|integration/test_dist_equiv'
+# forks sanitized npsim/npsnode trees and crosses thread counts), and
+# the live observability plane (the snapshot codec and fleet-merge
+# unit suite, the HTTP exporter suite whose serve thread is scraped
+# while the engine thread publishes, and the cascade-trace invariance
+# suite that crosses thread counts and the plan/distributed runtimes).
+test_regex='sim/test_engine|sim/test_engine_fuzz|sim/test_fleetgen|integration/test_determinism|integration/test_fleet_scale|golden/test_golden_master|fault/test_injector|fault/test_chaos|fault/test_degradation|ckpt/test_snapshot|ckpt/test_resume|ckpt/test_chaos_kill|bus/test_link_replay|bus/test_transport_seq|controllers/test_lease_boundary|stream/test_frame|stream/test_dist_frames|stream/test_stream_source|stream/test_silence_equiv|stream/test_replay_equiv|core/test_plan_io|integration/test_dist_equiv|obs/test_live_agg|obs/test_live_http|obs/test_cascade'
 
 run_one() {
     local label="$1"

@@ -21,6 +21,11 @@
 # mid-stream, then resume with a feeder that picks up at the
 # checkpointed tick; the final artifacts must match the batch run.
 #
+# Leg 5 (live endpoints): serve /metrics and /healthz over --http while
+# the run is in flight (docs/OBSERVABILITY.md); the mid-run scrape must
+# be well-formed, and the final scrape during the linger window must be
+# byte-identical to the end-of-run --metrics export.
+#
 # Usage:  tools/stream_smoke.sh [npsim-binary] [npsfeed-binary] [workdir]
 #
 # Exits non-zero on the first mismatch.
@@ -30,6 +35,7 @@ set -euo pipefail
 npsim="${1:-build/tools/npsim}"
 npsfeed="${2:-build/tools/npsfeed}"
 work="${3:-$(mktemp -d)}"
+npsfetch="$(dirname "${npsim}")/npsfetch"
 mkdir -p "${work}"
 
 # Legs 2-4 background a daemon and a feeder; a failed diff, an early
@@ -50,11 +56,14 @@ mix=180
 common=(--scenario coordinated --mix "${mix}" --ticks "${ticks}"
         --log-level warn)
 
-# Strip the stream-only metric families before diffing: ingest lag,
-# batch sizes, and decode tallies depend on socket timing, not on the
-# simulation, and have no batch-mode counterpart.
+# Strip the nondeterministic metric families before diffing — series
+# lines and their # HELP/# TYPE headers both. nps_stream_* are ingest
+# diagnostics that depend on socket timing and have no batch-mode
+# counterpart; nps_rt_* are the wall-clock runtime histograms (tick
+# latency, pull wait), different on every run by construction.
 filter_stream_metrics() { # <in> <out>
-    grep -v '^nps_stream_' "$1" | grep -v '^# .*nps_stream_' > "$2"
+    grep -v -e '^nps_stream_' -e '^nps_rt_' "$1" \
+        | grep -v -e '^# .*nps_stream_' -e '^# .*nps_rt_' > "$2"
 }
 
 echo "=== leg 0: batch reference ==="
@@ -148,5 +157,62 @@ half=$((ticks / 2))
         --series "${work}/resumed-series.csv" \
         --metrics "${work}/resumed-metrics.prom"
 check_identical "resumed"
+
+echo "=== leg 5: live /metrics while the run is in flight ==="
+sock="${work}/nps-live.sock"
+http="${work}/nps-live-http.sock"
+"${npsim}" "${common[@]}" --serve "unix:${sock}" \
+    --http "unix:${http}" --http-linger 20000 \
+    --record "${work}/live-record.csv" \
+    --metrics "${work}/live-metrics.prom" &
+daemon=$!
+# Paced like leg 3 so the mid-run scrape really lands mid-run.
+"${npsfeed}" --mix "${mix}" --ticks "${ticks}" --pace-ms 4 \
+    --to "unix:${sock}" &
+feeder=$!
+sleep 0.4
+"${npsfetch}" "unix:${http}" /healthz > "${work}/live-health.json"
+grep -q '"final": false' "${work}/live-health.json" \
+    || { echo "FAIL: mid-run /healthz is not live:" \
+              "$(cat "${work}/live-health.json")" >&2; exit 1; }
+"${npsfetch}" "unix:${http}" /metrics > "${work}/live-mid.prom"
+grep -q '^# TYPE nps_rt_tick_wall_ms histogram' "${work}/live-mid.prom" \
+    || { echo "FAIL: mid-run /metrics lacks the runtime histogram" >&2
+         exit 1; }
+grep -q '^nps_stream_samples_total' "${work}/live-mid.prom" \
+    || { echo "FAIL: mid-run /metrics lacks the stream counters" >&2
+         exit 1; }
+wait "${feeder}"
+feeder=""
+# End of run: the daemon publishes the final snapshot, writes the
+# export, then lingers for late scrapers. Wait for both, then the last
+# scrape must be byte-identical to the export file.
+final=""
+for _ in $(seq 100); do
+    if [ -s "${work}/live-metrics.prom" ] \
+        && "${npsfetch}" "unix:${http}" /healthz \
+            > "${work}/live-health.json" \
+        && grep -q '"final": true' "${work}/live-health.json"; then
+        final=1
+        break
+    fi
+    sleep 0.2
+done
+[ -n "${final}" ] \
+    || { echo "FAIL: daemon never published a final snapshot" >&2
+         exit 1; }
+"${npsfetch}" "unix:${http}" /metrics > "${work}/live-final.prom"
+cmp "${work}/live-metrics.prom" "${work}/live-final.prom" \
+    || { echo "FAIL: final scrape differs from the --metrics export" >&2
+         exit 1; }
+"${npsfetch}" "unix:${http}" /quitz > /dev/null
+wait "${daemon}"
+daemon=""
+# The live plane is observation-only: the recorder CSV must still match
+# the batch reference byte for byte.
+diff "${work}/ref-record.csv" "${work}/live-record.csv" \
+    || { echo "FAIL: record differs from batch with --http live" >&2
+         exit 1; }
+echo "OK: live endpoints served mid-run; final scrape == export"
 
 echo "=== stream smoke: all legs passed ==="
