@@ -170,24 +170,44 @@ BudgetLink::send(double watts, size_t tick)
     has_prev_ = true;
     deliver = std::max(deliver, kMinGrant);
     uint32_t trace = traceStamp();
+    bool delayed = false;
+    uint8_t netem = 0;
     if (!dropped) {
         // A locally dropped send never reaches the transport: over a
         // socket an injected link fault is real wire silence (every
         // replica computes the same drop, so no receiver waits for the
         // frame). The transport may still degrade a computed delivery
-        // to a drop — the process hosting this link is down.
+        // to a drop — the process hosting this link is down — or, under
+        // netem, park it on the virtual wire or drop it for cause.
         WireMsg m = resolveOutcome(wireMsg(
             tick, seq, deliver, watts,
             static_cast<uint8_t>(kWireDelivered |
                                  (stale ? kWireStale : 0))));
         trace = m.trace;
-        if (!(m.flags & kWireDelivered)) {
+        netem = m.flags &
+                (kWireDelayed | kWirePartitioned | kWireExpired);
+        if (m.flags & kWireDelayed) {
+            // Queued on the virtual wire: the transport owns the copy
+            // and hands it back through deliverLate() at a later tick
+            // barrier. Not a drop — the grant may still arrive within
+            // its lease — but nothing reaches the sink now.
+            delayed = true;
+            stale = false;
+        } else if (!(m.flags & kWireDelivered)) {
             dropped = true;
             stale = false;
         } else {
             stale = (m.flags & kWireStale) != 0;
             deliver = m.value;
         }
+    }
+    if (stats_) {
+        if (delayed)
+            ++stats_->netem_delayed;
+        if (netem & kWirePartitioned)
+            ++stats_->netem_partition_drops;
+        if (netem & kWireExpired)
+            ++stats_->netem_expired;
     }
     if (dropped) {
         if (stats_)
@@ -196,12 +216,50 @@ BudgetLink::send(double watts, size_t tick)
         if (stats_)
             ++stats_->stale_budgets;
     }
-    mirror(tick, seq, dropped ? 0.0 : deliver, watts, !dropped, stale);
-    traceHop(tick, seq, trace, dropped ? 0.0 : deliver, !dropped);
-    if (dropped)
+    bool sunk = !dropped && !delayed;
+    mirror(tick, seq, sunk ? deliver : 0.0, watts, sunk, stale);
+    traceHop(tick, seq, trace, sunk ? deliver : 0.0, sunk);
+    if (!sunk)
         return false;
     ++delivered_;
+    if (!sank_any_ || seqNewer(seq, last_sink_seq_)) {
+        last_sink_seq_ = seq;
+        sank_any_ = true;
+    }
     sink_(BudgetGrant{deliver, tick, seq, trace});
+    return true;
+}
+
+bool
+BudgetLink::deliverLate(const WireMsg &m, size_t now_tick)
+{
+    bool stale = (m.flags & kWireStale) != 0;
+    if (sank_any_ && !seqNewer(m.seq, last_sink_seq_)) {
+        // Overtaken on the virtual wire: a fresher grant already
+        // reached the sink. The sink must never see budgets move
+        // backwards in epoch order, so the late copy is discarded.
+        if (stats_)
+            ++stats_->netem_reorder_drops;
+        mirror(now_tick, m.seq, 0.0, m.aux, false, stale);
+        traceHop(now_tick, m.seq, m.trace, 0.0, false);
+        return false;
+    }
+    double deliver = std::max(m.value, kMinGrant);
+    if (stats_) {
+        ++stats_->netem_late_deliveries;
+        if (stale)
+            ++stats_->stale_budgets;
+    }
+    mirror(now_tick, m.seq, deliver, m.aux, true, stale);
+    traceHop(now_tick, m.seq, m.trace, deliver, true);
+    ++delivered_;
+    last_sink_seq_ = m.seq;
+    sank_any_ = true;
+    // The grant keeps its original send tick: a receiver arming a lease
+    // from it sees the lease aged by the wire latency, exactly as a
+    // real delayed management message would.
+    sink_(BudgetGrant{deliver, static_cast<size_t>(m.tick), m.seq,
+                      m.trace});
     return true;
 }
 
@@ -219,6 +277,8 @@ BudgetLink::saveState(ckpt::SectionWriter &w) const
     w.putDouble(prev_);
     w.putBool(has_prev_);
     w.putU64(delivered_);
+    w.putU64(last_sink_seq_);
+    w.putBool(sank_any_);
 }
 
 void
@@ -228,6 +288,8 @@ BudgetLink::loadState(ckpt::SectionReader &r)
     prev_ = r.getDouble();
     has_prev_ = r.getBool();
     delivered_ = r.getU64();
+    last_sink_seq_ = r.getU64();
+    sank_any_ = r.getBool();
 }
 
 ViolationChannel::ViolationChannel(std::string name,

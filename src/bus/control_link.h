@@ -222,6 +222,18 @@ class BudgetLink : public ControlLink
     bool send(double watts, size_t tick);
 
     /**
+     * Deliver a netem-delayed grant at the tick barrier of @p now_tick
+     * (docs/NETWORK_FAULTS.md): @p m is the resolved outcome a
+     * transport queued instead of delivering, with its original send
+     * tick/seq/value intact. A late grant older than one the sink has
+     * already seen is discarded (the reorder window, compared with
+     * seqNewer so a wrapped sequence stays fresh); otherwise it is
+     * mirrored, counted and sunk like an on-time delivery.
+     * @return false when the reorder window discarded it.
+     */
+    bool deliverLate(const WireMsg &m, size_t now_tick);
+
+    /**
      * Forget the previous-epoch grant (sender restarted cold): the next
      * stale fault has nothing old to replay and delivers fresh.
      */
@@ -230,10 +242,10 @@ class BudgetLink : public ControlLink
     /** Messages actually delivered (sent() minus drops). */
     uint64_t delivered() const { return delivered_; }
 
-    /** Serialize seq + stale-replay slot + delivery count. */
+    /** Serialize seq + stale-replay slot + delivery + reorder window. */
     void saveState(ckpt::SectionWriter &w) const override;
 
-    /** Restore seq + stale-replay slot + delivery count. */
+    /** Restore seq + stale-replay slot + delivery + reorder window. */
     void loadState(ckpt::SectionReader &r) override;
 
     /** The fault-model link class. */
@@ -252,6 +264,8 @@ class BudgetLink : public ControlLink
     double prev_ = 0.0;      //!< previous epoch's grant (stale replay)
     bool has_prev_ = false;
     uint64_t delivered_ = 0;
+    uint64_t last_sink_seq_ = 0; //!< newest seq the sink has seen
+    bool sank_any_ = false;      //!< arms the reorder window
 };
 
 /**

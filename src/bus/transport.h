@@ -73,7 +73,22 @@ localOwner()
 /// @{
 inline constexpr uint8_t kWireDelivered = 0x1; //!< message reached the sink
 inline constexpr uint8_t kWireStale = 0x2;     //!< stale-fault replay
+inline constexpr uint8_t kWireDelayed = 0x4;   //!< netem: queued for later
+inline constexpr uint8_t kWirePartitioned = 0x8; //!< netem: partition drop
+inline constexpr uint8_t kWireExpired = 0x10; //!< netem: missed the deadline
 /// @}
+
+/**
+ * Serial-arithmetic sequence comparison: @return true when @p a is
+ * newer than @p b even across a u64 wraparound (RFC 1982 style). The
+ * netem reorder window uses this so a wrapped-but-fresh message is
+ * never misclassified as stale.
+ */
+inline bool
+seqNewer(uint64_t a, uint64_t b)
+{
+    return static_cast<int64_t>(a - b) > 0;
+}
 
 /**
  * One control-plane message in transport form — the exact payload the

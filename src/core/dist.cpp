@@ -18,6 +18,8 @@
 #include "core/coordinator.h"
 #include "core/experiment.h"
 #include "core/scenarios.h"
+#include "fault/netem/netem.h"
+#include "fault/netem/transport.h"
 #include "model/machine.h"
 #include "obs/live/agg.h"
 #include "obs/live/exporter.h"
@@ -259,6 +261,73 @@ printSummary(const Coordinator &coordinator, const DistPlan &plan,
                 (unsigned long long)d.lease_expiries,
                 (unsigned long long)d.lease_fallback_steps,
                 (unsigned long long)d.restarts);
+    if (plan.netem)
+        std::printf("netem:  %llu delayed, %llu late, %llu expired, "
+                    "%llu partition drops, %llu reorder drops\n",
+                    (unsigned long long)d.netem_delayed,
+                    (unsigned long long)d.netem_late_deliveries,
+                    (unsigned long long)d.netem_expired,
+                    (unsigned long long)d.netem_partition_drops,
+                    (unsigned long long)d.netem_reorder_drops);
+}
+
+/** The plan's netem oracle (empty model when the plan has no [netem]). */
+fault::netem::NetemModel
+netemModelFor(const DistPlan &plan)
+{
+    return fault::netem::NetemModel(
+        fault::netem::NetemSchedule::parse(plan.netem_script),
+        plan.netem_seed, plan.netem_deadline);
+}
+
+/**
+ * The after-drain hook publishing the deterministic netem gauges.
+ * Registered on every rank — and on the --plan oracle — whenever the
+ * plan has both [netem] and [obs], so the instrument set (and the
+ * cross-rank digest) stays aligned. Values are set at the drain point
+ * of each tick, which every replica reaches with identical counters:
+ * the gauges are digest-comparable, unlike the wire-local dup/corrupt
+ * tallies, which stay out of this set (they only tick on the one
+ * process that wrote the mangled frame).
+ */
+std::function<void(size_t)>
+netemGaugeHook(fault::netem::NetemTransport &net,
+               obs::MetricsRegistry *reg)
+{
+    if (!reg)
+        return nullptr;
+    obs::Gauge *delayed =
+        reg->gauge("nps_net_delayed", "wire",
+                   "Sends parked on the netem virtual wire so far");
+    obs::Gauge *late =
+        reg->gauge("nps_net_late_deliveries", "wire",
+                   "Delayed sends that reached their sink late");
+    obs::Gauge *expired =
+        reg->gauge("nps_net_expired", "wire",
+                   "Delayed sends dropped for missing the deadline");
+    obs::Gauge *partition =
+        reg->gauge("nps_net_partition_drops", "wire",
+                   "Sends dropped by a scripted partition");
+    obs::Gauge *reorder =
+        reg->gauge("nps_net_reorder_drops", "wire",
+                   "Late sends discarded because a fresher one landed");
+    obs::Gauge *queued =
+        reg->gauge("nps_net_queue_depth", "wire",
+                   "Sends currently parked on the virtual wire");
+    obs::Gauge *active =
+        reg->gauge("nps_net_active_events", "wire",
+                   "Netem schedule events active this tick");
+    return [&net, delayed, late, expired, partition, reorder, queued,
+            active](size_t tick) {
+        const fault::netem::NetemTransport::Stats &s = net.stats();
+        delayed->set(static_cast<double>(s.delayed));
+        late->set(static_cast<double>(s.late_deliveries));
+        expired->set(static_cast<double>(s.expired));
+        partition->set(static_cast<double>(s.partition_drops));
+        reorder->set(static_cast<double>(s.reorder_drops));
+        queued->set(static_cast<double>(net.queued()));
+        active->set(static_cast<double>(net.model().activeCount(tick)));
+    };
 }
 
 /** Directory holding the running binary (to find npsnode next to it). */
@@ -366,6 +435,15 @@ class SupervisorGate : public sim::TickSource
         barrier_hook_ = std::move(hook);
     }
 
+    /**
+     * Include the netem delivery queue in restart snapshots. The gate
+     * runs *inside* the NetemGate wrapper, so a snapshot taken here
+     * captures the queue before this tick's drain — and the restored
+     * child, whose first drain covers the same tick, replays exactly
+     * the deliveries this replica is about to make.
+     */
+    void setNetem(fault::netem::NetemTransport *netem) { netem_ = netem; }
+
     bool beginTick(size_t tick) override
     {
         if (started_) {
@@ -472,6 +550,8 @@ class SupervisorGate : public sim::TickSource
         ckpt::SnapshotWriter out;
         coordinator_.saveState(out);
         recorder_.saveState(out.section("recorder"));
+        if (netem_)
+            netem_->saveState(out.section("netem"));
         out.writeFile(snap);
         spawn(rank, snap);
         int joined = transport_.acceptPeer(listener_);
@@ -501,6 +581,7 @@ class SupervisorGate : public sim::TickSource
     sim::Recorder &recorder_;
     stream::SocketTransport &transport_;
     int listener_;
+    fault::netem::NetemTransport *netem_ = nullptr;
     obs::Histogram *barrier_ms_ = nullptr;
     std::function<void(uint64_t)> barrier_hook_;
     bool started_ = false;
@@ -517,8 +598,34 @@ runPlanSingle(const DistPlan &plan, const std::string &record_path,
     Experiment ex = materialize(plan, threads);
     Coordinator coordinator(ex.cfg, ex.topo, ex.machine, ex.traces);
     auto recorder = attachRecorder(coordinator, plan);
+
+    // The netem oracle: the same model the distributed runtime applies,
+    // over the identity transport. Owners come from the plan's node
+    // table (not localOwner) so rank:N netem targets resolve to the
+    // same links they would in the process tree — the precondition for
+    // the byte-identity this runtime is the reference for.
+    bus::InProcTransport inproc;
+    std::unique_ptr<fault::netem::NetemTransport> netem;
+    std::unique_ptr<fault::netem::NetemGate> netem_gate;
+    if (plan.netem) {
+        netem = std::make_unique<fault::netem::NetemTransport>(
+            netemModelFor(plan), &inproc);
+        coordinator.attachTransport(netem.get(), plan.ownerFn());
+    }
+
     LivePlane lp = attachLivePlane(coordinator, plan, obs, 0);
+    if (netem) {
+        obs::MetricsRegistry *reg =
+            coordinator.observability()
+                ? coordinator.observability()->metrics()
+                : nullptr;
+        netem_gate = std::make_unique<fault::netem::NetemGate>(
+            *netem, nullptr, netemGaugeHook(*netem, reg));
+        coordinator.engine().setTickSource(netem_gate.get());
+    }
     size_t ran = coordinator.run(plan.ticks);
+    if (netem_gate)
+        coordinator.engine().setTickSource(nullptr);
     finishObs(coordinator, lp, obs, ran ? ran - 1 : 0);
     printSummary(coordinator, plan, ran);
     writeRecordCsv(*recorder, record_path);
@@ -536,9 +643,19 @@ runSupervisor(const DistPlan &plan, const std::string &plan_path,
     Experiment ex = materialize(plan, threads);
     const int listener = stream::listenOn(plan.endpoint());
     stream::SocketTransport transport(plan.timeout_ms);
+    transport.setHeartbeat(plan.hb_ms);
+    transport.setPeerTimeout(plan.peer_timeout_ms);
     Coordinator coordinator(ex.cfg, ex.topo, ex.machine, ex.traces);
     auto recorder = attachRecorder(coordinator, plan);
-    coordinator.attachTransport(&transport, plan.ownerFn());
+    std::unique_ptr<fault::netem::NetemTransport> netem;
+    if (plan.netem) {
+        netem = std::make_unique<fault::netem::NetemTransport>(
+            netemModelFor(plan), &transport);
+        transport.setWireMangler(netem.get());
+        coordinator.attachTransport(netem.get(), plan.ownerFn());
+    } else {
+        coordinator.attachTransport(&transport, plan.ownerFn());
+    }
 
     // Cross-rank aggregation (obs/live/agg.h): each 'M' frame is
     // digest-checked against this replica — the metrics-level desync
@@ -609,12 +726,77 @@ runSupervisor(const DistPlan &plan, const std::string &plan_path,
                              obs::MetricsRegistry::runtimeMsBounds())
             : nullptr;
 
+    // Supervisor-side health ladder: the netem schedule names who is
+    // *partitioned* (deterministic), the socket names who is live,
+    // degraded (silent past the grace window) or dead (runtime). The
+    // per-rank gauges are runtime families — each rank's view is
+    // different by construction — and /healthz carries the same states.
+    std::vector<obs::Gauge *> peer_state;
+    if (reg && (plan.hb_ms || plan.peer_timeout_ms || plan.netem)) {
+        for (size_t n = 0; n <= plan.nodes.size(); ++n)
+            peer_state.push_back(
+                reg->gauge("nps_rt_net_peer_state",
+                           "rank" + std::to_string(n),
+                           "Supervisor view of each rank: 0 live, "
+                           "1 degraded, 2 partitioned, 3 dead"));
+    }
+    auto rank_state = [&](int rank, size_t tick) -> const char * {
+        if (netem && netem->model().rankPartitioned(rank, tick))
+            return "partitioned";
+        return stream::peerHealthName(transport.peerHealth(rank));
+    };
+    auto update_peer_state = [&](size_t tick) {
+        for (size_t n = 0; n < peer_state.size(); ++n) {
+            const char *state = rank_state(static_cast<int>(n), tick);
+            double code = 0.0;
+            if (std::strcmp(state, "degraded") == 0)
+                code = 1.0;
+            else if (std::strcmp(state, "partitioned") == 0)
+                code = 2.0;
+            else if (std::strcmp(state, "dead") == 0)
+                code = 3.0;
+            peer_state[n]->set(code);
+        }
+    };
+    if (lp.publisher && (plan.hb_ms || plan.peer_timeout_ms || plan.netem))
+        lp.publisher->setHealthExtra([&]() {
+            std::ostringstream out;
+            out << "\"peers\": [";
+            size_t tick = coordinator.engine().now();
+            for (size_t n = 0; n <= plan.nodes.size(); ++n)
+                out << (n ? ", " : "") << "{\"rank\": " << n
+                    << ", \"state\": \""
+                    << rank_state(static_cast<int>(n), tick) << "\"}";
+            out << "]";
+            return out.str();
+        });
+
     SupervisorGate gate(plan, plan_path, coordinator, *recorder,
                         transport, listener);
     gate.setBarrierHistogram(barrier_ms);
-    gate.setBarrierHook(merge_fleet);
+    gate.setBarrierHook([&](uint64_t done_tick) {
+        merge_fleet(done_tick);
+        // Without a netem gate the per-rank health gauges refresh here;
+        // with one, its after-drain hook owns them.
+        if (!netem)
+            update_peer_state(done_tick);
+    });
+    gate.setNetem(netem.get());
+    std::unique_ptr<fault::netem::NetemGate> netem_gate;
+    if (netem) {
+        std::function<void(size_t)> gauges = netemGaugeHook(*netem, reg);
+        netem_gate = std::make_unique<fault::netem::NetemGate>(
+            *netem, &gate,
+            [gauges, update_peer_state](size_t tick) {
+                if (gauges)
+                    gauges(tick);
+                update_peer_state(tick);
+            });
+    }
     gate.spawnAll();
-    coordinator.engine().setTickSource(&gate);
+    coordinator.engine().setTickSource(
+        netem_gate ? static_cast<sim::TickSource *>(netem_gate.get())
+                   : &gate);
     size_t ran = coordinator.run(plan.ticks);
     if (ran != plan.ticks)
         util::fatal("dist: supervisor stopped after %zu of %zu ticks",
@@ -640,11 +822,30 @@ runNode(const DistPlan &plan, int rank, const std::string &restore_path,
                     plan.nodes.size());
     ::signal(SIGPIPE, SIG_IGN); // see runSupervisor
     Experiment ex = materialize(plan, 0);
-    const int fd = stream::connectTo(plan.endpoint(), plan.timeout_ms);
+    // Bounded-backoff connect: a restarted rank may race the hub's
+    // accept loop (or a netem-delayed restart may find the hub briefly
+    // busy), so the join retries with exponential backoff and per-rank
+    // jitter instead of a fixed poll.
+    const int fd =
+        plan.reconnect_attempts
+            ? stream::connectWithBackoff(
+                  plan.endpoint(), plan.reconnect_attempts,
+                  plan.reconnect_base_ms, plan.reconnect_max_ms,
+                  static_cast<uint64_t>(rank))
+            : stream::connectTo(plan.endpoint(), plan.timeout_ms);
     stream::SocketTransport transport(rank, fd, plan.timeout_ms);
+    transport.setHeartbeat(plan.hb_ms);
     Coordinator coordinator(ex.cfg, ex.topo, ex.machine, ex.traces);
     auto recorder = attachRecorder(coordinator, plan);
-    coordinator.attachTransport(&transport, plan.ownerFn());
+    std::unique_ptr<fault::netem::NetemTransport> netem;
+    if (plan.netem) {
+        netem = std::make_unique<fault::netem::NetemTransport>(
+            netemModelFor(plan), &transport);
+        transport.setWireMangler(netem.get());
+        coordinator.attachTransport(netem.get(), plan.ownerFn());
+    } else {
+        coordinator.attachTransport(&transport, plan.ownerFn());
+    }
 
     obs::MetricsRegistry *reg =
         coordinator.observability()
@@ -685,6 +886,11 @@ runNode(const DistPlan &plan, int rank, const std::string &restore_path,
         ckpt::SectionReader r = snap.section("recorder");
         recorder->loadState(r);
         r.expectEnd();
+        if (netem) {
+            ckpt::SectionReader nr = snap.section("netem");
+            netem->loadState(nr);
+            nr.expectEnd();
+        }
         done = coordinator.engine().now();
         std::fprintf(stderr, "npsnode: rank %d restored at tick %zu\n",
                      rank, done);
@@ -698,7 +904,13 @@ runNode(const DistPlan &plan, int rank, const std::string &restore_path,
     NodeGate gate(transport,
                   [&ship](uint64_t t) { ship(t, /*force=*/false); },
                   barrier_ms);
-    coordinator.engine().setTickSource(&gate);
+    std::unique_ptr<fault::netem::NetemGate> netem_gate;
+    if (netem)
+        netem_gate = std::make_unique<fault::netem::NetemGate>(
+            *netem, &gate, netemGaugeHook(*netem, reg));
+    coordinator.engine().setTickSource(
+        netem_gate ? static_cast<sim::TickSource *>(netem_gate.get())
+                   : &gate);
     size_t ran = coordinator.run(plan.ticks - done);
     coordinator.engine().setTickSource(nullptr);
     if (transport.byeSeen())

@@ -5,6 +5,7 @@
 #include <set>
 #include <utility>
 
+#include "fault/netem/netem.h"
 #include "util/logging.h"
 
 namespace nps {
@@ -193,7 +194,11 @@ DistPlan
 planFromIni(const IniDocument &ini)
 {
     static const std::set<std::string> dist_keys{
-        "transport", "socket", "timeout_ms", "restart_after"};
+        "transport",      "socket",
+        "timeout_ms",     "restart_after",
+        "hb_ms",          "peer_timeout_ms",
+        "reconnect_attempts", "reconnect_base_ms",
+        "reconnect_max_ms"};
     static const std::set<std::string> run_keys{
         "scenario", "machine", "mix", "budgets", "ticks", "seed",
         "threads", "record_stride"};
@@ -225,6 +230,17 @@ planFromIni(const IniDocument &ini)
                 if (key != "kill")
                     util::fatal("plan: unknown key '%s' in [chaos]",
                                 key.c_str());
+        } else if (section == "netem") {
+            static const std::set<std::string> netem_keys{
+                "seed", "deadline_ticks", "script"};
+            for (const auto &key : ini.keys(section))
+                if (!netem_keys.count(key))
+                    util::fatal("plan: unknown key '%s' in [netem]",
+                                key.c_str());
+            // Presence switches the layer on, even with an empty
+            // script: the (bit-transparent) transport still wires in,
+            // which is handy for A/B-ing the plumbing itself.
+            plan.netem = true;
         } else if (section.rfind("node ", 0) == 0) {
             DistPlan::Node node;
             node.name = trim(section.substr(5));
@@ -264,6 +280,25 @@ planFromIni(const IniDocument &ini)
         util::fatal("plan: [dist] timeout_ms must be positive");
     plan.restart_after = static_cast<unsigned>(ini.getInt(
         "dist", "restart_after", static_cast<long>(plan.restart_after)));
+    plan.hb_ms = static_cast<unsigned>(
+        ini.getInt("dist", "hb_ms", static_cast<long>(plan.hb_ms)));
+    plan.peer_timeout_ms = static_cast<unsigned>(ini.getInt(
+        "dist", "peer_timeout_ms",
+        static_cast<long>(plan.peer_timeout_ms)));
+    if (plan.peer_timeout_ms && plan.peer_timeout_ms >= plan.timeout_ms)
+        util::fatal("plan: [dist] peer_timeout_ms (%u) must stay below "
+                    "timeout_ms (%u) — per-peer detection is pointless "
+                    "once the whole-socket guard has already fired",
+                    plan.peer_timeout_ms, plan.timeout_ms);
+    plan.reconnect_attempts = static_cast<unsigned>(ini.getInt(
+        "dist", "reconnect_attempts",
+        static_cast<long>(plan.reconnect_attempts)));
+    plan.reconnect_base_ms = static_cast<unsigned>(ini.getInt(
+        "dist", "reconnect_base_ms",
+        static_cast<long>(plan.reconnect_base_ms)));
+    plan.reconnect_max_ms = static_cast<unsigned>(ini.getInt(
+        "dist", "reconnect_max_ms",
+        static_cast<long>(plan.reconnect_max_ms)));
 
     plan.scenario = ini.get("run", "scenario", plan.scenario);
     plan.machine = ini.get("run", "machine", plan.machine);
@@ -292,6 +327,32 @@ planFromIni(const IniDocument &ini)
         ini.getInt("obs", "http_linger_ms",
                    static_cast<long>(plan.obs_http_linger_ms)));
     plan.obs_cascade = ini.getBool("obs", "cascade", plan.obs_cascade);
+
+    plan.netem_seed = static_cast<uint64_t>(ini.getInt(
+        "netem", "seed", static_cast<long>(plan.netem_seed)));
+    plan.netem_deadline = static_cast<unsigned>(ini.getInt(
+        "netem", "deadline_ticks",
+        static_cast<long>(plan.netem_deadline)));
+    plan.netem_script = ini.get("netem", "script", plan.netem_script);
+    if (plan.netem) {
+        // Parse now so a malformed script dies at plan load, and check
+        // rank targets against the node table.
+        fault::netem::NetemSchedule sched =
+            fault::netem::NetemSchedule::parse(plan.netem_script);
+        for (const auto &ev : sched.events()) {
+            if (ev.by_rank &&
+                (ev.rank < 0 ||
+                 ev.rank > static_cast<int>(plan.nodes.size())))
+                util::fatal("plan: [netem] event '%s' targets rank %d, "
+                            "but the plan has ranks 0..%zu",
+                            ev.toText().c_str(), ev.rank,
+                            plan.nodes.size());
+            if (ev.start >= plan.ticks)
+                util::fatal("plan: [netem] event '%s' starts at tick "
+                            "%zu, past the run's %zu ticks",
+                            ev.toText().c_str(), ev.start, plan.ticks);
+        }
+    }
 
     checkOverlap(plan);
 

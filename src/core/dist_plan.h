@@ -25,6 +25,11 @@
  *     [chaos]
  *     kill = 1@120                # SIGKILL rank 1 at the tick-120 barrier
  *
+ *     [netem]
+ *     seed = 7
+ *     deadline_ticks = 3
+ *     script = delay gm-em 100 200 1 2; partition em-sm 240 300
+ *
  * Each [node] section becomes one npsnode child; ranks are assigned
  * 1..N in file order (rank 0 is the supervisor, which hosts everything
  * not claimed by a node). Only the *global* levels — gm, em, vmc — may
@@ -88,6 +93,35 @@ struct DistPlan
     /** Ticks a killed rank stays down before the supervisor restarts
      * it from a snapshot; 0 leaves dead ranks down for good. */
     unsigned restart_after = 0;
+    /** Wall-clock keepalive period per socket; 0 disables heartbeats
+     * (the wire protocol is then byte-identical to earlier versions). */
+    unsigned hb_ms = 0;
+    /** Per-rank silence budget before the supervisor declares the rank
+     * dead (soft failure, same recovery path as a detected kill);
+     * 0 disables and only the hard timeout_ms guard applies. */
+    unsigned peer_timeout_ms = 0;
+    /** Connect retries a rank makes before giving up on the hub. */
+    unsigned reconnect_attempts = 10;
+    /** First reconnect backoff (doubles per attempt, plus jitter). */
+    unsigned reconnect_base_ms = 50;
+    /** Backoff ceiling. */
+    unsigned reconnect_max_ms = 2000;
+    /// @}
+
+    /// @name [netem] — deterministic wire chaos (docs/NETWORK_FAULTS.md)
+    /// @{
+    /** Set when a [netem] section is present: the netem layer is wired
+     * into every process (and into --plan runs of the same file, which
+     * is what keeps the two byte-identical). */
+    bool netem = false;
+    /** Seed of the per-(link, seq) counter-mode randomness. */
+    uint64_t netem_seed = 1;
+    /** Grant deadline in ticks: a delayed send due later than this is
+     * dropped as expired (0 = no deadline). */
+    unsigned netem_deadline = 0;
+    /** The event script (';'-separated clauses; NetemSchedule::parse
+     * grammar). Validated at plan load. */
+    std::string netem_script;
     /// @}
 
     /// @name [run] — the same experiment knobs npsim takes as flags

@@ -18,6 +18,11 @@ DegradeStats::operator+=(const DegradeStats &o)
     stale_budgets += o.stale_budgets;
     stuck_actuations += o.stuck_actuations;
     noisy_reads += o.noisy_reads;
+    netem_delayed += o.netem_delayed;
+    netem_late_deliveries += o.netem_late_deliveries;
+    netem_expired += o.netem_expired;
+    netem_partition_drops += o.netem_partition_drops;
+    netem_reorder_drops += o.netem_reorder_drops;
     return *this;
 }
 
@@ -28,7 +33,9 @@ DegradeStats::none() const
            lease_expiries == 0 && lease_fallback_steps == 0 &&
            ec_fallback_steps == 0 && dropped_budgets == 0 &&
            stale_budgets == 0 && stuck_actuations == 0 &&
-           noisy_reads == 0;
+           noisy_reads == 0 && netem_delayed == 0 &&
+           netem_late_deliveries == 0 && netem_expired == 0 &&
+           netem_partition_drops == 0 && netem_reorder_drops == 0;
 }
 
 void
@@ -44,6 +51,11 @@ DegradeStats::saveState(ckpt::SectionWriter &w) const
     w.putU64(stale_budgets);
     w.putU64(stuck_actuations);
     w.putU64(noisy_reads);
+    w.putU64(netem_delayed);
+    w.putU64(netem_late_deliveries);
+    w.putU64(netem_expired);
+    w.putU64(netem_partition_drops);
+    w.putU64(netem_reorder_drops);
 }
 
 void
@@ -59,6 +71,11 @@ DegradeStats::loadState(ckpt::SectionReader &r)
     stale_budgets = static_cast<unsigned long>(r.getU64());
     stuck_actuations = static_cast<unsigned long>(r.getU64());
     noisy_reads = static_cast<unsigned long>(r.getU64());
+    netem_delayed = static_cast<unsigned long>(r.getU64());
+    netem_late_deliveries = static_cast<unsigned long>(r.getU64());
+    netem_expired = static_cast<unsigned long>(r.getU64());
+    netem_partition_drops = static_cast<unsigned long>(r.getU64());
+    netem_reorder_drops = static_cast<unsigned long>(r.getU64());
 }
 
 namespace {

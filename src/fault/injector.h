@@ -43,6 +43,14 @@ struct DegradeStats
     unsigned long stale_budgets = 0;   //!< budget sends delivered stale
     unsigned long stuck_actuations = 0; //!< P-state writes swallowed
     unsigned long noisy_reads = 0;     //!< sensor reads perturbed/frozen
+    /// @name netem wire degradation (docs/NETWORK_FAULTS.md)
+    /// @{
+    unsigned long netem_delayed = 0;   //!< sends parked on the virtual wire
+    unsigned long netem_late_deliveries = 0; //!< delayed sends that arrived
+    unsigned long netem_expired = 0;   //!< delayed past the grant deadline
+    unsigned long netem_partition_drops = 0; //!< sends lost to a partition
+    unsigned long netem_reorder_drops = 0; //!< late sends a fresher one beat
+    /// @}
 
     DegradeStats &operator+=(const DegradeStats &o);
 

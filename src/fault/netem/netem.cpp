@@ -1,0 +1,358 @@
+#include "fault/netem/netem.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace nps {
+namespace fault {
+namespace netem {
+
+const char *
+netemKindName(NetemKind kind)
+{
+    switch (kind) {
+    case NetemKind::Delay: return "delay";
+    case NetemKind::Duplicate: return "dup";
+    case NetemKind::Corrupt: return "corrupt";
+    case NetemKind::Partition: return "partition";
+    }
+    return "?";
+}
+
+namespace {
+
+std::string
+targetText(const NetemEvent &e)
+{
+    if (e.all)
+        return "*";
+    if (e.by_rank)
+        return "rank:" + std::to_string(e.rank);
+    return linkName(e.link);
+}
+
+} // namespace
+
+std::string
+NetemEvent::toText() const
+{
+    char buf[160];
+    std::string target = targetText(*this);
+    switch (kind) {
+    case NetemKind::Delay:
+        std::snprintf(buf, sizeof(buf), "delay %s %zu %zu %g %g",
+                      target.c_str(), start, end, a, b);
+        break;
+    case NetemKind::Duplicate:
+        std::snprintf(buf, sizeof(buf), "dup %s %zu %zu %g",
+                      target.c_str(), start, end, a);
+        break;
+    case NetemKind::Corrupt:
+        std::snprintf(buf, sizeof(buf), "corrupt %s %zu %zu %g",
+                      target.c_str(), start, end, a);
+        break;
+    case NetemKind::Partition:
+        std::snprintf(buf, sizeof(buf), "partition %s %zu %zu",
+                      target.c_str(), start, end);
+        break;
+    }
+    return buf;
+}
+
+NetemSchedule::NetemSchedule(std::vector<NetemEvent> events)
+    : events_(std::move(events))
+{
+}
+
+namespace {
+
+void
+parseTarget(const std::string &t, const std::string &clause, NetemEvent *e)
+{
+    if (t == "*") {
+        e->all = true;
+        return;
+    }
+    if (t.rfind("rank:", 0) == 0) {
+        e->by_rank = true;
+        try {
+            e->rank = std::stoi(t.substr(5));
+        } catch (...) {
+            util::fatal("netem script: bad rank '%s' in '%s'", t.c_str(),
+                        clause.c_str());
+        }
+        if (e->rank < 0)
+            util::fatal("netem script: negative rank in '%s'",
+                        clause.c_str());
+        return;
+    }
+    if (t == "gm-em")
+        e->link = Link::GmToEm;
+    else if (t == "gm-sm")
+        e->link = Link::GmToSm;
+    else if (t == "em-sm")
+        e->link = Link::EmToSm;
+    else if (t == "gm-gm")
+        e->link = Link::GmToGm;
+    else
+        util::fatal("netem script: unknown target '%s' in '%s' "
+                    "(want gm-em|gm-sm|em-sm|gm-gm|rank:N|*)",
+                    t.c_str(), clause.c_str());
+}
+
+size_t
+parseTick(const std::string &t, const std::string &clause)
+{
+    try {
+        return static_cast<size_t>(std::stoull(t));
+    } catch (...) {
+        util::fatal("netem script: bad tick '%s' in '%s'", t.c_str(),
+                    clause.c_str());
+    }
+    return 0;
+}
+
+double
+parseNum(const std::string &t, const std::string &clause)
+{
+    try {
+        return std::stod(t);
+    } catch (...) {
+        util::fatal("netem script: bad number '%s' in '%s'", t.c_str(),
+                    clause.c_str());
+    }
+    return 0.0;
+}
+
+NetemEvent
+parseClause(const std::vector<std::string> &tok, const std::string &clause)
+{
+    NetemEvent e;
+    const std::string &verb = tok[0];
+    size_t min_tok = 4, max_tok = 4;
+    if (verb == "delay") {
+        e.kind = NetemKind::Delay;
+        min_tok = 5;
+        max_tok = 6;
+    } else if (verb == "dup") {
+        e.kind = NetemKind::Duplicate;
+        e.a = 1.0;
+        max_tok = 5;
+    } else if (verb == "corrupt") {
+        e.kind = NetemKind::Corrupt;
+        e.a = 1.0;
+        max_tok = 5;
+    } else if (verb == "partition") {
+        e.kind = NetemKind::Partition;
+    } else {
+        util::fatal("netem script: unknown verb '%s' in '%s' "
+                    "(want delay|dup|corrupt|partition)",
+                    verb.c_str(), clause.c_str());
+    }
+    if (tok.size() < min_tok || tok.size() > max_tok)
+        util::fatal("netem script: wrong arity for '%s' in '%s'",
+                    verb.c_str(), clause.c_str());
+    parseTarget(tok[1], clause, &e);
+    e.start = parseTick(tok[2], clause);
+    e.end = parseTick(tok[3], clause);
+    if (e.end <= e.start)
+        util::fatal("netem script: empty interval [%zu, %zu) in '%s'",
+                    e.start, e.end, clause.c_str());
+    if (tok.size() > 4)
+        e.a = parseNum(tok[4], clause);
+    if (tok.size() > 5)
+        e.b = parseNum(tok[5], clause);
+    if (e.kind == NetemKind::Delay) {
+        if (e.a < 0.0 || e.b < 0.0)
+            util::fatal("netem script: negative delay in '%s'",
+                        clause.c_str());
+    } else if (e.kind != NetemKind::Partition) {
+        if (e.a < 0.0 || e.a > 1.0)
+            util::fatal("netem script: probability %g outside [0,1] "
+                        "in '%s'",
+                        e.a, clause.c_str());
+    }
+    return e;
+}
+
+} // namespace
+
+NetemSchedule
+NetemSchedule::parse(const std::string &text)
+{
+    NetemSchedule out;
+    std::istringstream lines(text);
+    std::string line;
+    while (std::getline(lines, line)) {
+        // Strip comments, then split the remainder into ';' clauses.
+        size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        std::istringstream clauses(line);
+        std::string clause;
+        while (std::getline(clauses, clause, ';')) {
+            std::istringstream in(clause);
+            std::vector<std::string> tok;
+            std::string t;
+            while (in >> t)
+                tok.push_back(t);
+            if (!tok.empty())
+                out.add(parseClause(tok, clause));
+        }
+    }
+    return out;
+}
+
+void
+NetemSchedule::add(const NetemEvent &event)
+{
+    events_.push_back(event);
+}
+
+size_t
+NetemSchedule::lastEnd() const
+{
+    size_t last = 0;
+    for (const auto &e : events_)
+        last = std::max(last, e.end);
+    return last;
+}
+
+std::string
+NetemSchedule::toText(const std::string &sep) const
+{
+    std::string out;
+    for (const auto &e : events_) {
+        if (!out.empty())
+            out += sep;
+        out += e.toText();
+    }
+    return out;
+}
+
+namespace {
+
+/** SplitMix64 finalizer: decorrelates the packed query key. */
+uint64_t
+mix(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/**
+ * Counter-mode stream key for one (kind, link, seq) query. Keyed per
+ * send, not per tick: a send keeps its verdict whether it is resolved
+ * by rank 0 or rank 3, on the engine thread or a worker.
+ */
+uint64_t
+queryKey(uint64_t seed, NetemKind kind, uint32_t wire_id, uint64_t seq)
+{
+    uint64_t k = mix(seed ^ (static_cast<uint64_t>(kind) << 56));
+    k = mix(k ^ wire_id);
+    return mix(k ^ seq);
+}
+
+} // namespace
+
+NetemModel::NetemModel(NetemSchedule schedule, uint64_t seed,
+                       size_t deadline_ticks)
+    : schedule_(std::move(schedule)), seed_(seed),
+      deadline_(deadline_ticks)
+{
+    for (const auto &e : schedule_.events())
+        by_kind_[static_cast<size_t>(e.kind)].push_back(e);
+}
+
+const NetemEvent *
+NetemModel::find(NetemKind kind, Link cls, int owner_rank,
+                 size_t tick) const
+{
+    for (const auto &e : by_kind_[static_cast<size_t>(kind)]) {
+        if (e.activeAt(tick) && e.matches(cls, owner_rank))
+            return &e;
+    }
+    return nullptr;
+}
+
+bool
+NetemModel::partitioned(Link cls, int owner_rank, size_t tick) const
+{
+    return find(NetemKind::Partition, cls, owner_rank, tick) != nullptr;
+}
+
+bool
+NetemModel::rankPartitioned(int rank, size_t tick) const
+{
+    for (const auto &e :
+         by_kind_[static_cast<size_t>(NetemKind::Partition)]) {
+        if (!e.activeAt(tick))
+            continue;
+        if (e.all || (e.by_rank && e.rank == rank))
+            return true;
+    }
+    return false;
+}
+
+size_t
+NetemModel::delayTicks(Link cls, int owner_rank, uint32_t wire_id,
+                       uint64_t seq, size_t tick) const
+{
+    const NetemEvent *e = find(NetemKind::Delay, cls, owner_rank, tick);
+    if (!e)
+        return 0;
+    size_t base = static_cast<size_t>(e->a);
+    size_t jitter = static_cast<size_t>(e->b);
+    if (jitter == 0)
+        return base;
+    util::Rng rng(queryKey(seed_, NetemKind::Delay, wire_id, seq));
+    return base + static_cast<size_t>(rng.below(jitter + 1));
+}
+
+bool
+NetemModel::duplicated(Link cls, int owner_rank, uint32_t wire_id,
+                       uint64_t seq, size_t tick) const
+{
+    const NetemEvent *e =
+        find(NetemKind::Duplicate, cls, owner_rank, tick);
+    if (!e)
+        return false;
+    if (e->a >= 1.0)
+        return true;
+    util::Rng rng(queryKey(seed_, NetemKind::Duplicate, wire_id, seq));
+    return rng.bernoulli(e->a);
+}
+
+bool
+NetemModel::corrupted(Link cls, int owner_rank, uint32_t wire_id,
+                      uint64_t seq, size_t tick, size_t *byte_off) const
+{
+    const NetemEvent *e = find(NetemKind::Corrupt, cls, owner_rank, tick);
+    if (!e)
+        return false;
+    util::Rng rng(queryKey(seed_, NetemKind::Corrupt, wire_id, seq));
+    if (e->a < 1.0 && !rng.bernoulli(e->a))
+        return false;
+    if (byte_off)
+        *byte_off = static_cast<size_t>(rng.next());
+    return true;
+}
+
+size_t
+NetemModel::activeCount(size_t tick) const
+{
+    size_t n = 0;
+    for (const auto &e : schedule_.events())
+        n += e.activeAt(tick) ? 1 : 0;
+    return n;
+}
+
+} // namespace netem
+} // namespace fault
+} // namespace nps

@@ -1,0 +1,199 @@
+#include "fault/netem/transport.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace nps {
+namespace fault {
+namespace netem {
+
+NetemTransport::NetemTransport(NetemModel model, bus::Transport *inner)
+    : model_(std::move(model)), inner_(inner)
+{
+    if (!inner_)
+        util::fatal("netem: null inner transport");
+}
+
+uint32_t
+NetemTransport::registerLink(bus::ControlLink *link, int owner_rank)
+{
+    uint32_t id = inner_->registerLink(link, owner_rank);
+    if (id >= info_.size())
+        info_.resize(id + 1);
+    LinkInfo &li = info_[id];
+    // Only budget links ride the virtual wire: they are the channel the
+    // degradation ladder (drop → lease → fallback) is built around, and
+    // they are sent by global levels the plan validator pins to the
+    // engine thread — the invariant that keeps netem state lock-free.
+    if (auto *budget = dynamic_cast<bus::BudgetLink *>(link)) {
+        li.budget = budget;
+        li.cls = budget->link();
+        li.owner = owner_rank;
+    }
+    return id;
+}
+
+const NetemTransport::LinkInfo *
+NetemTransport::eligible(uint32_t wire_id) const
+{
+    if (model_.empty() || wire_id >= info_.size() ||
+        !info_[wire_id].budget)
+        return nullptr;
+    return &info_[wire_id];
+}
+
+bus::WireMsg
+NetemTransport::resolve(const bus::ControlLink &link,
+                        const bus::WireMsg &local)
+{
+    const LinkInfo *li = eligible(local.link);
+    if (!li)
+        return inner_->resolve(link, local);
+    size_t tick = static_cast<size_t>(local.tick);
+    if (model_.partitioned(li->cls, li->owner, tick)) {
+        // Dropped before the wire: every replica computes the identical
+        // verdict from the schedule, so the owner never broadcasts and
+        // no receiver waits for a frame that will not come.
+        ++stats_.partition_drops;
+        bus::WireMsg m = local;
+        m.flags = bus::kWirePartitioned;
+        return m;
+    }
+    // The lockstep broadcast/cross-check happens on the *send*: the
+    // latency model only defers when the resolved outcome reaches the
+    // sink, so replicas stay frame-by-frame verified even mid-storm.
+    bus::WireMsg m = inner_->resolve(link, local);
+    if (!(m.flags & bus::kWireDelivered))
+        return m; // the inner transport degraded it (owner rank dead)
+    size_t d = model_.delayTicks(li->cls, li->owner, local.link, m.seq,
+                                 tick);
+    if (d == 0)
+        return m;
+    if (model_.deadlineTicks() && d > model_.deadlineTicks()) {
+        // Would arrive after the grant deadline: the receiver would
+        // discard it anyway, so it degrades to a drop at the sender and
+        // the lease ladder takes over.
+        ++stats_.expired;
+        bus::WireMsg out = local;
+        out.flags = bus::kWireExpired;
+        return out;
+    }
+    ++stats_.delayed;
+    Pending p;
+    p.due = local.tick + d;
+    p.msg = m; // resolved outcome, original send tick/seq/value intact
+    queue_.push_back(p);
+    bus::WireMsg out = m;
+    out.flags = bus::kWireDelayed;
+    return out;
+}
+
+bool
+NetemTransport::duplicateCtrl(const bus::WireMsg &msg)
+{
+    const LinkInfo *li = eligible(msg.link);
+    if (!li ||
+        !model_.duplicated(li->cls, li->owner, msg.link, msg.seq,
+                           static_cast<size_t>(msg.tick)))
+        return false;
+    ++stats_.dup_frames;
+    return true;
+}
+
+bool
+NetemTransport::corruptCtrl(const bus::WireMsg &msg, size_t *byte_off)
+{
+    const LinkInfo *li = eligible(msg.link);
+    if (!li ||
+        !model_.corrupted(li->cls, li->owner, msg.link, msg.seq,
+                          static_cast<size_t>(msg.tick), byte_off))
+        return false;
+    ++stats_.corrupt_frames;
+    return true;
+}
+
+void
+NetemTransport::drainDue(size_t tick)
+{
+    if (queue_.empty())
+        return;
+    // Deterministic delivery order whatever the insertion pattern was:
+    // due tick first, then wire id, then sequence.
+    std::stable_sort(queue_.begin(), queue_.end(),
+                     [](const Pending &a, const Pending &b) {
+                         if (a.due != b.due)
+                             return a.due < b.due;
+                         if (a.msg.link != b.msg.link)
+                             return a.msg.link < b.msg.link;
+                         return a.msg.seq < b.msg.seq;
+                     });
+    size_t kept = 0;
+    for (size_t i = 0; i < queue_.size(); ++i) {
+        Pending &p = queue_[i];
+        if (p.due > tick) {
+            queue_[kept++] = p;
+            continue;
+        }
+        bus::BudgetLink *budget = info_[p.msg.link].budget;
+        if (budget->deliverLate(p.msg, tick))
+            ++stats_.late_deliveries;
+        else
+            ++stats_.reorder_drops;
+    }
+    queue_.resize(kept);
+}
+
+void
+NetemTransport::saveState(ckpt::SectionWriter &w) const
+{
+    w.putU64(queue_.size());
+    for (const Pending &p : queue_) {
+        w.putU64(p.due);
+        w.putU64(p.msg.link);
+        w.putU64(p.msg.tick);
+        w.putU64(p.msg.seq);
+        w.putDouble(p.msg.value);
+        w.putDouble(p.msg.aux);
+        w.putU64(p.msg.trace);
+        w.putU64(p.msg.flags);
+    }
+    w.putU64(stats_.delayed);
+    w.putU64(stats_.late_deliveries);
+    w.putU64(stats_.expired);
+    w.putU64(stats_.partition_drops);
+    w.putU64(stats_.reorder_drops);
+}
+
+void
+NetemTransport::loadState(ckpt::SectionReader &r)
+{
+    queue_.clear();
+    size_t n = static_cast<size_t>(r.getU64());
+    queue_.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+        Pending p;
+        p.due = r.getU64();
+        p.msg.link = static_cast<uint32_t>(r.getU64());
+        p.msg.tick = r.getU64();
+        p.msg.seq = r.getU64();
+        p.msg.value = r.getDouble();
+        p.msg.aux = r.getDouble();
+        p.msg.trace = static_cast<uint32_t>(r.getU64());
+        p.msg.flags = static_cast<uint8_t>(r.getU64());
+        if (p.msg.link >= info_.size() || !info_[p.msg.link].budget)
+            util::fatal("netem: restored queue entry for wire id %u, "
+                        "which is not an eligible link",
+                        p.msg.link);
+        queue_.push_back(p);
+    }
+    stats_.delayed = r.getU64();
+    stats_.late_deliveries = r.getU64();
+    stats_.expired = r.getU64();
+    stats_.partition_drops = r.getU64();
+    stats_.reorder_drops = r.getU64();
+}
+
+} // namespace netem
+} // namespace fault
+} // namespace nps

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * NetemTransport: the network-emulation decorator of the transport seam
+ * (docs/NETWORK_FAULTS.md).
+ *
+ * Sits between every ControlLink and the real transport (InProc for
+ * `--plan`, SocketTransport for `--distributed`) and applies a
+ * NetemModel to the budget links of the hierarchy:
+ *
+ *   - a partitioned send never reaches the inner transport: every
+ *     replica computes the identical verdict from the schedule, so no
+ *     owner broadcasts and no receiver blocks — the send resolves as a
+ *     kWirePartitioned drop and feeds the lease/fallback ladder;
+ *   - a delayed send first resolves through the inner transport (the
+ *     lockstep broadcast/cross-check is preserved bit for bit), then
+ *     the resolved outcome is parked on a virtual-time delivery queue
+ *     instead of reaching the sink; a send due past the grant deadline
+ *     is dropped as kWireExpired instead;
+ *   - queued sends are drained at the tick barrier (NetemGate), in
+ *     (due, link, seq) order, through BudgetLink::deliverLate — never
+ *     mid-tick, which is what keeps `--plan` and `--distributed`
+ *     byte-identical at any thread count;
+ *   - duplication and corruption are *wire-level*: the decorator
+ *     doubles as the socket transport's WireMangler, so a duplicated
+ *     frame really is written twice (the receiver's duplicate window
+ *     discards it) and a corrupted frame really is a byte-flipped copy
+ *     preceding the clean one (the NPSF CRC rejects it and the decoder
+ *     resyncs). Neither changes any delivered outcome, so the in-proc
+ *     oracle — which has no wire — stays byte-identical.
+ *
+ * Threading: netem state (queue, counters) is mutated only on the
+ * engine thread. Eligible links are budget links, all sent by global
+ * levels (GM, EM) which the plan validator pins to the engine thread;
+ * every other link passes through untouched on whatever thread it
+ * resolves from.
+ */
+
+#ifndef NPS_FAULT_NETEM_TRANSPORT_H
+#define NPS_FAULT_NETEM_TRANSPORT_H
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "bus/control_link.h"
+#include "bus/transport.h"
+#include "ckpt/snapshot.h"
+#include "fault/netem/netem.h"
+#include "sim/engine.h"
+#include "stream/socket_transport.h"
+
+namespace nps {
+namespace fault {
+namespace netem {
+
+/**
+ * The decorator. Construct with the inner transport *before* wiring:
+ * registerLink forwards to the inner transport, so the dense wire ids
+ * and the wiring digest are exactly what they would be without netem.
+ */
+class NetemTransport : public bus::Transport, public stream::WireMangler
+{
+  public:
+    /** Netem tallies (engine-thread only; diagnostics, not digest). */
+    struct Stats
+    {
+        uint64_t delayed = 0;         //!< sends parked on the queue
+        uint64_t late_deliveries = 0; //!< queue entries that reached a sink
+        uint64_t expired = 0;         //!< sends due past the deadline
+        uint64_t partition_drops = 0; //!< sends lost to a partition
+        uint64_t reorder_drops = 0;   //!< late sends a fresher one beat
+        uint64_t dup_frames = 0;      //!< wire frames written twice
+        uint64_t corrupt_frames = 0;  //!< corrupted copies written
+    };
+
+    NetemTransport(NetemModel model, bus::Transport *inner);
+
+    /// @name bus::Transport
+    /// @{
+    uint32_t registerLink(bus::ControlLink *link, int owner_rank) override;
+    bus::WireMsg resolve(const bus::ControlLink &link,
+                         const bus::WireMsg &local) override;
+    /// @}
+
+    /// @name stream::WireMangler (socket runs only)
+    /// @{
+    bool duplicateCtrl(const bus::WireMsg &msg) override;
+    bool corruptCtrl(const bus::WireMsg &msg, size_t *byte_off) override;
+    /// @}
+
+    /**
+     * Deliver every queued send due at or before @p tick, in
+     * (due, link, seq) order. Engine thread, at the tick barrier
+     * (NetemGate), before any actor observes the tick.
+     */
+    void drainDue(size_t tick);
+
+    /** Sends currently parked on the virtual wire. */
+    size_t queued() const { return queue_.size(); }
+
+    /** The model. */
+    const NetemModel &model() const { return model_; }
+
+    /** The tallies. */
+    const Stats &stats() const { return stats_; }
+
+    /** Serialize the delivery queue (restart snapshots). */
+    void saveState(ckpt::SectionWriter &w) const;
+
+    /** Restore the delivery queue (rank restart). */
+    void loadState(ckpt::SectionReader &r);
+
+  private:
+    /** Netem identity of one registered link (empty when ineligible). */
+    struct LinkInfo
+    {
+        bus::BudgetLink *budget = nullptr;
+        Link cls = Link::GmToEm;
+        int owner = 0;
+    };
+
+    /** One send parked on the virtual wire. */
+    struct Pending
+    {
+        uint64_t due = 0;
+        bus::WireMsg msg;
+    };
+
+    const LinkInfo *eligible(uint32_t wire_id) const;
+
+    NetemModel model_;
+    bus::Transport *inner_;
+    std::vector<LinkInfo> info_; //!< by wire id
+    std::vector<Pending> queue_;
+    Stats stats_;
+};
+
+/**
+ * TickSource that drains the netem delivery queue at the top of every
+ * tick, after the wrapped gate (the distributed barrier, when there is
+ * one) releases it. The optional @p after_drain hook runs last — the
+ * point where every rank's DegradeStats agree, used to publish the
+ * nps_net_* gauges digest-safely.
+ */
+class NetemGate : public sim::TickSource
+{
+  public:
+    NetemGate(NetemTransport &net, sim::TickSource *inner = nullptr,
+              std::function<void(size_t)> after_drain = nullptr)
+        : net_(net), inner_(inner), after_drain_(std::move(after_drain))
+    {
+    }
+
+    bool
+    beginTick(size_t tick) override
+    {
+        if (inner_ && !inner_->beginTick(tick))
+            return false;
+        net_.drainDue(tick);
+        if (after_drain_)
+            after_drain_(tick);
+        return true;
+    }
+
+  private:
+    NetemTransport &net_;
+    sim::TickSource *inner_;
+    std::function<void(size_t)> after_drain_;
+};
+
+} // namespace netem
+} // namespace fault
+} // namespace nps
+
+#endif // NPS_FAULT_NETEM_TRANSPORT_H

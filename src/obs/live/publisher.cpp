@@ -87,7 +87,13 @@ LivePublisher::render(uint64_t tick, bool final) const
     std::ostringstream health;
     health << "{\"status\": \"ok\", \"tick\": " << tick
            << ", \"final\": " << (final ? "true" : "false")
-           << ", \"rank\": " << rank_ << "}\n";
+           << ", \"rank\": " << rank_;
+    if (health_extra_) {
+        std::string extra = health_extra_();
+        if (!extra.empty())
+            health << ", " << extra;
+    }
+    health << "}\n";
     snap.health = health.str();
 
     if (profiler_) {

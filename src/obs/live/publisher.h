@@ -67,6 +67,17 @@ class LivePublisher : public sim::TickObserver
      * merged fleet view instead of the local registry. */
     void setFleet(const FleetView *fleet) { fleet_ = fleet; }
 
+    /**
+     * Extra /healthz content: the returned string (one or more JSON
+     * members, e.g. `"peers": [...]`) is spliced into the healthz
+     * object. Runtime-only state (peer health under netem); rendered on
+     * the engine thread. An empty return adds nothing.
+     */
+    void setHealthExtra(std::function<std::string()> extra)
+    {
+        health_extra_ = std::move(extra);
+    }
+
     /// @name sim::TickObserver
     /// @{
     void endTick(size_t tick) override;
@@ -88,6 +99,7 @@ class LivePublisher : public sim::TickObserver
     std::function<void()> refresh_;
     LiveExporter *exporter_;
     const FleetView *fleet_ = nullptr;
+    std::function<std::string()> health_extra_;
     unsigned publish_every_;
     int rank_;
     Histogram *tick_wall_ms_;

@@ -70,6 +70,7 @@ payloadLen(uint8_t type)
         return 41;
     case 'D':
     case 'U':
+    case 'E':
         return 12;
     case 'P':
         return 4;
@@ -246,6 +247,15 @@ FrameWriter::metrics(uint32_t rank, uint64_t tick, const uint8_t *data,
 }
 
 void
+FrameWriter::heartbeat(uint32_t rank, uint64_t tick)
+{
+    uint8_t p[12];
+    putU32(p, rank);
+    putU64(p + 4, tick);
+    frame(FrameType::Heartbeat, p, sizeof p);
+}
+
+void
 FrameDecoder::feed(const void *data, size_t len)
 {
     const uint8_t *p = static_cast<const uint8_t *>(data);
@@ -341,6 +351,7 @@ FrameDecoder::next(Frame &out)
             out.rank = getU32(p);
             break;
         case FrameType::PeerUp:
+        case FrameType::Heartbeat:
             out.rank = getU32(p);
             out.tick = getU64(p + 4);
             break;

@@ -38,6 +38,10 @@
  *                                        — a rank's registry snapshot
  *                                          (the one variable-length
  *                                          frame; len capped at 1 MiB)
+ *     'E' heartbeat  u32 rank, u64 tick  — I-am-alive keepalive, sent
+ *                                          when the socket would
+ *                                          otherwise sit idle
+ *                                          (docs/NETWORK_FAULTS.md)
  *
  * The decoder is pure over byte buffers (no I/O), accepts input split at
  * arbitrary boundaries, and resynchronizes after garbage by scanning
@@ -85,6 +89,7 @@ enum class FrameType : uint8_t
     PeerUp = 'U',
     Join = 'J',
     Metrics = 'M',
+    Heartbeat = 'E',
 };
 
 /** @return true when @p type is one of the four control-message tags
@@ -174,6 +179,9 @@ class FrameWriter
      */
     void metrics(uint32_t rank, uint64_t tick, const uint8_t *data,
                  size_t len);
+
+    /** Keepalive from @p rank, last completed tick @p tick. */
+    void heartbeat(uint32_t rank, uint64_t tick);
 
     /// @}
 

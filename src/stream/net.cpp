@@ -50,7 +50,9 @@ fillTcpAddr(const std::string &hostport, bool server, sockaddr_in &addr)
         host = "127.0.0.1"; // the daemon only ever binds loopback
     char *end = nullptr;
     long p = std::strtol(port.c_str(), &end, 10);
-    if (port.empty() || *end != '\0' || p < 1 || p > 65535)
+    // Port 0 is only meaningful server-side: "bind me any free port".
+    long min_port = server ? 0 : 1;
+    if (port.empty() || *end != '\0' || p < min_port || p > 65535)
         util::fatal("stream: bad TCP port '%s'", port.c_str());
     std::memset(&addr, 0, sizeof addr);
     addr.sin_family = AF_INET;
@@ -133,12 +135,14 @@ serveAndAccept(const std::string &spec)
 }
 
 int
-listenOn(const std::string &spec, int backlog)
+listenOn(const std::string &spec, int backlog, int *bound_port)
 {
     if (isStdioSpec(spec))
         util::fatal("stream: listenOn needs a socket endpoint, not "
                     "stdio");
     int listener = -1;
+    if (bound_port)
+        *bound_port = 0;
     if (hasPrefix(spec, "unix:")) {
         const std::string unix_path = spec.substr(5);
         sockaddr_un addr;
@@ -162,10 +166,29 @@ listenOn(const std::string &spec, int backlog)
         int one = 1;
         ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one,
                      sizeof one);
-        if (::bind(listener, reinterpret_cast<sockaddr *>(&addr),
-                   sizeof addr) != 0)
-            util::fatal("stream: bind(%s): %s", spec.c_str(),
+        // EADDRINUSE despite SO_REUSEADDR means another process still
+        // *listens* on the port (commonly a just-killed hub whose OS
+        // teardown has not finished). That clears within milliseconds,
+        // so retry briefly before declaring the port taken.
+        unsigned backoff_ms = 50;
+        for (int attempt = 0;; ++attempt) {
+            if (::bind(listener, reinterpret_cast<sockaddr *>(&addr),
+                       sizeof addr) == 0)
+                break;
+            if (errno != EADDRINUSE || attempt >= 5)
+                util::fatal("stream: bind(%s): %s", spec.c_str(),
+                            std::strerror(errno));
+            sleepMs(backoff_ms);
+            backoff_ms *= 2;
+        }
+        sockaddr_in got;
+        socklen_t got_len = sizeof got;
+        if (::getsockname(listener, reinterpret_cast<sockaddr *>(&got),
+                          &got_len) != 0)
+            util::fatal("stream: getsockname(%s): %s", spec.c_str(),
                         std::strerror(errno));
+        if (bound_port)
+            *bound_port = static_cast<int>(ntohs(got.sin_port));
     } else {
         util::fatal("stream: bad endpoint '%s' (want unix:PATH or "
                     "tcp:PORT)",
@@ -229,6 +252,73 @@ connectTo(const std::string &spec, unsigned wait_ms)
                         spec.c_str(), wait_ms, std::strerror(errno));
         sleepMs(50);
         waited += 50;
+    }
+}
+
+int
+connectWithBackoff(const std::string &spec, unsigned attempts,
+                   unsigned base_ms, unsigned max_ms,
+                   uint64_t jitter_seed)
+{
+    if (isStdioSpec(spec))
+        return 1;
+    if (attempts == 0)
+        attempts = 1;
+    // SplitMix64 over the caller's seed (typically the rank): each rank
+    // draws its own jitter sequence, so a fleet restarted at once fans
+    // out instead of hammering the hub in lockstep.
+    uint64_t z = jitter_seed + 0x9e3779b97f4a7c15ULL;
+    auto draw = [&z]() {
+        z += 0x9e3779b97f4a7c15ULL;
+        uint64_t x = z;
+        x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+        return x ^ (x >> 31);
+    };
+    unsigned delay_ms = base_ms ? base_ms : 1;
+    for (unsigned attempt = 0;; ++attempt) {
+        int fd = -1;
+        int rc = -1;
+        if (hasPrefix(spec, "unix:")) {
+            sockaddr_un addr;
+            fillUnixAddr(spec.substr(5), addr);
+            fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+            if (fd < 0)
+                util::fatal("stream: socket(AF_UNIX): %s",
+                            std::strerror(errno));
+            rc = ::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                           sizeof addr);
+        } else if (hasPrefix(spec, "tcp:")) {
+            sockaddr_in addr;
+            fillTcpAddr(spec.substr(4), /*server=*/false, addr);
+            fd = ::socket(AF_INET, SOCK_STREAM, 0);
+            if (fd < 0)
+                util::fatal("stream: socket(AF_INET): %s",
+                            std::strerror(errno));
+            rc = ::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                           sizeof addr);
+        } else {
+            util::fatal("stream: bad endpoint '%s' (want unix:PATH or "
+                        "tcp:HOST:PORT)",
+                        spec.c_str());
+        }
+        if (rc == 0)
+            return fd;
+        ::close(fd);
+        if (attempt + 1 >= attempts)
+            util::fatal("stream: cannot connect to %s after %u "
+                        "attempts: %s",
+                        spec.c_str(), attempts, std::strerror(errno));
+        // Bounded exponential backoff with up to 50% additive jitter.
+        unsigned jitter =
+            delay_ms > 1
+                ? static_cast<unsigned>(draw() % (delay_ms / 2 + 1))
+                : 0;
+        sleepMs(delay_ms + jitter);
+        if (max_ms && delay_ms >= max_ms / 2)
+            delay_ms = max_ms;
+        else
+            delay_ms *= 2;
     }
 }
 

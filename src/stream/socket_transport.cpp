@@ -1,6 +1,8 @@
 #include "stream/socket_transport.h"
 
+#include <algorithm>
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <poll.h>
 #include <unistd.h>
@@ -38,6 +40,17 @@ sameBits(double a, double b)
 
 } // namespace
 
+const char *
+peerHealthName(PeerHealth health)
+{
+    switch (health) {
+    case PeerHealth::Live: return "live";
+    case PeerHealth::Degraded: return "degraded";
+    case PeerHealth::Dead: return "dead";
+    }
+    return "?";
+}
+
 SocketTransport::SocketTransport(unsigned timeout_ms)
     : rank_(0), timeout_ms_(timeout_ms)
 {
@@ -51,6 +64,7 @@ SocketTransport::SocketTransport(int rank, int fd, unsigned timeout_ms)
     Peer &hub = peers_[0];
     hub.fd = fd;
     hub.alive = true;
+    hub.last_heard = std::chrono::steady_clock::now();
 }
 
 SocketTransport::~SocketTransport()
@@ -92,13 +106,37 @@ SocketTransport::resolve(const bus::ControlLink &link,
     if (ls.owner == 0)
         return local;
     if (ls.owner == rank_) {
-        FrameWriter w;
-        w.ctrl(typeFor(link.kind()), local);
-        writePeer(0, w.data(), w.size());
+        writeCtrl(0, typeFor(link.kind()), local);
         ++stats_.sent;
         return local;
     }
     return consumeRemote(ls, local);
+}
+
+void
+SocketTransport::writeCtrl(int to_rank, FrameType type,
+                           const bus::WireMsg &m)
+{
+    // Netem wire mangling happens here, at the rank that owns the link
+    // — the single point every control frame leaves from. The hub
+    // re-frames relays, so only the first-hop decoder ever sees a
+    // corrupted copy; duplicates survive the relay and exercise every
+    // receiver's duplicate window.
+    if (mangler_) {
+        size_t off = 0;
+        if (mangler_->corruptCtrl(m, &off)) {
+            FrameWriter c;
+            c.ctrl(type, m);
+            std::vector<uint8_t> bad(c.buffer());
+            bad[off % bad.size()] ^= 0xFF;
+            writePeer(to_rank, bad.data(), bad.size());
+        }
+    }
+    FrameWriter w;
+    w.ctrl(type, m);
+    if (mangler_ && mangler_->duplicateCtrl(m))
+        w.ctrl(type, m);
+    writePeer(to_rank, w.data(), w.size());
 }
 
 bus::WireMsg
@@ -186,6 +224,7 @@ SocketTransport::addPeer(int rank, int fd)
     p = Peer{};
     p.fd = fd;
     p.alive = true;
+    p.last_heard = std::chrono::steady_clock::now();
 }
 
 int
@@ -290,17 +329,31 @@ SocketTransport::pumpOnce()
     if (fds.empty())
         util::fatal("dist: rank %d has no live peers left to wait on",
                     rank_);
+    // With heartbeats or a peer timeout on, wake often enough to emit
+    // keepalives and to notice a silent peer; otherwise one poll spans
+    // the whole deadlock-guard window, exactly as before.
+    unsigned slice = timeout_ms_;
+    if (hb_ms_)
+        slice = std::min(slice, std::max(1u, hb_ms_ / 2));
+    if (peer_timeout_ms_)
+        slice = std::min(slice, std::max(1u, peer_timeout_ms_ / 4));
     int rc;
     do {
-        rc = ::poll(fds.data(), fds.size(),
-                    static_cast<int>(timeout_ms_));
+        rc = ::poll(fds.data(), fds.size(), static_cast<int>(slice));
     } while (rc < 0 && errno == EINTR);
     if (rc < 0)
         util::fatal("dist: poll: %s", std::strerror(errno));
-    if (rc == 0)
-        util::fatal("dist: rank %d heard nothing for %u ms — a peer is "
-                    "hung or the barrier deadlocked",
-                    rank_, timeout_ms_);
+    maybeHeartbeat();
+    checkPeerTimeouts();
+    if (rc == 0) {
+        silent_ms_ += slice;
+        if (silent_ms_ >= timeout_ms_)
+            util::fatal("dist: rank %d heard nothing for %u ms — a peer "
+                        "is hung or the barrier deadlocked",
+                        rank_, timeout_ms_);
+        return; // callers loop until their condition holds
+    }
+    silent_ms_ = 0;
     for (size_t i = 0; i < fds.size(); ++i) {
         if (!(fds[i].revents & (POLLIN | POLLHUP | POLLERR)))
             continue;
@@ -326,11 +379,86 @@ SocketTransport::pumpOnce()
             util::fatal("dist: rank %d lost the supervisor socket",
                         rank_);
         }
+        peer.last_heard = std::chrono::steady_clock::now();
         peer.decoder.feed(buf, static_cast<size_t>(n));
         Frame f;
         while (peer.decoder.next(f))
             dispatch(peer_rank, f);
     }
+}
+
+void
+SocketTransport::maybeHeartbeat()
+{
+    if (hb_ms_ == 0)
+        return;
+    auto now = std::chrono::steady_clock::now();
+    if (last_hb_sent_ != std::chrono::steady_clock::time_point{} &&
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            now - last_hb_sent_)
+                .count() < static_cast<long>(hb_ms_))
+        return;
+    last_hb_sent_ = now;
+    // The tick field is a hint, not protocol state: the leaf reports
+    // the last tick the hub released to it, the hub reports nothing.
+    uint64_t tick = tick_start_plus1_ ? tick_start_plus1_ - 1 : 0;
+    FrameWriter w;
+    w.heartbeat(static_cast<uint32_t>(rank_), tick);
+    for (auto &entry : peers_) {
+        if (!entry.second.alive)
+            continue;
+        writePeer(entry.first, w.data(), w.size());
+        ++stats_.heartbeats_sent;
+    }
+}
+
+void
+SocketTransport::checkPeerTimeouts()
+{
+    if (peer_timeout_ms_ == 0 || rank_ != 0)
+        return;
+    auto now = std::chrono::steady_clock::now();
+    for (auto &entry : peers_) {
+        if (!entry.second.alive)
+            continue;
+        auto silent = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          now - entry.second.last_heard)
+                          .count();
+        if (silent < static_cast<long>(peer_timeout_ms_))
+            continue;
+        ++stats_.peer_timeouts;
+        std::fprintf(stderr,
+                     "npsim: rank %d silent for %ld ms (limit %u) — "
+                     "declaring it dead\n",
+                     entry.first, static_cast<long>(silent),
+                     peer_timeout_ms_);
+        markDead(entry.first);
+    }
+}
+
+PeerHealth
+SocketTransport::peerHealth(int rank) const
+{
+    if (rank == 0 || rank == rank_)
+        return PeerHealth::Live;
+    auto it = peers_.find(rank);
+    if (it == peers_.end()) {
+        auto ra = remote_alive_.find(rank);
+        return (ra == remote_alive_.end() || ra->second)
+                   ? PeerHealth::Live
+                   : PeerHealth::Dead;
+    }
+    if (!it->second.alive)
+        return PeerHealth::Dead;
+    unsigned limit = peer_timeout_ms_
+                         ? peer_timeout_ms_ / 2
+                         : (hb_ms_ ? hb_ms_ * 3 : timeout_ms_ / 2);
+    auto silent = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      std::chrono::steady_clock::now() -
+                      it->second.last_heard)
+                      .count();
+    return silent > static_cast<long>(limit) ? PeerHealth::Degraded
+                                             : PeerHealth::Live;
 }
 
 void
@@ -379,6 +507,11 @@ SocketTransport::dispatch(int from_rank, const Frame &f)
         if (rank_ == 0)
             util::fatal("dist: bye frame reached the hub");
         bye_seen_ = true;
+        return;
+    case FrameType::Heartbeat:
+        // Keepalive: the bytes themselves already refreshed the
+        // sender's last_heard; nothing to route, nothing to relay.
+        ++stats_.heartbeats_received;
         return;
     case FrameType::Metrics:
         // Supervision traffic, consumed by the hub; never relayed.

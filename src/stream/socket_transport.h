@@ -43,6 +43,7 @@
 #ifndef NPS_STREAM_SOCKET_TRANSPORT_H
 #define NPS_STREAM_SOCKET_TRANSPORT_H
 
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -55,6 +56,49 @@
 
 namespace nps {
 namespace stream {
+
+/**
+ * Wire-level frame mangler (docs/NETWORK_FAULTS.md): consulted once per
+ * outgoing control frame by the rank that owns the link, so netem's
+ * duplication and corruption are real bytes on the wire — a duplicated
+ * frame is written twice (the receiver's duplicate window discards the
+ * copy), a corrupted frame is preceded by a byte-flipped copy (the NPSF
+ * CRC rejects it and the decoder resyncs). Outcome-neutral by
+ * construction: both must change nothing about what is delivered.
+ */
+class WireMangler
+{
+  public:
+    virtual ~WireMangler() = default;
+
+    /** @return true to write @p msg's control frame a second time. */
+    virtual bool duplicateCtrl(const bus::WireMsg &msg) = 0;
+
+    /**
+     * @return true to precede the clean frame with a byte-flipped copy;
+     * @p byte_off receives the raw flip offset (the writer reduces it
+     * modulo the frame length).
+     */
+    virtual bool corruptCtrl(const bus::WireMsg &msg,
+                             size_t *byte_off) = 0;
+};
+
+/**
+ * Supervisor-side view of one peer's connection health
+ * (docs/NETWORK_FAULTS.md): Live → Degraded once the peer has been
+ * silent past the degrade threshold, Dead once it is disconnected or
+ * timed out. (The fourth state of the ladder, "partitioned", is a netem
+ * schedule fact layered on top by the runtime, not a socket state.)
+ */
+enum class PeerHealth
+{
+    Live,
+    Degraded,
+    Dead,
+};
+
+/** Diagnostic name of a peer-health state. */
+const char *peerHealthName(PeerHealth health);
 
 /**
  * bus::Transport over NPSF-framed unix/tcp sockets.
@@ -70,6 +114,9 @@ class SocketTransport : public bus::Transport
         uint64_t forwarded = 0;  //!< hub: frames relayed between children
         uint64_t duplicates = 0; //!< re-delivered frames discarded
         uint64_t peer_drops = 0; //!< resolves degraded to drops (owner dead)
+        uint64_t heartbeats_sent = 0; //!< keepalives written
+        uint64_t heartbeats_received = 0; //!< keepalives consumed
+        uint64_t peer_timeouts = 0; //!< hub: peers declared dead on silence
     };
 
     /** Hub side (the supervisor, rank 0). */
@@ -108,6 +155,37 @@ class SocketTransport : public bus::Transport
     /** @return true when @p rank is connected and not known dead.
      * Rank 0 and this process's own rank are always alive. */
     bool alive(int rank) const;
+
+    /**
+     * Route every outgoing control frame of links this rank owns
+     * through @p mangler (null detaches). Wiring time, before the
+     * engine runs.
+     */
+    void setWireMangler(WireMangler *mangler) { mangler_ = mangler; }
+
+    /**
+     * Emit a heartbeat frame whenever the socket has been send-idle for
+     * @p hb_ms milliseconds (0, the default, disables — the wire then
+     * carries exactly the pre-heartbeat protocol).
+     */
+    void setHeartbeat(unsigned hb_ms) { hb_ms_ = hb_ms; }
+
+    /**
+     * Hub only: declare a peer dead after @p ms of wall-clock silence
+     * (0, the default, disables; the run-wide timeout_ms deadlock guard
+     * still applies). A soft-failure detector: the dead rank's links
+     * degrade to drops and the run continues, where the deadlock guard
+     * would have killed the whole run.
+     */
+    void setPeerTimeout(unsigned ms) { peer_timeout_ms_ = ms; }
+
+    /**
+     * Connection health of @p rank as seen from this process: Dead when
+     * disconnected, Degraded when silent past half the configured
+     * peer-timeout (or 3 heartbeat intervals when only heartbeats are
+     * on), Live otherwise.
+     */
+    PeerHealth peerHealth(int rank) const;
 
     /// @name Hub side (rank 0 only)
     /// @{
@@ -212,11 +290,23 @@ class SocketTransport : public bus::Transport
         int fd = -1;
         bool alive = false;
         FrameDecoder decoder;
+        /** Wall clock of the last bytes read from this peer. */
+        std::chrono::steady_clock::time_point last_heard;
     };
 
     /** Block until any peer has traffic, read it, dispatch frames.
-     * Fatal after timeout_ms_ of total silence (deadlock guard). */
+     * Fatal after timeout_ms_ of total silence (deadlock guard); emits
+     * heartbeats and applies the peer timeout while waiting. */
     void pumpOnce();
+
+    /** Emit a heartbeat when the send side has idled past hb_ms_. */
+    void maybeHeartbeat();
+
+    /** Hub: declare peers silent past peer_timeout_ms_ dead. */
+    void checkPeerTimeouts();
+
+    /** Write one control frame, mangled per the attached WireMangler. */
+    void writeCtrl(int to_rank, FrameType type, const bus::WireMsg &m);
 
     /** Route one decoded frame from @p from_rank. */
     void dispatch(int from_rank, const Frame &f);
@@ -246,6 +336,11 @@ class SocketTransport : public bus::Transport
     uint64_t tick_start_plus1_ = 0; //!< leaf: last released tick + 1
     bool bye_seen_ = false;
     MetricsSink metrics_sink_; //!< hub: 'M'-frame consumer
+    WireMangler *mangler_ = nullptr;
+    unsigned hb_ms_ = 0;           //!< heartbeat interval (0 = off)
+    unsigned peer_timeout_ms_ = 0; //!< hub peer-silence limit (0 = off)
+    unsigned silent_ms_ = 0;       //!< accumulated all-quiet poll time
+    std::chrono::steady_clock::time_point last_hb_sent_{};
     Stats stats_;
 };
 

@@ -82,6 +82,8 @@ reseedLink(BudgetLink &link, uint64_t seq)
     patched.putDouble(peek.getDouble());
     patched.putBool(peek.getBool());
     patched.putU64(peek.getU64());
+    patched.putU64(peek.getU64()); // reorder window: last sunk seq
+    patched.putBool(peek.getBool()); // reorder window armed
     ckpt::SectionReader r("link", patched.bytes());
     link.loadState(r);
 }

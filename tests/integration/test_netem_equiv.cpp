@@ -1,0 +1,240 @@
+/**
+ * @file
+ * End-to-end determinism of the network-emulation layer
+ * (docs/NETWORK_FAULTS.md): for the same plan and the same [netem]
+ * script, `npsim --plan` (the in-process oracle) and
+ * `npsim --distributed` (supervisor + npsnode ranks over a socket, the
+ * wire really delayed/duplicated/corrupted) must produce byte-identical
+ * recorder CSVs at every thread count; a scripted gm↔em partition that
+ * outlives the budget lease must drive the expiry→fallback→heal ladder
+ * without stalling the run; and a SIGKILLed rank must rejoin through
+ * the reconnect/backoff path while a latency storm is in force.
+ *
+ * Drives the real binaries (NPS_NPSIM_BIN injected by the build;
+ * npsnode found next to npsim). Skips when the macro is absent.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+#ifndef NPS_NPSIM_BIN
+#define NPS_NPSIM_BIN ""
+#endif
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+size_t
+lineCount(const std::string &s)
+{
+    size_t n = 0;
+    for (char c : s)
+        n += c == '\n';
+    return n;
+}
+
+class NetemEquivTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        npsim_ = NPS_NPSIM_BIN;
+        if (npsim_.empty())
+            GTEST_SKIP() << "binary paths not wired into this build";
+        ASSERT_EQ(::access(npsim_.c_str(), X_OK), 0)
+            << npsim_ << " is not executable";
+        char tmpl[] = "/tmp/nps-netem-equiv-XXXXXX";
+        ASSERT_NE(::mkdtemp(tmpl), nullptr);
+        dir_ = tmpl;
+    }
+
+    void TearDown() override
+    {
+        if (!dir_.empty())
+            std::system(("rm -rf '" + dir_ + "'").c_str());
+    }
+
+    /** A 3-node plan (gm / em / vmc) with a [netem] section.
+     * @return the plan path. */
+    std::string writePlan(const std::string &name, size_t ticks,
+                          const std::string &netem_script,
+                          unsigned deadline = 0,
+                          const std::string &extra_dist = "",
+                          const std::string &chaos = "")
+    {
+        std::string path = dir_ + "/" + name + ".plan";
+        std::ofstream out(path);
+        out << "[dist]\n"
+            << "socket = " << dir_ << "/" << name << ".sock\n"
+            << "timeout_ms = 60000\n"
+            << extra_dist
+            << "[run]\n"
+            << "scenario = coordinated\n"
+            << "mix = 60M\n"
+            << "ticks = " << ticks << "\n"
+            << "[netem]\n"
+            << "seed = 7\n";
+        if (deadline)
+            out << "deadline_ticks = " << deadline << "\n";
+        out << "script = " << netem_script << "\n"
+            << "[node group]\nlevels = gm:*\n"
+            << "[node enclosures]\nlevels = em:*\n"
+            << "[node vms]\nlevels = vmc\n";
+        if (!chaos.empty())
+            out << "[chaos]\nkill = " << chaos << "\n";
+        return path;
+    }
+
+    /** Run npsim with @p args, stdout+stderr into @p log.
+     * @return the exit code (or -1 when it did not exit normally). */
+    int runNpsim(const std::string &args, const std::string &log)
+    {
+        std::string cmd =
+            npsim_ + " " + args + " > " + dir_ + "/" + log + " 2>&1";
+        int status = std::system(cmd.c_str());
+        if (status == -1 || !WIFEXITED(status))
+            return -1;
+        return WEXITSTATUS(status);
+    }
+
+    std::string npsim_;
+    std::string dir_;
+};
+
+// The storm: latency with jitter on every link, plus wire-level
+// duplication and corruption on the EM fan-out — the latter two must be
+// absorbed by the receiver's dedup window and the NPSF CRC/resync, so
+// they can never show up in a CSV.
+const char *kStorm =
+    "delay * 40 200 1 3; dup em-sm 40 200 0.4; corrupt em-sm 40 200 0.3";
+
+TEST_F(NetemEquivTest, NetemRunIsByteIdenticalAcrossProcessLayouts)
+{
+    const size_t ticks = 240;
+    std::string ref_plan = writePlan("ref", ticks, kStorm, 5);
+    ASSERT_EQ(runNpsim("--plan " + ref_plan + " --record " + dir_ +
+                           "/ref.csv",
+                       "ref.log"),
+              0)
+        << readFile(dir_ + "/ref.log");
+    std::string ref = readFile(dir_ + "/ref.csv");
+    ASSERT_FALSE(ref.empty());
+    // The oracle itself must have exercised the virtual wire.
+    std::string ref_log = readFile(dir_ + "/ref.log");
+    EXPECT_NE(ref_log.find("netem:"), std::string::npos) << ref_log;
+
+    for (int threads : {1, 4}) {
+        std::string name = "n" + std::to_string(threads);
+        std::string plan = writePlan(name, ticks, kStorm, 5);
+        ASSERT_EQ(runNpsim("--distributed " + plan + " --threads " +
+                               std::to_string(threads) + " --record " +
+                               dir_ + "/" + name + ".csv",
+                           name + ".log"),
+                  0)
+            << readFile(dir_ + "/" + name + ".log");
+        std::string got = readFile(dir_ + "/" + name + ".csv");
+        ASSERT_EQ(got.size(), ref.size()) << "threads=" << threads;
+        EXPECT_TRUE(got == ref)
+            << "netem distributed CSV diverges from the --plan oracle "
+               "at threads="
+            << threads;
+    }
+}
+
+TEST_F(NetemEquivTest, PartitionDrivesLeaseLadderAndHeals)
+{
+    // gm↔em dark for 180 ticks — past the 150-tick lease — then healed
+    // with 200 ticks left: the log must show expiries and fallback
+    // steps, and the run must cover every tick (same CSV length as a
+    // calm run of the same plan).
+    const size_t ticks = 480;
+    std::string plan =
+        writePlan("part", ticks, "partition gm-em 100 280");
+    ASSERT_EQ(runNpsim("--distributed " + plan + " --record " + dir_ +
+                           "/part.csv",
+                       "part.log"),
+              0)
+        << readFile(dir_ + "/part.log");
+
+    std::string log = readFile(dir_ + "/part.log");
+    size_t at = log.find("degrade: ");
+    ASSERT_NE(at, std::string::npos) << log;
+    unsigned long long dropped = 0, stale = 0, expiries = 0, fallback = 0;
+    ASSERT_EQ(std::sscanf(log.c_str() + at,
+                          "degrade: %llu dropped, %llu stale, %llu lease "
+                          "expiries, %llu fallback",
+                          &dropped, &stale, &expiries, &fallback),
+              4)
+        << log;
+    EXPECT_GT(dropped, 0u) << log;
+    EXPECT_GT(expiries, 0u) << log;
+    EXPECT_GT(fallback, 0u) << log;
+    size_t nat = log.find("netem:");
+    ASSERT_NE(nat, std::string::npos) << log;
+    unsigned long long delayed = 0, late = 0, expired = 0, pdrops = 0;
+    ASSERT_EQ(std::sscanf(log.c_str() + nat,
+                          "netem:  %llu delayed, %llu late, %llu expired, "
+                          "%llu partition drops",
+                          &delayed, &late, &expired, &pdrops),
+              4)
+        << log;
+    EXPECT_GT(pdrops, 0u) << log;
+
+    std::string calm_plan = writePlan("calm", ticks, "");
+    ASSERT_EQ(runNpsim("--plan " + calm_plan + " --record " + dir_ +
+                           "/calm.csv",
+                       "calm.log"),
+              0);
+    EXPECT_EQ(lineCount(readFile(dir_ + "/part.csv")),
+              lineCount(readFile(dir_ + "/calm.csv")));
+}
+
+TEST_F(NetemEquivTest, KilledRankReconnectsThroughBackoffUnderStorm)
+{
+    // SIGKILL the EM rank mid-storm with restart_after armed: the
+    // respawned npsnode must reconnect through connectWithBackoff,
+    // resync from the supervisor snapshot (netem queue included), and
+    // the run must finish full-length.
+    const size_t ticks = 360;
+    std::string plan = writePlan(
+        "kill", ticks, "delay * 40 300 1 2", /*deadline=*/0,
+        "restart_after = 100\n"
+        "reconnect_attempts = 10\nreconnect_base_ms = 20\n"
+        "reconnect_max_ms = 200\n",
+        "2@120");
+    ASSERT_EQ(runNpsim("--distributed " + plan + " --record " + dir_ +
+                           "/kill.csv",
+                       "kill.log"),
+              0)
+        << readFile(dir_ + "/kill.log");
+
+    std::string log = readFile(dir_ + "/kill.log");
+    EXPECT_NE(log.find("killed rank 2"), std::string::npos) << log;
+    EXPECT_NE(log.find("restarted rank 2"), std::string::npos) << log;
+
+    std::string calm_plan = writePlan("calm2", ticks, "");
+    ASSERT_EQ(runNpsim("--plan " + calm_plan + " --record " + dir_ +
+                           "/calm2.csv",
+                       "calm2.log"),
+              0);
+    EXPECT_EQ(lineCount(readFile(dir_ + "/kill.csv")),
+              lineCount(readFile(dir_ + "/calm2.csv")));
+}
+
+} // namespace

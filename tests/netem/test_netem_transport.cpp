@@ -1,0 +1,212 @@
+/**
+ * @file
+ * NetemTransport over the in-process transport: delay queueing and
+ * barrier drains, partition drops, deadline expiry, the reorder window,
+ * bit-transparency with an empty schedule, and queue save/restore
+ * (docs/NETWORK_FAULTS.md).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "bus/control_link.h"
+#include "bus/transport.h"
+#include "ckpt/snapshot.h"
+#include "fault/netem/netem.h"
+#include "fault/netem/transport.h"
+
+using namespace nps;
+using bus::BudgetGrant;
+using bus::BudgetLink;
+using fault::netem::NetemModel;
+using fault::netem::NetemSchedule;
+using fault::netem::NetemTransport;
+
+namespace {
+
+/** One budget link wired through netem over InProc. */
+struct Rig
+{
+    explicit Rig(const std::string &script, uint64_t seed = 7,
+                 size_t deadline = 0)
+        : netem(NetemModel(NetemSchedule::parse(script), seed, deadline),
+                &inproc),
+          link(fault::Link::EmToSm, 3, "EM/0->SM/3",
+               [this](const BudgetGrant &g) { grants.push_back(g); })
+    {
+        link.setFaultInjector(nullptr, &stats);
+        link.setTransport(&netem, /*owner_rank=*/1);
+    }
+
+    bus::InProcTransport inproc;
+    NetemTransport netem;
+    std::vector<BudgetGrant> grants;
+    fault::DegradeStats stats;
+    BudgetLink link;
+};
+
+TEST(NetemTransportTest, EmptyScheduleIsBitTransparent)
+{
+    Rig rig("");
+    EXPECT_TRUE(rig.link.send(100.0, 1));
+    EXPECT_TRUE(rig.link.send(110.0, 2));
+    ASSERT_EQ(rig.grants.size(), 2u);
+    EXPECT_DOUBLE_EQ(rig.grants[0].watts, 100.0);
+    EXPECT_EQ(rig.netem.queued(), 0u);
+    EXPECT_EQ(rig.netem.stats().delayed, 0u);
+    EXPECT_EQ(rig.stats.netem_delayed, 0u);
+    EXPECT_TRUE(rig.stats.none());
+}
+
+TEST(NetemTransportTest, DelayedSendArrivesAtTheBarrier)
+{
+    Rig rig("delay em-sm 0 100 2"); // fixed 2-tick latency
+    EXPECT_FALSE(rig.link.send(100.0, 10)); // parked, not sunk
+    EXPECT_EQ(rig.grants.size(), 0u);
+    EXPECT_EQ(rig.netem.queued(), 1u);
+    EXPECT_EQ(rig.stats.netem_delayed, 1u);
+    EXPECT_EQ(rig.stats.dropped_budgets, 0u);
+
+    rig.netem.drainDue(11); // not due yet
+    EXPECT_EQ(rig.grants.size(), 0u);
+    rig.netem.drainDue(12);
+    ASSERT_EQ(rig.grants.size(), 1u);
+    // The grant keeps its original send tick: leases age by latency.
+    EXPECT_EQ(rig.grants[0].tick, 10u);
+    EXPECT_DOUBLE_EQ(rig.grants[0].watts, 100.0);
+    EXPECT_EQ(rig.netem.queued(), 0u);
+    EXPECT_EQ(rig.stats.netem_late_deliveries, 1u);
+}
+
+TEST(NetemTransportTest, ReorderWindowDiscardsOvertakenGrants)
+{
+    Rig rig("delay em-sm 0 20 5"); // storm ends at tick 20
+    EXPECT_FALSE(rig.link.send(100.0, 18)); // seq 1, due 23
+    EXPECT_FALSE(rig.link.send(110.0, 19)); // seq 2, due 24
+    // Past the storm: seq 3 sinks immediately, overtaking both.
+    EXPECT_TRUE(rig.link.send(120.0, 21));
+    ASSERT_EQ(rig.grants.size(), 1u);
+    EXPECT_EQ(rig.grants[0].seq, 3u);
+
+    rig.netem.drainDue(24);
+    // Both late copies are older than the sunk seq 3: discarded.
+    EXPECT_EQ(rig.grants.size(), 1u);
+    EXPECT_EQ(rig.stats.netem_reorder_drops, 2u);
+    EXPECT_EQ(rig.netem.stats().reorder_drops, 2u);
+    EXPECT_EQ(rig.netem.stats().late_deliveries, 0u);
+}
+
+TEST(NetemTransportTest, PartitionDropsFeedTheDegradeLadder)
+{
+    Rig rig("partition em-sm 10 20");
+    EXPECT_TRUE(rig.link.send(100.0, 9)); // before the partition
+    EXPECT_FALSE(rig.link.send(110.0, 10));
+    EXPECT_FALSE(rig.link.send(120.0, 19));
+    EXPECT_TRUE(rig.link.send(130.0, 20)); // heal (half-open end)
+    EXPECT_EQ(rig.grants.size(), 2u);
+    EXPECT_EQ(rig.stats.netem_partition_drops, 2u);
+    // A partitioned send is a wire loss: the drop ladder counts it too.
+    EXPECT_EQ(rig.stats.dropped_budgets, 2u);
+    EXPECT_EQ(rig.netem.stats().partition_drops, 2u);
+    EXPECT_EQ(rig.netem.queued(), 0u);
+}
+
+TEST(NetemTransportTest, DeadlineExpiresSlowSends)
+{
+    // Delay 4 with deadline 3: every send inside the window expires.
+    Rig rig("delay em-sm 0 100 4", /*seed=*/7, /*deadline=*/3);
+    EXPECT_FALSE(rig.link.send(100.0, 10));
+    EXPECT_EQ(rig.netem.queued(), 0u);
+    EXPECT_EQ(rig.stats.netem_expired, 1u);
+    EXPECT_EQ(rig.stats.dropped_budgets, 1u);
+    EXPECT_EQ(rig.netem.stats().expired, 1u);
+
+    // Delay 3 == deadline 3: still within budget, queued not expired.
+    Rig ok("delay em-sm 0 100 3", 7, 3);
+    EXPECT_FALSE(ok.link.send(100.0, 10));
+    EXPECT_EQ(ok.netem.queued(), 1u);
+    EXPECT_EQ(ok.stats.netem_expired, 0u);
+}
+
+TEST(NetemTransportTest, DrainOrderIsDeterministic)
+{
+    // Two links, interleaved delayed sends due at the same barrier:
+    // delivery happens in (due, wire id, seq) order regardless of the
+    // send interleave.
+    std::vector<std::pair<uint32_t, uint64_t>> order;
+    bus::InProcTransport inproc;
+    NetemTransport netem(
+        NetemModel(NetemSchedule::parse("delay * 0 100 2"), 7, 0),
+        &inproc);
+    fault::DegradeStats stats;
+    BudgetLink a(fault::Link::EmToSm, 1, "EM/0->SM/1",
+                 [&](const BudgetGrant &g) {
+                     order.push_back({1, g.seq});
+                 });
+    BudgetLink b(fault::Link::EmToSm, 2, "EM/0->SM/2",
+                 [&](const BudgetGrant &g) {
+                     order.push_back({2, g.seq});
+                 });
+    a.setFaultInjector(nullptr, &stats);
+    b.setFaultInjector(nullptr, &stats);
+    a.setTransport(&netem, 1);
+    b.setTransport(&netem, 1);
+
+    b.send(100.0, 10); // link b seq 1
+    a.send(110.0, 10); // link a seq 1
+    b.send(120.0, 11); // link b seq 2 (due one tick later)
+    a.send(130.0, 11);
+    netem.drainDue(13); // everything due
+    ASSERT_EQ(order.size(), 4u);
+    // due 12 before due 13; within a due, link a (lower wire id) first.
+    EXPECT_EQ(order[0], (std::pair<uint32_t, uint64_t>{1, 1}));
+    EXPECT_EQ(order[1], (std::pair<uint32_t, uint64_t>{2, 1}));
+    EXPECT_EQ(order[2], (std::pair<uint32_t, uint64_t>{1, 2}));
+    EXPECT_EQ(order[3], (std::pair<uint32_t, uint64_t>{2, 2}));
+}
+
+TEST(NetemTransportTest, QueueSurvivesSaveRestore)
+{
+    Rig rig("delay em-sm 0 100 3");
+    rig.link.send(100.0, 10); // due 13
+    rig.link.send(110.0, 11); // due 14
+    ASSERT_EQ(rig.netem.queued(), 2u);
+
+    ckpt::SectionWriter w;
+    rig.netem.saveState(w);
+
+    // A second rig (the restarted process) with identical wiring.
+    Rig fresh("delay em-sm 0 100 3");
+    ckpt::SectionReader r("netem", w.bytes());
+    fresh.netem.loadState(r);
+    r.expectEnd();
+    EXPECT_EQ(fresh.netem.queued(), 2u);
+    EXPECT_EQ(fresh.netem.stats().delayed, 2u);
+
+    fresh.netem.drainDue(14);
+    ASSERT_EQ(fresh.grants.size(), 2u);
+    EXPECT_EQ(fresh.grants[0].tick, 10u);
+    EXPECT_DOUBLE_EQ(fresh.grants[1].watts, 110.0);
+}
+
+TEST(NetemTransportTest, NonBudgetLinksPassThrough)
+{
+    // A reference link (not a BudgetLink) under a wildcard delay: netem
+    // must leave it untouched — only budget links ride the virtual wire.
+    bus::InProcTransport inproc;
+    NetemTransport netem(
+        NetemModel(NetemSchedule::parse("delay * 0 100 5"), 7, 0),
+        &inproc);
+    double seen = 0.0;
+    bus::ReferenceLink ref(
+        "SM/3->EC/0",
+        [&](const bus::ReferenceUpdate &u) { seen = u.r_ref; });
+    ref.setTransport(&netem, 1);
+    ref.send(0.5, 10);
+    EXPECT_DOUBLE_EQ(seen, 0.5);
+    EXPECT_EQ(netem.queued(), 0u);
+}
+
+} // namespace

@@ -1,0 +1,251 @@
+/**
+ * @file
+ * FrameDecoder resync fuzz (docs/NETWORK_FAULTS.md): flip every single
+ * byte of a multi-frame NPSF buffer — including the variable-length 'M'
+ * frame's length field — and assert the hard decoder contract:
+ *
+ *   - no crash, ever;
+ *   - no fabricated frame: every decoded frame is byte-identical to a
+ *     frame that was actually written (CRC32 catches every single-byte
+ *     flip, magic damage only hides a frame);
+ *   - every byte accounted: fed == decoded-frame bytes + resync_bytes
+ *     + buffered(), for any corruption and any chunking.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "bus/transport.h"
+#include "stream/frame.h"
+
+using namespace nps;
+using stream::DecodeStats;
+using stream::Frame;
+using stream::FrameDecoder;
+using stream::FrameType;
+using stream::FrameWriter;
+
+namespace {
+
+/** Re-encode a decoded frame; used to prove it was actually sent. */
+std::vector<uint8_t>
+reencode(const Frame &f)
+{
+    FrameWriter w;
+    switch (f.type) {
+    case FrameType::Hello:
+        w.hello(f.hello);
+        break;
+    case FrameType::Sample:
+        w.sample(f.sample);
+        break;
+    case FrameType::TickEnd:
+        w.tickEnd(f.tick);
+        break;
+    case FrameType::Bye:
+        w.bye(f.tick);
+        break;
+    case FrameType::Budget:
+    case FrameType::Violation:
+    case FrameType::Reference:
+    case FrameType::Telemetry:
+        w.ctrl(f.type, f.ctrl);
+        break;
+    case FrameType::TickStart:
+        w.tickStart(f.tick);
+        break;
+    case FrameType::TickDone:
+        w.tickDone(f.tick, f.rank);
+        break;
+    case FrameType::PeerDown:
+        w.peerDown(f.rank);
+        break;
+    case FrameType::PeerUp:
+        w.peerUp(f.rank, f.tick);
+        break;
+    case FrameType::Join:
+        w.join(f.join);
+        break;
+    case FrameType::Metrics:
+        w.metrics(f.rank, f.tick, f.bytes.data(), f.bytes.size());
+        break;
+    case FrameType::Heartbeat:
+        w.heartbeat(f.rank, f.tick);
+        break;
+    }
+    return w.buffer();
+}
+
+/** One frame of every type, 'M' with a non-trivial payload. */
+std::vector<uint8_t>
+cleanBuffer()
+{
+    FrameWriter w;
+    stream::HelloFrame h;
+    h.streams = 3;
+    h.start_tick = 5;
+    h.total_ticks = 100;
+    w.hello(h);
+    w.sample({7, 1, 0.625});
+    w.sample({7, 2, 0.25});
+    bus::WireMsg m;
+    m.link = 3;
+    m.tick = 7;
+    m.seq = 41;
+    m.value = 123.5;
+    m.aux = 130.0;
+    m.flags = bus::kWireDelivered;
+    m.trace = 9;
+    w.ctrl(FrameType::Budget, m);
+    m.seq = 42;
+    w.ctrl(FrameType::Violation, m);
+    w.tickStart(8);
+    w.tickDone(8, 2);
+    w.heartbeat(1, 8);
+    w.peerDown(2);
+    w.peerUp(2, 9);
+    w.join({2, stream::kProtocolVersion, 14, 0xdeadbeef});
+    std::vector<uint8_t> snapshot(24);
+    for (size_t i = 0; i < snapshot.size(); ++i)
+        snapshot[i] = static_cast<uint8_t>(i); // never spells "NPSF"
+    w.metrics(2, 8, snapshot.data(), snapshot.size());
+    w.tickEnd(8);
+    w.bye(9);
+    return w.buffer();
+}
+
+struct DecodeResult
+{
+    std::vector<std::vector<uint8_t>> frames; //!< re-encoded bytes
+    size_t frame_bytes = 0;
+    DecodeStats stats;
+    size_t buffered = 0;
+};
+
+DecodeResult
+decodeAll(const std::vector<uint8_t> &buf, size_t chunk)
+{
+    FrameDecoder d;
+    DecodeResult out;
+    Frame f;
+    for (size_t off = 0; off < buf.size(); off += chunk) {
+        size_t n = std::min(chunk, buf.size() - off);
+        d.feed(buf.data() + off, n);
+        while (d.next(f)) {
+            std::vector<uint8_t> bytes = reencode(f);
+            out.frame_bytes += bytes.size();
+            out.frames.push_back(std::move(bytes));
+        }
+    }
+    out.stats = d.stats();
+    out.buffered = d.buffered();
+    return out;
+}
+
+/** Is @p needle a contiguous run of @p hay? */
+bool
+contains(const std::vector<uint8_t> &hay, const std::vector<uint8_t> &needle)
+{
+    return std::search(hay.begin(), hay.end(), needle.begin(),
+                       needle.end()) != hay.end();
+}
+
+TEST(FrameFuzzTest, CleanBufferRoundTrips)
+{
+    std::vector<uint8_t> clean = cleanBuffer();
+    DecodeResult r = decodeAll(clean, clean.size());
+    EXPECT_EQ(r.frames.size(), 14u);
+    EXPECT_EQ(r.frame_bytes, clean.size());
+    EXPECT_EQ(r.stats.resync_bytes, 0u);
+    EXPECT_EQ(r.stats.bad_crc, 0u);
+    EXPECT_EQ(r.stats.bad_type, 0u);
+    EXPECT_EQ(r.buffered, 0u);
+    // Re-encoding reproduces the input byte for byte.
+    std::vector<uint8_t> cat;
+    for (const auto &f : r.frames)
+        cat.insert(cat.end(), f.begin(), f.end());
+    EXPECT_EQ(cat, clean);
+}
+
+TEST(FrameFuzzTest, EverySingleByteFlipIsSurvivedAndAccounted)
+{
+    std::vector<uint8_t> clean = cleanBuffer();
+    size_t n_clean = decodeAll(clean, clean.size()).frames.size();
+
+    for (size_t i = 0; i < clean.size(); ++i) {
+        std::vector<uint8_t> mut = clean;
+        mut[i] ^= 0xFF;
+        DecodeResult r = decodeAll(mut, mut.size());
+
+        // Contract 1: nothing fabricated — every decoded frame is a
+        // byte run of the clean stream (CRC32 rejects every
+        // single-byte-corrupted frame, so survivors are originals).
+        for (const auto &f : r.frames)
+            EXPECT_TRUE(contains(clean, f)) << "flip at byte " << i;
+
+        // Contract 2: a flip costs frames it overlaps, nothing more. A
+        // flipped 'M' length can also swallow the tail as a phantom
+        // partial frame, never more than the frames behind it.
+        EXPECT_LE(r.frames.size(), n_clean) << "flip at byte " << i;
+        EXPECT_GE(r.frames.size() + 3, n_clean) << "flip at byte " << i;
+
+        // Contract 3: every byte accounted — consumed by a good frame,
+        // skipped hunting for magic, or parked as an incomplete tail.
+        EXPECT_EQ(r.frame_bytes + r.stats.resync_bytes + r.buffered,
+                  mut.size())
+            << "flip at byte " << i;
+
+        // A lost frame leaves a trace: bytes skipped hunting for magic,
+        // or a phantom partial frame parked in the buffer.
+        if (r.frames.size() < n_clean)
+            EXPECT_GT(r.stats.resync_bytes + r.buffered, 0u)
+                << "flip at byte " << i;
+    }
+}
+
+TEST(FrameFuzzTest, ChunkingNeverChangesTheDecode)
+{
+    // The decoder must be bitwise indifferent to how the corrupted
+    // stream is split: re-run a spread of flips byte-at-a-time and in
+    // ragged 7-byte chunks and demand the identical result.
+    std::vector<uint8_t> clean = cleanBuffer();
+    for (size_t i = 0; i < clean.size(); i += 11) {
+        std::vector<uint8_t> mut = clean;
+        mut[i] ^= 0xFF;
+        DecodeResult whole = decodeAll(mut, mut.size());
+        DecodeResult bytewise = decodeAll(mut, 1);
+        DecodeResult ragged = decodeAll(mut, 7);
+        for (const DecodeResult *r : {&bytewise, &ragged}) {
+            EXPECT_EQ(r->frames, whole.frames) << "flip at byte " << i;
+            EXPECT_EQ(r->stats.resync_bytes, whole.stats.resync_bytes)
+                << "flip at byte " << i;
+            EXPECT_EQ(r->stats.bad_crc, whole.stats.bad_crc)
+                << "flip at byte " << i;
+            EXPECT_EQ(r->stats.bad_type, whole.stats.bad_type)
+                << "flip at byte " << i;
+            EXPECT_EQ(r->buffered, whole.buffered) << "flip at byte " << i;
+        }
+    }
+}
+
+TEST(FrameFuzzTest, TruncationParksTheTailWithoutLoss)
+{
+    // Cut the stream at every byte boundary: everything before the cut
+    // decodes, the partial tail stays buffered, accounting holds.
+    std::vector<uint8_t> clean = cleanBuffer();
+    for (size_t cut = 0; cut <= clean.size(); cut += 13) {
+        std::vector<uint8_t> head(clean.begin(),
+                                  clean.begin() + static_cast<long>(cut));
+        DecodeResult r = decodeAll(head, head.size() ? head.size() : 1);
+        for (const auto &f : r.frames)
+            EXPECT_TRUE(contains(clean, f)) << "cut at " << cut;
+        EXPECT_EQ(r.frame_bytes + r.stats.resync_bytes + r.buffered, cut)
+            << "cut at " << cut;
+        EXPECT_EQ(r.stats.bad_crc, 0u) << "cut at " << cut;
+    }
+}
+
+} // namespace

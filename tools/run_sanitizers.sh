@@ -36,8 +36,14 @@ build_root="${1:-${repo_root}/build-san}"
 # the live observability plane (the snapshot codec and fleet-merge
 # unit suite, the HTTP exporter suite whose serve thread is scraped
 # while the engine thread publishes, and the cascade-trace invariance
-# suite that crosses thread counts and the plan/distributed runtimes).
-test_regex='sim/test_engine|sim/test_engine_fuzz|sim/test_fleetgen|integration/test_determinism|integration/test_fleet_scale|golden/test_golden_master|fault/test_injector|fault/test_chaos|fault/test_degradation|ckpt/test_snapshot|ckpt/test_resume|ckpt/test_chaos_kill|bus/test_link_replay|bus/test_transport_seq|controllers/test_lease_boundary|stream/test_frame|stream/test_dist_frames|stream/test_stream_source|stream/test_silence_equiv|stream/test_replay_equiv|core/test_plan_io|integration/test_dist_equiv|obs/test_live_agg|obs/test_live_http|obs/test_cascade'
+# suite that crosses thread counts and the plan/distributed runtimes),
+# and the network-emulation layer (the schedule/transport unit suites,
+# the chaos campaigns that cross thread counts over the full
+# coordinator, the seq-wraparound reorder-window regression, the
+# frame-decoder single-byte-flip fuzz battery, the listen/backoff
+# socket suite with real connecting threads, and the multi-process
+# netem equivalence suite that forks sanitized npsim/npsnode trees).
+test_regex='sim/test_engine|sim/test_engine_fuzz|sim/test_fleetgen|integration/test_determinism|integration/test_fleet_scale|golden/test_golden_master|fault/test_injector|fault/test_chaos|fault/test_degradation|ckpt/test_snapshot|ckpt/test_resume|ckpt/test_chaos_kill|bus/test_link_replay|bus/test_transport_seq|bus/test_seq_wraparound|controllers/test_lease_boundary|stream/test_frame|stream/test_frame_fuzz|stream/test_dist_frames|stream/test_stream_source|stream/test_silence_equiv|stream/test_replay_equiv|stream/test_listen_backoff|core/test_plan_io|integration/test_dist_equiv|integration/test_netem_equiv|netem/test_netem_schedule|netem/test_netem_transport|netem/test_netem_campaign|obs/test_live_agg|obs/test_live_http|obs/test_cascade'
 
 run_one() {
     local label="$1"
